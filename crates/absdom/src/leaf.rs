@@ -1,0 +1,312 @@
+//! The simple (non-parametric) abstract types and their lattice.
+//!
+//! These are the instantiable leaves of §3 of the paper:
+//!
+//! ```text
+//!            any (⊤)
+//!           /    \
+//!         nv      var
+//!          |
+//!          g  (ground)
+//!          |
+//!        const
+//!        /   \
+//!     atom   integer
+//! ```
+//!
+//! (`empty`, the bottom element, is represented by returning `None` from
+//! [`AbsLeaf::meet`] — an abstract unification failure.)
+//!
+//! The parametric types — `α-list` and `struct(f/n, α₁…αₙ)` — live in
+//! [`crate::pattern`] as graph nodes; this module provides the leaf-level
+//! operations they bottom out in.
+
+use std::fmt;
+
+/// A simple abstract type.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum AbsLeaf {
+    /// All terms (⊤).
+    Any,
+    /// All non-variable terms (`nv`).
+    NonVar,
+    /// All ground terms (`g`).
+    Ground,
+    /// All constants (atoms and integers).
+    Const,
+    /// All atoms (including `[]`).
+    Atom,
+    /// All integers.
+    Integer,
+    /// All (free) variables.
+    Var,
+}
+
+impl AbsLeaf {
+    /// Partial order: `self` ⊑ `other` (set inclusion of denotations).
+    pub fn leq(self, other: AbsLeaf) -> bool {
+        use AbsLeaf::*;
+        if self == other || other == Any {
+            return true;
+        }
+        matches!(
+            (self, other),
+            (Ground | Const | Atom | Integer, NonVar)
+                | (Const | Atom | Integer, Ground)
+                | (Atom | Integer, Const)
+        )
+    }
+
+    /// Least upper bound.
+    pub fn lub(self, other: AbsLeaf) -> AbsLeaf {
+        use AbsLeaf::*;
+        if self.leq(other) {
+            return other;
+        }
+        if other.leq(self) {
+            return self;
+        }
+        match (self, other) {
+            (Atom, Integer) | (Integer, Atom) => Const,
+            // Anything joined with Var that is not Var itself escapes to ⊤.
+            (Var, _) | (_, Var) => Any,
+            // Remaining incomparable pairs within the nonvar chain cannot
+            // occur (the chain is total), but be safe.
+            _ => Any,
+        }
+    }
+
+    /// Greatest lower bound; `None` is the bottom element `empty`.
+    pub fn meet(self, other: AbsLeaf) -> Option<AbsLeaf> {
+        use AbsLeaf::*;
+        if self.leq(other) {
+            return Some(self);
+        }
+        if other.leq(self) {
+            return Some(other);
+        }
+        match (self, other) {
+            (Atom, Integer) | (Integer, Atom) => None,
+            (Var, _) | (_, Var) => None,
+            _ => None,
+        }
+    }
+
+    /// The result type of abstractly unifying an instance of `self` with an
+    /// instance of `other` (§4.1's `s_unify` on simple types).
+    ///
+    /// `var` acts as an identity: a free variable unifies with anything and
+    /// takes its type. For all other pairs this is the lattice meet;
+    /// `None` means the unification cannot succeed (`empty`).
+    pub fn unify(self, other: AbsLeaf) -> Option<AbsLeaf> {
+        use AbsLeaf::*;
+        match (self, other) {
+            (Var, t) | (t, Var) => Some(t),
+            // `any` includes variables, which unify freely with the other
+            // side; the most precise sound result is the other side's type
+            // (a nonvar instance of `any` narrows to the meet, a var
+            // instance takes the other type — join of those is `other`).
+            (Any, t) | (t, Any) => Some(t),
+            _ => self.meet(other),
+        }
+    }
+
+    /// Whether every instance is ground.
+    pub fn is_ground(self) -> bool {
+        matches!(self, AbsLeaf::Ground | AbsLeaf::Const | AbsLeaf::Atom | AbsLeaf::Integer)
+    }
+
+    /// Whether the denoted set is closed under instantiation (binding a
+    /// variable inside an instance keeps it in the set). Only `var` is
+    /// not: binding a free variable leaves the set. Used for the
+    /// aliasing-drop weakening rule in [`crate::pattern::Pattern::lub`].
+    pub fn instantiation_closed(self) -> bool {
+        self != AbsLeaf::Var
+    }
+
+    /// Can an instance be (or become, for `var`) a cons cell?
+    pub fn admits_list(self) -> bool {
+        use AbsLeaf::*;
+        matches!(self, Any | NonVar | Ground | Var)
+    }
+
+    /// Can an instance be a non-list structure?
+    pub fn admits_struct(self) -> bool {
+        use AbsLeaf::*;
+        matches!(self, Any | NonVar | Ground | Var)
+    }
+
+    /// Can an instance be an atom?
+    pub fn admits_atom(self) -> bool {
+        use AbsLeaf::*;
+        matches!(self, Any | NonVar | Ground | Const | Atom | Var)
+    }
+
+    /// Can an instance be an integer?
+    pub fn admits_integer(self) -> bool {
+        use AbsLeaf::*;
+        matches!(self, Any | NonVar | Ground | Const | Integer | Var)
+    }
+
+    /// The type of the arguments of a compound instance of `self`
+    /// (the *complex-term instantiation* child type of §4.2):
+    /// `ground` terms have `ground` arguments; a compound instance of
+    /// `any`/`nv` has `any` arguments; a free variable that gets bound to a
+    /// compound by unification acquires fresh free variables as arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` cannot be compound (`const`/`atom`/`integer`).
+    pub fn instance_child(self) -> AbsLeaf {
+        use AbsLeaf::*;
+        match self {
+            Ground => Ground,
+            Any | NonVar => Any,
+            Var => Var,
+            Const | Atom | Integer => {
+                panic!("constants have no compound instances")
+            }
+        }
+    }
+
+    /// The short display name used in reports (`g` for ground, `nv` for
+    /// nonvar, `int` for integer — matching the paper's notation).
+    pub fn name(self) -> &'static str {
+        use AbsLeaf::*;
+        match self {
+            Any => "any",
+            NonVar => "nv",
+            Ground => "g",
+            Const => "const",
+            Atom => "atom",
+            Integer => "int",
+            Var => "var",
+        }
+    }
+
+    /// All leaves, for exhaustive property tests.
+    pub const ALL: [AbsLeaf; 7] = [
+        AbsLeaf::Any,
+        AbsLeaf::NonVar,
+        AbsLeaf::Ground,
+        AbsLeaf::Const,
+        AbsLeaf::Atom,
+        AbsLeaf::Integer,
+        AbsLeaf::Var,
+    ];
+}
+
+impl fmt::Display for AbsLeaf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use AbsLeaf::*;
+
+    #[test]
+    fn order_spot_checks() {
+        assert!(Atom.leq(Const));
+        assert!(Const.leq(Ground));
+        assert!(Ground.leq(NonVar));
+        assert!(NonVar.leq(Any));
+        assert!(Var.leq(Any));
+        assert!(!Var.leq(NonVar));
+        assert!(!Atom.leq(Integer));
+        assert!(!NonVar.leq(Ground));
+    }
+
+    #[test]
+    fn lub_spot_checks() {
+        assert_eq!(Atom.lub(Integer), Const);
+        assert_eq!(Var.lub(Ground), Any);
+        assert_eq!(Ground.lub(NonVar), NonVar);
+        assert_eq!(Var.lub(Var), Var);
+        assert_eq!(Any.lub(Atom), Any);
+    }
+
+    #[test]
+    fn meet_spot_checks() {
+        assert_eq!(Ground.meet(NonVar), Some(Ground));
+        assert_eq!(Atom.meet(Integer), None);
+        assert_eq!(Var.meet(NonVar), None);
+        assert_eq!(Any.meet(Var), Some(Var));
+        assert_eq!(Const.meet(Ground), Some(Const));
+    }
+
+    #[test]
+    fn unify_examples_from_paper() {
+        // s_unify(any, ground) = ground
+        assert_eq!(Any.unify(Ground), Some(Ground));
+        // a free variable takes the other side's type
+        assert_eq!(Var.unify(Ground), Some(Ground));
+        assert_eq!(Var.unify(Var), Some(Var));
+        // atoms and integers clash
+        assert_eq!(Atom.unify(Integer), None);
+        // nonvar meets ground at ground
+        assert_eq!(NonVar.unify(Ground), Some(Ground));
+    }
+
+    #[test]
+    fn lattice_laws() {
+        for &a in &AbsLeaf::ALL {
+            assert!(a.leq(a), "reflexive {a}");
+            assert_eq!(a.lub(a), a, "idempotent {a}");
+            assert_eq!(a.meet(a), Some(a));
+            for &b in &AbsLeaf::ALL {
+                assert_eq!(a.lub(b), b.lub(a), "lub commutes {a} {b}");
+                assert_eq!(a.meet(b), b.meet(a), "meet commutes {a} {b}");
+                // lub is an upper bound
+                assert!(a.leq(a.lub(b)));
+                assert!(b.leq(a.lub(b)));
+                // meet is a lower bound
+                if let Some(m) = a.meet(b) {
+                    assert!(m.leq(a));
+                    assert!(m.leq(b));
+                }
+                // antisymmetry
+                if a.leq(b) && b.leq(a) {
+                    assert_eq!(a, b);
+                }
+                for &c in &AbsLeaf::ALL {
+                    assert_eq!(a.lub(b).lub(c), a.lub(b.lub(c)), "assoc {a} {b} {c}");
+                    // transitivity
+                    if a.leq(b) && b.leq(c) {
+                        assert!(a.leq(c));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unify_is_sound_wrt_meet_for_nonvar_pairs() {
+        // For pairs not involving var/any, unify == meet.
+        for &a in &[NonVar, Ground, Const, Atom, Integer] {
+            for &b in &[NonVar, Ground, Const, Atom, Integer] {
+                assert_eq!(a.unify(b), a.meet(b), "{a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn child_types() {
+        assert_eq!(Ground.instance_child(), Ground);
+        assert_eq!(Any.instance_child(), Any);
+        assert_eq!(NonVar.instance_child(), Any);
+        assert_eq!(Var.instance_child(), Var);
+    }
+
+    #[test]
+    fn admits_tables() {
+        assert!(Ground.admits_list());
+        assert!(!Const.admits_list());
+        assert!(Const.admits_atom());
+        assert!(!Integer.admits_atom());
+        assert!(Integer.admits_integer());
+        assert!(Var.admits_struct());
+    }
+}

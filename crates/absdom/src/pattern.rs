@@ -1,0 +1,852 @@
+//! Calling/success patterns: abstract term graphs with aliasing.
+//!
+//! A [`Pattern`] describes a tuple of abstract terms (the arguments of a
+//! call, or of a successful return). It is a small arena of [`PNode`]s
+//! plus one root per argument; *shared* node ids encode **definite
+//! aliasing** ("these positions hold the very same term"), which is the
+//! machine-level form of the paper's "complete aliasing information".
+//!
+//! Patterns are kept **canonical** (nodes renumbered in first-visit DFS
+//! order, ground subgraphs unshared) so that structural equality is
+//! pattern equality — the extension table keys on this.
+//!
+//! # The lub and aliasing
+//!
+//! [`Pattern::lub`] is an n-way product construction: the result node for
+//! a *group* of source nodes is shared exactly when the same group recurs,
+//! so definite sharing survives the join only where it is present on both
+//! sides. When one side's sharing is dropped, a `var` leaf may no longer
+//! claim definite freeness (its alias might have been bound through the
+//! other occurrence), so such leaves are weakened to `any` — `var` is the
+//! only type not closed under instantiation. See DESIGN.md §3.4.
+
+use crate::leaf::AbsLeaf;
+use prolog_syntax::{Interner, Symbol, Term};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a node within its [`Pattern`].
+pub type NodeId = usize;
+
+/// One node of a pattern graph.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum PNode {
+    /// An instantiable simple abstract type.
+    Leaf(AbsLeaf),
+    /// A specific integer.
+    Int(i64),
+    /// A specific atom.
+    Atom(Symbol),
+    /// `struct(f/n, α₁…αₙ)`.
+    Struct(Symbol, Vec<NodeId>),
+    /// `α-list` (the set of *proper* lists with elements of type α).
+    List(NodeId),
+}
+
+/// A canonical abstract description of an argument tuple.
+///
+/// # Examples
+///
+/// ```
+/// use absdom::Pattern;
+/// let p = Pattern::from_spec(&["atom", "glist"]).unwrap();
+/// let q = Pattern::from_spec(&["atom", "list(g)"]).unwrap();
+/// assert_eq!(p, q);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Pattern {
+    nodes: Vec<PNode>,
+    roots: Vec<NodeId>,
+}
+
+impl Pattern {
+    /// Build a pattern from raw parts and canonicalize it.
+    pub fn new(nodes: Vec<PNode>, roots: Vec<NodeId>) -> Pattern {
+        Pattern { nodes, roots }.canonicalize()
+    }
+
+    /// Build a pattern from parts that are **already canonical**
+    /// (pre-order numbering from the roots, ground subgraphs unshared).
+    /// The extractor in `awam-core` produces this form directly; in debug
+    /// builds the invariant is checked.
+    pub fn from_canonical(nodes: Vec<PNode>, roots: Vec<NodeId>) -> Pattern {
+        let p = Pattern { nodes, roots };
+        debug_assert_eq!(p, p.canonicalize(), "from_canonical got a non-canonical graph");
+        p
+    }
+
+    /// The empty (zero-argument) pattern.
+    pub fn empty() -> Pattern {
+        Pattern {
+            nodes: Vec::new(),
+            roots: Vec::new(),
+        }
+    }
+
+    /// Number of argument roots.
+    pub fn arity(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// The root node of argument `i`.
+    pub fn root(&self, i: usize) -> NodeId {
+        self.roots[i]
+    }
+
+    /// The node table.
+    pub fn nodes(&self) -> &[PNode] {
+        &self.nodes
+    }
+
+    /// The node with id `id`.
+    pub fn node(&self, id: NodeId) -> &PNode {
+        &self.nodes[id]
+    }
+
+    /// Whether every argument is ground.
+    pub fn is_ground(&self) -> bool {
+        self.roots.iter().all(|&r| self.node_is_ground(r))
+    }
+
+    /// Whether the subgraph rooted at `id` denotes only ground terms.
+    pub fn node_is_ground(&self, id: NodeId) -> bool {
+        match &self.nodes[id] {
+            PNode::Leaf(l) => l.is_ground(),
+            PNode::Int(_) | PNode::Atom(_) => true,
+            PNode::Struct(_, args) => args.iter().all(|&a| self.node_is_ground(a)),
+            PNode::List(e) => self.node_is_ground(*e),
+        }
+    }
+
+    /// The primary approximation (§4.2's `AbsType`) of the subgraph at
+    /// `id`, ignoring sub-structure.
+    pub fn leaf_approx(&self, id: NodeId) -> AbsLeaf {
+        match &self.nodes[id] {
+            PNode::Leaf(l) => *l,
+            PNode::Int(_) => AbsLeaf::Integer,
+            PNode::Atom(_) => AbsLeaf::Atom,
+            PNode::Struct(..) | PNode::List(_) => {
+                if self.node_is_ground(id) {
+                    AbsLeaf::Ground
+                } else {
+                    AbsLeaf::NonVar
+                }
+            }
+        }
+    }
+
+    // ----- canonicalization -----
+
+    /// Renumber nodes in first-visit DFS order from the roots; ground
+    /// subgraphs are duplicated per occurrence (sharing of ground terms
+    /// carries no dataflow information, and unsharing them is a sound
+    /// over-approximation that improves extension-table reuse).
+    fn canonicalize(&self) -> Pattern {
+        let mut out = Pattern {
+            nodes: Vec::new(),
+            roots: Vec::new(),
+        };
+        let mut map: Vec<Option<NodeId>> = vec![None; self.nodes.len()];
+        let roots = self.roots.clone();
+        for r in roots {
+            let new = self.canon_node(r, &mut map, &mut out);
+            out.roots.push(new);
+        }
+        out
+    }
+
+    fn canon_node(
+        &self,
+        id: NodeId,
+        map: &mut Vec<Option<NodeId>>,
+        out: &mut Pattern,
+    ) -> NodeId {
+        let shareable = !self.node_is_ground(id);
+        if shareable {
+            if let Some(new) = map[id] {
+                return new;
+            }
+        }
+        // Reserve the slot first so children come after their parent
+        // (pre-order numbering) and cycles cannot recurse forever.
+        let new = out.nodes.len();
+        out.nodes.push(PNode::Leaf(AbsLeaf::Any)); // placeholder
+        if shareable {
+            map[id] = Some(new);
+        }
+        let node = match &self.nodes[id] {
+            PNode::Leaf(l) => PNode::Leaf(*l),
+            PNode::Int(i) => PNode::Int(*i),
+            PNode::Atom(a) => PNode::Atom(*a),
+            PNode::Struct(f, args) => {
+                let args = args
+                    .iter()
+                    .map(|&a| self.canon_node(a, map, out))
+                    .collect();
+                PNode::Struct(*f, args)
+            }
+            PNode::List(e) => PNode::List(self.canon_node(*e, map, out)),
+        };
+        out.nodes[new] = node;
+        new
+    }
+
+    // ----- lub -----
+
+    /// Least upper bound of two patterns of the same arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arities differ (an internal invariant: the extension
+    /// table lubs success patterns of a single predicate).
+    pub fn lub(&self, other: &Pattern) -> Pattern {
+        assert_eq!(self.arity(), other.arity(), "lub of mismatched arities");
+        let mut ctx = LubCtx {
+            sides: [self, other],
+            memo: Vec::new(),
+            occurrences: [
+                vec![0; self.nodes.len()],
+                vec![0; other.nodes.len()],
+            ],
+            out: Pattern {
+                nodes: Vec::new(),
+                roots: Vec::new(),
+            },
+            result_groups: Vec::new(),
+        };
+        for i in 0..self.arity() {
+            let group = vec![(0, self.roots[i]), (1, other.roots[i])];
+            let root = ctx.lub_group(group);
+            ctx.out.roots.push(root);
+        }
+        // Aliasing-drop weakening: a source node that participated in more
+        // than one distinct group lost (some of) its sharing; `var` leaves
+        // built from such nodes must weaken to `any`.
+        for (result, group) in ctx.result_groups.iter().enumerate() {
+            if matches!(ctx.out.nodes[result], PNode::Leaf(AbsLeaf::Var))
+                && group.iter().any(|&(s, n)| ctx.occurrences[s][n] > 1)
+            {
+                ctx.out.nodes[result] = PNode::Leaf(AbsLeaf::Any);
+            }
+        }
+        ctx.out.canonicalize()
+    }
+
+    // ----- coverage (the soundness oracle) -----
+
+    /// Whether the concrete argument tuple `args` is described by this
+    /// pattern. Shared (aliased) nodes require structurally identical
+    /// terms; `var` requires the term to be a variable; `list(α)` requires
+    /// a proper list.
+    ///
+    /// This is the γ-membership check used by the end-to-end soundness
+    /// tests: every concrete call observed when running a benchmark must
+    /// be covered by the analyzer's extension-table entry.
+    pub fn covers(&self, args: &[Term]) -> bool {
+        if args.len() != self.arity() {
+            return false;
+        }
+        let mut seen: HashMap<NodeId, Term> = HashMap::new();
+        self.roots
+            .iter()
+            .zip(args)
+            .all(|(&r, t)| self.covers_node(r, t, &mut seen))
+    }
+
+    fn covers_node(&self, id: NodeId, term: &Term, seen: &mut HashMap<NodeId, Term>) -> bool {
+        // Definite sharing: the same node must describe identical terms.
+        if self.shared_count(id) > 1 {
+            if let Some(prev) = seen.get(&id) {
+                if prev != term {
+                    return false;
+                }
+            } else {
+                seen.insert(id, term.clone());
+            }
+        }
+        match &self.nodes[id] {
+            PNode::Leaf(l) => leaf_covers(*l, term),
+            PNode::Int(i) => matches!(term, Term::Int(j) if j == i),
+            PNode::Atom(a) => matches!(term, Term::Atom(b) if b == a),
+            PNode::Struct(f, nodes) => match term {
+                Term::Struct(g, args) if g == f && args.len() == nodes.len() => nodes
+                    .iter()
+                    .zip(args)
+                    .all(|(&n, a)| self.covers_node(n, a, seen)),
+                _ => false,
+            },
+            PNode::List(e) => self.covers_list(*e, term, seen),
+        }
+    }
+
+    fn covers_list(&self, elem: NodeId, term: &Term, seen: &mut HashMap<NodeId, Term>) -> bool {
+        let mut t = term;
+        loop {
+            match t {
+                Term::Atom(_) => {
+                    // Must be `[]`; we cannot resolve the symbol here, so
+                    // accept any arity-0 atom named like nil by checking
+                    // the well-known index.
+                    return is_nil_atom(t);
+                }
+                Term::Struct(f, args) if args.len() == 2 && is_dot_symbol(*f) => {
+                    if !self.covers_node(elem, &args[0], seen) {
+                        return false;
+                    }
+                    t = &args[1];
+                }
+                _ => return false,
+            }
+        }
+    }
+
+    fn shared_count(&self, id: NodeId) -> usize {
+        let mut count = self.roots.iter().filter(|&&r| r == id).count();
+        // Count in-edges plus root references.
+        for node in &self.nodes {
+            match node {
+                PNode::Struct(_, args) => count += args.iter().filter(|&&a| a == id).count(),
+                PNode::List(e) => count += usize::from(*e == id),
+                _ => {}
+            }
+        }
+        count
+    }
+
+    // ----- parsing and display -----
+
+    /// Parse a pattern from one spec string per argument.
+    ///
+    /// Specs: `any`, `nv`, `g`/`ground`, `const`, `atom`, `int`/`integer`,
+    /// `var`, `glist` (= `list(g)`), `ilist` (= `list(int)`),
+    /// `list(<spec>)`, `<integer literal>`.
+    ///
+    /// Returns `None` on an unrecognized spec.
+    pub fn from_spec(specs: &[&str]) -> Option<Pattern> {
+        let mut nodes = Vec::new();
+        let mut roots = Vec::new();
+        for spec in specs {
+            let id = parse_spec(spec.trim(), &mut nodes)?;
+            roots.push(id);
+        }
+        Some(Pattern::new(nodes, roots))
+    }
+
+    /// Render with `interner` for atom names; shared nodes print as
+    /// `#n=…` on first occurrence and `#n` after.
+    pub fn display(&self, interner: &Interner) -> String {
+        let mut printed: HashMap<NodeId, usize> = HashMap::new();
+        let mut next_mark = 0;
+        let args: Vec<String> = self
+            .roots
+            .clone()
+            .into_iter()
+            .map(|r| self.display_node(r, interner, &mut printed, &mut next_mark))
+            .collect();
+        format!("({})", args.join(", "))
+    }
+
+    fn display_node(
+        &self,
+        id: NodeId,
+        interner: &Interner,
+        printed: &mut HashMap<NodeId, usize>,
+        next_mark: &mut usize,
+    ) -> String {
+        let shared = self.shared_count(id) > 1;
+        if shared {
+            if let Some(mark) = printed.get(&id) {
+                return format!("#{mark}");
+            }
+            let mark = *next_mark;
+            *next_mark += 1;
+            printed.insert(id, mark);
+            let body = self.display_body(id, interner, printed, next_mark);
+            return format!("#{mark}={body}");
+        }
+        self.display_body(id, interner, printed, next_mark)
+    }
+
+    fn display_body(
+        &self,
+        id: NodeId,
+        interner: &Interner,
+        printed: &mut HashMap<NodeId, usize>,
+        next_mark: &mut usize,
+    ) -> String {
+        match &self.nodes[id] {
+            PNode::Leaf(l) => l.to_string(),
+            PNode::Int(i) => i.to_string(),
+            PNode::Atom(a) => interner.resolve(*a).to_owned(),
+            PNode::Struct(f, args) => {
+                let name = interner.resolve(*f);
+                let args: Vec<String> = args
+                    .iter()
+                    .map(|&a| self.display_node(a, interner, printed, next_mark))
+                    .collect();
+                if name == "." && args.len() == 2 {
+                    format!("[{}|{}]", args[0], args[1])
+                } else {
+                    format!("{name}({})", args.join(", "))
+                }
+            }
+            PNode::List(e) => {
+                let e = self.display_node(*e, interner, printed, next_mark);
+                if e == "g" {
+                    "glist".to_owned()
+                } else {
+                    format!("list({e})")
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Displays without an interner resolve atoms as `atom#N`.
+        let mut printed = HashMap::new();
+        let mut next_mark = 0;
+        let interner = Interner::new();
+        let args: Vec<String> = self
+            .roots
+            .clone()
+            .into_iter()
+            .map(|r| {
+                if self.symbols_in_range(r, interner.len()) {
+                    self.display_node(r, &interner, &mut printed, &mut next_mark)
+                } else {
+                    format!("<node {r}>")
+                }
+            })
+            .collect();
+        write!(f, "({})", args.join(", "))
+    }
+}
+
+impl Pattern {
+    fn symbols_in_range(&self, id: NodeId, len: usize) -> bool {
+        match &self.nodes[id] {
+            PNode::Atom(a) => a.index() < len,
+            PNode::Struct(f, args) => {
+                f.index() < len && args.iter().all(|&a| self.symbols_in_range(a, len))
+            }
+            PNode::List(e) => self.symbols_in_range(*e, len),
+            _ => true,
+        }
+    }
+}
+
+struct LubCtx<'a> {
+    sides: [&'a Pattern; 2],
+    /// Group → result node; groups are tiny, linear search wins.
+    memo: Vec<(Vec<(usize, NodeId)>, NodeId)>,
+    /// How many distinct groups each source node participates in
+    /// (dense per side).
+    occurrences: [Vec<u8>; 2],
+    out: Pattern,
+    /// For each result node, the group it was built from.
+    result_groups: Vec<Vec<(usize, NodeId)>>,
+}
+
+impl LubCtx<'_> {
+    /// Lub of a group of source nodes (normally one per side; list
+    /// summarization can merge several from one side).
+    fn lub_group(&mut self, mut group: Vec<(usize, NodeId)>) -> NodeId {
+        group.sort_unstable();
+        group.dedup();
+        if let Some((_, id)) = self.memo.iter().find(|(g, _)| g == &group) {
+            return *id;
+        }
+        // Reserve result slot (guards against cycles, preserves sharing).
+        let result = self.out.nodes.len();
+        self.out.nodes.push(PNode::Leaf(AbsLeaf::Any));
+        self.result_groups.push(group.clone());
+        self.memo.push((group.clone(), result));
+        for &(s, n) in &group {
+            self.occurrences[s][n] = self.occurrences[s][n].saturating_add(1);
+        }
+
+        let node = self.compute(&group);
+        self.out.nodes[result] = node;
+        result
+    }
+
+    fn compute(&mut self, group: &[(usize, NodeId)]) -> PNode {
+        let views: Vec<&PNode> = group
+            .iter()
+            .map(|&(s, n)| self.sides[s].node(n))
+            .collect();
+
+        // All identical integers / atoms.
+        if let PNode::Int(i) = views[0] {
+            if views.iter().all(|v| matches!(v, PNode::Int(j) if j == i)) {
+                return PNode::Int(*i);
+            }
+        }
+        if let PNode::Atom(a) = views[0] {
+            if views.iter().all(|v| matches!(v, PNode::Atom(b) if b == a)) {
+                return PNode::Atom(*a);
+            }
+        }
+        // All structs with the same functor (including cons/cons).
+        if let PNode::Struct(f, args0) = views[0] {
+            let arity = args0.len();
+            if views
+                .iter()
+                .all(|v| matches!(v, PNode::Struct(g, a) if g == f && a.len() == arity))
+            {
+                let f = *f;
+                let mut children = Vec::with_capacity(arity);
+                for i in 0..arity {
+                    let child_group: Vec<(usize, NodeId)> = group
+                        .iter()
+                        .map(|&(s, n)| {
+                            let PNode::Struct(_, args) = self.sides[s].node(n) else {
+                                unreachable!()
+                            };
+                            (s, args[i])
+                        })
+                        .collect();
+                    children.push(self.lub_group(child_group));
+                }
+                return PNode::Struct(f, children);
+            }
+        }
+        // All list-shaped (List / nil / cons chains) → α-list.
+        if let Some(elem_groups) = self.try_list_view(group) {
+            if elem_groups.is_empty() {
+                // All nil.
+                return PNode::Atom(nil_symbol());
+            }
+            let elem = self.lub_group(elem_groups);
+            return PNode::List(elem);
+        }
+        // Fallback: leaf lub of primary approximations.
+        let mut leaf = self.sides[group[0].0].leaf_approx(group[0].1);
+        for &(s, n) in &group[1..] {
+            leaf = leaf.lub(self.sides[s].leaf_approx(n));
+        }
+        PNode::Leaf(leaf)
+    }
+
+    /// If every member of the group is list-shaped, return the union of
+    /// their element nodes (to be lubbed into the α parameter). `None` if
+    /// any member is not a (proper-)list shape.
+    fn try_list_view(&self, group: &[(usize, NodeId)]) -> Option<Vec<(usize, NodeId)>> {
+        let mut elems = Vec::new();
+        for &(s, n) in group {
+            self.collect_list_elems(s, n, &mut elems, 0)?;
+        }
+        Some(elems)
+    }
+
+    fn collect_list_elems(
+        &self,
+        side: usize,
+        node: NodeId,
+        elems: &mut Vec<(usize, NodeId)>,
+        depth: usize,
+    ) -> Option<()> {
+        if depth > 64 {
+            return None;
+        }
+        match self.sides[side].node(node) {
+            PNode::List(e) => {
+                elems.push((side, *e));
+                Some(())
+            }
+            PNode::Atom(a) if *a == nil_symbol() => Some(()),
+            PNode::Struct(f, args) if is_dot_symbol(*f) && args.len() == 2 => {
+                elems.push((side, args[0]));
+                self.collect_list_elems(side, args[1], elems, depth + 1)
+            }
+            _ => None,
+        }
+    }
+}
+
+fn leaf_covers(leaf: AbsLeaf, term: &Term) -> bool {
+    use AbsLeaf::*;
+    match leaf {
+        Any => true,
+        Var => matches!(term, Term::Var(_)),
+        NonVar => !matches!(term, Term::Var(_)),
+        Ground => term.is_ground(),
+        Const => matches!(term, Term::Atom(_) | Term::Int(_)),
+        Atom => matches!(term, Term::Atom(_)),
+        Integer => matches!(term, Term::Int(_)),
+    }
+}
+
+/// The well-known `[]` and `'.'` symbols (fixed indices in every
+/// [`Interner`]).
+fn well_known() -> (Symbol, Symbol) {
+    static CELL: std::sync::OnceLock<(usize, usize)> = std::sync::OnceLock::new();
+    let &(nil, dot) = CELL.get_or_init(|| {
+        let i = Interner::new();
+        (i.nil().index(), i.dot().index())
+    });
+    (Symbol::from_index(nil), Symbol::from_index(dot))
+}
+
+/// The well-known `[]` symbol (fixed index in every [`Interner`]).
+pub fn nil_symbol() -> Symbol {
+    well_known().0
+}
+
+/// The well-known `'.'` symbol (fixed index in every [`Interner`]).
+pub fn dot_symbol() -> Symbol {
+    well_known().1
+}
+
+/// Whether `sym` is the well-known `'.'` symbol.
+pub fn is_dot_symbol(sym: Symbol) -> bool {
+    sym == well_known().1
+}
+
+fn is_nil_atom(term: &Term) -> bool {
+    matches!(term, Term::Atom(a) if *a == nil_symbol())
+}
+
+fn parse_spec(spec: &str, nodes: &mut Vec<PNode>) -> Option<NodeId> {
+    let push = |nodes: &mut Vec<PNode>, n: PNode| {
+        nodes.push(n);
+        nodes.len() - 1
+    };
+    if let Ok(i) = spec.parse::<i64>() {
+        return Some(push(nodes, PNode::Int(i)));
+    }
+    let leaf = match spec {
+        "any" => Some(AbsLeaf::Any),
+        "nv" | "nonvar" => Some(AbsLeaf::NonVar),
+        "g" | "ground" => Some(AbsLeaf::Ground),
+        "const" => Some(AbsLeaf::Const),
+        "atom" => Some(AbsLeaf::Atom),
+        "int" | "integer" => Some(AbsLeaf::Integer),
+        "var" => Some(AbsLeaf::Var),
+        _ => None,
+    };
+    if let Some(l) = leaf {
+        return Some(push(nodes, PNode::Leaf(l)));
+    }
+    match spec {
+        "glist" => {
+            let e = push(nodes, PNode::Leaf(AbsLeaf::Ground));
+            Some(push(nodes, PNode::List(e)))
+        }
+        "ilist" => {
+            let e = push(nodes, PNode::Leaf(AbsLeaf::Integer));
+            Some(push(nodes, PNode::List(e)))
+        }
+        "nil" | "[]" => Some(push(nodes, PNode::Atom(nil_symbol()))),
+        _ => {
+            let inner = spec.strip_prefix("list(")?.strip_suffix(')')?;
+            let e = parse_spec(inner, nodes)?;
+            Some(push(nodes, PNode::List(e)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prolog_syntax::parse_term;
+
+    fn spec(s: &[&str]) -> Pattern {
+        Pattern::from_spec(s).expect("valid spec")
+    }
+
+    fn term(src: &str) -> Term {
+        parse_term(src).unwrap().0
+    }
+
+    #[test]
+    fn spec_parsing_and_equality() {
+        assert_eq!(spec(&["glist"]), spec(&["list(g)"]));
+        assert_ne!(spec(&["glist"]), spec(&["list(any)"]));
+        assert_eq!(spec(&["any", "var"]).arity(), 2);
+        assert!(Pattern::from_spec(&["bogus"]).is_none());
+        assert_eq!(spec(&["list(list(int))"]).arity(), 1);
+    }
+
+    #[test]
+    fn canonical_equality_is_structural() {
+        // Build the same shape with scrambled node order.
+        let a = Pattern::new(
+            vec![
+                PNode::Leaf(AbsLeaf::Ground),
+                PNode::List(0),
+            ],
+            vec![1],
+        );
+        let b = Pattern::new(
+            vec![
+                PNode::List(2),
+                PNode::Leaf(AbsLeaf::Atom),
+                PNode::Leaf(AbsLeaf::Ground),
+            ],
+            vec![0],
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sharing_is_part_of_identity() {
+        // (var, var) unshared vs (X, X) shared.
+        let unshared = Pattern::new(
+            vec![PNode::Leaf(AbsLeaf::Var), PNode::Leaf(AbsLeaf::Var)],
+            vec![0, 1],
+        );
+        let shared = Pattern::new(vec![PNode::Leaf(AbsLeaf::Var)], vec![0, 0]);
+        assert_ne!(unshared, shared);
+    }
+
+    #[test]
+    fn lub_of_equal_is_identity() {
+        for s in [
+            vec!["any"],
+            vec!["glist", "var"],
+            vec!["atom", "int", "list(any)"],
+        ] {
+            let p = spec(&s);
+            assert_eq!(p.lub(&p), p, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn lub_leaf_examples() {
+        assert_eq!(spec(&["atom"]).lub(&spec(&["int"])), spec(&["const"]));
+        assert_eq!(spec(&["var"]).lub(&spec(&["g"])), spec(&["any"]));
+        assert_eq!(spec(&["g"]).lub(&spec(&["nv"])), spec(&["nv"]));
+    }
+
+    #[test]
+    fn lub_lists() {
+        assert_eq!(spec(&["glist"]).lub(&spec(&["glist"])), spec(&["glist"]));
+        assert_eq!(
+            spec(&["glist"]).lub(&spec(&["list(any)"])),
+            spec(&["list(any)"])
+        );
+        assert_eq!(spec(&["glist"]).lub(&spec(&["nil"])), spec(&["glist"]));
+        // list vs non-list struct falls back to a leaf.
+        let mut nodes = Vec::new();
+        let a = nodes.len();
+        nodes.push(PNode::Leaf(AbsLeaf::Ground));
+        let f = prolog_syntax::Interner::new().intern("f");
+        let s = PNode::Struct(f, vec![a]);
+        nodes.push(s);
+        let strct = Pattern::new(nodes, vec![1]);
+        assert_eq!(spec(&["glist"]).lub(&strct), spec(&["g"]));
+    }
+
+    #[test]
+    fn lub_cons_with_list_summarizes() {
+        // [g|glist] ⊔ glist = glist
+        let mut nodes = Vec::new();
+        nodes.push(PNode::Leaf(AbsLeaf::Ground)); // 0: g (car)
+        nodes.push(PNode::Leaf(AbsLeaf::Ground)); // 1: g (list elem)
+        nodes.push(PNode::List(1)); // 2: glist (cdr)
+        let dot = prolog_syntax::Interner::new().dot();
+        nodes.push(PNode::Struct(dot, vec![0, 2])); // 3: [g|glist]
+        let cons = Pattern::new(nodes, vec![3]);
+        assert_eq!(cons.lub(&spec(&["glist"])), spec(&["glist"]));
+    }
+
+    #[test]
+    fn lub_keeps_sharing_present_on_both_sides() {
+        let shared = Pattern::new(vec![PNode::Leaf(AbsLeaf::Var)], vec![0, 0]);
+        let joined = shared.lub(&shared);
+        assert_eq!(joined, shared);
+    }
+
+    #[test]
+    fn lub_drops_one_sided_sharing_and_weakens_var() {
+        let shared = Pattern::new(vec![PNode::Leaf(AbsLeaf::Var)], vec![0, 0]);
+        let unshared = Pattern::new(
+            vec![PNode::Leaf(AbsLeaf::Var), PNode::Leaf(AbsLeaf::Var)],
+            vec![0, 1],
+        );
+        let joined = shared.lub(&unshared);
+        // Sharing dropped, and var weakened to any (the dropped alias may
+        // bind through the other occurrence).
+        assert_eq!(joined, spec(&["any", "any"]));
+    }
+
+    #[test]
+    fn lub_is_commutative_and_monotone_on_samples() {
+        let samples = [
+            spec(&["any", "var"]),
+            spec(&["glist", "g"]),
+            spec(&["atom", "int"]),
+            spec(&["nv", "list(any)"]),
+            Pattern::new(vec![PNode::Leaf(AbsLeaf::Var)], vec![0, 0]),
+        ];
+        for p in &samples {
+            for q in &samples {
+                assert_eq!(p.lub(q), q.lub(p));
+                let j = p.lub(q);
+                // lub is an upper bound in the coverage sense: anything
+                // covered by p is covered by j (spot-check with terms).
+                for t in ["f(a)", "[1, 2]", "7", "foo"] {
+                    let t1 = term(t);
+                    let t2 = term(t);
+                    if p.covers(&[t1.clone(), t2.clone()]) {
+                        assert!(j.covers(&[t1, t2]), "{p} ⊑ {j} violated on {t}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn covers_leaves() {
+        assert!(spec(&["any"]).covers(&[term("f(X)")]));
+        assert!(spec(&["g"]).covers(&[term("f(a, [1])")]));
+        assert!(!spec(&["g"]).covers(&[term("f(X)")]));
+        assert!(spec(&["var"]).covers(&[term("X")]));
+        assert!(!spec(&["var"]).covers(&[term("a")]));
+        assert!(spec(&["atom"]).covers(&[term("foo")]));
+        assert!(!spec(&["atom"]).covers(&[term("3")]));
+        assert!(spec(&["const"]).covers(&[term("3")]));
+        assert!(spec(&["nv"]).covers(&[term("f(X)")]));
+    }
+
+    #[test]
+    fn covers_lists() {
+        assert!(spec(&["glist"]).covers(&[term("[1, 2, 3]")]));
+        assert!(spec(&["glist"]).covers(&[term("[]")]));
+        assert!(!spec(&["glist"]).covers(&[term("[1|X]")]));
+        assert!(!spec(&["glist"]).covers(&[term("[X]")]));
+        assert!(spec(&["list(any)"]).covers(&[term("[X, 1]")]));
+        assert!(spec(&["ilist"]).covers(&[term("[1, 2]")]));
+        assert!(!spec(&["ilist"]).covers(&[term("[a]")]));
+    }
+
+    #[test]
+    fn covers_respects_sharing() {
+        let shared = Pattern::new(vec![PNode::Leaf(AbsLeaf::Any)], vec![0, 0]);
+        // Parse both argument terms together so they share one interner.
+        let Term::Struct(_, args) = term("pair(f(a), f(a), g(b))") else {
+            panic!()
+        };
+        assert!(shared.covers(&[args[0].clone(), args[1].clone()]));
+        assert!(!shared.covers(&[args[0].clone(), args[2].clone()]));
+    }
+
+    #[test]
+    fn display_formats() {
+        let interner = Interner::new();
+        assert_eq!(spec(&["glist", "var"]).display(&interner), "(glist, var)");
+        let shared = Pattern::new(vec![PNode::Leaf(AbsLeaf::Var)], vec![0, 0]);
+        assert_eq!(shared.display(&interner), "(#0=var, #0)");
+    }
+
+    #[test]
+    fn ground_subgraphs_are_unshared_by_canonicalization() {
+        // Two roots sharing one ground list node → duplicated.
+        let nodes = vec![PNode::Leaf(AbsLeaf::Ground), PNode::List(0)];
+        let p = Pattern::new(nodes, vec![1, 1]);
+        assert_eq!(p, spec(&["glist", "glist"]));
+    }
+}

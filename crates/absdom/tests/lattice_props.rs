@@ -1,0 +1,184 @@
+//! Property tests for the abstract-domain lattice: lub laws on randomly
+//! generated patterns, and γ-soundness of lub with respect to coverage of
+//! randomly generated concrete terms.
+
+use absdom::{AbsLeaf, PNode, Pattern};
+use proptest::prelude::*;
+use prolog_syntax::{Interner, Term, VarId};
+
+/// Generator for pattern shapes (built into a node arena afterwards).
+#[derive(Clone, Debug)]
+enum Shape {
+    Leaf(u8),
+    Int(i64),
+    Nil,
+    List(Box<Shape>),
+    Struct(u8, Vec<Shape>),
+    Cons(Box<Shape>, Box<Shape>),
+}
+
+fn shape() -> impl Strategy<Value = Shape> {
+    let leaf = prop_oneof![
+        (0u8..7).prop_map(Shape::Leaf),
+        (-5i64..5).prop_map(Shape::Int),
+        Just(Shape::Nil),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|s| Shape::List(Box::new(s))),
+            (0u8..3, prop::collection::vec(inner.clone(), 1..3))
+                .prop_map(|(f, args)| Shape::Struct(f, args)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(h, t)| Shape::Cons(Box::new(h), Box::new(t))),
+        ]
+    })
+}
+
+fn leaf_of(i: u8) -> AbsLeaf {
+    AbsLeaf::ALL[i as usize % AbsLeaf::ALL.len()]
+}
+
+fn functor_symbol(i: u8, interner: &mut Interner) -> prolog_syntax::Symbol {
+    interner.intern(match i % 3 {
+        0 => "f",
+        1 => "g",
+        _ => "h",
+    })
+}
+
+fn build(shape: &Shape, nodes: &mut Vec<PNode>, interner: &mut Interner) -> usize {
+    let node = match shape {
+        Shape::Leaf(i) => PNode::Leaf(leaf_of(*i)),
+        Shape::Int(i) => PNode::Int(*i),
+        Shape::Nil => PNode::Atom(absdom::nil_symbol()),
+        Shape::List(e) => {
+            let e = build(e, nodes, interner);
+            PNode::List(e)
+        }
+        Shape::Struct(f, args) => {
+            let sym = functor_symbol(*f, interner);
+            let args = args.iter().map(|a| build(a, nodes, interner)).collect();
+            PNode::Struct(sym, args)
+        }
+        Shape::Cons(h, t) => {
+            let dot = interner.dot();
+            let h = build(h, nodes, interner);
+            let t = build(t, nodes, interner);
+            PNode::Struct(dot, vec![h, t])
+        }
+    };
+    nodes.push(node);
+    nodes.len() - 1
+}
+
+fn pattern_of(shapes: &[Shape]) -> Pattern {
+    let mut interner = Interner::new();
+    let mut nodes = Vec::new();
+    let roots = shapes
+        .iter()
+        .map(|s| build(s, &mut nodes, &mut interner))
+        .collect();
+    Pattern::new(nodes, roots)
+}
+
+/// Generator for small concrete terms (sharing one global interner layout).
+#[derive(Clone, Debug)]
+enum CShape {
+    Var(u32),
+    Int(i64),
+    Atom(u8),
+    Nil,
+    Struct(u8, Vec<CShape>),
+    ConsList(Vec<CShape>),
+}
+
+fn cshape() -> impl Strategy<Value = CShape> {
+    let leaf = prop_oneof![
+        (0u32..3).prop_map(CShape::Var),
+        (-5i64..5).prop_map(CShape::Int),
+        (0u8..3).prop_map(CShape::Atom),
+        Just(CShape::Nil),
+    ];
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            (0u8..3, prop::collection::vec(inner.clone(), 1..3))
+                .prop_map(|(f, args)| CShape::Struct(f, args)),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(CShape::ConsList),
+        ]
+    })
+}
+
+fn cterm(shape: &CShape, interner: &mut Interner) -> Term {
+    match shape {
+        CShape::Var(v) => Term::Var(VarId(*v)),
+        CShape::Int(i) => Term::Int(*i),
+        CShape::Atom(i) => Term::Atom(functor_symbol(*i, interner)),
+        CShape::Nil => Term::Atom(interner.nil()),
+        CShape::Struct(f, args) => {
+            let sym = functor_symbol(*f, interner);
+            let args = args.iter().map(|a| cterm(a, interner)).collect();
+            Term::Struct(sym, args)
+        }
+        CShape::ConsList(items) => {
+            let items: Vec<Term> = items.iter().map(|i| cterm(i, interner)).collect();
+            Term::list(interner, items)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lub_commutative(a in prop::collection::vec(shape(), 1..3),
+                       b in prop::collection::vec(shape(), 1..3)) {
+        prop_assume!(a.len() == b.len());
+        let (p, q) = (pattern_of(&a), pattern_of(&b));
+        prop_assert_eq!(p.lub(&q), q.lub(&p));
+    }
+
+    #[test]
+    fn lub_idempotent(a in prop::collection::vec(shape(), 1..3)) {
+        let p = pattern_of(&a);
+        prop_assert_eq!(p.lub(&p), p);
+    }
+
+    #[test]
+    fn lub_associative(a in prop::collection::vec(shape(), 1..2),
+                       b in prop::collection::vec(shape(), 1..2),
+                       c in prop::collection::vec(shape(), 1..2)) {
+        prop_assume!(a.len() == b.len() && b.len() == c.len());
+        let (p, q, r) = (pattern_of(&a), pattern_of(&b), pattern_of(&c));
+        prop_assert_eq!(p.lub(&q).lub(&r), p.lub(&q.lub(&r)));
+    }
+
+    #[test]
+    fn canonicalization_stable(a in prop::collection::vec(shape(), 1..4)) {
+        let p = pattern_of(&a);
+        // Pattern::new canonicalizes; re-wrapping must be a fixpoint.
+        let q = Pattern::new(p.nodes().to_vec(),
+                             (0..p.arity()).map(|i| p.root(i)).collect());
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn lub_is_upper_bound_for_coverage(a in shape(), b in shape(),
+                                       t in cshape()) {
+        let p = pattern_of(std::slice::from_ref(&a));
+        let q = pattern_of(std::slice::from_ref(&b));
+        let mut interner = Interner::new();
+        let term = cterm(&t, &mut interner);
+        let j = p.lub(&q);
+        if p.covers(std::slice::from_ref(&term)) || q.covers(std::slice::from_ref(&term)) {
+            prop_assert!(j.covers(std::slice::from_ref(&term)),
+                "lub {} does not cover a term covered by an operand", j);
+        }
+    }
+
+    #[test]
+    fn lub_never_panics_on_mixed_arity_roots(a in prop::collection::vec(shape(), 2..4)) {
+        let p = pattern_of(&a);
+        let q = pattern_of(&a);
+        let _ = p.lub(&q);
+    }
+}

@@ -1,0 +1,495 @@
+//! The meta-interpreter with extension-table control.
+
+use crate::store::{Ref, Store};
+use absdom::{AbsLeaf, Pattern, DEFAULT_TERM_DEPTH};
+use prolog_syntax::{PredKey, Program, Term};
+use std::collections::HashMap;
+use std::fmt;
+use wam::builtins::Builtin;
+use wam::norm::{normalize_program, Goal, NormClause, NormError, NormProgram};
+
+/// An error produced by the baseline analyzer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BaselineError {
+    /// Normalization failed (metacall etc.).
+    Norm(String),
+    /// Unknown entry predicate.
+    UnknownPredicate {
+        /// `name/arity` of the missing predicate.
+        pred: String,
+    },
+    /// A goal calls an undefined predicate.
+    UndefinedPredicate {
+        /// `name/arity` of the missing predicate.
+        pred: String,
+    },
+    /// Unrecognized entry pattern spec.
+    BadSpec(String),
+    /// The exploration recursion exceeded its safety bound.
+    DepthLimit,
+    /// The fixpoint iteration exceeded its safety bound.
+    IterationLimit,
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Norm(e) => write!(f, "{e}"),
+            BaselineError::UnknownPredicate { pred } => {
+                write!(f, "unknown entry predicate {pred}")
+            }
+            BaselineError::UndefinedPredicate { pred } => {
+                write!(f, "call to undefined predicate {pred}")
+            }
+            BaselineError::BadSpec(s) => write!(f, "unrecognized pattern spec `{s}`"),
+            BaselineError::DepthLimit => write!(f, "exploration depth limit exceeded"),
+            BaselineError::IterationLimit => write!(f, "fixpoint iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<NormError> for BaselineError {
+    fn from(e: NormError) -> Self {
+        BaselineError::Norm(e.to_string())
+    }
+}
+
+/// Analysis result of one predicate.
+#[derive(Debug, Clone)]
+pub struct BaselinePred {
+    /// `name/arity`.
+    pub name: String,
+    /// Arity.
+    pub arity: usize,
+    /// `(calling pattern, success pattern)` entries.
+    pub entries: Vec<(Pattern, Option<Pattern>)>,
+}
+
+/// The result of a baseline analysis run.
+#[derive(Debug, Clone)]
+pub struct BaselineAnalysis {
+    /// Per-predicate results (only predicates that were called).
+    pub predicates: Vec<BaselinePred>,
+    /// Global fixpoint iterations.
+    pub iterations: u64,
+    /// Goal reductions performed (the interpreter's unit of work).
+    pub goals_executed: u64,
+    /// Abstract unification steps performed.
+    pub unify_steps: u64,
+}
+
+impl BaselineAnalysis {
+    /// The analysis of `name/arity`, if reached.
+    pub fn predicate(&self, name: &str, arity: usize) -> Option<&BaselinePred> {
+        self.predicates
+            .iter()
+            .find(|p| p.name == format!("{name}/{arity}"))
+    }
+}
+
+#[derive(Clone, Debug)]
+struct EtEntry {
+    call: Pattern,
+    success: Option<Pattern>,
+    explored_iter: u64,
+}
+
+/// The meta-interpreting analyzer.
+///
+/// See the [crate documentation](crate) for context and an example.
+#[derive(Debug)]
+pub struct BaselineAnalyzer {
+    norm: NormProgram,
+    pred_ids: HashMap<PredKey, usize>,
+    depth_k: usize,
+}
+
+impl BaselineAnalyzer {
+    /// Normalize `program` for interpretation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates normalization errors (e.g. metacalls).
+    pub fn new(program: &Program) -> Result<BaselineAnalyzer, BaselineError> {
+        let norm = normalize_program(program)?;
+        let pred_ids = norm
+            .predicates
+            .iter()
+            .enumerate()
+            .map(|(i, (k, _))| (*k, i))
+            .collect();
+        Ok(BaselineAnalyzer {
+            norm,
+            pred_ids,
+            depth_k: DEFAULT_TERM_DEPTH,
+        })
+    }
+
+    /// Set the term-depth restriction.
+    #[must_use]
+    pub fn with_depth(mut self, depth_k: usize) -> BaselineAnalyzer {
+        self.depth_k = depth_k;
+        self
+    }
+
+    /// The interner (for display).
+    pub fn interner(&self) -> &prolog_syntax::Interner {
+        &self.norm.interner
+    }
+
+    /// Analyze from `name` with entry pattern given as spec strings.
+    ///
+    /// # Errors
+    ///
+    /// See [`BaselineError`].
+    pub fn analyze_query(
+        &mut self,
+        name: &str,
+        specs: &[&str],
+    ) -> Result<BaselineAnalysis, BaselineError> {
+        let entry = Pattern::from_spec(specs)
+            .ok_or_else(|| BaselineError::BadSpec(specs.join(", ")))?;
+        self.analyze(name, &entry)
+    }
+
+    /// Analyze from `name` with the given entry calling pattern.
+    ///
+    /// # Errors
+    ///
+    /// See [`BaselineError`].
+    pub fn analyze(
+        &mut self,
+        name: &str,
+        entry: &Pattern,
+    ) -> Result<BaselineAnalysis, BaselineError> {
+        let sym = self.norm.interner.lookup(name);
+        let pred = sym
+            .and_then(|name| {
+                self.pred_ids.get(&PredKey {
+                    name,
+                    arity: entry.arity(),
+                })
+            })
+            .copied()
+            .ok_or_else(|| BaselineError::UnknownPredicate {
+                pred: format!("{name}/{}", entry.arity()),
+            })?;
+        let mut interp = Interp {
+            norm: &self.norm,
+            pred_ids: &self.pred_ids,
+            store: Store::new(),
+            table: vec![Vec::new(); self.norm.predicates.len()],
+            iter: 0,
+            changed: false,
+            goals: 0,
+            depth_k: self.depth_k,
+        };
+        let iterations = interp.run_to_fixpoint(pred, entry)?;
+        let mut predicates = Vec::new();
+        for (i, (key, _)) in self.norm.predicates.iter().enumerate() {
+            if interp.table[i].is_empty() {
+                continue;
+            }
+            predicates.push(BaselinePred {
+                name: key.display(&self.norm.interner),
+                arity: key.arity,
+                entries: interp.table[i]
+                    .iter()
+                    .map(|e| (e.call.clone(), e.success.clone()))
+                    .collect(),
+            });
+        }
+        Ok(BaselineAnalysis {
+            predicates,
+            iterations,
+            goals_executed: interp.goals,
+            unify_steps: interp.store.unify_steps,
+        })
+    }
+}
+
+struct Interp<'a> {
+    norm: &'a NormProgram,
+    pred_ids: &'a HashMap<PredKey, usize>,
+    store: Store,
+    table: Vec<Vec<EtEntry>>,
+    iter: u64,
+    changed: bool,
+    goals: u64,
+    depth_k: usize,
+}
+
+impl Interp<'_> {
+    fn run_to_fixpoint(&mut self, pred: usize, entry: &Pattern) -> Result<u64, BaselineError> {
+        const MAX_ITERS: u64 = 10_000;
+        loop {
+            self.iter += 1;
+            if self.iter > MAX_ITERS {
+                return Err(BaselineError::IterationLimit);
+            }
+            self.changed = false;
+            self.store = Store::new();
+            let roots = self.store.materialize(entry);
+            self.solve(pred, &roots, 0)?;
+            if !self.changed {
+                return Ok(self.iter);
+            }
+        }
+    }
+
+    fn find_entry(&self, pred: usize, cp: &Pattern) -> Option<usize> {
+        // Linear scan — the assert-database technique of [23, 17].
+        self.table[pred].iter().position(|e| &e.call == cp)
+    }
+
+    fn solve(&mut self, pred: usize, args: &[Ref], depth: usize) -> Result<bool, BaselineError> {
+        if depth > 2_000 {
+            return Err(BaselineError::DepthLimit);
+        }
+        let cp = self.store.extract(args, self.depth_k);
+        let idx = match self.find_entry(pred, &cp) {
+            Some(idx) => {
+                let entry = &self.table[pred][idx];
+                if entry.explored_iter == self.iter {
+                    let success = entry.success.clone();
+                    return Ok(match success {
+                        Some(sp) => self.apply_success(args, &sp),
+                        None => false,
+                    });
+                }
+                self.table[pred][idx].explored_iter = self.iter;
+                idx
+            }
+            None => {
+                self.table[pred].push(EtEntry {
+                    call: cp.clone(),
+                    success: None,
+                    explored_iter: self.iter,
+                });
+                self.table[pred].len() - 1
+            }
+        };
+
+        let num_clauses = self.norm.predicates[pred].1.len();
+        for ci in 0..num_clauses {
+            let mark = self.store.mark();
+            let roots = self.store.materialize(&cp);
+            let ok = self.try_clause(pred, ci, &roots, depth)?;
+            if ok {
+                let sp = self.store.extract(&roots, self.depth_k);
+                self.update_success(pred, idx, sp);
+            }
+            self.store.undo_to(mark);
+        }
+
+        let success = self.table[pred][idx].success.clone();
+        match success {
+            Some(sp) => Ok(self.apply_success(args, &sp)),
+            None => Ok(false),
+        }
+    }
+
+    fn try_clause(
+        &mut self,
+        pred: usize,
+        ci: usize,
+        roots: &[Ref],
+        depth: usize,
+    ) -> Result<bool, BaselineError> {
+        // Clause renaming: a fresh variable frame per activation.
+        let clause: &NormClause = &self.norm.predicates[pred].1[ci];
+        let num_vars = clause.num_vars.max(
+            clause
+                .head_args
+                .iter()
+                .chain(clause.goals.iter().flat_map(|g| g.args().iter()))
+                .flat_map(Term::variables)
+                .map(|v| v.index() + 1)
+                .max()
+                .unwrap_or(0),
+        );
+        let mut frame: Vec<Option<Ref>> = vec![None; num_vars];
+        // General head unification, argument by argument.
+        let head_args = clause.head_args.clone();
+        for (term, &root) in head_args.iter().zip(roots) {
+            self.goals += 1;
+            if !self.store.unify_term(term, root, &mut frame) {
+                return Ok(false);
+            }
+        }
+        // Body goals in order.
+        let goals = clause.goals.clone();
+        for goal in &goals {
+            self.goals += 1;
+            match goal {
+                Goal::Cut => {} // sound over-approximation: true
+                Goal::Builtin(b, args) => {
+                    let refs: Vec<Ref> = args
+                        .iter()
+                        .map(|t| self.build_arg(t, &mut frame))
+                        .collect();
+                    if !self.abstract_builtin(*b, &refs) {
+                        return Ok(false);
+                    }
+                }
+                Goal::Call(key, args) => {
+                    let callee = *self.pred_ids.get(key).ok_or_else(|| {
+                        BaselineError::UndefinedPredicate {
+                            pred: key.display(&self.norm.interner),
+                        }
+                    })?;
+                    let refs: Vec<Ref> = args
+                        .iter()
+                        .map(|t| self.build_arg(t, &mut frame))
+                        .collect();
+                    if !self.solve(callee, &refs, depth + 1)? {
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    fn build_arg(&mut self, term: &Term, frame: &mut [Option<Ref>]) -> Ref {
+        self.store.build(term, frame)
+    }
+
+    fn apply_success(&mut self, args: &[Ref], sp: &Pattern) -> bool {
+        let cells = self.store.materialize(sp);
+        args.iter().zip(cells).all(|(&a, c)| self.store.unify(a, c))
+    }
+
+    fn update_success(&mut self, pred: usize, idx: usize, sp: Pattern) {
+        let entry = &mut self.table[pred][idx];
+        let new = match &entry.success {
+            Some(old) => old.lub(&sp),
+            None => sp,
+        };
+        if entry.success.as_ref() != Some(&new) {
+            entry.success = Some(new);
+            self.changed = true;
+        }
+    }
+
+    fn abstract_builtin(&mut self, b: Builtin, args: &[Ref]) -> bool {
+        use Builtin::*;
+        let store = &mut self.store;
+        match b {
+            True | Nl | Halt | Write | Tab => true,
+            Fail => false,
+            Is => {
+                if !store.constrain(args[1], AbsLeaf::Ground) {
+                    return false;
+                }
+                let i = store.alloc(crate::store::BNode::Leaf(AbsLeaf::Integer));
+                store.unify(args[0], i)
+            }
+            Lt | Gt | Le | Ge | ArithEq | ArithNe => {
+                store.constrain(args[0], AbsLeaf::Ground)
+                    && store.constrain(args[1], AbsLeaf::Ground)
+            }
+            Unify => store.unify(args[0], args[1]),
+            NotUnify | StructEq | StructNe | TermLt | TermGt | TermLe | TermGe => true,
+            Var => match store.node(args[0]).clone() {
+                crate::store::BNode::Free => true,
+                crate::store::BNode::Leaf(t) if t.meet(AbsLeaf::Var).is_some() => {
+                    // `any ⊓ var = var`, which the store represents as a
+                    // free node; narrow accordingly.
+                    store.narrow_free(args[0]);
+                    true
+                }
+                _ => false,
+            },
+            Nonvar => self.type_test(args[0], AbsLeaf::NonVar),
+            Atom => self.type_test(args[0], AbsLeaf::Atom),
+            Integer | Number => self.type_test(args[0], AbsLeaf::Integer),
+            Atomic => self.type_test(args[0], AbsLeaf::Const),
+            Compound => matches!(
+                self.store.node(args[0]),
+                crate::store::BNode::Struct(..) | crate::store::BNode::ListOf(_)
+            ) || matches!(
+                self.store.node(args[0]),
+                crate::store::BNode::Leaf(l) if l.admits_struct() || l.admits_list()
+            ),
+            FunctorOf => {
+                let c = self.store.alloc(crate::store::BNode::Leaf(AbsLeaf::Const));
+                let i = self.store.alloc(crate::store::BNode::Leaf(AbsLeaf::Integer));
+                self.store.unify(args[1], c) && self.store.unify(args[2], i)
+            }
+            Arg => {
+                let a = self.store.alloc(crate::store::BNode::Leaf(AbsLeaf::Any));
+                self.store.unify(args[2], a)
+            }
+        }
+    }
+
+    fn type_test(&mut self, r: Ref, leaf: AbsLeaf) -> bool {
+        match self.store.node(r) {
+            crate::store::BNode::Free => false,
+            _ => self.store.constrain(r, leaf),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prolog_syntax::parse_program;
+
+    fn analyze(src: &str, pred: &str, specs: &[&str]) -> BaselineAnalysis {
+        let program = parse_program(src).unwrap();
+        BaselineAnalyzer::new(&program)
+            .unwrap()
+            .analyze_query(pred, specs)
+            .unwrap()
+    }
+
+    #[test]
+    fn append_analysis() {
+        let a = analyze(
+            "app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).",
+            "app",
+            &["glist", "glist", "var"],
+        );
+        let app = a.predicate("app", 3).unwrap();
+        let (_, success) = &app.entries[0];
+        let s = success.as_ref().unwrap();
+        assert!(s.node_is_ground(s.root(2)));
+    }
+
+    #[test]
+    fn nrev_terminates() {
+        let a = analyze(
+            "
+            nrev([], []).
+            nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+            app([], L, L).
+            app([H|T], L, [H|R]) :- app(T, L, R).
+            ",
+            "nrev",
+            &["glist", "var"],
+        );
+        assert!(a.iterations < 10);
+        assert!(a.goals_executed > 0);
+        let nrev = a.predicate("nrev", 2).unwrap();
+        let s = nrev.entries[0].1.as_ref().unwrap();
+        assert!(s.node_is_ground(s.root(1)));
+    }
+
+    #[test]
+    fn failure_detected() {
+        let a = analyze("p(X) :- q(X), r(X). q(1). r(a).", "p", &["var"]);
+        let p = a.predicate("p", 1).unwrap();
+        assert!(p.entries[0].1.is_none());
+    }
+
+    #[test]
+    fn unknown_pred_is_error() {
+        let program = parse_program("p.").unwrap();
+        let mut b = BaselineAnalyzer::new(&program).unwrap();
+        assert!(b.analyze_query("q", &[]).is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! The Table 1 benchmark suite: the eleven classic Warren/PLM programs
+//! the paper evaluates on, their analysis entry points, and the numbers
+//! the paper reports (for side-by-side printing in the harness).
+//!
+//! The program texts are reconstructions of the classic benchmark suite
+//! (Warren 1977 / Van Roy's PLM report); the `Args`/`Preds` columns of the
+//! paper's Table 1 validate the reconstruction — see the crate tests.
+//!
+//! # Examples
+//!
+//! ```
+//! let suite = bench_suite::all();
+//! assert_eq!(suite.len(), 11);
+//! let tak = bench_suite::by_name("tak").unwrap();
+//! let program = tak.parse()?;
+//! assert_eq!(program.num_predicates(), tak.paper.preds);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+use prolog_syntax::{parse_program, ParseError, Program};
+
+/// The numbers the paper's Table 1 reports for one benchmark.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PaperRow {
+    /// Total argument places over all predicates (`Args`).
+    pub args: usize,
+    /// Number of predicates (`Preds`).
+    pub preds: usize,
+    /// Aquarius analyzer time on a Sun 3/60, seconds.
+    pub aquarius_sec: f64,
+    /// PLM compilation time, seconds.
+    pub plm_sec: f64,
+    /// Static WAM code size (instructions).
+    pub size: usize,
+    /// Abstract WAM instructions executed during analysis.
+    pub exec: u64,
+    /// The paper's analyzer time, milliseconds.
+    pub ours_msec: f64,
+    /// Speed-up factor over Aquarius.
+    pub speedup: f64,
+}
+
+/// One benchmark: source text, analysis entry, and the paper's row.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// The Table 1 name.
+    pub name: &'static str,
+    /// Prolog source text.
+    pub source: &'static str,
+    /// Entry predicate for analysis and concrete execution (arity 0
+    /// drivers throughout, like the paper's top-level goals).
+    pub entry: &'static str,
+    /// Entry calling-pattern specs (empty for the arity-0 drivers).
+    pub entry_specs: &'static [&'static str],
+    /// The paper's reported numbers.
+    pub paper: PaperRow,
+}
+
+impl Benchmark {
+    /// Parse the source text.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the embedded sources (tested); the `Result` is for
+    /// API uniformity with user-supplied programs.
+    pub fn parse(&self) -> Result<Program, ParseError> {
+        parse_program(self.source)
+    }
+}
+
+macro_rules! benchmarks {
+    ($($name:literal => {
+        files: [$($file:literal),+],
+        entry: $entry:literal,
+        paper: [$args:literal, $preds:literal, $aq:literal, $plm:literal,
+                $size:literal, $exec:literal, $ours:literal, $speedup:literal],
+    })*) => {
+        /// All eleven benchmarks, in Table 1 order.
+        pub fn all() -> Vec<Benchmark> {
+            vec![
+                $(Benchmark {
+                    name: $name,
+                    source: concat!($(include_str!(concat!("programs/", $file)), "\n"),+),
+                    entry: $entry,
+                    entry_specs: &[],
+                    paper: PaperRow {
+                        args: $args,
+                        preds: $preds,
+                        aquarius_sec: $aq,
+                        plm_sec: $plm,
+                        size: $size,
+                        exec: $exec,
+                        ours_msec: $ours,
+                        speedup: $speedup,
+                    },
+                },)*
+            ]
+        }
+    };
+}
+
+benchmarks! {
+    "log10" => {
+        files: ["log10.pl", "deriv.pl"],
+        entry: "log10",
+        paper: [3, 2, 2.9, 4.5, 179, 749, 38.6, 75.0],
+    }
+    "ops8" => {
+        files: ["ops8.pl", "deriv.pl"],
+        entry: "ops8",
+        paper: [3, 2, 3.0, 4.5, 180, 400, 23.3, 129.0],
+    }
+    "times10" => {
+        files: ["times10.pl", "deriv.pl"],
+        entry: "times10",
+        paper: [3, 2, 3.0, 4.5, 186, 971, 48.4, 62.0],
+    }
+    "divide10" => {
+        files: ["divide10.pl", "deriv.pl"],
+        entry: "divide10",
+        paper: [3, 2, 2.9, 4.6, 186, 1043, 50.7, 57.0],
+    }
+    "tak" => {
+        files: ["tak.pl"],
+        entry: "tak",
+        paper: [4, 2, 2.3, 1.2, 53, 110, 4.0, 575.0],
+    }
+    "nreverse" => {
+        files: ["nreverse.pl"],
+        entry: "nreverse",
+        paper: [5, 3, 2.2, 1.6, 99, 479, 26.7, 82.0],
+    }
+    "qsort" => {
+        files: ["qsort.pl"],
+        entry: "qsort",
+        paper: [7, 3, 3.4, 2.5, 164, 763, 44.0, 77.0],
+    }
+    "query" => {
+        files: ["query.pl"],
+        entry: "query",
+        paper: [7, 5, 4.2, 4.3, 264, 626, 25.8, 163.0],
+    }
+    "zebra" => {
+        files: ["zebra.pl"],
+        entry: "zebra",
+        paper: [9, 5, 3.5, 7.5, 271, 1262, 257.9, 14.0],
+    }
+    "serialise" => {
+        files: ["serialise.pl"],
+        entry: "serialise",
+        paper: [16, 7, 4.2, 3.6, 205, 912, 53.4, 79.0],
+    }
+    "queens_8" => {
+        files: ["queens_8.pl"],
+        entry: "queens_8",
+        paper: [16, 7, 6.0, 3.1, 117, 324, 16.5, 364.0],
+    }
+}
+
+/// Look up a benchmark by its Table 1 name.
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    all().into_iter().find(|b| b.name == name)
+}
+
+/// The paper's Table 2 platform speed indices, relative to the Sun 3/60
+/// implementation (`Ours 3/60` = 1). Used by the Table 2 regenerator.
+pub const TABLE2_PLATFORMS: &[(&str, f64)] = &[
+    ("Aquarius 3/60", 0.007),
+    ("Ours 3/60", 1.0),
+    ("Mac IIx TC 4.0", 0.50),
+    ("uVax 3100", 0.58),
+    ("Vax 8530", 1.2),
+    ("DecS 3100", 3.7),
+    ("SS1+", 5.21),
+    ("DecS 5000", 6.8),
+    ("SS2", 9.0),
+];
+
+/// The paper's Table 2 per-benchmark speed ratios (rows, in `all()` order;
+/// columns in [`TABLE2_PLATFORMS`] order, starting from `Ours 3/60`).
+pub const TABLE2_RATIOS: &[(&str, [f64; 8])] = &[
+    ("log10", [75.0, 37.0, 49.0, 86.0, 284.0, 363.0, 500.0, 630.0]),
+    ("ops8", [129.0, 63.0, 59.0, 139.0, 469.0, 612.0, 833.0, 1034.0]),
+    ("times10", [62.0, 30.0, 37.0, 71.0, 231.0, 294.0, 400.0, 500.0]),
+    ("divide10", [57.0, 28.0, 34.0, 65.0, 215.0, 266.0, 372.0, 453.0]),
+    ("tak", [575.0, 288.0, 383.0, 639.0, 2091.0, 3286.0, 3833.0, 5750.0]),
+    ("nreverse", [82.0, 41.0, 56.0, 108.0, 297.0, 333.0, 595.0, 579.0]),
+    ("qsort", [77.0, 38.0, 45.0, 95.0, 281.0, 318.0, 548.0, 540.0]),
+    ("query", [163.0, 84.0, 60.0, 183.0, 618.0, 894.0, 1167.0, 1556.0]),
+    ("zebra", [14.0, 5.7, 9.4, 16.0, 55.0, 63.0, 95.0, 107.0]),
+    ("serialise", [79.0, 39.0, 47.0, 94.0, 296.0, 375.0, 538.0, 656.0]),
+    ("queens_8", [364.0, 182.0, 200.0, 448.0, 1364.0, 1935.0, 2500.0, 3333.0]),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sources_parse() {
+        for b in all() {
+            let program = b.parse().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert!(!program.clauses.is_empty(), "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn args_and_preds_match_table_1() {
+        // The Args/Preds columns of the paper validate that the
+        // reconstructed sources have the right shape.
+        for b in all() {
+            let program = b.parse().unwrap();
+            assert_eq!(
+                program.num_predicates(),
+                b.paper.preds,
+                "{}: predicate count",
+                b.name
+            );
+            assert_eq!(
+                program.total_arg_places(),
+                b.paper.args,
+                "{}: argument places",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn entries_exist() {
+        for b in all() {
+            let program = b.parse().unwrap();
+            let found = program.predicate_index().iter().any(|(k, _)| {
+                program.interner.resolve(k.name) == b.entry && k.arity == b.entry_specs.len()
+            });
+            assert!(found, "{}: entry {} missing", b.name, b.entry);
+        }
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for b in all() {
+            assert_eq!(by_name(b.name).unwrap().name, b.name);
+        }
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn table2_is_consistent_with_suite() {
+        assert_eq!(TABLE2_RATIOS.len(), all().len());
+        for ((name, _), b) in TABLE2_RATIOS.iter().zip(all()) {
+            assert_eq!(*name, b.name);
+        }
+    }
+
+    #[test]
+    fn all_programs_compile_to_wam() {
+        for b in all() {
+            let program = b.parse().unwrap();
+            let compiled = wam::compile_program(&program)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert!(compiled.code_size() > 10, "{}", b.name);
+        }
+    }
+}

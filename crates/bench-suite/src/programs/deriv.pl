@@ -1,0 +1,14 @@
+% Symbolic differentiation — the classic `deriv` benchmark (Warren 1977).
+% The four Table 1 programs log10 / ops8 / times10 / divide10 are this
+% d/3 plus one driver each; the drivers live in sibling files.
+
+d(U + V, X, DU + DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U - V, X, DU - DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U * V, X, DU * V + U * DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U / V, X, (DU * V - U * DV) / (V * V)) :- !, d(U, X, DU), d(V, X, DV).
+d(U ^ N, X, DU * N * U ^ N1) :- !, integer(N), N1 is N - 1, d(U, X, DU).
+d(- U, X, - DU) :- !, d(U, X, DU).
+d(exp(U), X, exp(U) * DU) :- !, d(U, X, DU).
+d(log(U), X, DU / U) :- !, d(U, X, DU).
+d(X, X, 1) :- !.
+d(_, _, 0).

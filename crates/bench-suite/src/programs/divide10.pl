@@ -1,0 +1,1 @@
+divide10 :- d(((((((((x / x) / x) / x) / x) / x) / x) / x) / x) / x, x, _).

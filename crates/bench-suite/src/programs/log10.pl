@@ -1,0 +1,1 @@
+log10 :- d(log(log(log(log(log(log(log(log(log(log(x)))))))))), x, _).

@@ -1,0 +1,23 @@
+% Eight queens by permutation generation with attack checking.
+
+queens_8 :- queens(8, _).
+
+queens(N, Qs) :- range(1, N, Ns), queens(Ns, [], Qs).
+
+queens([], Qs, Qs).
+queens(UnplacedQs, SafeQs, Qs) :-
+    sel(UnplacedQs, UnplacedQs1, Q),
+    \+ attack(Q, SafeQs),
+    queens(UnplacedQs1, [Q|SafeQs], Qs).
+
+attack(X, Xs) :- attack(X, 1, Xs).
+
+attack(X, N, [Y|_]) :- X is Y + N.
+attack(X, N, [Y|_]) :- X is Y - N.
+attack(X, N, [_|Ys]) :- N1 is N + 1, attack(X, N1, Ys).
+
+range(N, N, [N]) :- !.
+range(M, N, [M|Ns]) :- M < N, M1 is M + 1, range(M1, N, Ns).
+
+sel([X|Xs], Xs, X).
+sel([Y|Ys], [Y|Zs], X) :- sel(Ys, Zs, X).

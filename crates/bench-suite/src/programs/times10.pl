@@ -1,0 +1,1 @@
+times10 :- d(((((((((x * x) * x) * x) * x) * x) * x) * x) * x) * x, x, _).

@@ -1,0 +1,31 @@
+% The five-houses ("zebra") puzzle: heavy backtracking over partially
+% instantiated structures — the analyzer's worst case in Table 1.
+
+zebra :- houses(_).
+
+houses(Hs) :-
+    Hs = [h(norwegian, _, _, _, _), _, h(_, _, _, milk, _), _, _],
+    member(h(english, red, _, _, _), Hs),
+    member(h(spanish, _, dog, _, _), Hs),
+    member(h(_, green, _, coffee, _), Hs),
+    member(h(ukrainian, _, _, tea, _), Hs),
+    right_of(h(_, green, _, _, _), h(_, ivory, _, _, _), Hs),
+    member(h(_, _, snails, _, oldgold), Hs),
+    member(h(_, yellow, _, _, kools), Hs),
+    next_to(h(_, _, _, _, chesterfields), h(_, _, fox, _, _), Hs),
+    next_to(h(_, _, _, _, kools), h(_, _, horse, _, _), Hs),
+    member(h(_, _, _, orange_juice, lucky_strike), Hs),
+    member(h(japanese, _, _, _, parliaments), Hs),
+    next_to(h(norwegian, _, _, _, _), h(_, blue, _, _, _), Hs),
+    member(h(_, _, zebra, _, _), Hs),
+    member(h(_, _, _, water, _), Hs).
+
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+right_of(R, L, [L, R | _]).
+right_of(R, L, [_ | T]) :- right_of(R, L, T).
+
+next_to(X, Y, [X, Y | _]).
+next_to(X, Y, [Y, X | _]).
+next_to(X, Y, [_ | T]) :- next_to(X, Y, T).

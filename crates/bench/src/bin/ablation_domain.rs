@@ -1,0 +1,106 @@
+//! Ablation C: domain precision versus analysis time — the trade-off the
+//! paper's §7 discusses ("it becomes a design tradeoff between time and
+//! precision of the analysis"). The full domain is compared against
+//! versions with aliasing, list types, or structure types disabled, and
+//! against the coarse leaves-only domain.
+
+use absdom::{DomainConfig, Pattern};
+use awam_core::Analyzer;
+
+const CONFIGS: &[(&str, DomainConfig)] = &[
+    ("full", DomainConfig::FULL),
+    (
+        "-alias",
+        DomainConfig {
+            aliasing: false,
+            list_types: true,
+            struct_types: true,
+        },
+    ),
+    (
+        "-lists",
+        DomainConfig {
+            aliasing: true,
+            list_types: false,
+            struct_types: true,
+        },
+    ),
+    (
+        "-structs",
+        DomainConfig {
+            aliasing: true,
+            list_types: true,
+            struct_types: false,
+        },
+    ),
+    (
+        "leaves",
+        DomainConfig {
+            aliasing: false,
+            list_types: false,
+            struct_types: false,
+        },
+    ),
+];
+
+fn main() {
+    println!("Ablation C — domain precision vs. time (paper §7)\n");
+    println!(
+        "{:<10} {:>9} {:>10} {:>7} {:>8} {:>9} {:>10}",
+        "Benchmark", "config", "time(us)", "Exec", "entries", "ground%", "list-typed"
+    );
+    println!("{}", "-".repeat(70));
+    for b in bench_suite::all() {
+        let program = b.parse().expect("parse");
+        let entry = Pattern::from_spec(b.entry_specs).expect("entry");
+        for (name, config) in CONFIGS {
+            let mut analyzer = Analyzer::compile(&program)
+                .expect("compile")
+                .with_domain_config(*config);
+            let analysis = match analyzer.analyze(b.entry, &entry) {
+                Ok(a) => a,
+                Err(e) => {
+                    println!("{:<10} {:>9} {e}", b.name, name);
+                    continue;
+                }
+            };
+            // Precision metrics over all success patterns: proportion of
+            // argument positions proven ground, and list-typed positions.
+            let mut positions = 0usize;
+            let mut ground = 0usize;
+            let mut listy = 0usize;
+            let mut entries = 0usize;
+            for pred in &analysis.predicates {
+                entries += pred.entries.len();
+                for (_, success) in &pred.entries {
+                    let Some(s) = success else { continue };
+                    for i in 0..s.arity() {
+                        positions += 1;
+                        if s.node_is_ground(s.root(i)) {
+                            ground += 1;
+                        }
+                        if matches!(s.node(s.root(i)), absdom::PNode::List(_)) {
+                            listy += 1;
+                        }
+                    }
+                }
+            }
+            let us = awam_bench::time_us(
+                || {
+                    let _ = analyzer.analyze(b.entry, &entry).expect("analysis");
+                },
+                15,
+            );
+            let pct = if positions == 0 {
+                0.0
+            } else {
+                100.0 * ground as f64 / positions as f64
+            };
+            println!(
+                "{:<10} {:>9} {:>10.1} {:>7} {:>8} {:>8.0}% {:>10}",
+                b.name, name, us, analysis.instructions_executed, entries, pct, listy
+            );
+        }
+        println!();
+    }
+}

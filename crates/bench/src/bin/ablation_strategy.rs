@@ -1,0 +1,45 @@
+//! Ablation D: the paper's global-restart fixpoint iteration versus the
+//! semi-naive worklist its §6 anticipates ("plenty of room left for more
+//! improvements in performance based on better algorithms").
+
+use absdom::Pattern;
+use awam_core::{Analyzer, IterationStrategy};
+
+fn main() {
+    println!("Ablation D — fixpoint iteration strategy (paper: global restart)\n");
+    println!(
+        "{:<10} {:>12} {:>13} {:>8} | {:>10} {:>10}",
+        "Benchmark", "restart(us)", "worklist(us)", "speedup", "exec(rst)", "exec(wkl)"
+    );
+    println!("{}", "-".repeat(72));
+    let mut total = 0.0;
+    let mut n = 0.0;
+    for b in bench_suite::all() {
+        let program = b.parse().expect("parse");
+        let entry = Pattern::from_spec(b.entry_specs).expect("entry");
+        let mut times = Vec::new();
+        let mut execs = Vec::new();
+        for strategy in [IterationStrategy::GlobalRestart, IterationStrategy::Dependency] {
+            let mut analyzer = Analyzer::compile(&program)
+                .expect("compile")
+                .with_strategy(strategy);
+            let analysis = analyzer.analyze(b.entry, &entry).expect("analysis");
+            execs.push(analysis.instructions_executed);
+            times.push(awam_bench::time_us(
+                || {
+                    let _ = analyzer.analyze(b.entry, &entry).expect("analysis");
+                },
+                20,
+            ));
+        }
+        let speedup = times[0] / times[1];
+        total += speedup;
+        n += 1.0;
+        println!(
+            "{:<10} {:>12.1} {:>13.1} {:>8.2} | {:>10} {:>10}",
+            b.name, times[0], times[1], speedup, execs[0], execs[1]
+        );
+    }
+    println!("{}", "-".repeat(72));
+    println!("{:<10} {:>12} {:>13} {:>8.2}", "average", "", "", total / n);
+}

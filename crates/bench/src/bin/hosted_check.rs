@@ -1,0 +1,17 @@
+//! Sanity check: the hosted analysis driver must complete (succeed) on
+//! every benchmark, and report how many machine steps each takes.
+
+fn main() {
+    for b in bench_suite::all() {
+        let program = b.parse().expect("parse");
+        let hosted = hosted::HostedAnalyzer::build(&program, b.entry, b.entry_specs)
+            .expect("build");
+        match hosted.run() {
+            Ok(run) => println!(
+                "{:<10} succeeded={} steps={}",
+                b.name, run.succeeded, run.steps
+            ),
+            Err(e) => println!("{:<10} ERROR: {e}", b.name),
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Dump the hosted analyzer's final extension table for one benchmark
+//! (debugging aid): patch the generated `main` to print the table.
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "nreverse".into());
+    let b = bench_suite::by_name(&name).expect("benchmark name");
+    let program = b.parse().unwrap();
+    let src = hosted::HostedAnalyzer::generated_source(&program, b.entry, b.entry_specs)
+        .unwrap()
+        .replace(
+            "run(P, Args) :- iterate(P, Args, [], _).",
+            "run(P, Args) :- iterate(P, Args, [], E), write(E), nl.",
+        );
+    let parsed = prolog_syntax::parse_program(&src).unwrap();
+    let compiled = wam::compile_program(&parsed).unwrap();
+    let mut machine = wam_machine::Machine::new(&compiled);
+    machine.set_max_steps(5_000_000_000);
+    let sol = machine.query_str("main").unwrap();
+    println!("succeeded: {}", sol.is_some());
+    println!("steps: {}", machine.steps());
+    println!("table:\n{}", machine.output.replace("), e(", "),\n  e("));
+}

@@ -1,0 +1,47 @@
+//! The downstream-client table: what the analysis buys an optimizing
+//! compiler on each benchmark — the motivation of the paper's §1 and of
+//! Van Roy & Despain's "Benefits of Global Dataflow Analysis" (ref. 16).
+
+use absdom::Pattern;
+use awam_core::Analyzer;
+use wam_opt::OptReport;
+
+fn main() {
+    println!("Analysis-enabled optimizations per benchmark\n");
+    println!(
+        "{:<10} {:>6} {:>6} {:>6} {:>8} {:>7} {:>7} {:>9} {:>10}",
+        "Benchmark", "read", "write", "mixed", "spec%", "rconst", "deadsw", "det-preds", "dead-cls"
+    );
+    println!("{}", "-".repeat(78));
+    for b in bench_suite::all() {
+        let program = b.parse().expect("parse");
+        let compiled = wam::compile_program(&program).expect("compile");
+        let mut analyzer = Analyzer::from_compiled(compiled.clone());
+        let entry = Pattern::from_spec(b.entry_specs).expect("entry");
+        let analysis = analyzer.analyze(b.entry, &entry).expect("analysis");
+        let report = OptReport::build(&compiled, &analysis);
+        let (r, w, m) = report.totals();
+        let rconst: usize = report.preds.iter().map(|p| p.redundant_const_checks).sum();
+        let deadsw: usize = report.preds.iter().map(|p| p.dead_switch_branches).sum();
+        let det = report.preds.iter().filter(|p| p.determinate).count();
+        let spec = wam_opt::specialize(&program, &analysis);
+        println!(
+            "{:<10} {:>6} {:>6} {:>6} {:>7.0}% {:>7} {:>7} {:>9} {:>10}",
+            b.name,
+            r,
+            w,
+            m,
+            100.0 * report.specializable_fraction(),
+            rconst,
+            deadsw,
+            det,
+            spec.dead_clauses
+        );
+    }
+    println!(
+        "\nread/write = head get_* instructions provably in read-/write-mode;\n\
+         rconst = constant checks decided statically; deadsw = dead switch\n\
+         branches; det-preds = predicates with choice-point-free dispatch;\n\
+         dead-cls = clauses removable by analysis-driven specialization."
+    );
+}

@@ -1,0 +1,35 @@
+//! Sanity check: run every benchmark *concretely* on the WAM runtime (the
+//! substrate the hosted analyzer also runs on) and report times. This is
+//! the "PLM" role of Table 1: the same code the analyzer consumes really
+//! executes.
+
+use wam_machine::Machine;
+
+fn main() {
+    println!(
+        "{:<10} {:>12} {:>14} {:>8}",
+        "Benchmark", "result", "instructions", "time(ms)"
+    );
+    println!("{}", "-".repeat(48));
+    for b in bench_suite::all() {
+        let program = b.parse().expect("parse");
+        let compiled = wam::compile_program(&program).expect("compile");
+        let mut machine = Machine::new(&compiled);
+        machine.set_max_steps(2_000_000_000);
+        let start = std::time::Instant::now();
+        let outcome = machine.query_str(b.entry);
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        let result = match outcome {
+            Ok(Some(_)) => "succeeds",
+            Ok(None) => "fails",
+            Err(_) => "error",
+        };
+        println!(
+            "{:<10} {:>12} {:>14} {:>8.2}",
+            b.name,
+            result,
+            machine.steps(),
+            elapsed
+        );
+    }
+}

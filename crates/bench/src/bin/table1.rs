@@ -1,0 +1,7 @@
+//! Regenerate the paper's Table 1: analysis-time comparison between the
+//! compiled abstract-WAM analyzer and the meta-interpreting baseline.
+
+fn main() {
+    let rows = awam_bench::table1_rows();
+    print!("{}", awam_bench::render_table1(&rows));
+}

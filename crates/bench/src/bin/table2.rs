@@ -1,0 +1,7 @@
+//! Regenerate the paper's Table 2: speed ratios across platforms
+//! (simulated via the paper's published platform indices).
+
+fn main() {
+    let rows = awam_bench::table1_rows();
+    print!("{}", awam_bench::render_table2(&rows));
+}

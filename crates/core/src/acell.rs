@@ -1,0 +1,60 @@
+//! Abstract heap cells.
+//!
+//! The abstract WAM uses the concrete machine's tags unchanged and adds
+//! exactly two: [`ACell::Abs`] for an instantiable simple abstract type
+//! and [`ACell::AbsList`] for an `α-list` instance. Both behave like
+//! unbound variables: a single word that unification may *instantiate*
+//! (overwrite, with the old value trailed) to a more specific term — the
+//! paper's "it is therefore natural to represent these abstract terms like
+//! variables" (§4.1).
+
+use absdom::AbsLeaf;
+use prolog_syntax::Symbol;
+
+/// One tagged word of the abstract machine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ACell {
+    /// Reference (unbound when self-referential) — a free program variable.
+    Ref(usize),
+    /// Pointer to a `Fun` cell followed by argument cells.
+    Str(usize),
+    /// Pointer to two consecutive cells (car, cdr).
+    Lis(usize),
+    /// An atom.
+    Con(Symbol),
+    /// A specific integer.
+    Int(i64),
+    /// A functor cell.
+    Fun(Symbol, u16),
+    /// An instantiable simple abstract type (`any`, `nv`, `g`, …).
+    Abs(AbsLeaf),
+    /// An `α-list` instance; the operand is the heap address of the
+    /// element-type cell (an unaliased type subgraph).
+    AbsList(usize),
+}
+
+impl ACell {
+    /// Whether this cell, sitting at heap address `addr`, can still be
+    /// instantiated (is variable-like).
+    pub fn is_open_at(self, addr: usize) -> bool {
+        match self {
+            ACell::Ref(a) => a == addr,
+            ACell::Abs(_) | ACell::AbsList(_) => true,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn openness() {
+        assert!(ACell::Ref(3).is_open_at(3));
+        assert!(!ACell::Ref(3).is_open_at(5));
+        assert!(ACell::Abs(AbsLeaf::Ground).is_open_at(0));
+        assert!(ACell::AbsList(7).is_open_at(0));
+        assert!(!ACell::Int(1).is_open_at(0));
+    }
+}

@@ -1,0 +1,240 @@
+//! The public analysis API.
+
+use crate::machine::{AbstractMachine, AnalysisError};
+use crate::IterationStrategy;
+use crate::table::{Entry, EtImpl};
+use absdom::{AbsLeaf, DomainConfig, Pattern, DEFAULT_TERM_DEPTH};
+use prolog_syntax::Program;
+use wam::{compile_program, CompileError, CompiledProgram};
+
+/// A compiled dataflow analyzer for one program.
+///
+/// See the crate documentation for the full story; in short, the analyzer
+/// owns the WAM code (shared, unmodified, with the concrete machine) and
+/// runs the abstract WAM over it.
+///
+/// # Examples
+///
+/// ```
+/// use awam_core::Analyzer;
+/// use prolog_syntax::parse_program;
+///
+/// let program = parse_program(
+///     "app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).",
+/// )?;
+/// let mut analyzer = Analyzer::compile(&program)?;
+/// let analysis = analyzer.analyze_query("app", &["glist", "glist", "var"])?;
+/// let entry = &analysis.predicates[0];
+/// assert_eq!(entry.name, "app/3");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Analyzer {
+    program: CompiledProgram,
+    depth_k: usize,
+    et_impl: EtImpl,
+    config: DomainConfig,
+    strategy: IterationStrategy,
+}
+
+/// The analysis of one predicate: its calling patterns and summarized
+/// success patterns.
+#[derive(Debug, Clone)]
+pub struct PredAnalysis {
+    /// `name/arity`.
+    pub name: String,
+    /// Predicate id in the compiled program.
+    pub pred: usize,
+    /// Arity.
+    pub arity: usize,
+    /// `(calling pattern, success pattern or None if the call always
+    /// fails)` pairs.
+    pub entries: Vec<(Pattern, Option<Pattern>)>,
+}
+
+/// The result of one analysis run.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Per-predicate results, in predicate-table order, restricted to
+    /// predicates that were actually called.
+    pub predicates: Vec<PredAnalysis>,
+    /// Global fixpoint iterations performed.
+    pub iterations: u64,
+    /// Abstract WAM instructions executed (Table 1's `Exec` column).
+    pub instructions_executed: u64,
+    /// `(lookups, scan steps)` of the extension table.
+    pub table_stats: (u64, u64),
+}
+
+impl Analyzer {
+    /// Compile `program` and wrap it in an analyzer with the paper's
+    /// default term depth (4) and the paper's linear-list extension table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from the WAM compiler.
+    pub fn compile(program: &Program) -> Result<Analyzer, CompileError> {
+        Ok(Analyzer::from_compiled(compile_program(program)?))
+    }
+
+    /// Wrap an already-compiled program.
+    pub fn from_compiled(program: CompiledProgram) -> Analyzer {
+        Analyzer {
+            program,
+            depth_k: DEFAULT_TERM_DEPTH,
+            et_impl: EtImpl::Linear,
+            config: DomainConfig::FULL,
+            strategy: IterationStrategy::GlobalRestart,
+        }
+    }
+
+    /// Set the term-depth restriction `k` (ablation A).
+    #[must_use]
+    pub fn with_depth(mut self, depth_k: usize) -> Analyzer {
+        self.depth_k = depth_k;
+        self
+    }
+
+    /// Choose the extension-table implementation (ablation B).
+    #[must_use]
+    pub fn with_et_impl(mut self, et_impl: EtImpl) -> Analyzer {
+        self.et_impl = et_impl;
+        self
+    }
+
+    /// Restrict the abstract domain (ablation C: precision vs. time).
+    #[must_use]
+    pub fn with_domain_config(mut self, config: DomainConfig) -> Analyzer {
+        self.config = config;
+        self
+    }
+
+    /// Choose the fixpoint iteration strategy (ablation D).
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: IterationStrategy) -> Analyzer {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The compiled program being analyzed.
+    pub fn program(&self) -> &CompiledProgram {
+        &self.program
+    }
+
+    /// The interner used by the compiled program (for display).
+    pub fn interner(&self) -> &prolog_syntax::Interner {
+        &self.program.interner
+    }
+
+    /// Analyze from `pred` with the given entry calling pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::UnknownPredicate`], [`AnalysisError::ArityMismatch`],
+    /// or resource-bound errors.
+    pub fn analyze(
+        &mut self,
+        name: &str,
+        entry: &Pattern,
+    ) -> Result<Analysis, AnalysisError> {
+        let pred = self
+            .program
+            .predicate(name, entry.arity())
+            .ok_or_else(|| AnalysisError::UnknownPredicate {
+                pred: format!("{name}/{}", entry.arity()),
+            })?;
+        let expected = self.program.predicates[pred].key.arity;
+        if expected != entry.arity() {
+            return Err(AnalysisError::ArityMismatch {
+                expected,
+                got: entry.arity(),
+            });
+        }
+        let mut machine = AbstractMachine::new(&self.program, self.depth_k, self.et_impl);
+        machine.set_domain_config(self.config);
+        machine.set_strategy(self.strategy);
+        let entry = entry.weaken(self.config);
+        let iterations = machine.run_to_fixpoint(pred, &entry)?;
+        let mut predicates = Vec::new();
+        for (id, p) in self.program.predicates.iter().enumerate() {
+            let entries: Vec<(Pattern, Option<Pattern>)> = machine
+                .table()
+                .entries(id)
+                .iter()
+                .map(|Entry { call, success, .. }| (call.clone(), success.clone()))
+                .collect();
+            if !entries.is_empty() {
+                predicates.push(PredAnalysis {
+                    name: p.key.display(&self.program.interner),
+                    pred: id,
+                    arity: p.key.arity,
+                    entries,
+                });
+            }
+        }
+        Ok(Analysis {
+            predicates,
+            iterations,
+            instructions_executed: machine.exec_count,
+            table_stats: machine.table().stats(),
+        })
+    }
+
+    /// Analyze with an entry pattern given as spec strings (see
+    /// [`Pattern::from_spec`]).
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::BadSpec`] for unknown specs, plus everything
+    /// [`Analyzer::analyze`] returns.
+    pub fn analyze_query(
+        &mut self,
+        name: &str,
+        specs: &[&str],
+    ) -> Result<Analysis, AnalysisError> {
+        let entry = Pattern::from_spec(specs)
+            .ok_or_else(|| AnalysisError::BadSpec(specs.join(", ")))?;
+        self.analyze(name, &entry)
+    }
+}
+
+impl Analysis {
+    /// The analysis of predicate `name/arity`, if it was reached.
+    pub fn predicate(&self, name: &str, arity: usize) -> Option<&PredAnalysis> {
+        self.predicates
+            .iter()
+            .find(|p| p.name == format!("{name}/{arity}"))
+    }
+
+    /// A human-readable report of the whole table, plus derived modes.
+    pub fn report(&self, analyzer: &Analyzer) -> String {
+        crate::report::render(self, analyzer.interner())
+    }
+}
+
+impl PredAnalysis {
+    /// The lub of all success patterns of this predicate (over all calling
+    /// patterns), if any call can succeed.
+    pub fn success_summary(&self) -> Option<Pattern> {
+        let mut acc: Option<Pattern> = None;
+        for (_, s) in &self.entries {
+            if let Some(s) = s {
+                acc = Some(match acc {
+                    Some(a) => a.lub(s),
+                    None => s.clone(),
+                });
+            }
+        }
+        acc
+    }
+
+    /// Derived argument modes (see [`crate::report::ArgMode`]).
+    pub fn modes(&self) -> Vec<crate::report::ArgMode> {
+        crate::report::derive_modes(self)
+    }
+}
+
+/// Convenience: leaf approximations of a pattern's arguments.
+pub fn arg_leaves(p: &Pattern) -> Vec<AbsLeaf> {
+    (0..p.arity()).map(|i| p.leaf_approx(p.root(i))).collect()
+}

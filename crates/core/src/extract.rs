@@ -1,0 +1,421 @@
+//! Pattern extraction (heap → [`Pattern`]) and materialization
+//! (pattern → heap).
+//!
+//! Extraction is the `abstract(X, Xα)` step of the transformed program in
+//! §5: the argument registers are abstracted, to the term-depth limit `k`,
+//! into a canonical calling pattern. Aliasing among the arguments is
+//! captured by mapping each *open* (instantiable) or non-ground compound
+//! heap cell to a single pattern node.
+//!
+//! Materialization is the inverse: a fresh set of heap cells whose shape
+//! and sharing mirror the pattern — used both to analyze a callee
+//! independently of its caller and to apply a memoized success pattern at
+//! a call site.
+
+use crate::acell::ACell;
+use absdom::{AbsLeaf, NodeId, PNode, Pattern};
+
+/// Follow reference chains; returns the representative cell and its heap
+/// address when it has one (open cells and compounds always do).
+pub fn deref(heap: &[ACell], cell: ACell) -> (ACell, Option<usize>) {
+    let mut cell = cell;
+    let mut addr = None;
+    loop {
+        match cell {
+            ACell::Ref(a) => {
+                let next = heap[a];
+                if next == ACell::Ref(a) {
+                    return (next, Some(a));
+                }
+                addr = Some(a);
+                cell = next;
+            }
+            ACell::Abs(_) | ACell::AbsList(_) => return (cell, addr),
+            other => return (other, addr),
+        }
+    }
+}
+
+/// Extract the calling/success pattern of `args`, limited to `depth_k`.
+pub fn extract(heap: &[ACell], args: &[ACell], depth_k: usize) -> Pattern {
+    let mut ex = Extractor {
+        heap,
+        depth_k,
+        nodes: Vec::new(),
+        map: Vec::new(),
+        pair_map: Vec::new(),
+    };
+    let roots = args.iter().map(|&a| ex.node(a, 0)).collect();
+    // The extractor emits canonical form directly (pre-order numbering,
+    // ground subgraphs unshared), so the canonicalization pass is skipped.
+    Pattern::from_canonical(ex.nodes, roots)
+}
+
+struct Extractor<'h> {
+    heap: &'h [ACell],
+    depth_k: usize,
+    nodes: Vec<PNode>,
+    /// Open-cell heap address → node, for sharing-preserving extraction.
+    /// Patterns are tiny, so a linear map beats hashing here.
+    map: Vec<(usize, NodeId)>,
+    /// Compound payload address → node (cons pairs and structs).
+    pair_map: Vec<(usize, NodeId)>,
+}
+
+impl Extractor<'_> {
+    fn push(&mut self, node: PNode) -> NodeId {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    fn node(&mut self, cell: ACell, depth: usize) -> NodeId {
+        let (cell, addr) = deref(self.heap, cell);
+        // Sharing identity: open cells by their own address, compounds by
+        // their payload address. Ground subgraphs are never shared (their
+        // sharing carries no dataflow information), which keeps the output
+        // canonical.
+        match cell {
+            ACell::Ref(_) | ACell::Abs(_) | ACell::AbsList(_) => {
+                if let Some(a) = addr {
+                    if let Some(&(_, n)) = self.map.iter().find(|&&(k, _)| k == a) {
+                        // Ground cells are never shared (checked lazily:
+                        // hits are rare, groundness walks are not free).
+                        if !self.summarize(cell, &mut Vec::new()).is_ground() {
+                            return n;
+                        }
+                    }
+                }
+            }
+            ACell::Lis(p) | ACell::Str(p) => {
+                if let Some(&(_, n)) = self.pair_map.iter().find(|&&(k, _)| k == p) {
+                    if !self.summarize(cell, &mut Vec::new()).is_ground() {
+                        return n;
+                    }
+                }
+            }
+            _ => {}
+        }
+        if depth >= self.depth_k {
+            let leaf = self.summarize(cell, &mut Vec::new());
+            // A summarized subterm loses its aliasing links, so it may not
+            // claim definite freeness (see DESIGN.md §3.4).
+            let leaf = if leaf == AbsLeaf::Var { AbsLeaf::Any } else { leaf };
+            return self.push(PNode::Leaf(leaf));
+        }
+        match cell {
+            ACell::Ref(a) => {
+                let id = self.push(PNode::Leaf(AbsLeaf::Var));
+                self.map.push((a, id));
+                id
+            }
+            ACell::Abs(l) => {
+                let id = self.push(PNode::Leaf(l));
+                if let Some(a) = addr {
+                    if !l.is_ground() {
+                        self.map.push((a, id));
+                    }
+                }
+                id
+            }
+            ACell::AbsList(e) => {
+                let id = self.push(PNode::Leaf(AbsLeaf::Any)); // placeholder
+                if let Some(a) = addr {
+                    self.map.push((a, id));
+                }
+                // Element subgraphs are unaliased type descriptions;
+                // extract them fresh below the list node.
+                let elem = self.node(ACell::Ref(e), depth + 1);
+                self.nodes[id] = PNode::List(elem);
+                id
+            }
+            ACell::Con(s) => self.push(PNode::Atom(s)),
+            ACell::Int(i) => self.push(PNode::Int(i)),
+            ACell::Lis(p) => {
+                let id = self.push(PNode::Leaf(AbsLeaf::Any)); // placeholder
+                self.pair_map.push((p, id));
+                let car = self.node(ACell::Ref(p), depth + 1);
+                let cdr = self.node(ACell::Ref(p + 1), depth + 1);
+                self.nodes[id] = PNode::Struct(absdom::dot_symbol(), vec![car, cdr]);
+                id
+            }
+            ACell::Str(p) => {
+                let id = self.push(PNode::Leaf(AbsLeaf::Any)); // placeholder
+                self.pair_map.push((p, id));
+                let ACell::Fun(f, n) = self.heap[p] else {
+                    unreachable!("Str points at Fun");
+                };
+                let args = (0..n as usize)
+                    .map(|i| self.node(ACell::Ref(p + 1 + i), depth + 1))
+                    .collect();
+                self.nodes[id] = PNode::Struct(f, args);
+                id
+            }
+            ACell::Fun(..) => unreachable!("bare functor cell"),
+        }
+    }
+
+    /// Primary approximation of a heap term (used at the depth cut).
+    fn summarize(&self, cell: ACell, visiting: &mut Vec<usize>) -> AbsLeaf {
+        let (cell, _) = deref(self.heap, cell);
+        match cell {
+            ACell::Ref(_) => AbsLeaf::Var,
+            ACell::Abs(l) => l,
+            ACell::AbsList(e) => {
+                if self.summarize(ACell::Ref(e), visiting).is_ground() {
+                    AbsLeaf::Ground
+                } else {
+                    AbsLeaf::NonVar
+                }
+            }
+            ACell::Con(_) | ACell::Int(_) => AbsLeaf::Ground,
+            ACell::Lis(p) => self.summarize_compound(&[p, p + 1], p, visiting),
+            ACell::Str(p) => {
+                let ACell::Fun(_, n) = self.heap[p] else {
+                    unreachable!()
+                };
+                let addrs: Vec<usize> = (0..n as usize).map(|i| p + 1 + i).collect();
+                self.summarize_compound(&addrs, p, visiting)
+            }
+            ACell::Fun(..) => unreachable!(),
+        }
+    }
+
+    fn summarize_compound(
+        &self,
+        child_addrs: &[usize],
+        mark: usize,
+        visiting: &mut Vec<usize>,
+    ) -> AbsLeaf {
+        if visiting.contains(&mark) {
+            // Cyclic term: certainly nonvar; groundness undecidable here,
+            // so answer conservatively.
+            return AbsLeaf::NonVar;
+        }
+        visiting.push(mark);
+        let all_ground = child_addrs
+            .iter()
+            .all(|&a| self.summarize(ACell::Ref(a), visiting).is_ground());
+        visiting.pop();
+        if all_ground {
+            AbsLeaf::Ground
+        } else {
+            AbsLeaf::NonVar
+        }
+    }
+}
+
+/// Materialize `pattern` as fresh heap cells; returns one cell per root.
+/// Sharing in the pattern becomes sharing on the heap.
+pub fn materialize(heap: &mut Vec<ACell>, pattern: &Pattern) -> Vec<ACell> {
+    let mut done: Vec<Option<ACell>> = vec![None; pattern.nodes().len()];
+    (0..pattern.arity())
+        .map(|i| materialize_node(heap, pattern, pattern.root(i), &mut done))
+        .collect()
+}
+
+/// Materialize a single node subgraph (fresh cells, memoized sharing).
+pub fn materialize_node(
+    heap: &mut Vec<ACell>,
+    pattern: &Pattern,
+    id: NodeId,
+    done: &mut Vec<Option<ACell>>,
+) -> ACell {
+    if let Some(c) = done[id] {
+        return c;
+    }
+    let cell = match pattern.node(id) {
+        PNode::Leaf(AbsLeaf::Var) => {
+            let a = heap.len();
+            heap.push(ACell::Ref(a));
+            ACell::Ref(a)
+        }
+        PNode::Leaf(l) => {
+            let a = heap.len();
+            heap.push(ACell::Abs(*l));
+            ACell::Ref(a)
+        }
+        PNode::Int(i) => ACell::Int(*i),
+        PNode::Atom(s) => ACell::Con(*s),
+        PNode::List(e) => {
+            // Memoize the list cell BEFORE the element to cut cycles.
+            let a = heap.len();
+            heap.push(ACell::AbsList(usize::MAX)); // patched below
+            done[id] = Some(ACell::Ref(a));
+            let elem = materialize_node(heap, pattern, *e, done);
+            let elem_addr = match elem {
+                ACell::Ref(ea) => ea,
+                other => {
+                    let ea = heap.len();
+                    heap.push(other);
+                    ea
+                }
+            };
+            heap[a] = ACell::AbsList(elem_addr);
+            return ACell::Ref(a);
+        }
+        PNode::Struct(f, args) => {
+            if absdom::is_dot_symbol(*f) && args.len() == 2 {
+                let p = heap.len();
+                heap.push(ACell::Ref(p));
+                heap.push(ACell::Ref(p + 1));
+                done[id] = Some(ACell::Lis(p));
+                let car = materialize_node(heap, pattern, args[0], done);
+                let cdr = materialize_node(heap, pattern, args[1], done);
+                heap[p] = normalize_store(heap, p, car);
+                heap[p + 1] = normalize_store(heap, p + 1, cdr);
+                return ACell::Lis(p);
+            }
+            let p = heap.len();
+            heap.push(ACell::Fun(*f, args.len() as u16));
+            for i in 0..args.len() {
+                let a = p + 1 + i;
+                heap.push(ACell::Ref(a));
+            }
+            done[id] = Some(ACell::Str(p));
+            for (i, &argid) in args.iter().enumerate() {
+                let c = materialize_node(heap, pattern, argid, done);
+                heap[p + 1 + i] = normalize_store(heap, p + 1 + i, c);
+            }
+            return ACell::Str(p);
+        }
+    };
+    done[id] = Some(cell);
+    cell
+}
+
+/// Storing a cell into a slot must not create a self-reference.
+fn normalize_store(_heap: &[ACell], _slot: usize, cell: ACell) -> ACell {
+    cell
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(heap: &mut Vec<ACell>, l: AbsLeaf) -> ACell {
+        let a = heap.len();
+        heap.push(ACell::Abs(l));
+        ACell::Ref(a)
+    }
+
+    #[test]
+    fn extract_simple_leaves() {
+        let mut heap = Vec::new();
+        let g = leaf(&mut heap, AbsLeaf::Ground);
+        let a = heap.len();
+        heap.push(ACell::Ref(a));
+        let p = extract(&heap, &[g, ACell::Ref(a), ACell::Int(3)], 4);
+        assert_eq!(p, Pattern::from_spec(&["g", "var", "3"]).unwrap());
+    }
+
+    #[test]
+    fn extract_preserves_aliasing() {
+        let mut heap = Vec::new();
+        let a = heap.len();
+        heap.push(ACell::Ref(a));
+        let p = extract(&heap, &[ACell::Ref(a), ACell::Ref(a)], 4);
+        let shared = Pattern::new(vec![PNode::Leaf(AbsLeaf::Var)], vec![0, 0]);
+        assert_eq!(p, shared);
+    }
+
+    #[test]
+    fn extract_lists() {
+        let mut heap = Vec::new();
+        let e = heap.len();
+        heap.push(ACell::Abs(AbsLeaf::Ground));
+        let l = heap.len();
+        heap.push(ACell::AbsList(e));
+        let p = extract(&heap, &[ACell::Ref(l)], 4);
+        assert_eq!(p, Pattern::from_spec(&["glist"]).unwrap());
+    }
+
+    #[test]
+    fn extract_cuts_at_depth() {
+        // f(f(f(f(a)))) with k=2 → struct(f, struct-summarized).
+        let mut heap = Vec::new();
+        let mut inner = ACell::Con(absdom::nil_symbol());
+        let f = prolog_syntax::Interner::new().intern("f");
+        for _ in 0..4 {
+            let p = heap.len();
+            heap.push(ACell::Fun(f, 1));
+            heap.push(inner);
+            inner = ACell::Str(p);
+        }
+        let p2 = extract(&heap, &[inner], 2);
+        // Depth 0: f(·); depth 1: its arg; depth 2: cut → ground leaf.
+        let expected_nodes = vec![
+            PNode::Struct(f, vec![1]),
+            PNode::Struct(f, vec![2]),
+            PNode::Leaf(AbsLeaf::Ground),
+        ];
+        assert_eq!(p2, Pattern::new(expected_nodes, vec![0]));
+    }
+
+    #[test]
+    fn summarized_var_weakens_to_any() {
+        // [X] (a one-element list holding a var) cut at depth 1 keeps the
+        // cons at depth 0 and summarizes X (depth 1) to any, not var.
+        let mut heap = Vec::new();
+        let x = heap.len();
+        heap.push(ACell::Ref(x));
+        let p = heap.len();
+        heap.push(ACell::Ref(x));
+        heap.push(ACell::Con(absdom::nil_symbol()));
+        let pat = extract(&heap, &[ACell::Lis(p)], 1);
+        let dot = absdom::dot_symbol();
+        let expected = Pattern::new(
+            vec![
+                PNode::Struct(dot, vec![1, 2]),
+                PNode::Leaf(AbsLeaf::Any),
+                PNode::Leaf(AbsLeaf::Ground),
+            ],
+            vec![0],
+        );
+        assert_eq!(pat, expected);
+    }
+
+    #[test]
+    fn materialize_round_trips() {
+        for spec in [
+            vec!["any", "var"],
+            vec!["glist", "g"],
+            vec!["atom", "int", "list(list(any))"],
+            vec!["5", "nil"],
+        ] {
+            let p = Pattern::from_spec(&spec).unwrap();
+            let mut heap = Vec::new();
+            let cells = materialize(&mut heap, &p);
+            let back = extract(&heap, &cells, 6);
+            assert_eq!(back, p, "round-trip failed for {spec:?}");
+        }
+    }
+
+    #[test]
+    fn materialize_preserves_sharing() {
+        let shared = Pattern::new(vec![PNode::Leaf(AbsLeaf::Any)], vec![0, 0]);
+        let mut heap = Vec::new();
+        let cells = materialize(&mut heap, &shared);
+        let (_, a0) = deref(&heap, cells[0]);
+        let (_, a1) = deref(&heap, cells[1]);
+        assert_eq!(a0, a1, "shared node materializes to one cell");
+        let back = extract(&heap, &cells, 4);
+        assert_eq!(back, shared);
+    }
+
+    #[test]
+    fn materialize_concrete_structures() {
+        let f = prolog_syntax::Interner::new().intern("f");
+        let p = Pattern::new(
+            vec![PNode::Leaf(AbsLeaf::Var), PNode::Struct(f, vec![0])],
+            vec![1, 0],
+        );
+        let mut heap = Vec::new();
+        let cells = materialize(&mut heap, &p);
+        // arg0 = f(X), arg1 = X with the same X.
+        let (c0, _) = deref(&heap, cells[0]);
+        let ACell::Str(sp) = c0 else { panic!("expected struct") };
+        let (_, inner_addr) = deref(&heap, ACell::Ref(sp + 1));
+        let (_, arg1_addr) = deref(&heap, cells[1]);
+        assert_eq!(inner_addr, arg1_addr);
+    }
+}

@@ -1,0 +1,1265 @@
+//! The abstract WAM: reinterpreted instructions plus the ET control
+//! scheme.
+//!
+//! The machine executes the *same* [`wam::CompiledProgram`] as the
+//! concrete runtime, with the reinterpretations of §4–§5 of the paper:
+//!
+//! * `get`/`unify` instructions perform abstract unification; abstract
+//!   leaves instantiate to complex-term instances on the heap
+//!   (Figure 4's `get_list`), with the old cell value trailed;
+//! * `call` computes the calling pattern, consults the extension table,
+//!   and — on a miss — explores every clause of the callee on a fresh
+//!   materialization of the pattern, summarizing success patterns by lub
+//!   (Figure 5);
+//! * `proceed` corresponds to `updateET … fail` (clause exploration is a
+//!   loop here, not backtracking: calls return deterministically, so no
+//!   choice points exist at all);
+//! * cut is treated as `true` (a sound over-approximation) and the
+//!   indexing instructions are bypassed entirely — the clause list is
+//!   iterated directly, as §5 prescribes.
+
+use crate::acell::ACell;
+use crate::extract::{deref, extract, materialize};
+use crate::table::{EtImpl, ExtensionTable};
+use crate::IterationStrategy;
+use absdom::{AbsLeaf, DomainConfig, Pattern};
+use std::fmt;
+use wam::{Builtin, CompiledProgram, Instr, Slot};
+
+/// An error produced during analysis (distinct from abstract failure).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The entry predicate does not exist.
+    UnknownPredicate {
+        /// `name/arity` of the missing predicate.
+        pred: String,
+    },
+    /// The entry pattern's arity does not match the predicate.
+    ArityMismatch {
+        /// Expected (predicate) arity.
+        expected: usize,
+        /// Provided pattern arity.
+        got: usize,
+    },
+    /// The exploration recursion exceeded its safety bound.
+    DepthLimit,
+    /// The global fixpoint iteration exceeded its safety bound.
+    IterationLimit,
+    /// An entry-pattern spec string was not understood.
+    BadSpec(String),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::UnknownPredicate { pred } => {
+                write!(f, "unknown entry predicate {pred}")
+            }
+            AnalysisError::ArityMismatch { expected, got } => {
+                write!(f, "entry pattern has {got} arguments, predicate expects {expected}")
+            }
+            AnalysisError::DepthLimit => write!(f, "exploration depth limit exceeded"),
+            AnalysisError::IterationLimit => write!(f, "fixpoint iteration limit exceeded"),
+            AnalysisError::BadSpec(s) => write!(f, "unrecognized pattern spec `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+#[derive(Debug, Clone)]
+struct Env {
+    prev: Option<usize>,
+    y: Vec<ACell>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Read,
+    Write,
+}
+
+/// The abstract machine state.
+pub struct AbstractMachine<'p> {
+    program: &'p CompiledProgram,
+    pub(crate) table: ExtensionTable,
+    heap: Vec<ACell>,
+    x: Vec<ACell>,
+    envs: Vec<Env>,
+    e: Option<usize>,
+    /// Value trail: `(address, previous cell)`.
+    trail: Vec<(usize, ACell)>,
+    mode: Mode,
+    s: usize,
+    depth_k: usize,
+    et_impl: EtImpl,
+    config: DomainConfig,
+    strategy: IterationStrategy,
+    /// Dependency log of the entry currently being explored (stack of
+    /// frames, one per nested exploration).
+    dep_stack: Vec<Vec<(usize, usize, u64)>>,
+    /// Entries currently being explored (worklist strategy re-entrancy
+    /// guard).
+    in_progress: std::collections::HashSet<(usize, usize)>,
+    /// Reverse dependency edges: entry → entries that read it.
+    rev_deps: std::collections::HashMap<(usize, usize), std::collections::HashSet<(usize, usize)>>,
+    /// Entries whose inputs changed and must be re-explored.
+    worklist: std::collections::VecDeque<(usize, usize)>,
+    queued: std::collections::HashSet<(usize, usize)>,
+    /// Total entry explorations performed (reported as `iterations` by
+    /// the worklist strategy).
+    explorations: u64,
+    iter: u64,
+    /// Abstract WAM instructions executed (the `Exec` column of Table 1).
+    pub exec_count: u64,
+    /// Number of `solve_call` invocations (profiling aid).
+    pub call_count: u64,
+    /// Nanoseconds spent in pattern extraction (profiling aid).
+    pub extract_ns: u64,
+    /// Nanoseconds spent in materialization (profiling aid).
+    pub materialize_ns: u64,
+    /// Nanoseconds spent in table find/update incl. lub (profiling aid).
+    pub table_ns: u64,
+    max_depth: usize,
+}
+
+impl<'p> AbstractMachine<'p> {
+    /// Create a machine over `program` with term-depth `depth_k`.
+    pub fn new(program: &'p CompiledProgram, depth_k: usize, et: EtImpl) -> Self {
+        AbstractMachine {
+            program,
+            table: ExtensionTable::new(program.predicates.len(), et),
+            heap: Vec::with_capacity(1024),
+            x: vec![ACell::Int(0); 256],
+            envs: Vec::new(),
+            e: None,
+            trail: Vec::new(),
+            mode: Mode::Read,
+            s: 0,
+            depth_k,
+            et_impl: et,
+            config: DomainConfig::FULL,
+            strategy: IterationStrategy::GlobalRestart,
+            dep_stack: Vec::new(),
+            in_progress: Default::default(),
+            rev_deps: Default::default(),
+            worklist: Default::default(),
+            queued: Default::default(),
+            explorations: 0,
+            iter: 0,
+            exec_count: 0,
+            call_count: 0,
+            extract_ns: 0,
+            materialize_ns: 0,
+            table_ns: 0,
+            max_depth: 2_000,
+        }
+    }
+
+    /// Run the global fixpoint: repeat top-level exploration until the
+    /// extension table stabilizes. Returns the number of iterations.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::IterationLimit`] (or `DepthLimit`) if the safety
+    /// bounds trip — with a finite domain this indicates a bug, and the
+    /// bounds are far above anything the benchmark suite reaches.
+    pub fn run_to_fixpoint(
+        &mut self,
+        pred: usize,
+        entry: &Pattern,
+    ) -> Result<u64, AnalysisError> {
+        if self.strategy == IterationStrategy::Dependency {
+            return self.run_worklist(pred, entry);
+        }
+        const MAX_ITERS: u64 = 10_000;
+        loop {
+            self.iter += 1;
+            if self.iter > MAX_ITERS {
+                return Err(AnalysisError::IterationLimit);
+            }
+            self.table.clear_changed();
+            self.heap.clear();
+            self.trail.clear();
+            self.envs.clear();
+            self.e = None;
+            let args = materialize(&mut self.heap, entry);
+            for (i, cell) in args.iter().enumerate() {
+                self.x[i] = *cell;
+            }
+            self.solve_call(pred, 0)?;
+            if !self.table.changed() {
+                return Ok(self.iter);
+            }
+        }
+    }
+
+    /// Semi-naive fixpoint: explore once, then re-explore only entries
+    /// whose (transitive, via worklist propagation) inputs changed.
+    fn run_worklist(&mut self, pred: usize, entry: &Pattern) -> Result<u64, AnalysisError> {
+        const MAX_EXPLORATIONS: u64 = 5_000_000;
+        self.iter = 1;
+        self.heap.clear();
+        self.trail.clear();
+        self.envs.clear();
+        self.e = None;
+        let args = materialize(&mut self.heap, entry);
+        for (i, cell) in args.iter().enumerate() {
+            self.x[i] = *cell;
+        }
+        self.solve_call(pred, 0)?;
+        while let Some((p, i)) = self.worklist.pop_front() {
+            self.queued.remove(&(p, i));
+            if self.explorations > MAX_EXPLORATIONS {
+                return Err(AnalysisError::IterationLimit);
+            }
+            self.heap.clear();
+            self.trail.clear();
+            self.envs.clear();
+            self.e = None;
+            self.explore_entry(p, i, 0)?;
+        }
+        Ok(self.explorations)
+    }
+
+    /// The extension table accumulated so far.
+    pub fn table(&self) -> &ExtensionTable {
+        &self.table
+    }
+
+    fn table_impl_uses_hash(&self) -> bool {
+        self.et_impl == EtImpl::Hashed
+    }
+
+    /// Restrict the abstract domain (precision ablation). Patterns are
+    /// weakened at every extraction boundary; the full config is the
+    /// identity.
+    pub fn set_domain_config(&mut self, config: DomainConfig) {
+        self.config = config;
+    }
+
+    /// Choose how the global fixpoint iterates (the paper restarts from
+    /// scratch; dependency tracking skips provably-unchanged entries).
+    pub fn set_strategy(&mut self, strategy: IterationStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// Record that the current exploration read `(pred, idx)`; the
+    /// worklist propagates changes along the reverse edges, so plain
+    /// direct dependencies suffice.
+    fn note_dep(&mut self, pred: usize, idx: usize) {
+        if self.strategy == IterationStrategy::Dependency {
+            let version = self.table.version(pred, idx);
+            if let Some(frame) = self.dep_stack.last_mut() {
+                frame.push((pred, idx, version));
+            }
+        }
+    }
+
+    fn enqueue_dependents(&mut self, pred: usize, idx: usize) {
+        if let Some(deps) = self.rev_deps.get(&(pred, idx)) {
+            for &d in deps {
+                if self.queued.insert(d) {
+                    self.worklist.push_back(d);
+                }
+            }
+        }
+    }
+
+    /// The abstract heap (read access, for tooling and tests).
+    pub fn heap(&self) -> &[ACell] {
+        &self.heap
+    }
+
+    /// Mutable access to the abstract heap, for building cells directly
+    /// (tooling and tests; the analyzer itself never needs this).
+    pub fn heap_mut(&mut self) -> &mut Vec<ACell> {
+        &mut self.heap
+    }
+
+    /// Abstractly unify two cells on this machine's heap (the `s_unify`
+    /// of §4.1). Exposed so soundness properties of the unifier can be
+    /// tested directly against concrete unification.
+    pub fn unify_cells(&mut self, a: ACell, b: ACell) -> bool {
+        self.unify(a, b)
+    }
+
+    /// Extract a (possibly weakened) pattern for the current config.
+    fn extract_pattern(&self, args: &[ACell]) -> Pattern {
+        let p = extract(&self.heap, args, self.depth_k);
+        if self.config.is_full() {
+            p
+        } else {
+            p.weaken(self.config)
+        }
+    }
+
+    // ----- the reinterpreted `call` (Figure 5) -----
+
+    /// Abstractly invoke predicate `pred` with arguments in `A1..An`.
+    /// Returns whether the call (abstractly) succeeds; on success the
+    /// argument cells have been unified with the summarized success
+    /// pattern.
+    fn solve_call(&mut self, pred: usize, depth: usize) -> Result<bool, AnalysisError> {
+        if depth > self.max_depth {
+            return Err(AnalysisError::DepthLimit);
+        }
+        self.call_count += 1;
+        let arity = self.program.predicates[pred].key.arity;
+        let caller_args: Vec<ACell> = self.x[..arity].to_vec();
+        // Consult the table by walking the stored patterns directly against
+        // the argument cells (allocation-free); the pattern is only *built*
+        // when a new entry must be inserted.
+        let t0 = std::time::Instant::now();
+        let heap = &self.heap;
+        let depth_k = self.depth_k;
+        let use_matcher = !self.table_impl_uses_hash() && self.config.is_full();
+        let found = if use_matcher {
+            self.table
+                .find_by(pred, |p| crate::matcher::matches(heap, &caller_args, depth_k, p))
+                .map(|i| (i, None))
+        } else {
+            let cp = self.extract_pattern(&caller_args);
+            let f = self.table.find(pred, &cp);
+            f.map(|i| (i, Some(cp)))
+        };
+        self.table_ns += t0.elapsed().as_nanos() as u64;
+        #[cfg(debug_assertions)]
+        if use_matcher {
+            let cp = extract(&self.heap, &caller_args, self.depth_k);
+            let by_eq = self.table.find(pred, &cp);
+            assert_eq!(found.as_ref().map(|(i, _)| *i), by_eq, "matcher/extractor parity");
+        }
+        let entry_idx = match found {
+            Some((idx, _)) => {
+                let explored = match self.strategy {
+                    // The paper's scheme: explored once per iteration.
+                    IterationStrategy::GlobalRestart => {
+                        self.table.entry(pred, idx).explored_iter == self.iter
+                    }
+                    // Worklist scheme: an existing entry is only explored
+                    // through the worklist (or while already on the
+                    // stack); calls just read the current summary.
+                    IterationStrategy::Dependency => true,
+                };
+                if explored {
+                    let success = self.table.entry(pred, idx).success.clone();
+                    self.note_dep(pred, idx);
+                    return Ok(match success {
+                        Some(sp) => self.apply_success(&caller_args, &sp),
+                        None => false,
+                    });
+                }
+                self.table.mark_explored(pred, idx, self.iter);
+                idx
+            }
+            None => {
+                let t0 = std::time::Instant::now();
+                let cp = self.extract_pattern(&caller_args);
+                self.extract_ns += t0.elapsed().as_nanos() as u64;
+                self.table.insert(pred, cp, self.iter)
+            }
+        };
+        self.explore_entry(pred, entry_idx, depth)?;
+        self.note_dep(pred, entry_idx);
+        let success = self.table.entry(pred, entry_idx).success.clone();
+        match success {
+            Some(sp) => Ok(self.apply_success(&caller_args, &sp)),
+            None => Ok(false),
+        }
+    }
+
+    /// Explore every clause of `(pred, entry_idx)` on fresh
+    /// materializations of its calling pattern, summarizing successes.
+    fn explore_entry(
+        &mut self,
+        pred: usize,
+        entry_idx: usize,
+        depth: usize,
+    ) -> Result<(), AnalysisError> {
+        if depth > self.max_depth {
+            return Err(AnalysisError::DepthLimit);
+        }
+        if self.strategy == IterationStrategy::Dependency
+            && !self.in_progress.insert((pred, entry_idx))
+        {
+            return Ok(());
+        }
+        self.explorations += 1;
+        let call_pattern = self.table.entry(pred, entry_idx).call.clone();
+
+        // Explore every clause on a fresh materialization of the calling
+        // pattern (the `abstract(X, Xα) … p(Xα)` of §5), summarizing
+        // success patterns into the table and failing to the next clause.
+        if self.strategy == IterationStrategy::Dependency {
+            self.dep_stack.push(Vec::new());
+        }
+        let num_clauses = self.program.predicates[pred].clause_entries.len();
+        for clause_idx in 0..num_clauses {
+            let entry = self.program.predicates[pred].clause_entries[clause_idx];
+            let trail_mark = self.trail.len();
+            let heap_mark = self.heap.len();
+            let env_mark = self.envs.len();
+            let saved_e = self.e;
+
+            let t0 = std::time::Instant::now();
+            let callee_args = materialize(&mut self.heap, &call_pattern);
+            self.materialize_ns += t0.elapsed().as_nanos() as u64;
+            for (i, cell) in callee_args.iter().enumerate() {
+                self.x[i] = *cell;
+            }
+            let ok = self.run_clause(entry, depth)?;
+            if ok {
+                // Fast path: if the stored summary already equals this
+                // clause's success pattern, nothing can change.
+                let t0 = std::time::Instant::now();
+                let unchanged = self.config.is_full()
+                    && match &self.table.entry(pred, entry_idx).success {
+                        Some(sp) => {
+                            crate::matcher::matches(&self.heap, &callee_args, self.depth_k, sp)
+                        }
+                        None => false,
+                    };
+                self.table_ns += t0.elapsed().as_nanos() as u64;
+                if !unchanged {
+                    let t0 = std::time::Instant::now();
+                    let sp = self.extract_pattern(&callee_args);
+                    self.extract_ns += t0.elapsed().as_nanos() as u64;
+                    let t0 = std::time::Instant::now();
+                    let grew = self.table.update_success(pred, entry_idx, sp);
+                    self.table_ns += t0.elapsed().as_nanos() as u64;
+                    if grew && self.strategy == IterationStrategy::Dependency {
+                        self.enqueue_dependents(pred, entry_idx);
+                        // Self-recursion: this entry must also settle.
+                        if self.queued.insert((pred, entry_idx)) {
+                            self.worklist.push_back((pred, entry_idx));
+                        }
+                    }
+                }
+            }
+            // Forced failure to the next clause: undo everything.
+            self.undo_to(trail_mark, heap_mark);
+            self.envs.truncate(env_mark);
+            self.e = saved_e;
+        }
+
+        // All clauses explored: record dependencies and propagate.
+        if self.strategy == IterationStrategy::Dependency {
+            let deps = self.dep_stack.pop().unwrap_or_default();
+            for &(p, i, _) in &deps {
+                self.rev_deps.entry((p, i)).or_default().insert((pred, entry_idx));
+            }
+            self.table.set_deps(pred, entry_idx, deps);
+            self.in_progress.remove(&(pred, entry_idx));
+        }
+        Ok(())
+    }
+
+    /// Unify the caller's argument cells with a fresh materialization of
+    /// the summarized success pattern (deterministic return).
+    fn apply_success(&mut self, caller_args: &[ACell], sp: &Pattern) -> bool {
+        let cells = materialize(&mut self.heap, sp);
+        for (arg, cell) in caller_args.iter().zip(cells) {
+            if !self.unify(*arg, cell) {
+                return false;
+            }
+        }
+        true
+    }
+
+    // ----- clause execution -----
+
+    /// Execute one clause body. Calls recurse through [`Self::solve_call`];
+    /// there is no backtracking (calls are deterministic), so failure
+    /// simply reports `false` and the caller undoes the trail.
+    fn run_clause(&mut self, entry: usize, depth: usize) -> Result<bool, AnalysisError> {
+        let saved_e = self.e;
+        let mut pc = entry;
+        loop {
+            self.exec_count += 1;
+            let instr = &self.program.code[pc];
+            pc += 1;
+            use Instr::*;
+            let ok = match instr {
+                GetVariable(slot, a) => {
+                    let v = self.x[*a as usize];
+                    self.write_slot(*slot, v);
+                    true
+                }
+                GetValue(slot, a) => {
+                    let v = self.read_slot(*slot);
+                    let arg = self.x[*a as usize];
+                    self.unify(v, arg)
+                }
+                GetConstant(c, a) => {
+                    let arg = self.x[*a as usize];
+                    let cell = const_cell(*c);
+                    self.unify(arg, cell)
+                }
+                GetList(a) => self.get_list(self.x[*a as usize]),
+                GetStructure(f, a) => self.get_structure(*f, self.x[*a as usize]),
+                PutVariable(slot, a) => {
+                    let addr = self.push_unbound();
+                    self.write_slot(*slot, ACell::Ref(addr));
+                    self.x[*a as usize] = ACell::Ref(addr);
+                    true
+                }
+                PutValue(slot, a) => {
+                    self.x[*a as usize] = self.read_slot(*slot);
+                    true
+                }
+                PutConstant(c, a) => {
+                    self.x[*a as usize] = const_cell(*c);
+                    true
+                }
+                PutList(a) => {
+                    self.x[*a as usize] = ACell::Lis(self.heap.len());
+                    self.mode = Mode::Write;
+                    true
+                }
+                PutStructure(f, a) => {
+                    let h = self.heap.len();
+                    self.heap.push(ACell::Fun(f.name, f.arity));
+                    self.x[*a as usize] = ACell::Str(h);
+                    self.mode = Mode::Write;
+                    true
+                }
+                UnifyVariable(slot) => {
+                    match self.mode {
+                        Mode::Read => {
+                            let s = self.s;
+                            // Open cells must be captured by reference so
+                            // that instantiation is visible to all aliases.
+                            let cell = if self.heap[s].is_open_at(s) {
+                                ACell::Ref(s)
+                            } else {
+                                self.heap[s]
+                            };
+                            self.write_slot(*slot, cell);
+                            self.s += 1;
+                        }
+                        Mode::Write => {
+                            let addr = self.push_unbound();
+                            self.write_slot(*slot, ACell::Ref(addr));
+                        }
+                    }
+                    true
+                }
+                UnifyValue(slot) => match self.mode {
+                    Mode::Read => {
+                        let v = self.read_slot(*slot);
+                        let s = self.s;
+                        self.s += 1;
+                        self.unify(v, ACell::Ref(s))
+                    }
+                    Mode::Write => {
+                        let v = self.read_slot(*slot);
+                        self.heap.push(v);
+                        true
+                    }
+                },
+                UnifyConstant(c) => match self.mode {
+                    Mode::Read => {
+                        let s = self.s;
+                        self.s += 1;
+                        self.unify(ACell::Ref(s), const_cell(*c))
+                    }
+                    Mode::Write => {
+                        self.heap.push(const_cell(*c));
+                        true
+                    }
+                },
+                UnifyVoid(n) => {
+                    match self.mode {
+                        Mode::Read => self.s += *n as usize,
+                        Mode::Write => {
+                            for _ in 0..*n {
+                                self.push_unbound();
+                            }
+                        }
+                    }
+                    true
+                }
+                Allocate(n) => {
+                    self.envs.push(Env {
+                        prev: self.e,
+                        y: vec![ACell::Int(0); *n as usize],
+                    });
+                    self.e = Some(self.envs.len() - 1);
+                    true
+                }
+                Deallocate => {
+                    let e = self.e.expect("deallocate without environment");
+                    self.e = self.envs[e].prev;
+                    true
+                }
+                Call(p) => {
+                    let p = *p;
+                    if self.solve_call(p, depth + 1)? {
+                        true
+                    } else {
+                        self.e = saved_e;
+                        return Ok(false);
+                    }
+                }
+                Execute(p) => {
+                    let p = *p;
+                    let ok = self.solve_call(p, depth + 1)?;
+                    if !ok {
+                        self.e = saved_e;
+                    }
+                    return Ok(ok);
+                }
+                Proceed => return Ok(true),
+                CallBuiltin(b) => self.abstract_builtin(*b),
+                // Cut is `true` over the abstract domain (sound).
+                NeckCut | GetLevel(_) | CutLevel(_) => true,
+                // Indexing and chaining instructions are bypassed by the
+                // control scheme (clause entries are iterated directly).
+                TryMeElse(_) | RetryMeElse(_) | TrustMe | Try(_) | Retry(_) | Trust(_)
+                | SwitchOnTerm { .. } | SwitchOnConstant(_) | SwitchOnStructure(_) | Fail => {
+                    unreachable!("indexing instruction inside a clause body")
+                }
+            };
+            if !ok {
+                self.e = saved_e;
+                return Ok(false);
+            }
+        }
+    }
+
+    // ----- reinterpreted get instructions -----
+
+    /// Figure 4: `get_list` over the abstract domain.
+    fn get_list(&mut self, arg: ACell) -> bool {
+        let (cell, addr) = deref(&self.heap, arg);
+        match cell {
+            // Concrete behaviours are unchanged.
+            ACell::Lis(p) => {
+                self.mode = Mode::Read;
+                self.s = p;
+                true
+            }
+            ACell::Ref(a) => {
+                let h = self.heap.len();
+                self.bind(a, ACell::Lis(h));
+                self.mode = Mode::Write;
+                true
+            }
+            // ComplexTermInst: generate a [·|·] instance of the abstract
+            // term on the heap and proceed in read mode over it.
+            ACell::Abs(l) => {
+                if !l.admits_list() {
+                    return false;
+                }
+                let a = addr.expect("abs cells live on the heap");
+                let h = self.heap.len();
+                let child = l.instance_child();
+                self.push_child(child);
+                self.push_child(child);
+                self.bind(a, ACell::Lis(h));
+                self.mode = Mode::Read;
+                self.s = h;
+                true
+            }
+            ACell::AbsList(e) => {
+                let a = addr.expect("abs cells live on the heap");
+                // glist₁ ← [g₁ | glist₂]: fresh element instance as car,
+                // fresh list instance as cdr.
+                let car = self.copy_type(e);
+                let cdr_elem = self.copy_type(e);
+                let cdr = self.heap.len();
+                self.heap.push(ACell::AbsList(cdr_elem));
+                // Lay out the pair contiguously: car is at `car`, but the
+                // pair must be two consecutive cells; rebuild as refs.
+                let pair = self.heap.len();
+                self.heap.push(ACell::Ref(car));
+                self.heap.push(ACell::Ref(cdr));
+                self.bind(a, ACell::Lis(pair));
+                self.mode = Mode::Read;
+                self.s = pair;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// `get_structure f/n` over the abstract domain.
+    fn get_structure(&mut self, f: wam::Functor, arg: ACell) -> bool {
+        let (cell, addr) = deref(&self.heap, arg);
+        match cell {
+            ACell::Str(p)
+                if self.heap[p] == ACell::Fun(f.name, f.arity) => {
+                    self.mode = Mode::Read;
+                    self.s = p + 1;
+                    true
+                }
+            ACell::Ref(a) => {
+                let h = self.heap.len();
+                self.heap.push(ACell::Fun(f.name, f.arity));
+                self.bind(a, ACell::Str(h));
+                self.mode = Mode::Write;
+                true
+            }
+            ACell::Abs(l) => {
+                if !l.admits_struct() {
+                    return false;
+                }
+                let a = addr.expect("abs cells live on the heap");
+                let h = self.heap.len();
+                self.heap.push(ACell::Fun(f.name, f.arity));
+                let child = l.instance_child();
+                for _ in 0..f.arity {
+                    self.push_child(child);
+                }
+                self.bind(a, ACell::Str(h));
+                self.mode = Mode::Read;
+                self.s = h + 1;
+                true
+            }
+            ACell::AbsList(e) => {
+                // A list instance can only be the cons structure.
+                if !absdom::is_dot_symbol(f.name) || f.arity != 2 {
+                    return false;
+                }
+                let a = addr.expect("abs cells live on the heap");
+                let car = self.copy_type(e);
+                let cdr_elem = self.copy_type(e);
+                let cdr = self.heap.len();
+                self.heap.push(ACell::AbsList(cdr_elem));
+                let pair = self.heap.len();
+                self.heap.push(ACell::Ref(car));
+                self.heap.push(ACell::Ref(cdr));
+                self.bind(a, ACell::Lis(pair));
+                self.mode = Mode::Read;
+                self.s = pair;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Push a child cell for a complex-term instantiation: `var` children
+    /// are fresh unbound variables, others are abstract leaves.
+    fn push_child(&mut self, child: AbsLeaf) {
+        let a = self.heap.len();
+        if child == AbsLeaf::Var {
+            self.heap.push(ACell::Ref(a));
+        } else {
+            self.heap.push(ACell::Abs(child));
+        }
+    }
+
+    /// Deep-copy the (unaliased) type subgraph rooted at heap address
+    /// `src`; returns the new root address.
+    fn copy_type(&mut self, src: usize) -> usize {
+        let (cell, _) = deref(&self.heap, ACell::Ref(src));
+        match cell {
+            ACell::Ref(_) => {
+                let a = self.heap.len();
+                self.heap.push(ACell::Ref(a));
+                a
+            }
+            ACell::Abs(l) => {
+                let a = self.heap.len();
+                self.heap.push(ACell::Abs(l));
+                a
+            }
+            ACell::AbsList(e) => {
+                let copied = self.copy_type(e);
+                let a = self.heap.len();
+                self.heap.push(ACell::AbsList(copied));
+                a
+            }
+            ACell::Con(s) => {
+                let a = self.heap.len();
+                self.heap.push(ACell::Con(s));
+                a
+            }
+            ACell::Int(i) => {
+                let a = self.heap.len();
+                self.heap.push(ACell::Int(i));
+                a
+            }
+            ACell::Lis(p) => {
+                let car = self.copy_type(p);
+                let cdr = self.copy_type(p + 1);
+                let pair = self.heap.len();
+                self.heap.push(ACell::Ref(car));
+                self.heap.push(ACell::Ref(cdr));
+                let a = self.heap.len();
+                self.heap.push(ACell::Lis(pair));
+                a
+            }
+            ACell::Str(p) => {
+                let ACell::Fun(f, n) = self.heap[p] else {
+                    unreachable!()
+                };
+                let args: Vec<usize> = (0..n as usize)
+                    .map(|i| self.copy_type(p + 1 + i))
+                    .collect();
+                let h = self.heap.len();
+                self.heap.push(ACell::Fun(f, n));
+                for arg in args {
+                    self.heap.push(ACell::Ref(arg));
+                }
+                let a = self.heap.len();
+                self.heap.push(ACell::Str(h));
+                a
+            }
+            ACell::Fun(..) => unreachable!(),
+        }
+    }
+
+    // ----- abstract unification -----
+
+    /// Abstract unification of two cells (§4.1's `s_unify` lifted to the
+    /// heap). Sound: the result state covers every concrete state any
+    /// covered pair of terms could unify into.
+    pub(crate) fn unify(&mut self, a: ACell, b: ACell) -> bool {
+        let mut stack = vec![(a, b)];
+        let mut seen: Vec<(usize, usize)> = Vec::new();
+        while let Some((a, b)) = stack.pop() {
+            let (ca, aa) = deref(&self.heap, a);
+            let (cb, ab) = deref(&self.heap, b);
+            if let (Some(x), Some(y)) = (aa, ab) {
+                if x == y {
+                    continue;
+                }
+                let key = (x.min(y), x.max(y));
+                if seen.contains(&key) {
+                    continue;
+                }
+                seen.push(key);
+            }
+            if !self.unify_one(ca, aa, cb, ab, &mut stack) {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn unify_one(
+        &mut self,
+        ca: ACell,
+        aa: Option<usize>,
+        cb: ACell,
+        ab: Option<usize>,
+        stack: &mut Vec<(ACell, ACell)>,
+    ) -> bool {
+        use ACell::*;
+        match (ca, cb) {
+            // Free variables bind like in the concrete machine.
+            (Ref(x), _) => {
+                let target = attach(cb, ab);
+                self.bind(x, target);
+                true
+            }
+            (_, Ref(y)) => {
+                let target = attach(ca, aa);
+                self.bind(y, target);
+                true
+            }
+            // Two abstract leaves: narrow to the unification type and
+            // merge the cells (aliasing!).
+            (Abs(t1), Abs(t2)) => {
+                let (x, y) = (aa.expect("abs on heap"), ab.expect("abs on heap"));
+                match t1.unify(t2) {
+                    None => false,
+                    Some(t) => {
+                        if t != t1 {
+                            self.rebind(x, Abs(t));
+                        }
+                        self.bind(y, Ref(x));
+                        true
+                    }
+                }
+            }
+            (Abs(t), Con(s)) | (Con(s), Abs(t)) => {
+                let x = if matches!(ca, Abs(_)) { aa } else { ab };
+                if t.admits_atom() {
+                    self.bind(x.expect("abs on heap"), Con(s));
+                    true
+                } else {
+                    false
+                }
+            }
+            (Abs(t), Int(i)) | (Int(i), Abs(t)) => {
+                let x = if matches!(ca, Abs(_)) { aa } else { ab };
+                if t.admits_integer() {
+                    self.bind(x.expect("abs on heap"), Int(i));
+                    true
+                } else {
+                    false
+                }
+            }
+            (Abs(t), Lis(p)) | (Lis(p), Abs(t)) => {
+                let x = if matches!(ca, Abs(_)) { aa } else { ab };
+                if !t.admits_list() {
+                    return false;
+                }
+                self.bind(x.expect("abs on heap"), Lis(p));
+                let child = t.instance_child();
+                self.constrain(ACell::Ref(p), child, &mut Vec::new())
+                    && self.constrain(ACell::Ref(p + 1), child, &mut Vec::new())
+            }
+            (Abs(t), Str(p)) | (Str(p), Abs(t)) => {
+                let x = if matches!(ca, Abs(_)) { aa } else { ab };
+                if !t.admits_struct() {
+                    return false;
+                }
+                self.bind(x.expect("abs on heap"), Str(p));
+                let ACell::Fun(_, n) = self.heap[p] else {
+                    unreachable!()
+                };
+                let child = t.instance_child();
+                (0..n as usize)
+                    .all(|i| self.constrain(ACell::Ref(p + 1 + i), child, &mut Vec::new()))
+            }
+            (AbsList(e), Con(s)) | (Con(s), AbsList(e)) => {
+                let x = if matches!(ca, AbsList(_)) { aa } else { ab };
+                let _ = e;
+                if s == absdom::nil_symbol() {
+                    self.bind(x.expect("abs on heap"), Con(s));
+                    true
+                } else {
+                    false
+                }
+            }
+            (AbsList(e), Lis(p)) | (Lis(p), AbsList(e)) => {
+                let x = if matches!(ca, AbsList(_)) { aa } else { ab };
+                self.bind(x.expect("abs on heap"), Lis(p));
+                // car ⊓ α; cdr ⊓ α-list.
+                let car_type = self.copy_type(e);
+                let cdr_elem = self.copy_type(e);
+                let cdr_list = self.heap.len();
+                self.heap.push(ACell::AbsList(cdr_elem));
+                stack.push((ACell::Ref(p), ACell::Ref(car_type)));
+                stack.push((ACell::Ref(p + 1), ACell::Ref(cdr_list)));
+                true
+            }
+            (AbsList(e1), AbsList(e2)) => {
+                let (x, y) = (aa.expect("abs on heap"), ab.expect("abs on heap"));
+                // list(α) ⊓ list(β) = list(α ⊓ β) — but when the element
+                // types clash the intersection is still {[]} (both sides
+                // admit the empty list), not ⊥.
+                let trail_mark = self.trail.len();
+                let heap_mark = self.heap.len();
+                let c1 = self.copy_type(e1);
+                let c2 = self.copy_type(e2);
+                if self.unify(ACell::Ref(c1), ACell::Ref(c2)) {
+                    self.rebind(x, AbsList(c1));
+                } else {
+                    self.undo_to(trail_mark, heap_mark);
+                    let nil = ACell::Con(absdom::nil_symbol());
+                    self.rebind(x, nil);
+                }
+                self.bind(y, Ref(x));
+                true
+            }
+            (AbsList(e), Abs(t)) | (Abs(t), AbsList(e)) => {
+                let (lx, tx) = if matches!(ca, AbsList(_)) {
+                    (aa.expect("on heap"), ab.expect("on heap"))
+                } else {
+                    (ab.expect("on heap"), aa.expect("on heap"))
+                };
+                match t {
+                    AbsLeaf::Any | AbsLeaf::NonVar | AbsLeaf::Var => {
+                        self.bind(tx, Ref(lx));
+                        true
+                    }
+                    AbsLeaf::Ground => {
+                        if !self.constrain(ACell::Ref(e), AbsLeaf::Ground, &mut Vec::new()) {
+                            return false;
+                        }
+                        self.bind(tx, Ref(lx));
+                        true
+                    }
+                    AbsLeaf::Const | AbsLeaf::Atom => {
+                        // list ∩ const = {[]}.
+                        let nil = ACell::Con(absdom::nil_symbol());
+                        self.rebind(lx, nil);
+                        self.bind(tx, nil);
+                        true
+                    }
+                    AbsLeaf::Integer => false,
+                }
+            }
+            // Concrete/concrete: as in the standard machine.
+            (Con(x), Con(y)) => x == y,
+            (Int(x), Int(y)) => x == y,
+            (Lis(x), Lis(y)) => {
+                stack.push((ACell::Ref(x), ACell::Ref(y)));
+                stack.push((ACell::Ref(x + 1), ACell::Ref(y + 1)));
+                true
+            }
+            (Str(x), Str(y)) => {
+                let (ACell::Fun(fx, nx), ACell::Fun(fy, ny)) = (self.heap[x], self.heap[y])
+                else {
+                    unreachable!()
+                };
+                if fx != fy || nx != ny {
+                    return false;
+                }
+                for i in 0..nx as usize {
+                    stack.push((ACell::Ref(x + 1 + i), ACell::Ref(y + 1 + i)));
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Constrain `cell` to (the meet with) a leaf type, descending through
+    /// concrete structure. `visiting` guards against cyclic terms.
+    pub(crate) fn constrain(
+        &mut self,
+        cell: ACell,
+        leaf: AbsLeaf,
+        visiting: &mut Vec<usize>,
+    ) -> bool {
+        if leaf == AbsLeaf::Any || leaf == AbsLeaf::Var {
+            // `any` constrains nothing; a free variable unifies with
+            // anything and imposes nothing.
+            return true;
+        }
+        let (cell, addr) = deref(&self.heap, cell);
+        match cell {
+            ACell::Ref(a) => {
+                // A free variable narrowed by a type: it becomes an
+                // instance of that type.
+                self.bind(a, ACell::Abs(leaf));
+                true
+            }
+            ACell::Abs(t) => match t.unify(leaf) {
+                None => false,
+                Some(new) => {
+                    let a = addr.expect("abs on heap");
+                    if new != t {
+                        self.rebind(a, ACell::Abs(new));
+                    }
+                    true
+                }
+            },
+            ACell::AbsList(e) => {
+                let a = addr.expect("abs on heap");
+                match leaf {
+                    AbsLeaf::NonVar => true,
+                    AbsLeaf::Ground => self.constrain(ACell::Ref(e), AbsLeaf::Ground, visiting),
+                    AbsLeaf::Const | AbsLeaf::Atom => {
+                        self.rebind(a, ACell::Con(absdom::nil_symbol()));
+                        true
+                    }
+                    AbsLeaf::Integer => false,
+                    AbsLeaf::Any | AbsLeaf::Var => true,
+                }
+            }
+            ACell::Con(_) => leaf.admits_atom(),
+            ACell::Int(_) => leaf.admits_integer(),
+            ACell::Lis(p) => {
+                if !leaf.admits_list() {
+                    return false;
+                }
+                if visiting.contains(&p) {
+                    return true;
+                }
+                visiting.push(p);
+                let child = if leaf == AbsLeaf::Ground {
+                    AbsLeaf::Ground
+                } else {
+                    AbsLeaf::Any
+                };
+                let ok = self.constrain(ACell::Ref(p), child, visiting)
+                    && self.constrain(ACell::Ref(p + 1), child, visiting);
+                visiting.pop();
+                ok
+            }
+            ACell::Str(p) => {
+                if !leaf.admits_struct() {
+                    return false;
+                }
+                if visiting.contains(&p) {
+                    return true;
+                }
+                visiting.push(p);
+                let ACell::Fun(_, n) = self.heap[p] else {
+                    unreachable!()
+                };
+                let child = if leaf == AbsLeaf::Ground {
+                    AbsLeaf::Ground
+                } else {
+                    AbsLeaf::Any
+                };
+                let ok = (0..n as usize)
+                    .all(|i| self.constrain(ACell::Ref(p + 1 + i), child, visiting));
+                visiting.pop();
+                ok
+            }
+            ACell::Fun(..) => unreachable!(),
+        }
+    }
+
+    // ----- abstract builtins -----
+
+    fn abstract_builtin(&mut self, b: Builtin) -> bool {
+        use Builtin::*;
+        match b {
+            True | Nl | Halt | Write | Tab => true,
+            Fail => false,
+            // On success of `X is E`, E was evaluable (ground) and X is an
+            // integer.
+            Is => {
+                let expr = self.x[1];
+                let out = self.x[0];
+                if !self.constrain(expr, AbsLeaf::Ground, &mut Vec::new()) {
+                    return false;
+                }
+                let a = self.heap.len();
+                self.heap.push(ACell::Abs(AbsLeaf::Integer));
+                self.unify(out, ACell::Ref(a))
+            }
+            // Arithmetic comparisons ground both sides.
+            Lt | Gt | Le | Ge | ArithEq | ArithNe => {
+                let (l, r) = (self.x[0], self.x[1]);
+                self.constrain(l, AbsLeaf::Ground, &mut Vec::new())
+                    && self.constrain(r, AbsLeaf::Ground, &mut Vec::new())
+            }
+            Unify => {
+                let (l, r) = (self.x[0], self.x[1]);
+                self.unify(l, r)
+            }
+            // `\=`, `==`, `\==`, `@<` … succeed abstractly with no
+            // bindings (sound over-approximation of their success set).
+            NotUnify | StructEq | StructNe | TermLt | TermGt | TermLe | TermGe => true,
+            Var => {
+                let (cell, addr) = deref(&self.heap, self.x[0]);
+                match cell {
+                    ACell::Ref(_) => true,
+                    ACell::Abs(t) => match t.meet(AbsLeaf::Var) {
+                        Some(m) => {
+                            if m != t {
+                                self.rebind(addr.expect("abs on heap"), ACell::Abs(m));
+                            }
+                            true
+                        }
+                        None => false,
+                    },
+                    _ => false,
+                }
+            }
+            Nonvar => {
+                let c = self.x[0];
+                self.type_test(c, AbsLeaf::NonVar)
+            }
+            Atom => self.type_test(self.x[0], AbsLeaf::Atom),
+            Integer | Number => self.type_test(self.x[0], AbsLeaf::Integer),
+            Atomic => self.type_test(self.x[0], AbsLeaf::Const),
+            Compound => {
+                let (cell, _) = deref(&self.heap, self.x[0]);
+                match cell {
+                    ACell::Lis(_) | ACell::Str(_) | ACell::AbsList(_) => true,
+                    ACell::Abs(t) => t.admits_list() || t.admits_struct(),
+                    _ => false,
+                }
+            }
+            // Conservative: outputs become `any`-typed; inputs unchanged.
+            FunctorOf => {
+                let name = self.x[1];
+                let arity = self.x[2];
+                let c = self.heap.len();
+                self.heap.push(ACell::Abs(AbsLeaf::Const));
+                let i = self.heap.len();
+                self.heap.push(ACell::Abs(AbsLeaf::Integer));
+                self.unify(name, ACell::Ref(c)) && self.unify(arity, ACell::Ref(i))
+            }
+            Arg => {
+                let out = self.x[2];
+                let a = self.heap.len();
+                self.heap.push(ACell::Abs(AbsLeaf::Any));
+                self.unify(out, ACell::Ref(a))
+            }
+        }
+    }
+
+    /// Narrow a cell to the meet with a type-test's type; fails when the
+    /// meet is empty.
+    fn type_test(&mut self, cell: ACell, leaf: AbsLeaf) -> bool {
+        let (c, _) = deref(&self.heap, cell);
+        match c {
+            // A (definitely) free variable fails every nonvar type test.
+            ACell::Ref(_) => false,
+            _ => self.constrain(cell, leaf, &mut Vec::new()),
+        }
+    }
+
+    // ----- heap plumbing -----
+
+    fn read_slot(&self, slot: Slot) -> ACell {
+        match slot {
+            Slot::X(n) => self.x[n as usize],
+            Slot::Y(n) => {
+                let e = self.e.expect("Y access without environment");
+                self.envs[e].y[n as usize]
+            }
+        }
+    }
+
+    fn write_slot(&mut self, slot: Slot, cell: ACell) {
+        match slot {
+            Slot::X(n) => {
+                let n = n as usize;
+                if n >= self.x.len() {
+                    self.x.resize(n + 1, ACell::Int(0));
+                }
+                self.x[n] = cell;
+            }
+            Slot::Y(n) => {
+                let e = self.e.expect("Y access without environment");
+                self.envs[e].y[n as usize] = cell;
+            }
+        }
+    }
+
+    fn push_unbound(&mut self) -> usize {
+        let a = self.heap.len();
+        self.heap.push(ACell::Ref(a));
+        a
+    }
+
+    /// Bind with value trailing.
+    fn bind(&mut self, addr: usize, cell: ACell) {
+        self.trail.push((addr, self.heap[addr]));
+        self.heap[addr] = cell;
+    }
+
+    /// Same as bind (named for narrowing sites, where the cell is open but
+    /// not a plain unbound variable).
+    fn rebind(&mut self, addr: usize, cell: ACell) {
+        self.bind(addr, cell);
+    }
+
+    fn undo_to(&mut self, trail_mark: usize, heap_mark: usize) {
+        while self.trail.len() > trail_mark {
+            let (addr, old) = self.trail.pop().expect("non-empty");
+            self.heap[addr] = old;
+        }
+        self.heap.truncate(heap_mark);
+    }
+}
+
+fn attach(cell: ACell, addr: Option<usize>) -> ACell {
+    match (cell, addr) {
+        // Open or compound cells with an address: reference them.
+        (ACell::Abs(_) | ACell::AbsList(_) | ACell::Ref(_), Some(a)) => ACell::Ref(a),
+        (ACell::Ref(a), None) => ACell::Ref(a),
+        (other, _) => other,
+    }
+}
+
+fn const_cell(c: wam::WamConst) -> ACell {
+    match c {
+        wam::WamConst::Atom(a) => ACell::Con(a),
+        wam::WamConst::Int(i) => ACell::Int(i),
+    }
+}

@@ -1,0 +1,310 @@
+//! Allocation-free comparison of heap arguments against a stored pattern.
+//!
+//! `matches(heap, args, k, pattern)` returns exactly
+//! `extract(heap, args, k) == *pattern`, but without building the
+//! extracted pattern: it simulates the extractor's canonical pre-order
+//! numbering while walking the heap and the pattern in lockstep. On the
+//! memoized path — the overwhelmingly common one — a `call` then costs a
+//! structural walk with no allocation, which is what makes the compiled
+//! analyzer's table consultation cheap (the paper's analyzer compared
+//! tagged words the same way).
+//!
+//! The equivalence with extraction is asserted in debug builds at every
+//! call site, so the whole test suite doubles as a differential test of
+//! this matcher.
+
+use crate::acell::ACell;
+use crate::extract::deref;
+use absdom::{AbsLeaf, PNode, Pattern};
+
+/// Does `extract(heap, args, depth_k)` equal `pattern`? (Allocation-free.)
+pub fn matches(heap: &[ACell], args: &[ACell], depth_k: usize, pattern: &Pattern) -> bool {
+    if args.len() != pattern.arity() {
+        return false;
+    }
+    let mut m = Matcher {
+        heap,
+        depth_k,
+        pattern,
+        next: 0,
+        open_map: Vec::new(),
+        pair_map: Vec::new(),
+    };
+    for (i, &arg) in args.iter().enumerate() {
+        match m.walk(arg, 0) {
+            Some(id) if id == pattern.root(i) => {}
+            _ => return false,
+        }
+    }
+    // Every pattern node must have been produced (same node count).
+    m.next == pattern.nodes().len()
+}
+
+struct Matcher<'a> {
+    heap: &'a [ACell],
+    depth_k: usize,
+    pattern: &'a Pattern,
+    /// The id extraction would assign to the next fresh node.
+    next: usize,
+    /// Shared open cells (addr → node id).
+    open_map: Vec<(usize, usize)>,
+    /// Shared compound payloads (addr → node id).
+    pair_map: Vec<(usize, usize)>,
+}
+
+impl Matcher<'_> {
+    /// Walk `cell`, checking it against the nodes extraction would emit;
+    /// returns the node id the cell maps to, or `None` on mismatch.
+    fn walk(&mut self, cell: ACell, depth: usize) -> Option<usize> {
+        let (cell, addr) = deref(self.heap, cell);
+        // Sharing lookups mirror the extractor exactly (ground cells are
+        // never shared; checked lazily on the rare hit).
+        match cell {
+            ACell::Ref(_) | ACell::Abs(_) | ACell::AbsList(_) => {
+                if let Some(a) = addr {
+                    if let Some(&(_, n)) = self.open_map.iter().find(|&&(k, _)| k == a) {
+                        if !self.summarize(cell).is_ground() {
+                            return Some(n);
+                        }
+                    }
+                }
+            }
+            ACell::Lis(p) | ACell::Str(p) => {
+                if let Some(&(_, n)) = self.pair_map.iter().find(|&&(k, _)| k == p) {
+                    if !self.summarize(cell).is_ground() {
+                        return Some(n);
+                    }
+                }
+            }
+            _ => {}
+        }
+        if depth >= self.depth_k {
+            let leaf = self.summarize(cell);
+            let leaf = if leaf == AbsLeaf::Var { AbsLeaf::Any } else { leaf };
+            return self.emit_leaf(leaf);
+        }
+        match cell {
+            ACell::Ref(a) => {
+                let id = self.fresh()?;
+                if !matches!(self.pattern.node(id), PNode::Leaf(AbsLeaf::Var)) {
+                    return None;
+                }
+                self.open_map.push((a, id));
+                Some(id)
+            }
+            ACell::Abs(l) => {
+                let id = self.fresh()?;
+                if *self.pattern.node(id) != PNode::Leaf(l) {
+                    return None;
+                }
+                if let Some(a) = addr {
+                    if !l.is_ground() {
+                        self.open_map.push((a, id));
+                    }
+                }
+                Some(id)
+            }
+            ACell::AbsList(e) => {
+                let id = self.fresh()?;
+                let PNode::List(elem_id) = *self.pattern.node(id) else {
+                    return None;
+                };
+                if let Some(a) = addr {
+                    self.open_map.push((a, id));
+                }
+                let got = self.walk(ACell::Ref(e), depth + 1)?;
+                (got == elem_id).then_some(id)
+            }
+            ACell::Con(s) => {
+                let id = self.fresh()?;
+                (*self.pattern.node(id) == PNode::Atom(s)).then_some(id)
+            }
+            ACell::Int(i) => {
+                let id = self.fresh()?;
+                (*self.pattern.node(id) == PNode::Int(i)).then_some(id)
+            }
+            ACell::Lis(p) => {
+                let id = self.fresh()?;
+                let pattern = self.pattern;
+                let PNode::Struct(f, ref kids) = *pattern.node(id) else {
+                    return None;
+                };
+                if !absdom::is_dot_symbol(f) || kids.len() != 2 {
+                    return None;
+                }
+                let (car_id, cdr_id) = (kids[0], kids[1]);
+                self.pair_map.push((p, id));
+                let car = self.walk(ACell::Ref(p), depth + 1)?;
+                if car != car_id {
+                    return None;
+                }
+                let cdr = self.walk(ACell::Ref(p + 1), depth + 1)?;
+                (cdr == cdr_id).then_some(id)
+            }
+            ACell::Str(p) => {
+                let id = self.fresh()?;
+                let ACell::Fun(f, n) = self.heap[p] else {
+                    unreachable!("Str points at Fun")
+                };
+                let pattern = self.pattern;
+                let PNode::Struct(g, ref kids) = *pattern.node(id) else {
+                    return None;
+                };
+                if g != f || kids.len() != n as usize {
+                    return None;
+                }
+                self.pair_map.push((p, id));
+                for (i, &kid) in kids.iter().enumerate() {
+                    let got = self.walk(ACell::Ref(p + 1 + i), depth + 1)?;
+                    if got != kid {
+                        return None;
+                    }
+                }
+                Some(id)
+            }
+            ACell::Fun(..) => unreachable!("bare functor cell"),
+        }
+    }
+
+    fn fresh(&mut self) -> Option<usize> {
+        if self.next >= self.pattern.nodes().len() {
+            return None;
+        }
+        let id = self.next;
+        self.next += 1;
+        Some(id)
+    }
+
+    fn emit_leaf(&mut self, leaf: AbsLeaf) -> Option<usize> {
+        let id = self.fresh()?;
+        (*self.pattern.node(id) == PNode::Leaf(leaf)).then_some(id)
+    }
+
+    /// Primary approximation of a heap term (mirrors the extractor's).
+    fn summarize(&self, cell: ACell) -> AbsLeaf {
+        summarize_cell(self.heap, cell, &mut Vec::new())
+    }
+}
+
+/// Primary approximation (shared logic with the extractor's `summarize`).
+pub(crate) fn summarize_cell(heap: &[ACell], cell: ACell, visiting: &mut Vec<usize>) -> AbsLeaf {
+    let (cell, _) = deref(heap, cell);
+    match cell {
+        ACell::Ref(_) => AbsLeaf::Var,
+        ACell::Abs(l) => l,
+        ACell::AbsList(e) => {
+            if summarize_cell(heap, ACell::Ref(e), visiting).is_ground() {
+                AbsLeaf::Ground
+            } else {
+                AbsLeaf::NonVar
+            }
+        }
+        ACell::Con(_) | ACell::Int(_) => AbsLeaf::Ground,
+        ACell::Lis(p) => summarize_compound(heap, &[p, p + 1], p, visiting),
+        ACell::Str(p) => {
+            let ACell::Fun(_, n) = heap[p] else { unreachable!() };
+            let addrs: Vec<usize> = (0..n as usize).map(|i| p + 1 + i).collect();
+            summarize_compound(heap, &addrs, p, visiting)
+        }
+        ACell::Fun(..) => unreachable!(),
+    }
+}
+
+fn summarize_compound(
+    heap: &[ACell],
+    child_addrs: &[usize],
+    mark: usize,
+    visiting: &mut Vec<usize>,
+) -> AbsLeaf {
+    if visiting.contains(&mark) {
+        return AbsLeaf::NonVar;
+    }
+    visiting.push(mark);
+    let all_ground = child_addrs
+        .iter()
+        .all(|&a| summarize_cell(heap, ACell::Ref(a), visiting).is_ground());
+    visiting.pop();
+    if all_ground {
+        AbsLeaf::Ground
+    } else {
+        AbsLeaf::NonVar
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::{extract, materialize};
+
+    fn check_parity(pattern_specs: &[&str], probe_specs: &[&str]) {
+        let p = Pattern::from_spec(pattern_specs).unwrap();
+        let q = Pattern::from_spec(probe_specs).unwrap();
+        let mut heap = Vec::new();
+        let cells = materialize(&mut heap, &q);
+        let expected = extract(&heap, &cells, 4) == p;
+        assert_eq!(
+            matches(&heap, &cells, 4, &p),
+            expected,
+            "parity failed for pattern {pattern_specs:?} vs heap {probe_specs:?}"
+        );
+    }
+
+    #[test]
+    fn matcher_agrees_with_extraction() {
+        let specs: &[&[&str]] = &[
+            &["any"],
+            &["var"],
+            &["g"],
+            &["glist"],
+            &["list(any)"],
+            &["atom", "int"],
+            &["glist", "var"],
+            &["5", "nil"],
+            &["list(list(g))"],
+        ];
+        for p in specs {
+            for q in specs {
+                if p.len() == q.len() {
+                    check_parity(p, q);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharing_must_match() {
+        use absdom::PNode;
+        let shared = Pattern::new(vec![PNode::Leaf(AbsLeaf::Var)], vec![0, 0]);
+        let unshared = Pattern::new(
+            vec![PNode::Leaf(AbsLeaf::Var), PNode::Leaf(AbsLeaf::Var)],
+            vec![0, 1],
+        );
+        let mut heap = Vec::new();
+        let shared_cells = materialize(&mut heap, &shared);
+        assert!(matches(&heap, &shared_cells, 4, &shared));
+        assert!(!matches(&heap, &shared_cells, 4, &unshared));
+        let mut heap2 = Vec::new();
+        let unshared_cells = materialize(&mut heap2, &unshared);
+        assert!(matches(&heap2, &unshared_cells, 4, &unshared));
+        assert!(!matches(&heap2, &unshared_cells, 4, &shared));
+    }
+
+    #[test]
+    fn depth_cut_parity() {
+        // Deep struct: extraction cuts at k; so must the matcher.
+        let f = prolog_syntax::Interner::new().intern("f");
+        let mut nodes = Vec::new();
+        nodes.push(PNode::Leaf(AbsLeaf::Integer));
+        let mut id = 0;
+        for _ in 0..6 {
+            nodes.push(PNode::Struct(f, vec![id]));
+            id = nodes.len() - 1;
+        }
+        let deep = Pattern::new(nodes, vec![id]);
+        let mut heap = Vec::new();
+        let cells = materialize(&mut heap, &deep);
+        let expected = extract(&heap, &cells, 4);
+        assert!(matches(&heap, &cells, 4, &expected));
+        assert!(!matches(&heap, &cells, 4, &deep), "uncut pattern must not match");
+    }
+}

@@ -1,0 +1,286 @@
+//! The extension table: the memo structure of the ET-based control scheme.
+//!
+//! One table per analysis run. Each predicate holds a list of
+//! `(calling pattern, summarized success pattern)` entries; multiple
+//! calling patterns are kept per predicate while the success patterns for
+//! each calling pattern are lubbed together (§6 of the paper).
+//!
+//! The paper implements the table as "a linear list of (calling-pattern,
+//! success-pattern) pairs"; [`EtImpl::Linear`] reproduces that, and
+//! [`EtImpl::Hashed`] adds a hash index for the ablation study (our
+//! Ablation B).
+
+use absdom::Pattern;
+use std::collections::HashMap;
+
+/// Which lookup structure the table uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EtImpl {
+    /// Linear scan per predicate — the paper's implementation.
+    #[default]
+    Linear,
+    /// Hash index from calling pattern to entry.
+    Hashed,
+}
+
+/// One memo entry.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    /// The calling pattern (canonical).
+    pub call: Pattern,
+    /// The lub of all success patterns found so far, if any.
+    pub success: Option<Pattern>,
+    /// The iteration in which this calling pattern was last explored.
+    pub explored_iter: u64,
+    /// Version counter, bumped whenever the success summary grows (used
+    /// by the dependency-tracking iteration strategy).
+    pub version: u64,
+    /// The table entries (and their versions) this entry's last
+    /// exploration read; when all are unchanged, re-exploration is
+    /// provably a no-op and can be skipped.
+    pub deps: Vec<(usize, usize, u64)>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct PredTable {
+    entries: Vec<Entry>,
+    index: HashMap<Pattern, usize>,
+}
+
+/// The extension table.
+#[derive(Clone, Debug)]
+pub struct ExtensionTable {
+    preds: Vec<PredTable>,
+    impl_kind: EtImpl,
+    /// Whether any success entry changed since the flag was last cleared.
+    changed: bool,
+    lookups: u64,
+    scan_steps: u64,
+}
+
+impl ExtensionTable {
+    /// Create a table for `num_preds` predicates.
+    pub fn new(num_preds: usize, impl_kind: EtImpl) -> Self {
+        ExtensionTable {
+            preds: vec![PredTable::default(); num_preds],
+            impl_kind,
+            changed: false,
+            lookups: 0,
+            scan_steps: 0,
+        }
+    }
+
+    /// Index of the first entry under `pred` whose calling pattern
+    /// satisfies `test` (used with the allocation-free matcher).
+    pub fn find_by(&mut self, pred: usize, mut test: impl FnMut(&Pattern) -> bool) -> Option<usize> {
+        self.lookups += 1;
+        let table = &self.preds[pred];
+        for (i, e) in table.entries.iter().enumerate() {
+            self.scan_steps += 1;
+            if test(&e.call) {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Index of the entry for `call` under `pred`, if present.
+    pub fn find(&mut self, pred: usize, call: &Pattern) -> Option<usize> {
+        self.lookups += 1;
+        match self.impl_kind {
+            EtImpl::Linear => {
+                let table = &self.preds[pred];
+                for (i, e) in table.entries.iter().enumerate() {
+                    self.scan_steps += 1;
+                    if &e.call == call {
+                        return Some(i);
+                    }
+                }
+                None
+            }
+            EtImpl::Hashed => {
+                self.scan_steps += 1;
+                self.preds[pred].index.get(call).copied()
+            }
+        }
+    }
+
+    /// The entry at `(pred, idx)`.
+    pub fn entry(&self, pred: usize, idx: usize) -> &Entry {
+        &self.preds[pred].entries[idx]
+    }
+
+    /// Insert a fresh entry (marked explored in `iter`) and return its
+    /// index.
+    pub fn insert(&mut self, pred: usize, call: Pattern, iter: u64) -> usize {
+        let table = &mut self.preds[pred];
+        let idx = table.entries.len();
+        if self.impl_kind == EtImpl::Hashed {
+            table.index.insert(call.clone(), idx);
+        }
+        table.entries.push(Entry {
+            call,
+            success: None,
+            explored_iter: iter,
+            version: 0,
+            deps: Vec::new(),
+        });
+        idx
+    }
+
+    /// Mark an existing entry explored in `iter`.
+    pub fn mark_explored(&mut self, pred: usize, idx: usize, iter: u64) {
+        self.preds[pred].entries[idx].explored_iter = iter;
+    }
+
+    /// Record the dependencies observed while exploring `(pred, idx)`.
+    pub fn set_deps(&mut self, pred: usize, idx: usize, mut deps: Vec<(usize, usize, u64)>) {
+        deps.sort_unstable();
+        deps.dedup();
+        self.preds[pred].entries[idx].deps = deps;
+    }
+
+    /// The recorded dependencies of an entry.
+    pub fn deps(&self, pred: usize, idx: usize) -> &[(usize, usize, u64)] {
+        &self.preds[pred].entries[idx].deps
+    }
+
+    /// Whether every dependency of `(pred, idx)` still has the version it
+    /// had when the entry was last explored (and the entry has been
+    /// explored at least once).
+    pub fn deps_unchanged(&self, pred: usize, idx: usize) -> bool {
+        let entry = &self.preds[pred].entries[idx];
+        if entry.explored_iter == 0 {
+            return false;
+        }
+        entry
+            .deps
+            .iter()
+            .all(|&(p, i, v)| self.preds[p].entries[i].version == v)
+    }
+
+    /// The current version of an entry's summary.
+    pub fn version(&self, pred: usize, idx: usize) -> u64 {
+        self.preds[pred].entries[idx].version
+    }
+
+    /// Lub `success` into the entry; returns whether the summary grew
+    /// (also recorded in the global change flag).
+    pub fn update_success(&mut self, pred: usize, idx: usize, success: Pattern) -> bool {
+        let entry = &mut self.preds[pred].entries[idx];
+        match &entry.success {
+            // Fast path: the summary already equals the new pattern (the
+            // common case once the fixpoint is nearly reached).
+            Some(old) if *old == success => false,
+            Some(old) => {
+                let new = old.lub(&success);
+                if *old != new {
+                    entry.success = Some(new);
+                    entry.version += 1;
+                    self.changed = true;
+                    true
+                } else {
+                    false
+                }
+            }
+            None => {
+                entry.success = Some(success);
+                entry.version += 1;
+                self.changed = true;
+                true
+            }
+        }
+    }
+
+    /// Whether any success summary changed since the last [`Self::clear_changed`].
+    pub fn changed(&self) -> bool {
+        self.changed
+    }
+
+    /// Reset the change flag (between global iterations).
+    pub fn clear_changed(&mut self) {
+        self.changed = false;
+    }
+
+    /// All entries of a predicate.
+    pub fn entries(&self, pred: usize) -> &[Entry] {
+        &self.preds[pred].entries
+    }
+
+    /// Total number of entries across predicates.
+    pub fn len(&self) -> usize {
+        self.preds.iter().map(|p| p.entries.len()).sum()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(lookups, scan_steps)` counters for the ET-implementation
+    /// ablation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.lookups, self.scan_steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pat(specs: &[&str]) -> Pattern {
+        Pattern::from_spec(specs).unwrap()
+    }
+
+    #[test]
+    fn insert_and_find() {
+        for kind in [EtImpl::Linear, EtImpl::Hashed] {
+            let mut t = ExtensionTable::new(2, kind);
+            assert!(t.find(0, &pat(&["any"])).is_none());
+            let idx = t.insert(0, pat(&["any"]), 1);
+            assert_eq!(t.find(0, &pat(&["any"])), Some(idx));
+            assert!(t.find(1, &pat(&["any"])).is_none(), "per-predicate");
+            assert!(t.find(0, &pat(&["g"])).is_none());
+        }
+    }
+
+    #[test]
+    fn success_lubbing_sets_changed() {
+        let mut t = ExtensionTable::new(1, EtImpl::Linear);
+        let idx = t.insert(0, pat(&["any"]), 1);
+        assert!(!t.changed());
+        t.update_success(0, idx, pat(&["atom"]));
+        assert!(t.changed());
+        t.clear_changed();
+        // Same success again: no change.
+        t.update_success(0, idx, pat(&["atom"]));
+        assert!(!t.changed());
+        // Larger success: lub grows.
+        t.update_success(0, idx, pat(&["int"]));
+        assert!(t.changed());
+        assert_eq!(
+            t.entry(0, idx).success.as_ref().unwrap(),
+            &pat(&["const"])
+        );
+    }
+
+    #[test]
+    fn explored_iteration_tracking() {
+        let mut t = ExtensionTable::new(1, EtImpl::Linear);
+        let idx = t.insert(0, pat(&[]), 1);
+        assert_eq!(t.entry(0, idx).explored_iter, 1);
+        t.mark_explored(0, idx, 2);
+        assert_eq!(t.entry(0, idx).explored_iter, 2);
+    }
+
+    #[test]
+    fn stats_count_scans() {
+        let mut t = ExtensionTable::new(1, EtImpl::Linear);
+        t.insert(0, pat(&["any"]), 1);
+        t.insert(0, pat(&["g"]), 1);
+        t.find(0, &pat(&["g"]));
+        let (lookups, steps) = t.stats();
+        assert_eq!(lookups, 1);
+        assert_eq!(steps, 2, "linear scan walked both entries");
+    }
+}

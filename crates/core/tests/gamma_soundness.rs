@@ -1,0 +1,277 @@
+//! γ-soundness of abstract unification, tested by sampling.
+//!
+//! The soundness criterion of §4.1 (via set unification): for abstract
+//! terms `P` and `Q`, and any concrete terms `t ∈ γ(P)` and `u ∈ γ(Q)`
+//! with disjoint variables, if `t` and `u` unify concretely with mgu σ,
+//! then the abstract unification of (materializations of) `P` and `Q`
+//! must succeed, and the resulting abstract term must cover `σ(t)`.
+//!
+//! We generate random patterns, random covered instances, run a reference
+//! concrete unifier on the instances, run the machine's abstract unifier
+//! on the materializations, and compare.
+
+use absdom::{AbsLeaf, PNode, Pattern};
+use awam_core::{extract::extract, ACell, AbstractMachine, EtImpl};
+use proptest::prelude::*;
+use prolog_syntax::{Interner, Term, VarId};
+use std::collections::HashMap;
+
+// ----- random patterns (arity 1) -----
+
+#[derive(Clone, Debug)]
+enum PShape {
+    Leaf(u8),
+    Int(i64),
+    Nil,
+    List(Box<PShape>),
+    Struct(u8, Vec<PShape>),
+}
+
+fn pshape() -> impl Strategy<Value = PShape> {
+    let leaf = prop_oneof![
+        (0u8..7).prop_map(PShape::Leaf),
+        (-3i64..4).prop_map(PShape::Int),
+        Just(PShape::Nil),
+    ];
+    leaf.prop_recursive(2, 10, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|s| PShape::List(Box::new(s))),
+            (0u8..2, prop::collection::vec(inner.clone(), 1..3))
+                .prop_map(|(f, args)| PShape::Struct(f, args)),
+        ]
+    })
+}
+
+fn build_pattern(shape: &PShape, interner: &mut Interner) -> Pattern {
+    let mut nodes = Vec::new();
+    let root = build_node(shape, &mut nodes, interner);
+    Pattern::new(nodes, vec![root])
+}
+
+fn build_node(shape: &PShape, nodes: &mut Vec<PNode>, interner: &mut Interner) -> usize {
+    let node = match shape {
+        PShape::Leaf(i) => PNode::Leaf(AbsLeaf::ALL[*i as usize % AbsLeaf::ALL.len()]),
+        PShape::Int(i) => PNode::Int(*i),
+        PShape::Nil => PNode::Atom(absdom::nil_symbol()),
+        PShape::List(e) => {
+            let e = build_node(e, nodes, interner);
+            PNode::List(e)
+        }
+        PShape::Struct(f, args) => {
+            let name = interner.intern(if *f == 0 { "f" } else { "g" });
+            let args = args
+                .iter()
+                .map(|a| build_node(a, nodes, interner))
+                .collect();
+            PNode::Struct(name, args)
+        }
+    };
+    nodes.push(node);
+    nodes.len() - 1
+}
+
+// ----- random covered instances -----
+
+/// Produce a concrete term in γ(pattern-node), using `seed` for
+/// deterministic "randomness" and `var_base` to keep variable ranges of
+/// the two sides disjoint.
+fn instance(
+    p: &Pattern,
+    id: usize,
+    interner: &mut Interner,
+    seed: &mut u64,
+    var_base: u32,
+    shared: &mut HashMap<usize, Term>,
+) -> Term {
+    if let Some(t) = shared.get(&id) {
+        return t.clone();
+    }
+    let mut next = || {
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (*seed >> 33) as u32
+    };
+    let term = match p.node(id) {
+        PNode::Leaf(l) => instance_of_leaf(*l, interner, &mut next, var_base),
+        PNode::Int(i) => Term::Int(*i),
+        PNode::Atom(a) => Term::Atom(*a),
+        PNode::Struct(f, args) => {
+            let args = args
+                .iter()
+                .map(|&a| instance(p, a, interner, seed, var_base, shared))
+                .collect();
+            Term::Struct(*f, args)
+        }
+        PNode::List(e) => {
+            let n = next() % 3;
+            let items: Vec<Term> = (0..n)
+                .map(|_| instance(p, *e, interner, seed, var_base, shared))
+                .collect();
+            Term::list(interner, items)
+        }
+    };
+    shared.insert(id, term.clone());
+    term
+}
+
+fn instance_of_leaf(
+    l: AbsLeaf,
+    interner: &mut Interner,
+    next: &mut impl FnMut() -> u32,
+    var_base: u32,
+) -> Term {
+    use AbsLeaf::*;
+    match l {
+        Var => Term::Var(VarId(var_base + next() % 4)),
+        Integer => Term::Int(i64::from(next() % 7) - 3),
+        Atom => Term::Atom(interner.intern(["a", "b", "c"][(next() % 3) as usize])),
+        Const => {
+            if next().is_multiple_of(2) {
+                Term::Int(i64::from(next() % 5))
+            } else {
+                Term::Atom(interner.intern("k"))
+            }
+        }
+        Ground => match next() % 3 {
+            0 => Term::Int(i64::from(next() % 5)),
+            1 => Term::Atom(interner.intern("gr")),
+            _ => {
+                let f = interner.intern("h");
+                Term::Struct(f, vec![Term::Int(i64::from(next() % 3))])
+            }
+        },
+        NonVar => match next() % 2 {
+            0 => Term::Atom(interner.intern("nv")),
+            _ => {
+                let f = interner.intern("h");
+                Term::Struct(f, vec![Term::Var(VarId(var_base + next() % 4))])
+            }
+        },
+        Any => match next() % 3 {
+            0 => Term::Var(VarId(var_base + next() % 4)),
+            1 => Term::Int(i64::from(next() % 5)),
+            _ => Term::Atom(interner.intern("x")),
+        },
+    }
+}
+
+// ----- a reference concrete unifier over syntax terms -----
+
+fn resolve(t: &Term, subst: &HashMap<VarId, Term>) -> Term {
+    match t {
+        Term::Var(v) => match subst.get(v) {
+            Some(bound) => resolve(bound, subst),
+            None => t.clone(),
+        },
+        _ => t.clone(),
+    }
+}
+
+fn unify_terms(a: &Term, b: &Term, subst: &mut HashMap<VarId, Term>) -> bool {
+    let a = resolve(a, subst);
+    let b = resolve(b, subst);
+    match (&a, &b) {
+        (Term::Var(x), Term::Var(y)) if x == y => true,
+        (Term::Var(x), _) => {
+            subst.insert(*x, b);
+            true
+        }
+        (_, Term::Var(y)) => {
+            subst.insert(*y, a);
+            true
+        }
+        (Term::Int(x), Term::Int(y)) => x == y,
+        (Term::Atom(x), Term::Atom(y)) => x == y,
+        (Term::Struct(f, xs), Term::Struct(g, ys)) => {
+            f == g
+                && xs.len() == ys.len()
+                && xs.iter().zip(ys).all(|(x, y)| unify_terms(x, y, subst))
+        }
+        _ => false,
+    }
+}
+
+fn apply(t: &Term, subst: &HashMap<VarId, Term>) -> Term {
+    match t {
+        Term::Var(v) => match subst.get(v) {
+            Some(bound) => apply(bound, subst),
+            None => t.clone(),
+        },
+        Term::Int(_) | Term::Atom(_) => t.clone(),
+        Term::Struct(f, args) => {
+            Term::Struct(*f, args.iter().map(|a| apply(a, subst)).collect())
+        }
+    }
+}
+
+// ----- the property -----
+
+fn trivial_program() -> wam::CompiledProgram {
+    wam::compile_program(&prolog_syntax::parse_program("p.").unwrap()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn abstract_unify_is_gamma_sound(a in pshape(), b in pshape(), seed in any::<u64>()) {
+        let compiled = trivial_program();
+        let mut interner = compiled.interner.clone();
+        let pa = build_pattern(&a, &mut interner);
+        let pb = build_pattern(&b, &mut interner);
+
+        // Concrete instances with disjoint variable ranges.
+        let mut s1 = seed;
+        let mut s2 = seed ^ 0xdead_beef;
+        let t = instance(&pa, pa.root(0), &mut interner, &mut s1, 0, &mut HashMap::new());
+        let u = instance(&pb, pb.root(0), &mut interner, &mut s2, 100, &mut HashMap::new());
+        prop_assume!(pa.covers(std::slice::from_ref(&t)), "generator must honor γ");
+        prop_assume!(pb.covers(std::slice::from_ref(&u)), "generator must honor γ");
+
+        let mut subst = HashMap::new();
+        let concrete_ok = unify_terms(&t, &u, &mut subst);
+
+        // Abstract unification of the materialized patterns.
+        let mut machine = AbstractMachine::new(&compiled, 4, EtImpl::Linear);
+        let ca = awam_core::extract::materialize(machine.heap_mut(), &pa)[0];
+        let cb = awam_core::extract::materialize(machine.heap_mut(), &pb)[0];
+        let abstract_ok = machine.unify_cells(ca, cb);
+
+        if concrete_ok {
+            prop_assert!(
+                abstract_ok,
+                "concrete unification of {t:?} and {u:?} succeeded but abstract \
+                 unification of {pa:?} and {pb:?} failed"
+            );
+            // And the result must cover the concretely unified term.
+            let unified = apply(&t, &subst);
+            let result = extract(machine.heap(), &[ca], 16);
+            prop_assert!(
+                result.covers(std::slice::from_ref(&unified)),
+                "abstract result {result:?} does not cover σ(t) = {unified:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn constrain_ground_is_gamma_sound(a in pshape(), seed in any::<u64>()) {
+        let compiled = trivial_program();
+        let mut interner = compiled.interner.clone();
+        let pa = build_pattern(&a, &mut interner);
+        let mut s = seed;
+        let t = instance(&pa, pa.root(0), &mut interner, &mut s, 0, &mut HashMap::new());
+        prop_assume!(pa.covers(std::slice::from_ref(&t)));
+
+        let mut machine = AbstractMachine::new(&compiled, 4, EtImpl::Linear);
+        let cell = awam_core::extract::materialize(machine.heap_mut(), &pa)[0];
+        let g_addr = machine.heap_mut().len();
+        machine.heap_mut().push(ACell::Abs(AbsLeaf::Ground));
+        let ok = machine.unify_cells(cell, ACell::Ref(g_addr));
+        // If the instance is already ground, the abstract op must succeed
+        // and the result must still cover it.
+        if t.is_ground() {
+            prop_assert!(ok, "grounding a ground instance of {pa:?} failed");
+            let result = extract(machine.heap(), &[cell], 16);
+            prop_assert!(result.covers(std::slice::from_ref(&t)));
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! The dependency-tracking (worklist) iteration strategy against the
+//! paper's global-restart scheme.
+//!
+//! Exact table equality between the two is *not* a theorem: success
+//! summaries accumulate every contribution ever lubbed in, so they depend
+//! on exploration order (both strategies produce sound fixpoints that
+//! over-approximate the least one). What must hold:
+//!
+//! * the same calling patterns are discovered;
+//! * each entry succeeds/fails identically;
+//! * the worklist's tables remain sound against concrete execution;
+//! * the worklist does not blow up the work done.
+
+use awam_core::{Analyzer, IterationStrategy};
+use wam_machine::Machine;
+
+#[test]
+fn strategies_agree_on_calling_patterns_and_verdicts() {
+    for b in bench_suite::all() {
+        let program = b.parse().expect("parse");
+        let mut restart = Analyzer::compile(&program)
+            .expect("compile")
+            .with_strategy(IterationStrategy::GlobalRestart);
+        let mut dependency = Analyzer::compile(&program)
+            .expect("compile")
+            .with_strategy(IterationStrategy::Dependency);
+        let a = restart
+            .analyze_query(b.entry, b.entry_specs)
+            .expect("restart analysis");
+        let d = dependency
+            .analyze_query(b.entry, b.entry_specs)
+            .expect("dependency analysis");
+
+        let a_names: Vec<&str> = a.predicates.iter().map(|p| p.name.as_str()).collect();
+        let n_names: Vec<&str> = d.predicates.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(a_names, n_names, "{}: analyzed predicates differ", b.name);
+
+        for (pa, pd) in a.predicates.iter().zip(&d.predicates) {
+            // Same set of calling patterns…
+            let mut ca: Vec<String> = pa.entries.iter().map(|(c, _)| format!("{c:?}")).collect();
+            let mut cd: Vec<String> = pd.entries.iter().map(|(c, _)| format!("{c:?}")).collect();
+            ca.sort();
+            cd.sort();
+            assert_eq!(ca, cd, "{}: calling patterns differ for {}", b.name, pa.name);
+            // …with matching success/failure verdicts per pattern.
+            for (call, success) in &pa.entries {
+                let other = pd
+                    .entries
+                    .iter()
+                    .find(|(c, _)| c == call)
+                    .unwrap_or_else(|| panic!("{}: {} entry missing", b.name, pa.name));
+                assert_eq!(
+                    success.is_some(),
+                    other.1.is_some(),
+                    "{}: {} verdicts differ for {:?}",
+                    b.name,
+                    pa.name,
+                    call
+                );
+            }
+        }
+        assert!(
+            (d.instructions_executed as f64) <= a.instructions_executed as f64 * 1.5,
+            "{}: dependency strategy did much more work ({} vs {})",
+            b.name,
+            d.instructions_executed,
+            a.instructions_executed
+        );
+    }
+}
+
+#[test]
+fn dependency_strategy_stays_sound_against_concrete_runs() {
+    for name in ["nreverse", "qsort", "queens_8", "serialise"] {
+        let b = bench_suite::by_name(name).unwrap();
+        let program = b.parse().unwrap();
+        let compiled = wam::compile_program(&program).unwrap();
+        let mut machine = Machine::new(&compiled);
+        machine.trace_calls = true;
+        machine.set_max_steps(1_000_000);
+        let _ = machine.query_str(b.entry);
+
+        let mut analyzer = Analyzer::compile(&program)
+            .unwrap()
+            .with_strategy(IterationStrategy::Dependency);
+        let analysis = analyzer.analyze_query(b.entry, b.entry_specs).unwrap();
+        for (pid, args) in machine.call_trace.iter().take(10_000) {
+            let pa = analysis
+                .predicates
+                .iter()
+                .find(|p| p.pred == *pid)
+                .unwrap_or_else(|| panic!("{name}: predicate {pid} not analyzed"));
+            assert!(
+                pa.entries.iter().any(|(cp, _)| cp.covers(args)),
+                "{name}: concrete call to {} not covered under the worklist strategy",
+                pa.name
+            );
+        }
+    }
+}
+
+#[test]
+fn dependency_strategy_skips_redundant_exploration() {
+    // On a multi-iteration benchmark the global scheme re-explores every
+    // entry every iteration; the worklist only revisits what changed, so
+    // its instruction count must be lower.
+    let b = bench_suite::by_name("nreverse").unwrap();
+    let program = b.parse().unwrap();
+    let a = Analyzer::compile(&program)
+        .unwrap()
+        .with_strategy(IterationStrategy::GlobalRestart)
+        .analyze_query(b.entry, b.entry_specs)
+        .unwrap();
+    let d = Analyzer::compile(&program)
+        .unwrap()
+        .with_strategy(IterationStrategy::Dependency)
+        .analyze_query(b.entry, b.entry_specs)
+        .unwrap();
+    assert!(
+        d.instructions_executed < a.instructions_executed,
+        "dependency: {} vs restart: {}",
+        d.instructions_executed,
+        a.instructions_executed
+    );
+}

@@ -1,0 +1,94 @@
+//! Weakened domains (ablation C) must stay *sound*: analyses run with
+//! aliasing, list types, or structure types disabled still have to cover
+//! every concrete call.
+
+use absdom::DomainConfig;
+use awam_core::Analyzer;
+use wam_machine::Machine;
+
+const CONFIGS: &[DomainConfig] = &[
+    DomainConfig {
+        aliasing: false,
+        list_types: true,
+        struct_types: true,
+    },
+    DomainConfig {
+        aliasing: true,
+        list_types: false,
+        struct_types: true,
+    },
+    DomainConfig {
+        aliasing: true,
+        list_types: true,
+        struct_types: false,
+    },
+    DomainConfig {
+        aliasing: false,
+        list_types: false,
+        struct_types: false,
+    },
+];
+
+#[test]
+fn weakened_analyses_still_cover_concrete_calls() {
+    for name in ["nreverse", "qsort", "times10", "queens_8"] {
+        let b = bench_suite::by_name(name).unwrap();
+        let program = b.parse().unwrap();
+        let compiled = wam::compile_program(&program).unwrap();
+        let mut machine = Machine::new(&compiled);
+        machine.trace_calls = true;
+        machine.set_max_steps(500_000);
+        let _ = machine.query_str(b.entry);
+
+        for &config in CONFIGS {
+            let mut analyzer = Analyzer::compile(&program)
+                .unwrap()
+                .with_domain_config(config);
+            let analysis = analyzer
+                .analyze_query(b.entry, b.entry_specs)
+                .unwrap_or_else(|e| panic!("{name} under {config:?}: {e}"));
+            for (pid, args) in machine.call_trace.iter().take(5_000) {
+                let pa = analysis
+                    .predicates
+                    .iter()
+                    .find(|p| p.pred == *pid)
+                    .unwrap_or_else(|| panic!("{name} under {config:?}: pred not analyzed"));
+                assert!(
+                    pa.entries.iter().any(|(cp, _)| cp.covers(args)),
+                    "{name} under {config:?}: uncovered call to {}",
+                    pa.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn weakened_tables_are_coarser_or_equal() {
+    // Disabling a domain feature can only reduce the number of distinct
+    // calling patterns (coarser abstraction ⇒ more collisions).
+    let b = bench_suite::by_name("times10").unwrap();
+    let program = b.parse().unwrap();
+    let full = Analyzer::compile(&program)
+        .unwrap()
+        .analyze_query(b.entry, b.entry_specs)
+        .unwrap();
+    let coarse = Analyzer::compile(&program)
+        .unwrap()
+        .with_domain_config(DomainConfig {
+            aliasing: false,
+            list_types: false,
+            struct_types: false,
+        })
+        .analyze_query(b.entry, b.entry_specs)
+        .unwrap();
+    let count = |a: &awam_core::Analysis| -> usize {
+        a.predicates.iter().map(|p| p.entries.len()).sum()
+    };
+    assert!(
+        count(&coarse) <= count(&full),
+        "coarse: {} vs full: {}",
+        count(&coarse),
+        count(&full)
+    );
+}

@@ -1,0 +1,63 @@
+% The meta-interpreting driver: interprets the object program
+% supplied as clauses/2 facts, using the shared runtime.
+
+% ---- driver: iterate to the least fixpoint ----
+
+run(P, Args) :- iterate(P, Args, [], _).
+
+iterate(P, Args, E0, E) :-
+    reset_explored(E0, E1),
+    solve_call(P, Args, E1, E2, 0, Ch, _),
+    ( Ch =:= 0 -> E = E2 ; iterate(P, Args, E2, E) ).
+
+
+% ---- the reinterpreted call (cf. the paper's Figure 5) ----
+
+solve_call(P, Args, E0, E, Ch0, Ch, Res) :-
+    find_entry(E0, P, Args, F),
+    ( F = found(S, y) ->
+        E = E0, Ch = Ch0, res_of(S, Res)
+    ; F = found(_, n) ->
+        mark_explored(E0, P, Args, E1),
+        explore_pred(P, Args, E1, E, Ch0, Ch, Res)
+    ;   insert_entry(E0, P, Args, E1),
+        explore_pred(P, Args, E1, E, Ch0, Ch, Res)
+    ).
+
+explore_pred(P, Args, E0, E, Ch0, Ch, Res) :-
+    clauses(P, Cs),
+    explore(Cs, P, Args, E0, E1, Ch0, Ch),
+    find_entry(E1, P, Args, found(S, _)),
+    res_of(S, Res),
+    E = E1.
+
+explore([], _, _, E, E, Ch, Ch).
+explore([cl(H, B)|Cs], P, Args, E0, E, Ch0, Ch) :-
+    try_clause(H, B, P, Args, E0, E1, Ch0, Ch1),
+    explore(Cs, P, Args, E1, E, Ch1, Ch).
+
+try_clause(H, B, P, Args, E0, E, Ch0, Ch) :-
+    ( aunify_args(H, Args, [], S1) ->
+        run_goals(B, S1, E0, E1, Ch0, Ch1, R),
+        ( R = yes(S2) ->
+            abstract_args(H, S2, Types),
+            update_succ(E1, P, Args, Types, E, Ch1, Ch)
+        ; E = E1, Ch = Ch1 )
+    ; E = E0, Ch = Ch0 ).
+
+run_goals([], S, E, E, Ch, Ch, yes(S)).
+run_goals([G|Gs], S0, E0, E, Ch0, Ch, R) :-
+    run_goal(G, S0, E0, E1, Ch0, Ch1, R1),
+    ( R1 = yes(S1) -> run_goals(Gs, S1, E1, E, Ch1, Ch, R)
+    ; E = E1, Ch = Ch1, R = no ).
+
+run_goal(cut, S, E, E, Ch, Ch, yes(S)).
+run_goal(bi(B, Args), S0, E, E, Ch, Ch, R) :-
+    ( abuiltin(B, Args, S0, S1) -> R = yes(S1) ; R = no ).
+run_goal(call(P, Args), S0, E0, E, Ch0, Ch, R) :-
+    abstract_args(Args, S0, Types),
+    solve_call(P, Types, E0, E, Ch0, Ch, R1),
+    ( R1 = some(Succ) ->
+        ( apply_succ(Args, Succ, S0, S1) -> R = yes(S1) ; R = no )
+    ; R = no ).
+

@@ -1,0 +1,322 @@
+//! The *transforming* approach: the object program is partially evaluated
+//! into a specialized Prolog analysis program.
+//!
+//! The paper's §1 distinguishes two prior implementation styles —
+//! meta-interpretation ([6, 17]) and **program transformation** ([5, 23]),
+//! where "the transformed predicate p is a deterministic procedure of the
+//! original code" (its §5 shows exactly this shape for `p'`/`p`). This
+//! module is the transformer: for every object predicate it emits
+//! *dedicated* Prolog predicates that inline the clause structure — no
+//! `clauses/2` data lookup, no interpretive goal dispatch — on top of the
+//! same shared runtime ([`crate::RUNTIME`]) the meta-interpreter uses.
+//!
+//! With all three styles present (meta-interpretation, transformation,
+//! compilation), Table 1 can report the full taxonomy the paper surveys.
+//!
+//! Generated shape, for a predicate `p/2` with clauses `c1…ck`:
+//!
+//! ```text
+//! 's p/2'(Args, E0, E, Ch0, Ch, Res) :-        % solve: ET consultation
+//!     find_entry(E0, 'p/2', Args, F),
+//!     ( F = found(S, y) -> … ; …, 'e p/2'(Args, …) ).
+//! 'e p/2'(Args, E0, E, Ch0, Ch, Res) :-        % explore all clauses
+//!     't p/2.1'(Args, E0, E1, Ch0, Ch1),
+//!     …,
+//!     find_entry(Ek, 'p/2', Args, found(S, _)), res_of(S, Res).
+//! 't p/2.1'(Args, E0, E, Ch0, Ch) :-           % one clause: head + body
+//!     ( aunify_args([<head terms>], Args, [], S0) ->
+//!         'b p/2.1.0'(S0, E0, E1, Ch0, Ch1, R),
+//!         ( R = yes(S) -> abstract_args(…), update_succ(…) ; … )
+//!     ; E = E0, Ch = Ch0 ).
+//! 'b p/2.1.0'(S0, E0, E, Ch0, Ch, R) :- …      % one goal, chained
+//! ```
+
+use crate::{builtin_atom, quote_atom, spec_to_type, term_text, HostedError, RUNTIME};
+use prolog_syntax::Program;
+use std::fmt::Write as _;
+use wam::norm::{normalize_program, Goal, NormProgram};
+use wam_machine::Machine;
+
+/// A ready-to-run transformed analysis (same interface as
+/// [`crate::HostedAnalyzer`]).
+#[derive(Debug)]
+pub struct TransformedAnalyzer {
+    compiled: wam::CompiledProgram,
+}
+
+impl TransformedAnalyzer {
+    /// Transform `program` into a specialized analysis program for the
+    /// given entry.
+    ///
+    /// # Errors
+    ///
+    /// See [`HostedError`].
+    pub fn build(
+        program: &Program,
+        entry: &str,
+        entry_specs: &[&str],
+    ) -> Result<TransformedAnalyzer, HostedError> {
+        let source = Self::generated_source(program, entry, entry_specs)?;
+        let parsed = prolog_syntax::parse_program(&source)
+            .map_err(|e| HostedError::Parse(e.to_string()))?;
+        let compiled = wam::compile_program(&parsed)
+            .map_err(|e| HostedError::Compile(e.to_string()))?;
+        Ok(TransformedAnalyzer { compiled })
+    }
+
+    /// The transformed program's source, for inspection.
+    ///
+    /// # Errors
+    ///
+    /// See [`HostedError`].
+    pub fn generated_source(
+        program: &Program,
+        entry: &str,
+        entry_specs: &[&str],
+    ) -> Result<String, HostedError> {
+        let norm =
+            normalize_program(program).map_err(|e| HostedError::Norm(e.to_string()))?;
+        let transformed = transform(&norm, entry, entry_specs)?;
+        Ok(format!("{transformed}\n{RUNTIME}"))
+    }
+
+    /// Run the transformed analysis once on a fresh concrete machine.
+    ///
+    /// # Errors
+    ///
+    /// [`HostedError::Run`] on machine errors.
+    pub fn run(&self) -> Result<crate::HostedRun, HostedError> {
+        let mut machine = Machine::new(&self.compiled);
+        machine.set_max_steps(5_000_000_000);
+        let solution = machine
+            .query_str("main")
+            .map_err(|e| HostedError::Run(e.to_string()))?;
+        Ok(crate::HostedRun {
+            succeeded: solution.is_some(),
+            steps: machine.steps(),
+        })
+    }
+
+    /// Static code size of the transformed analysis program.
+    pub fn code_size(&self) -> usize {
+        self.compiled.code_size()
+    }
+}
+
+fn transform(
+    norm: &NormProgram,
+    entry: &str,
+    entry_specs: &[&str],
+) -> Result<String, HostedError> {
+    let interner = &norm.interner;
+    let mut out = String::new();
+    let entry_types: Vec<String> = entry_specs
+        .iter()
+        .map(|s| spec_to_type(s))
+        .collect::<Result<_, _>>()?;
+    let entry_key = format!("{entry}/{}", entry_specs.len());
+    let _ = writeln!(
+        out,
+        "main :- it_main([], _).\n\
+         it_main(E0, E) :-\n    \
+             reset_explored(E0, E1),\n    \
+             {}([{}], E1, E2, 0, Ch, _),\n    \
+             ( Ch =:= 0 -> E = E2 ; it_main(E2, E) ).\n",
+        solve_name(&entry_key),
+        entry_types.join(", ")
+    );
+
+    for (key, clauses) in &norm.predicates {
+        let pkey = format!("{}/{}", interner.resolve(key.name), key.arity);
+        let pred_atom = quote_atom(&pkey);
+        let solve = solve_name(&pkey);
+        let explore = mangled("e", &pkey);
+
+        // solve: the §5 `p'` — calling-pattern consultation.
+        let _ = writeln!(
+            out,
+            "{solve}(Args, E0, E, Ch0, Ch, Res) :-\n    \
+                 find_entry(E0, {pred_atom}, Args, F),\n    \
+                 ( F = found(S, y) ->\n        \
+                     E = E0, Ch = Ch0, res_of(S, Res)\n    \
+                 ; F = found(_, n) ->\n        \
+                     mark_explored(E0, {pred_atom}, Args, E1),\n        \
+                     {explore}(Args, E1, E, Ch0, Ch, Res)\n    \
+                 ;   insert_entry(E0, {pred_atom}, Args, E1),\n        \
+                     {explore}(Args, E1, E, Ch0, Ch, Res)\n    \
+                 ).\n"
+        );
+
+        // explore: the deterministic clause chain of §5 (`… , fail` becomes
+        // sequencing through the per-clause try predicates).
+        let mut chain = String::new();
+        for ci in 0..clauses.len() {
+            let tname = mangled_clause("t", &pkey, ci);
+            let _ = writeln!(chain, "    {tname}(Args, E{ci}, E{}, Ch{ci}, Ch{}),", ci + 1, ci + 1);
+        }
+        let n = clauses.len();
+        let _ = writeln!(
+            out,
+            "{explore}(Args, E0, E, Ch0, Ch, Res) :-\n\
+             {chain}    \
+                 find_entry(E{n}, {pred_atom}, Args, found(S, _)),\n    \
+                 res_of(S, Res), E = E{n}, Ch = Ch{n}.\n"
+        );
+
+        for (ci, clause) in clauses.iter().enumerate() {
+            let tname = mangled_clause("t", &pkey, ci);
+            let head_terms: Vec<String> = clause
+                .head_args
+                .iter()
+                .map(|t| term_text(t, interner))
+                .collect();
+            let head_list = format!("[{}]", head_terms.join(", "));
+            let body0 = mangled_goal("b", &pkey, ci, 0);
+            // try: specialized head unification + body entry, updateET on
+            // success, forced continue either way (§5's `updateET, fail`).
+            let _ = writeln!(
+                out,
+                "{tname}(Args, E0, E, Ch0, Ch) :-\n    \
+                     ( aunify_args({head_list}, Args, [], S0) ->\n        \
+                         {body0}(S0, E0, E1, Ch0, Ch1, R),\n        \
+                         ( R = yes(S) ->\n            \
+                             abstract_args({head_list}, S, Types),\n            \
+                             update_succ(E1, {pred_atom}, Args, Types, E, Ch1, Ch)\n        \
+                         ; E = E1, Ch = Ch1 )\n    \
+                     ; E = E0, Ch = Ch0 ).\n"
+            );
+
+            // body goal chain.
+            for (gi, goal) in clause.goals.iter().enumerate() {
+                let this = mangled_goal("b", &pkey, ci, gi);
+                let next = mangled_goal("b", &pkey, ci, gi + 1);
+                match goal {
+                    Goal::Cut => {
+                        // Sound over-approximation: cut is true.
+                        let _ = writeln!(
+                            out,
+                            "{this}(S0, E0, E, Ch0, Ch, R) :- {next}(S0, E0, E, Ch0, Ch, R).\n"
+                        );
+                    }
+                    Goal::Builtin(b, args) => {
+                        let args_list: Vec<String> =
+                            args.iter().map(|t| term_text(t, interner)).collect();
+                        let _ = writeln!(
+                            out,
+                            "{this}(S0, E0, E, Ch0, Ch, R) :-\n    \
+                                 ( abuiltin({}, [{}], S0, S1) ->\n        \
+                                     {next}(S1, E0, E, Ch0, Ch, R)\n    \
+                                 ; E = E0, Ch = Ch0, R = no ).\n",
+                            builtin_atom(*b),
+                            args_list.join(", ")
+                        );
+                    }
+                    Goal::Call(callee, args) => {
+                        let ckey = format!(
+                            "{}/{}",
+                            interner.resolve(callee.name),
+                            callee.arity
+                        );
+                        let csolve = solve_name(&ckey);
+                        let args_list: Vec<String> =
+                            args.iter().map(|t| term_text(t, interner)).collect();
+                        let args_list = format!("[{}]", args_list.join(", "));
+                        let _ = writeln!(
+                            out,
+                            "{this}(S0, E0, E, Ch0, Ch, R) :-\n    \
+                                 abstract_args({args_list}, S0, Ts),\n    \
+                                 {csolve}(Ts, E0, E1, Ch0, Ch1, R1),\n    \
+                                 ( R1 = some(Succ) ->\n        \
+                                     ( apply_succ({args_list}, Succ, S0, S1) ->\n            \
+                                         {next}(S1, E1, E, Ch1, Ch, R)\n        \
+                                     ; E = E1, Ch = Ch1, R = no )\n    \
+                                 ; E = E1, Ch = Ch1, R = no ).\n"
+                        );
+                    }
+                }
+            }
+            // Terminal goal: clause body exhausted.
+            let end = mangled_goal("b", &pkey, ci, clause.goals.len());
+            let _ = writeln!(out, "{end}(S, E, E, Ch, Ch, yes(S)).\n");
+        }
+    }
+    Ok(out)
+}
+
+fn solve_name(pkey: &str) -> String {
+    mangled("s", pkey)
+}
+
+fn mangled(prefix: &str, pkey: &str) -> String {
+    quote_atom(&format!("${prefix} {pkey}"))
+}
+
+fn mangled_clause(prefix: &str, pkey: &str, clause: usize) -> String {
+    quote_atom(&format!("${prefix} {pkey}.{clause}"))
+}
+
+fn mangled_goal(prefix: &str, pkey: &str, clause: usize, goal: usize) -> String {
+    quote_atom(&format!("${prefix} {pkey}.{clause}.{goal}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prolog_syntax::parse_program;
+
+    #[test]
+    fn append_transformed_analysis_runs() {
+        let program = parse_program(
+            "app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).",
+        )
+        .unwrap();
+        let t = TransformedAnalyzer::build(&program, "app", &["glist", "glist", "var"])
+            .unwrap_or_else(|e| {
+                let src =
+                    TransformedAnalyzer::generated_source(&program, "app", &["glist", "glist", "var"]);
+                panic!("{e}\n---\n{}", src.unwrap_or_default())
+            });
+        let run = t.run().unwrap();
+        assert!(run.succeeded);
+        assert!(run.steps > 500);
+    }
+
+    #[test]
+    fn transformed_matches_meta_interpreter_on_suite_shapes() {
+        // Both hosted styles must complete on representative programs.
+        for src in [
+            "nrev([], []). nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R). \
+             app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R). \
+             main :- nrev([1, 2, 3], _).",
+            "p(X) :- (q(X) -> r(X) ; s(X)). q(1). r(1). s(2). main :- p(_).",
+            "count([], 0). count([_|T], N) :- count(T, M), N is M + 1. \
+             main :- count([a, b], _).",
+        ] {
+            let program = parse_program(src).unwrap();
+            let t = TransformedAnalyzer::build(&program, "main", &[]).unwrap();
+            let run = t.run().unwrap();
+            assert!(run.succeeded, "{src}");
+            let h = crate::HostedAnalyzer::build(&program, "main", &[]).unwrap();
+            let hrun = h.run().unwrap();
+            assert!(hrun.succeeded, "{src}");
+            // Specialization removes the interpretive layer, so the
+            // transformed analysis must execute fewer machine steps.
+            assert!(
+                run.steps < hrun.steps,
+                "{src}: transformed {} vs hosted {}",
+                run.steps,
+                hrun.steps
+            );
+        }
+    }
+
+    #[test]
+    fn generated_source_is_specialized() {
+        let program = parse_program("p(1). p(2).").unwrap();
+        let src = TransformedAnalyzer::generated_source(&program, "p", &["var"]).unwrap();
+        assert!(src.contains("'$s p/1'"), "{src}");
+        assert!(src.contains("'$t p/1.0'"), "{src}");
+        assert!(src.contains("'$t p/1.1'"), "{src}");
+        assert!(!src.contains("clauses("), "no interpretive clause data: {src}");
+    }
+}

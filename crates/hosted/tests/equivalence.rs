@@ -1,0 +1,130 @@
+//! The two Prolog-hosted styles — meta-interpretation and program
+//! transformation — implement the same abstract semantics, so they must
+//! compute the same extension table (entries may be listed in a different
+//! order; compare as sets).
+
+use hosted::{HostedAnalyzer, TransformedAnalyzer};
+use prolog_syntax::parse_program;
+use wam_machine::Machine;
+
+/// Run an analysis program whose `main` has been patched to print the
+/// final table, and return the sorted entry strings.
+fn table_of(source: &str) -> Vec<String> {
+    let parsed = parse_program(source).expect("generated source parses");
+    let compiled = wam::compile_program(&parsed).expect("generated source compiles");
+    let mut machine = Machine::new(&compiled);
+    machine.set_max_steps(5_000_000_000);
+    let solution = machine.query_str("main").expect("runs");
+    assert!(solution.is_some(), "analysis driver must succeed");
+    // Output is `[e(...), e(...)]`; split into entries at `e(` boundaries
+    // after stripping the explored flags (y/n are per-run bookkeeping).
+    let text = machine.output.trim().to_owned();
+    let mut entries: Vec<String> = split_entries(&text)
+        .into_iter()
+        .map(|e| normalize_flags(&e))
+        .collect();
+    entries.sort();
+    entries
+}
+
+fn split_entries(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    for c in text.chars() {
+        match c {
+            '(' | '[' => {
+                depth += 1;
+                current.push(c);
+            }
+            ')' | ']' => {
+                depth = depth.saturating_sub(1);
+                current.push(c);
+            }
+            ',' if depth == 1 => {
+                out.push(current.trim().to_owned());
+                current.clear();
+            }
+            _ => current.push(c),
+        }
+    }
+    let tail = current
+        .trim()
+        .trim_start_matches('[')
+        .trim_end_matches(']')
+        .trim()
+        .to_owned();
+    if !tail.is_empty() {
+        out.push(tail);
+    }
+    // The first element still carries the leading `[`.
+    out.iter()
+        .map(|e| e.trim_start_matches('[').trim().to_owned())
+        .filter(|e| !e.is_empty())
+        .collect()
+}
+
+fn normalize_flags(entry: &str) -> String {
+    // e(P, Call, Succ, y|n) → drop the trailing flag.
+    entry
+        .strip_suffix(", y)")
+        .or_else(|| entry.strip_suffix(", n)"))
+        .map_or_else(|| entry.to_owned(), |body| format!("{body})"))
+}
+
+fn print_table(source: String) -> String {
+    source.replace(
+        "run(P, Args) :- iterate(P, Args, [], _).",
+        "run(P, Args) :- iterate(P, Args, [], E), write(E).",
+    )
+}
+
+fn print_table_transformed(source: String) -> String {
+    source.replace(
+        "main :- it_main([], _).",
+        "main :- it_main([], E), write(E).",
+    )
+}
+
+#[test]
+fn meta_and_transformed_compute_the_same_table() {
+    let programs = [
+        (
+            "app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).",
+            "app",
+            vec!["glist", "glist", "var"],
+        ),
+        (
+            "nrev([], []). nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R). \
+             app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).",
+            "nrev",
+            vec!["glist", "var"],
+        ),
+        (
+            "fact(0, 1) :- !. fact(N, F) :- N > 0, M is N - 1, fact(M, G), F is N * G.",
+            "fact",
+            vec!["int", "var"],
+        ),
+        (
+            "d(U + V, X, DU + DV) :- !, d(U, X, DU), d(V, X, DV). d(X, X, 1) :- !. d(_, _, 0).",
+            "d",
+            vec!["g", "atom", "var"],
+        ),
+    ];
+    for (src, entry, specs) in programs {
+        let program = parse_program(src).unwrap();
+        let meta_src = print_table(
+            HostedAnalyzer::generated_source(&program, entry, &specs).unwrap(),
+        );
+        let trans_src = print_table_transformed(
+            TransformedAnalyzer::generated_source(&program, entry, &specs).unwrap(),
+        );
+        let meta = table_of(&meta_src);
+        let trans = table_of(&trans_src);
+        assert_eq!(
+            meta, trans,
+            "tables differ for {entry} on:\n{src}\nmeta: {meta:#?}\ntrans: {trans:#?}"
+        );
+        assert!(!meta.is_empty(), "{entry}: empty table");
+    }
+}

@@ -1,0 +1,191 @@
+//! String interning for atoms and functor names.
+//!
+//! Every atom and functor name in a [`crate::Program`] is interned into a
+//! [`Symbol`] — a cheap, `Copy`, hashable handle. The [`Interner`] owns the
+//! backing strings and pre-interns the handful of atoms the rest of the
+//! workspace needs to recognize structurally (`[]`, `'.'`, `','`, …).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned atom or functor name.
+///
+/// Symbols are only meaningful relative to the [`Interner`] that produced
+/// them; comparing symbols from different interners is a logic error (but
+/// not UB — they are plain indices).
+///
+/// # Examples
+///
+/// ```
+/// use prolog_syntax::Interner;
+/// let mut i = Interner::new();
+/// let a = i.intern("foo");
+/// let b = i.intern("foo");
+/// assert_eq!(a, b);
+/// assert_eq!(i.resolve(a), "foo");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub(crate) u32);
+
+impl Symbol {
+    /// Raw index of this symbol in its interner.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstruct a symbol from a raw index previously obtained via
+    /// [`Symbol::index`].
+    pub fn from_index(index: usize) -> Self {
+        Symbol(index as u32)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.0)
+    }
+}
+
+macro_rules! well_known {
+    ($($method:ident => $text:expr, $doc:expr;)*) => {
+        /// Accessors for atoms that are pre-interned by [`Interner::new`].
+        impl Interner {
+            $(
+                #[doc = $doc]
+                pub fn $method(&self) -> Symbol {
+                    self.well_known[WellKnown::$method as usize]
+                }
+            )*
+        }
+
+        #[allow(non_camel_case_types)]
+        #[derive(Clone, Copy)]
+        enum WellKnown { $($method),* }
+
+        const WELL_KNOWN_TEXTS: &[&str] = &[$($text),*];
+    };
+}
+
+well_known! {
+    nil => "[]", "The empty-list atom `[]`.";
+    dot => ".", "The list constructor functor `'.'`.";
+    comma => ",", "The conjunction functor `','`.";
+    semicolon => ";", "The disjunction functor `';'`.";
+    arrow => "->", "The if-then functor `'->'`.";
+    neck => ":-", "The clause-neck functor `':-'`.";
+    true_ => "true", "The atom `true`.";
+    fail => "fail", "The atom `fail`.";
+    cut => "!", "The cut atom `!`.";
+    not => "\\+", "The negation-as-failure functor `'\\\\+'`.";
+    curly => "{}", "The curly-braces atom `{}`.";
+    question => "?-", "The query functor `'?-'`.";
+}
+
+/// Interns strings into [`Symbol`]s.
+///
+/// See the [module documentation](self) for an overview.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    names: Vec<String>,
+    map: HashMap<String, Symbol>,
+    well_known: Vec<Symbol>,
+}
+
+impl Interner {
+    /// Create an interner with the well-known atoms pre-interned.
+    pub fn new() -> Self {
+        let mut interner = Interner {
+            names: Vec::new(),
+            map: HashMap::new(),
+            well_known: Vec::new(),
+        };
+        for text in WELL_KNOWN_TEXTS {
+            let symbol = interner.intern(text);
+            interner.well_known.push(symbol);
+        }
+        interner
+    }
+
+    /// Intern `name`, returning its (possibly pre-existing) symbol.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&symbol) = self.map.get(name) {
+            return symbol;
+        }
+        let symbol = Symbol(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.map.insert(name.to_owned(), symbol);
+        symbol
+    }
+
+    /// Look up a name without interning it.
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.map.get(name).copied()
+    }
+
+    /// The text of `symbol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol` did not come from this interner.
+    pub fn resolve(&self, symbol: Symbol) -> &str {
+        &self.names[symbol.0 as usize]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no strings have been interned (never true for an interner
+    /// made by [`Interner::new`], which pre-interns well-known atoms).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("hello");
+        let b = i.intern("hello");
+        assert_eq!(a, b);
+        assert_eq!(i.resolve(a), "hello");
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn well_known_atoms_are_preinterned() {
+        let i = Interner::new();
+        assert_eq!(i.resolve(i.nil()), "[]");
+        assert_eq!(i.resolve(i.dot()), ".");
+        assert_eq!(i.resolve(i.comma()), ",");
+        assert_eq!(i.resolve(i.neck()), ":-");
+        assert_eq!(i.resolve(i.cut()), "!");
+        assert_eq!(i.resolve(i.not()), "\\+");
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let i = Interner::new();
+        assert!(i.lookup("never_seen").is_none());
+        assert!(i.lookup("[]").is_some());
+    }
+
+    #[test]
+    fn symbol_index_round_trips() {
+        let mut i = Interner::new();
+        let s = i.intern("roundtrip");
+        assert_eq!(Symbol::from_index(s.index()), s);
+    }
+}

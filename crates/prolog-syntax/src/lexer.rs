@@ -1,0 +1,563 @@
+//! Tokenizer for Prolog source text.
+//!
+//! Produces a flat vector of [`Token`]s. Each token records whether layout
+//! (whitespace or a comment) preceded it, which the parser uses to
+//! distinguish `f(X)` (compound term) from `f (X)` (atom applied to a
+//! parenthesized term — an error in most contexts).
+
+use std::fmt;
+
+/// The kind of a lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// An atom: unquoted (`foo`), quoted (`'Foo bar'`), symbolic (`=..`),
+    /// or a solo character (`!`, `;`).
+    Atom(String),
+    /// A variable name (starts with an uppercase letter or `_`).
+    Var(String),
+    /// An integer literal.
+    Int(i64),
+    /// A double-quoted string, to be read as a list of character codes.
+    Str(String),
+    /// `(`
+    OpenParen,
+    /// `)`
+    CloseParen,
+    /// `[`
+    OpenBracket,
+    /// `]`
+    CloseBracket,
+    /// `{`
+    OpenBrace,
+    /// `}`
+    CloseBrace,
+    /// `,`
+    Comma,
+    /// `|`
+    Bar,
+    /// End-of-clause `.` (a dot followed by layout or end of input).
+    End,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Atom(a) => write!(f, "atom `{a}`"),
+            TokenKind::Var(v) => write!(f, "variable `{v}`"),
+            TokenKind::Int(i) => write!(f, "integer {i}"),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            TokenKind::OpenParen => write!(f, "`(`"),
+            TokenKind::CloseParen => write!(f, "`)`"),
+            TokenKind::OpenBracket => write!(f, "`[`"),
+            TokenKind::CloseBracket => write!(f, "`]`"),
+            TokenKind::OpenBrace => write!(f, "`{{`"),
+            TokenKind::CloseBrace => write!(f, "`}}`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Bar => write!(f, "`|`"),
+            TokenKind::End => write!(f, "`.`"),
+        }
+    }
+}
+
+/// A token with position information.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// Whether whitespace or a comment immediately preceded this token.
+    pub layout_before: bool,
+}
+
+/// An error produced while tokenizing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line where the error occurred.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Characters that glue together into symbolic atoms (`=..`, `\+`, `->`).
+fn is_symbol_char(c: char) -> bool {
+    matches!(
+        c,
+        '+' | '-' | '*' | '/' | '\\' | '^' | '<' | '>' | '=' | '~' | ':' | '.' | '?' | '@' | '#'
+            | '&' | '$'
+    )
+}
+
+/// The tokenizer. Usually driven via [`Lexer::tokenize`].
+#[derive(Debug)]
+pub struct Lexer<'src> {
+    src: &'src [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'src> Lexer<'src> {
+    /// Create a lexer over `src`.
+    pub fn new(src: &'src str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    /// Tokenize the whole input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LexError`] on unterminated quotes/comments or stray
+    /// characters.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, LexError> {
+        let mut tokens = Vec::new();
+        loop {
+            let layout_before = self.skip_layout()?;
+            let line = self.line;
+            let Some(c) = self.peek() else { break };
+            let kind = self.next_kind(c)?;
+            tokens.push(Token {
+                kind,
+                line,
+                layout_before,
+            });
+        }
+        Ok(tokens)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src.get(self.pos).map(|&b| b as char)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.src.get(self.pos + offset).map(|&b| b as char)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    /// Skip whitespace and comments; report whether anything was skipped.
+    fn skip_layout(&mut self) -> Result<bool, LexError> {
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some('%') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek_at(1) == Some('*') => {
+                    let line = self.line;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek_at(1)) {
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(LexError {
+                                    message: "unterminated block comment".into(),
+                                    line,
+                                })
+                            }
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        Ok(self.pos != start)
+    }
+
+    fn next_kind(&mut self, c: char) -> Result<TokenKind, LexError> {
+        match c {
+            '(' => {
+                self.bump();
+                Ok(TokenKind::OpenParen)
+            }
+            ')' => {
+                self.bump();
+                Ok(TokenKind::CloseParen)
+            }
+            '[' => {
+                self.bump();
+                Ok(TokenKind::OpenBracket)
+            }
+            ']' => {
+                self.bump();
+                Ok(TokenKind::CloseBracket)
+            }
+            '{' => {
+                self.bump();
+                Ok(TokenKind::OpenBrace)
+            }
+            '}' => {
+                self.bump();
+                Ok(TokenKind::CloseBrace)
+            }
+            ',' => {
+                self.bump();
+                Ok(TokenKind::Comma)
+            }
+            '|' => {
+                self.bump();
+                Ok(TokenKind::Bar)
+            }
+            '!' => {
+                self.bump();
+                Ok(TokenKind::Atom("!".into()))
+            }
+            ';' => {
+                self.bump();
+                Ok(TokenKind::Atom(";".into()))
+            }
+            '\'' => self.quoted_atom(),
+            '"' => self.string(),
+            '0'..='9' => self.number(),
+            c if c == '_' || c.is_ascii_uppercase() => {
+                let name = self.word();
+                Ok(TokenKind::Var(name))
+            }
+            c if c.is_ascii_lowercase() => {
+                let name = self.word();
+                Ok(TokenKind::Atom(name))
+            }
+            c if is_symbol_char(c) => {
+                let start = self.pos;
+                while self.peek().is_some_and(is_symbol_char) {
+                    self.bump();
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .expect("ascii")
+                    .to_owned();
+                // A lone `.` followed by layout or EOF ends the clause.
+                if text == "." {
+                    return Ok(TokenKind::End);
+                }
+                Ok(TokenKind::Atom(text))
+            }
+            other => Err(LexError {
+                message: format!("unexpected character {other:?}"),
+                line: self.line,
+            }),
+        }
+    }
+
+    fn word(&mut self) -> String {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            self.bump();
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ascii")
+            .to_owned()
+    }
+
+    fn number(&mut self) -> Result<TokenKind, LexError> {
+        let line = self.line;
+        // 0'c — character-code literal.
+        if self.peek() == Some('0') && self.peek_at(1) == Some('\'') {
+            self.bump();
+            self.bump();
+            let c = self.bump().ok_or_else(|| LexError {
+                message: "unterminated character-code literal".into(),
+                line,
+            })?;
+            let code = if c == '\\' {
+                let esc = self.bump().ok_or_else(|| LexError {
+                    message: "unterminated escape in character-code literal".into(),
+                    line,
+                })?;
+                escape_char(esc).ok_or_else(|| LexError {
+                    message: format!("unknown escape \\{esc}"),
+                    line,
+                })?
+            } else {
+                c
+            };
+            return Ok(TokenKind::Int(code as i64));
+        }
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+        text.parse::<i64>()
+            .map(TokenKind::Int)
+            .map_err(|_| LexError {
+                message: format!("integer literal out of range: {text}"),
+                line,
+            })
+    }
+
+    fn quoted_atom(&mut self) -> Result<TokenKind, LexError> {
+        let line = self.line;
+        self.bump(); // opening quote
+        let mut text = String::new();
+        loop {
+            match self.bump() {
+                Some('\'') => {
+                    if self.peek() == Some('\'') {
+                        self.bump();
+                        text.push('\'');
+                    } else {
+                        return Ok(TokenKind::Atom(text));
+                    }
+                }
+                Some('\\') => {
+                    let esc = self.bump().ok_or_else(|| LexError {
+                        message: "unterminated escape in quoted atom".into(),
+                        line,
+                    })?;
+                    match escape_char(esc) {
+                        Some(c) => text.push(c),
+                        None => {
+                            return Err(LexError {
+                                message: format!("unknown escape \\{esc}"),
+                                line,
+                            })
+                        }
+                    }
+                }
+                Some(c) => text.push(c),
+                None => {
+                    return Err(LexError {
+                        message: "unterminated quoted atom".into(),
+                        line,
+                    })
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<TokenKind, LexError> {
+        let line = self.line;
+        self.bump(); // opening quote
+        let mut text = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => {
+                    if self.peek() == Some('"') {
+                        self.bump();
+                        text.push('"');
+                    } else {
+                        return Ok(TokenKind::Str(text));
+                    }
+                }
+                Some('\\') => {
+                    let esc = self.bump().ok_or_else(|| LexError {
+                        message: "unterminated escape in string".into(),
+                        line,
+                    })?;
+                    match escape_char(esc) {
+                        Some(c) => text.push(c),
+                        None => {
+                            return Err(LexError {
+                                message: format!("unknown escape \\{esc}"),
+                                line,
+                            })
+                        }
+                    }
+                }
+                Some(c) => text.push(c),
+                None => {
+                    return Err(LexError {
+                        message: "unterminated string".into(),
+                        line,
+                    })
+                }
+            }
+        }
+    }
+}
+
+fn escape_char(c: char) -> Option<char> {
+    match c {
+        'n' => Some('\n'),
+        't' => Some('\t'),
+        'r' => Some('\r'),
+        'a' => Some('\x07'),
+        'b' => Some('\x08'),
+        'f' => Some('\x0c'),
+        'v' => Some('\x0b'),
+        '0' => Some('\0'),
+        '\\' => Some('\\'),
+        '\'' => Some('\''),
+        '"' => Some('"'),
+        '`' => Some('`'),
+        ' ' => Some(' '),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .expect("lex ok")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn words_and_vars() {
+        assert_eq!(
+            lex("foo Bar _baz"),
+            vec![
+                TokenKind::Atom("foo".into()),
+                TokenKind::Var("Bar".into()),
+                TokenKind::Var("_baz".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn symbolic_atoms_glue() {
+        assert_eq!(
+            lex(":- =.. \\+ ->"),
+            vec![
+                TokenKind::Atom(":-".into()),
+                TokenKind::Atom("=..".into()),
+                TokenKind::Atom("\\+".into()),
+                TokenKind::Atom("->".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn clause_end_dot() {
+        assert_eq!(
+            lex("a. b."),
+            vec![
+                TokenKind::Atom("a".into()),
+                TokenKind::End,
+                TokenKind::Atom("b".into()),
+                TokenKind::End,
+            ]
+        );
+    }
+
+    #[test]
+    fn end_dot_at_eof_without_trailing_newline() {
+        assert_eq!(
+            lex("a."),
+            vec![TokenKind::Atom("a".into()), TokenKind::End]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(lex("42 0 007"), vec![
+            TokenKind::Int(42),
+            TokenKind::Int(0),
+            TokenKind::Int(7),
+        ]);
+    }
+
+    #[test]
+    fn char_code_literal() {
+        assert_eq!(lex("0'a 0' "), vec![TokenKind::Int(97), TokenKind::Int(32)]);
+    }
+
+    #[test]
+    fn comments_are_layout() {
+        let tokens = Lexer::new("a % comment\nb /* block */ c").tokenize().unwrap();
+        assert_eq!(tokens.len(), 3);
+        assert!(tokens[1].layout_before);
+        assert!(tokens[2].layout_before);
+    }
+
+    #[test]
+    fn functor_paren_adjacency() {
+        let tokens = Lexer::new("f(X) f (X)").tokenize().unwrap();
+        // f ( X ) f ( X )
+        assert!(!tokens[1].layout_before, "f( is adjacent");
+        assert!(tokens[5].layout_before, "f ( has layout");
+    }
+
+    #[test]
+    fn quoted_atoms_and_strings() {
+        assert_eq!(
+            lex("'hello world' \"AB\""),
+            vec![
+                TokenKind::Atom("hello world".into()),
+                TokenKind::Str("AB".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn quote_escapes() {
+        assert_eq!(
+            lex(r"'don''t' 'a\nb'"),
+            vec![
+                TokenKind::Atom("don't".into()),
+                TokenKind::Atom("a\nb".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn solo_chars() {
+        assert_eq!(
+            lex("! ; , |"),
+            vec![
+                TokenKind::Atom("!".into()),
+                TokenKind::Atom(";".into()),
+                TokenKind::Comma,
+                TokenKind::Bar,
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert!(Lexer::new("'oops").tokenize().is_err());
+        assert!(Lexer::new("\"oops").tokenize().is_err());
+        assert!(Lexer::new("/* oops").tokenize().is_err());
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let tokens = Lexer::new("a\nb\n\nc").tokenize().unwrap();
+        assert_eq!(tokens[0].line, 1);
+        assert_eq!(tokens[1].line, 2);
+        assert_eq!(tokens[2].line, 4);
+    }
+}

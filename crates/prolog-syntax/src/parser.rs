@@ -1,0 +1,623 @@
+//! Operator-precedence parser for Prolog programs.
+//!
+//! Implements the classic Prolog `read_term` algorithm over the token stream
+//! produced by [`crate::lexer::Lexer`], using the operator table from
+//! [`crate::ops::OpTable`].
+
+use crate::interner::Interner;
+use crate::lexer::{LexError, Lexer, Token, TokenKind};
+use crate::ops::OpTable;
+use crate::term::{Clause, Program, Term, VarId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An error produced while parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based source line, 0 when at end of input.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+        }
+    }
+}
+
+/// Parse a complete program (a sequence of clauses and directives).
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+///
+/// # Examples
+///
+/// ```
+/// let program = prolog_syntax::parse_program("p(X) :- q(X), r(X). q(1). r(1).")?;
+/// assert_eq!(program.clauses.len(), 3);
+/// # Ok::<(), prolog_syntax::ParseError>(())
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    parse_program_with_interner(src, Interner::new())
+}
+
+/// Like [`parse_program`] but reusing an existing interner, so symbols are
+/// shared with previously parsed programs.
+pub fn parse_program_with_interner(
+    src: &str,
+    interner: Interner,
+) -> Result<Program, ParseError> {
+    let tokens = Lexer::new(src).tokenize()?;
+    let mut program = Program {
+        interner,
+        clauses: Vec::new(),
+        directives: Vec::new(),
+    };
+    let neck = program.interner.neck();
+    let true_atom = program.interner.true_();
+    let mut parser = Parser::new(&tokens, &mut program.interner);
+    while !parser.at_end() {
+        let (term, var_names) = parser.read_clause_term()?;
+        match term {
+            Term::Struct(f, args) if f == neck && args.len() == 2 => {
+                let mut args = args;
+                let body = args.pop().expect("arity 2");
+                let head = args.pop().expect("arity 2");
+                validate_head(&head, parser.line())?;
+                program.clauses.push(Clause {
+                    head,
+                    body,
+                    var_names,
+                });
+            }
+            Term::Struct(f, args) if f == neck && args.len() == 1 => {
+                program.directives.push(args.into_iter().next().expect("arity 1"));
+            }
+            head => {
+                validate_head(&head, parser.line())?;
+                let body = Term::Atom(true_atom);
+                program.clauses.push(Clause {
+                    head,
+                    body,
+                    var_names,
+                });
+            }
+        }
+    }
+    Ok(program)
+}
+
+fn validate_head(head: &Term, line: u32) -> Result<(), ParseError> {
+    match head {
+        Term::Atom(_) | Term::Struct(_, _) => Ok(()),
+        _ => Err(ParseError {
+            message: "clause head must be an atom or compound term".into(),
+            line,
+        }),
+    }
+}
+
+/// Parse a single term (ending at end of input or a clause dot).
+///
+/// Returns the term, the interner, and the source names of its variables
+/// indexed by [`VarId`].
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+pub fn parse_term(src: &str) -> Result<(Term, Interner, Vec<String>), ParseError> {
+    let tokens = Lexer::new(src).tokenize()?;
+    let mut interner = Interner::new();
+    let mut parser = Parser::new(&tokens, &mut interner);
+    let (term, _) = parser.parse(1200)?;
+    // Allow an optional clause-terminating dot.
+    if !parser.at_end() {
+        parser.expect_end()?;
+    }
+    if !parser.at_end() {
+        return Err(ParseError {
+            message: "trailing tokens after term".into(),
+            line: parser.line(),
+        });
+    }
+    let names = parser.take_var_names();
+    Ok((term, interner, names))
+}
+
+/// The parser state machine. Most callers want [`parse_program`] or
+/// [`parse_term`] instead.
+pub struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    interner: &'a mut Interner,
+    ops: OpTable,
+    vars: HashMap<String, VarId>,
+    var_names: Vec<String>,
+}
+
+impl<'a> Parser<'a> {
+    /// Create a parser over `tokens`, interning into `interner`.
+    pub fn new(tokens: &'a [Token], interner: &'a mut Interner) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            interner,
+            ops: OpTable::standard(),
+            vars: HashMap::new(),
+            var_names: Vec::new(),
+        }
+    }
+
+    /// Whether all tokens have been consumed.
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |t| t.line)
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_kind(&self) -> Option<&TokenKind> {
+        self.peek().map(|t| &t.kind)
+    }
+
+    fn bump(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line: self.line(),
+        }
+    }
+
+    /// Read one clause-level term terminated by a dot, resetting the
+    /// variable scope. Returns the term and its variable names.
+    pub fn read_clause_term(&mut self) -> Result<(Term, Vec<String>), ParseError> {
+        self.vars.clear();
+        self.var_names.clear();
+        let (term, _) = self.parse(1200)?;
+        self.expect_end()?;
+        Ok((term, self.take_var_names()))
+    }
+
+    /// Take ownership of the variable names collected since the last
+    /// clause reset, indexed by [`VarId`].
+    pub fn take_var_names(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.var_names)
+    }
+
+    fn expect_end(&mut self) -> Result<(), ParseError> {
+        match self.bump().map(|t| t.kind.clone()) {
+            Some(TokenKind::End) => Ok(()),
+            Some(other) => Err(self.error(format!("expected `.` to end clause, found {other}"))),
+            None => Err(self.error("expected `.` to end clause, found end of input")),
+        }
+    }
+
+    fn fresh_var(&mut self, name: &str) -> Term {
+        if name != "_" {
+            if let Some(&id) = self.vars.get(name) {
+                return Term::Var(id);
+            }
+        }
+        let id = VarId(self.var_names.len() as u32);
+        self.var_names.push(name.to_owned());
+        if name != "_" {
+            self.vars.insert(name.to_owned(), id);
+        }
+        Term::Var(id)
+    }
+
+    /// Parse a term of priority at most `max_prec`; returns the term and its
+    /// actual priority.
+    pub fn parse(&mut self, max_prec: u32) -> Result<(Term, u32), ParseError> {
+        let (mut left, mut left_prec) = self.parse_primary(max_prec)?;
+        loop {
+            match self.peek_kind() {
+                Some(TokenKind::Comma) if max_prec >= 1000 => {
+                    if left_prec >= 1000 {
+                        break;
+                    }
+                    self.bump();
+                    let (right, _) = self.parse(1000)?;
+                    let comma = self.interner.comma();
+                    left = Term::Struct(comma, vec![left, right]);
+                    left_prec = 1000;
+                }
+                Some(TokenKind::Atom(name)) => {
+                    let Some(op) = self.ops.infix(name) else { break };
+                    if op.priority > max_prec || left_prec > op.left_max() {
+                        break;
+                    }
+                    let name = name.clone();
+                    self.bump();
+                    let (right, _) = self.parse(op.right_max())?;
+                    let f = self.interner.intern(&name);
+                    left = Term::Struct(f, vec![left, right]);
+                    left_prec = op.priority;
+                }
+                _ => break,
+            }
+        }
+        Ok((left, left_prec))
+    }
+
+    fn parse_primary(&mut self, max_prec: u32) -> Result<(Term, u32), ParseError> {
+        let token = self
+            .bump()
+            .ok_or_else(|| ParseError {
+                message: "unexpected end of input".into(),
+                line: 0,
+            })?
+            .clone();
+        match token.kind {
+            TokenKind::Int(i) => Ok((Term::Int(i), 0)),
+            TokenKind::Var(name) => Ok((self.fresh_var(&name), 0)),
+            TokenKind::Str(text) => {
+                let codes = text.chars().map(|c| Term::Int(c as i64));
+                Ok((Term::list(self.interner, codes), 0))
+            }
+            TokenKind::OpenParen => {
+                let (term, _) = self.parse(1200)?;
+                self.expect(TokenKind::CloseParen)?;
+                Ok((term, 0))
+            }
+            TokenKind::OpenBracket => self.parse_list(),
+            TokenKind::OpenBrace => {
+                if matches!(self.peek_kind(), Some(TokenKind::CloseBrace)) {
+                    self.bump();
+                    let curly = self.interner.curly();
+                    return Ok((Term::Atom(curly), 0));
+                }
+                let (term, _) = self.parse(1200)?;
+                self.expect(TokenKind::CloseBrace)?;
+                let curly = self.interner.curly();
+                Ok((Term::Struct(curly, vec![term]), 0))
+            }
+            TokenKind::Atom(name) => self.parse_atom_or_op(&name, max_prec),
+            other => Err(self.error(format!("unexpected {other}"))),
+        }
+    }
+
+    fn parse_atom_or_op(
+        &mut self,
+        name: &str,
+        max_prec: u32,
+    ) -> Result<(Term, u32), ParseError> {
+        // Compound term: atom immediately followed by `(`.
+        if let Some(next) = self.peek() {
+            if next.kind == TokenKind::OpenParen && !next.layout_before {
+                self.bump();
+                let args = self.parse_arg_list()?;
+                let f = self.interner.intern(name);
+                return Ok((Term::Struct(f, args), 0));
+            }
+        }
+        // Negative integer literal: `-` immediately applied to a number.
+        if name == "-" {
+            if let Some(TokenKind::Int(i)) = self.peek_kind() {
+                let i = *i;
+                self.bump();
+                return Ok((Term::Int(-i), 0));
+            }
+        }
+        // Prefix operator application.
+        if let Some(op) = self.ops.prefix(name) {
+            if op.priority <= max_prec && self.starts_term() {
+                let (arg, _) = self.parse(op.right_max())?;
+                let f = self.interner.intern(name);
+                return Ok((Term::Struct(f, vec![arg]), op.priority));
+            }
+        }
+        // Plain atom. An operator used as an operand carries its priority.
+        let prec = if self.ops.is_operator(name) { 1 } else { 0 };
+        let sym = self.interner.intern(name);
+        Ok((Term::Atom(sym), prec))
+    }
+
+    /// Whether the next token can begin a term (used to decide whether a
+    /// prefix operator is being applied or used as an atom).
+    fn starts_term(&self) -> bool {
+        match self.peek_kind() {
+            Some(TokenKind::Int(_))
+            | Some(TokenKind::Var(_))
+            | Some(TokenKind::Str(_))
+            | Some(TokenKind::OpenParen)
+            | Some(TokenKind::OpenBracket)
+            | Some(TokenKind::OpenBrace) => true,
+            Some(TokenKind::Atom(a)) => {
+                // `\+ foo` applies; `:- , .` etc. do not start a term unless
+                // the atom is not an infix-only operator.
+                self.ops.infix(a).is_none() || self.ops.prefix(a).is_some() || {
+                    // An infix operator can still start a term if it is
+                    // immediately a functor application, e.g. `-(1,2)`.
+                    self.tokens
+                        .get(self.pos + 1)
+                        .is_some_and(|t| t.kind == TokenKind::OpenParen && !t.layout_before)
+                }
+            }
+            _ => false,
+        }
+    }
+
+    fn parse_arg_list(&mut self) -> Result<Vec<Term>, ParseError> {
+        let mut args = Vec::new();
+        loop {
+            let (arg, _) = self.parse(999)?;
+            args.push(arg);
+            match self.bump().map(|t| t.kind.clone()) {
+                Some(TokenKind::Comma) => continue,
+                Some(TokenKind::CloseParen) => return Ok(args),
+                Some(other) => {
+                    return Err(self.error(format!("expected `,` or `)` in arguments, found {other}")))
+                }
+                None => return Err(self.error("unterminated argument list")),
+            }
+        }
+    }
+
+    fn parse_list(&mut self) -> Result<(Term, u32), ParseError> {
+        if matches!(self.peek_kind(), Some(TokenKind::CloseBracket)) {
+            self.bump();
+            return Ok((Term::nil(self.interner), 0));
+        }
+        let mut items = Vec::new();
+        let tail;
+        loop {
+            let (item, _) = self.parse(999)?;
+            items.push(item);
+            match self.bump().map(|t| t.kind.clone()) {
+                Some(TokenKind::Comma) => continue,
+                Some(TokenKind::Bar) => {
+                    let (t, _) = self.parse(999)?;
+                    tail = t;
+                    self.expect(TokenKind::CloseBracket)?;
+                    break;
+                }
+                Some(TokenKind::CloseBracket) => {
+                    tail = Term::nil(self.interner);
+                    break;
+                }
+                Some(other) => {
+                    return Err(
+                        self.error(format!("expected `,`, `|` or `]` in list, found {other}"))
+                    )
+                }
+                None => return Err(self.error("unterminated list")),
+            }
+        }
+        let mut term = tail;
+        for item in items.into_iter().rev() {
+            term = Term::cons(self.interner, item, term);
+        }
+        Ok((term, 0))
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), ParseError> {
+        match self.bump().map(|t| t.kind.clone()) {
+            Some(k) if k == kind => Ok(()),
+            Some(other) => Err(self.error(format!("expected {kind}, found {other}"))),
+            None => Err(self.error(format!("expected {kind}, found end of input"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pretty::term_to_string;
+
+    fn roundtrip(src: &str) -> String {
+        let (term, interner, names) = parse_term(src).expect("parse");
+        term_to_string(&term, &interner, &names)
+    }
+
+    #[test]
+    fn atoms_ints_vars() {
+        assert_eq!(roundtrip("foo"), "foo");
+        assert_eq!(roundtrip("42"), "42");
+        assert_eq!(roundtrip("X"), "X");
+        assert_eq!(roundtrip("-7"), "-7");
+    }
+
+    #[test]
+    fn compound_terms() {
+        assert_eq!(roundtrip("f(a, B, g(1))"), "f(a, B, g(1))");
+    }
+
+    #[test]
+    fn operator_priorities() {
+        assert_eq!(roundtrip("1 + 2 * 3"), "1 + 2 * 3");
+        let (term, interner, _) = parse_term("1 + 2 * 3").unwrap();
+        // + at the top
+        match &term {
+            Term::Struct(f, args) => {
+                assert_eq!(interner.resolve(*f), "+");
+                assert!(matches!(args[0], Term::Int(1)));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn left_associativity() {
+        let (term, interner, _) = parse_term("1 - 2 - 3").unwrap();
+        match &term {
+            Term::Struct(f, args) => {
+                assert_eq!(interner.resolve(*f), "-");
+                assert!(matches!(args[1], Term::Int(3)));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn right_associative_comma_and_semicolon() {
+        let (term, interner, _) = parse_term("(a, b, c)").unwrap();
+        match &term {
+            Term::Struct(f, args) => {
+                assert_eq!(*f, interner.comma());
+                assert!(matches!(args[0], Term::Atom(_)));
+                assert!(matches!(&args[1], Term::Struct(g, _) if *g == interner.comma()));
+            }
+            _ => panic!(),
+        }
+        let (term, interner, _) = parse_term("a ; b ; c").unwrap();
+        match &term {
+            Term::Struct(f, args) => {
+                assert_eq!(*f, interner.semicolon());
+                assert!(matches!(&args[1], Term::Struct(g, _) if *g == interner.semicolon()));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn lists() {
+        assert_eq!(roundtrip("[]"), "[]");
+        assert_eq!(roundtrip("[a]"), "[a]");
+        assert_eq!(roundtrip("[a, b, c]"), "[a, b, c]");
+        assert_eq!(roundtrip("[H|T]"), "[H|T]");
+        assert_eq!(roundtrip("[a, b|T]"), "[a, b|T]");
+    }
+
+    #[test]
+    fn strings_become_code_lists() {
+        let (term, interner, _) = parse_term("\"AB\"").unwrap();
+        let expected = Term::list(&interner, vec![Term::Int(65), Term::Int(66)]);
+        assert_eq!(term, expected);
+    }
+
+    #[test]
+    fn variables_are_scoped_per_clause() {
+        let p = parse_program("p(X, X). q(X).").unwrap();
+        assert_eq!(p.clauses[0].num_vars(), 1);
+        assert_eq!(p.clauses[1].num_vars(), 1);
+    }
+
+    #[test]
+    fn anonymous_vars_are_distinct() {
+        let p = parse_program("p(_, _).").unwrap();
+        assert_eq!(p.clauses[0].num_vars(), 2);
+        let vars = p.clauses[0].head.variables();
+        assert_eq!(vars.len(), 2);
+    }
+
+    #[test]
+    fn clause_and_fact_parsing() {
+        let p = parse_program("p(X) :- q(X), r(X).\nq(1).\n").unwrap();
+        assert_eq!(p.clauses.len(), 2);
+        let goals = p.clauses[0].body.conjuncts(&p.interner);
+        assert_eq!(goals.len(), 2);
+        assert!(p.clauses[1].body.is_atom(p.interner.true_()));
+    }
+
+    #[test]
+    fn directives_are_recorded() {
+        let p = parse_program(":- main.\nmain.").unwrap();
+        assert_eq!(p.directives.len(), 1);
+        assert_eq!(p.clauses.len(), 1);
+    }
+
+    #[test]
+    fn is_and_comparison() {
+        assert_eq!(roundtrip("X is Y + 1"), "X is Y + 1");
+        assert_eq!(roundtrip("X =< Y"), "X =< Y");
+        assert_eq!(roundtrip("X =:= Y mod 2"), "X =:= Y mod 2");
+    }
+
+    #[test]
+    fn negation_and_cut() {
+        let p = parse_program("p :- \\+ q, !, r.").unwrap();
+        let goals = p.clauses[0].body.conjuncts(&p.interner);
+        assert_eq!(goals.len(), 3);
+        assert!(matches!(&goals[0], Term::Struct(f, args)
+            if *f == p.interner.not() && args.len() == 1));
+        assert!(goals[1].is_atom(p.interner.cut()));
+    }
+
+    #[test]
+    fn if_then_else() {
+        let p = parse_program("p :- (a -> b ; c).").unwrap();
+        match &p.clauses[0].body {
+            Term::Struct(semi, args) => {
+                assert_eq!(*semi, p.interner.semicolon());
+                assert!(matches!(&args[0], Term::Struct(arrow, _)
+                    if *arrow == p.interner.arrow()));
+            }
+            _ => panic!("expected ;/2 body"),
+        }
+    }
+
+    #[test]
+    fn head_must_be_callable() {
+        assert!(parse_program("X :- a.").is_err());
+        assert!(parse_program("1.").is_err());
+    }
+
+    #[test]
+    fn error_messages_carry_lines() {
+        let err = parse_program("p :- q.\nr :- ]").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn operator_as_plain_atom_in_args() {
+        // `-` as an argument atom (common in op tables / option lists).
+        let (term, interner, _) = parse_term("f(-, +)").unwrap();
+        match &term {
+            Term::Struct(_, args) => {
+                assert!(matches!(&args[0], Term::Atom(s) if interner.resolve(*s) == "-"));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let mut src = String::from("a");
+        for _ in 0..200 {
+            src = format!("f({src})");
+        }
+        let (term, ..) = parse_term(&src).unwrap();
+        assert_eq!(term.depth(), 201);
+    }
+
+    #[test]
+    fn infix_functor_application() {
+        // -(1, 2) is the struct -(1,2), not subtraction syntax.
+        let (term, interner, _) = parse_term("-(1, 2)").unwrap();
+        match &term {
+            Term::Struct(f, args) => {
+                assert_eq!(interner.resolve(*f), "-");
+                assert_eq!(args.len(), 2);
+            }
+            _ => panic!(),
+        }
+    }
+}

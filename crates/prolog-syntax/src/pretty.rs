@@ -1,0 +1,284 @@
+//! Pretty-printing of terms and clauses, operator-aware.
+//!
+//! The printer is the inverse of the parser on the supported syntax:
+//! `parse ∘ print` is the identity on terms (tested property-style in the
+//! crate's test suite).
+
+use crate::interner::Interner;
+use crate::ops::OpTable;
+use crate::term::{Clause, Term};
+
+/// Render `term` using `var_names` for variable display.
+///
+/// Variables whose id exceeds the name table (e.g. freshly invented ones)
+/// print as `_G<n>`.
+///
+/// # Examples
+///
+/// ```
+/// use prolog_syntax::{parse_term, term_to_string};
+/// let (t, i, names) = parse_term("[H|T]")?;
+/// assert_eq!(term_to_string(&t, &i, &names), "[H|T]");
+/// # Ok::<(), prolog_syntax::ParseError>(())
+/// ```
+pub fn term_to_string(term: &Term, interner: &Interner, var_names: &[String]) -> String {
+    let printer = Printer {
+        interner,
+        ops: OpTable::standard(),
+        var_names,
+    };
+    let mut out = String::new();
+    printer.print(term, 1200, &mut out);
+    out
+}
+
+/// Render a clause as `Head :- Body.` (or `Head.` for facts).
+pub fn clause_to_string(clause: &Clause, interner: &Interner) -> String {
+    let head = term_to_string(&clause.head, interner, &clause.var_names);
+    if clause.body.is_atom(interner.true_()) {
+        format!("{head}.")
+    } else {
+        let body = term_to_string(&clause.body, interner, &clause.var_names);
+        format!("{head} :- {body}.")
+    }
+}
+
+struct Printer<'a> {
+    interner: &'a Interner,
+    ops: OpTable,
+    var_names: &'a [String],
+}
+
+impl Printer<'_> {
+    fn print(&self, term: &Term, max_prec: u32, out: &mut String) {
+        match term {
+            Term::Var(v) => {
+                match self.var_names.get(v.index()) {
+                    Some(name) if name != "_" => out.push_str(name),
+                    Some(_) => {
+                        out.push_str("_G");
+                        out.push_str(&v.0.to_string());
+                    }
+                    None => {
+                        out.push_str("_G");
+                        out.push_str(&v.0.to_string());
+                    }
+                }
+            }
+            Term::Int(i) => out.push_str(&i.to_string()),
+            Term::Atom(a) => self.print_atom(self.interner.resolve(*a), out),
+            Term::Struct(f, args) => self.print_struct(*f, args, max_prec, out),
+        }
+    }
+
+    fn print_struct(
+        &self,
+        f: crate::Symbol,
+        args: &[Term],
+        max_prec: u32,
+        out: &mut String,
+    ) {
+        // Lists.
+        if f == self.interner.dot() && args.len() == 2 {
+            self.print_list(&args[0], &args[1], out);
+            return;
+        }
+        let name = self.interner.resolve(f);
+        // Comma conjunction.
+        if f == self.interner.comma() && args.len() == 2 {
+            let needs_parens = 1000 > max_prec;
+            if needs_parens {
+                out.push('(');
+            }
+            self.print(&args[0], 999, out);
+            out.push_str(", ");
+            self.print(&args[1], 1000, out);
+            if needs_parens {
+                out.push(')');
+            }
+            return;
+        }
+        // Infix operators.
+        if args.len() == 2 {
+            if let Some(op) = self.ops.infix(name) {
+                let needs_parens = op.priority > max_prec;
+                if needs_parens {
+                    out.push('(');
+                }
+                self.print(&args[0], op.left_max(), out);
+                out.push(' ');
+                out.push_str(name);
+                out.push(' ');
+                self.print(&args[1], op.right_max(), out);
+                if needs_parens {
+                    out.push(')');
+                }
+                return;
+            }
+        }
+        // Prefix operators.
+        if args.len() == 1 {
+            if let Some(op) = self.ops.prefix(name) {
+                let needs_parens = op.priority > max_prec;
+                if needs_parens {
+                    out.push('(');
+                }
+                out.push_str(name);
+                out.push(' ');
+                self.print(&args[0], op.right_max(), out);
+                if needs_parens {
+                    out.push(')');
+                }
+                return;
+            }
+        }
+        // Canonical functor application.
+        self.print_atom(name, out);
+        out.push('(');
+        for (i, arg) in args.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            self.print(arg, 999, out);
+        }
+        out.push(')');
+    }
+
+    fn print_list(&self, head: &Term, tail: &Term, out: &mut String) {
+        out.push('[');
+        self.print(head, 999, out);
+        let mut tail = tail;
+        loop {
+            match tail {
+                Term::Atom(a) if *a == self.interner.nil() => break,
+                Term::Struct(f, args) if *f == self.interner.dot() && args.len() == 2 => {
+                    out.push_str(", ");
+                    self.print(&args[0], 999, out);
+                    tail = &args[1];
+                }
+                other => {
+                    out.push('|');
+                    self.print(other, 999, out);
+                    break;
+                }
+            }
+        }
+        out.push(']');
+    }
+
+    fn print_atom(&self, name: &str, out: &mut String) {
+        if atom_needs_quotes(name) {
+            out.push('\'');
+            for c in name.chars() {
+                match c {
+                    '\'' => out.push_str("\\'"),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    other => out.push(other),
+                }
+            }
+            out.push('\'');
+        } else {
+            out.push_str(name);
+        }
+    }
+}
+
+/// Whether an atom's text requires single quotes to re-read.
+pub fn atom_needs_quotes(name: &str) -> bool {
+    if name.is_empty() {
+        return true;
+    }
+    if matches!(name, "[]" | "{}" | "!" | ";") {
+        return false;
+    }
+    let mut chars = name.chars();
+    let first = chars.next().expect("non-empty");
+    if first.is_ascii_lowercase() {
+        return !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_');
+    }
+    // All-symbolic atoms read back unquoted.
+    let symbolic = |c: char| {
+        matches!(
+            c,
+            '+' | '-' | '*' | '/' | '\\' | '^' | '<' | '>' | '=' | '~' | ':' | '.' | '?' | '@'
+                | '#' | '&' | '$'
+        )
+    };
+    if name.chars().all(symbolic) {
+        // A lone dot would read as end-of-clause.
+        return name == ".";
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_term;
+
+    #[test]
+    fn quoting_rules() {
+        assert!(!atom_needs_quotes("foo"));
+        assert!(!atom_needs_quotes("foo_Bar1"));
+        assert!(!atom_needs_quotes("=.."));
+        assert!(!atom_needs_quotes("[]"));
+        assert!(!atom_needs_quotes("!"));
+        assert!(atom_needs_quotes("Foo"));
+        assert!(atom_needs_quotes("hello world"));
+        assert!(atom_needs_quotes(""));
+        assert!(atom_needs_quotes("."));
+    }
+
+    #[test]
+    fn quoted_atom_round_trips() {
+        let (t, i, names) = parse_term("'hello world'").unwrap();
+        let s = term_to_string(&t, &i, &names);
+        assert_eq!(s, "'hello world'");
+        let (t2, i2, _) = parse_term(&s).unwrap();
+        match (&t, &t2) {
+            (Term::Atom(a), Term::Atom(b)) => {
+                assert_eq!(i.resolve(*a), i2.resolve(*b));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parenthesization() {
+        let cases = [
+            "(1 + 2) * 3",
+            "1 + 2 * 3",
+            "a :- b, (c ; d)",
+            "\\+ (a, b)",
+            "- (1 + 2)",
+        ];
+        for src in cases {
+            let (t, i, names) = parse_term(src).unwrap();
+            let printed = term_to_string(&t, &i, &names);
+            let (t2, _, _) = parse_term(&printed).unwrap();
+            // Structural equality up to interner indices: compare by reprinting.
+            let reprinted = term_to_string(&t2, &i, &names);
+            assert_eq!(printed, reprinted, "for source {src}");
+        }
+    }
+
+    #[test]
+    fn improper_list_tail() {
+        let (t, i, names) = parse_term("[a|b]").unwrap();
+        assert_eq!(term_to_string(&t, &i, &names), "[a|b]");
+    }
+
+    #[test]
+    fn clause_printing() {
+        let p = crate::parse_program("p(X) :- q(X). f(a).").unwrap();
+        assert_eq!(
+            clause_to_string(&p.clauses[0], &p.interner),
+            "p(X) :- q(X)."
+        );
+        assert_eq!(clause_to_string(&p.clauses[1], &p.interner), "f(a).");
+    }
+}

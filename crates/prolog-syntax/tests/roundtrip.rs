@@ -1,0 +1,122 @@
+//! Property tests: `parse ∘ print` is the identity on randomly generated
+//! terms, and printing is stable (printing the reparse of a print equals the
+//! print).
+
+use proptest::prelude::*;
+use prolog_syntax::{parse_term, term_to_string, Interner, Term, VarId};
+
+/// Strategy for random atom names that do not need quoting.
+fn plain_atom_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("avoid reserved words that are operators", |s| {
+        !matches!(s.as_str(), "is" | "mod" | "rem" | "xor" | "div")
+    })
+}
+
+/// Strategy for atom names that require quoting.
+fn quoted_atom_name() -> impl Strategy<Value = String> {
+    "[A-Z ][a-zA-Z ]{0,6}".prop_map(|s| s)
+}
+
+#[derive(Clone, Debug)]
+enum GenTerm {
+    Var(u32),
+    Int(i64),
+    Atom(String),
+    Struct(String, Vec<GenTerm>),
+    List(Vec<GenTerm>, Option<Box<GenTerm>>),
+}
+
+fn gen_term() -> impl Strategy<Value = GenTerm> {
+    let leaf = prop_oneof![
+        (0u32..4).prop_map(GenTerm::Var),
+        any::<i32>().prop_map(|i| GenTerm::Int(i as i64)),
+        plain_atom_name().prop_map(GenTerm::Atom),
+        quoted_atom_name().prop_map(GenTerm::Atom),
+    ];
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        prop_oneof![
+            (plain_atom_name(), prop::collection::vec(inner.clone(), 1..4))
+                .prop_map(|(f, args)| GenTerm::Struct(f, args)),
+            (
+                prop::collection::vec(inner.clone(), 0..4),
+                prop::option::of(inner.clone().prop_map(Box::new))
+            )
+                .prop_map(|(items, tail)| GenTerm::List(items, tail)),
+        ]
+    })
+}
+
+fn build(gen: &GenTerm, interner: &mut Interner) -> Term {
+    match gen {
+        GenTerm::Var(v) => Term::Var(VarId(*v)),
+        GenTerm::Int(i) => Term::Int(*i),
+        GenTerm::Atom(a) => Term::Atom(interner.intern(a)),
+        GenTerm::Struct(f, args) => {
+            let f = interner.intern(f);
+            let args = args.iter().map(|a| build(a, interner)).collect();
+            Term::Struct(f, args)
+        }
+        GenTerm::List(items, tail) => {
+            let tail_term = match tail {
+                Some(t) => build(t, interner),
+                None => Term::nil(interner),
+            };
+            let mut term = tail_term;
+            for item in items.iter().rev() {
+                let item = build(item, interner);
+                term = Term::cons(interner, item, term);
+            }
+            term
+        }
+    }
+}
+
+/// Rename interner symbols so that terms from different interners compare.
+fn canonical(term: &Term, interner: &Interner) -> String {
+    match term {
+        Term::Var(v) => format!("V{}", v.0),
+        Term::Int(i) => format!("I{i}"),
+        Term::Atom(a) => format!("A<{}>", interner.resolve(*a)),
+        Term::Struct(f, args) => {
+            let args: Vec<String> = args.iter().map(|a| canonical(a, interner)).collect();
+            format!("S<{}>({})", interner.resolve(*f), args.join(","))
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_roundtrip(gen in gen_term()) {
+        let mut interner = Interner::new();
+        let term = build(&gen, &mut interner);
+        let names: Vec<String> = (0..4).map(|i| format!("X{i}")).collect();
+        let printed = term_to_string(&term, &interner, &names);
+        let (reparsed, interner2, names2) = parse_term(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse {printed:?}: {e}"));
+        // Compare canonically: same shape, atoms by text. Variables may be
+        // renumbered by first occurrence, so compare via a reprint.
+        let reprinted = term_to_string(&reparsed, &interner2, &names2);
+        prop_assert_eq!(&printed, &reprinted, "print not stable for {}", printed);
+        // And ground terms must be structurally identical.
+        if term.is_ground() {
+            prop_assert_eq!(
+                canonical(&term, &interner),
+                canonical(&reparsed, &interner2)
+            );
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(src in "\\PC{0,60}") {
+        let _ = prolog_syntax::parse_program(&src);
+    }
+
+    #[test]
+    fn lexer_never_panics(src in prop::collection::vec(any::<u8>(), 0..60)) {
+        if let Ok(text) = std::str::from_utf8(&src) {
+            let _ = prolog_syntax::Lexer::new(text).tokenize();
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Arithmetic evaluation and the standard order of terms.
+
+use crate::cell::Cell;
+use prolog_syntax::Interner;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Follow reference chains to the representative cell.
+pub fn deref(heap: &[Cell], mut cell: Cell) -> Cell {
+    while let Cell::Ref(addr) = cell {
+        let next = heap[addr];
+        if next == Cell::Ref(addr) {
+            return next;
+        }
+        cell = next;
+    }
+    cell
+}
+
+/// An arithmetic evaluation error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArithError {
+    /// The expression contains an unbound variable.
+    Unbound,
+    /// The expression contains a non-evaluable term.
+    NotEvaluable(String),
+    /// Division (or modulus) by zero.
+    DivisionByZero,
+    /// The result does not fit in `i64`.
+    Overflow,
+}
+
+impl fmt::Display for ArithError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArithError::Unbound => write!(f, "arithmetic on an unbound variable"),
+            ArithError::NotEvaluable(what) => write!(f, "term {what} is not evaluable"),
+            ArithError::DivisionByZero => write!(f, "division by zero"),
+            ArithError::Overflow => write!(f, "integer overflow in arithmetic"),
+        }
+    }
+}
+
+impl std::error::Error for ArithError {}
+
+/// Evaluate an arithmetic expression over the heap.
+///
+/// Supports the integer operators used by the classic benchmark suite:
+/// `+`, `-`, `*`, `//`, `/` (integer division when exact-divisible,
+/// truncating otherwise, as in the original PLM setting), `mod`, `rem`,
+/// `min`, `max`, `abs`, unary `-`/`+`, `<<`, `>>`, `/\`, `\/`, `xor`.
+///
+/// # Errors
+///
+/// Returns [`ArithError`] on unbound variables, unknown functors,
+/// division by zero or overflow.
+pub fn eval_arith(heap: &[Cell], interner: &Interner, cell: Cell) -> Result<i64, ArithError> {
+    match deref(heap, cell) {
+        Cell::Int(i) => Ok(i),
+        Cell::Ref(_) => Err(ArithError::Unbound),
+        Cell::Con(sym) => Err(ArithError::NotEvaluable(
+            interner.resolve(sym).to_owned(),
+        )),
+        Cell::Lis(_) => Err(ArithError::NotEvaluable("a list".into())),
+        Cell::Str(p) => {
+            let Cell::Fun(f, n) = heap[p] else {
+                unreachable!("Str points at Fun");
+            };
+            let name = interner.resolve(f);
+            let arg = |i: usize| eval_arith(heap, interner, Cell::Ref(p + 1 + i));
+            match (name, n) {
+                ("+", 2) => arg(0)?.checked_add(arg(1)?).ok_or(ArithError::Overflow),
+                ("-", 2) => arg(0)?.checked_sub(arg(1)?).ok_or(ArithError::Overflow),
+                ("*", 2) => arg(0)?.checked_mul(arg(1)?).ok_or(ArithError::Overflow),
+                ("//", 2) | ("div", 2) | ("/", 2) => {
+                    let (a, b) = (arg(0)?, arg(1)?);
+                    if b == 0 {
+                        Err(ArithError::DivisionByZero)
+                    } else {
+                        a.checked_div(b).ok_or(ArithError::Overflow)
+                    }
+                }
+                ("mod", 2) => {
+                    let (a, b) = (arg(0)?, arg(1)?);
+                    if b == 0 {
+                        Err(ArithError::DivisionByZero)
+                    } else {
+                        Ok(a.rem_euclid(b))
+                    }
+                }
+                ("rem", 2) => {
+                    let (a, b) = (arg(0)?, arg(1)?);
+                    if b == 0 {
+                        Err(ArithError::DivisionByZero)
+                    } else {
+                        Ok(a % b)
+                    }
+                }
+                ("min", 2) => Ok(arg(0)?.min(arg(1)?)),
+                ("max", 2) => Ok(arg(0)?.max(arg(1)?)),
+                ("<<", 2) => Ok(arg(0)? << (arg(1)? & 63)),
+                (">>", 2) => Ok(arg(0)? >> (arg(1)? & 63)),
+                ("/\\", 2) => Ok(arg(0)? & arg(1)?),
+                ("\\/", 2) => Ok(arg(0)? | arg(1)?),
+                ("xor", 2) => Ok(arg(0)? ^ arg(1)?),
+                ("-", 1) => arg(0)?.checked_neg().ok_or(ArithError::Overflow),
+                ("+", 1) => arg(0),
+                ("abs", 1) => arg(0)?.checked_abs().ok_or(ArithError::Overflow),
+                ("\\", 1) => Ok(!arg(0)?),
+                _ => Err(ArithError::NotEvaluable(format!("{name}/{n}"))),
+            }
+        }
+        Cell::Fun(..) => unreachable!("bare functor cell in expression"),
+    }
+}
+
+/// Compare two terms in the standard order of terms:
+/// `Var < Number < Atom < Compound`, variables by heap address, atoms
+/// alphabetically, compounds by arity then name then arguments.
+pub fn compare_terms(heap: &[Cell], interner: &Interner, a: Cell, b: Cell) -> Ordering {
+    let a = deref(heap, a);
+    let b = deref(heap, b);
+    let rank = |c: Cell| match c {
+        Cell::Ref(_) => 0,
+        Cell::Int(_) => 1,
+        Cell::Con(_) => 2,
+        Cell::Lis(_) | Cell::Str(_) => 3,
+        Cell::Fun(..) => unreachable!("bare functor cell"),
+    };
+    match rank(a).cmp(&rank(b)) {
+        Ordering::Equal => {}
+        other => return other,
+    }
+    match (a, b) {
+        (Cell::Ref(x), Cell::Ref(y)) => x.cmp(&y),
+        (Cell::Int(x), Cell::Int(y)) => x.cmp(&y),
+        (Cell::Con(x), Cell::Con(y)) => interner.resolve(x).cmp(interner.resolve(y)),
+        (Cell::Lis(_) | Cell::Str(_), Cell::Lis(_) | Cell::Str(_)) => {
+            let (fa, na, argsa) = decompose(heap, interner, a);
+            let (fb, nb, argsb) = decompose(heap, interner, b);
+            na.cmp(&nb)
+                .then_with(|| fa.cmp(fb))
+                .then_with(|| {
+                    for (x, y) in argsa.iter().zip(argsb.iter()) {
+                        match compare_terms(heap, interner, *x, *y) {
+                            Ordering::Equal => continue,
+                            other => return other,
+                        }
+                    }
+                    Ordering::Equal
+                })
+        }
+        _ => unreachable!("same rank implies same shape"),
+    }
+}
+
+fn decompose<'a>(
+    heap: &[Cell],
+    interner: &'a Interner,
+    c: Cell,
+) -> (&'a str, usize, Vec<Cell>) {
+    match c {
+        Cell::Lis(p) => (".", 2, vec![Cell::Ref(p), Cell::Ref(p + 1)]),
+        Cell::Str(p) => {
+            let Cell::Fun(f, n) = heap[p] else {
+                unreachable!()
+            };
+            (
+                interner.resolve(f),
+                n as usize,
+                (0..n as usize).map(|i| Cell::Ref(p + 1 + i)).collect(),
+            )
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Structural equality without binding (`==`/2).
+pub fn struct_eq(heap: &[Cell], a: Cell, b: Cell) -> bool {
+    let a = deref(heap, a);
+    let b = deref(heap, b);
+    match (a, b) {
+        (Cell::Ref(x), Cell::Ref(y)) => x == y,
+        (Cell::Int(x), Cell::Int(y)) => x == y,
+        (Cell::Con(x), Cell::Con(y)) => x == y,
+        (Cell::Lis(x), Cell::Lis(y)) => {
+            struct_eq(heap, Cell::Ref(x), Cell::Ref(y))
+                && struct_eq(heap, Cell::Ref(x + 1), Cell::Ref(y + 1))
+        }
+        (Cell::Str(x), Cell::Str(y)) => {
+            let (Cell::Fun(fx, nx), Cell::Fun(fy, ny)) = (heap[x], heap[y]) else {
+                unreachable!()
+            };
+            fx == fy
+                && nx == ny
+                && (0..nx as usize)
+                    .all(|i| struct_eq(heap, Cell::Ref(x + 1 + i), Cell::Ref(y + 1 + i)))
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap_with_expr(interner: &mut Interner) -> (Vec<Cell>, Cell) {
+        // 3 + 4 * 2
+        let plus = interner.intern("+");
+        let times = interner.intern("*");
+        let heap = vec![
+            Cell::Fun(times, 2), // 0
+            Cell::Int(4),        // 1
+            Cell::Int(2),        // 2
+            Cell::Fun(plus, 2),  // 3
+            Cell::Int(3),        // 4
+            Cell::Str(0),        // 5
+        ];
+        (heap, Cell::Str(3))
+    }
+
+    #[test]
+    fn nested_arith() {
+        let mut i = Interner::new();
+        let (heap, expr) = heap_with_expr(&mut i);
+        assert_eq!(eval_arith(&heap, &i, expr), Ok(11));
+    }
+
+    #[test]
+    fn unbound_is_an_error() {
+        let i = Interner::new();
+        let heap = vec![Cell::Ref(0)];
+        assert_eq!(eval_arith(&heap, &i, Cell::Ref(0)), Err(ArithError::Unbound));
+    }
+
+    #[test]
+    fn division_by_zero() {
+        let mut i = Interner::new();
+        let slash = i.intern("//");
+        let heap = vec![Cell::Fun(slash, 2), Cell::Int(1), Cell::Int(0)];
+        assert_eq!(
+            eval_arith(&heap, &i, Cell::Str(0)),
+            Err(ArithError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn mod_is_euclidean() {
+        let mut i = Interner::new();
+        let m = i.intern("mod");
+        let heap = vec![Cell::Fun(m, 2), Cell::Int(-7), Cell::Int(3)];
+        assert_eq!(eval_arith(&heap, &i, Cell::Str(0)), Ok(2));
+    }
+
+    #[test]
+    fn standard_order_ranks() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let heap = vec![Cell::Ref(0)];
+        assert_eq!(
+            compare_terms(&heap, &i, Cell::Ref(0), Cell::Int(5)),
+            Ordering::Less
+        );
+        assert_eq!(
+            compare_terms(&heap, &i, Cell::Int(5), Cell::Con(a)),
+            Ordering::Less
+        );
+        assert_eq!(
+            compare_terms(&heap, &i, Cell::Con(a), Cell::Lis(0)),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn atoms_compare_alphabetically() {
+        let mut i = Interner::new();
+        let a = i.intern("apple");
+        let b = i.intern("banana");
+        let heap: Vec<Cell> = vec![];
+        assert_eq!(
+            compare_terms(&heap, &i, Cell::Con(a), Cell::Con(b)),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn struct_eq_distinguishes_unbound() {
+        let heap = vec![Cell::Ref(0), Cell::Ref(1)];
+        assert!(!struct_eq(&heap, Cell::Ref(0), Cell::Ref(1)));
+        assert!(struct_eq(&heap, Cell::Ref(0), Cell::Ref(0)));
+    }
+}

@@ -1,0 +1,42 @@
+//! The concrete WAM runtime: standard Prolog execution of compiled code.
+//!
+//! This crate is the "standard WAM" of the paper's Figure 1. It executes
+//! the [`wam::CompiledProgram`] produced by the `wam` compiler over the
+//! concrete domain: a tagged-cell heap, a trail, environments and choice
+//! points, full backtracking, and the inline builtins (arithmetic,
+//! comparison, unification, type tests, cut support).
+//!
+//! Its role in the reproduction is twofold:
+//!
+//! * it validates that the compiler's output is real, runnable WAM code
+//!   (every benchmark program runs concretely in the test suite);
+//! * it provides the concrete-execution oracle for the end-to-end
+//!   soundness tests: every call/success pattern observed concretely must
+//!   be covered by the abstract analyzer's extension-table entries.
+//!
+//! # Examples
+//!
+//! ```
+//! use prolog_syntax::parse_program;
+//! use wam::compile_program;
+//! use wam_machine::Machine;
+//!
+//! let program = parse_program(
+//!     "app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).",
+//! )?;
+//! let compiled = compile_program(&program)?;
+//! let mut machine = Machine::new(&compiled);
+//! let solution = machine.query_str("app([1, 2], [3], X)")?.expect("succeeds");
+//! assert_eq!(solution.binding_str("X").unwrap(), "[1, 2, 3]");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod eval;
+pub mod machine;
+pub mod reify;
+
+pub use cell::Cell;
+pub use machine::{Machine, Outcome, RunError, Solution};

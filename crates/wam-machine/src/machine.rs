@@ -1,0 +1,958 @@
+//! The WAM interpreter loop.
+
+use crate::cell::Cell;
+use crate::eval::{self, deref, eval_arith, ArithError};
+use crate::reify;
+use prolog_syntax::Term;
+use std::fmt;
+use wam::{Builtin, CompiledProgram, Instr, Slot, WamConst};
+
+/// Result of driving the machine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// The query succeeded (bindings can be extracted).
+    Success,
+    /// The query (or the remaining alternatives) failed.
+    Failure,
+}
+
+/// A runtime error (distinct from goal failure).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// The queried predicate does not exist in the program.
+    UnknownPredicate {
+        /// `name/arity` of the missing predicate.
+        pred: String,
+    },
+    /// An arithmetic builtin was applied to a bad expression.
+    Arith(ArithError),
+    /// `functor/3` or `arg/3` received insufficiently instantiated
+    /// arguments.
+    Instantiation {
+        /// The builtin that failed.
+        builtin: &'static str,
+    },
+    /// The step budget was exhausted (runaway recursion guard).
+    StepLimit,
+    /// The query string failed to parse.
+    Parse(String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::UnknownPredicate { pred } => write!(f, "unknown predicate {pred}"),
+            RunError::Arith(e) => write!(f, "{e}"),
+            RunError::Instantiation { builtin } => {
+                write!(f, "insufficiently instantiated arguments to {builtin}")
+            }
+            RunError::StepLimit => write!(f, "step limit exceeded"),
+            RunError::Parse(e) => write!(f, "query parse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<ArithError> for RunError {
+    fn from(e: ArithError) -> Self {
+        RunError::Arith(e)
+    }
+}
+
+/// One solution to a query: bindings for the query's variables.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// `(variable name, bound term)` pairs in query order, with the
+    /// interner-independent rendering alongside.
+    pub bindings: Vec<(String, Term, String)>,
+}
+
+impl Solution {
+    /// The rendered binding of variable `name`, if present in the query.
+    pub fn binding_str(&self, name: &str) -> Option<&str> {
+        self.bindings
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, _, s)| s.as_str())
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Env {
+    prev: Option<usize>,
+    cont: Option<usize>,
+    y: Vec<Cell>,
+    /// Choice-stack height saved by `get_level`.
+    cut: usize,
+}
+
+#[derive(Debug, Clone)]
+struct ChoicePoint {
+    args: Vec<Cell>,
+    e: Option<usize>,
+    cont: Option<usize>,
+    b0: usize,
+    next_alt: usize,
+    trail_len: usize,
+    heap_len: usize,
+    env_len: usize,
+}
+
+/// The concrete WAM.
+///
+/// See the [crate documentation](crate) for an overview and example.
+#[derive(Debug)]
+pub struct Machine<'p> {
+    program: &'p CompiledProgram,
+    heap: Vec<Cell>,
+    x: Vec<Cell>,
+    envs: Vec<Env>,
+    choices: Vec<ChoicePoint>,
+    trail: Vec<usize>,
+    pc: usize,
+    /// Continuation code pointer; `None` returns to the query driver.
+    cont: Option<usize>,
+    e: Option<usize>,
+    /// Cut barrier: choice-stack height at the last call.
+    b0: usize,
+    num_args: usize,
+    mode: Mode,
+    s: usize,
+    steps: u64,
+    max_steps: u64,
+    /// Names of the current query's variables, indexed by [`VarId`].
+    query_vars: Vec<(String, usize)>,
+    /// When true, every predicate entry is recorded in [`Self::call_trace`].
+    pub trace_calls: bool,
+    /// `(predicate id, reified argument terms)` for each call, in order.
+    pub call_trace: Vec<(usize, Vec<Term>)>,
+    /// The program interner, possibly extended with query-only symbols.
+    interner: prolog_syntax::Interner,
+    /// Text written by `write/1` and friends.
+    pub output: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Read,
+    Write,
+}
+
+enum Step {
+    Continue,
+    Done(Outcome),
+}
+
+impl<'p> Machine<'p> {
+    /// Create a machine for `program`.
+    pub fn new(program: &'p CompiledProgram) -> Self {
+        Machine {
+            program,
+            heap: Vec::with_capacity(1024),
+            x: vec![Cell::Int(0); 256],
+            envs: Vec::new(),
+            choices: Vec::new(),
+            trail: Vec::new(),
+            pc: 0,
+            cont: None,
+            e: None,
+            b0: 0,
+            num_args: 0,
+            mode: Mode::Read,
+            s: 0,
+            steps: 0,
+            max_steps: 500_000_000,
+            query_vars: Vec::new(),
+            trace_calls: false,
+            call_trace: Vec::new(),
+            interner: program.interner.clone(),
+            output: String::new(),
+        }
+    }
+
+    /// Set the runaway-recursion step budget (default 5·10⁸).
+    pub fn set_max_steps(&mut self, max_steps: u64) {
+        self.max_steps = max_steps;
+    }
+
+    /// Number of instructions executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Parse `query` (e.g. `"app([1], [2], X)"`) and run it, returning the
+    /// first solution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] on parse errors, unknown predicates, or
+    /// runtime errors. Goal failure is `Ok(None)`.
+    pub fn query_str(&mut self, query: &str) -> Result<Option<Solution>, RunError> {
+        let tokens = prolog_syntax::Lexer::new(query)
+            .tokenize()
+            .map_err(|e| RunError::Parse(e.to_string()))?;
+        // Parse against a scratch interner that shares the program's
+        // symbols (names must resolve to the same ids).
+        let mut interner = self.program.interner.clone();
+        let mut parser = prolog_syntax::Parser::new(&tokens, &mut interner);
+        let (term, _) = parser.parse(1200).map_err(|e| RunError::Parse(e.to_string()))?;
+        let var_names = parser.take_var_names();
+        // Any *new* symbols cannot exist in the program, so a lookup miss
+        // during execution is simply failure; but the goal's own functor
+        // must be known.
+        let (name, args) = match &term {
+            Term::Atom(a) => (interner.resolve(*a).to_owned(), Vec::new()),
+            Term::Struct(f, args) => (interner.resolve(*f).to_owned(), args.clone()),
+            _ => {
+                return Err(RunError::Parse("query must be a callable term".into()));
+            }
+        };
+        self.run_query_terms(&name, &args, &var_names, &interner)
+    }
+
+    /// Run a query given a predicate name and pre-built argument terms.
+    ///
+    /// `var_names` maps the [`prolog_syntax::VarId`]s in `args` to display names;
+    /// `interner` must resolve every symbol in `args` (typically the
+    /// program's interner, possibly extended).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::UnknownPredicate`] if the predicate is not
+    /// defined, or other [`RunError`]s during execution.
+    pub fn run_query_terms(
+        &mut self,
+        name: &str,
+        args: &[Term],
+        var_names: &[String],
+        interner: &prolog_syntax::Interner,
+    ) -> Result<Option<Solution>, RunError> {
+        let pred = self
+            .program
+            .predicate(name, args.len())
+            .ok_or_else(|| RunError::UnknownPredicate {
+                pred: format!("{name}/{}", args.len()),
+            })?;
+        self.reset();
+        self.interner = interner.clone();
+        // Build argument terms on the heap.
+        let mut var_addrs: Vec<Option<usize>> = vec![None; var_names.len()];
+        for (i, arg) in args.iter().enumerate() {
+            let cell = reify::build(&mut self.heap, arg, &mut var_addrs, interner, self.program);
+            self.x[i] = cell;
+        }
+        self.query_vars = var_names
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| {
+                let addr = var_addrs[i]?;
+                if n == "_" {
+                    None
+                } else {
+                    Some((n.clone(), addr))
+                }
+            })
+            .collect();
+        self.num_args = args.len();
+        self.b0 = 0;
+        self.cont = None;
+        self.pc = self.program.predicates[pred].entry;
+        match self.run()? {
+            Outcome::Success => Ok(Some(self.extract_solution())),
+            Outcome::Failure => Ok(None),
+        }
+    }
+
+    /// After a successful query, backtrack into the remaining alternatives
+    /// and find the next solution.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::query_str`].
+    pub fn next_solution(&mut self) -> Result<Option<Solution>, RunError> {
+        if !self.backtrack() {
+            return Ok(None);
+        }
+        match self.run()? {
+            Outcome::Success => Ok(Some(self.extract_solution())),
+            Outcome::Failure => Ok(None),
+        }
+    }
+
+    /// Collect up to `limit` solutions of `query`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::query_str`].
+    pub fn solve_all(&mut self, query: &str, limit: usize) -> Result<Vec<Solution>, RunError> {
+        let mut out = Vec::new();
+        if limit == 0 {
+            return Ok(out);
+        }
+        if let Some(s) = self.query_str(query)? {
+            out.push(s);
+            while out.len() < limit {
+                match self.next_solution()? {
+                    Some(s) => out.push(s),
+                    None => break,
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn reset(&mut self) {
+        self.heap.clear();
+        self.envs.clear();
+        self.choices.clear();
+        self.trail.clear();
+        self.e = None;
+        self.cont = None;
+        self.b0 = 0;
+        self.mode = Mode::Read;
+        self.s = 0;
+        self.output.clear();
+        self.query_vars.clear();
+    }
+
+    fn extract_solution(&self) -> Solution {
+        let mut bindings = Vec::new();
+        let mut namer = reify::Namer::new();
+        for (name, addr) in &self.query_vars {
+            let term = reify::reify(&self.heap, Cell::Ref(*addr), &mut namer);
+            let rendered =
+                prolog_syntax::term_to_string(&term, &self.interner, namer.names());
+            bindings.push((name.clone(), term, rendered));
+        }
+        Solution { bindings }
+    }
+
+    // ----- the interpreter loop -----
+
+    fn run(&mut self) -> Result<Outcome, RunError> {
+        loop {
+            if self.steps >= self.max_steps {
+                return Err(RunError::StepLimit);
+            }
+            self.steps += 1;
+            match self.step()? {
+                Step::Continue => {}
+                Step::Done(outcome) => return Ok(outcome),
+            }
+        }
+    }
+
+    fn step(&mut self) -> Result<Step, RunError> {
+        let instr = &self.program.code[self.pc];
+        self.pc += 1;
+        use Instr::*;
+        let ok = match instr {
+            &GetVariable(slot, a) => {
+                let v = self.x[a as usize];
+                self.write_slot(slot, v);
+                true
+            }
+            &GetValue(slot, a) => {
+                let v = self.read_slot(slot);
+                let arg = self.x[a as usize];
+                self.unify(v, arg)
+            }
+            &GetConstant(c, a) => {
+                let arg = self.x[a as usize];
+                self.get_constant(c, arg)
+            }
+            &GetList(a) => {
+                let arg = deref(&self.heap, self.x[a as usize]);
+                match arg {
+                    Cell::Ref(addr) => {
+                        // The two cells the following unify_* instructions
+                        // write (in write mode) become the car and cdr.
+                        let h = self.heap.len();
+                        self.bind(addr, Cell::Lis(h));
+                        self.mode = Mode::Write;
+                        true
+                    }
+                    Cell::Lis(p) => {
+                        self.mode = Mode::Read;
+                        self.s = p;
+                        true
+                    }
+                    _ => false,
+                }
+            }
+            &GetStructure(f, a) => {
+                let arg = deref(&self.heap, self.x[a as usize]);
+                match arg {
+                    Cell::Ref(addr) => {
+                        let h = self.heap.len();
+                        self.heap.push(Cell::Fun(f.name, f.arity));
+                        self.bind(addr, Cell::Str(h));
+                        self.mode = Mode::Write;
+                        true
+                    }
+                    Cell::Str(p)
+                        if self.heap[p] == Cell::Fun(f.name, f.arity) => {
+                            self.mode = Mode::Read;
+                            self.s = p + 1;
+                            true
+                        }
+                    _ => false,
+                }
+            }
+            &PutVariable(slot, a) => {
+                let addr = self.push_unbound();
+                self.write_slot(slot, Cell::Ref(addr));
+                self.x[a as usize] = Cell::Ref(addr);
+                true
+            }
+            &PutValue(slot, a) => {
+                self.x[a as usize] = self.read_slot(slot);
+                true
+            }
+            &PutConstant(c, a) => {
+                self.x[a as usize] = const_cell(c);
+                true
+            }
+            &PutList(a) => {
+                self.x[a as usize] = Cell::Lis(self.heap.len());
+                self.mode = Mode::Write;
+                true
+            }
+            &PutStructure(f, a) => {
+                let h = self.heap.len();
+                self.heap.push(Cell::Fun(f.name, f.arity));
+                self.x[a as usize] = Cell::Str(h);
+                self.mode = Mode::Write;
+                true
+            }
+            &UnifyVariable(slot) => {
+                match self.mode {
+                    Mode::Read => {
+                        let cell = self.heap[self.s];
+                        self.write_slot(slot, cell);
+                        self.s += 1;
+                    }
+                    Mode::Write => {
+                        let addr = self.push_unbound();
+                        self.write_slot(slot, Cell::Ref(addr));
+                    }
+                }
+                true
+            }
+            &UnifyValue(slot) => match self.mode {
+                Mode::Read => {
+                    let v = self.read_slot(slot);
+                    let s = self.s;
+                    self.s += 1;
+                    self.unify(v, Cell::Ref(s))
+                }
+                Mode::Write => {
+                    let v = self.read_slot(slot);
+                    self.heap.push(v);
+                    true
+                }
+            },
+            &UnifyConstant(c) => match self.mode {
+                Mode::Read => {
+                    let s = self.s;
+                    self.s += 1;
+                    self.get_constant(c, Cell::Ref(s))
+                }
+                Mode::Write => {
+                    self.heap.push(const_cell(c));
+                    true
+                }
+            },
+            &UnifyVoid(n) => {
+                match self.mode {
+                    Mode::Read => self.s += n as usize,
+                    Mode::Write => {
+                        for _ in 0..n {
+                            self.push_unbound();
+                        }
+                    }
+                }
+                true
+            }
+            &Allocate(n) => {
+                self.envs.push(Env {
+                    prev: self.e,
+                    cont: self.cont,
+                    y: vec![Cell::Int(0); n as usize],
+                    cut: self.b0,
+                });
+                self.e = Some(self.envs.len() - 1);
+                true
+            }
+            &Deallocate => {
+                let e = self.e.expect("deallocate with no environment");
+                self.cont = self.envs[e].cont;
+                self.e = self.envs[e].prev;
+                true
+            }
+            &Call(p) => {
+                self.cont = Some(self.pc);
+                self.enter(p);
+                true
+            }
+            &Execute(p) => {
+                self.enter(p);
+                true
+            }
+            &Proceed => match self.cont {
+                Some(addr) => {
+                    self.pc = addr;
+                    true
+                }
+                None => return Ok(Step::Done(Outcome::Success)),
+            },
+            &CallBuiltin(b) => match self.builtin(b)? {
+                BuiltinResult::Ok => true,
+                BuiltinResult::Fail => false,
+                BuiltinResult::Halt => return Ok(Step::Done(Outcome::Success)),
+            },
+            &NeckCut => {
+                self.choices.truncate(self.b0);
+                true
+            }
+            &GetLevel(_) => {
+                let e = self.e.expect("get_level with no environment");
+                self.envs[e].cut = self.b0;
+                true
+            }
+            &CutLevel(_) => {
+                let e = self.e.expect("cut with no environment");
+                let barrier = self.envs[e].cut;
+                self.choices.truncate(barrier);
+                true
+            }
+            &TryMeElse(l) => {
+                self.push_choice(l);
+                true
+            }
+            &RetryMeElse(l) => {
+                self.choices
+                    .last_mut()
+                    .expect("retry_me_else with no choice point")
+                    .next_alt = l;
+                true
+            }
+            &TrustMe => {
+                self.choices.pop().expect("trust_me with no choice point");
+                true
+            }
+            &Try(l) => {
+                let next = self.pc;
+                self.push_choice(next);
+                self.pc = l;
+                true
+            }
+            &Retry(l) => {
+                let next = self.pc;
+                self.choices
+                    .last_mut()
+                    .expect("retry with no choice point")
+                    .next_alt = next;
+                self.pc = l;
+                true
+            }
+            &Trust(l) => {
+                self.choices.pop().expect("trust with no choice point");
+                self.pc = l;
+                true
+            }
+            &SwitchOnTerm { var, con, lis, str_ } => {
+                let d = deref(&self.heap, self.x[0]);
+                self.pc = match d {
+                    Cell::Ref(_) => var,
+                    Cell::Con(_) | Cell::Int(_) => con,
+                    Cell::Lis(_) => lis,
+                    Cell::Str(_) => str_,
+                    Cell::Fun(..) => unreachable!("bare functor in A1"),
+                };
+                true
+            }
+            SwitchOnConstant(table) => {
+                let d = deref(&self.heap, self.x[0]);
+                let key = match d {
+                    Cell::Con(s) => Some(WamConst::Atom(s)),
+                    Cell::Int(i) => Some(WamConst::Int(i)),
+                    _ => None,
+                };
+                match key.and_then(|k| table.iter().find(|(c, _)| *c == k)) {
+                    Some((_, addr)) => {
+                        self.pc = *addr;
+                        true
+                    }
+                    None => false,
+                }
+            }
+            SwitchOnStructure(table) => {
+                let d = deref(&self.heap, self.x[0]);
+                let key = match d {
+                    Cell::Str(p) => match self.heap[p] {
+                        Cell::Fun(f, n) => Some((f, n)),
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                match key.and_then(|(f, n)| {
+                    table
+                        .iter()
+                        .find(|(func, _)| func.name == f && func.arity == n)
+                }) {
+                    Some((_, addr)) => {
+                        self.pc = *addr;
+                        true
+                    }
+                    None => false,
+                }
+            }
+            &Fail => false,
+        };
+        if ok || self.backtrack() {
+            Ok(Step::Continue)
+        } else {
+            Ok(Step::Done(Outcome::Failure))
+        }
+    }
+
+    fn enter(&mut self, pred: usize) {
+        let entry = self.program.predicates[pred].entry;
+        self.num_args = self.program.predicates[pred].key.arity;
+        self.b0 = self.choices.len();
+        self.pc = entry;
+        if self.trace_calls {
+            let mut namer = reify::Namer::new();
+            let args: Vec<Term> = (0..self.num_args)
+                .map(|i| reify::reify(&self.heap, self.x[i], &mut namer))
+                .collect();
+            self.call_trace.push((pred, args));
+        }
+    }
+
+    fn push_choice(&mut self, next_alt: usize) {
+        self.choices.push(ChoicePoint {
+            args: self.x[..self.num_args].to_vec(),
+            e: self.e,
+            cont: self.cont,
+            b0: self.b0,
+            next_alt,
+            trail_len: self.trail.len(),
+            heap_len: self.heap.len(),
+            env_len: self.envs.len(),
+        });
+    }
+
+    fn backtrack(&mut self) -> bool {
+        let Some(cp) = self.choices.last() else {
+            return false;
+        };
+        let cp = cp.clone();
+        self.x[..cp.args.len()].copy_from_slice(&cp.args);
+        self.num_args = cp.args.len();
+        self.e = cp.e;
+        self.cont = cp.cont;
+        self.b0 = cp.b0;
+        while self.trail.len() > cp.trail_len {
+            let addr = self.trail.pop().expect("non-empty");
+            self.heap[addr] = Cell::Ref(addr);
+        }
+        self.heap.truncate(cp.heap_len);
+        self.envs.truncate(cp.env_len);
+        self.pc = cp.next_alt;
+        true
+    }
+
+    // ----- register and heap access -----
+
+    fn read_slot(&self, slot: Slot) -> Cell {
+        match slot {
+            Slot::X(n) => self.x[n as usize],
+            Slot::Y(n) => {
+                let e = self.e.expect("Y access with no environment");
+                self.envs[e].y[n as usize]
+            }
+        }
+    }
+
+    fn write_slot(&mut self, slot: Slot, cell: Cell) {
+        match slot {
+            Slot::X(n) => {
+                let n = n as usize;
+                if n >= self.x.len() {
+                    self.x.resize(n + 1, Cell::Int(0));
+                }
+                self.x[n] = cell;
+            }
+            Slot::Y(n) => {
+                let e = self.e.expect("Y access with no environment");
+                self.envs[e].y[n as usize] = cell;
+            }
+        }
+    }
+
+    fn push_unbound(&mut self) -> usize {
+        let addr = self.heap.len();
+        self.heap.push(Cell::Ref(addr));
+        addr
+    }
+
+    fn bind(&mut self, addr: usize, cell: Cell) {
+        self.heap[addr] = cell;
+        self.trail.push(addr);
+    }
+
+    fn get_constant(&mut self, c: WamConst, arg: Cell) -> bool {
+        let d = deref(&self.heap, arg);
+        match (d, c) {
+            (Cell::Ref(addr), _) => {
+                self.bind(addr, const_cell(c));
+                true
+            }
+            (Cell::Con(s), WamConst::Atom(a)) => s == a,
+            (Cell::Int(i), WamConst::Int(j)) => i == j,
+            _ => false,
+        }
+    }
+
+    /// Full unification with trailing.
+    pub(crate) fn unify(&mut self, a: Cell, b: Cell) -> bool {
+        let mut stack = vec![(a, b)];
+        while let Some((a, b)) = stack.pop() {
+            let a = deref(&self.heap, a);
+            let b = deref(&self.heap, b);
+            if a == b {
+                continue;
+            }
+            match (a, b) {
+                (Cell::Ref(x), Cell::Ref(y)) => {
+                    // Bind the younger to the older for safe truncation.
+                    if x > y {
+                        self.bind(x, Cell::Ref(y));
+                    } else {
+                        self.bind(y, Cell::Ref(x));
+                    }
+                }
+                (Cell::Ref(x), other) => self.bind(x, other),
+                (other, Cell::Ref(y)) => self.bind(y, other),
+                (Cell::Int(x), Cell::Int(y)) => {
+                    if x != y {
+                        return false;
+                    }
+                }
+                (Cell::Con(x), Cell::Con(y)) => {
+                    if x != y {
+                        return false;
+                    }
+                }
+                (Cell::Lis(x), Cell::Lis(y)) => {
+                    stack.push((Cell::Ref(x), Cell::Ref(y)));
+                    stack.push((Cell::Ref(x + 1), Cell::Ref(y + 1)));
+                }
+                (Cell::Str(x), Cell::Str(y)) => {
+                    let (Cell::Fun(fx, nx), Cell::Fun(fy, ny)) = (self.heap[x], self.heap[y])
+                    else {
+                        unreachable!("Str points at Fun");
+                    };
+                    if fx != fy || nx != ny {
+                        return false;
+                    }
+                    for i in 0..nx as usize {
+                        stack.push((Cell::Ref(x + 1 + i), Cell::Ref(y + 1 + i)));
+                    }
+                }
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    // ----- builtins -----
+
+    fn builtin(&mut self, b: Builtin) -> Result<BuiltinResult, RunError> {
+        use Builtin::*;
+        let interner = &self.interner;
+        let ok = match b {
+            True => true,
+            Fail => false,
+            Halt => return Ok(BuiltinResult::Halt),
+            Is => {
+                let value = eval_arith(&self.heap, interner, self.x[1])?;
+                self.unify(self.x[0], Cell::Int(value))
+            }
+            Lt | Gt | Le | Ge | ArithEq | ArithNe => {
+                let l = eval_arith(&self.heap, interner, self.x[0])?;
+                let r = eval_arith(&self.heap, interner, self.x[1])?;
+                match b {
+                    Lt => l < r,
+                    Gt => l > r,
+                    Le => l <= r,
+                    Ge => l >= r,
+                    ArithEq => l == r,
+                    ArithNe => l != r,
+                    _ => unreachable!(),
+                }
+            }
+            Unify => self.unify(self.x[0], self.x[1]),
+            NotUnify => {
+                // Unify in a sandbox: trail and undo.
+                let mark = self.trail.len();
+                let heap_mark = self.heap.len();
+                let unified = self.unify(self.x[0], self.x[1]);
+                while self.trail.len() > mark {
+                    let addr = self.trail.pop().expect("non-empty");
+                    self.heap[addr] = Cell::Ref(addr);
+                }
+                self.heap.truncate(heap_mark);
+                !unified
+            }
+            StructEq => eval::struct_eq(&self.heap, self.x[0], self.x[1]),
+            StructNe => !eval::struct_eq(&self.heap, self.x[0], self.x[1]),
+            TermLt => {
+                eval::compare_terms(&self.heap, interner, self.x[0], self.x[1])
+                    == std::cmp::Ordering::Less
+            }
+            TermGt => {
+                eval::compare_terms(&self.heap, interner, self.x[0], self.x[1])
+                    == std::cmp::Ordering::Greater
+            }
+            TermLe => {
+                eval::compare_terms(&self.heap, interner, self.x[0], self.x[1])
+                    != std::cmp::Ordering::Greater
+            }
+            TermGe => {
+                eval::compare_terms(&self.heap, interner, self.x[0], self.x[1])
+                    != std::cmp::Ordering::Less
+            }
+            Var => matches!(deref(&self.heap, self.x[0]), Cell::Ref(_)),
+            Nonvar => !matches!(deref(&self.heap, self.x[0]), Cell::Ref(_)),
+            Atom => matches!(deref(&self.heap, self.x[0]), Cell::Con(_)),
+            Integer | Number => matches!(deref(&self.heap, self.x[0]), Cell::Int(_)),
+            Atomic => matches!(
+                deref(&self.heap, self.x[0]),
+                Cell::Con(_) | Cell::Int(_)
+            ),
+            Compound => matches!(
+                deref(&self.heap, self.x[0]),
+                Cell::Lis(_) | Cell::Str(_)
+            ),
+            FunctorOf => self.builtin_functor()?,
+            Arg => self.builtin_arg()?,
+            Write => {
+                let mut namer = reify::Namer::new();
+                let term = reify::reify(&self.heap, self.x[0], &mut namer);
+                let text = prolog_syntax::term_to_string(
+                    &term,
+                    &self.interner,
+                    namer.names(),
+                );
+                self.output.push_str(&text);
+                true
+            }
+            Nl => {
+                self.output.push('\n');
+                true
+            }
+            Tab => {
+                let n = eval_arith(&self.heap, interner, self.x[0])?;
+                for _ in 0..n.max(0) {
+                    self.output.push(' ');
+                }
+                true
+            }
+        };
+        Ok(if ok {
+            BuiltinResult::Ok
+        } else {
+            BuiltinResult::Fail
+        })
+    }
+
+    fn builtin_functor(&mut self) -> Result<bool, RunError> {
+        let t = deref(&self.heap, self.x[0]);
+        match t {
+            Cell::Con(s) => {
+                Ok(self.unify(self.x[1], Cell::Con(s)) && self.unify(self.x[2], Cell::Int(0)))
+            }
+            Cell::Int(i) => {
+                Ok(self.unify(self.x[1], Cell::Int(i)) && self.unify(self.x[2], Cell::Int(0)))
+            }
+            Cell::Lis(_) => {
+                let dot = self.interner.lookup(".").expect("well-known");
+                Ok(self.unify(self.x[1], Cell::Con(dot)) && self.unify(self.x[2], Cell::Int(2)))
+            }
+            Cell::Str(p) => {
+                let Cell::Fun(f, n) = self.heap[p] else {
+                    unreachable!()
+                };
+                Ok(self.unify(self.x[1], Cell::Con(f))
+                    && self.unify(self.x[2], Cell::Int(n as i64)))
+            }
+            Cell::Ref(_) => {
+                // Construction mode: name and arity must be bound.
+                let name = deref(&self.heap, self.x[1]);
+                let arity = deref(&self.heap, self.x[2]);
+                match (name, arity) {
+                    (Cell::Con(_) | Cell::Int(_), Cell::Int(0)) => {
+                        Ok(self.unify(self.x[0], name))
+                    }
+                    (Cell::Con(f), Cell::Int(n)) if n > 0 => {
+                        let h = self.heap.len();
+                        self.heap.push(Cell::Fun(f, n as u16));
+                        for _ in 0..n {
+                            self.push_unbound();
+                        }
+                        Ok(self.unify(self.x[0], Cell::Str(h)))
+                    }
+                    (Cell::Ref(_), _) | (_, Cell::Ref(_)) => {
+                        Err(RunError::Instantiation { builtin: "functor/3" })
+                    }
+                    _ => Ok(false),
+                }
+            }
+            Cell::Fun(..) => unreachable!(),
+        }
+    }
+
+    fn builtin_arg(&mut self) -> Result<bool, RunError> {
+        let n = deref(&self.heap, self.x[0]);
+        let t = deref(&self.heap, self.x[1]);
+        let Cell::Int(n) = n else {
+            return Err(RunError::Instantiation { builtin: "arg/3" });
+        };
+        match t {
+            Cell::Str(p) => {
+                let Cell::Fun(_, arity) = self.heap[p] else {
+                    unreachable!()
+                };
+                if n >= 1 && n <= arity as i64 {
+                    Ok(self.unify(self.x[2], Cell::Ref(p + n as usize)))
+                } else {
+                    Ok(false)
+                }
+            }
+            Cell::Lis(p) => match n {
+                1 => Ok(self.unify(self.x[2], Cell::Ref(p))),
+                2 => Ok(self.unify(self.x[2], Cell::Ref(p + 1))),
+                _ => Ok(false),
+            },
+            Cell::Ref(_) => Err(RunError::Instantiation { builtin: "arg/3" }),
+            _ => Ok(false),
+        }
+    }
+}
+
+enum BuiltinResult {
+    Ok,
+    Fail,
+    Halt,
+}
+
+fn const_cell(c: WamConst) -> Cell {
+    match c {
+        WamConst::Atom(a) => Cell::Con(a),
+        WamConst::Int(i) => Cell::Int(i),
+    }
+}

@@ -1,0 +1,403 @@
+//! End-to-end concrete execution tests: compile Prolog source, run
+//! queries, check solutions and backtracking behaviour.
+
+use prolog_syntax::parse_program;
+use wam::compile_program;
+use wam_machine::{Machine, RunError};
+
+fn machine_for(src: &str) -> (wam::CompiledProgram, ()) {
+    let program = parse_program(src).expect("parse");
+    (compile_program(&program).expect("compile"), ())
+}
+
+/// Run `query` against `src` and return the rendered binding of `var` in
+/// the first solution, or `None` if the query fails.
+fn first_binding(src: &str, query: &str, var: &str) -> Option<String> {
+    let (compiled, ()) = machine_for(src);
+    let mut m = Machine::new(&compiled);
+    let sol = m.query_str(query).expect("no runtime error")?;
+    Some(sol.binding_str(var).expect("variable in query").to_owned())
+}
+
+fn succeeds(src: &str, query: &str) -> bool {
+    let (compiled, ()) = machine_for(src);
+    let mut m = Machine::new(&compiled);
+    m.query_str(query).expect("no runtime error").is_some()
+}
+
+fn all_bindings(src: &str, query: &str, var: &str, limit: usize) -> Vec<String> {
+    let (compiled, ()) = machine_for(src);
+    let mut m = Machine::new(&compiled);
+    m.solve_all(query, limit)
+        .expect("no runtime error")
+        .into_iter()
+        .map(|s| s.binding_str(var).expect("variable in query").to_owned())
+        .collect()
+}
+
+const APPEND: &str = "app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).";
+
+#[test]
+fn append_forward() {
+    assert_eq!(
+        first_binding(APPEND, "app([1, 2], [3, 4], X)", "X").as_deref(),
+        Some("[1, 2, 3, 4]")
+    );
+}
+
+#[test]
+fn append_backward_enumerates_splits() {
+    let splits = all_bindings(APPEND, "app(X, Y, [1, 2])", "X", 10);
+    assert_eq!(splits, vec!["[]", "[1]", "[1, 2]"]);
+}
+
+#[test]
+fn append_fails_on_mismatch() {
+    assert!(!succeeds(APPEND, "app([1], [2], [3])"));
+}
+
+#[test]
+fn naive_reverse() {
+    let src = "
+        nrev([], []).
+        nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+        app([], L, L).
+        app([H|T], L, [H|R]) :- app(T, L, R).
+    ";
+    assert_eq!(
+        first_binding(src, "nrev([1, 2, 3, 4, 5], X)", "X").as_deref(),
+        Some("[5, 4, 3, 2, 1]")
+    );
+}
+
+#[test]
+fn member_enumerates() {
+    let src = "mem(X, [X|_]). mem(X, [_|T]) :- mem(X, T).";
+    assert_eq!(
+        all_bindings(src, "mem(X, [a, b, c])", "X", 10),
+        vec!["a", "b", "c"]
+    );
+}
+
+#[test]
+fn arithmetic_is() {
+    let src = "double(X, Y) :- Y is X * 2.";
+    assert_eq!(
+        first_binding(src, "double(21, X)", "X").as_deref(),
+        Some("42")
+    );
+}
+
+#[test]
+fn arithmetic_comparisons() {
+    let src = "max(X, Y, X) :- X >= Y. max(X, Y, Y) :- X < Y.";
+    assert_eq!(first_binding(src, "max(3, 7, M)", "M").as_deref(), Some("7"));
+    assert_eq!(first_binding(src, "max(9, 2, M)", "M").as_deref(), Some("9"));
+}
+
+#[test]
+fn factorial_with_cut() {
+    let src = "
+        fact(0, 1) :- !.
+        fact(N, F) :- N > 0, M is N - 1, fact(M, G), F is N * G.
+    ";
+    assert_eq!(
+        first_binding(src, "fact(10, F)", "F").as_deref(),
+        Some("3628800")
+    );
+}
+
+#[test]
+fn tak_small() {
+    let src = "
+        tak(X, Y, Z, A) :- X =< Y, !, Z = A.
+        tak(X, Y, Z, A) :-
+            X1 is X - 1, Y1 is Y - 1, Z1 is Z - 1,
+            tak(X1, Y, Z, A1), tak(Y1, Z, X, A2), tak(Z1, X, Y, A3),
+            tak(A1, A2, A3, A).
+    ";
+    assert_eq!(
+        first_binding(src, "tak(8, 4, 0, A)", "A").as_deref(),
+        Some("1")
+    );
+}
+
+#[test]
+fn qsort_with_partition() {
+    let src = "
+        qsort([], R, R).
+        qsort([X|L], R, R0) :-
+            partition(L, X, L1, L2),
+            qsort(L2, R1, R0),
+            qsort(L1, R, [X|R1]).
+        partition([], _, [], []).
+        partition([X|L], Y, [X|L1], L2) :- X =< Y, !, partition(L, Y, L1, L2).
+        partition([X|L], Y, L1, [X|L2]) :- partition(L, Y, L1, L2).
+    ";
+    assert_eq!(
+        first_binding(src, "qsort([27, 74, 17, 33, 94, 18, 46, 83, 65, 2], S, [])", "S").as_deref(),
+        Some("[2, 17, 18, 27, 33, 46, 65, 74, 83, 94]")
+    );
+}
+
+#[test]
+fn cut_prunes_alternatives() {
+    let src = "
+        first(X, [X|_]) :- !.
+        first(X, [_|T]) :- first(X, T).
+    ";
+    // Without the cut this would enumerate all members; with it only one.
+    let solutions = all_bindings(src, "first(X, [a, b, c])", "X", 10);
+    assert_eq!(solutions, vec!["a"]);
+}
+
+#[test]
+fn deep_cut_discards_clause_alternatives() {
+    let src = "
+        p(X) :- q(X), !, r(X).
+        p(always).
+        q(1). q(2).
+        r(1).
+    ";
+    // q(1) succeeds, cut commits to q's first solution AND p's first
+    // clause; r(1) succeeds.
+    let solutions = all_bindings(src, "p(X)", "X", 10);
+    assert_eq!(solutions, vec!["1"]);
+}
+
+#[test]
+fn neck_cut_keeps_outer_choices() {
+    let src = "
+        s(X) :- t(X).
+        s(99).
+        t(X) :- !, u(X).
+        u(1). u(2).
+    ";
+    // The neck cut in t/1 cuts t's alternatives only, not s's.
+    let solutions = all_bindings(src, "s(X)", "X", 10);
+    assert_eq!(solutions, vec!["1", "2", "99"]);
+}
+
+#[test]
+fn if_then_else() {
+    let src = "
+        sign(X, pos) :- (X > 0 -> true ; fail).
+        sign(X, neg) :- (X > 0 -> fail ; true).
+    ";
+    assert_eq!(
+        first_binding(src, "sign(5, S)", "S").as_deref(),
+        Some("pos")
+    );
+    assert_eq!(
+        first_binding(src, "sign(-5, S)", "S").as_deref(),
+        Some("neg")
+    );
+}
+
+#[test]
+fn disjunction_both_branches() {
+    let src = "color(X) :- (X = red ; X = blue).";
+    assert_eq!(
+        all_bindings(src, "color(X)", "X", 10),
+        vec!["red", "blue"]
+    );
+}
+
+#[test]
+fn negation_as_failure() {
+    let src = "
+        single(X, L) :- mem(X, L), \\+ dup(X, L).
+        mem(X, [X|_]). mem(X, [_|T]) :- mem(X, T).
+        dup(X, [X|T]) :- mem(X, T).
+        dup(X, [_|T]) :- dup(X, T).
+    ";
+    let solutions = all_bindings(src, "single(X, [a, b, a, c])", "X", 10);
+    assert_eq!(solutions, vec!["b", "c"]);
+}
+
+#[test]
+fn structures_unify_deeply() {
+    let src = "eq(X, X).";
+    assert!(succeeds(src, "eq(f(g(1), [a|T]), f(g(1), [a, b]))"));
+    assert!(!succeeds(src, "eq(f(g(1)), f(g(2)))"));
+}
+
+#[test]
+fn unify_and_notunify_builtins() {
+    let src = "yes. test1(X, Y) :- X = Y. test2(X, Y) :- X \\= Y.";
+    assert!(succeeds(src, "test1(f(X), f(1))"));
+    assert!(succeeds(src, "test2(a, b)"));
+    assert!(!succeeds(src, "test2(X, 1)"));
+}
+
+#[test]
+fn struct_equality_does_not_bind() {
+    let src = "yes. same(X, Y) :- X == Y. diff(X, Y) :- X \\== Y.";
+    assert!(succeeds(src, "same(f(1), f(1))"));
+    assert!(!succeeds(src, "same(X, 1)"));
+    assert!(succeeds(src, "diff(X, Y)"));
+}
+
+#[test]
+fn type_tests() {
+    let src = "yes.
+        isvar(X) :- var(X).
+        isatom(X) :- atom(X).
+        isint(X) :- integer(X).
+        isnv(X) :- nonvar(X).
+    ";
+    assert!(succeeds(src, "isvar(X)"));
+    assert!(!succeeds(src, "isvar(a)"));
+    assert!(succeeds(src, "isatom(foo)"));
+    assert!(!succeeds(src, "isatom(1)"));
+    assert!(succeeds(src, "isint(42)"));
+    assert!(succeeds(src, "isnv(f(X))"));
+}
+
+#[test]
+fn standard_order_comparison() {
+    let src = "yes. lt(X, Y) :- X @< Y.";
+    assert!(succeeds(src, "lt(1, a)"));
+    assert!(succeeds(src, "lt(a, b)"));
+    assert!(succeeds(src, "lt(a, f(1))"));
+    assert!(!succeeds(src, "lt(b, a)"));
+}
+
+#[test]
+fn functor_and_arg() {
+    let src = "yes.
+        fun(T, F, N) :- functor(T, F, N).
+        nth(N, T, A) :- arg(N, T, A).
+    ";
+    assert_eq!(
+        first_binding(src, "fun(foo(a, b), F, N)", "F").as_deref(),
+        Some("foo")
+    );
+    assert_eq!(
+        first_binding(src, "fun(T, foo, 2)", "T").as_deref(),
+        Some("foo(_G0, _G1)")
+    );
+    assert_eq!(
+        first_binding(src, "nth(2, point(3, 4), A)", "A").as_deref(),
+        Some("4")
+    );
+}
+
+#[test]
+fn first_arg_indexing_avoids_choicepoints() {
+    // With perfect indexing, a deterministic call leaves no choice points,
+    // so only one solution exists even with backtracking requested.
+    let solutions = all_bindings(APPEND, "app([1], [2], X)", "X", 10);
+    assert_eq!(solutions, vec!["[1, 2]"]);
+}
+
+#[test]
+fn queens_four() {
+    let src = "
+        queens(N, Qs) :- range(1, N, Ns), queens(Ns, [], Qs).
+        queens([], Qs, Qs).
+        queens(UnplacedQs, SafeQs, Qs) :-
+            sel(UnplacedQs, UnplacedQs1, Q),
+            \\+ attack(Q, SafeQs),
+            queens(UnplacedQs1, [Q|SafeQs], Qs).
+        attack(X, Xs) :- attack(X, 1, Xs).
+        attack(X, N, [Y|_]) :- X is Y + N.
+        attack(X, N, [Y|_]) :- X is Y - N.
+        attack(X, N, [_|Ys]) :- N1 is N + 1, attack(X, N1, Ys).
+        range(N, N, [N]) :- !.
+        range(M, N, [M|Ns]) :- M < N, M1 is M + 1, range(M1, N, Ns).
+        sel([X|Xs], Xs, X).
+        sel([Y|Ys], [Y|Zs], X) :- sel(Ys, Zs, X).
+    ";
+    let solutions = all_bindings(src, "queens(4, Qs)", "Qs", 10);
+    assert_eq!(solutions.len(), 2);
+    assert!(solutions.contains(&"[3, 1, 4, 2]".to_string()));
+    assert!(solutions.contains(&"[2, 4, 1, 3]".to_string()));
+}
+
+#[test]
+fn write_collects_output() {
+    let src = "greet :- write(hello), nl, write([1, 2]).";
+    let (compiled, ()) = machine_for(src);
+    let mut m = Machine::new(&compiled);
+    m.query_str("greet").unwrap().expect("succeeds");
+    assert_eq!(m.output, "hello\n[1, 2]");
+}
+
+#[test]
+fn unknown_predicate_is_an_error() {
+    let (compiled, ()) = machine_for("p.");
+    let mut m = Machine::new(&compiled);
+    assert!(matches!(
+        m.query_str("q"),
+        Err(RunError::UnknownPredicate { .. })
+    ));
+}
+
+#[test]
+fn arithmetic_on_unbound_is_an_error() {
+    let src = "bad(X, Y) :- Y is X + 1.";
+    let (compiled, ()) = machine_for(src);
+    let mut m = Machine::new(&compiled);
+    assert!(matches!(m.query_str("bad(Z, Y)"), Err(RunError::Arith(_))));
+}
+
+#[test]
+fn step_limit_stops_runaway_recursion() {
+    let src = "loop :- loop.";
+    let (compiled, ()) = machine_for(src);
+    let mut m = Machine::new(&compiled);
+    m.set_max_steps(10_000);
+    assert!(matches!(m.query_str("loop"), Err(RunError::StepLimit)));
+}
+
+#[test]
+fn deriv_times10_shape() {
+    // The symbolic differentiation benchmark core.
+    let src = "
+        d(U + V, X, DU + DV) :- !, d(U, X, DU), d(V, X, DV).
+        d(U - V, X, DU - DV) :- !, d(U, X, DU), d(V, X, DV).
+        d(U * V, X, DU * V + U * DV) :- !, d(U, X, DU), d(V, X, DV).
+        d(X, X, 1) :- !.
+        d(_, _, 0).
+    ";
+    assert_eq!(
+        first_binding(src, "d(x * x, x, D)", "D").as_deref(),
+        Some("1 * x + x * 1")
+    );
+}
+
+#[test]
+fn strings_as_code_lists() {
+    let src = "len([], 0). len([_|T], N) :- len(T, M), N is M + 1.";
+    assert_eq!(
+        first_binding(src, "len(\"ABLE\", N)", "N").as_deref(),
+        Some("4")
+    );
+}
+
+#[test]
+fn repeated_query_reuses_machine() {
+    let (compiled, ()) = machine_for(APPEND);
+    let mut m = Machine::new(&compiled);
+    for _ in 0..3 {
+        let s = m.query_str("app([1], [2], X)").unwrap().unwrap();
+        assert_eq!(s.binding_str("X").unwrap(), "[1, 2]");
+    }
+}
+
+#[test]
+fn zero_arity_predicates() {
+    let src = "go :- helper. helper.";
+    assert!(succeeds(src, "go"));
+}
+
+#[test]
+fn variable_aliasing_in_query() {
+    let src = "eq(X, X).";
+    let (compiled, ()) = machine_for(src);
+    let mut m = Machine::new(&compiled);
+    let sol = m.query_str("eq(f(A, B), f(B, 1))").unwrap().unwrap();
+    assert_eq!(sol.binding_str("A").unwrap(), "1");
+    assert_eq!(sol.binding_str("B").unwrap(), "1");
+}

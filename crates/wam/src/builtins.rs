@@ -1,0 +1,202 @@
+//! Inline builtin predicates.
+//!
+//! Builtins execute with their arguments in `A1..An` and either succeed
+//! (possibly binding variables) or fail. Control constructs (`!`, `;`,
+//! `->`, `\+`) are *not* builtins — the compiler lowers them structurally
+//! (see [`crate::norm`]).
+
+use std::fmt;
+
+/// The inline builtins known to the compiler and both machines.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Builtin {
+    /// `is/2` — arithmetic evaluation.
+    Is,
+    /// `</2`.
+    Lt,
+    /// `>/2`.
+    Gt,
+    /// `=</2`.
+    Le,
+    /// `>=/2`.
+    Ge,
+    /// `=:=/2` — arithmetic equality.
+    ArithEq,
+    /// `=\=/2` — arithmetic disequality.
+    ArithNe,
+    /// `=/2` — unification.
+    Unify,
+    /// `\=/2` — non-unifiability.
+    NotUnify,
+    /// `==/2` — structural equality.
+    StructEq,
+    /// `\==/2` — structural disequality.
+    StructNe,
+    /// `@</2` — standard order less-than.
+    TermLt,
+    /// `@>/2`.
+    TermGt,
+    /// `@=</2`.
+    TermLe,
+    /// `@>=/2`.
+    TermGe,
+    /// `true/0`.
+    True,
+    /// `fail/0` (also `false/0`).
+    Fail,
+    /// `var/1`.
+    Var,
+    /// `nonvar/1`.
+    Nonvar,
+    /// `atom/1`.
+    Atom,
+    /// `integer/1`.
+    Integer,
+    /// `number/1`.
+    Number,
+    /// `atomic/1`.
+    Atomic,
+    /// `compound/1`.
+    Compound,
+    /// `functor/3` — decompose/construct (construct mode requires a bound
+    /// name/arity pair).
+    FunctorOf,
+    /// `arg/3`.
+    Arg,
+    /// `write/1` — no-op in this embedding (output suppressed).
+    Write,
+    /// `nl/0` — no-op.
+    Nl,
+    /// `tab/1` — no-op.
+    Tab,
+    /// `halt/0` — stops the machine successfully.
+    Halt,
+}
+
+impl Builtin {
+    /// Look up a builtin by source name and arity.
+    pub fn lookup(name: &str, arity: usize) -> Option<Builtin> {
+        use Builtin::*;
+        Some(match (name, arity) {
+            ("is", 2) => Is,
+            ("<", 2) => Lt,
+            (">", 2) => Gt,
+            ("=<", 2) => Le,
+            (">=", 2) => Ge,
+            ("=:=", 2) => ArithEq,
+            ("=\\=", 2) => ArithNe,
+            ("=", 2) => Unify,
+            ("\\=", 2) => NotUnify,
+            ("==", 2) => StructEq,
+            ("\\==", 2) => StructNe,
+            ("@<", 2) => TermLt,
+            ("@>", 2) => TermGt,
+            ("@=<", 2) => TermLe,
+            ("@>=", 2) => TermGe,
+            ("true", 0) => True,
+            ("fail", 0) | ("false", 0) => Fail,
+            ("var", 1) => Var,
+            ("nonvar", 1) => Nonvar,
+            ("atom", 1) => Atom,
+            ("integer", 1) => Integer,
+            ("number", 1) => Number,
+            ("atomic", 1) => Atomic,
+            ("compound", 1) => Compound,
+            ("functor", 3) => FunctorOf,
+            ("arg", 3) => Arg,
+            ("write", 1) => Write,
+            ("nl", 0) => Nl,
+            ("tab", 1) => Tab,
+            ("halt", 0) => Halt,
+            _ => return None,
+        })
+    }
+
+    /// Number of arguments the builtin expects in `A` registers.
+    pub fn arity(self) -> usize {
+        use Builtin::*;
+        match self {
+            True | Fail | Nl | Halt => 0,
+            Var | Nonvar | Atom | Integer | Number | Atomic | Compound | Write | Tab => 1,
+            FunctorOf | Arg => 3,
+            _ => 2,
+        }
+    }
+
+    /// The source-level name.
+    pub fn name(self) -> &'static str {
+        use Builtin::*;
+        match self {
+            Is => "is",
+            Lt => "<",
+            Gt => ">",
+            Le => "=<",
+            Ge => ">=",
+            ArithEq => "=:=",
+            ArithNe => "=\\=",
+            Unify => "=",
+            NotUnify => "\\=",
+            StructEq => "==",
+            StructNe => "\\==",
+            TermLt => "@<",
+            TermGt => "@>",
+            TermLe => "@=<",
+            TermGe => "@>=",
+            True => "true",
+            Fail => "fail",
+            Var => "var",
+            Nonvar => "nonvar",
+            Atom => "atom",
+            Integer => "integer",
+            Number => "number",
+            Atomic => "atomic",
+            Compound => "compound",
+            FunctorOf => "functor",
+            Arg => "arg",
+            Write => "write",
+            Nl => "nl",
+            Tab => "tab",
+            Halt => "halt",
+        }
+    }
+}
+
+impl fmt::Display for Builtin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name(), self.arity())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_matches_name_and_arity() {
+        assert_eq!(Builtin::lookup("is", 2), Some(Builtin::Is));
+        assert_eq!(Builtin::lookup("is", 3), None);
+        assert_eq!(Builtin::lookup("=<", 2), Some(Builtin::Le));
+        assert_eq!(Builtin::lookup("frobnicate", 2), None);
+    }
+
+    #[test]
+    fn arity_is_consistent_with_lookup() {
+        for (name, arity) in [
+            ("is", 2),
+            ("true", 0),
+            ("var", 1),
+            ("functor", 3),
+            ("@<", 2),
+        ] {
+            let b = Builtin::lookup(name, arity).unwrap();
+            assert_eq!(b.arity(), arity, "{name}");
+            assert_eq!(b.name(), name);
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Builtin::Is.to_string(), "is/2");
+        assert_eq!(Builtin::Nl.to_string(), "nl/0");
+    }
+}

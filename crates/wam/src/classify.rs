@@ -1,0 +1,263 @@
+//! Permanent/temporary variable classification and register assignment.
+//!
+//! A variable is **permanent** (allocated a `Y` slot in the environment) if
+//! it occurs in more than one *chunk*. Chunks are delimited by user
+//! predicate calls: the head together with the goals up to and including
+//! the first call form chunk 0, each subsequent run of goals ending in a
+//! call forms the next chunk. Inline builtins do not end a chunk because
+//! they never re-enter WAM code (and all temporaries live in X registers
+//! above every argument register, where builtins cannot clobber them).
+//!
+//! Temporary variables are assigned X registers starting at `base`, which
+//! is placed above the widest argument list in the clause so that argument
+//! loading never overwrites a live temporary.
+
+use crate::norm::{Goal, NormClause};
+use prolog_syntax::{Term, VarId};
+use std::collections::HashMap;
+
+/// Classification result: layout plus the void-variable set.
+#[derive(Debug, Clone)]
+pub struct Classified {
+    /// Register layout.
+    pub layout: Layout,
+    /// Variables with exactly one occurrence in the clause.
+    pub voids: std::collections::HashSet<VarId>,
+}
+
+/// Register assignment for one clause (see module docs).
+#[derive(Debug, Clone)]
+pub struct Layout {
+    /// Permanent variables and their `Y` slots.
+    pub perm: HashMap<VarId, u16>,
+    /// Temporary variables and their `X` slots (all `>= base`).
+    pub temp: HashMap<VarId, u16>,
+    /// First X register usable for temporaries.
+    pub base: u16,
+    /// First X register for structure-building scratch (above temporaries).
+    pub scratch_base: u16,
+    /// Environment size (permanents + optional cut slot).
+    pub env_size: u16,
+    /// `Y` slot of the saved cut barrier, if needed.
+    pub cut_slot: Option<u16>,
+    /// Whether the clause needs an environment.
+    pub needs_env: bool,
+}
+
+impl Layout {
+    /// The slot assigned to `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` was not classified (internal invariant).
+    pub fn slot(&self, var: VarId) -> crate::Slot {
+        if let Some(&y) = self.perm.get(&var) {
+            crate::Slot::Y(y)
+        } else if let Some(&x) = self.temp.get(&var) {
+            crate::Slot::X(x)
+        } else {
+            panic!("unclassified variable {var:?}")
+        }
+    }
+}
+
+/// Classify the variables of `clause` and build its register layout.
+pub fn classify(clause: &NormClause) -> Classified {
+    // Occurrence counting and chunk assignment.
+    let mut chunks: HashMap<VarId, Vec<usize>> = HashMap::new();
+    let mut occurrences: HashMap<VarId, usize> = HashMap::new();
+    let mut record = |term: &Term, chunk: usize| {
+        for v in term_vars(term) {
+            let entry = chunks.entry(v).or_default();
+            if entry.last() != Some(&chunk) {
+                entry.push(chunk);
+            }
+            *occurrences.entry(v).or_insert(0) += count_occurrences(term, v);
+        }
+    };
+    for arg in &clause.head_args {
+        record(arg, 0);
+    }
+    let mut chunk = 0usize;
+    let mut calls_seen = 0usize;
+    let mut first_call_before_cut = false;
+    let mut cut_needs_slot = false;
+    for goal in &clause.goals {
+        match goal {
+            Goal::Cut => {
+                if first_call_before_cut {
+                    cut_needs_slot = true;
+                }
+            }
+            Goal::Builtin(_, args) => {
+                for a in args {
+                    record(a, chunk);
+                }
+            }
+            Goal::Call(_, args) => {
+                for a in args {
+                    record(a, chunk);
+                }
+                chunk += 1;
+                calls_seen += 1;
+                first_call_before_cut = true;
+            }
+        }
+    }
+    let _ = chunk;
+
+    // Permanent iff present in >1 chunk.
+    let mut perm_vars: Vec<VarId> = chunks
+        .iter()
+        .filter(|(_, cs)| cs.len() > 1)
+        .map(|(&v, _)| v)
+        .collect();
+    perm_vars.sort();
+
+    let voids: std::collections::HashSet<VarId> = occurrences
+        .iter()
+        .filter(|&(_, &n)| n == 1)
+        .map(|(&v, _)| v)
+        .collect();
+
+    // Y slot assignment (order is arbitrary; sorted for determinism).
+    let mut perm = HashMap::new();
+    for (i, &v) in perm_vars.iter().enumerate() {
+        perm.insert(v, i as u16);
+    }
+    let cut_slot = if cut_needs_slot {
+        Some(perm_vars.len() as u16)
+    } else {
+        None
+    };
+    let env_size = perm_vars.len() as u16 + u16::from(cut_slot.is_some());
+
+    // needs_env: permanents, a saved cut barrier, a non-final call, or
+    // multiple calls.
+    let last_goal_is_call = clause.goals.last().is_some_and(Goal::is_call);
+    let needs_env = env_size > 0
+        || calls_seen >= 2
+        || (calls_seen == 1 && !last_goal_is_call);
+
+    // base: above the widest argument list.
+    let mut base = clause.head_args.len();
+    for goal in &clause.goals {
+        base = base.max(goal.args().len());
+    }
+
+    // Temporaries: every non-permanent, non-void variable.
+    let mut temp = HashMap::new();
+    let mut next = base as u16;
+    let mut temp_vars: Vec<VarId> = chunks
+        .keys()
+        .filter(|v| !perm.contains_key(v) && !voids.contains(v))
+        .copied()
+        .collect();
+    temp_vars.sort();
+    for v in temp_vars {
+        temp.insert(v, next);
+        next += 1;
+    }
+
+    Classified {
+        layout: Layout {
+            perm,
+            temp,
+            base: base as u16,
+            scratch_base: next,
+            env_size,
+            cut_slot,
+            needs_env,
+        },
+        voids,
+    }
+}
+
+fn term_vars(term: &Term) -> Vec<VarId> {
+    term.variables()
+}
+
+fn count_occurrences(term: &Term, var: VarId) -> usize {
+    match term {
+        Term::Var(v) => usize::from(*v == var),
+        Term::Int(_) | Term::Atom(_) => 0,
+        Term::Struct(_, args) => args.iter().map(|a| count_occurrences(a, var)).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norm::normalize_program;
+    use prolog_syntax::parse_program;
+
+    fn classify_first(src: &str) -> Classified {
+        let p = parse_program(src).unwrap();
+        let n = normalize_program(&p).unwrap();
+        classify(&n.predicates[0].1[0])
+    }
+
+    #[test]
+    fn fact_has_no_env() {
+        let c = classify_first("p(a, X, X).");
+        assert!(!c.layout.needs_env);
+        assert!(c.layout.perm.is_empty());
+        assert_eq!(c.layout.temp.len(), 1);
+    }
+
+    #[test]
+    fn single_chunk_vars_are_temporary() {
+        // X occurs in head and first goal only → one chunk → temporary.
+        let c = classify_first("p(X) :- q(X). q(1).");
+        assert!(c.layout.perm.is_empty());
+        assert_eq!(c.layout.temp.len(), 1);
+        assert!(!c.layout.needs_env, "single final call compiles to execute");
+    }
+
+    #[test]
+    fn cross_call_vars_are_permanent() {
+        let c = classify_first("p(X, Y) :- q(X, Z), r(Z, Y). q(1,1). r(1,1).");
+        // Z crosses the first call; Y crosses it too (head chunk → goal 2).
+        assert_eq!(c.layout.perm.len(), 2);
+        // X is head+goal1 only → temporary.
+        assert_eq!(c.layout.temp.len(), 1);
+        assert!(c.layout.needs_env);
+    }
+
+    #[test]
+    fn builtins_do_not_split_chunks() {
+        // X used in head, a builtin, and the final call → still one chunk.
+        let c = classify_first("p(X, Y) :- Y is X + 1, q(Y). q(1).");
+        assert!(c.layout.perm.is_empty());
+        assert!(!c.layout.needs_env);
+    }
+
+    #[test]
+    fn trailing_builtin_after_call_needs_env() {
+        let c = classify_first("p(X) :- q(X), X < 3. q(1).");
+        assert!(c.layout.needs_env, "continuation must be saved across call");
+        assert!(c.layout.perm.contains_key(&prolog_syntax::VarId(0)));
+    }
+
+    #[test]
+    fn void_variables_detected() {
+        let c = classify_first("p(_, X, X).");
+        assert_eq!(c.voids.len(), 1);
+    }
+
+    #[test]
+    fn neck_cut_needs_no_slot_deep_cut_does() {
+        let c = classify_first("p(X) :- !, q(X). q(1).");
+        assert!(c.layout.cut_slot.is_none());
+        let c = classify_first("p(X) :- q(X), !, r(X). q(1). r(1).");
+        assert!(c.layout.cut_slot.is_some());
+        assert!(c.layout.env_size >= 1);
+    }
+
+    #[test]
+    fn base_clears_widest_arglist() {
+        let c = classify_first("p(X) :- q(a, b, c, d, X). q(1,2,3,4,5).");
+        assert!(c.layout.base >= 5);
+        assert!(c.layout.temp.values().all(|&x| x >= c.layout.base));
+    }
+}

@@ -1,0 +1,495 @@
+//! Clause normalization: flatten conjunctions and lower control constructs.
+//!
+//! The WAM core compiles a very plain clause shape — a head plus a sequence
+//! of [`Goal`]s. This pass turns full clause bodies into that shape:
+//!
+//! * conjunctions are flattened, `true` goals dropped;
+//! * disjunctions `(A ; B)` are lifted into a fresh auxiliary predicate
+//!   with one clause per branch;
+//! * if-then-else `(C -> T ; E)` becomes an auxiliary predicate with
+//!   clauses `aux :- C, !, T.` and `aux :- E.`;
+//! * bare if-then `(C -> T)` becomes `aux :- C, !, T.`;
+//! * negation-as-failure `\+ G` becomes `aux :- G, !, fail.` / `aux.`;
+//! * `!` becomes [`Goal::Cut`]; builtins are recognized by name/arity.
+//!
+//! A cut written by the user inside a lifted disjunction branch cuts only
+//! the auxiliary predicate, not its parent — a standard simplification
+//! (it matches ISO semantics for the cut implied by `->`, which is the
+//! only cut the Table 1 benchmarks place inside a disjunction).
+
+use crate::builtins::Builtin;
+use prolog_syntax::{Clause, Interner, PredKey, Program, Term, VarId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One normalized body goal.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Goal {
+    /// A call to a user-defined predicate.
+    Call(PredKey, Vec<Term>),
+    /// An inline builtin.
+    Builtin(Builtin, Vec<Term>),
+    /// A cut.
+    Cut,
+}
+
+impl Goal {
+    /// The terms appearing as arguments of this goal.
+    pub fn args(&self) -> &[Term] {
+        match self {
+            Goal::Call(_, args) | Goal::Builtin(_, args) => args,
+            Goal::Cut => &[],
+        }
+    }
+
+    /// Whether this goal transfers control to another predicate (and thus
+    /// clobbers argument registers).
+    pub fn is_call(&self) -> bool {
+        matches!(self, Goal::Call(..))
+    }
+}
+
+/// A clause in normal form.
+#[derive(Clone, Debug)]
+pub struct NormClause {
+    /// The predicate this clause belongs to.
+    pub key: PredKey,
+    /// Head argument terms.
+    pub head_args: Vec<Term>,
+    /// Body goals in execution order.
+    pub goals: Vec<Goal>,
+    /// Number of distinct variables ([`VarId`]s run `0..num_vars`).
+    pub num_vars: usize,
+    /// Display names for variables (auxiliary clauses synthesize names).
+    pub var_names: Vec<String>,
+}
+
+/// A whole program in normal form: clauses grouped by predicate, in
+/// first-occurrence order, with auxiliary predicates appended.
+#[derive(Debug)]
+pub struct NormProgram {
+    /// Interner extended with auxiliary predicate names.
+    pub interner: Interner,
+    /// `(predicate, its clauses)` in first-occurrence order.
+    pub predicates: Vec<(PredKey, Vec<NormClause>)>,
+}
+
+/// An error produced during normalization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NormError {
+    /// A body goal was a variable or number — metacall is unsupported.
+    NonCallableGoal {
+        /// The predicate whose clause contained the goal.
+        pred: String,
+    },
+}
+
+impl fmt::Display for NormError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NormError::NonCallableGoal { pred } => {
+                write!(f, "non-callable goal in a clause of {pred} (metacall is unsupported)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NormError {}
+
+/// Normalize every clause of `program`.
+///
+/// # Errors
+///
+/// Returns [`NormError::NonCallableGoal`] if a clause body contains a
+/// variable or number in a goal position.
+pub fn normalize_program(program: &Program) -> Result<NormProgram, NormError> {
+    let mut norm = Normalizer {
+        interner: program.interner.clone(),
+        aux_counter: 0,
+        out: Vec::new(),
+    };
+    for clause in &program.clauses {
+        norm.normalize_clause(clause)?;
+    }
+    // Group by predicate in first-occurrence order.
+    let mut order: Vec<PredKey> = Vec::new();
+    let mut groups: HashMap<PredKey, Vec<NormClause>> = HashMap::new();
+    for clause in norm.out {
+        let entry = groups.entry(clause.key).or_default();
+        if entry.is_empty() {
+            order.push(clause.key);
+        }
+        entry.push(clause);
+    }
+    Ok(NormProgram {
+        interner: norm.interner,
+        predicates: order
+            .into_iter()
+            .map(|key| {
+                let clauses = groups.remove(&key).unwrap_or_default();
+                (key, clauses)
+            })
+            .collect(),
+    })
+}
+
+struct Normalizer {
+    interner: Interner,
+    aux_counter: usize,
+    out: Vec<NormClause>,
+}
+
+/// A pending clause: head key+args plus an un-normalized body term.
+struct Pending {
+    key: PredKey,
+    head_args: Vec<Term>,
+    body: Term,
+    var_names: Vec<String>,
+}
+
+impl Normalizer {
+    fn normalize_clause(&mut self, clause: &Clause) -> Result<(), NormError> {
+        let key = clause.pred_key();
+        let head_args = match &clause.head {
+            Term::Struct(_, args) => args.clone(),
+            Term::Atom(_) => Vec::new(),
+            _ => unreachable!("heads validated by the parser"),
+        };
+        let pending = Pending {
+            key,
+            head_args,
+            body: clause.body.clone(),
+            var_names: clause.var_names.clone(),
+        };
+        self.process(pending)
+    }
+
+    fn process(&mut self, pending: Pending) -> Result<(), NormError> {
+        let Pending {
+            key,
+            head_args,
+            body,
+            mut var_names,
+        } = pending;
+        let conjuncts = body.conjuncts(&self.interner);
+        let mut goals = Vec::new();
+        let mut auxes: Vec<Pending> = Vec::new();
+        for goal in conjuncts {
+            self.lower_goal(goal, &mut goals, &mut auxes, &mut var_names, &key)?;
+        }
+        // Ensure var_names covers every VarId used (aux arg invention may
+        // not add vars, but defensive).
+        let max_var = head_args
+            .iter()
+            .chain(goals.iter().flat_map(|g| g.args().iter()))
+            .flat_map(|t| t.variables())
+            .map(|v| v.index() + 1)
+            .max()
+            .unwrap_or(0);
+        while var_names.len() < max_var {
+            var_names.push(format!("_G{}", var_names.len()));
+        }
+        self.out.push(NormClause {
+            key,
+            head_args,
+            num_vars: var_names.len(),
+            goals,
+            var_names,
+        });
+        for aux in auxes {
+            self.process(aux)?;
+        }
+        Ok(())
+    }
+
+    fn lower_goal(
+        &mut self,
+        goal: Term,
+        goals: &mut Vec<Goal>,
+        auxes: &mut Vec<Pending>,
+        var_names: &mut [String],
+        parent: &PredKey,
+    ) -> Result<(), NormError> {
+        let interner = &self.interner;
+        match &goal {
+            Term::Atom(a) if *a == interner.true_() => Ok(()),
+            Term::Atom(a) if *a == interner.cut() => {
+                goals.push(Goal::Cut);
+                Ok(())
+            }
+            Term::Struct(f, args) if *f == interner.semicolon() && args.len() == 2 => {
+                // (C -> T ; E) or plain (A ; B).
+                let (left, right) = (&args[0], &args[1]);
+                let arrow = interner.arrow();
+                let bodies = match left {
+                    Term::Struct(g, ct) if *g == arrow && ct.len() == 2 => {
+                        let cond_cut_then = self.seq(vec![
+                            ct[0].clone(),
+                            Term::Atom(self.interner.cut()),
+                            ct[1].clone(),
+                        ]);
+                        vec![cond_cut_then, right.clone()]
+                    }
+                    _ => vec![left.clone(), right.clone()],
+                };
+                self.lift_aux(&goal, bodies, goals, auxes, var_names, "$dsj")
+            }
+            Term::Struct(f, args) if *f == interner.arrow() && args.len() == 2 => {
+                let body = self.seq(vec![
+                    args[0].clone(),
+                    Term::Atom(self.interner.cut()),
+                    args[1].clone(),
+                ]);
+                self.lift_aux(&goal, vec![body], goals, auxes, var_names, "$ite")
+            }
+            Term::Struct(f, args) if *f == interner.not() && args.len() == 1 => {
+                let fail = Term::Atom(self.interner.intern("fail"));
+                let neg_body = self.seq(vec![
+                    args[0].clone(),
+                    Term::Atom(self.interner.cut()),
+                    fail,
+                ]);
+                let true_body = Term::Atom(self.interner.true_());
+                self.lift_aux(&goal, vec![neg_body, true_body], goals, auxes, var_names, "$not")
+            }
+            Term::Atom(name) => {
+                let text = self.interner.resolve(*name).to_owned();
+                if let Some(b) = Builtin::lookup(&text, 0) {
+                    goals.push(Goal::Builtin(b, Vec::new()));
+                } else {
+                    goals.push(Goal::Call(
+                        PredKey {
+                            name: *name,
+                            arity: 0,
+                        },
+                        Vec::new(),
+                    ));
+                }
+                Ok(())
+            }
+            Term::Struct(name, args) => {
+                let text = self.interner.resolve(*name).to_owned();
+                if let Some(b) = Builtin::lookup(&text, args.len()) {
+                    goals.push(Goal::Builtin(b, args.clone()));
+                } else {
+                    goals.push(Goal::Call(
+                        PredKey {
+                            name: *name,
+                            arity: args.len(),
+                        },
+                        args.clone(),
+                    ));
+                }
+                Ok(())
+            }
+            Term::Var(_) | Term::Int(_) => Err(NormError::NonCallableGoal {
+                pred: parent.display(&self.interner),
+            }),
+        }
+    }
+
+    /// Replace `construct` by a call to a fresh auxiliary predicate whose
+    /// clauses have the given `bodies`. The auxiliary takes as arguments
+    /// every variable occurring in the construct.
+    fn lift_aux(
+        &mut self,
+        construct: &Term,
+        bodies: Vec<Term>,
+        goals: &mut Vec<Goal>,
+        auxes: &mut Vec<Pending>,
+        var_names: &mut [String],
+        prefix: &str,
+    ) -> Result<(), NormError> {
+        let vars = construct.variables();
+        let name = self
+            .interner
+            .intern(&format!("{prefix}_{}", self.aux_counter));
+        self.aux_counter += 1;
+        let key = PredKey {
+            name,
+            arity: vars.len(),
+        };
+        // The call site passes the variables through.
+        goals.push(Goal::Call(
+            key,
+            vars.iter().map(|&v| Term::Var(v)).collect(),
+        ));
+        // Each auxiliary clause renumbers the shared variables to 0..n and
+        // keeps any branch-local variables at fresh higher ids.
+        for body in bodies {
+            let mut map: HashMap<VarId, VarId> = HashMap::new();
+            let mut aux_names: Vec<String> = Vec::new();
+            for (i, &v) in vars.iter().enumerate() {
+                map.insert(v, VarId(i as u32));
+                aux_names.push(
+                    var_names
+                        .get(v.index())
+                        .cloned()
+                        .unwrap_or_else(|| format!("_G{}", v.0)),
+                );
+            }
+            let body = renumber(&body, &mut map, &mut aux_names);
+            auxes.push(Pending {
+                key,
+                head_args: (0..vars.len() as u32).map(|i| Term::Var(VarId(i))).collect(),
+                body,
+                var_names: aux_names,
+            });
+        }
+        Ok(())
+    }
+
+    fn seq(&mut self, goals: Vec<Term>) -> Term {
+        let comma = self.interner.comma();
+        let mut iter = goals.into_iter().rev();
+        let mut term = iter.next().expect("non-empty sequence");
+        for goal in iter {
+            term = Term::Struct(comma, vec![goal, term]);
+        }
+        term
+    }
+}
+
+/// Renumber variables according to `map`, extending it (and `names`) with
+/// fresh ids for unmapped variables.
+fn renumber(term: &Term, map: &mut HashMap<VarId, VarId>, names: &mut Vec<String>) -> Term {
+    match term {
+        Term::Var(v) => {
+            if let Some(&n) = map.get(v) {
+                Term::Var(n)
+            } else {
+                let fresh = VarId(names.len() as u32);
+                map.insert(*v, fresh);
+                names.push(format!("_L{}", v.0));
+                Term::Var(fresh)
+            }
+        }
+        Term::Int(_) | Term::Atom(_) => term.clone(),
+        Term::Struct(f, args) => Term::Struct(
+            *f,
+            args.iter().map(|a| renumber(a, map, names)).collect(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prolog_syntax::parse_program;
+
+    fn norm(src: &str) -> NormProgram {
+        normalize_program(&parse_program(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn facts_and_plain_clauses() {
+        let n = norm("p(a). q(X) :- p(X), p(X).");
+        assert_eq!(n.predicates.len(), 2);
+        let (_, p_clauses) = &n.predicates[0];
+        assert!(p_clauses[0].goals.is_empty());
+        let (_, q_clauses) = &n.predicates[1];
+        assert_eq!(q_clauses[0].goals.len(), 2);
+        assert!(q_clauses[0].goals[0].is_call());
+    }
+
+    #[test]
+    fn true_is_dropped_and_cut_kept() {
+        let n = norm("p :- true, !, q. q.");
+        let (_, p) = &n.predicates[0];
+        assert_eq!(p[0].goals.len(), 2);
+        assert_eq!(p[0].goals[0], Goal::Cut);
+    }
+
+    #[test]
+    fn builtins_are_recognized() {
+        let n = norm("p(X, Y) :- X is Y + 1, X < 10.");
+        let (_, p) = &n.predicates[0];
+        assert!(matches!(p[0].goals[0], Goal::Builtin(Builtin::Is, _)));
+        assert!(matches!(p[0].goals[1], Goal::Builtin(Builtin::Lt, _)));
+    }
+
+    #[test]
+    fn disjunction_is_lifted() {
+        let n = norm("p(X) :- (q(X) ; r(X)). q(1). r(2).");
+        // p, q, r, $dsj_0
+        assert_eq!(n.predicates.len(), 4);
+        let (_, p) = &n.predicates[0];
+        assert_eq!(p[0].goals.len(), 1);
+        let aux_key = match &p[0].goals[0] {
+            Goal::Call(k, args) => {
+                assert_eq!(args.len(), 1, "one shared variable");
+                *k
+            }
+            other => panic!("expected aux call, got {other:?}"),
+        };
+        let (key, aux) = n
+            .predicates
+            .iter()
+            .find(|(k, _)| *k == aux_key)
+            .expect("aux predicate exists");
+        assert_eq!(key.arity, 1);
+        assert_eq!(aux.len(), 2, "one clause per branch");
+    }
+
+    #[test]
+    fn if_then_else_gets_cut() {
+        let n = norm("p(X) :- (q(X) -> r(X) ; s(X)). q(1). r(1). s(1).");
+        let aux = n
+            .predicates
+            .iter()
+            .find(|(k, _)| n.interner.resolve(k.name).starts_with("$dsj"))
+            .expect("aux");
+        let then_clause = &aux.1[0];
+        assert!(then_clause.goals.contains(&Goal::Cut));
+        let else_clause = &aux.1[1];
+        assert!(!else_clause.goals.contains(&Goal::Cut));
+    }
+
+    #[test]
+    fn negation_becomes_cut_fail_aux() {
+        let n = norm("p(X) :- \\+ q(X). q(1).");
+        let aux = n
+            .predicates
+            .iter()
+            .find(|(k, _)| n.interner.resolve(k.name).starts_with("$not"))
+            .expect("aux");
+        assert_eq!(aux.1.len(), 2);
+        let neg = &aux.1[0];
+        assert!(matches!(neg.goals.last(), Some(Goal::Builtin(Builtin::Fail, _))));
+        assert!(neg.goals.contains(&Goal::Cut));
+        assert!(aux.1[1].goals.is_empty());
+    }
+
+    #[test]
+    fn branch_local_variables_get_fresh_ids() {
+        let n = norm("p(X) :- (q(X, Y), r(Y) ; s(X)). q(1,1). r(1). s(1).");
+        let aux = n
+            .predicates
+            .iter()
+            .find(|(k, _)| n.interner.resolve(k.name).starts_with("$dsj"))
+            .expect("aux");
+        // Aux takes both X and Y (all vars of the construct).
+        assert_eq!(aux.0.arity, 2);
+        let c0 = &aux.1[0];
+        assert_eq!(c0.head_args.len(), 2);
+        assert!(c0.goals.iter().all(|g| g.is_call()));
+    }
+
+    #[test]
+    fn metacall_is_rejected() {
+        let program = parse_program("p(X) :- X.").unwrap();
+        assert!(normalize_program(&program).is_err());
+    }
+
+    #[test]
+    fn nested_disjunctions() {
+        let n = norm("p(X) :- (a(X) ; b(X) ; c(X)). a(1). b(2). c(3).");
+        // Right-assoc: (a ; (b ; c)) → dsj0 with [a], [dsj1]; dsj1 with [b],[c].
+        let auxes: Vec<_> = n
+            .predicates
+            .iter()
+            .filter(|(k, _)| n.interner.resolve(k.name).starts_with("$dsj"))
+            .collect();
+        assert_eq!(auxes.len(), 2);
+    }
+}

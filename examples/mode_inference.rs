@@ -1,0 +1,52 @@
+//! Mode inference: the same predicate analyzed under different calling
+//! patterns — the information an optimizing Prolog compiler needs to
+//! specialize unification (the paper's motivation, §1).
+//!
+//! ```sh
+//! cargo run --example mode_inference
+//! ```
+
+use awam::analysis::Analyzer;
+use awam::syntax::parse_program;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = "
+        app([], L, L).
+        app([H|T], L, [H|R]) :- app(T, L, R).
+
+        qsort([], R, R).
+        qsort([X|L], R, R0) :-
+            partition(L, X, L1, L2),
+            qsort(L2, R1, R0),
+            qsort(L1, R, [X|R1]).
+        partition([], _, [], []).
+        partition([X|L], Y, [X|L1], L2) :- X =< Y, !, partition(L, Y, L1, L2).
+        partition([X|L], Y, L1, [X|L2]) :- partition(L, Y, L1, L2).
+    ";
+    let program = parse_program(source)?;
+
+    // Forward mode: append two ground lists.
+    let mut analyzer = Analyzer::compile(&program)?;
+    let fwd = analyzer.analyze_query("app", &["glist", "glist", "var"])?;
+    let app = fwd.predicate("app", 3).expect("analyzed");
+    println!("app(glist, glist, var): modes {:?}", mode_strings(app));
+
+    // Backward mode: split a ground list.
+    let mut analyzer = Analyzer::compile(&program)?;
+    let bwd = analyzer.analyze_query("app", &["var", "var", "glist"])?;
+    let app = bwd.predicate("app", 3).expect("analyzed");
+    println!("app(var, var, glist):   modes {:?}", mode_strings(app));
+
+    // qsort in its difference-list mode.
+    let mut analyzer = Analyzer::compile(&program)?;
+    let q = analyzer.analyze_query("qsort", &["glist", "var", "nil"])?;
+    for pred in &q.predicates {
+        println!("{}: modes {:?}", pred.name, mode_strings(pred));
+    }
+    println!("\nfull report for qsort:\n{}", q.report(&analyzer));
+    Ok(())
+}
+
+fn mode_strings(pred: &awam::analysis::PredAnalysis) -> Vec<String> {
+    pred.modes().iter().map(ToString::to_string).collect()
+}

@@ -1,0 +1,54 @@
+//! The downstream client: feed the analysis to the optimizer — what the
+//! paper's §1 says global dataflow information is *for*.
+//!
+//! ```sh
+//! cargo run --example optimize
+//! ```
+
+use awam::analysis::Analyzer;
+use awam::opt::{specialize, OptReport};
+use awam::syntax::parse_program;
+use awam::wam::compile_program;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = "
+        % A type-dispatched predicate: only the integer path is live.
+        format_value(X, int(X)) :- integer(X).
+        format_value(X, atom(X)) :- atom(X).
+        format_value([], empty).
+
+        sum([], 0).
+        sum([H|T], S) :- sum(T, S0), S is S0 + H, format_value(S, _).
+
+        main(S) :- sum([1, 2, 3, 4], S).
+    ";
+    let program = parse_program(source)?;
+    let compiled = compile_program(&program)?;
+    let mut analyzer = Analyzer::from_compiled(compiled.clone());
+    let analysis = analyzer.analyze_query("main", &["var"])?;
+
+    // 1. Instruction-level opportunities.
+    let report = OptReport::build(&compiled, &analysis);
+    println!("optimization opportunities:\n{report}");
+
+    // 2. Clause-level specialization: the atom/[] clauses of
+    //    format_value/2 are dead for this entry.
+    let spec = specialize(&program, &analysis);
+    println!(
+        "specialization removed {} clauses and {} predicates",
+        spec.dead_clauses, spec.dead_preds
+    );
+    let before = compiled.code_size();
+    let after = compile_program(&spec.program)?.code_size();
+    println!("code size: {before} -> {after} instructions");
+    assert!(spec.dead_clauses >= 1);
+    assert!(after < before);
+
+    // The residual program still computes the same answer.
+    let residual = compile_program(&spec.program)?;
+    let mut machine = awam::machine::Machine::new(&residual);
+    let solution = machine.query_str("main(S)")?.expect("still succeeds");
+    assert_eq!(solution.binding_str("S").unwrap(), "10");
+    println!("residual program verified: main(S) gives S = 10");
+    Ok(())
+}

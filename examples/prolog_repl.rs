@@ -1,0 +1,82 @@
+//! The substrate as a miniature Prolog: compile a program and run
+//! queries on the concrete WAM, enumerating solutions.
+//!
+//! ```sh
+//! cargo run --example prolog_repl               # canned demo
+//! cargo run --example prolog_repl -- 'mem(X, [a, b, c])'
+//! ```
+
+use awam::machine::Machine;
+use awam::syntax::parse_program;
+use awam::wam::compile_program;
+
+const PROGRAM: &str = "
+    mem(X, [X|_]).
+    mem(X, [_|T]) :- mem(X, T).
+
+    app([], L, L).
+    app([H|T], L, [H|R]) :- app(T, L, R).
+
+    len([], 0).
+    len([_|T], N) :- len(T, M), N is M + 1.
+
+    queens(N, Qs) :- range(1, N, Ns), place(Ns, [], Qs).
+    place([], Qs, Qs).
+    place(Unplaced, Safe, Qs) :-
+        sel(Unplaced, Rest, Q),
+        \\+ attack(Q, Safe),
+        place(Rest, [Q|Safe], Qs).
+    attack(X, Xs) :- attack(X, 1, Xs).
+    attack(X, N, [Y|_]) :- X is Y + N.
+    attack(X, N, [Y|_]) :- X is Y - N.
+    attack(X, N, [_|Ys]) :- N1 is N + 1, attack(X, N1, Ys).
+    range(N, N, [N]) :- !.
+    range(M, N, [M|Ns]) :- M < N, M1 is M + 1, range(M1, N, Ns).
+    sel([X|Xs], Xs, X).
+    sel([Y|Ys], [Y|Zs], X) :- sel(Ys, Zs, X).
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = parse_program(PROGRAM)?;
+    let compiled = compile_program(&program)?;
+    let mut machine = Machine::new(&compiled);
+
+    let queries: Vec<String> = match std::env::args().nth(1) {
+        Some(q) => vec![q],
+        None => vec![
+            "app(X, Y, [1, 2, 3])".to_owned(),
+            "mem(Q, [r, g, b])".to_owned(),
+            "len([a, b, c, d], N)".to_owned(),
+            "queens(6, Qs)".to_owned(),
+        ],
+    };
+
+    for query in queries {
+        println!("?- {query}.");
+        let mut solution = machine.query_str(&query)?;
+        let mut count = 0;
+        while let Some(s) = solution {
+            count += 1;
+            if s.bindings.is_empty() {
+                println!("   true");
+            } else {
+                let bindings: Vec<String> = s
+                    .bindings
+                    .iter()
+                    .map(|(name, _, text)| format!("{name} = {text}"))
+                    .collect();
+                println!("   {}", bindings.join(", "));
+            }
+            if count >= 5 {
+                println!("   … (stopping after 5 solutions)");
+                break;
+            }
+            solution = machine.next_solution()?;
+        }
+        if count == 0 {
+            println!("   false");
+        }
+        println!();
+    }
+    Ok(())
+}

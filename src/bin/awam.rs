@@ -1,0 +1,157 @@
+//! The `awam` command-line tool: compile, run, and analyze Prolog
+//! programs from the shell.
+//!
+//! ```text
+//! awam compile FILE.pl [--emit F.wam]  print the WAM listing (or save it)
+//! awam run FILE.pl 'GOAL' [-n N]       run a query, print up to N solutions
+//! awam analyze FILE.pl PRED [SPECS]    dataflow analysis from an entry
+//! awam analyze-wam FILE.wam PRED [SPECS]  analyze saved WAM code
+//! awam bench NAME                      run one Table 1 benchmark
+//! ```
+
+use awam::analysis::Analyzer;
+use awam::machine::Machine;
+use awam::syntax::parse_program;
+use awam::wam::compile_program;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("analyze-wam") => cmd_analyze_wam(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage:\n  awam compile FILE.pl [--emit F.wam]\n  awam run FILE.pl 'GOAL' [-n N]\n  \
+                 awam analyze FILE.pl PRED [SPEC,SPEC,…]\n  awam analyze-wam FILE.wam PRED [SPEC,…]\n  \
+                 awam bench NAME"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("awam: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+fn load(path: &str) -> Result<awam::syntax::Program, Box<dyn std::error::Error>> {
+    let source = std::fs::read_to_string(path)?;
+    Ok(parse_program(&source)?)
+}
+
+fn cmd_compile(args: &[String]) -> CmdResult {
+    let path = args.first().ok_or("compile: missing FILE.pl")?;
+    let program = load(path)?;
+    let compiled = compile_program(&program)?;
+    if let Some(i) = args.iter().position(|a| a == "--emit") {
+        let out = args.get(i + 1).ok_or("compile: --emit needs a path")?;
+        std::fs::write(out, awam::wam::text::to_text(&compiled))?;
+        println!(
+            "wrote {} instructions ({} predicates) to {out}",
+            compiled.code_size(),
+            compiled.predicates.len()
+        );
+        return Ok(());
+    }
+    println!(
+        "% {} predicates, {} instructions",
+        compiled.predicates.len(),
+        compiled.code_size()
+    );
+    println!("{}", compiled.listing());
+    Ok(())
+}
+
+fn cmd_analyze_wam(args: &[String]) -> CmdResult {
+    let path = args.first().ok_or("analyze-wam: missing FILE.wam")?;
+    let pred = args.get(1).ok_or("analyze-wam: missing PRED")?;
+    let specs: Vec<&str> = match args.get(2) {
+        Some(s) if !s.is_empty() => s.split(',').map(str::trim).collect(),
+        _ => Vec::new(),
+    };
+    let text = std::fs::read_to_string(path)?;
+    let compiled = awam::wam::text::from_text(&text)?;
+    let mut analyzer = Analyzer::from_compiled(compiled);
+    let analysis = analyzer.analyze_query(pred, &specs)?;
+    print!("{}", analysis.report(&analyzer));
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> CmdResult {
+    let path = args.first().ok_or("run: missing FILE.pl")?;
+    let goal = args.get(1).ok_or("run: missing 'GOAL'")?;
+    let limit: usize = match args.iter().position(|a| a == "-n") {
+        Some(i) => args
+            .get(i + 1)
+            .ok_or("run: -n needs a number")?
+            .parse()
+            .map_err(|_| "run: -n needs a number")?,
+        None => 5,
+    };
+    let program = load(path)?;
+    let compiled = compile_program(&program)?;
+    let mut machine = Machine::new(&compiled);
+    let solutions = machine.solve_all(goal, limit)?;
+    if solutions.is_empty() {
+        println!("false.");
+        return Ok(());
+    }
+    for s in &solutions {
+        if s.bindings.is_empty() {
+            println!("true.");
+        } else {
+            let bindings: Vec<String> = s
+                .bindings
+                .iter()
+                .map(|(name, _, text)| format!("{name} = {text}"))
+                .collect();
+            println!("{} ;", bindings.join(", "));
+        }
+    }
+    if !machine.output.is_empty() {
+        println!("--- output ---\n{}", machine.output);
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> CmdResult {
+    let path = args.first().ok_or("analyze: missing FILE.pl")?;
+    let pred = args.get(1).ok_or("analyze: missing PRED")?;
+    let specs: Vec<&str> = match args.get(2) {
+        Some(s) if !s.is_empty() => s.split(',').map(str::trim).collect(),
+        _ => Vec::new(),
+    };
+    let program = load(path)?;
+    let mut analyzer = Analyzer::compile(&program)?;
+    let analysis = analyzer.analyze_query(pred, &specs)?;
+    print!("{}", analysis.report(&analyzer));
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> CmdResult {
+    let name = args.first().ok_or("bench: missing NAME (e.g. nreverse)")?;
+    let bench = awam::suite::by_name(name)
+        .ok_or_else(|| format!("unknown benchmark {name}"))?;
+    let program = bench.parse()?;
+    let mut analyzer = Analyzer::compile(&program)?;
+    let entry = awam::absdom::Pattern::from_spec(bench.entry_specs)
+        .ok_or("bad entry specs")?;
+    let start = std::time::Instant::now();
+    let analysis = analyzer.analyze(bench.entry, &entry)?;
+    let elapsed = start.elapsed();
+    println!(
+        "{name}: analyzed in {elapsed:?} ({} abstract instructions, {} iterations)",
+        analysis.instructions_executed, analysis.iterations
+    );
+    print!("{}", analysis.report(&analyzer));
+    Ok(())
+}

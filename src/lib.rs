@@ -1,0 +1,48 @@
+//! # awam — compiled dataflow analysis of logic programs
+//!
+//! A reproduction of *Compiling Dataflow Analysis of Logic Programs*
+//! (Tan & Lin, PLDI 1992): a Prolog dataflow analyzer (mode, type and
+//! variable-aliasing inference) that runs as a reinterpretation of the WAM
+//! instruction set over an abstract domain, with an extension-table control
+//! scheme, instead of as a meta-interpreter hosted on Prolog.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`syntax`] — Prolog terms, parser and printer;
+//! * [`wam`] — the WAM instruction set, compiler and textual code format;
+//! * [`machine`] — the concrete WAM runtime (standard Prolog execution);
+//! * [`absdom`] — the abstract domain of §3 of the paper;
+//! * [`analysis`] — the abstract WAM analyzer (the paper's contribution);
+//! * [`baseline`] — the native meta-interpreting comparator;
+//! * [`hosted_analyzer`] — the Prolog-hosted comparators (meta-interpreted
+//!   and transformed), run on [`machine`];
+//! * [`opt`] — analysis-driven WAM optimizations;
+//! * [`suite`] — the Table 1 benchmark programs.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use awam::analysis::Analyzer;
+//! use awam::syntax::parse_program;
+//!
+//! let program = parse_program(
+//!     "app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).",
+//! )?;
+//! let mut analyzer = Analyzer::compile(&program)?;
+//! let result = analyzer.analyze_query("app", &["glist", "glist", "var"])?;
+//! let report = result.report(&analyzer);
+//! assert!(report.contains("app/3"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use absdom;
+pub use awam_core as analysis;
+pub use baseline;
+pub use bench_suite as suite;
+pub use hosted as hosted_analyzer;
+pub use wam_opt as opt;
+pub use prolog_syntax as syntax;
+pub use wam;
+pub use wam_machine as machine;

@@ -1,0 +1,60 @@
+//! Cross-crate agreement: the compiled abstract WAM and the native
+//! meta-interpreting baseline implement the *same* abstract semantics, so
+//! on every benchmark they must reach the same least fixpoint — identical
+//! extension tables (same calling patterns, same success summaries).
+
+use awam::analysis::Analyzer;
+use awam::baseline::BaselineAnalyzer;
+use awam::suite;
+
+#[test]
+fn compiled_and_native_reach_the_same_fixpoint() {
+    for b in suite::all() {
+        let program = b.parse().expect("parse");
+        let mut compiled = Analyzer::compile(&program).expect("compile");
+        let mut native = BaselineAnalyzer::new(&program).expect("baseline");
+        let a = compiled
+            .analyze_query(b.entry, b.entry_specs)
+            .expect("compiled analysis");
+        let n = native
+            .analyze_query(b.entry, b.entry_specs)
+            .expect("native analysis");
+
+        // Same set of analyzed predicates…
+        let a_names: Vec<&str> = a.predicates.iter().map(|p| p.name.as_str()).collect();
+        let n_names: Vec<&str> = n.predicates.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(a_names, n_names, "{}: analyzed predicates differ", b.name);
+
+        // …with identical (calling pattern, success pattern) entries.
+        for (pa, pn) in a.predicates.iter().zip(&n.predicates) {
+            let mut ea = pa.entries.clone();
+            let mut en = pn.entries.clone();
+            let key = |p: &absdom::Pattern| format!("{p:?}");
+            ea.sort_by_key(|(c, _)| key(c));
+            en.sort_by_key(|(c, _)| key(c));
+            assert_eq!(
+                ea, en,
+                "{}: extension tables differ for {}",
+                b.name, pa.name
+            );
+        }
+    }
+}
+
+#[test]
+fn iteration_counts_are_comparable() {
+    // Both drivers iterate the same control scheme, so iteration counts
+    // must match exactly.
+    for b in suite::all() {
+        let program = b.parse().expect("parse");
+        let a = Analyzer::compile(&program)
+            .expect("compile")
+            .analyze_query(b.entry, b.entry_specs)
+            .expect("analysis");
+        let n = BaselineAnalyzer::new(&program)
+            .expect("baseline")
+            .analyze_query(b.entry, b.entry_specs)
+            .expect("analysis");
+        assert_eq!(a.iterations, n.iterations, "{}", b.name);
+    }
+}

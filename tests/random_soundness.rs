@@ -1,0 +1,98 @@
+//! Property-based end-to-end soundness: for randomly generated ground
+//! inputs, the concrete solution of a benchmark-style predicate must be
+//! covered by the abstract success summary inferred for the matching
+//! entry pattern.
+
+use awam::analysis::Analyzer;
+use awam::machine::Machine;
+use awam::syntax::parse_program;
+use awam::wam::compile_program;
+use proptest::prelude::*;
+
+const LIB: &str = "
+    app([], L, L).
+    app([H|T], L, [H|R]) :- app(T, L, R).
+    nrev([], []).
+    nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+    qsort([], R, R).
+    qsort([X|L], R, R0) :-
+        partition(L, X, L1, L2), qsort(L2, R1, R0), qsort(L1, R, [X|R1]).
+    partition([], _, [], []).
+    partition([X|L], Y, [X|L1], L2) :- X =< Y, !, partition(L, Y, L1, L2).
+    partition([X|L], Y, L1, [X|L2]) :- partition(L, Y, L1, L2).
+    len([], 0).
+    len([_|T], N) :- len(T, M), N is M + 1.
+";
+
+fn int_list(items: &[i64]) -> String {
+    let items: Vec<String> = items.iter().map(ToString::to_string).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn check(query: &str, entry: &str, specs: &[&str], out_var: &str) {
+    let program = parse_program(LIB).expect("parse");
+    let compiled = compile_program(&program).expect("compile");
+    let mut machine = Machine::new(&compiled);
+    let solution = machine
+        .query_str(query)
+        .expect("concrete run")
+        .expect("query succeeds");
+    let (_, out_term, _) = solution
+        .bindings
+        .iter()
+        .find(|(n, _, _)| n == out_var)
+        .expect("output variable bound")
+        .clone();
+
+    let mut analyzer = Analyzer::compile(&program).expect("compile");
+    let analysis = analyzer.analyze_query(entry, specs).expect("analysis");
+    let pred = analysis
+        .predicate(entry, specs.len())
+        .expect("entry analyzed");
+    let summary = pred.success_summary().expect("can succeed");
+    // Check coverage of the output argument in isolation (leaf check):
+    // the output position's abstract type must cover the concrete term.
+    let out_idx = specs
+        .iter()
+        .position(|s| *s == "var")
+        .expect("one output position");
+    let single = absdom::Pattern::new(
+        summary.nodes().to_vec(),
+        vec![summary.root(out_idx)],
+    );
+    assert!(
+        single.covers(std::slice::from_ref(&out_term)),
+        "summary {single:?} does not cover concrete output of {query}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn nrev_outputs_covered(items in prop::collection::vec(-20i64..20, 0..12)) {
+        let query = format!("nrev({}, Out)", int_list(&items));
+        check(&query, "nrev", &["glist", "var"], "Out");
+    }
+
+    #[test]
+    fn append_outputs_covered(
+        a in prop::collection::vec(-9i64..9, 0..8),
+        b in prop::collection::vec(-9i64..9, 0..8),
+    ) {
+        let query = format!("app({}, {}, Out)", int_list(&a), int_list(&b));
+        check(&query, "app", &["glist", "glist", "var"], "Out");
+    }
+
+    #[test]
+    fn qsort_outputs_covered(items in prop::collection::vec(0i64..50, 0..10)) {
+        let query = format!("qsort({}, Out, [])", int_list(&items));
+        check(&query, "qsort", &["glist", "var", "nil"], "Out");
+    }
+
+    #[test]
+    fn len_outputs_covered(items in prop::collection::vec(0i64..5, 0..10)) {
+        let query = format!("len({}, Out)", int_list(&items));
+        check(&query, "len", &["glist", "var"], "Out");
+    }
+}
