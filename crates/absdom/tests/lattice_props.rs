@@ -1,10 +1,32 @@
 //! Property tests for the abstract-domain lattice: lub laws on randomly
 //! generated patterns, and γ-soundness of lub with respect to coverage of
-//! randomly generated concrete terms.
+//! randomly generated concrete terms. Shapes come from a deterministic
+//! inline PRNG (the workspace builds offline, so no proptest).
 
 use absdom::{AbsLeaf, PNode, Pattern};
-use proptest::prelude::*;
 use prolog_syntax::{Interner, Term, VarId};
+
+/// xorshift64* — deterministic shape generator driver.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
 
 /// Generator for pattern shapes (built into a node arena afterwards).
 #[derive(Clone, Debug)]
@@ -17,21 +39,34 @@ enum Shape {
     Cons(Box<Shape>, Box<Shape>),
 }
 
-fn shape() -> impl Strategy<Value = Shape> {
-    let leaf = prop_oneof![
-        (0u8..7).prop_map(Shape::Leaf),
-        (-5i64..5).prop_map(Shape::Int),
-        Just(Shape::Nil),
-    ];
-    leaf.prop_recursive(3, 16, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|s| Shape::List(Box::new(s))),
-            (0u8..3, prop::collection::vec(inner.clone(), 1..3))
-                .prop_map(|(f, args)| Shape::Struct(f, args)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(h, t)| Shape::Cons(Box::new(h), Box::new(t))),
-        ]
-    })
+fn shape(rng: &mut Rng, depth: usize) -> Shape {
+    // Compound shapes with probability 1/3 below the depth cap; the same
+    // leaf mix as before (Leaf, Int, Nil).
+    if depth > 0 && rng.below(3) == 0 {
+        match rng.below(3) {
+            0 => Shape::List(Box::new(shape(rng, depth - 1))),
+            1 => {
+                let f = rng.below(3) as u8;
+                let n = 1 + rng.below(2) as usize;
+                let args = (0..n).map(|_| shape(rng, depth - 1)).collect();
+                Shape::Struct(f, args)
+            }
+            _ => Shape::Cons(
+                Box::new(shape(rng, depth - 1)),
+                Box::new(shape(rng, depth - 1)),
+            ),
+        }
+    } else {
+        match rng.below(3) {
+            0 => Shape::Leaf(rng.below(7) as u8),
+            1 => Shape::Int(rng.below(10) as i64 - 5),
+            _ => Shape::Nil,
+        }
+    }
+}
+
+fn shape_vec(rng: &mut Rng, len: usize) -> Vec<Shape> {
+    (0..len).map(|_| shape(rng, 3)).collect()
 }
 
 fn leaf_of(i: u8) -> AbsLeaf {
@@ -92,20 +127,25 @@ enum CShape {
     ConsList(Vec<CShape>),
 }
 
-fn cshape() -> impl Strategy<Value = CShape> {
-    let leaf = prop_oneof![
-        (0u32..3).prop_map(CShape::Var),
-        (-5i64..5).prop_map(CShape::Int),
-        (0u8..3).prop_map(CShape::Atom),
-        Just(CShape::Nil),
-    ];
-    leaf.prop_recursive(3, 12, 3, |inner| {
-        prop_oneof![
-            (0u8..3, prop::collection::vec(inner.clone(), 1..3))
-                .prop_map(|(f, args)| CShape::Struct(f, args)),
-            prop::collection::vec(inner.clone(), 0..3).prop_map(CShape::ConsList),
-        ]
-    })
+fn cshape(rng: &mut Rng, depth: usize) -> CShape {
+    if depth > 0 && rng.below(3) == 0 {
+        if rng.below(2) == 0 {
+            let f = rng.below(3) as u8;
+            let n = 1 + rng.below(2) as usize;
+            let args = (0..n).map(|_| cshape(rng, depth - 1)).collect();
+            CShape::Struct(f, args)
+        } else {
+            let n = rng.below(3) as usize;
+            CShape::ConsList((0..n).map(|_| cshape(rng, depth - 1)).collect())
+        }
+    } else {
+        match rng.below(4) {
+            0 => CShape::Var(rng.below(3) as u32),
+            1 => CShape::Int(rng.below(10) as i64 - 5),
+            2 => CShape::Atom(rng.below(3) as u8),
+            _ => CShape::Nil,
+        }
+    }
 }
 
 fn cterm(shape: &CShape, interner: &mut Interner) -> Term {
@@ -126,57 +166,86 @@ fn cterm(shape: &CShape, interner: &mut Interner) -> Term {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: u64 = 128;
 
-    #[test]
-    fn lub_commutative(a in prop::collection::vec(shape(), 1..3),
-                       b in prop::collection::vec(shape(), 1..3)) {
-        prop_assume!(a.len() == b.len());
+#[test]
+fn lub_commutative() {
+    let mut rng = Rng::new(0xa11c_e001);
+    for case in 0..CASES {
+        let len = 1 + rng.below(2) as usize;
+        let a = shape_vec(&mut rng, len);
+        let b = shape_vec(&mut rng, len);
         let (p, q) = (pattern_of(&a), pattern_of(&b));
-        prop_assert_eq!(p.lub(&q), q.lub(&p));
+        assert_eq!(p.lub(&q), q.lub(&p), "case {case}");
     }
+}
 
-    #[test]
-    fn lub_idempotent(a in prop::collection::vec(shape(), 1..3)) {
+#[test]
+fn lub_idempotent() {
+    let mut rng = Rng::new(0xa11c_e002);
+    for case in 0..CASES {
+        let len = 1 + rng.below(2) as usize;
+        let a = shape_vec(&mut rng, len);
         let p = pattern_of(&a);
-        prop_assert_eq!(p.lub(&p), p);
+        assert_eq!(p.lub(&p), p, "case {case}");
     }
+}
 
-    #[test]
-    fn lub_associative(a in prop::collection::vec(shape(), 1..2),
-                       b in prop::collection::vec(shape(), 1..2),
-                       c in prop::collection::vec(shape(), 1..2)) {
-        prop_assume!(a.len() == b.len() && b.len() == c.len());
+#[test]
+fn lub_associative() {
+    let mut rng = Rng::new(0xa11c_e003);
+    for case in 0..CASES {
+        let a = shape_vec(&mut rng, 1);
+        let b = shape_vec(&mut rng, 1);
+        let c = shape_vec(&mut rng, 1);
         let (p, q, r) = (pattern_of(&a), pattern_of(&b), pattern_of(&c));
-        prop_assert_eq!(p.lub(&q).lub(&r), p.lub(&q.lub(&r)));
+        assert_eq!(p.lub(&q).lub(&r), p.lub(&q.lub(&r)), "case {case}");
     }
+}
 
-    #[test]
-    fn canonicalization_stable(a in prop::collection::vec(shape(), 1..4)) {
+#[test]
+fn canonicalization_stable() {
+    let mut rng = Rng::new(0xa11c_e004);
+    for case in 0..CASES {
+        let len = 1 + rng.below(3) as usize;
+        let a = shape_vec(&mut rng, len);
         let p = pattern_of(&a);
         // Pattern::new canonicalizes; re-wrapping must be a fixpoint.
-        let q = Pattern::new(p.nodes().to_vec(),
-                             (0..p.arity()).map(|i| p.root(i)).collect());
-        prop_assert_eq!(p, q);
+        let q = Pattern::new(
+            p.nodes().to_vec(),
+            (0..p.arity()).map(|i| p.root(i)).collect(),
+        );
+        assert_eq!(p, q, "case {case}");
     }
+}
 
-    #[test]
-    fn lub_is_upper_bound_for_coverage(a in shape(), b in shape(),
-                                       t in cshape()) {
+#[test]
+fn lub_is_upper_bound_for_coverage() {
+    let mut rng = Rng::new(0xa11c_e005);
+    for case in 0..CASES {
+        let a = shape(&mut rng, 3);
+        let b = shape(&mut rng, 3);
+        let t = cshape(&mut rng, 3);
         let p = pattern_of(std::slice::from_ref(&a));
         let q = pattern_of(std::slice::from_ref(&b));
         let mut interner = Interner::new();
         let term = cterm(&t, &mut interner);
         let j = p.lub(&q);
         if p.covers(std::slice::from_ref(&term)) || q.covers(std::slice::from_ref(&term)) {
-            prop_assert!(j.covers(std::slice::from_ref(&term)),
-                "lub {} does not cover a term covered by an operand", j);
+            assert!(
+                j.covers(std::slice::from_ref(&term)),
+                "case {case}: lub {j} does not cover a term covered by an operand"
+            );
         }
     }
+}
 
-    #[test]
-    fn lub_never_panics_on_mixed_arity_roots(a in prop::collection::vec(shape(), 2..4)) {
+#[test]
+fn lub_never_panics_on_mixed_arity_roots() {
+    let mut rng = Rng::new(0xa11c_e006);
+    for _ in 0..CASES {
+        let len = 2 + rng.below(2) as usize;
+        let a = shape_vec(&mut rng, len);
         let p = pattern_of(&a);
         let q = pattern_of(&a);
         let _ = p.lub(&q);

@@ -2,6 +2,7 @@
 
 use crate::store::{Ref, Store};
 use absdom::{AbsLeaf, Pattern, DEFAULT_TERM_DEPTH};
+use awam_obs::TableStats;
 use prolog_syntax::{PredKey, Program, Term};
 use std::collections::HashMap;
 use std::fmt;
@@ -78,6 +79,11 @@ pub struct BaselineAnalysis {
     pub goals_executed: u64,
     /// Abstract unification steps performed.
     pub unify_steps: u64,
+    /// Clause activations explored (head unifications attempted).
+    pub clause_explorations: u64,
+    /// Extension-table counters, mirroring the compiled analyzer's so the
+    /// two control schemes compare one-to-one.
+    pub table_stats: TableStats,
 }
 
 impl BaselineAnalysis {
@@ -184,6 +190,8 @@ impl BaselineAnalyzer {
             iter: 0,
             changed: false,
             goals: 0,
+            clause_explorations: 0,
+            stats: TableStats::default(),
             depth_k: self.depth_k,
         };
         let iterations = interp.run_to_fixpoint(pred, entry)?;
@@ -206,6 +214,8 @@ impl BaselineAnalyzer {
             iterations,
             goals_executed: interp.goals,
             unify_steps: interp.store.unify_steps,
+            clause_explorations: interp.clause_explorations,
+            table_stats: interp.stats,
         })
     }
 }
@@ -218,6 +228,8 @@ struct Interp<'a> {
     iter: u64,
     changed: bool,
     goals: u64,
+    clause_explorations: u64,
+    stats: TableStats,
     depth_k: usize,
 }
 
@@ -239,9 +251,23 @@ impl Interp<'_> {
         }
     }
 
-    fn find_entry(&self, pred: usize, cp: &Pattern) -> Option<usize> {
+    fn find_entry(&mut self, pred: usize, cp: &Pattern) -> Option<usize> {
         // Linear scan — the assert-database technique of [23, 17].
-        self.table[pred].iter().position(|e| &e.call == cp)
+        self.stats.lookups += 1;
+        let mut found = None;
+        for (i, e) in self.table[pred].iter().enumerate() {
+            self.stats.scan_steps += 1;
+            if &e.call == cp {
+                found = Some(i);
+                break;
+            }
+        }
+        if found.is_some() {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        found
     }
 
     fn solve(&mut self, pred: usize, args: &[Ref], depth: usize) -> Result<bool, BaselineError> {
@@ -263,6 +289,7 @@ impl Interp<'_> {
                 idx
             }
             None => {
+                self.stats.inserts += 1;
                 self.table[pred].push(EtEntry {
                     call: cp.clone(),
                     success: None,
@@ -274,6 +301,7 @@ impl Interp<'_> {
 
         let num_clauses = self.norm.predicates[pred].1.len();
         for ci in 0..num_clauses {
+            self.clause_explorations += 1;
             let mark = self.store.mark();
             let roots = self.store.materialize(&cp);
             let ok = self.try_clause(pred, ci, &roots, depth)?;
@@ -363,13 +391,21 @@ impl Interp<'_> {
     }
 
     fn update_success(&mut self, pred: usize, idx: usize, sp: Pattern) {
+        self.stats.summary_updates += 1;
         let entry = &mut self.table[pred][idx];
         let new = match &entry.success {
-            Some(old) => old.lub(&sp),
+            Some(old) => {
+                let lubbed = old.lub(&sp);
+                if &lubbed != old {
+                    self.stats.lub_widenings += 1;
+                }
+                lubbed
+            }
             None => sp,
         };
         if entry.success.as_ref() != Some(&new) {
             entry.success = Some(new);
+            self.stats.version_bumps += 1;
             self.changed = true;
         }
     }

@@ -1,104 +1,135 @@
-//! Criterion benches: one group per Table 1 column.
+//! Benches: one group per Table 1 column, timed with the workspace's own
+//! adaptive minimum-of-N timer (`awam_bench::time_us`) — the workspace
+//! builds offline, so no criterion.
 //!
 //! `analysis_compiled/*` — the abstract WAM (the paper's contribution);
 //! `analysis_native/*` — the native meta-interpreting baseline;
 //! `analysis_hosted/*` — the Prolog-hosted analyzer on the concrete WAM;
 //! `concrete_execution/*` — plain execution of the benchmarks;
 //! `domain/*` — micro-benchmarks of the abstract-domain machinery.
+//!
+//! Run with `cargo bench --bench analyzers`.
 
 use absdom::Pattern;
+use awam_bench::time_us;
 use awam_core::Analyzer;
 use baseline::BaselineAnalyzer;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn analysis_compiled(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analysis_compiled");
+const MIN_MS: u64 = 200;
+const MIN_MS_SLOW: u64 = 50;
+
+fn report(group: &str, name: &str, us: f64) {
+    println!("{group}/{name:<24} {us:>12.2} us");
+}
+
+fn analysis_compiled() {
     for b in bench_suite::all() {
         let program = b.parse().unwrap();
         let mut analyzer = Analyzer::compile(&program).unwrap();
         let entry = Pattern::from_spec(b.entry_specs).unwrap();
-        group.bench_function(b.name, |bench| {
-            bench.iter(|| black_box(analyzer.analyze(b.entry, &entry).unwrap()));
-        });
+        let us = time_us(
+            || {
+                black_box(analyzer.analyze(b.entry, &entry).unwrap());
+            },
+            MIN_MS,
+        );
+        report("analysis_compiled", b.name, us);
     }
-    group.finish();
 }
 
-fn analysis_native(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analysis_native");
+fn analysis_native() {
     for b in bench_suite::all() {
         let program = b.parse().unwrap();
         let mut analyzer = BaselineAnalyzer::new(&program).unwrap();
         let entry = Pattern::from_spec(b.entry_specs).unwrap();
-        group.bench_function(b.name, |bench| {
-            bench.iter(|| black_box(analyzer.analyze(b.entry, &entry).unwrap()));
-        });
+        let us = time_us(
+            || {
+                black_box(analyzer.analyze(b.entry, &entry).unwrap());
+            },
+            MIN_MS,
+        );
+        report("analysis_native", b.name, us);
     }
-    group.finish();
 }
 
-fn analysis_hosted(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analysis_hosted");
-    group.sample_size(10);
+fn analysis_hosted() {
     for b in bench_suite::all() {
         let program = b.parse().unwrap();
         let hosted = hosted::HostedAnalyzer::build(&program, b.entry, b.entry_specs).unwrap();
-        group.bench_function(b.name, |bench| {
-            bench.iter(|| black_box(hosted.run().unwrap()));
-        });
+        let us = time_us(
+            || {
+                black_box(hosted.run().unwrap());
+            },
+            MIN_MS_SLOW,
+        );
+        report("analysis_hosted", b.name, us);
     }
-    group.finish();
 }
 
-fn concrete_execution(c: &mut Criterion) {
-    let mut group = c.benchmark_group("concrete_execution");
-    group.sample_size(10);
+fn concrete_execution() {
     for b in bench_suite::all() {
         // tak(18,12,6) runs 1.4M instructions; keep it but with few samples.
         let program = b.parse().unwrap();
         let compiled = wam::compile_program(&program).unwrap();
-        group.bench_function(b.name, |bench| {
-            bench.iter(|| {
+        let us = time_us(
+            || {
                 let mut machine = wam_machine::Machine::new(&compiled);
                 machine.set_max_steps(2_000_000_000);
-                black_box(machine.query_str(b.entry).unwrap())
-            });
-        });
+                black_box(machine.query_str(b.entry).unwrap());
+            },
+            MIN_MS_SLOW,
+        );
+        report("concrete_execution", b.name, us);
     }
-    group.finish();
 }
 
-fn domain_micro(c: &mut Criterion) {
-    let mut group = c.benchmark_group("domain");
+fn domain_micro() {
     let p = Pattern::from_spec(&["glist", "list(any)", "var", "g"]).unwrap();
     let q = Pattern::from_spec(&["list(int)", "glist", "g", "nv"]).unwrap();
-    group.bench_function("pattern_lub", |bench| {
-        bench.iter(|| black_box(p.lub(&q)));
-    });
-    group.bench_function("pattern_eq", |bench| {
-        bench.iter(|| black_box(p == q));
-    });
+    report(
+        "domain",
+        "pattern_lub",
+        time_us(|| {
+            black_box(p.lub(&q));
+        }, MIN_MS),
+    );
+    report(
+        "domain",
+        "pattern_eq",
+        time_us(|| {
+            black_box(p == q);
+        }, MIN_MS),
+    );
     let mut heap = Vec::new();
     let cells = awam_core::extract::materialize(&mut heap, &p);
-    group.bench_function("extract", |bench| {
-        bench.iter(|| black_box(awam_core::extract::extract(&heap, &cells, 4)));
-    });
-    group.bench_function("match_hit", |bench| {
-        bench.iter(|| black_box(awam_core::matcher::matches(&heap, &cells, 4, &p)));
-    });
-    group.bench_function("match_miss", |bench| {
-        bench.iter(|| black_box(awam_core::matcher::matches(&heap, &cells, 4, &q)));
-    });
-    group.finish();
+    report(
+        "domain",
+        "extract",
+        time_us(|| {
+            black_box(awam_core::extract::extract(&heap, &cells, 4));
+        }, MIN_MS),
+    );
+    report(
+        "domain",
+        "match_hit",
+        time_us(|| {
+            black_box(awam_core::matcher::matches(&heap, &cells, 4, &p));
+        }, MIN_MS),
+    );
+    report(
+        "domain",
+        "match_miss",
+        time_us(|| {
+            black_box(awam_core::matcher::matches(&heap, &cells, 4, &q));
+        }, MIN_MS),
+    );
 }
 
-criterion_group!(
-    benches,
-    analysis_compiled,
-    analysis_native,
-    analysis_hosted,
-    concrete_execution,
-    domain_micro
-);
-criterion_main!(benches);
+fn main() {
+    analysis_compiled();
+    analysis_native();
+    analysis_hosted();
+    concrete_execution();
+    domain_micro();
+}

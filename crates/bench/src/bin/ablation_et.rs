@@ -15,7 +15,7 @@ fn main() {
         let program = b.parse().expect("parse");
         let entry = Pattern::from_spec(b.entry_specs).expect("entry");
         let mut times = Vec::new();
-        let mut stats = (0, 0);
+        let mut stats = awam_obs::TableStats::default();
         for et in [EtImpl::Linear, EtImpl::Hashed] {
             let mut analyzer = Analyzer::compile(&program).expect("compile").with_et_impl(et);
             let analysis = analyzer.analyze(b.entry, &entry).expect("analysis");
@@ -35,8 +35,8 @@ fn main() {
             times[0],
             times[1],
             times[0] / times[1],
-            stats.0,
-            stats.1
+            stats.lookups,
+            stats.scan_steps
         );
     }
     println!(

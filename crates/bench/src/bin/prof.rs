@@ -23,6 +23,9 @@ fn main() {
     let mut calls = 0;
     for _ in 0..reps {
         machine = awam_core::AbstractMachine::new(&compiled, 4, awam_core::EtImpl::Linear);
+        // The per-phase nanosecond counters are opt-in (they cost an
+        // Instant read per call on the hot path).
+        machine.profile_timing = true;
         machine.run_to_fixpoint(pred, &entry).unwrap();
         calls += machine.call_count;
     }

@@ -1,7 +1,23 @@
 //! Regenerate the paper's Table 1: analysis-time comparison between the
 //! compiled abstract-WAM analyzer and the meta-interpreting baseline.
+//!
+//! ```sh
+//! cargo run -p awam-bench --release --bin table1 [--json BENCH_TABLE1.json]
+//! ```
+//!
+//! With `--json PATH`, also write the rows (timings plus the counter
+//! document of each instrumented run) as a JSON array to PATH.
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let rows = awam_bench::table1_rows();
     print!("{}", awam_bench::render_table1(&rows));
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        let path = args
+            .get(i + 1)
+            .map_or("BENCH_TABLE1.json", String::as_str);
+        let doc = awam_bench::rows_to_json(&rows);
+        std::fs::write(path, doc.emit_pretty()).expect("write json");
+        eprintln!("wrote {path}");
+    }
 }

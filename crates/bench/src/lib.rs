@@ -21,6 +21,7 @@
 
 use absdom::Pattern;
 use awam_core::{Analyzer, EtImpl};
+use awam_obs::{Json, TableStats};
 use baseline::BaselineAnalyzer;
 use bench_suite::Benchmark;
 use hosted::{HostedAnalyzer, TransformedAnalyzer};
@@ -59,6 +60,12 @@ pub struct Row {
     pub speedup: f64,
     /// `baseline_us / compiled_us` — speed-up over the *native* baseline.
     pub native_speedup: f64,
+    /// Extension-table counters from the instrumented compiled run.
+    pub table_stats: TableStats,
+    /// The full counter document of the instrumented compiled run
+    /// ([`awam_core::Analysis::stats_json`]): opcode counts, machine
+    /// high-water marks, per-phase analyze time.
+    pub stats: Json,
     /// The paper's reported numbers.
     pub paper: bench_suite::PaperRow,
 }
@@ -151,8 +158,37 @@ pub fn run_benchmark(b: &Benchmark, depth_k: usize, et: EtImpl) -> Row {
         transformed_us,
         speedup: hosted_us / compiled_us,
         native_speedup: baseline_us / compiled_us,
+        table_stats: analysis.table_stats,
+        stats: analysis.stats_json(),
         paper: b.paper,
     }
+}
+
+/// The measured rows as one JSON document (`BENCH_TABLE1.json` shape):
+/// timing columns plus the counter document of each instrumented run.
+pub fn rows_to_json(rows: &[Row]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("name", Json::Str(r.name.to_owned())),
+                    ("args", Json::Int(r.args as i64)),
+                    ("preds", Json::Int(r.preds as i64)),
+                    ("size", Json::Int(r.size as i64)),
+                    ("exec", Json::Int(r.exec as i64)),
+                    ("iterations", Json::Int(r.iterations as i64)),
+                    ("compiled_us", Json::Float(r.compiled_us)),
+                    ("baseline_us", Json::Float(r.baseline_us)),
+                    ("hosted_us", Json::Float(r.hosted_us)),
+                    ("hosted_steps", Json::Int(r.hosted_steps as i64)),
+                    ("transformed_us", Json::Float(r.transformed_us)),
+                    ("speedup", Json::Float(r.speedup)),
+                    ("native_speedup", Json::Float(r.native_speedup)),
+                    ("counters", r.stats.clone()),
+                ])
+            })
+            .collect(),
+    )
 }
 
 /// Run all benchmarks at the paper's settings (k = 4, linear table).

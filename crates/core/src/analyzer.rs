@@ -4,6 +4,7 @@ use crate::machine::{AbstractMachine, AnalysisError};
 use crate::IterationStrategy;
 use crate::table::{Entry, EtImpl};
 use absdom::{AbsLeaf, DomainConfig, Pattern, DEFAULT_TERM_DEPTH};
+use awam_obs::{Json, MachineStats, OpcodeCounts, Stopwatch, TableStats, Tracer};
 use prolog_syntax::Program;
 use wam::{compile_program, CompileError, CompiledProgram};
 
@@ -35,6 +36,7 @@ pub struct Analyzer {
     et_impl: EtImpl,
     config: DomainConfig,
     strategy: IterationStrategy,
+    profile_timing: bool,
 }
 
 /// The analysis of one predicate: its calling patterns and summarized
@@ -62,8 +64,19 @@ pub struct Analysis {
     pub iterations: u64,
     /// Abstract WAM instructions executed (Table 1's `Exec` column).
     pub instructions_executed: u64,
-    /// `(lookups, scan steps)` of the extension table.
-    pub table_stats: (u64, u64),
+    /// Extension-table counters (lookups, hit/miss split, scan cost,
+    /// inserts, lub behavior).
+    pub table_stats: TableStats,
+    /// Abstract-machine work counters and high-water marks.
+    pub machine_stats: MachineStats,
+    /// Per-opcode dispatch counts (index with [`wam::OPCODE_NAMES`]).
+    pub opcodes: OpcodeCounts,
+    /// Wall time of the fixpoint run in nanoseconds (0 when the `timing`
+    /// feature of `awam-obs` is off).
+    pub analyze_ns: u64,
+    /// Per-predicate self-time `(name, ns)`, descending; empty unless
+    /// [`Analyzer::with_profiling`] was enabled.
+    pub pred_times: Vec<(String, u64)>,
 }
 
 impl Analyzer {
@@ -85,6 +98,7 @@ impl Analyzer {
             et_impl: EtImpl::Linear,
             config: DomainConfig::FULL,
             strategy: IterationStrategy::GlobalRestart,
+            profile_timing: false,
         }
     }
 
@@ -116,6 +130,15 @@ impl Analyzer {
         self
     }
 
+    /// Enable fine-grained profiling: extraction/materialization/table
+    /// nanosecond counters and the per-predicate time breakdown. Off by
+    /// default because it reads the clock inside the analysis hot path.
+    #[must_use]
+    pub fn with_profiling(mut self, on: bool) -> Analyzer {
+        self.profile_timing = on;
+        self
+    }
+
     /// The compiled program being analyzed.
     pub fn program(&self) -> &CompiledProgram {
         &self.program
@@ -137,6 +160,31 @@ impl Analyzer {
         name: &str,
         entry: &Pattern,
     ) -> Result<Analysis, AnalysisError> {
+        self.analyze_with(name, entry, None)
+    }
+
+    /// Like [`Analyzer::analyze`], but streaming events into `tracer`
+    /// (fixpoint rounds, calling patterns, ET consults/inserts/updates,
+    /// clause entries, forced failures).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Analyzer::analyze`].
+    pub fn analyze_traced(
+        &mut self,
+        name: &str,
+        entry: &Pattern,
+        tracer: &mut dyn Tracer,
+    ) -> Result<Analysis, AnalysisError> {
+        self.analyze_with(name, entry, Some(tracer))
+    }
+
+    fn analyze_with(
+        &mut self,
+        name: &str,
+        entry: &Pattern,
+        tracer: Option<&mut dyn Tracer>,
+    ) -> Result<Analysis, AnalysisError> {
         let pred = self
             .program
             .predicate(name, entry.arity())
@@ -153,8 +201,14 @@ impl Analyzer {
         let mut machine = AbstractMachine::new(&self.program, self.depth_k, self.et_impl);
         machine.set_domain_config(self.config);
         machine.set_strategy(self.strategy);
+        machine.profile_timing = self.profile_timing;
+        if let Some(tracer) = tracer {
+            machine.set_tracer(tracer);
+        }
         let entry = entry.weaken(self.config);
+        let watch = Stopwatch::start();
         let iterations = machine.run_to_fixpoint(pred, &entry)?;
+        let analyze_ns = watch.elapsed_ns();
         let mut predicates = Vec::new();
         for (id, p) in self.program.predicates.iter().enumerate() {
             let entries: Vec<(Pattern, Option<Pattern>)> = machine
@@ -172,11 +226,28 @@ impl Analyzer {
                 });
             }
         }
+        let mut pred_times: Vec<(String, u64)> = machine
+            .pred_self_ns()
+            .iter()
+            .enumerate()
+            .filter(|(_, &ns)| ns > 0)
+            .map(|(id, &ns)| {
+                (
+                    self.program.predicates[id].key.display(&self.program.interner),
+                    ns,
+                )
+            })
+            .collect();
+        pred_times.sort_by_key(|&(_, ns)| std::cmp::Reverse(ns));
         Ok(Analysis {
             predicates,
             iterations,
             instructions_executed: machine.exec_count,
-            table_stats: machine.table().stats(),
+            table_stats: *machine.table().stats(),
+            machine_stats: machine.machine_stats(),
+            opcodes: machine.opcodes.clone(),
+            analyze_ns,
+            pred_times,
         })
     }
 
@@ -209,6 +280,35 @@ impl Analysis {
     /// A human-readable report of the whole table, plus derived modes.
     pub fn report(&self, analyzer: &Analyzer) -> String {
         crate::report::render(self, analyzer.interner())
+    }
+
+    /// The counters of this analysis as one JSON document: fixpoint
+    /// rounds, instruction totals, opcode counts, [`TableStats`] fields,
+    /// machine high-water marks, and timings.
+    pub fn stats_json(&self) -> Json {
+        let mut pairs = vec![
+            ("iterations", Json::Int(self.iterations as i64)),
+            (
+                "instructions_executed",
+                Json::Int(self.instructions_executed as i64),
+            ),
+            ("table", self.table_stats.to_json()),
+            ("machine", self.machine_stats.to_json()),
+            ("opcodes", self.opcodes.to_json(&wam::OPCODE_NAMES)),
+            ("analyze_ns", Json::Int(self.analyze_ns as i64)),
+        ];
+        if !self.pred_times.is_empty() {
+            pairs.push((
+                "pred_self_ns",
+                Json::Obj(
+                    self.pred_times
+                        .iter()
+                        .map(|(name, ns)| (name.clone(), Json::Int(*ns as i64)))
+                        .collect(),
+                ),
+            ));
+        }
+        Json::obj(pairs)
     }
 }
 

@@ -23,6 +23,7 @@ use crate::extract::{deref, extract, materialize};
 use crate::table::{EtImpl, ExtensionTable};
 use crate::IterationStrategy;
 use absdom::{AbsLeaf, DomainConfig, Pattern};
+use awam_obs::{MachineStats, OpcodeCounts, Stopwatch, TraceEvent, Tracer};
 use std::fmt;
 use wam::{Builtin, CompiledProgram, Instr, Slot};
 
@@ -114,12 +115,31 @@ pub struct AbstractMachine<'p> {
     pub exec_count: u64,
     /// Number of `solve_call` invocations (profiling aid).
     pub call_count: u64,
-    /// Nanoseconds spent in pattern extraction (profiling aid).
+    /// Nanoseconds spent in pattern extraction (needs
+    /// [`Self::profile_timing`]).
     pub extract_ns: u64,
-    /// Nanoseconds spent in materialization (profiling aid).
+    /// Nanoseconds spent in materialization (needs
+    /// [`Self::profile_timing`]).
     pub materialize_ns: u64,
-    /// Nanoseconds spent in table find/update incl. lub (profiling aid).
+    /// Nanoseconds spent in table find/update incl. lub (needs
+    /// [`Self::profile_timing`]).
     pub table_ns: u64,
+    /// Per-opcode dispatch counts over the whole run.
+    pub opcodes: OpcodeCounts,
+    /// When true, the clock is read around extraction, materialization,
+    /// table work, and per-predicate exploration. Off by default: clock
+    /// reads in the dispatch loop are measurable overhead.
+    pub profile_timing: bool,
+    /// Backtracks plus high-water marks; instruction/call totals are
+    /// folded in by [`Self::machine_stats`].
+    stats: MachineStats,
+    /// Self-time per predicate in nanoseconds (needs
+    /// [`Self::profile_timing`]).
+    pred_self_ns: Vec<u64>,
+    /// Child-exploration time accumulators, one per active
+    /// `explore_entry` frame.
+    pred_timer_stack: Vec<u64>,
+    tracer: Option<&'p mut dyn Tracer>,
     max_depth: usize,
 }
 
@@ -152,8 +172,50 @@ impl<'p> AbstractMachine<'p> {
             extract_ns: 0,
             materialize_ns: 0,
             table_ns: 0,
+            opcodes: OpcodeCounts::new(wam::NUM_OPCODES),
+            profile_timing: false,
+            stats: MachineStats::default(),
+            pred_self_ns: vec![0; program.predicates.len()],
+            pred_timer_stack: Vec::new(),
+            tracer: None,
             max_depth: 2_000,
         }
+    }
+
+    /// Attach an event tracer for the rest of this machine's life.
+    pub fn set_tracer(&mut self, tracer: &'p mut dyn Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Emit an event if a tracer is attached. The closure only runs (and
+    /// only allocates its strings) when tracing is on.
+    #[inline]
+    fn trace(&mut self, build: impl FnOnce(&CompiledProgram) -> TraceEvent) {
+        let program = self.program;
+        if let Some(tracer) = self.tracer.as_deref_mut() {
+            tracer.event(&build(program));
+        }
+    }
+
+    /// `name/arity` of a predicate, for trace events.
+    fn pred_name(program: &CompiledProgram, pred: usize) -> String {
+        program.predicates[pred].key.display(&program.interner)
+    }
+
+    /// Work counters and high-water marks for the run so far.
+    pub fn machine_stats(&self) -> MachineStats {
+        let mut stats = self.stats;
+        stats.instructions = self.exec_count;
+        stats.calls = self.call_count;
+        stats.note_heap(self.heap.len());
+        stats.note_trail(self.trail.len());
+        stats
+    }
+
+    /// Self-time per predicate in nanoseconds (all zero unless
+    /// [`Self::profile_timing`] was set before the run).
+    pub fn pred_self_ns(&self) -> &[u64] {
+        &self.pred_self_ns
     }
 
     /// Run the global fixpoint: repeat top-level exploration until the
@@ -178,7 +240,11 @@ impl<'p> AbstractMachine<'p> {
             if self.iter > MAX_ITERS {
                 return Err(AnalysisError::IterationLimit);
             }
+            let round = self.iter;
+            self.trace(|_| TraceEvent::RoundStart { round });
             self.table.clear_changed();
+            self.stats.note_heap(self.heap.len());
+            self.stats.note_trail(self.trail.len());
             self.heap.clear();
             self.trail.clear();
             self.envs.clear();
@@ -188,7 +254,10 @@ impl<'p> AbstractMachine<'p> {
                 self.x[i] = *cell;
             }
             self.solve_call(pred, 0)?;
-            if !self.table.changed() {
+            let changed = self.table.changed();
+            let round = self.iter;
+            self.trace(|_| TraceEvent::RoundEnd { round, changed });
+            if !changed {
                 return Ok(self.iter);
             }
         }
@@ -213,6 +282,8 @@ impl<'p> AbstractMachine<'p> {
             if self.explorations > MAX_EXPLORATIONS {
                 return Err(AnalysisError::IterationLimit);
             }
+            self.stats.note_heap(self.heap.len());
+            self.stats.note_trail(self.trail.len());
             self.heap.clear();
             self.trail.clear();
             self.envs.clear();
@@ -310,7 +381,7 @@ impl<'p> AbstractMachine<'p> {
         // Consult the table by walking the stored patterns directly against
         // the argument cells (allocation-free); the pattern is only *built*
         // when a new entry must be inserted.
-        let t0 = std::time::Instant::now();
+        let t0 = self.profile_timing.then(Stopwatch::start);
         let heap = &self.heap;
         let depth_k = self.depth_k;
         let use_matcher = !self.table_impl_uses_hash() && self.config.is_full();
@@ -323,11 +394,33 @@ impl<'p> AbstractMachine<'p> {
             let f = self.table.find(pred, &cp);
             f.map(|i| (i, Some(cp)))
         };
-        self.table_ns += t0.elapsed().as_nanos() as u64;
+        if let Some(t0) = t0 {
+            self.table_ns += t0.elapsed_ns();
+        }
+        if self.tracer.is_some() {
+            let pattern = self
+                .extract_pattern(&caller_args)
+                .display(&self.program.interner);
+            let hit = found.is_some();
+            let p2 = pattern.clone();
+            self.trace(|prog| TraceEvent::CallPattern {
+                pred,
+                name: Self::pred_name(prog, pred),
+                pattern: p2,
+            });
+            self.trace(|prog| TraceEvent::EtConsult {
+                pred,
+                name: Self::pred_name(prog, pred),
+                pattern,
+                hit,
+            });
+        }
         #[cfg(debug_assertions)]
         if use_matcher {
             let cp = extract(&self.heap, &caller_args, self.depth_k);
-            let by_eq = self.table.find(pred, &cp);
+            // `find_quiet` keeps the stats counters identical between
+            // debug and release builds.
+            let by_eq = self.table.find_quiet(pred, &cp);
             assert_eq!(found.as_ref().map(|(i, _)| *i), by_eq, "matcher/extractor parity");
         }
         let entry_idx = match found {
@@ -354,9 +447,19 @@ impl<'p> AbstractMachine<'p> {
                 idx
             }
             None => {
-                let t0 = std::time::Instant::now();
+                let t0 = self.profile_timing.then(Stopwatch::start);
                 let cp = self.extract_pattern(&caller_args);
-                self.extract_ns += t0.elapsed().as_nanos() as u64;
+                if let Some(t0) = t0 {
+                    self.extract_ns += t0.elapsed_ns();
+                }
+                if self.tracer.is_some() {
+                    let pattern = cp.display(&self.program.interner);
+                    self.trace(|prog| TraceEvent::EtInsert {
+                        pred,
+                        name: Self::pred_name(prog, pred),
+                        pattern,
+                    });
+                }
                 self.table.insert(pred, cp, self.iter)
             }
         };
@@ -386,6 +489,10 @@ impl<'p> AbstractMachine<'p> {
             return Ok(());
         }
         self.explorations += 1;
+        let frame_watch = self.profile_timing.then(Stopwatch::start);
+        if frame_watch.is_some() {
+            self.pred_timer_stack.push(0);
+        }
         let call_pattern = self.table.entry(pred, entry_idx).call.clone();
 
         // Explore every clause on a fresh materialization of the calling
@@ -402,9 +509,16 @@ impl<'p> AbstractMachine<'p> {
             let env_mark = self.envs.len();
             let saved_e = self.e;
 
-            let t0 = std::time::Instant::now();
+            self.trace(|prog| TraceEvent::ClauseEnter {
+                pred,
+                name: Self::pred_name(prog, pred),
+                clause: clause_idx,
+            });
+            let t0 = self.profile_timing.then(Stopwatch::start);
             let callee_args = materialize(&mut self.heap, &call_pattern);
-            self.materialize_ns += t0.elapsed().as_nanos() as u64;
+            if let Some(t0) = t0 {
+                self.materialize_ns += t0.elapsed_ns();
+            }
             for (i, cell) in callee_args.iter().enumerate() {
                 self.x[i] = *cell;
             }
@@ -412,7 +526,7 @@ impl<'p> AbstractMachine<'p> {
             if ok {
                 // Fast path: if the stored summary already equals this
                 // clause's success pattern, nothing can change.
-                let t0 = std::time::Instant::now();
+                let t0 = self.profile_timing.then(Stopwatch::start);
                 let unchanged = self.config.is_full()
                     && match &self.table.entry(pred, entry_idx).success {
                         Some(sp) => {
@@ -420,14 +534,35 @@ impl<'p> AbstractMachine<'p> {
                         }
                         None => false,
                     };
-                self.table_ns += t0.elapsed().as_nanos() as u64;
+                if let Some(t0) = t0 {
+                    self.table_ns += t0.elapsed_ns();
+                }
                 if !unchanged {
-                    let t0 = std::time::Instant::now();
+                    let t0 = self.profile_timing.then(Stopwatch::start);
                     let sp = self.extract_pattern(&callee_args);
-                    self.extract_ns += t0.elapsed().as_nanos() as u64;
-                    let t0 = std::time::Instant::now();
+                    if let Some(t0) = t0 {
+                        self.extract_ns += t0.elapsed_ns();
+                    }
+                    let t0 = self.profile_timing.then(Stopwatch::start);
                     let grew = self.table.update_success(pred, entry_idx, sp);
-                    self.table_ns += t0.elapsed().as_nanos() as u64;
+                    if let Some(t0) = t0 {
+                        self.table_ns += t0.elapsed_ns();
+                    }
+                    if self.tracer.is_some() {
+                        let summary = self
+                            .table
+                            .entry(pred, entry_idx)
+                            .success
+                            .as_ref()
+                            .map(|sp| sp.display(&self.program.interner))
+                            .unwrap_or_default();
+                        self.trace(|prog| TraceEvent::EtUpdate {
+                            pred,
+                            name: Self::pred_name(prog, pred),
+                            grew,
+                            summary,
+                        });
+                    }
                     if grew && self.strategy == IterationStrategy::Dependency {
                         self.enqueue_dependents(pred, entry_idx);
                         // Self-recursion: this entry must also settle.
@@ -438,9 +573,24 @@ impl<'p> AbstractMachine<'p> {
                 }
             }
             // Forced failure to the next clause: undo everything.
+            self.stats.backtracks += 1;
+            self.trace(|prog| TraceEvent::ForcedFail {
+                pred,
+                name: Self::pred_name(prog, pred),
+                clause: clause_idx,
+            });
             self.undo_to(trail_mark, heap_mark);
             self.envs.truncate(env_mark);
             self.e = saved_e;
+        }
+
+        if let Some(watch) = frame_watch {
+            let total = watch.elapsed_ns();
+            let child = self.pred_timer_stack.pop().unwrap_or(0);
+            self.pred_self_ns[pred] += total.saturating_sub(child);
+            if let Some(parent) = self.pred_timer_stack.last_mut() {
+                *parent += total;
+            }
         }
 
         // All clauses explored: record dependencies and propagate.
@@ -478,6 +628,7 @@ impl<'p> AbstractMachine<'p> {
         loop {
             self.exec_count += 1;
             let instr = &self.program.code[pc];
+            self.opcodes.hit(instr.opcode_index());
             pc += 1;
             use Instr::*;
             let ok = match instr {
@@ -1240,6 +1391,8 @@ impl<'p> AbstractMachine<'p> {
     }
 
     fn undo_to(&mut self, trail_mark: usize, heap_mark: usize) {
+        self.stats.note_heap(self.heap.len());
+        self.stats.note_trail(self.trail.len());
         while self.trail.len() > trail_mark {
             let (addr, old) = self.trail.pop().expect("non-empty");
             self.heap[addr] = old;

@@ -137,6 +137,19 @@ pub fn render(analysis: &Analysis, interner: &Interner) -> String {
         "fixpoint in {} iteration(s), {} abstract instructions\n",
         analysis.iterations, analysis.instructions_executed
     ));
+    let t = &analysis.table_stats;
+    out.push_str(&format!(
+        "extension table: {} lookups ({} hits, {} misses, {} scan steps), \
+         {} inserts, {} summary updates ({} widenings, {} version bumps)\n",
+        t.lookups,
+        t.hits,
+        t.misses,
+        t.scan_steps,
+        t.inserts,
+        t.summary_updates,
+        t.lub_widenings,
+        t.version_bumps
+    ));
     for pred in &analysis.predicates {
         out.push_str(&format!("\n{}:\n", pred.name));
         for (call, success) in &pred.entries {

@@ -11,6 +11,7 @@
 //! Ablation B).
 
 use absdom::Pattern;
+use awam_obs::TableStats;
 use std::collections::HashMap;
 
 /// Which lookup structure the table uses.
@@ -54,8 +55,7 @@ pub struct ExtensionTable {
     impl_kind: EtImpl,
     /// Whether any success entry changed since the flag was last cleared.
     changed: bool,
-    lookups: u64,
-    scan_steps: u64,
+    stats: TableStats,
 }
 
 impl ExtensionTable {
@@ -65,43 +65,65 @@ impl ExtensionTable {
             preds: vec![PredTable::default(); num_preds],
             impl_kind,
             changed: false,
-            lookups: 0,
-            scan_steps: 0,
+            stats: TableStats::default(),
         }
     }
 
     /// Index of the first entry under `pred` whose calling pattern
     /// satisfies `test` (used with the allocation-free matcher).
     pub fn find_by(&mut self, pred: usize, mut test: impl FnMut(&Pattern) -> bool) -> Option<usize> {
-        self.lookups += 1;
+        self.stats.lookups += 1;
         let table = &self.preds[pred];
         for (i, e) in table.entries.iter().enumerate() {
-            self.scan_steps += 1;
+            self.stats.scan_steps += 1;
             if test(&e.call) {
+                self.stats.hits += 1;
                 return Some(i);
             }
         }
+        self.stats.misses += 1;
         None
     }
 
     /// Index of the entry for `call` under `pred`, if present.
     pub fn find(&mut self, pred: usize, call: &Pattern) -> Option<usize> {
-        self.lookups += 1;
-        match self.impl_kind {
+        self.stats.lookups += 1;
+        let found = match self.impl_kind {
             EtImpl::Linear => {
                 let table = &self.preds[pred];
+                let mut found = None;
                 for (i, e) in table.entries.iter().enumerate() {
-                    self.scan_steps += 1;
+                    self.stats.scan_steps += 1;
                     if &e.call == call {
-                        return Some(i);
+                        found = Some(i);
+                        break;
                     }
                 }
-                None
+                found
             }
             EtImpl::Hashed => {
-                self.scan_steps += 1;
+                self.stats.scan_steps += 1;
                 self.preds[pred].index.get(call).copied()
             }
+        };
+        if found.is_some() {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        found
+    }
+
+    /// Like [`Self::find`], but without touching the stats counters.
+    /// Used by debug-only consistency checks so that the counters stay
+    /// identical between debug and release builds.
+    pub fn find_quiet(&self, pred: usize, call: &Pattern) -> Option<usize> {
+        match self.impl_kind {
+            EtImpl::Linear => self.preds[pred]
+                .entries
+                .iter()
+                .position(|e| &e.call == call),
+            EtImpl::Hashed => self.preds[pred].index.get(call).copied(),
         }
     }
 
@@ -113,6 +135,7 @@ impl ExtensionTable {
     /// Insert a fresh entry (marked explored in `iter`) and return its
     /// index.
     pub fn insert(&mut self, pred: usize, call: Pattern, iter: u64) -> usize {
+        self.stats.inserts += 1;
         let table = &mut self.preds[pred];
         let idx = table.entries.len();
         if self.impl_kind == EtImpl::Hashed {
@@ -167,6 +190,7 @@ impl ExtensionTable {
     /// Lub `success` into the entry; returns whether the summary grew
     /// (also recorded in the global change flag).
     pub fn update_success(&mut self, pred: usize, idx: usize, success: Pattern) -> bool {
+        self.stats.summary_updates += 1;
         let entry = &mut self.preds[pred].entries[idx];
         match &entry.success {
             // Fast path: the summary already equals the new pattern (the
@@ -178,6 +202,8 @@ impl ExtensionTable {
                     entry.success = Some(new);
                     entry.version += 1;
                     self.changed = true;
+                    self.stats.lub_widenings += 1;
+                    self.stats.version_bumps += 1;
                     true
                 } else {
                     false
@@ -187,6 +213,7 @@ impl ExtensionTable {
                 entry.success = Some(success);
                 entry.version += 1;
                 self.changed = true;
+                self.stats.version_bumps += 1;
                 true
             }
         }
@@ -217,10 +244,10 @@ impl ExtensionTable {
         self.len() == 0
     }
 
-    /// `(lookups, scan_steps)` counters for the ET-implementation
-    /// ablation.
-    pub fn stats(&self) -> (u64, u64) {
-        (self.lookups, self.scan_steps)
+    /// Counters accumulated by this table (lookups, hit/miss split,
+    /// scan cost, inserts, summary-update behavior).
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
     }
 }
 
@@ -279,8 +306,25 @@ mod tests {
         t.insert(0, pat(&["any"]), 1);
         t.insert(0, pat(&["g"]), 1);
         t.find(0, &pat(&["g"]));
-        let (lookups, steps) = t.stats();
-        assert_eq!(lookups, 1);
-        assert_eq!(steps, 2, "linear scan walked both entries");
+        t.find(0, &pat(&["var"]));
+        let stats = t.stats();
+        assert_eq!(stats.lookups, 2);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.scan_steps, 4, "each linear scan walked both entries");
+        assert_eq!(stats.inserts, 2);
+    }
+
+    #[test]
+    fn stats_track_summary_updates() {
+        let mut t = ExtensionTable::new(1, EtImpl::Linear);
+        let idx = t.insert(0, pat(&["any"]), 1);
+        t.update_success(0, idx, pat(&["atom"])); // first summary
+        t.update_success(0, idx, pat(&["atom"])); // identical: fast path
+        t.update_success(0, idx, pat(&["int"])); // lub grows to const
+        let stats = t.stats();
+        assert_eq!(stats.summary_updates, 3);
+        assert_eq!(stats.lub_widenings, 1, "only the growing lub counts");
+        assert_eq!(stats.version_bumps, 2, "first set + one widening");
     }
 }

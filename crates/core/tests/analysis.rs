@@ -289,7 +289,12 @@ fn hashed_and_linear_tables_agree() {
 fn instruction_counter_is_populated() {
     let (analysis, _) = analyze(APPEND, "app", &["glist", "glist", "var"]);
     assert!(analysis.instructions_executed > 0);
-    assert!(analysis.table_stats.0 > 0);
+    assert!(analysis.table_stats.lookups > 0);
+    assert!(analysis.table_stats.inserts > 0);
+    assert_eq!(
+        analysis.table_stats.hits + analysis.table_stats.misses,
+        analysis.table_stats.lookups
+    );
 }
 
 #[test]

@@ -16,9 +16,11 @@ fn check_soundness(src: &str, pred: &str, specs: &[&str], query: &str) {
     let compiled = compile_program(&program).expect("compile");
 
     // Concrete run with tracing.
+    let mut tracer = awam_obs::RecordingTracer::default();
     let mut machine = Machine::new(&compiled);
-    machine.trace_calls = true;
+    machine.set_tracer(&mut tracer);
     let solution = machine.query_str(query).expect("run");
+    drop(machine);
 
     // Abstract analysis.
     let mut analyzer = Analyzer::compile(&program).expect("compile");
@@ -26,7 +28,7 @@ fn check_soundness(src: &str, pred: &str, specs: &[&str], query: &str) {
 
     // Obligation 1: every traced concrete call is covered by some calling
     // pattern recorded for that predicate.
-    for (pid, args) in &machine.call_trace {
+    for (pid, args) in &tracer.calls() {
         let key = compiled.predicates[*pid].key.display(&compiled.interner);
         let pa = analysis
             .predicates

@@ -75,16 +75,18 @@ fn dependency_strategy_stays_sound_against_concrete_runs() {
         let b = bench_suite::by_name(name).unwrap();
         let program = b.parse().unwrap();
         let compiled = wam::compile_program(&program).unwrap();
+        let mut tracer = awam_obs::RecordingTracer::default();
         let mut machine = Machine::new(&compiled);
-        machine.trace_calls = true;
+        machine.set_tracer(&mut tracer);
         machine.set_max_steps(1_000_000);
         let _ = machine.query_str(b.entry);
+        drop(machine);
 
         let mut analyzer = Analyzer::compile(&program)
             .unwrap()
             .with_strategy(IterationStrategy::Dependency);
         let analysis = analyzer.analyze_query(b.entry, b.entry_specs).unwrap();
-        for (pid, args) in machine.call_trace.iter().take(10_000) {
+        for (pid, args) in tracer.calls().iter().take(10_000) {
             let pa = analysis
                 .predicates
                 .iter()

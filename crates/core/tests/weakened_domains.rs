@@ -35,10 +35,13 @@ fn weakened_analyses_still_cover_concrete_calls() {
         let b = bench_suite::by_name(name).unwrap();
         let program = b.parse().unwrap();
         let compiled = wam::compile_program(&program).unwrap();
+        let mut tracer = awam_obs::RecordingTracer::default();
         let mut machine = Machine::new(&compiled);
-        machine.trace_calls = true;
+        machine.set_tracer(&mut tracer);
         machine.set_max_steps(500_000);
         let _ = machine.query_str(b.entry);
+        drop(machine);
+        let calls = tracer.calls();
 
         for &config in CONFIGS {
             let mut analyzer = Analyzer::compile(&program)
@@ -47,7 +50,7 @@ fn weakened_analyses_still_cover_concrete_calls() {
             let analysis = analyzer
                 .analyze_query(b.entry, b.entry_specs)
                 .unwrap_or_else(|e| panic!("{name} under {config:?}: {e}"));
-            for (pid, args) in machine.call_trace.iter().take(5_000) {
+            for (pid, args) in calls.iter().take(5_000) {
                 let pa = analysis
                     .predicates
                     .iter()

@@ -1,0 +1,218 @@
+//! Plain counters: extension-table statistics, per-opcode dispatch
+//! counts, and machine-level work/high-water counters.
+//!
+//! All counters are unconditional `u64` increments — cheap enough to
+//! leave on in release builds, which is what makes compiled-vs-hosted
+//! comparisons report *work done* instead of just wall time.
+
+use crate::json::Json;
+
+/// Statistics for the extension table (the analysis memo table).
+///
+/// Replaces the anonymous `(lookups, scan_steps)` tuple the analyzer
+/// used to expose.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Number of `find`/`find_by` consultations.
+    pub lookups: u64,
+    /// Consultations that found an existing entry.
+    pub hits: u64,
+    /// Consultations that found nothing (usually followed by an insert).
+    pub misses: u64,
+    /// Entries examined across all consultations (list-scan cost).
+    pub scan_steps: u64,
+    /// Fresh entries inserted.
+    pub inserts: u64,
+    /// Success-pattern updates applied (lub of old and new summary).
+    pub summary_updates: u64,
+    /// Updates whose lub strictly grew the stored summary.
+    pub lub_widenings: u64,
+    /// Table version bumps (each one can force dependent re-iteration).
+    pub version_bumps: u64,
+}
+
+impl TableStats {
+    /// Encode as a JSON object with one field per counter.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("lookups", Json::Int(self.lookups as i64)),
+            ("hits", Json::Int(self.hits as i64)),
+            ("misses", Json::Int(self.misses as i64)),
+            ("scan_steps", Json::Int(self.scan_steps as i64)),
+            ("inserts", Json::Int(self.inserts as i64)),
+            ("summary_updates", Json::Int(self.summary_updates as i64)),
+            ("lub_widenings", Json::Int(self.lub_widenings as i64)),
+            ("version_bumps", Json::Int(self.version_bumps as i64)),
+        ])
+    }
+
+    /// Hit rate in [0, 1]; zero when there were no lookups.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// Per-opcode dispatch counts.
+///
+/// The layer is machine-agnostic: the machine supplies the opcode count
+/// at construction and the opcode names at render time (`wam` exports
+/// `OPCODE_NAMES`), so this crate needs no dependency on the
+/// instruction set.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OpcodeCounts {
+    counts: Vec<u64>,
+}
+
+impl OpcodeCounts {
+    /// A counter vector for `num_opcodes` opcodes, all zero.
+    pub fn new(num_opcodes: usize) -> Self {
+        OpcodeCounts {
+            counts: vec![0; num_opcodes],
+        }
+    }
+
+    /// Count one dispatch of opcode `index`.
+    #[inline]
+    pub fn hit(&mut self, index: usize) {
+        self.counts[index] += 1;
+    }
+
+    /// The count for opcode `index` (zero if out of range).
+    pub fn get(&self, index: usize) -> u64 {
+        self.counts.get(index).copied().unwrap_or(0)
+    }
+
+    /// Total dispatches across all opcodes.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(name, count)` for every opcode with a non-zero count, sorted by
+    /// count descending (ties broken by opcode order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` is shorter than the counter vector.
+    pub fn nonzero<'n>(&self, names: &[&'n str]) -> Vec<(&'n str, u64)> {
+        assert!(names.len() >= self.counts.len(), "name table too short");
+        let mut rows: Vec<(&str, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (names[i], c))
+            .collect();
+        rows.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        rows
+    }
+
+    /// Encode as a JSON object keyed by opcode name (non-zero only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` is shorter than the counter vector.
+    pub fn to_json(&self, names: &[&str]) -> Json {
+        Json::Obj(
+            self.nonzero(names)
+                .into_iter()
+                .map(|(name, count)| (name.to_owned(), Json::Int(count as i64)))
+                .collect(),
+        )
+    }
+}
+
+/// Work and high-water counters for one machine run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Instructions dispatched.
+    pub instructions: u64,
+    /// Predicate calls entered.
+    pub calls: u64,
+    /// Backtracks / forced failures taken.
+    pub backtracks: u64,
+    /// Choice points pushed.
+    pub choice_points: u64,
+    /// Maximum heap size observed (cells).
+    pub heap_high_water: u64,
+    /// Maximum trail size observed (entries).
+    pub trail_high_water: u64,
+}
+
+impl MachineStats {
+    /// Fold a heap-size sample into the high-water mark.
+    #[inline]
+    pub fn note_heap(&mut self, len: usize) {
+        self.heap_high_water = self.heap_high_water.max(len as u64);
+    }
+
+    /// Fold a trail-size sample into the high-water mark.
+    #[inline]
+    pub fn note_trail(&mut self, len: usize) {
+        self.trail_high_water = self.trail_high_water.max(len as u64);
+    }
+
+    /// Encode as a JSON object with one field per counter.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("instructions", Json::Int(self.instructions as i64)),
+            ("calls", Json::Int(self.calls as i64)),
+            ("backtracks", Json::Int(self.backtracks as i64)),
+            ("choice_points", Json::Int(self.choice_points as i64)),
+            ("heap_high_water", Json::Int(self.heap_high_water as i64)),
+            ("trail_high_water", Json::Int(self.trail_high_water as i64)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_stats_json_has_every_field() {
+        let stats = TableStats {
+            lookups: 10,
+            hits: 7,
+            misses: 3,
+            scan_steps: 21,
+            inserts: 3,
+            summary_updates: 5,
+            lub_widenings: 2,
+            version_bumps: 2,
+        };
+        let json = stats.to_json();
+        assert_eq!(json.get("lookups").and_then(Json::as_u64), Some(10));
+        assert_eq!(json.get("lub_widenings").and_then(Json::as_u64), Some(2));
+        assert!((stats.hit_rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opcode_counts_sort_and_filter() {
+        let mut counts = OpcodeCounts::new(3);
+        counts.hit(0);
+        counts.hit(2);
+        counts.hit(2);
+        assert_eq!(counts.total(), 3);
+        assert_eq!(counts.get(1), 0);
+        let rows = counts.nonzero(&["a", "b", "c"]);
+        assert_eq!(rows, vec![("c", 2), ("a", 1)]);
+        let json = counts.to_json(&["a", "b", "c"]);
+        assert_eq!(json.get("c").and_then(Json::as_u64), Some(2));
+        assert!(json.get("b").is_none());
+    }
+
+    #[test]
+    fn high_water_marks_keep_the_max() {
+        let mut stats = MachineStats::default();
+        stats.note_heap(10);
+        stats.note_heap(4);
+        stats.note_trail(2);
+        stats.note_trail(9);
+        assert_eq!(stats.heap_high_water, 10);
+        assert_eq!(stats.trail_high_water, 9);
+    }
+}

@@ -1,0 +1,39 @@
+//! Observability for the abstract-WAM workspace: counters, event
+//! tracing, and phase timers.
+//!
+//! The paper this workspace reproduces (Tan & Lin, PLDI 1992) makes a
+//! performance claim; this crate makes that claim *inspectable*. It has
+//! three layers, all usable independently:
+//!
+//! * [`counters`] — [`TableStats`] (extension-table work),
+//!   [`OpcodeCounts`] (per-opcode dispatch), [`MachineStats`]
+//!   (calls/backtracks/high-water marks). Counters are plain `u64`
+//!   increments and stay on in release builds.
+//! * [`trace`] — a [`Tracer`] trait with no-op, recording, and
+//!   JSONL-streaming implementations. Machines hold an
+//!   `Option<&mut dyn Tracer>`, so the untraced path is one branch per
+//!   hook.
+//! * [`timer`] — [`PhaseTimers`] over parse/compile/analyze/report.
+//!   Clock reads are gated behind the `timing` cargo feature (default
+//!   on); building with `--no-default-features` removes every `Instant`
+//!   read.
+//!
+//! Everything serializes through the built-in [`json`] module (the
+//! workspace builds offline, so no serde): stats become one JSON
+//! document, traces become JSONL with one event per line, and both
+//! parse back losslessly.
+
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod json;
+pub mod timer;
+pub mod trace;
+
+pub use counters::{MachineStats, OpcodeCounts, TableStats};
+pub use json::{Json, JsonError};
+pub use timer::{Phase, PhaseTimers, Stopwatch};
+pub use trace::{
+    parse_jsonl, term_from_json, term_to_json, JsonlTracer, NopTracer, RecordingTracer,
+    TraceEvent, Tracer,
+};

@@ -1,0 +1,173 @@
+//! Wall-clock phase timers.
+//!
+//! All clock reads live behind the crate's `timing` feature (on by
+//! default). With `--no-default-features` every stopwatch reads zero and
+//! no `Instant` is ever taken, making the timing layer truly zero-cost
+//! where even a `clock_gettime` call is too much.
+
+use crate::json::Json;
+#[cfg(feature = "timing")]
+use std::time::Instant;
+
+/// The pipeline phases we time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Reading Prolog source into a [`prolog_syntax::Program`].
+    Parse,
+    /// WAM compilation (concrete and/or abstract code generation).
+    Compile,
+    /// Running the abstract machine to fixpoint.
+    Analyze,
+    /// Running a concrete query on the substrate machine.
+    Execute,
+    /// Rendering results.
+    Report,
+}
+
+impl Phase {
+    /// All phases, in pipeline order.
+    pub const ALL: [Phase; 5] =
+        [Phase::Parse, Phase::Compile, Phase::Analyze, Phase::Execute, Phase::Report];
+
+    /// Lower-case phase name as used in JSON keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Parse => "parse",
+            Phase::Compile => "compile",
+            Phase::Analyze => "analyze",
+            Phase::Execute => "execute",
+            Phase::Report => "report",
+        }
+    }
+}
+
+/// A one-shot stopwatch.
+///
+/// With the `timing` feature disabled this is a zero-sized type and
+/// [`Stopwatch::elapsed_ns`] always returns 0.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    #[cfg(feature = "timing")]
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            #[cfg(feature = "timing")]
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since [`Stopwatch::start`] (0 without the `timing`
+    /// feature).
+    pub fn elapsed_ns(&self) -> u64 {
+        #[cfg(feature = "timing")]
+        {
+            self.start.elapsed().as_nanos() as u64
+        }
+        #[cfg(not(feature = "timing"))]
+        {
+            0
+        }
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Stopwatch::start()
+    }
+}
+
+/// Accumulated wall time per [`Phase`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTimers {
+    nanos: [u64; Phase::ALL.len()],
+}
+
+impl PhaseTimers {
+    /// Fresh timers, all zero.
+    pub fn new() -> Self {
+        PhaseTimers::default()
+    }
+
+    /// Add `ns` to `phase`.
+    pub fn record(&mut self, phase: Phase, ns: u64) {
+        self.nanos[phase as usize] += ns;
+    }
+
+    /// Time a closure and charge it to `phase`.
+    pub fn time<R>(&mut self, phase: Phase, f: impl FnOnce() -> R) -> R {
+        let watch = Stopwatch::start();
+        let result = f();
+        self.record(phase, watch.elapsed_ns());
+        result
+    }
+
+    /// Accumulated nanoseconds for `phase`.
+    pub fn nanos(&self, phase: Phase) -> u64 {
+        self.nanos[phase as usize]
+    }
+
+    /// Total across all phases.
+    pub fn total_ns(&self) -> u64 {
+        self.nanos.iter().sum()
+    }
+
+    /// Encode as a JSON object `{"parse_ns": …, "compile_ns": …, …}`.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            Phase::ALL
+                .iter()
+                .map(|&p| {
+                    (
+                        format!("{}_ns", p.name()),
+                        Json::Int(self.nanos(p) as i64),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timers_accumulate_per_phase() {
+        let mut timers = PhaseTimers::new();
+        timers.record(Phase::Parse, 5);
+        timers.record(Phase::Parse, 7);
+        timers.record(Phase::Analyze, 100);
+        assert_eq!(timers.nanos(Phase::Parse), 12);
+        assert_eq!(timers.nanos(Phase::Compile), 0);
+        assert_eq!(timers.total_ns(), 112);
+        let json = timers.to_json();
+        assert_eq!(json.get("parse_ns").and_then(Json::as_u64), Some(12));
+        assert_eq!(json.get("analyze_ns").and_then(Json::as_u64), Some(100));
+    }
+
+    #[test]
+    fn time_charges_the_closure() {
+        let mut timers = PhaseTimers::new();
+        let value = timers.time(Phase::Report, || 41 + 1);
+        assert_eq!(value, 42);
+        // With the timing feature on, some nonzero time elapsed; without
+        // it, exactly zero. Either way the call returns the closure value
+        // and doesn't panic.
+    }
+
+    #[cfg(feature = "timing")]
+    #[test]
+    fn stopwatch_moves_forward() {
+        let watch = Stopwatch::start();
+        let mut spin = 0u64;
+        for i in 0..10_000u64 {
+            spin = spin.wrapping_add(i);
+        }
+        assert!(spin > 0);
+        let _ = watch.elapsed_ns();
+    }
+}

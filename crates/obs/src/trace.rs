@@ -1,0 +1,552 @@
+//! Event tracing shared by the abstract and concrete machines.
+//!
+//! A [`Tracer`] receives [`TraceEvent`]s from whichever machine it is
+//! attached to. The default is no tracer at all (machines hold an
+//! `Option<&mut dyn Tracer>`), so the disabled path costs a single
+//! branch per hook site. Three implementations ship here:
+//!
+//! * [`NopTracer`] — discards everything (useful when a tracer must be
+//!   passed but nothing should be kept);
+//! * [`RecordingTracer`] — buffers events in memory for tests and
+//!   programmatic inspection;
+//! * [`JsonlTracer`] — streams one JSON object per line to any
+//!   [`std::io::Write`], producing a replayable/diffable trace file.
+
+use crate::json::Json;
+use prolog_syntax::{Symbol, Term, VarId};
+use std::io::Write;
+
+/// One event in the life of an analysis or execution run.
+///
+/// `pred` fields carry the machine's predicate index; `name` carries the
+/// human-readable `name/arity` so trace files are legible without the
+/// compiled program at hand. Pattern/summary fields are pre-rendered
+/// strings (the abstract domain's display form).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A fixpoint round is starting (1-based).
+    RoundStart {
+        /// Round number, starting at 1.
+        round: u64,
+    },
+    /// A fixpoint round finished.
+    RoundEnd {
+        /// Round number, starting at 1.
+        round: u64,
+        /// Whether any table entry changed during the round (a `true`
+        /// forces another round under the global-restart strategy).
+        changed: bool,
+    },
+    /// A calling pattern was computed for a predicate invocation.
+    CallPattern {
+        /// Predicate index.
+        pred: usize,
+        /// Predicate `name/arity`.
+        name: String,
+        /// Rendered calling pattern.
+        pattern: String,
+    },
+    /// The extension table was consulted for a calling pattern.
+    EtConsult {
+        /// Predicate index.
+        pred: usize,
+        /// Predicate `name/arity`.
+        name: String,
+        /// Rendered calling pattern.
+        pattern: String,
+        /// Whether an existing entry was found.
+        hit: bool,
+    },
+    /// A fresh entry was inserted into the extension table.
+    EtInsert {
+        /// Predicate index.
+        pred: usize,
+        /// Predicate `name/arity`.
+        name: String,
+        /// Rendered calling pattern.
+        pattern: String,
+    },
+    /// A table entry's success pattern was updated (lubbed).
+    EtUpdate {
+        /// Predicate index.
+        pred: usize,
+        /// Predicate `name/arity`.
+        name: String,
+        /// Whether the lub strictly grew the stored summary.
+        grew: bool,
+        /// Rendered success pattern after the update.
+        summary: String,
+    },
+    /// A clause of a predicate is being explored.
+    ClauseEnter {
+        /// Predicate index.
+        pred: usize,
+        /// Predicate `name/arity`.
+        name: String,
+        /// Clause ordinal within the predicate (0-based).
+        clause: usize,
+    },
+    /// A clause exploration was abandoned (abstract failure / undo).
+    ForcedFail {
+        /// Predicate index.
+        pred: usize,
+        /// Predicate `name/arity`.
+        name: String,
+        /// Clause ordinal within the predicate (0-based).
+        clause: usize,
+    },
+    /// A concrete machine entered a predicate with reified arguments.
+    Call {
+        /// Predicate index.
+        pred: usize,
+        /// Predicate `name/arity`.
+        name: String,
+        /// Reified argument terms at entry.
+        args: Vec<Term>,
+    },
+}
+
+impl TraceEvent {
+    /// The event's kind tag as used in the JSON encoding.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::RoundStart { .. } => "round_start",
+            TraceEvent::RoundEnd { .. } => "round_end",
+            TraceEvent::CallPattern { .. } => "call_pattern",
+            TraceEvent::EtConsult { .. } => "et_consult",
+            TraceEvent::EtInsert { .. } => "et_insert",
+            TraceEvent::EtUpdate { .. } => "et_update",
+            TraceEvent::ClauseEnter { .. } => "clause_enter",
+            TraceEvent::ForcedFail { .. } => "forced_fail",
+            TraceEvent::Call { .. } => "call",
+        }
+    }
+
+    /// Encode as a JSON object (one JSONL line, minus the newline).
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(&str, Json)> = vec![("event", Json::Str(self.kind().into()))];
+        match self {
+            TraceEvent::RoundStart { round } => {
+                pairs.push(("round", Json::Int(*round as i64)));
+            }
+            TraceEvent::RoundEnd { round, changed } => {
+                pairs.push(("round", Json::Int(*round as i64)));
+                pairs.push(("changed", Json::Bool(*changed)));
+            }
+            TraceEvent::CallPattern { pred, name, pattern } => {
+                pairs.push(("pred", Json::Int(*pred as i64)));
+                pairs.push(("name", Json::Str(name.clone())));
+                pairs.push(("pattern", Json::Str(pattern.clone())));
+            }
+            TraceEvent::EtConsult { pred, name, pattern, hit } => {
+                pairs.push(("pred", Json::Int(*pred as i64)));
+                pairs.push(("name", Json::Str(name.clone())));
+                pairs.push(("pattern", Json::Str(pattern.clone())));
+                pairs.push(("hit", Json::Bool(*hit)));
+            }
+            TraceEvent::EtInsert { pred, name, pattern } => {
+                pairs.push(("pred", Json::Int(*pred as i64)));
+                pairs.push(("name", Json::Str(name.clone())));
+                pairs.push(("pattern", Json::Str(pattern.clone())));
+            }
+            TraceEvent::EtUpdate { pred, name, grew, summary } => {
+                pairs.push(("pred", Json::Int(*pred as i64)));
+                pairs.push(("name", Json::Str(name.clone())));
+                pairs.push(("grew", Json::Bool(*grew)));
+                pairs.push(("summary", Json::Str(summary.clone())));
+            }
+            TraceEvent::ClauseEnter { pred, name, clause } => {
+                pairs.push(("pred", Json::Int(*pred as i64)));
+                pairs.push(("name", Json::Str(name.clone())));
+                pairs.push(("clause", Json::Int(*clause as i64)));
+            }
+            TraceEvent::ForcedFail { pred, name, clause } => {
+                pairs.push(("pred", Json::Int(*pred as i64)));
+                pairs.push(("name", Json::Str(name.clone())));
+                pairs.push(("clause", Json::Int(*clause as i64)));
+            }
+            TraceEvent::Call { pred, name, args } => {
+                pairs.push(("pred", Json::Int(*pred as i64)));
+                pairs.push(("name", Json::Str(name.clone())));
+                pairs.push(("args", Json::Arr(args.iter().map(term_to_json).collect())));
+            }
+        }
+        Json::obj(pairs)
+    }
+
+    /// Decode from the JSON encoding produced by [`TraceEvent::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(json: &Json) -> Result<TraceEvent, String> {
+        let kind = json
+            .get("event")
+            .and_then(Json::as_str)
+            .ok_or("missing \"event\" tag")?;
+        let round = || {
+            json.get("round")
+                .and_then(Json::as_u64)
+                .ok_or("missing \"round\"")
+        };
+        let pred = || {
+            json.get("pred")
+                .and_then(Json::as_u64)
+                .map(|p| p as usize)
+                .ok_or("missing \"pred\"")
+        };
+        let name = || {
+            json.get("name")
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or("missing \"name\"")
+        };
+        let text = |key: &'static str| {
+            json.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or(format!("missing \"{key}\""))
+        };
+        let flag = |key: &'static str| {
+            json.get(key)
+                .and_then(Json::as_bool)
+                .ok_or(format!("missing \"{key}\""))
+        };
+        let clause = || {
+            json.get("clause")
+                .and_then(Json::as_u64)
+                .map(|c| c as usize)
+                .ok_or("missing \"clause\"")
+        };
+        Ok(match kind {
+            "round_start" => TraceEvent::RoundStart { round: round()? },
+            "round_end" => TraceEvent::RoundEnd {
+                round: round()?,
+                changed: flag("changed")?,
+            },
+            "call_pattern" => TraceEvent::CallPattern {
+                pred: pred()?,
+                name: name()?,
+                pattern: text("pattern")?,
+            },
+            "et_consult" => TraceEvent::EtConsult {
+                pred: pred()?,
+                name: name()?,
+                pattern: text("pattern")?,
+                hit: flag("hit")?,
+            },
+            "et_insert" => TraceEvent::EtInsert {
+                pred: pred()?,
+                name: name()?,
+                pattern: text("pattern")?,
+            },
+            "et_update" => TraceEvent::EtUpdate {
+                pred: pred()?,
+                name: name()?,
+                grew: flag("grew")?,
+                summary: text("summary")?,
+            },
+            "clause_enter" => TraceEvent::ClauseEnter {
+                pred: pred()?,
+                name: name()?,
+                clause: clause()?,
+            },
+            "forced_fail" => TraceEvent::ForcedFail {
+                pred: pred()?,
+                name: name()?,
+                clause: clause()?,
+            },
+            "call" => TraceEvent::Call {
+                pred: pred()?,
+                name: name()?,
+                args: json
+                    .get("args")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing \"args\"")?
+                    .iter()
+                    .map(term_from_json)
+                    .collect::<Result<Vec<Term>, String>>()?,
+            },
+            other => return Err(format!("unknown event kind {other:?}")),
+        })
+    }
+}
+
+/// Encode a term as a tagged JSON array: `["var", id]`, `["int", n]`,
+/// `["atom", sym]`, `["struct", sym, [args…]]`. Symbols are encoded by
+/// their raw interner index; decoding is only meaningful against the
+/// same interner (which is fine for replay/diff of a single run).
+pub fn term_to_json(term: &Term) -> Json {
+    match term {
+        Term::Var(v) => Json::Arr(vec![
+            Json::Str("var".into()),
+            Json::Int(v.index() as i64),
+        ]),
+        Term::Int(n) => Json::Arr(vec![Json::Str("int".into()), Json::Int(*n)]),
+        Term::Atom(s) => Json::Arr(vec![
+            Json::Str("atom".into()),
+            Json::Int(s.index() as i64),
+        ]),
+        Term::Struct(f, args) => Json::Arr(vec![
+            Json::Str("struct".into()),
+            Json::Int(f.index() as i64),
+            Json::Arr(args.iter().map(term_to_json).collect()),
+        ]),
+    }
+}
+
+/// Decode a term from the encoding of [`term_to_json`].
+///
+/// # Errors
+///
+/// Returns a description of the malformed node.
+pub fn term_from_json(json: &Json) -> Result<Term, String> {
+    let items = json.as_arr().ok_or("term must be a JSON array")?;
+    let tag = items
+        .first()
+        .and_then(Json::as_str)
+        .ok_or("term array must start with a tag")?;
+    let int_at = |i: usize| {
+        items
+            .get(i)
+            .and_then(Json::as_i64)
+            .ok_or(format!("term {tag:?} missing integer at slot {i}"))
+    };
+    match tag {
+        "var" => Ok(Term::Var(VarId(int_at(1)? as u32))),
+        "int" => Ok(Term::Int(int_at(1)?)),
+        "atom" => Ok(Term::Atom(Symbol::from_index(int_at(1)? as usize))),
+        "struct" => {
+            let functor = Symbol::from_index(int_at(1)? as usize);
+            let args = items
+                .get(2)
+                .and_then(Json::as_arr)
+                .ok_or("struct term missing argument array")?
+                .iter()
+                .map(term_from_json)
+                .collect::<Result<Vec<Term>, String>>()?;
+            Ok(Term::Struct(functor, args))
+        }
+        other => Err(format!("unknown term tag {other:?}")),
+    }
+}
+
+/// A sink for [`TraceEvent`]s.
+///
+/// Machines hold an `Option<&mut dyn Tracer>`; `None` (the default)
+/// keeps the hooks down to one branch each.
+pub trait Tracer {
+    /// Receive one event.
+    fn event(&mut self, event: &TraceEvent);
+}
+
+/// A tracer that discards every event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NopTracer;
+
+impl Tracer for NopTracer {
+    fn event(&mut self, _event: &TraceEvent) {}
+}
+
+/// A tracer that buffers events in memory.
+///
+/// # Examples
+///
+/// ```
+/// use awam_obs::{RecordingTracer, TraceEvent, Tracer};
+/// let mut t = RecordingTracer::default();
+/// t.event(&TraceEvent::RoundStart { round: 1 });
+/// assert_eq!(t.events.len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct RecordingTracer {
+    /// The recorded events, in arrival order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl RecordingTracer {
+    /// The recorded concrete calls as `(predicate index, argument terms)`
+    /// pairs — the shape the old `Machine::call_trace` field exposed.
+    pub fn calls(&self) -> Vec<(usize, Vec<Term>)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Call { pred, args, .. } => Some((*pred, args.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of recorded fixpoint rounds (counting `RoundStart`s).
+    pub fn rounds(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::RoundStart { .. }))
+            .count() as u64
+    }
+}
+
+impl Tracer for RecordingTracer {
+    fn event(&mut self, event: &TraceEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// A tracer that writes one JSON object per line (JSONL).
+///
+/// Events that fail to write are counted in [`JsonlTracer::io_errors`]
+/// rather than panicking mid-analysis.
+#[derive(Debug)]
+pub struct JsonlTracer<W: Write> {
+    writer: W,
+    /// Number of events dropped due to I/O errors.
+    pub io_errors: u64,
+}
+
+impl<W: Write> JsonlTracer<W> {
+    /// Wrap a writer.
+    pub fn new(writer: W) -> Self {
+        JsonlTracer {
+            writer,
+            io_errors: 0,
+        }
+    }
+
+    /// Flush and recover the inner writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flush failure, returning the writer regardless.
+    pub fn into_inner(mut self) -> std::io::Result<W> {
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> Tracer for JsonlTracer<W> {
+    fn event(&mut self, event: &TraceEvent) {
+        let line = event.to_json().emit();
+        if writeln!(self.writer, "{line}").is_err() {
+            self.io_errors += 1;
+        }
+    }
+}
+
+/// Parse a JSONL trace back into events.
+///
+/// # Errors
+///
+/// Reports the first malformed line with its 1-based line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| {
+            let json = Json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            TraceEvent::from_json(&json).map_err(|e| format!("line {}: {e}", i + 1))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::RoundStart { round: 1 },
+            TraceEvent::CallPattern {
+                pred: 0,
+                name: "nrev/2".into(),
+                pattern: "(g, f)".into(),
+            },
+            TraceEvent::EtConsult {
+                pred: 0,
+                name: "nrev/2".into(),
+                pattern: "(g, f)".into(),
+                hit: false,
+            },
+            TraceEvent::EtInsert {
+                pred: 0,
+                name: "nrev/2".into(),
+                pattern: "(g, f)".into(),
+            },
+            TraceEvent::ClauseEnter {
+                pred: 0,
+                name: "nrev/2".into(),
+                clause: 1,
+            },
+            TraceEvent::ForcedFail {
+                pred: 0,
+                name: "nrev/2".into(),
+                clause: 1,
+            },
+            TraceEvent::EtUpdate {
+                pred: 0,
+                name: "nrev/2".into(),
+                grew: true,
+                summary: "(g, g)".into(),
+            },
+            TraceEvent::RoundEnd {
+                round: 1,
+                changed: true,
+            },
+            TraceEvent::Call {
+                pred: 3,
+                name: "app/3".into(),
+                args: vec![
+                    Term::Var(VarId(0)),
+                    Term::Int(-7),
+                    Term::Struct(
+                        Symbol::from_index(1),
+                        vec![Term::Atom(Symbol::from_index(0)), Term::Var(VarId(2))],
+                    ),
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        for event in sample_events() {
+            let json = event.to_json();
+            let back = TraceEvent::from_json(&json).expect("decode");
+            assert_eq!(back, event);
+        }
+    }
+
+    #[test]
+    fn jsonl_writer_round_trips() {
+        let events = sample_events();
+        let mut tracer = JsonlTracer::new(Vec::new());
+        for event in &events {
+            tracer.event(event);
+        }
+        assert_eq!(tracer.io_errors, 0);
+        let bytes = tracer.into_inner().expect("flush");
+        let text = String::from_utf8(bytes).expect("utf8");
+        assert_eq!(text.lines().count(), events.len());
+        let back = parse_jsonl(&text).expect("parse");
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn recording_tracer_extracts_calls_and_rounds() {
+        let mut tracer = RecordingTracer::default();
+        for event in sample_events() {
+            tracer.event(&event);
+        }
+        assert_eq!(tracer.rounds(), 1);
+        let calls = tracer.calls();
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].0, 3);
+        assert_eq!(calls[0].1.len(), 3);
+    }
+
+    #[test]
+    fn bad_lines_are_reported_with_position() {
+        let err = parse_jsonl("{\"event\":\"round_start\",\"round\":1}\nnot json\n")
+            .expect_err("should fail");
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+}

@@ -1,20 +1,59 @@
 //! Property tests: `parse ∘ print` is the identity on randomly generated
 //! terms, and printing is stable (printing the reparse of a print equals the
-//! print).
+//! print). Terms come from a deterministic inline PRNG (the workspace
+//! builds offline, so no proptest).
 
-use proptest::prelude::*;
 use prolog_syntax::{parse_term, term_to_string, Interner, Term, VarId};
 
-/// Strategy for random atom names that do not need quoting.
-fn plain_atom_name() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,6}".prop_filter("avoid reserved words that are operators", |s| {
-        !matches!(s.as_str(), "is" | "mod" | "rem" | "xor" | "div")
-    })
+/// xorshift64* — deterministic term generator driver.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
 }
 
-/// Strategy for atom names that require quoting.
-fn quoted_atom_name() -> impl Strategy<Value = String> {
-    "[A-Z ][a-zA-Z ]{0,6}".prop_map(|s| s)
+/// A random atom name that does not need quoting: `[a-z][a-z0-9_]{0,6}`,
+/// avoiding reserved words that are operators.
+fn plain_atom_name(rng: &mut Rng) -> String {
+    const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+    loop {
+        let mut s = String::new();
+        s.push(FIRST[rng.below(FIRST.len() as u64) as usize] as char);
+        for _ in 0..rng.below(7) {
+            s.push(REST[rng.below(REST.len() as u64) as usize] as char);
+        }
+        if !matches!(s.as_str(), "is" | "mod" | "rem" | "xor" | "div") {
+            return s;
+        }
+    }
+}
+
+/// An atom name that requires quoting: `[A-Z ][a-zA-Z ]{0,6}`.
+fn quoted_atom_name(rng: &mut Rng) -> String {
+    const FIRST: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ ";
+    const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ ";
+    let mut s = String::new();
+    s.push(FIRST[rng.below(FIRST.len() as u64) as usize] as char);
+    for _ in 0..rng.below(7) {
+        s.push(REST[rng.below(REST.len() as u64) as usize] as char);
+    }
+    s
 }
 
 #[derive(Clone, Debug)]
@@ -26,24 +65,33 @@ enum GenTerm {
     List(Vec<GenTerm>, Option<Box<GenTerm>>),
 }
 
-fn gen_term() -> impl Strategy<Value = GenTerm> {
-    let leaf = prop_oneof![
-        (0u32..4).prop_map(GenTerm::Var),
-        any::<i32>().prop_map(|i| GenTerm::Int(i as i64)),
-        plain_atom_name().prop_map(GenTerm::Atom),
-        quoted_atom_name().prop_map(GenTerm::Atom),
-    ];
-    leaf.prop_recursive(4, 24, 4, |inner| {
-        prop_oneof![
-            (plain_atom_name(), prop::collection::vec(inner.clone(), 1..4))
-                .prop_map(|(f, args)| GenTerm::Struct(f, args)),
-            (
-                prop::collection::vec(inner.clone(), 0..4),
-                prop::option::of(inner.clone().prop_map(Box::new))
-            )
-                .prop_map(|(items, tail)| GenTerm::List(items, tail)),
-        ]
-    })
+fn gen_term(rng: &mut Rng, depth: usize) -> GenTerm {
+    // Compound terms with probability 1/3 below the depth cap; the same
+    // leaf mix as before (Var, Int, plain/quoted Atom).
+    if depth > 0 && rng.below(3) == 0 {
+        if rng.below(2) == 0 {
+            let f = plain_atom_name(rng);
+            let n = 1 + rng.below(3) as usize;
+            let args = (0..n).map(|_| gen_term(rng, depth - 1)).collect();
+            GenTerm::Struct(f, args)
+        } else {
+            let n = rng.below(4) as usize;
+            let items = (0..n).map(|_| gen_term(rng, depth - 1)).collect();
+            let tail = if rng.below(2) == 0 {
+                Some(Box::new(gen_term(rng, depth - 1)))
+            } else {
+                None
+            };
+            GenTerm::List(items, tail)
+        }
+    } else {
+        match rng.below(4) {
+            0 => GenTerm::Var(rng.below(4) as u32),
+            1 => GenTerm::Int(rng.next() as i32 as i64),
+            2 => GenTerm::Atom(plain_atom_name(rng)),
+            _ => GenTerm::Atom(quoted_atom_name(rng)),
+        }
+    }
 }
 
 fn build(gen: &GenTerm, interner: &mut Interner) -> Term {
@@ -84,37 +132,59 @@ fn canonical(term: &Term, interner: &Interner) -> String {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn print_parse_roundtrip(gen in gen_term()) {
+#[test]
+fn print_parse_roundtrip() {
+    let mut rng = Rng::new(0x0f2e_7a31);
+    for case in 0..256 {
+        let gen = gen_term(&mut rng, 4);
         let mut interner = Interner::new();
         let term = build(&gen, &mut interner);
         let names: Vec<String> = (0..4).map(|i| format!("X{i}")).collect();
         let printed = term_to_string(&term, &interner, &names);
         let (reparsed, interner2, names2) = parse_term(&printed)
-            .unwrap_or_else(|e| panic!("failed to reparse {printed:?}: {e}"));
+            .unwrap_or_else(|e| panic!("case {case}: failed to reparse {printed:?}: {e}"));
         // Compare canonically: same shape, atoms by text. Variables may be
         // renumbered by first occurrence, so compare via a reprint.
         let reprinted = term_to_string(&reparsed, &interner2, &names2);
-        prop_assert_eq!(&printed, &reprinted, "print not stable for {}", printed);
+        assert_eq!(
+            &printed, &reprinted,
+            "case {case}: print not stable for {printed}"
+        );
         // And ground terms must be structurally identical.
         if term.is_ground() {
-            prop_assert_eq!(
+            assert_eq!(
                 canonical(&term, &interner),
-                canonical(&reparsed, &interner2)
+                canonical(&reparsed, &interner2),
+                "case {case}"
             );
         }
     }
+}
 
-    #[test]
-    fn parser_never_panics_on_arbitrary_input(src in "\\PC{0,60}") {
+#[test]
+fn parser_never_panics_on_arbitrary_input() {
+    let mut rng = Rng::new(0x0f2e_7a32);
+    // Printable-ish ASCII plus a few multi-byte chars, like \PC did.
+    const CHARS: &[char] = &[
+        'a', 'z', 'A', 'Z', '0', '9', '_', ' ', '\t', '(', ')', '[', ']', '|', ',', '.', ':',
+        '-', '+', '*', '/', '\\', '=', '<', '>', '!', ';', '\'', '"', '%', '{', '}', 'é', 'λ',
+        '→',
+    ];
+    for _ in 0..256 {
+        let n = rng.below(60) as usize;
+        let src: String = (0..n)
+            .map(|_| CHARS[rng.below(CHARS.len() as u64) as usize])
+            .collect();
         let _ = prolog_syntax::parse_program(&src);
     }
+}
 
-    #[test]
-    fn lexer_never_panics(src in prop::collection::vec(any::<u8>(), 0..60)) {
+#[test]
+fn lexer_never_panics() {
+    let mut rng = Rng::new(0x0f2e_7a33);
+    for _ in 0..256 {
+        let n = rng.below(60) as usize;
+        let src: Vec<u8> = (0..n).map(|_| rng.next() as u8).collect();
         if let Ok(text) = std::str::from_utf8(&src) {
             let _ = prolog_syntax::Lexer::new(text).tokenize();
         }

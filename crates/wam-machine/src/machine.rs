@@ -3,6 +3,7 @@
 use crate::cell::Cell;
 use crate::eval::{self, deref, eval_arith, ArithError};
 use crate::reify;
+use awam_obs::{MachineStats, OpcodeCounts, TraceEvent, Tracer};
 use prolog_syntax::Term;
 use std::fmt;
 use wam::{Builtin, CompiledProgram, Instr, Slot, WamConst};
@@ -102,7 +103,6 @@ struct ChoicePoint {
 /// The concrete WAM.
 ///
 /// See the [crate documentation](crate) for an overview and example.
-#[derive(Debug)]
 pub struct Machine<'p> {
     program: &'p CompiledProgram,
     heap: Vec<Cell>,
@@ -123,14 +123,33 @@ pub struct Machine<'p> {
     max_steps: u64,
     /// Names of the current query's variables, indexed by [`VarId`].
     query_vars: Vec<(String, usize)>,
-    /// When true, every predicate entry is recorded in [`Self::call_trace`].
-    pub trace_calls: bool,
-    /// `(predicate id, reified argument terms)` for each call, in order.
-    pub call_trace: Vec<(usize, Vec<Term>)>,
+    /// Event sink; predicate entries are reified into
+    /// [`awam_obs::TraceEvent::Call`] events when attached.
+    tracer: Option<&'p mut dyn Tracer>,
+    /// Per-opcode dispatch counts over this machine's life.
+    pub opcodes: OpcodeCounts,
+    /// Backtracks, choice points, and high-water marks; instruction and
+    /// call totals are folded in by [`Self::machine_stats`].
+    stats: MachineStats,
+    /// Predicate calls entered (`call`/`execute` dispatches).
+    calls: u64,
     /// The program interner, possibly extended with query-only symbols.
     interner: prolog_syntax::Interner,
     /// Text written by `write/1` and friends.
     pub output: String,
+}
+
+impl fmt::Debug for Machine<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("pc", &self.pc)
+            .field("steps", &self.steps)
+            .field("heap_len", &self.heap.len())
+            .field("choices", &self.choices.len())
+            .field("envs", &self.envs.len())
+            .field("traced", &self.tracer.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,11 +183,31 @@ impl<'p> Machine<'p> {
             steps: 0,
             max_steps: 500_000_000,
             query_vars: Vec::new(),
-            trace_calls: false,
-            call_trace: Vec::new(),
+            tracer: None,
+            opcodes: OpcodeCounts::new(wam::NUM_OPCODES),
+            stats: MachineStats::default(),
+            calls: 0,
             interner: program.interner.clone(),
             output: String::new(),
         }
+    }
+
+    /// Attach an event tracer; every predicate entry is then reported as
+    /// a [`TraceEvent::Call`] with reified arguments (the old
+    /// `trace_calls`/`call_trace` mechanism, now through the shared
+    /// [`Tracer`] interface).
+    pub fn set_tracer(&mut self, tracer: &'p mut dyn Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Work counters and high-water marks for the run so far.
+    pub fn machine_stats(&self) -> MachineStats {
+        let mut stats = self.stats;
+        stats.instructions = self.steps;
+        stats.calls = self.calls;
+        stats.note_heap(self.heap.len());
+        stats.note_trail(self.trail.len());
+        stats
     }
 
     /// Set the runaway-recursion step budget (default 5·10⁸).
@@ -345,6 +384,7 @@ impl<'p> Machine<'p> {
 
     fn step(&mut self) -> Result<Step, RunError> {
         let instr = &self.program.code[self.pc];
+        self.opcodes.hit(instr.opcode_index());
         self.pc += 1;
         use Instr::*;
         let ok = match instr {
@@ -623,16 +663,21 @@ impl<'p> Machine<'p> {
         self.num_args = self.program.predicates[pred].key.arity;
         self.b0 = self.choices.len();
         self.pc = entry;
-        if self.trace_calls {
+        self.calls += 1;
+        if self.tracer.is_some() {
             let mut namer = reify::Namer::new();
             let args: Vec<Term> = (0..self.num_args)
                 .map(|i| reify::reify(&self.heap, self.x[i], &mut namer))
                 .collect();
-            self.call_trace.push((pred, args));
+            let name = self.program.predicates[pred].key.display(&self.interner);
+            if let Some(tracer) = self.tracer.as_deref_mut() {
+                tracer.event(&TraceEvent::Call { pred, name, args });
+            }
         }
     }
 
     fn push_choice(&mut self, next_alt: usize) {
+        self.stats.choice_points += 1;
         self.choices.push(ChoicePoint {
             args: self.x[..self.num_args].to_vec(),
             e: self.e,
@@ -649,6 +694,11 @@ impl<'p> Machine<'p> {
         let Some(cp) = self.choices.last() else {
             return false;
         };
+        // Backtracking unwinds heap and trail, so this is exactly a local
+        // maximum of both — the right moment to sample high-water marks.
+        self.stats.backtracks += 1;
+        self.stats.note_heap(self.heap.len());
+        self.stats.note_trail(self.trail.len());
         let cp = cp.clone();
         self.x[..cp.args.len()].copy_from_slice(&cp.args);
         self.num_args = cp.args.len();

@@ -166,7 +166,88 @@ pub enum Instr {
     Fail,
 }
 
+/// Number of distinct opcodes in [`Instr`].
+pub const NUM_OPCODES: usize = 33;
+
+/// Opcode mnemonics, indexed by [`Instr::opcode_index`].
+pub const OPCODE_NAMES: [&str; NUM_OPCODES] = [
+    "get_variable",
+    "get_value",
+    "get_constant",
+    "get_list",
+    "get_structure",
+    "put_variable",
+    "put_value",
+    "put_constant",
+    "put_list",
+    "put_structure",
+    "unify_variable",
+    "unify_value",
+    "unify_constant",
+    "unify_void",
+    "allocate",
+    "deallocate",
+    "call",
+    "execute",
+    "proceed",
+    "call_builtin",
+    "neck_cut",
+    "get_level",
+    "cut",
+    "try_me_else",
+    "retry_me_else",
+    "trust_me",
+    "try",
+    "retry",
+    "trust",
+    "switch_on_term",
+    "switch_on_constant",
+    "switch_on_structure",
+    "fail",
+];
+
 impl Instr {
+    /// A dense opcode index in `0..NUM_OPCODES`, ignoring operands.
+    /// [`OPCODE_NAMES`] maps it back to the mnemonic.
+    pub fn opcode_index(&self) -> usize {
+        use Instr::*;
+        match self {
+            GetVariable(..) => 0,
+            GetValue(..) => 1,
+            GetConstant(..) => 2,
+            GetList(..) => 3,
+            GetStructure(..) => 4,
+            PutVariable(..) => 5,
+            PutValue(..) => 6,
+            PutConstant(..) => 7,
+            PutList(..) => 8,
+            PutStructure(..) => 9,
+            UnifyVariable(..) => 10,
+            UnifyValue(..) => 11,
+            UnifyConstant(..) => 12,
+            UnifyVoid(..) => 13,
+            Allocate(..) => 14,
+            Deallocate => 15,
+            Call(..) => 16,
+            Execute(..) => 17,
+            Proceed => 18,
+            CallBuiltin(..) => 19,
+            NeckCut => 20,
+            GetLevel(..) => 21,
+            CutLevel(..) => 22,
+            TryMeElse(..) => 23,
+            RetryMeElse(..) => 24,
+            TrustMe => 25,
+            Try(..) => 26,
+            Retry(..) => 27,
+            Trust(..) => 28,
+            SwitchOnTerm { .. } => 29,
+            SwitchOnConstant(..) => 30,
+            SwitchOnStructure(..) => 31,
+            Fail => 32,
+        }
+    }
+
     /// Display the instruction with symbolic names resolved.
     pub fn display(&self, interner: &Interner) -> String {
         use Instr::*;
@@ -229,6 +310,22 @@ impl Instr {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn opcode_indices_are_dense_and_named() {
+        let samples = [
+            (Instr::GetVariable(Slot::X(0), 0), "get_variable"),
+            (Instr::Proceed, "proceed"),
+            (Instr::SwitchOnConstant(Vec::new()), "switch_on_constant"),
+            (Instr::Fail, "fail"),
+        ];
+        for (instr, name) in samples {
+            let idx = instr.opcode_index();
+            assert!(idx < NUM_OPCODES);
+            assert_eq!(OPCODE_NAMES[idx], name);
+        }
+        assert_eq!(Instr::Fail.opcode_index(), NUM_OPCODES - 1);
+    }
 
     #[test]
     fn slot_display_is_one_based() {

@@ -1,0 +1,10 @@
+% Naive reverse of a 30-element list — the classic LIPS benchmark.
+
+nreverse :- nrev([1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+                  16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30], _).
+
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), concatenate(RT, [H], R).
+
+concatenate([], L, L).
+concatenate([H|T], L, [H|R]) :- concatenate(T, L, R).

@@ -8,11 +8,21 @@
 //! awam analyze-wam FILE.wam PRED [SPECS]  analyze saved WAM code
 //! awam bench NAME                      run one Table 1 benchmark
 //! ```
+//!
+//! Observability flags (on `run`, `analyze`, `analyze-wam` and `bench`):
+//!
+//! ```text
+//! --stats          append a human-readable counter/timing table
+//! --stats-json     emit the counters as one JSON document instead of a report
+//! --trace FILE     stream machine events to FILE as JSON Lines
+//! ```
 
-use awam::analysis::Analyzer;
+use awam::analysis::{Analysis, Analyzer};
 use awam::machine::Machine;
+use awam::obs::{Json, JsonlTracer, Phase, PhaseTimers, Stopwatch, Tracer};
 use awam::syntax::parse_program;
 use awam::wam::compile_program;
+use std::io::BufWriter;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -27,7 +37,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage:\n  awam compile FILE.pl [--emit F.wam]\n  awam run FILE.pl 'GOAL' [-n N]\n  \
                  awam analyze FILE.pl PRED [SPEC,SPEC,…]\n  awam analyze-wam FILE.wam PRED [SPEC,…]\n  \
-                 awam bench NAME"
+                 awam bench NAME\n\
+                 observability flags: --stats | --stats-json | --trace FILE"
             );
             return ExitCode::from(2);
         }
@@ -42,6 +53,52 @@ fn main() -> ExitCode {
 }
 
 type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+/// The `--stats`/`--stats-json`/`--trace FILE` flag set shared by the
+/// subcommands, split away from the positional arguments.
+struct ObsFlags {
+    stats: bool,
+    stats_json: bool,
+    trace: Option<String>,
+}
+
+fn split_flags(args: &[String]) -> Result<(Vec<String>, ObsFlags), String> {
+    let mut flags = ObsFlags {
+        stats: false,
+        stats_json: false,
+        trace: None,
+    };
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--stats" => flags.stats = true,
+            "--stats-json" => flags.stats_json = true,
+            "--trace" => {
+                let path = it.next().ok_or("--trace needs a file path")?;
+                flags.trace = Some(path.clone());
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other}"));
+            }
+            _ => positional.push(a.clone()),
+        }
+    }
+    Ok((positional, flags))
+}
+
+/// Open the `--trace` sink, if requested.
+fn open_tracer(
+    flags: &ObsFlags,
+) -> Result<Option<JsonlTracer<BufWriter<std::fs::File>>>, std::io::Error> {
+    match &flags.trace {
+        Some(path) => {
+            let file = std::fs::File::create(path)?;
+            Ok(Some(JsonlTracer::new(BufWriter::new(file))))
+        }
+        None => Ok(None),
+    }
+}
 
 fn load(path: &str) -> Result<awam::syntax::Program, Box<dyn std::error::Error>> {
     let source = std::fs::read_to_string(path)?;
@@ -71,39 +128,166 @@ fn cmd_compile(args: &[String]) -> CmdResult {
     Ok(())
 }
 
-fn cmd_analyze_wam(args: &[String]) -> CmdResult {
-    let path = args.first().ok_or("analyze-wam: missing FILE.wam")?;
-    let pred = args.get(1).ok_or("analyze-wam: missing PRED")?;
-    let specs: Vec<&str> = match args.get(2) {
-        Some(s) if !s.is_empty() => s.split(',').map(str::trim).collect(),
-        _ => Vec::new(),
+/// Shared tail of `analyze`/`analyze-wam`/`bench`: run the analysis with
+/// the requested instrumentation and render either the report or the
+/// stats document.
+fn run_analysis(
+    mut analyzer: Analyzer,
+    pred: &str,
+    specs: &[&str],
+    flags: &ObsFlags,
+    mut timers: PhaseTimers,
+) -> CmdResult {
+    if flags.stats || flags.stats_json {
+        // Opt into per-predicate self-times: the caller asked for the
+        // numbers, so the extra clock reads are fine.
+        analyzer = analyzer.with_profiling(true);
+    }
+    let entry = awam::absdom::Pattern::from_spec(specs)
+        .ok_or_else(|| format!("bad entry specs: {}", specs.join(",")))?;
+    let watch = Stopwatch::start();
+    let analysis = match open_tracer(flags)? {
+        Some(mut tracer) => {
+            let analysis = analyzer.analyze_traced(pred, &entry, &mut tracer)?;
+            tracer.into_inner()?; // flush
+            analysis
+        }
+        None => analyzer.analyze(pred, &entry)?,
     };
-    let text = std::fs::read_to_string(path)?;
-    let compiled = awam::wam::text::from_text(&text)?;
-    let mut analyzer = Analyzer::from_compiled(compiled);
-    let analysis = analyzer.analyze_query(pred, &specs)?;
-    print!("{}", analysis.report(&analyzer));
+    timers.record(Phase::Analyze, watch.elapsed_ns());
+
+    let watch = Stopwatch::start();
+    let report = analysis.report(&analyzer);
+    timers.record(Phase::Report, watch.elapsed_ns());
+
+    if flags.stats_json {
+        println!("{}", stats_doc(&analysis, &timers).emit_pretty());
+        return Ok(());
+    }
+    print!("{report}");
+    if flags.stats {
+        print!("{}", render_stats(&analysis, &timers));
+    }
     Ok(())
 }
 
+/// The `--stats-json` document: analysis counters plus the CLI's phase
+/// timings.
+fn stats_doc(analysis: &Analysis, timers: &PhaseTimers) -> Json {
+    let Json::Obj(mut pairs) = analysis.stats_json() else {
+        unreachable!("stats_json always returns an object");
+    };
+    pairs.push(("phases".to_owned(), timers.to_json()));
+    Json::Obj(pairs)
+}
+
+/// The `--stats` human-readable table.
+fn render_stats(analysis: &Analysis, timers: &PhaseTimers) -> String {
+    let mut out = String::new();
+    out.push_str("\n--- stats ---\n");
+    let m = &analysis.machine_stats;
+    out.push_str(&format!(
+        "machine: {} instructions, {} calls, {} backtracks, {} choice points\n",
+        m.instructions, m.calls, m.backtracks, m.choice_points
+    ));
+    out.push_str(&format!(
+        "high water: heap {}, trail {}\n",
+        m.heap_high_water, m.trail_high_water
+    ));
+    let t = &analysis.table_stats;
+    out.push_str(&format!(
+        "extension table: hit rate {:.1}% over {} lookups\n",
+        t.hit_rate() * 100.0,
+        t.lookups
+    ));
+    for phase in Phase::ALL {
+        let ns = timers.nanos(phase);
+        if ns > 0 {
+            out.push_str(&format!(
+                "phase {:<8} {:>10.1} us\n",
+                phase.name(),
+                ns as f64 / 1000.0
+            ));
+        }
+    }
+    if !analysis.pred_times.is_empty() {
+        out.push_str("self-time by predicate:\n");
+        for (name, ns) in analysis.pred_times.iter().take(10) {
+            out.push_str(&format!("  {:<20} {:>10.1} us\n", name, *ns as f64 / 1000.0));
+        }
+    }
+    out.push_str("opcode dispatches:\n");
+    for (name, count) in analysis.opcodes.nonzero(&awam::wam::OPCODE_NAMES) {
+        out.push_str(&format!("  {name:<20} {count:>10}\n"));
+    }
+    out
+}
+
+fn cmd_analyze_wam(args: &[String]) -> CmdResult {
+    let (pos, flags) = split_flags(args)?;
+    let path = pos.first().ok_or("analyze-wam: missing FILE.wam")?;
+    let pred = pos.get(1).ok_or("analyze-wam: missing PRED")?;
+    let specs: Vec<&str> = match pos.get(2) {
+        Some(s) if !s.is_empty() => s.split(',').map(str::trim).collect(),
+        _ => Vec::new(),
+    };
+    let mut timers = PhaseTimers::new();
+    let watch = Stopwatch::start();
+    let text = std::fs::read_to_string(path)?;
+    let compiled = awam::wam::text::from_text(&text)?;
+    timers.record(Phase::Parse, watch.elapsed_ns());
+    let analyzer = Analyzer::from_compiled(compiled);
+    run_analysis(analyzer, pred, &specs, &flags, timers)
+}
+
 fn cmd_run(args: &[String]) -> CmdResult {
-    let path = args.first().ok_or("run: missing FILE.pl")?;
-    let goal = args.get(1).ok_or("run: missing 'GOAL'")?;
-    let limit: usize = match args.iter().position(|a| a == "-n") {
-        Some(i) => args
+    let (pos, flags) = split_flags(args)?;
+    let path = pos.first().ok_or("run: missing FILE.pl")?;
+    let goal = pos.get(1).ok_or("run: missing 'GOAL'")?;
+    let limit: usize = match pos.iter().position(|a| a == "-n") {
+        Some(i) => pos
             .get(i + 1)
             .ok_or("run: -n needs a number")?
             .parse()
             .map_err(|_| "run: -n needs a number")?,
         None => 5,
     };
+    let mut timers = PhaseTimers::new();
+    let watch = Stopwatch::start();
     let program = load(path)?;
+    timers.record(Phase::Parse, watch.elapsed_ns());
+    let watch = Stopwatch::start();
     let compiled = compile_program(&program)?;
+    timers.record(Phase::Compile, watch.elapsed_ns());
+
+    let mut tracer = open_tracer(&flags)?;
     let mut machine = Machine::new(&compiled);
+    if let Some(tracer) = tracer.as_mut() {
+        machine.set_tracer(tracer as &mut dyn Tracer);
+    }
+    let watch = Stopwatch::start();
     let solutions = machine.solve_all(goal, limit)?;
+    timers.record(Phase::Execute, watch.elapsed_ns());
+
+    if flags.stats_json {
+        let doc = Json::obj(vec![
+            ("solutions", Json::Int(solutions.len() as i64)),
+            ("machine", machine.machine_stats().to_json()),
+            (
+                "opcodes",
+                machine.opcodes.to_json(&awam::wam::OPCODE_NAMES),
+            ),
+            ("phases", timers.to_json()),
+        ]);
+        drop(machine);
+        if let Some(tracer) = tracer {
+            tracer.into_inner()?;
+        }
+        println!("{}", doc.emit_pretty());
+        return Ok(());
+    }
     if solutions.is_empty() {
         println!("false.");
-        return Ok(());
     }
     for s in &solutions {
         if s.bindings.is_empty() {
@@ -120,29 +304,69 @@ fn cmd_run(args: &[String]) -> CmdResult {
     if !machine.output.is_empty() {
         println!("--- output ---\n{}", machine.output);
     }
+    if flags.stats {
+        let m = machine.machine_stats();
+        println!("\n--- stats ---");
+        println!(
+            "machine: {} instructions, {} calls, {} backtracks, {} choice points",
+            m.instructions, m.calls, m.backtracks, m.choice_points
+        );
+        println!(
+            "high water: heap {}, trail {}",
+            m.heap_high_water, m.trail_high_water
+        );
+        for phase in Phase::ALL {
+            let ns = timers.nanos(phase);
+            if ns > 0 {
+                println!("phase {:<8} {:>10.1} us", phase.name(), ns as f64 / 1000.0);
+            }
+        }
+        println!("opcode dispatches:");
+        for (name, count) in machine.opcodes.nonzero(&awam::wam::OPCODE_NAMES) {
+            println!("  {name:<20} {count:>10}");
+        }
+    }
+    drop(machine);
+    if let Some(tracer) = tracer {
+        tracer.into_inner()?;
+    }
     Ok(())
 }
 
 fn cmd_analyze(args: &[String]) -> CmdResult {
-    let path = args.first().ok_or("analyze: missing FILE.pl")?;
-    let pred = args.get(1).ok_or("analyze: missing PRED")?;
-    let specs: Vec<&str> = match args.get(2) {
+    let (pos, flags) = split_flags(args)?;
+    let path = pos.first().ok_or("analyze: missing FILE.pl")?;
+    let pred = pos.get(1).ok_or("analyze: missing PRED")?;
+    let specs: Vec<&str> = match pos.get(2) {
         Some(s) if !s.is_empty() => s.split(',').map(str::trim).collect(),
         _ => Vec::new(),
     };
+    let mut timers = PhaseTimers::new();
+    let watch = Stopwatch::start();
     let program = load(path)?;
-    let mut analyzer = Analyzer::compile(&program)?;
-    let analysis = analyzer.analyze_query(pred, &specs)?;
-    print!("{}", analysis.report(&analyzer));
-    Ok(())
+    timers.record(Phase::Parse, watch.elapsed_ns());
+    let watch = Stopwatch::start();
+    let analyzer = Analyzer::compile(&program)?;
+    timers.record(Phase::Compile, watch.elapsed_ns());
+    run_analysis(analyzer, pred, &specs, &flags, timers)
 }
 
 fn cmd_bench(args: &[String]) -> CmdResult {
-    let name = args.first().ok_or("bench: missing NAME (e.g. nreverse)")?;
+    let (pos, flags) = split_flags(args)?;
+    let name = pos.first().ok_or("bench: missing NAME (e.g. nreverse)")?;
     let bench = awam::suite::by_name(name)
         .ok_or_else(|| format!("unknown benchmark {name}"))?;
+    let mut timers = PhaseTimers::new();
+    let watch = Stopwatch::start();
     let program = bench.parse()?;
-    let mut analyzer = Analyzer::compile(&program)?;
+    timers.record(Phase::Parse, watch.elapsed_ns());
+    let watch = Stopwatch::start();
+    let analyzer = Analyzer::compile(&program)?;
+    timers.record(Phase::Compile, watch.elapsed_ns());
+    if flags.stats || flags.stats_json || flags.trace.is_some() {
+        return run_analysis(analyzer, bench.entry, bench.entry_specs, &flags, timers);
+    }
+    let mut analyzer = analyzer;
     let entry = awam::absdom::Pattern::from_spec(bench.entry_specs)
         .ok_or("bad entry specs")?;
     let start = std::time::Instant::now();

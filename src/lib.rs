@@ -39,6 +39,7 @@
 
 pub use absdom;
 pub use awam_core as analysis;
+pub use awam_obs as obs;
 pub use baseline;
 pub use bench_suite as suite;
 pub use hosted as hosted_analyzer;

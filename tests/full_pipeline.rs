@@ -18,11 +18,13 @@ fn every_concrete_call_is_covered_by_the_analysis() {
         let program = b.parse().expect("parse");
         let compiled = compile_program(&program).expect("compile");
 
+        let mut tracer = awam::obs::RecordingTracer::default();
         let mut machine = Machine::new(&compiled);
-        machine.trace_calls = true;
+        machine.set_tracer(&mut tracer);
         machine.set_max_steps(3_000_000);
         // A step-limit error still leaves a usable trace prefix.
         let _ = machine.query_str(b.entry);
+        drop(machine);
 
         let mut analyzer = Analyzer::compile(&program).expect("compile");
         let analysis = analyzer
@@ -30,7 +32,7 @@ fn every_concrete_call_is_covered_by_the_analysis() {
             .expect("analysis");
 
         let mut checked = 0;
-        for (pid, args) in machine.call_trace.iter().take(TRACE_BUDGET) {
+        for (pid, args) in tracer.calls().iter().take(TRACE_BUDGET) {
             let pa = analysis
                 .predicates
                 .iter()

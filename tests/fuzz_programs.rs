@@ -2,13 +2,40 @@
 //! programs, analyze them with `any`-typed entries, run them concretely
 //! with call tracing, and check the fundamental soundness obligation —
 //! every concrete call is covered by the analysis — plus analyzer
-//! termination and cross-analyzer agreement on calling patterns.
+//! termination.
+//!
+//! The generator is driven by a deterministic xorshift PRNG (the
+//! workspace builds offline, so no proptest); every run covers the same
+//! case set, and a failing case can be replayed from its seed.
 
 use awam::analysis::Analyzer;
 use awam::machine::Machine;
+use awam::obs::RecordingTracer;
 use awam::syntax::parse_program;
 use awam::wam::compile_program;
-use proptest::prelude::*;
+
+/// xorshift64* — deterministic, seedable, good enough for fuzzing.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform in `0..n`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
 
 /// A compact generator language for random programs: predicates `p0…pN`
 /// with random clause shapes over a small vocabulary.
@@ -48,58 +75,75 @@ enum GenGoal {
     Cut,
 }
 
-fn gen_term() -> impl Strategy<Value = GenTerm> {
-    let leaf = prop_oneof![
-        (0u8..4).prop_map(GenTerm::Var),
-        (0u8..3).prop_map(GenTerm::Atom),
-        (-3i8..4).prop_map(GenTerm::Int),
-        Just(GenTerm::Nil),
-    ];
-    leaf.prop_recursive(2, 8, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(h, t)| GenTerm::Cons(Box::new(h), Box::new(t))),
-            (0u8..2, prop::collection::vec(inner.clone(), 1..3))
-                .prop_map(|(f, args)| GenTerm::Struct(f, args)),
-        ]
-    })
+fn gen_term(rng: &mut Rng, depth: usize) -> GenTerm {
+    // Compound terms only below the depth cap, with the same leaf mix as
+    // before: Var, Atom, Int, Nil.
+    let compound = depth > 0 && rng.below(3) == 0;
+    if compound {
+        if rng.below(2) == 0 {
+            GenTerm::Cons(
+                Box::new(gen_term(rng, depth - 1)),
+                Box::new(gen_term(rng, depth - 1)),
+            )
+        } else {
+            let f = rng.below(2) as u8;
+            let n = 1 + rng.below(2) as usize;
+            let args = (0..n).map(|_| gen_term(rng, depth - 1)).collect();
+            GenTerm::Struct(f, args)
+        }
+    } else {
+        match rng.below(4) {
+            0 => GenTerm::Var(rng.below(4) as u8),
+            1 => GenTerm::Atom(rng.below(3) as u8),
+            2 => GenTerm::Int(rng.below(7) as i8 - 3),
+            _ => GenTerm::Nil,
+        }
+    }
 }
 
-fn gen_goal(num_preds: u8) -> impl Strategy<Value = GenGoal> {
-    prop_oneof![
-        (0..num_preds, prop::collection::vec(gen_term(), 0..3))
-            .prop_map(|(p, args)| GenGoal::Call(p, args)),
-        (gen_term(), gen_term()).prop_map(|(a, b)| GenGoal::UnifyGoal(a, b)),
-        (0u8..4, gen_term()).prop_map(|(v, t)| GenGoal::IsPlus(v, t)),
-        (gen_term(), gen_term()).prop_map(|(a, b)| GenGoal::Less(a, b)),
-        Just(GenGoal::Cut),
-    ]
+fn gen_goal(rng: &mut Rng, num_preds: u64) -> GenGoal {
+    match rng.below(5) {
+        0 => {
+            let p = rng.below(num_preds) as u8;
+            let n = rng.below(3) as usize;
+            let args = (0..n).map(|_| gen_term(rng, 2)).collect();
+            GenGoal::Call(p, args)
+        }
+        1 => GenGoal::UnifyGoal(gen_term(rng, 2), gen_term(rng, 2)),
+        2 => GenGoal::IsPlus(rng.below(4) as u8, gen_term(rng, 2)),
+        3 => GenGoal::Less(gen_term(rng, 2), gen_term(rng, 2)),
+        _ => GenGoal::Cut,
+    }
 }
 
-fn gen_program() -> impl Strategy<Value = GenProgram> {
-    let num_preds = 3u8;
-    let clause = (
-        prop::collection::vec(gen_term(), 0..3),
-        prop::collection::vec(gen_goal(num_preds), 0..3),
-    )
-        .prop_map(|(head_args, goals)| GenClause { head_args, goals });
-    let pred = prop::collection::vec(clause, 1..3)
-        .prop_map(|clauses| GenPred { arity: 0, clauses });
-    prop::collection::vec(pred, num_preds as usize..=num_preds as usize).prop_map(|mut preds| {
-        // Arity of each predicate = the head arg count of its first
-        // clause; pad/truncate the others to match.
-        for p in &mut preds {
-            let arity = p.clauses[0].head_args.len();
-            p.arity = arity;
-            for c in &mut p.clauses {
-                c.head_args.truncate(arity);
-                while c.head_args.len() < arity {
-                    c.head_args.push(GenTerm::Var(3));
-                }
+fn gen_program(rng: &mut Rng) -> GenProgram {
+    const NUM_PREDS: u64 = 3;
+    let mut preds: Vec<GenPred> = (0..NUM_PREDS)
+        .map(|_| {
+            let num_clauses = 1 + rng.below(2) as usize;
+            let clauses = (0..num_clauses)
+                .map(|_| {
+                    let head_args = (0..rng.below(3)).map(|_| gen_term(rng, 2)).collect();
+                    let goals = (0..rng.below(3)).map(|_| gen_goal(rng, NUM_PREDS)).collect();
+                    GenClause { head_args, goals }
+                })
+                .collect();
+            GenPred { arity: 0, clauses }
+        })
+        .collect();
+    // Arity of each predicate = the head arg count of its first clause;
+    // pad/truncate the others to match.
+    for p in &mut preds {
+        let arity = p.clauses[0].head_args.len();
+        p.arity = arity;
+        for c in &mut p.clauses {
+            c.head_args.truncate(arity);
+            while c.head_args.len() < arity {
+                c.head_args.push(GenTerm::Var(3));
             }
         }
-        GenProgram { preds }
-    })
+    }
+    GenProgram { preds }
 }
 
 fn term_src(t: &GenTerm) -> String {
@@ -160,19 +204,19 @@ fn program_src(g: &GenProgram) -> String {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn random_programs_analyze_soundly(g in gen_program()) {
+#[test]
+fn random_programs_analyze_soundly() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(0x9e37_79b9_7f4a_7c15 ^ (case.wrapping_mul(0xabcd_1234_5678_9abd)));
+        let g = gen_program(&mut rng);
         let src = program_src(&g);
         let program = match parse_program(&src) {
             Ok(p) => p,
-            Err(e) => panic!("generator produced unparseable source: {e}\n{src}"),
+            Err(e) => panic!("case {case}: generator produced unparseable source: {e}\n{src}"),
         };
         let compiled = match compile_program(&program) {
             Ok(c) => c,
-            Err(e) => panic!("generator produced uncompilable source: {e}\n{src}"),
+            Err(e) => panic!("case {case}: generator produced uncompilable source: {e}\n{src}"),
         };
 
         // Analysis must terminate (finite domain) with `any` entries.
@@ -180,12 +224,14 @@ proptest! {
         let mut analyzer = Analyzer::compile(&program).expect("compile");
         let analysis = match analyzer.analyze_query("p0", &entry_specs) {
             Ok(a) => a,
-            Err(e) => panic!("analysis failed to terminate: {e}\n{src}"),
+            Err(e) => panic!("case {case}: analysis failed to terminate: {e}\n{src}"),
         };
 
-        // Concrete run (step-capped; arithmetic errors are fine), traced.
+        // Concrete run (step-capped; arithmetic errors are fine), traced
+        // through the shared Tracer interface.
+        let mut tracer = RecordingTracer::default();
         let mut machine = Machine::new(&compiled);
-        machine.trace_calls = true;
+        machine.set_tracer(&mut tracer);
         machine.set_max_steps(50_000);
         let arity = g.preds[0].arity;
         let query = if arity == 0 {
@@ -195,19 +241,20 @@ proptest! {
             format!("p0({})", args.join(", "))
         };
         let _ = machine.query_str(&query);
+        drop(machine);
 
         // Soundness: every traced call covered.
-        for (pid, args) in machine.call_trace.iter().take(2_000) {
+        for (pid, args) in tracer.calls().iter().take(2_000) {
             let pa = analysis.predicates.iter().find(|p| p.pred == *pid);
             let Some(pa) = pa else {
                 panic!(
-                    "predicate {} called concretely but never analyzed\n{src}",
+                    "case {case}: predicate {} called concretely but never analyzed\n{src}",
                     compiled.predicates[*pid].key.display(&compiled.interner)
                 );
             };
-            prop_assert!(
+            assert!(
                 pa.entries.iter().any(|(cp, _)| cp.covers(args)),
-                "uncovered concrete call to {} with {:?}\nprogram:\n{}",
+                "case {case}: uncovered concrete call to {} with {:?}\nprogram:\n{}",
                 pa.name,
                 args,
                 src

@@ -1,13 +1,13 @@
 //! Property-based end-to-end soundness: for randomly generated ground
 //! inputs, the concrete solution of a benchmark-style predicate must be
 //! covered by the abstract success summary inferred for the matching
-//! entry pattern.
+//! entry pattern. Inputs come from a deterministic inline PRNG (the
+//! workspace builds offline, so no proptest).
 
 use awam::analysis::Analyzer;
 use awam::machine::Machine;
 use awam::syntax::parse_program;
 use awam::wam::compile_program;
-use proptest::prelude::*;
 
 const LIB: &str = "
     app([], L, L).
@@ -66,32 +66,68 @@ fn check(query: &str, entry: &str, specs: &[&str], out_var: &str) {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Splitmix64 — a tiny deterministic generator for the random lists.
+struct Rng(u64);
 
-    #[test]
-    fn nrev_outputs_covered(items in prop::collection::vec(-20i64..20, 0..12)) {
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `lo..hi`.
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % (hi - lo) as u64) as i64
+    }
+
+    /// A random list with `0..max_len` elements in `lo..hi`.
+    fn int_vec(&mut self, max_len: u64, lo: i64, hi: i64) -> Vec<i64> {
+        let n = self.next() % max_len;
+        (0..n).map(|_| self.range(lo, hi)).collect()
+    }
+}
+
+const CASES: u64 = 48;
+
+#[test]
+fn nrev_outputs_covered() {
+    let mut rng = Rng(1);
+    for _ in 0..CASES {
+        let items = rng.int_vec(12, -20, 20);
         let query = format!("nrev({}, Out)", int_list(&items));
         check(&query, "nrev", &["glist", "var"], "Out");
     }
+}
 
-    #[test]
-    fn append_outputs_covered(
-        a in prop::collection::vec(-9i64..9, 0..8),
-        b in prop::collection::vec(-9i64..9, 0..8),
-    ) {
+#[test]
+fn append_outputs_covered() {
+    let mut rng = Rng(2);
+    for _ in 0..CASES {
+        let a = rng.int_vec(8, -9, 9);
+        let b = rng.int_vec(8, -9, 9);
         let query = format!("app({}, {}, Out)", int_list(&a), int_list(&b));
         check(&query, "app", &["glist", "glist", "var"], "Out");
     }
+}
 
-    #[test]
-    fn qsort_outputs_covered(items in prop::collection::vec(0i64..50, 0..10)) {
+#[test]
+fn qsort_outputs_covered() {
+    let mut rng = Rng(3);
+    for _ in 0..CASES {
+        let items = rng.int_vec(10, 0, 50);
         let query = format!("qsort({}, Out, [])", int_list(&items));
         check(&query, "qsort", &["glist", "var", "nil"], "Out");
     }
+}
 
-    #[test]
-    fn len_outputs_covered(items in prop::collection::vec(0i64..5, 0..10)) {
+#[test]
+fn len_outputs_covered() {
+    let mut rng = Rng(4);
+    for _ in 0..CASES {
+        let items = rng.int_vec(10, 0, 5);
         let query = format!("len({}, Out)", int_list(&items));
         check(&query, "len", &["glist", "var"], "Out");
     }
