@@ -113,7 +113,10 @@ impl AbsLeaf {
 
     /// Whether every instance is ground.
     pub fn is_ground(self) -> bool {
-        matches!(self, AbsLeaf::Ground | AbsLeaf::Const | AbsLeaf::Atom | AbsLeaf::Integer)
+        matches!(
+            self,
+            AbsLeaf::Ground | AbsLeaf::Const | AbsLeaf::Atom | AbsLeaf::Integer
+        )
     }
 
     /// Whether the denoted set is closed under instantiation (binding a

@@ -71,7 +71,11 @@ impl Pattern {
     /// builds the invariant is checked.
     pub fn from_canonical(nodes: Vec<PNode>, roots: Vec<NodeId>) -> Pattern {
         let p = Pattern { nodes, roots };
-        debug_assert_eq!(p, p.canonicalize(), "from_canonical got a non-canonical graph");
+        debug_assert_eq!(
+            p,
+            p.canonicalize(),
+            "from_canonical got a non-canonical graph"
+        );
         p
     }
 
@@ -155,12 +159,7 @@ impl Pattern {
         out
     }
 
-    fn canon_node(
-        &self,
-        id: NodeId,
-        map: &mut Vec<Option<NodeId>>,
-        out: &mut Pattern,
-    ) -> NodeId {
+    fn canon_node(&self, id: NodeId, map: &mut Vec<Option<NodeId>>, out: &mut Pattern) -> NodeId {
         let shareable = !self.node_is_ground(id);
         if shareable {
             if let Some(new) = map[id] {
@@ -179,10 +178,7 @@ impl Pattern {
             PNode::Int(i) => PNode::Int(*i),
             PNode::Atom(a) => PNode::Atom(*a),
             PNode::Struct(f, args) => {
-                let args = args
-                    .iter()
-                    .map(|&a| self.canon_node(a, map, out))
-                    .collect();
+                let args = args.iter().map(|&a| self.canon_node(a, map, out)).collect();
                 PNode::Struct(*f, args)
             }
             PNode::List(e) => PNode::List(self.canon_node(*e, map, out)),
@@ -204,10 +200,7 @@ impl Pattern {
         let mut ctx = LubCtx {
             sides: [self, other],
             memo: Vec::new(),
-            occurrences: [
-                vec![0; self.nodes.len()],
-                vec![0; other.nodes.len()],
-            ],
+            occurrences: [vec![0; self.nodes.len()], vec![0; other.nodes.len()]],
             out: Pattern {
                 nodes: Vec::new(),
                 roots: Vec::new(),
@@ -473,10 +466,7 @@ impl LubCtx<'_> {
     }
 
     fn compute(&mut self, group: &[(usize, NodeId)]) -> PNode {
-        let views: Vec<&PNode> = group
-            .iter()
-            .map(|&(s, n)| self.sides[s].node(n))
-            .collect();
+        let views: Vec<&PNode> = group.iter().map(|&(s, n)| self.sides[s].node(n)).collect();
 
         // All identical integers / atoms.
         if let PNode::Int(i) = views[0] {
@@ -673,13 +663,7 @@ mod tests {
     #[test]
     fn canonical_equality_is_structural() {
         // Build the same shape with scrambled node order.
-        let a = Pattern::new(
-            vec![
-                PNode::Leaf(AbsLeaf::Ground),
-                PNode::List(0),
-            ],
-            vec![1],
-        );
+        let a = Pattern::new(vec![PNode::Leaf(AbsLeaf::Ground), PNode::List(0)], vec![1]);
         let b = Pattern::new(
             vec![
                 PNode::List(2),

@@ -196,16 +196,16 @@ mod tests {
         assert_eq!(spec(&["glist"]).weaken(NO_LISTS), spec(&["g"]));
         assert_eq!(spec(&["list(any)"]).weaken(NO_LISTS), spec(&["nv"]));
         // Leaves survive untouched.
-        assert_eq!(spec(&["var", "atom"]).weaken(NO_LISTS), spec(&["var", "atom"]));
+        assert_eq!(
+            spec(&["var", "atom"]).weaken(NO_LISTS),
+            spec(&["var", "atom"])
+        );
     }
 
     #[test]
     fn structs_collapse_but_cons_can_stay_as_list_info() {
         let f = prolog_syntax::Interner::new().intern("f");
-        let ground_struct = Pattern::new(
-            vec![PNode::Int(1), PNode::Struct(f, vec![0])],
-            vec![1],
-        );
+        let ground_struct = Pattern::new(vec![PNode::Int(1), PNode::Struct(f, vec![0])], vec![1]);
         assert_eq!(ground_struct.weaken(NO_STRUCTS), spec(&["g"]));
         let open_struct = Pattern::new(
             vec![PNode::Leaf(AbsLeaf::Var), PNode::Struct(f, vec![0])],
@@ -232,7 +232,10 @@ mod tests {
         let shared = Pattern::new(vec![PNode::Leaf(AbsLeaf::Var)], vec![0, 0]);
         assert_eq!(shared.weaken(NO_ALIASING), spec(&["any", "any"]));
         // Unshared vars keep their freeness.
-        assert_eq!(spec(&["var", "var"]).weaken(NO_ALIASING), spec(&["var", "var"]));
+        assert_eq!(
+            spec(&["var", "var"]).weaken(NO_ALIASING),
+            spec(&["var", "var"])
+        );
         // Shared non-var leaves just unshare.
         let shared_any = Pattern::new(vec![PNode::Leaf(AbsLeaf::Any)], vec![0, 0]);
         assert_eq!(shared_any.weaken(NO_ALIASING), spec(&["any", "any"]));

@@ -155,8 +155,8 @@ impl BaselineAnalyzer {
         name: &str,
         specs: &[&str],
     ) -> Result<BaselineAnalysis, BaselineError> {
-        let entry = Pattern::from_spec(specs)
-            .ok_or_else(|| BaselineError::BadSpec(specs.join(", ")))?;
+        let entry =
+            Pattern::from_spec(specs).ok_or_else(|| BaselineError::BadSpec(specs.join(", ")))?;
         self.analyze(name, &entry)
     }
 
@@ -354,10 +354,8 @@ impl Interp<'_> {
             match goal {
                 Goal::Cut => {} // sound over-approximation: true
                 Goal::Builtin(b, args) => {
-                    let refs: Vec<Ref> = args
-                        .iter()
-                        .map(|t| self.build_arg(t, &mut frame))
-                        .collect();
+                    let refs: Vec<Ref> =
+                        args.iter().map(|t| self.build_arg(t, &mut frame)).collect();
                     if !self.abstract_builtin(*b, &refs) {
                         return Ok(false);
                     }
@@ -368,10 +366,8 @@ impl Interp<'_> {
                             pred: key.display(&self.norm.interner),
                         }
                     })?;
-                    let refs: Vec<Ref> = args
-                        .iter()
-                        .map(|t| self.build_arg(t, &mut frame))
-                        .collect();
+                    let refs: Vec<Ref> =
+                        args.iter().map(|t| self.build_arg(t, &mut frame)).collect();
                     if !self.solve(callee, &refs, depth + 1)? {
                         return Ok(false);
                     }
@@ -443,16 +439,20 @@ impl Interp<'_> {
             Atom => self.type_test(args[0], AbsLeaf::Atom),
             Integer | Number => self.type_test(args[0], AbsLeaf::Integer),
             Atomic => self.type_test(args[0], AbsLeaf::Const),
-            Compound => matches!(
-                self.store.node(args[0]),
-                crate::store::BNode::Struct(..) | crate::store::BNode::ListOf(_)
-            ) || matches!(
-                self.store.node(args[0]),
-                crate::store::BNode::Leaf(l) if l.admits_struct() || l.admits_list()
-            ),
+            Compound => {
+                matches!(
+                    self.store.node(args[0]),
+                    crate::store::BNode::Struct(..) | crate::store::BNode::ListOf(_)
+                ) || matches!(
+                    self.store.node(args[0]),
+                    crate::store::BNode::Leaf(l) if l.admits_struct() || l.admits_list()
+                )
+            }
             FunctorOf => {
                 let c = self.store.alloc(crate::store::BNode::Leaf(AbsLeaf::Const));
-                let i = self.store.alloc(crate::store::BNode::Leaf(AbsLeaf::Integer));
+                let i = self
+                    .store
+                    .alloc(crate::store::BNode::Leaf(AbsLeaf::Integer));
                 self.store.unify(args[1], c) && self.store.unify(args[2], i)
             }
             Arg => {

@@ -6,6 +6,7 @@
 //! term representation; nothing here is specialized per program point.
 
 use absdom::{AbsLeaf, NodeId, PNode, Pattern};
+use awam_exec::{TrailMark, ValueTrail};
 use prolog_syntax::{Symbol, Term};
 use std::collections::HashMap;
 
@@ -35,7 +36,8 @@ pub enum BNode {
 #[derive(Debug, Default)]
 pub struct Store {
     nodes: Vec<BNode>,
-    trail: Vec<(Ref, BNode)>,
+    /// The substrate's value-trail discipline over the node arena.
+    trail: ValueTrail<BNode>,
     /// Number of unification steps performed (cost accounting).
     pub unify_steps: u64,
 }
@@ -47,17 +49,13 @@ impl Store {
     }
 
     /// Current trail mark, for later [`Store::undo_to`].
-    pub fn mark(&self) -> (usize, usize) {
-        (self.trail.len(), self.nodes.len())
+    pub fn mark(&self) -> TrailMark {
+        self.trail.mark(self.nodes.len())
     }
 
     /// Undo bindings and allocations past `mark`.
-    pub fn undo_to(&mut self, mark: (usize, usize)) {
-        while self.trail.len() > mark.0 {
-            let (r, old) = self.trail.pop().expect("non-empty");
-            self.nodes[r] = old;
-        }
-        self.nodes.truncate(mark.1);
+    pub fn undo_to(&mut self, mark: TrailMark) {
+        self.trail.undo_to(mark, &mut self.nodes);
     }
 
     /// Allocate a node.
@@ -72,7 +70,7 @@ impl Store {
     }
 
     fn bind(&mut self, r: Ref, node: BNode) {
-        self.trail.push((r, self.nodes[r].clone()));
+        self.trail.record(r, self.nodes[r].clone());
         self.nodes[r] = node;
     }
 
@@ -116,8 +114,7 @@ impl Store {
             Term::Int(i) => self.alloc(BNode::Int(*i)),
             Term::Atom(a) => self.alloc(BNode::Atom(*a)),
             Term::Struct(f, args) => {
-                let children: Vec<Ref> =
-                    args.iter().map(|a| self.build(a, frame)).collect();
+                let children: Vec<Ref> = args.iter().map(|a| self.build(a, frame)).collect();
                 self.alloc(BNode::Struct(*f, children))
             }
         }
@@ -167,9 +164,8 @@ impl Store {
                         // instance and recurse.
                         let child = l.instance_child();
                         let rr = self.resolve(r);
-                        let children: Vec<Ref> = (0..arity)
-                            .map(|_| self.alloc_child(child))
-                            .collect();
+                        let children: Vec<Ref> =
+                            (0..arity).map(|_| self.alloc_child(child)).collect();
                         self.bind(rr, BNode::Struct(f, children.clone()));
                         args.iter()
                             .zip(children)
@@ -210,16 +206,14 @@ impl Store {
                 true
             }
             BNode::Atom(b) => a == b,
-            BNode::Leaf(l)
-                if l.admits_atom() => {
-                    self.bind(rr, BNode::Atom(a));
-                    true
-                }
-            BNode::ListOf(_)
-                if a == absdom::nil_symbol() => {
-                    self.bind(rr, BNode::Atom(a));
-                    true
-                }
+            BNode::Leaf(l) if l.admits_atom() => {
+                self.bind(rr, BNode::Atom(a));
+                true
+            }
+            BNode::ListOf(_) if a == absdom::nil_symbol() => {
+                self.bind(rr, BNode::Atom(a));
+                true
+            }
             _ => false,
         }
     }
@@ -232,11 +226,10 @@ impl Store {
                 true
             }
             BNode::Int(j) => i == j,
-            BNode::Leaf(l)
-                if l.admits_integer() => {
-                    self.bind(rr, BNode::Int(i));
-                    true
-                }
+            BNode::Leaf(l) if l.admits_integer() => {
+                self.bind(rr, BNode::Int(i));
+                true
+            }
             _ => false,
         }
     }
@@ -269,7 +262,11 @@ impl Store {
                 }
             },
             (BNode::Leaf(l), BNode::Atom(s)) | (BNode::Atom(s), BNode::Leaf(l)) => {
-                let target = if matches!(self.nodes[ra], BNode::Leaf(_)) { ra } else { rb };
+                let target = if matches!(self.nodes[ra], BNode::Leaf(_)) {
+                    ra
+                } else {
+                    rb
+                };
                 if l.admits_atom() {
                     self.bind(target, BNode::Atom(s));
                     true
@@ -278,7 +275,11 @@ impl Store {
                 }
             }
             (BNode::Leaf(l), BNode::Int(i)) | (BNode::Int(i), BNode::Leaf(l)) => {
-                let target = if matches!(self.nodes[ra], BNode::Leaf(_)) { ra } else { rb };
+                let target = if matches!(self.nodes[ra], BNode::Leaf(_)) {
+                    ra
+                } else {
+                    rb
+                };
                 if l.admits_integer() {
                     self.bind(target, BNode::Int(i));
                     true
@@ -360,7 +361,11 @@ impl Store {
             }
             (BNode::ListOf(e), BNode::Atom(s)) | (BNode::Atom(s), BNode::ListOf(e)) => {
                 let _ = e;
-                let list_ref = if matches!(self.nodes[ra], BNode::ListOf(_)) { ra } else { rb };
+                let list_ref = if matches!(self.nodes[ra], BNode::ListOf(_)) {
+                    ra
+                } else {
+                    rb
+                };
                 if s == absdom::nil_symbol() {
                     self.bind(list_ref, BNode::Atom(s));
                     true
@@ -371,9 +376,7 @@ impl Store {
             (BNode::Atom(x), BNode::Atom(y)) => x == y,
             (BNode::Int(x), BNode::Int(y)) => x == y,
             (BNode::Struct(f, xs), BNode::Struct(g, ys)) => {
-                f == g
-                    && xs.len() == ys.len()
-                    && xs.iter().zip(ys).all(|(&x, y)| self.unify(x, y))
+                f == g && xs.len() == ys.len() && xs.iter().zip(ys).all(|(&x, y)| self.unify(x, y))
             }
             _ => false,
         }
@@ -412,8 +415,7 @@ impl Store {
             BNode::Atom(_) => leaf.admits_atom(),
             BNode::Int(_) => leaf.admits_integer(),
             BNode::Struct(f, children) => {
-                if !(leaf.admits_struct() || (is_cons(f, children.len()) && leaf.admits_list()))
-                {
+                if !(leaf.admits_struct() || (is_cons(f, children.len()) && leaf.admits_list())) {
                     return false;
                 }
                 let child = if leaf == AbsLeaf::Ground {
@@ -473,7 +475,11 @@ impl Store {
         }
         if depth >= depth_k {
             let leaf = self.summarize(rr, &mut Vec::new());
-            let leaf = if leaf == AbsLeaf::Var { AbsLeaf::Any } else { leaf };
+            let leaf = if leaf == AbsLeaf::Var {
+                AbsLeaf::Any
+            } else {
+                leaf
+            };
             nodes.push(PNode::Leaf(leaf));
             return nodes.len() - 1;
         }

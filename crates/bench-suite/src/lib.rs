@@ -181,17 +181,47 @@ pub const TABLE2_PLATFORMS: &[(&str, f64)] = &[
 /// The paper's Table 2 per-benchmark speed ratios (rows, in `all()` order;
 /// columns in [`TABLE2_PLATFORMS`] order, starting from `Ours 3/60`).
 pub const TABLE2_RATIOS: &[(&str, [f64; 8])] = &[
-    ("log10", [75.0, 37.0, 49.0, 86.0, 284.0, 363.0, 500.0, 630.0]),
-    ("ops8", [129.0, 63.0, 59.0, 139.0, 469.0, 612.0, 833.0, 1034.0]),
-    ("times10", [62.0, 30.0, 37.0, 71.0, 231.0, 294.0, 400.0, 500.0]),
-    ("divide10", [57.0, 28.0, 34.0, 65.0, 215.0, 266.0, 372.0, 453.0]),
-    ("tak", [575.0, 288.0, 383.0, 639.0, 2091.0, 3286.0, 3833.0, 5750.0]),
-    ("nreverse", [82.0, 41.0, 56.0, 108.0, 297.0, 333.0, 595.0, 579.0]),
-    ("qsort", [77.0, 38.0, 45.0, 95.0, 281.0, 318.0, 548.0, 540.0]),
-    ("query", [163.0, 84.0, 60.0, 183.0, 618.0, 894.0, 1167.0, 1556.0]),
+    (
+        "log10",
+        [75.0, 37.0, 49.0, 86.0, 284.0, 363.0, 500.0, 630.0],
+    ),
+    (
+        "ops8",
+        [129.0, 63.0, 59.0, 139.0, 469.0, 612.0, 833.0, 1034.0],
+    ),
+    (
+        "times10",
+        [62.0, 30.0, 37.0, 71.0, 231.0, 294.0, 400.0, 500.0],
+    ),
+    (
+        "divide10",
+        [57.0, 28.0, 34.0, 65.0, 215.0, 266.0, 372.0, 453.0],
+    ),
+    (
+        "tak",
+        [575.0, 288.0, 383.0, 639.0, 2091.0, 3286.0, 3833.0, 5750.0],
+    ),
+    (
+        "nreverse",
+        [82.0, 41.0, 56.0, 108.0, 297.0, 333.0, 595.0, 579.0],
+    ),
+    (
+        "qsort",
+        [77.0, 38.0, 45.0, 95.0, 281.0, 318.0, 548.0, 540.0],
+    ),
+    (
+        "query",
+        [163.0, 84.0, 60.0, 183.0, 618.0, 894.0, 1167.0, 1556.0],
+    ),
     ("zebra", [14.0, 5.7, 9.4, 16.0, 55.0, 63.0, 95.0, 107.0]),
-    ("serialise", [79.0, 39.0, 47.0, 94.0, 296.0, 375.0, 538.0, 656.0]),
-    ("queens_8", [364.0, 182.0, 200.0, 448.0, 1364.0, 1935.0, 2500.0, 3333.0]),
+    (
+        "serialise",
+        [79.0, 39.0, 47.0, 94.0, 296.0, 375.0, 538.0, 656.0],
+    ),
+    (
+        "queens_8",
+        [364.0, 182.0, 200.0, 448.0, 1364.0, 1935.0, 2500.0, 3333.0],
+    ),
 ];
 
 #[cfg(test)]
@@ -258,8 +288,8 @@ mod tests {
     fn all_programs_compile_to_wam() {
         for b in all() {
             let program = b.parse().unwrap();
-            let compiled = wam::compile_program(&program)
-                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let compiled =
+                wam::compile_program(&program).unwrap_or_else(|e| panic!("{}: {e}", b.name));
             assert!(compiled.code_size() > 10, "{}", b.name);
         }
     }

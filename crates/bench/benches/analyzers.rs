@@ -90,39 +90,54 @@ fn domain_micro() {
     report(
         "domain",
         "pattern_lub",
-        time_us(|| {
-            black_box(p.lub(&q));
-        }, MIN_MS),
+        time_us(
+            || {
+                black_box(p.lub(&q));
+            },
+            MIN_MS,
+        ),
     );
     report(
         "domain",
         "pattern_eq",
-        time_us(|| {
-            black_box(p == q);
-        }, MIN_MS),
+        time_us(
+            || {
+                black_box(p == q);
+            },
+            MIN_MS,
+        ),
     );
     let mut heap = Vec::new();
     let cells = awam_core::extract::materialize(&mut heap, &p);
     report(
         "domain",
         "extract",
-        time_us(|| {
-            black_box(awam_core::extract::extract(&heap, &cells, 4));
-        }, MIN_MS),
+        time_us(
+            || {
+                black_box(awam_core::extract::extract(&heap, &cells, 4));
+            },
+            MIN_MS,
+        ),
     );
     report(
         "domain",
         "match_hit",
-        time_us(|| {
-            black_box(awam_core::matcher::matches(&heap, &cells, 4, &p));
-        }, MIN_MS),
+        time_us(
+            || {
+                black_box(awam_core::matcher::matches(&heap, &cells, 4, &p));
+            },
+            MIN_MS,
+        ),
     );
     report(
         "domain",
         "match_miss",
-        time_us(|| {
-            black_box(awam_core::matcher::matches(&heap, &cells, 4, &q));
-        }, MIN_MS),
+        time_us(
+            || {
+                black_box(awam_core::matcher::matches(&heap, &cells, 4, &q));
+            },
+            MIN_MS,
+        ),
     );
 }
 

@@ -17,7 +17,9 @@ fn main() {
         let mut times = Vec::new();
         let mut stats = awam_obs::TableStats::default();
         for et in [EtImpl::Linear, EtImpl::Hashed] {
-            let mut analyzer = Analyzer::compile(&program).expect("compile").with_et_impl(et);
+            let mut analyzer = Analyzer::compile(&program)
+                .expect("compile")
+                .with_et_impl(et);
             let analysis = analyzer.analyze(b.entry, &entry).expect("analysis");
             if et == EtImpl::Linear {
                 stats = analysis.table_stats;

@@ -19,7 +19,10 @@ fn main() {
         let entry = Pattern::from_spec(b.entry_specs).expect("entry");
         let mut times = Vec::new();
         let mut execs = Vec::new();
-        for strategy in [IterationStrategy::GlobalRestart, IterationStrategy::Dependency] {
+        for strategy in [
+            IterationStrategy::GlobalRestart,
+            IterationStrategy::Dependency,
+        ] {
             let mut analyzer = Analyzer::compile(&program)
                 .expect("compile")
                 .with_strategy(strategy);

@@ -4,8 +4,8 @@
 fn main() {
     for b in bench_suite::all() {
         let program = b.parse().expect("parse");
-        let hosted = hosted::HostedAnalyzer::build(&program, b.entry, b.entry_specs)
-            .expect("build");
+        let hosted =
+            hosted::HostedAnalyzer::build(&program, b.entry, b.entry_specs).expect("build");
         match hosted.run() {
             Ok(run) => println!(
                 "{:<10} succeeded={} steps={}",

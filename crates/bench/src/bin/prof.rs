@@ -7,7 +7,9 @@
 //! ```
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "serialise".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "serialise".into());
     let reps: u32 = std::env::args()
         .nth(2)
         .and_then(|s| s.parse().ok())
@@ -34,7 +36,10 @@ fn main() {
     println!("total/run:    {:.1} us", total as f64 / 1000.0);
     println!("calls/run:    {}", calls / u64::from(reps));
     println!("extract:      {:.1} us", machine.extract_ns as f64 / 1000.0);
-    println!("materialize:  {:.1} us", machine.materialize_ns as f64 / 1000.0);
+    println!(
+        "materialize:  {:.1} us",
+        machine.materialize_ns as f64 / 1000.0
+    );
     println!("table:        {:.1} us", machine.table_ns as f64 / 1000.0);
-    println!("exec instrs:  {}", machine.exec_count);
+    println!("exec instrs:  {}", machine.exec_count());
 }

@@ -13,9 +13,7 @@ fn main() {
     let rows = awam_bench::table1_rows();
     print!("{}", awam_bench::render_table1(&rows));
     if let Some(i) = args.iter().position(|a| a == "--json") {
-        let path = args
-            .get(i + 1)
-            .map_or("BENCH_TABLE1.json", String::as_str);
+        let path = args.get(i + 1).map_or("BENCH_TABLE1.json", String::as_str);
         let doc = awam_bench::rows_to_json(&rows);
         std::fs::write(path, doc.emit_pretty()).expect("write json");
         eprintln!("wrote {path}");

@@ -126,8 +126,8 @@ pub fn run_benchmark(b: &Benchmark, depth_k: usize, et: EtImpl) -> Row {
         },
         80,
     );
-    let hosted_an = HostedAnalyzer::build(&program, b.entry, b.entry_specs)
-        .expect("hosted analyzer builds");
+    let hosted_an =
+        HostedAnalyzer::build(&program, b.entry, b.entry_specs).expect("hosted analyzer builds");
     let hosted_steps = hosted_an.run().expect("hosted analysis runs").steps;
     let hosted_us = time_us(
         || {
@@ -261,7 +261,10 @@ pub fn render_table2(rows: &[Row]) -> String {
         out.push_str(&format!(" {:>12}", name));
     }
     out.push('\n');
-    out.push_str(&format!("{}\n", "-".repeat(10 + 13 * (platforms.len() - 1))));
+    out.push_str(&format!(
+        "{}\n",
+        "-".repeat(10 + 13 * (platforms.len() - 1))
+    ));
     for r in rows {
         out.push_str(&format!("{:<10}", r.name));
         for (_, index) in &platforms[1..] {

@@ -45,6 +45,37 @@ impl ACell {
     }
 }
 
+/// The substrate's cell contract: the six standard tags build exactly as
+/// in the concrete machine, and only plain `Ref` cells are chased by
+/// `deref` — `Abs`/`AbsList` stop the chase like values do, so their heap
+/// address is reported to the instantiation sites that overwrite them.
+impl awam_exec::CellRepr for ACell {
+    fn mk_ref(addr: usize) -> Self {
+        ACell::Ref(addr)
+    }
+    fn mk_str(addr: usize) -> Self {
+        ACell::Str(addr)
+    }
+    fn mk_lis(addr: usize) -> Self {
+        ACell::Lis(addr)
+    }
+    fn mk_con(name: Symbol) -> Self {
+        ACell::Con(name)
+    }
+    fn mk_int(value: i64) -> Self {
+        ACell::Int(value)
+    }
+    fn mk_fun(name: Symbol, arity: u16) -> Self {
+        ACell::Fun(name, arity)
+    }
+    fn as_ref_addr(self) -> Option<usize> {
+        match self {
+            ACell::Ref(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

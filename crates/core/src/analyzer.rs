@@ -1,8 +1,8 @@
 //! The public analysis API.
 
 use crate::machine::{AbstractMachine, AnalysisError};
-use crate::IterationStrategy;
 use crate::table::{Entry, EtImpl};
+use crate::IterationStrategy;
 use absdom::{AbsLeaf, DomainConfig, Pattern, DEFAULT_TERM_DEPTH};
 use awam_obs::{Json, MachineStats, OpcodeCounts, Stopwatch, TableStats, Tracer};
 use prolog_syntax::Program;
@@ -155,11 +155,7 @@ impl Analyzer {
     ///
     /// [`AnalysisError::UnknownPredicate`], [`AnalysisError::ArityMismatch`],
     /// or resource-bound errors.
-    pub fn analyze(
-        &mut self,
-        name: &str,
-        entry: &Pattern,
-    ) -> Result<Analysis, AnalysisError> {
+    pub fn analyze(&mut self, name: &str, entry: &Pattern) -> Result<Analysis, AnalysisError> {
         self.analyze_with(name, entry, None)
     }
 
@@ -185,12 +181,11 @@ impl Analyzer {
         entry: &Pattern,
         tracer: Option<&mut dyn Tracer>,
     ) -> Result<Analysis, AnalysisError> {
-        let pred = self
-            .program
-            .predicate(name, entry.arity())
-            .ok_or_else(|| AnalysisError::UnknownPredicate {
+        let pred = self.program.predicate(name, entry.arity()).ok_or_else(|| {
+            AnalysisError::UnknownPredicate {
                 pred: format!("{name}/{}", entry.arity()),
-            })?;
+            }
+        })?;
         let expected = self.program.predicates[pred].key.arity;
         if expected != entry.arity() {
             return Err(AnalysisError::ArityMismatch {
@@ -233,7 +228,9 @@ impl Analyzer {
             .filter(|(_, &ns)| ns > 0)
             .map(|(id, &ns)| {
                 (
-                    self.program.predicates[id].key.display(&self.program.interner),
+                    self.program.predicates[id]
+                        .key
+                        .display(&self.program.interner),
                     ns,
                 )
             })
@@ -242,10 +239,10 @@ impl Analyzer {
         Ok(Analysis {
             predicates,
             iterations,
-            instructions_executed: machine.exec_count,
+            instructions_executed: machine.exec_count(),
             table_stats: *machine.table().stats(),
             machine_stats: machine.machine_stats(),
-            opcodes: machine.opcodes.clone(),
+            opcodes: machine.opcodes().clone(),
             analyze_ns,
             pred_times,
         })
@@ -258,13 +255,9 @@ impl Analyzer {
     ///
     /// [`AnalysisError::BadSpec`] for unknown specs, plus everything
     /// [`Analyzer::analyze`] returns.
-    pub fn analyze_query(
-        &mut self,
-        name: &str,
-        specs: &[&str],
-    ) -> Result<Analysis, AnalysisError> {
-        let entry = Pattern::from_spec(specs)
-            .ok_or_else(|| AnalysisError::BadSpec(specs.join(", ")))?;
+    pub fn analyze_query(&mut self, name: &str, specs: &[&str]) -> Result<Analysis, AnalysisError> {
+        let entry =
+            Pattern::from_spec(specs).ok_or_else(|| AnalysisError::BadSpec(specs.join(", ")))?;
         self.analyze(name, &entry)
     }
 }

@@ -16,24 +16,11 @@ use crate::acell::ACell;
 use absdom::{AbsLeaf, NodeId, PNode, Pattern};
 
 /// Follow reference chains; returns the representative cell and its heap
-/// address when it has one (open cells and compounds always do).
+/// address when it has one (open cells and compounds always do). This is
+/// the shared [`awam_exec::deref`]: `Abs`/`AbsList` cells are not
+/// references, so the chase stops on them with their address reported.
 pub fn deref(heap: &[ACell], cell: ACell) -> (ACell, Option<usize>) {
-    let mut cell = cell;
-    let mut addr = None;
-    loop {
-        match cell {
-            ACell::Ref(a) => {
-                let next = heap[a];
-                if next == ACell::Ref(a) {
-                    return (next, Some(a));
-                }
-                addr = Some(a);
-                cell = next;
-            }
-            ACell::Abs(_) | ACell::AbsList(_) => return (cell, addr),
-            other => return (other, addr),
-        }
-    }
+    awam_exec::deref(heap, cell)
 }
 
 /// Extract the calling/success pattern of `args`, limited to `depth_k`.
@@ -99,7 +86,11 @@ impl Extractor<'_> {
             let leaf = self.summarize(cell, &mut Vec::new());
             // A summarized subterm loses its aliasing links, so it may not
             // claim definite freeness (see DESIGN.md §3.4).
-            let leaf = if leaf == AbsLeaf::Var { AbsLeaf::Any } else { leaf };
+            let leaf = if leaf == AbsLeaf::Var {
+                AbsLeaf::Any
+            } else {
+                leaf
+            };
             return self.push(PNode::Leaf(leaf));
         }
         match cell {
@@ -413,7 +404,9 @@ mod tests {
         let cells = materialize(&mut heap, &p);
         // arg0 = f(X), arg1 = X with the same X.
         let (c0, _) = deref(&heap, cells[0]);
-        let ACell::Str(sp) = c0 else { panic!("expected struct") };
+        let ACell::Str(sp) = c0 else {
+            panic!("expected struct")
+        };
         let (_, inner_addr) = deref(&heap, ACell::Ref(sp + 1));
         let (_, arg1_addr) = deref(&heap, cells[1]);
         assert_eq!(inner_addr, arg1_addr);

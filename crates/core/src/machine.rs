@@ -2,7 +2,9 @@
 //! scheme.
 //!
 //! The machine executes the *same* [`wam::CompiledProgram`] as the
-//! concrete runtime, with the reinterpretations of §4–§5 of the paper:
+//! concrete runtime — through the *same* dispatch loop
+//! ([`awam_exec::step`]) — with the reinterpretations of §4–§5 of the
+//! paper supplied through the [`Interpretation`] trait:
 //!
 //! * `get`/`unify` instructions perform abstract unification; abstract
 //!   leaves instantiate to complex-term instances on the heap
@@ -23,9 +25,11 @@ use crate::extract::{deref, extract, materialize};
 use crate::table::{EtImpl, ExtensionTable};
 use crate::IterationStrategy;
 use absdom::{AbsLeaf, DomainConfig, Pattern};
+use awam_exec::{Flow, Frame, Interpretation, Mode};
 use awam_obs::{MachineStats, OpcodeCounts, Stopwatch, TraceEvent, Tracer};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use wam::{Builtin, CompiledProgram, Instr, Slot};
+use wam::{Builtin, CodeAddr, CompiledProgram, Functor, PredIdx, WamConst};
 
 /// An error produced during analysis (distinct from abstract failure).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -57,7 +61,10 @@ impl fmt::Display for AnalysisError {
                 write!(f, "unknown entry predicate {pred}")
             }
             AnalysisError::ArityMismatch { expected, got } => {
-                write!(f, "entry pattern has {got} arguments, predicate expects {expected}")
+                write!(
+                    f,
+                    "entry pattern has {got} arguments, predicate expects {expected}"
+                )
             }
             AnalysisError::DepthLimit => write!(f, "exploration depth limit exceeded"),
             AnalysisError::IterationLimit => write!(f, "fixpoint iteration limit exceeded"),
@@ -68,30 +75,16 @@ impl fmt::Display for AnalysisError {
 
 impl std::error::Error for AnalysisError {}
 
-#[derive(Debug, Clone)]
-struct Env {
-    prev: Option<usize>,
-    y: Vec<ACell>,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Mode {
-    Read,
-    Write,
-}
-
 /// The abstract machine state.
 pub struct AbstractMachine<'p> {
     program: &'p CompiledProgram,
     pub(crate) table: ExtensionTable,
-    heap: Vec<ACell>,
-    x: Vec<ACell>,
-    envs: Vec<Env>,
-    e: Option<usize>,
-    /// Value trail: `(address, previous cell)`.
-    trail: Vec<(usize, ACell)>,
-    mode: Mode,
-    s: usize,
+    /// Shared substrate state: heap, registers, environments, value
+    /// trail, pc, mode/S, and the instruction/opcode counters.
+    frame: Frame<ACell, (usize, ACell)>,
+    /// Current `call` nesting (the old explicit depth parameter; a field
+    /// now that recursion flows through the shared dispatch loop).
+    depth: usize,
     depth_k: usize,
     et_impl: EtImpl,
     config: DomainConfig,
@@ -102,8 +95,10 @@ pub struct AbstractMachine<'p> {
     /// Entries currently being explored (worklist strategy re-entrancy
     /// guard).
     in_progress: std::collections::HashSet<(usize, usize)>,
-    /// Reverse dependency edges: entry → entries that read it.
-    rev_deps: std::collections::HashMap<(usize, usize), std::collections::HashSet<(usize, usize)>>,
+    /// Reverse dependency edges: entry → entries that read it. Ordered
+    /// maps, so worklist seeding (and therefore the whole analysis event
+    /// stream) is deterministic across runs.
+    rev_deps: BTreeMap<(usize, usize), BTreeSet<(usize, usize)>>,
     /// Entries whose inputs changed and must be re-explored.
     worklist: std::collections::VecDeque<(usize, usize)>,
     queued: std::collections::HashSet<(usize, usize)>,
@@ -111,8 +106,6 @@ pub struct AbstractMachine<'p> {
     /// the worklist strategy).
     explorations: u64,
     iter: u64,
-    /// Abstract WAM instructions executed (the `Exec` column of Table 1).
-    pub exec_count: u64,
     /// Number of `solve_call` invocations (profiling aid).
     pub call_count: u64,
     /// Nanoseconds spent in pattern extraction (needs
@@ -124,8 +117,6 @@ pub struct AbstractMachine<'p> {
     /// Nanoseconds spent in table find/update incl. lub (needs
     /// [`Self::profile_timing`]).
     pub table_ns: u64,
-    /// Per-opcode dispatch counts over the whole run.
-    pub opcodes: OpcodeCounts,
     /// When true, the clock is read around extraction, materialization,
     /// table work, and per-predicate exploration. Off by default: clock
     /// reads in the dispatch loop are measurable overhead.
@@ -143,19 +134,255 @@ pub struct AbstractMachine<'p> {
     max_depth: usize,
 }
 
+/// The abstract interpretation of §4–§5: `s_unify` and complex-term
+/// instantiation at the unification hooks, the extension-table control
+/// scheme at the control hooks, cut as `true`, indexing bypassed.
+impl Interpretation for AbstractMachine<'_> {
+    type Cell = ACell;
+    /// Value trail: instantiation overwrites variable-*like* cells, so
+    /// undo must restore the previous cell, not a fresh unbound ref.
+    type TrailEntry = (usize, ACell);
+    type Error = AnalysisError;
+
+    fn frame(&self) -> &Frame<ACell, (usize, ACell)> {
+        &self.frame
+    }
+
+    fn frame_mut(&mut self) -> &mut Frame<ACell, (usize, ACell)> {
+        &mut self.frame
+    }
+
+    fn trail_entry(addr: usize, old: ACell) -> (usize, ACell) {
+        (addr, old)
+    }
+
+    fn undo_entry(heap: &mut [ACell], (addr, old): (usize, ACell)) {
+        heap[addr] = old;
+    }
+
+    fn unify(&mut self, a: ACell, b: ACell) -> bool {
+        // The inherent `s_unify` below.
+        AbstractMachine::unify(self, a, b)
+    }
+
+    fn get_constant(&mut self, c: WamConst, arg: ACell) -> bool {
+        // Covers both `get_constant` and read-mode `unify_constant`:
+        // abstract cells admit constants through `s_unify`.
+        let cell = const_cell(c);
+        self.unify(arg, cell)
+    }
+
+    /// Figure 4: `get_list` over the abstract domain.
+    fn get_list(&mut self, arg: ACell) -> bool {
+        let (cell, addr) = deref(&self.frame.heap, arg);
+        match cell {
+            // Concrete behaviours are unchanged.
+            ACell::Lis(p) => {
+                self.frame.mode = Mode::Read;
+                self.frame.s = p;
+                true
+            }
+            ACell::Ref(a) => {
+                let h = self.frame.heap.len();
+                self.bind(a, ACell::Lis(h));
+                self.frame.mode = Mode::Write;
+                true
+            }
+            // ComplexTermInst: generate a [·|·] instance of the abstract
+            // term on the heap and proceed in read mode over it.
+            ACell::Abs(l) => {
+                if !l.admits_list() {
+                    return false;
+                }
+                let a = addr.expect("abs cells live on the heap");
+                let h = self.frame.heap.len();
+                let child = l.instance_child();
+                self.push_child(child);
+                self.push_child(child);
+                self.bind(a, ACell::Lis(h));
+                self.frame.mode = Mode::Read;
+                self.frame.s = h;
+                true
+            }
+            ACell::AbsList(e) => {
+                let a = addr.expect("abs cells live on the heap");
+                // glist₁ ← [g₁ | glist₂]: fresh element instance as car,
+                // fresh list instance as cdr.
+                let car = self.copy_type(e);
+                let cdr_elem = self.copy_type(e);
+                let cdr = self.frame.heap.len();
+                self.frame.heap.push(ACell::AbsList(cdr_elem));
+                // Lay out the pair contiguously: car is at `car`, but the
+                // pair must be two consecutive cells; rebuild as refs.
+                let pair = self.frame.heap.len();
+                self.frame.heap.push(ACell::Ref(car));
+                self.frame.heap.push(ACell::Ref(cdr));
+                self.bind(a, ACell::Lis(pair));
+                self.frame.mode = Mode::Read;
+                self.frame.s = pair;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// `get_structure f/n` over the abstract domain.
+    fn get_structure(&mut self, f: Functor, arg: ACell) -> bool {
+        let (cell, addr) = deref(&self.frame.heap, arg);
+        match cell {
+            ACell::Str(p) if self.frame.heap[p] == ACell::Fun(f.name, f.arity) => {
+                self.frame.mode = Mode::Read;
+                self.frame.s = p + 1;
+                true
+            }
+            ACell::Ref(a) => {
+                let h = self.frame.heap.len();
+                self.frame.heap.push(ACell::Fun(f.name, f.arity));
+                self.bind(a, ACell::Str(h));
+                self.frame.mode = Mode::Write;
+                true
+            }
+            ACell::Abs(l) => {
+                if !l.admits_struct() {
+                    return false;
+                }
+                let a = addr.expect("abs cells live on the heap");
+                let h = self.frame.heap.len();
+                self.frame.heap.push(ACell::Fun(f.name, f.arity));
+                let child = l.instance_child();
+                for _ in 0..f.arity {
+                    self.push_child(child);
+                }
+                self.bind(a, ACell::Str(h));
+                self.frame.mode = Mode::Read;
+                self.frame.s = h + 1;
+                true
+            }
+            ACell::AbsList(e) => {
+                // A list instance can only be the cons structure.
+                if !absdom::is_dot_symbol(f.name) || f.arity != 2 {
+                    return false;
+                }
+                let a = addr.expect("abs cells live on the heap");
+                let car = self.copy_type(e);
+                let cdr_elem = self.copy_type(e);
+                let cdr = self.frame.heap.len();
+                self.frame.heap.push(ACell::AbsList(cdr_elem));
+                let pair = self.frame.heap.len();
+                self.frame.heap.push(ACell::Ref(car));
+                self.frame.heap.push(ACell::Ref(cdr));
+                self.bind(a, ACell::Lis(pair));
+                self.frame.mode = Mode::Read;
+                self.frame.s = pair;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn read_subterm(&self, s: usize) -> ACell {
+        // Open cells must be captured by reference so that instantiation
+        // is visible to all aliases.
+        if self.frame.heap[s].is_open_at(s) {
+            ACell::Ref(s)
+        } else {
+            self.frame.heap[s]
+        }
+    }
+
+    fn call(&mut self, pred: PredIdx) -> Result<Flow, AnalysisError> {
+        // `solve_call` runs whole clauses through this same dispatch
+        // loop, clobbering the pc; save the return address around it.
+        let ret = self.frame.pc;
+        self.depth += 1;
+        let ok = self.solve_call(pred)?;
+        self.depth -= 1;
+        self.frame.pc = ret;
+        Ok(if ok { Flow::Continue } else { Flow::Fail })
+    }
+
+    fn execute(&mut self, pred: PredIdx) -> Result<Flow, AnalysisError> {
+        self.depth += 1;
+        let ok = self.solve_call(pred)?;
+        self.depth -= 1;
+        // Tail position: the clause is done either way.
+        Ok(if ok { Flow::Done } else { Flow::Fail })
+    }
+
+    fn proceed(&mut self) -> Result<Flow, AnalysisError> {
+        // Clause success; the caller summarizes and forces failure
+        // (`updateET … fail`).
+        Ok(Flow::Done)
+    }
+
+    fn builtin(&mut self, b: Builtin) -> Result<Flow, AnalysisError> {
+        Ok(if self.abstract_builtin(b) {
+            Flow::Continue
+        } else {
+            Flow::Fail
+        })
+    }
+
+    // Cut is `true` over the abstract domain (sound).
+    fn neck_cut(&mut self) -> bool {
+        true
+    }
+
+    fn get_level(&mut self, _y: u16) -> bool {
+        true
+    }
+
+    fn cut_level(&mut self, _y: u16) -> bool {
+        true
+    }
+
+    // Indexing and chaining instructions are bypassed by the control
+    // scheme (clause entries are iterated directly).
+    fn try_me_else(&mut self, _alt: CodeAddr) -> Flow {
+        unreachable!("indexing instruction inside a clause body")
+    }
+
+    fn retry_me_else(&mut self, _alt: CodeAddr) -> Flow {
+        unreachable!("indexing instruction inside a clause body")
+    }
+
+    fn trust_me(&mut self) -> Flow {
+        unreachable!("indexing instruction inside a clause body")
+    }
+
+    fn try_(&mut self, _clause: CodeAddr) -> Flow {
+        unreachable!("indexing instruction inside a clause body")
+    }
+
+    fn retry(&mut self, _clause: CodeAddr) -> Flow {
+        unreachable!("indexing instruction inside a clause body")
+    }
+
+    fn trust(&mut self, _clause: CodeAddr) -> Flow {
+        unreachable!("indexing instruction inside a clause body")
+    }
+
+    fn switch_on_term(&mut self, _: CodeAddr, _: CodeAddr, _: CodeAddr, _: CodeAddr) -> Flow {
+        unreachable!("indexing instruction inside a clause body")
+    }
+
+    fn switch_on_constant(&mut self, _table: &[(WamConst, CodeAddr)]) -> Flow {
+        unreachable!("indexing instruction inside a clause body")
+    }
+
+    fn switch_on_structure(&mut self, _table: &[(Functor, CodeAddr)]) -> Flow {
+        unreachable!("indexing instruction inside a clause body")
+    }
+}
+
 impl<'p> AbstractMachine<'p> {
     /// Create a machine over `program` with term-depth `depth_k`.
     pub fn new(program: &'p CompiledProgram, depth_k: usize, et: EtImpl) -> Self {
         AbstractMachine {
             program,
             table: ExtensionTable::new(program.predicates.len(), et),
-            heap: Vec::with_capacity(1024),
-            x: vec![ACell::Int(0); 256],
-            envs: Vec::new(),
-            e: None,
-            trail: Vec::new(),
-            mode: Mode::Read,
-            s: 0,
+            frame: Frame::new(),
+            depth: 0,
             depth_k,
             et_impl: et,
             config: DomainConfig::FULL,
@@ -167,12 +394,10 @@ impl<'p> AbstractMachine<'p> {
             queued: Default::default(),
             explorations: 0,
             iter: 0,
-            exec_count: 0,
             call_count: 0,
             extract_ns: 0,
             materialize_ns: 0,
             table_ns: 0,
-            opcodes: OpcodeCounts::new(wam::NUM_OPCODES),
             profile_timing: false,
             stats: MachineStats::default(),
             pred_self_ns: vec![0; program.predicates.len()],
@@ -205,11 +430,21 @@ impl<'p> AbstractMachine<'p> {
     /// Work counters and high-water marks for the run so far.
     pub fn machine_stats(&self) -> MachineStats {
         let mut stats = self.stats;
-        stats.instructions = self.exec_count;
+        stats.instructions = self.frame.executed;
         stats.calls = self.call_count;
-        stats.note_heap(self.heap.len());
-        stats.note_trail(self.trail.len());
+        stats.note_heap(self.frame.heap.len());
+        stats.note_trail(self.frame.trail.len());
         stats
+    }
+
+    /// Abstract WAM instructions executed (the `Exec` column of Table 1).
+    pub fn exec_count(&self) -> u64 {
+        self.frame.executed
+    }
+
+    /// Per-opcode dispatch counts over the whole run.
+    pub fn opcodes(&self) -> &OpcodeCounts {
+        &self.frame.opcodes
     }
 
     /// Self-time per predicate in nanoseconds (all zero unless
@@ -226,11 +461,7 @@ impl<'p> AbstractMachine<'p> {
     /// [`AnalysisError::IterationLimit`] (or `DepthLimit`) if the safety
     /// bounds trip — with a finite domain this indicates a bug, and the
     /// bounds are far above anything the benchmark suite reaches.
-    pub fn run_to_fixpoint(
-        &mut self,
-        pred: usize,
-        entry: &Pattern,
-    ) -> Result<u64, AnalysisError> {
+    pub fn run_to_fixpoint(&mut self, pred: usize, entry: &Pattern) -> Result<u64, AnalysisError> {
         if self.strategy == IterationStrategy::Dependency {
             return self.run_worklist(pred, entry);
         }
@@ -243,17 +474,18 @@ impl<'p> AbstractMachine<'p> {
             let round = self.iter;
             self.trace(|_| TraceEvent::RoundStart { round });
             self.table.clear_changed();
-            self.stats.note_heap(self.heap.len());
-            self.stats.note_trail(self.trail.len());
-            self.heap.clear();
-            self.trail.clear();
-            self.envs.clear();
-            self.e = None;
-            let args = materialize(&mut self.heap, entry);
+            self.stats.note_heap(self.frame.heap.len());
+            self.stats.note_trail(self.frame.trail.len());
+            self.frame.heap.clear();
+            self.frame.trail.clear();
+            self.frame.envs.clear();
+            self.frame.e = None;
+            let args = materialize(&mut self.frame.heap, entry);
             for (i, cell) in args.iter().enumerate() {
-                self.x[i] = *cell;
+                self.frame.x[i] = *cell;
             }
-            self.solve_call(pred, 0)?;
+            self.depth = 0;
+            self.solve_call(pred)?;
             let changed = self.table.changed();
             let round = self.iter;
             self.trace(|_| TraceEvent::RoundEnd { round, changed });
@@ -268,27 +500,29 @@ impl<'p> AbstractMachine<'p> {
     fn run_worklist(&mut self, pred: usize, entry: &Pattern) -> Result<u64, AnalysisError> {
         const MAX_EXPLORATIONS: u64 = 5_000_000;
         self.iter = 1;
-        self.heap.clear();
-        self.trail.clear();
-        self.envs.clear();
-        self.e = None;
-        let args = materialize(&mut self.heap, entry);
+        self.frame.heap.clear();
+        self.frame.trail.clear();
+        self.frame.envs.clear();
+        self.frame.e = None;
+        let args = materialize(&mut self.frame.heap, entry);
         for (i, cell) in args.iter().enumerate() {
-            self.x[i] = *cell;
+            self.frame.x[i] = *cell;
         }
-        self.solve_call(pred, 0)?;
+        self.depth = 0;
+        self.solve_call(pred)?;
         while let Some((p, i)) = self.worklist.pop_front() {
             self.queued.remove(&(p, i));
             if self.explorations > MAX_EXPLORATIONS {
                 return Err(AnalysisError::IterationLimit);
             }
-            self.stats.note_heap(self.heap.len());
-            self.stats.note_trail(self.trail.len());
-            self.heap.clear();
-            self.trail.clear();
-            self.envs.clear();
-            self.e = None;
-            self.explore_entry(p, i, 0)?;
+            self.stats.note_heap(self.frame.heap.len());
+            self.stats.note_trail(self.frame.trail.len());
+            self.frame.heap.clear();
+            self.frame.trail.clear();
+            self.frame.envs.clear();
+            self.frame.e = None;
+            self.depth = 0;
+            self.explore_entry(p, i)?;
         }
         Ok(self.explorations)
     }
@@ -339,13 +573,13 @@ impl<'p> AbstractMachine<'p> {
 
     /// The abstract heap (read access, for tooling and tests).
     pub fn heap(&self) -> &[ACell] {
-        &self.heap
+        &self.frame.heap
     }
 
     /// Mutable access to the abstract heap, for building cells directly
     /// (tooling and tests; the analyzer itself never needs this).
     pub fn heap_mut(&mut self) -> &mut Vec<ACell> {
-        &mut self.heap
+        &mut self.frame.heap
     }
 
     /// Abstractly unify two cells on this machine's heap (the `s_unify`
@@ -357,7 +591,7 @@ impl<'p> AbstractMachine<'p> {
 
     /// Extract a (possibly weakened) pattern for the current config.
     fn extract_pattern(&self, args: &[ACell]) -> Pattern {
-        let p = extract(&self.heap, args, self.depth_k);
+        let p = extract(&self.frame.heap, args, self.depth_k);
         if self.config.is_full() {
             p
         } else {
@@ -371,23 +605,25 @@ impl<'p> AbstractMachine<'p> {
     /// Returns whether the call (abstractly) succeeds; on success the
     /// argument cells have been unified with the summarized success
     /// pattern.
-    fn solve_call(&mut self, pred: usize, depth: usize) -> Result<bool, AnalysisError> {
-        if depth > self.max_depth {
+    fn solve_call(&mut self, pred: usize) -> Result<bool, AnalysisError> {
+        if self.depth > self.max_depth {
             return Err(AnalysisError::DepthLimit);
         }
         self.call_count += 1;
         let arity = self.program.predicates[pred].key.arity;
-        let caller_args: Vec<ACell> = self.x[..arity].to_vec();
+        let caller_args: Vec<ACell> = self.frame.x[..arity].to_vec();
         // Consult the table by walking the stored patterns directly against
         // the argument cells (allocation-free); the pattern is only *built*
         // when a new entry must be inserted.
         let t0 = self.profile_timing.then(Stopwatch::start);
-        let heap = &self.heap;
+        let heap = &self.frame.heap;
         let depth_k = self.depth_k;
         let use_matcher = !self.table_impl_uses_hash() && self.config.is_full();
         let found = if use_matcher {
             self.table
-                .find_by(pred, |p| crate::matcher::matches(heap, &caller_args, depth_k, p))
+                .find_by(pred, |p| {
+                    crate::matcher::matches(heap, &caller_args, depth_k, p)
+                })
                 .map(|i| (i, None))
         } else {
             let cp = self.extract_pattern(&caller_args);
@@ -417,11 +653,15 @@ impl<'p> AbstractMachine<'p> {
         }
         #[cfg(debug_assertions)]
         if use_matcher {
-            let cp = extract(&self.heap, &caller_args, self.depth_k);
+            let cp = extract(&self.frame.heap, &caller_args, self.depth_k);
             // `find_quiet` keeps the stats counters identical between
             // debug and release builds.
             let by_eq = self.table.find_quiet(pred, &cp);
-            assert_eq!(found.as_ref().map(|(i, _)| *i), by_eq, "matcher/extractor parity");
+            assert_eq!(
+                found.as_ref().map(|(i, _)| *i),
+                by_eq,
+                "matcher/extractor parity"
+            );
         }
         let entry_idx = match found {
             Some((idx, _)) => {
@@ -463,7 +703,7 @@ impl<'p> AbstractMachine<'p> {
                 self.table.insert(pred, cp, self.iter)
             }
         };
-        self.explore_entry(pred, entry_idx, depth)?;
+        self.explore_entry(pred, entry_idx)?;
         self.note_dep(pred, entry_idx);
         let success = self.table.entry(pred, entry_idx).success.clone();
         match success {
@@ -474,13 +714,8 @@ impl<'p> AbstractMachine<'p> {
 
     /// Explore every clause of `(pred, entry_idx)` on fresh
     /// materializations of its calling pattern, summarizing successes.
-    fn explore_entry(
-        &mut self,
-        pred: usize,
-        entry_idx: usize,
-        depth: usize,
-    ) -> Result<(), AnalysisError> {
-        if depth > self.max_depth {
+    fn explore_entry(&mut self, pred: usize, entry_idx: usize) -> Result<(), AnalysisError> {
+        if self.depth > self.max_depth {
             return Err(AnalysisError::DepthLimit);
         }
         if self.strategy == IterationStrategy::Dependency
@@ -504,10 +739,10 @@ impl<'p> AbstractMachine<'p> {
         let num_clauses = self.program.predicates[pred].clause_entries.len();
         for clause_idx in 0..num_clauses {
             let entry = self.program.predicates[pred].clause_entries[clause_idx];
-            let trail_mark = self.trail.len();
-            let heap_mark = self.heap.len();
-            let env_mark = self.envs.len();
-            let saved_e = self.e;
+            let trail_mark = self.frame.trail.len();
+            let heap_mark = self.frame.heap.len();
+            let env_mark = self.frame.envs.len();
+            let saved_e = self.frame.e;
 
             self.trace(|prog| TraceEvent::ClauseEnter {
                 pred,
@@ -515,23 +750,26 @@ impl<'p> AbstractMachine<'p> {
                 clause: clause_idx,
             });
             let t0 = self.profile_timing.then(Stopwatch::start);
-            let callee_args = materialize(&mut self.heap, &call_pattern);
+            let callee_args = materialize(&mut self.frame.heap, &call_pattern);
             if let Some(t0) = t0 {
                 self.materialize_ns += t0.elapsed_ns();
             }
             for (i, cell) in callee_args.iter().enumerate() {
-                self.x[i] = *cell;
+                self.frame.x[i] = *cell;
             }
-            let ok = self.run_clause(entry, depth)?;
+            let ok = self.run_clause(entry)?;
             if ok {
                 // Fast path: if the stored summary already equals this
                 // clause's success pattern, nothing can change.
                 let t0 = self.profile_timing.then(Stopwatch::start);
                 let unchanged = self.config.is_full()
                     && match &self.table.entry(pred, entry_idx).success {
-                        Some(sp) => {
-                            crate::matcher::matches(&self.heap, &callee_args, self.depth_k, sp)
-                        }
+                        Some(sp) => crate::matcher::matches(
+                            &self.frame.heap,
+                            &callee_args,
+                            self.depth_k,
+                            sp,
+                        ),
                         None => false,
                     };
                 if let Some(t0) = t0 {
@@ -580,8 +818,8 @@ impl<'p> AbstractMachine<'p> {
                 clause: clause_idx,
             });
             self.undo_to(trail_mark, heap_mark);
-            self.envs.truncate(env_mark);
-            self.e = saved_e;
+            self.frame.envs.truncate(env_mark);
+            self.frame.e = saved_e;
         }
 
         if let Some(watch) = frame_watch {
@@ -597,7 +835,10 @@ impl<'p> AbstractMachine<'p> {
         if self.strategy == IterationStrategy::Dependency {
             let deps = self.dep_stack.pop().unwrap_or_default();
             for &(p, i, _) in &deps {
-                self.rev_deps.entry((p, i)).or_default().insert((pred, entry_idx));
+                self.rev_deps
+                    .entry((p, i))
+                    .or_default()
+                    .insert((pred, entry_idx));
             }
             self.table.set_deps(pred, entry_idx, deps);
             self.in_progress.remove(&(pred, entry_idx));
@@ -608,7 +849,7 @@ impl<'p> AbstractMachine<'p> {
     /// Unify the caller's argument cells with a fresh materialization of
     /// the summarized success pattern (deterministic return).
     fn apply_success(&mut self, caller_args: &[ACell], sp: &Pattern) -> bool {
-        let cells = materialize(&mut self.heap, sp);
+        let cells = materialize(&mut self.frame.heap, sp);
         for (arg, cell) in caller_args.iter().zip(cells) {
             if !self.unify(*arg, cell) {
                 return false;
@@ -619,343 +860,90 @@ impl<'p> AbstractMachine<'p> {
 
     // ----- clause execution -----
 
-    /// Execute one clause body. Calls recurse through [`Self::solve_call`];
-    /// there is no backtracking (calls are deterministic), so failure
-    /// simply reports `false` and the caller undoes the trail.
-    fn run_clause(&mut self, entry: usize, depth: usize) -> Result<bool, AnalysisError> {
-        let saved_e = self.e;
-        let mut pc = entry;
+    /// Execute one clause body through the shared dispatch loop. Calls
+    /// recurse through [`Self::solve_call`]; there is no backtracking
+    /// (calls are deterministic), so failure simply reports `false` and
+    /// the caller undoes the trail.
+    fn run_clause(&mut self, entry: usize) -> Result<bool, AnalysisError> {
+        let program = self.program;
+        let saved_e = self.frame.e;
+        self.frame.pc = entry;
         loop {
-            self.exec_count += 1;
-            let instr = &self.program.code[pc];
-            self.opcodes.hit(instr.opcode_index());
-            pc += 1;
-            use Instr::*;
-            let ok = match instr {
-                GetVariable(slot, a) => {
-                    let v = self.x[*a as usize];
-                    self.write_slot(*slot, v);
-                    true
+            match awam_exec::step(self, program)? {
+                Flow::Continue => {}
+                Flow::Fail => {
+                    self.frame.e = saved_e;
+                    return Ok(false);
                 }
-                GetValue(slot, a) => {
-                    let v = self.read_slot(*slot);
-                    let arg = self.x[*a as usize];
-                    self.unify(v, arg)
-                }
-                GetConstant(c, a) => {
-                    let arg = self.x[*a as usize];
-                    let cell = const_cell(*c);
-                    self.unify(arg, cell)
-                }
-                GetList(a) => self.get_list(self.x[*a as usize]),
-                GetStructure(f, a) => self.get_structure(*f, self.x[*a as usize]),
-                PutVariable(slot, a) => {
-                    let addr = self.push_unbound();
-                    self.write_slot(*slot, ACell::Ref(addr));
-                    self.x[*a as usize] = ACell::Ref(addr);
-                    true
-                }
-                PutValue(slot, a) => {
-                    self.x[*a as usize] = self.read_slot(*slot);
-                    true
-                }
-                PutConstant(c, a) => {
-                    self.x[*a as usize] = const_cell(*c);
-                    true
-                }
-                PutList(a) => {
-                    self.x[*a as usize] = ACell::Lis(self.heap.len());
-                    self.mode = Mode::Write;
-                    true
-                }
-                PutStructure(f, a) => {
-                    let h = self.heap.len();
-                    self.heap.push(ACell::Fun(f.name, f.arity));
-                    self.x[*a as usize] = ACell::Str(h);
-                    self.mode = Mode::Write;
-                    true
-                }
-                UnifyVariable(slot) => {
-                    match self.mode {
-                        Mode::Read => {
-                            let s = self.s;
-                            // Open cells must be captured by reference so
-                            // that instantiation is visible to all aliases.
-                            let cell = if self.heap[s].is_open_at(s) {
-                                ACell::Ref(s)
-                            } else {
-                                self.heap[s]
-                            };
-                            self.write_slot(*slot, cell);
-                            self.s += 1;
-                        }
-                        Mode::Write => {
-                            let addr = self.push_unbound();
-                            self.write_slot(*slot, ACell::Ref(addr));
-                        }
-                    }
-                    true
-                }
-                UnifyValue(slot) => match self.mode {
-                    Mode::Read => {
-                        let v = self.read_slot(*slot);
-                        let s = self.s;
-                        self.s += 1;
-                        self.unify(v, ACell::Ref(s))
-                    }
-                    Mode::Write => {
-                        let v = self.read_slot(*slot);
-                        self.heap.push(v);
-                        true
-                    }
-                },
-                UnifyConstant(c) => match self.mode {
-                    Mode::Read => {
-                        let s = self.s;
-                        self.s += 1;
-                        self.unify(ACell::Ref(s), const_cell(*c))
-                    }
-                    Mode::Write => {
-                        self.heap.push(const_cell(*c));
-                        true
-                    }
-                },
-                UnifyVoid(n) => {
-                    match self.mode {
-                        Mode::Read => self.s += *n as usize,
-                        Mode::Write => {
-                            for _ in 0..*n {
-                                self.push_unbound();
-                            }
-                        }
-                    }
-                    true
-                }
-                Allocate(n) => {
-                    self.envs.push(Env {
-                        prev: self.e,
-                        y: vec![ACell::Int(0); *n as usize],
-                    });
-                    self.e = Some(self.envs.len() - 1);
-                    true
-                }
-                Deallocate => {
-                    let e = self.e.expect("deallocate without environment");
-                    self.e = self.envs[e].prev;
-                    true
-                }
-                Call(p) => {
-                    let p = *p;
-                    if self.solve_call(p, depth + 1)? {
-                        true
-                    } else {
-                        self.e = saved_e;
-                        return Ok(false);
-                    }
-                }
-                Execute(p) => {
-                    let p = *p;
-                    let ok = self.solve_call(p, depth + 1)?;
-                    if !ok {
-                        self.e = saved_e;
-                    }
-                    return Ok(ok);
-                }
-                Proceed => return Ok(true),
-                CallBuiltin(b) => self.abstract_builtin(*b),
-                // Cut is `true` over the abstract domain (sound).
-                NeckCut | GetLevel(_) | CutLevel(_) => true,
-                // Indexing and chaining instructions are bypassed by the
-                // control scheme (clause entries are iterated directly).
-                TryMeElse(_) | RetryMeElse(_) | TrustMe | Try(_) | Retry(_) | Trust(_)
-                | SwitchOnTerm { .. } | SwitchOnConstant(_) | SwitchOnStructure(_) | Fail => {
-                    unreachable!("indexing instruction inside a clause body")
-                }
-            };
-            if !ok {
-                self.e = saved_e;
-                return Ok(false);
+                Flow::Done => return Ok(true),
             }
-        }
-    }
-
-    // ----- reinterpreted get instructions -----
-
-    /// Figure 4: `get_list` over the abstract domain.
-    fn get_list(&mut self, arg: ACell) -> bool {
-        let (cell, addr) = deref(&self.heap, arg);
-        match cell {
-            // Concrete behaviours are unchanged.
-            ACell::Lis(p) => {
-                self.mode = Mode::Read;
-                self.s = p;
-                true
-            }
-            ACell::Ref(a) => {
-                let h = self.heap.len();
-                self.bind(a, ACell::Lis(h));
-                self.mode = Mode::Write;
-                true
-            }
-            // ComplexTermInst: generate a [·|·] instance of the abstract
-            // term on the heap and proceed in read mode over it.
-            ACell::Abs(l) => {
-                if !l.admits_list() {
-                    return false;
-                }
-                let a = addr.expect("abs cells live on the heap");
-                let h = self.heap.len();
-                let child = l.instance_child();
-                self.push_child(child);
-                self.push_child(child);
-                self.bind(a, ACell::Lis(h));
-                self.mode = Mode::Read;
-                self.s = h;
-                true
-            }
-            ACell::AbsList(e) => {
-                let a = addr.expect("abs cells live on the heap");
-                // glist₁ ← [g₁ | glist₂]: fresh element instance as car,
-                // fresh list instance as cdr.
-                let car = self.copy_type(e);
-                let cdr_elem = self.copy_type(e);
-                let cdr = self.heap.len();
-                self.heap.push(ACell::AbsList(cdr_elem));
-                // Lay out the pair contiguously: car is at `car`, but the
-                // pair must be two consecutive cells; rebuild as refs.
-                let pair = self.heap.len();
-                self.heap.push(ACell::Ref(car));
-                self.heap.push(ACell::Ref(cdr));
-                self.bind(a, ACell::Lis(pair));
-                self.mode = Mode::Read;
-                self.s = pair;
-                true
-            }
-            _ => false,
-        }
-    }
-
-    /// `get_structure f/n` over the abstract domain.
-    fn get_structure(&mut self, f: wam::Functor, arg: ACell) -> bool {
-        let (cell, addr) = deref(&self.heap, arg);
-        match cell {
-            ACell::Str(p)
-                if self.heap[p] == ACell::Fun(f.name, f.arity) => {
-                    self.mode = Mode::Read;
-                    self.s = p + 1;
-                    true
-                }
-            ACell::Ref(a) => {
-                let h = self.heap.len();
-                self.heap.push(ACell::Fun(f.name, f.arity));
-                self.bind(a, ACell::Str(h));
-                self.mode = Mode::Write;
-                true
-            }
-            ACell::Abs(l) => {
-                if !l.admits_struct() {
-                    return false;
-                }
-                let a = addr.expect("abs cells live on the heap");
-                let h = self.heap.len();
-                self.heap.push(ACell::Fun(f.name, f.arity));
-                let child = l.instance_child();
-                for _ in 0..f.arity {
-                    self.push_child(child);
-                }
-                self.bind(a, ACell::Str(h));
-                self.mode = Mode::Read;
-                self.s = h + 1;
-                true
-            }
-            ACell::AbsList(e) => {
-                // A list instance can only be the cons structure.
-                if !absdom::is_dot_symbol(f.name) || f.arity != 2 {
-                    return false;
-                }
-                let a = addr.expect("abs cells live on the heap");
-                let car = self.copy_type(e);
-                let cdr_elem = self.copy_type(e);
-                let cdr = self.heap.len();
-                self.heap.push(ACell::AbsList(cdr_elem));
-                let pair = self.heap.len();
-                self.heap.push(ACell::Ref(car));
-                self.heap.push(ACell::Ref(cdr));
-                self.bind(a, ACell::Lis(pair));
-                self.mode = Mode::Read;
-                self.s = pair;
-                true
-            }
-            _ => false,
         }
     }
 
     /// Push a child cell for a complex-term instantiation: `var` children
     /// are fresh unbound variables, others are abstract leaves.
     fn push_child(&mut self, child: AbsLeaf) {
-        let a = self.heap.len();
+        let a = self.frame.heap.len();
         if child == AbsLeaf::Var {
-            self.heap.push(ACell::Ref(a));
+            self.frame.heap.push(ACell::Ref(a));
         } else {
-            self.heap.push(ACell::Abs(child));
+            self.frame.heap.push(ACell::Abs(child));
         }
     }
 
     /// Deep-copy the (unaliased) type subgraph rooted at heap address
     /// `src`; returns the new root address.
     fn copy_type(&mut self, src: usize) -> usize {
-        let (cell, _) = deref(&self.heap, ACell::Ref(src));
+        let (cell, _) = deref(&self.frame.heap, ACell::Ref(src));
         match cell {
             ACell::Ref(_) => {
-                let a = self.heap.len();
-                self.heap.push(ACell::Ref(a));
+                let a = self.frame.heap.len();
+                self.frame.heap.push(ACell::Ref(a));
                 a
             }
             ACell::Abs(l) => {
-                let a = self.heap.len();
-                self.heap.push(ACell::Abs(l));
+                let a = self.frame.heap.len();
+                self.frame.heap.push(ACell::Abs(l));
                 a
             }
             ACell::AbsList(e) => {
                 let copied = self.copy_type(e);
-                let a = self.heap.len();
-                self.heap.push(ACell::AbsList(copied));
+                let a = self.frame.heap.len();
+                self.frame.heap.push(ACell::AbsList(copied));
                 a
             }
             ACell::Con(s) => {
-                let a = self.heap.len();
-                self.heap.push(ACell::Con(s));
+                let a = self.frame.heap.len();
+                self.frame.heap.push(ACell::Con(s));
                 a
             }
             ACell::Int(i) => {
-                let a = self.heap.len();
-                self.heap.push(ACell::Int(i));
+                let a = self.frame.heap.len();
+                self.frame.heap.push(ACell::Int(i));
                 a
             }
             ACell::Lis(p) => {
                 let car = self.copy_type(p);
                 let cdr = self.copy_type(p + 1);
-                let pair = self.heap.len();
-                self.heap.push(ACell::Ref(car));
-                self.heap.push(ACell::Ref(cdr));
-                let a = self.heap.len();
-                self.heap.push(ACell::Lis(pair));
+                let pair = self.frame.heap.len();
+                self.frame.heap.push(ACell::Ref(car));
+                self.frame.heap.push(ACell::Ref(cdr));
+                let a = self.frame.heap.len();
+                self.frame.heap.push(ACell::Lis(pair));
                 a
             }
             ACell::Str(p) => {
-                let ACell::Fun(f, n) = self.heap[p] else {
+                let ACell::Fun(f, n) = self.frame.heap[p] else {
                     unreachable!()
                 };
-                let args: Vec<usize> = (0..n as usize)
-                    .map(|i| self.copy_type(p + 1 + i))
-                    .collect();
-                let h = self.heap.len();
-                self.heap.push(ACell::Fun(f, n));
+                let args: Vec<usize> = (0..n as usize).map(|i| self.copy_type(p + 1 + i)).collect();
+                let h = self.frame.heap.len();
+                self.frame.heap.push(ACell::Fun(f, n));
                 for arg in args {
-                    self.heap.push(ACell::Ref(arg));
+                    self.frame.heap.push(ACell::Ref(arg));
                 }
-                let a = self.heap.len();
-                self.heap.push(ACell::Str(h));
+                let a = self.frame.heap.len();
+                self.frame.heap.push(ACell::Str(h));
                 a
             }
             ACell::Fun(..) => unreachable!(),
@@ -971,8 +959,8 @@ impl<'p> AbstractMachine<'p> {
         let mut stack = vec![(a, b)];
         let mut seen: Vec<(usize, usize)> = Vec::new();
         while let Some((a, b)) = stack.pop() {
-            let (ca, aa) = deref(&self.heap, a);
-            let (cb, ab) = deref(&self.heap, b);
+            let (ca, aa) = deref(&self.frame.heap, a);
+            let (cb, ab) = deref(&self.frame.heap, b);
             if let (Some(x), Some(y)) = (aa, ab) {
                 if x == y {
                     continue;
@@ -1061,7 +1049,7 @@ impl<'p> AbstractMachine<'p> {
                     return false;
                 }
                 self.bind(x.expect("abs on heap"), Str(p));
-                let ACell::Fun(_, n) = self.heap[p] else {
+                let ACell::Fun(_, n) = self.frame.heap[p] else {
                     unreachable!()
                 };
                 let child = t.instance_child();
@@ -1084,8 +1072,8 @@ impl<'p> AbstractMachine<'p> {
                 // car ⊓ α; cdr ⊓ α-list.
                 let car_type = self.copy_type(e);
                 let cdr_elem = self.copy_type(e);
-                let cdr_list = self.heap.len();
-                self.heap.push(ACell::AbsList(cdr_elem));
+                let cdr_list = self.frame.heap.len();
+                self.frame.heap.push(ACell::AbsList(cdr_elem));
                 stack.push((ACell::Ref(p), ACell::Ref(car_type)));
                 stack.push((ACell::Ref(p + 1), ACell::Ref(cdr_list)));
                 true
@@ -1095,8 +1083,8 @@ impl<'p> AbstractMachine<'p> {
                 // list(α) ⊓ list(β) = list(α ⊓ β) — but when the element
                 // types clash the intersection is still {[]} (both sides
                 // admit the empty list), not ⊥.
-                let trail_mark = self.trail.len();
-                let heap_mark = self.heap.len();
+                let trail_mark = self.frame.trail.len();
+                let heap_mark = self.frame.heap.len();
                 let c1 = self.copy_type(e1);
                 let c2 = self.copy_type(e2);
                 if self.unify(ACell::Ref(c1), ACell::Ref(c2)) {
@@ -1146,7 +1134,8 @@ impl<'p> AbstractMachine<'p> {
                 true
             }
             (Str(x), Str(y)) => {
-                let (ACell::Fun(fx, nx), ACell::Fun(fy, ny)) = (self.heap[x], self.heap[y])
+                let (ACell::Fun(fx, nx), ACell::Fun(fy, ny)) =
+                    (self.frame.heap[x], self.frame.heap[y])
                 else {
                     unreachable!()
                 };
@@ -1175,7 +1164,7 @@ impl<'p> AbstractMachine<'p> {
             // anything and imposes nothing.
             return true;
         }
-        let (cell, addr) = deref(&self.heap, cell);
+        let (cell, addr) = deref(&self.frame.heap, cell);
         match cell {
             ACell::Ref(a) => {
                 // A free variable narrowed by a type: it becomes an
@@ -1234,7 +1223,7 @@ impl<'p> AbstractMachine<'p> {
                     return true;
                 }
                 visiting.push(p);
-                let ACell::Fun(_, n) = self.heap[p] else {
+                let ACell::Fun(_, n) = self.frame.heap[p] else {
                     unreachable!()
                 };
                 let child = if leaf == AbsLeaf::Ground {
@@ -1242,8 +1231,8 @@ impl<'p> AbstractMachine<'p> {
                 } else {
                     AbsLeaf::Any
                 };
-                let ok = (0..n as usize)
-                    .all(|i| self.constrain(ACell::Ref(p + 1 + i), child, visiting));
+                let ok =
+                    (0..n as usize).all(|i| self.constrain(ACell::Ref(p + 1 + i), child, visiting));
                 visiting.pop();
                 ok
             }
@@ -1261,30 +1250,30 @@ impl<'p> AbstractMachine<'p> {
             // On success of `X is E`, E was evaluable (ground) and X is an
             // integer.
             Is => {
-                let expr = self.x[1];
-                let out = self.x[0];
+                let expr = self.frame.x[1];
+                let out = self.frame.x[0];
                 if !self.constrain(expr, AbsLeaf::Ground, &mut Vec::new()) {
                     return false;
                 }
-                let a = self.heap.len();
-                self.heap.push(ACell::Abs(AbsLeaf::Integer));
+                let a = self.frame.heap.len();
+                self.frame.heap.push(ACell::Abs(AbsLeaf::Integer));
                 self.unify(out, ACell::Ref(a))
             }
             // Arithmetic comparisons ground both sides.
             Lt | Gt | Le | Ge | ArithEq | ArithNe => {
-                let (l, r) = (self.x[0], self.x[1]);
+                let (l, r) = (self.frame.x[0], self.frame.x[1]);
                 self.constrain(l, AbsLeaf::Ground, &mut Vec::new())
                     && self.constrain(r, AbsLeaf::Ground, &mut Vec::new())
             }
             Unify => {
-                let (l, r) = (self.x[0], self.x[1]);
+                let (l, r) = (self.frame.x[0], self.frame.x[1]);
                 self.unify(l, r)
             }
             // `\=`, `==`, `\==`, `@<` … succeed abstractly with no
             // bindings (sound over-approximation of their success set).
             NotUnify | StructEq | StructNe | TermLt | TermGt | TermLe | TermGe => true,
             Var => {
-                let (cell, addr) = deref(&self.heap, self.x[0]);
+                let (cell, addr) = deref(&self.frame.heap, self.frame.x[0]);
                 match cell {
                     ACell::Ref(_) => true,
                     ACell::Abs(t) => match t.meet(AbsLeaf::Var) {
@@ -1300,14 +1289,14 @@ impl<'p> AbstractMachine<'p> {
                 }
             }
             Nonvar => {
-                let c = self.x[0];
+                let c = self.frame.x[0];
                 self.type_test(c, AbsLeaf::NonVar)
             }
-            Atom => self.type_test(self.x[0], AbsLeaf::Atom),
-            Integer | Number => self.type_test(self.x[0], AbsLeaf::Integer),
-            Atomic => self.type_test(self.x[0], AbsLeaf::Const),
+            Atom => self.type_test(self.frame.x[0], AbsLeaf::Atom),
+            Integer | Number => self.type_test(self.frame.x[0], AbsLeaf::Integer),
+            Atomic => self.type_test(self.frame.x[0], AbsLeaf::Const),
             Compound => {
-                let (cell, _) = deref(&self.heap, self.x[0]);
+                let (cell, _) = deref(&self.frame.heap, self.frame.x[0]);
                 match cell {
                     ACell::Lis(_) | ACell::Str(_) | ACell::AbsList(_) => true,
                     ACell::Abs(t) => t.admits_list() || t.admits_struct(),
@@ -1316,18 +1305,18 @@ impl<'p> AbstractMachine<'p> {
             }
             // Conservative: outputs become `any`-typed; inputs unchanged.
             FunctorOf => {
-                let name = self.x[1];
-                let arity = self.x[2];
-                let c = self.heap.len();
-                self.heap.push(ACell::Abs(AbsLeaf::Const));
-                let i = self.heap.len();
-                self.heap.push(ACell::Abs(AbsLeaf::Integer));
+                let name = self.frame.x[1];
+                let arity = self.frame.x[2];
+                let c = self.frame.heap.len();
+                self.frame.heap.push(ACell::Abs(AbsLeaf::Const));
+                let i = self.frame.heap.len();
+                self.frame.heap.push(ACell::Abs(AbsLeaf::Integer));
                 self.unify(name, ACell::Ref(c)) && self.unify(arity, ACell::Ref(i))
             }
             Arg => {
-                let out = self.x[2];
-                let a = self.heap.len();
-                self.heap.push(ACell::Abs(AbsLeaf::Any));
+                let out = self.frame.x[2];
+                let a = self.frame.heap.len();
+                self.frame.heap.push(ACell::Abs(AbsLeaf::Any));
                 self.unify(out, ACell::Ref(a))
             }
         }
@@ -1336,7 +1325,7 @@ impl<'p> AbstractMachine<'p> {
     /// Narrow a cell to the meet with a type-test's type; fails when the
     /// meet is empty.
     fn type_test(&mut self, cell: ACell, leaf: AbsLeaf) -> bool {
-        let (c, _) = deref(&self.heap, cell);
+        let (c, _) = deref(&self.frame.heap, cell);
         match c {
             // A (definitely) free variable fails every nonvar type test.
             ACell::Ref(_) => false,
@@ -1346,42 +1335,10 @@ impl<'p> AbstractMachine<'p> {
 
     // ----- heap plumbing -----
 
-    fn read_slot(&self, slot: Slot) -> ACell {
-        match slot {
-            Slot::X(n) => self.x[n as usize],
-            Slot::Y(n) => {
-                let e = self.e.expect("Y access without environment");
-                self.envs[e].y[n as usize]
-            }
-        }
-    }
-
-    fn write_slot(&mut self, slot: Slot, cell: ACell) {
-        match slot {
-            Slot::X(n) => {
-                let n = n as usize;
-                if n >= self.x.len() {
-                    self.x.resize(n + 1, ACell::Int(0));
-                }
-                self.x[n] = cell;
-            }
-            Slot::Y(n) => {
-                let e = self.e.expect("Y access without environment");
-                self.envs[e].y[n as usize] = cell;
-            }
-        }
-    }
-
-    fn push_unbound(&mut self) -> usize {
-        let a = self.heap.len();
-        self.heap.push(ACell::Ref(a));
-        a
-    }
-
-    /// Bind with value trailing.
+    /// Bind with value trailing (the substrate's [`awam_exec::bind`] with
+    /// this interpretation's `(addr, old)` trail records).
     fn bind(&mut self, addr: usize, cell: ACell) {
-        self.trail.push((addr, self.heap[addr]));
-        self.heap[addr] = cell;
+        awam_exec::bind(self, addr, cell);
     }
 
     /// Same as bind (named for narrowing sites, where the cell is open but
@@ -1391,13 +1348,10 @@ impl<'p> AbstractMachine<'p> {
     }
 
     fn undo_to(&mut self, trail_mark: usize, heap_mark: usize) {
-        self.stats.note_heap(self.heap.len());
-        self.stats.note_trail(self.trail.len());
-        while self.trail.len() > trail_mark {
-            let (addr, old) = self.trail.pop().expect("non-empty");
-            self.heap[addr] = old;
-        }
-        self.heap.truncate(heap_mark);
+        self.stats.note_heap(self.frame.heap.len());
+        self.stats.note_trail(self.frame.trail.len());
+        awam_exec::unwind_trail(self, trail_mark);
+        self.frame.heap.truncate(heap_mark);
     }
 }
 
@@ -1410,9 +1364,9 @@ fn attach(cell: ACell, addr: Option<usize>) -> ACell {
     }
 }
 
-fn const_cell(c: wam::WamConst) -> ACell {
+fn const_cell(c: WamConst) -> ACell {
     match c {
-        wam::WamConst::Atom(a) => ACell::Con(a),
-        wam::WamConst::Int(i) => ACell::Int(i),
+        WamConst::Atom(a) => ACell::Con(a),
+        WamConst::Int(i) => ACell::Int(i),
     }
 }

@@ -80,7 +80,11 @@ impl Matcher<'_> {
         }
         if depth >= self.depth_k {
             let leaf = self.summarize(cell);
-            let leaf = if leaf == AbsLeaf::Var { AbsLeaf::Any } else { leaf };
+            let leaf = if leaf == AbsLeaf::Var {
+                AbsLeaf::Any
+            } else {
+                leaf
+            };
             return self.emit_leaf(leaf);
         }
         match cell {
@@ -202,7 +206,9 @@ pub(crate) fn summarize_cell(heap: &[ACell], cell: ACell, visiting: &mut Vec<usi
         ACell::Con(_) | ACell::Int(_) => AbsLeaf::Ground,
         ACell::Lis(p) => summarize_compound(heap, &[p, p + 1], p, visiting),
         ACell::Str(p) => {
-            let ACell::Fun(_, n) = heap[p] else { unreachable!() };
+            let ACell::Fun(_, n) = heap[p] else {
+                unreachable!()
+            };
             let addrs: Vec<usize> = (0..n as usize).map(|i| p + 1 + i).collect();
             summarize_compound(heap, &addrs, p, visiting)
         }
@@ -305,6 +311,9 @@ mod tests {
         let cells = materialize(&mut heap, &deep);
         let expected = extract(&heap, &cells, 4);
         assert!(matches(&heap, &cells, 4, &expected));
-        assert!(!matches(&heap, &cells, 4, &deep), "uncut pattern must not match");
+        assert!(
+            !matches(&heap, &cells, 4, &deep),
+            "uncut pattern must not match"
+        );
     }
 }

@@ -49,7 +49,9 @@ pub fn derive_modes(pred: &PredAnalysis) -> Vec<ArgMode> {
                 call_ground &= call.node_is_ground(call.root(i));
                 call_nonvar &= c != AbsLeaf::Var && c != AbsLeaf::Any;
                 call_var &= c == AbsLeaf::Var;
-                if let Some(s) = success { succ_ground &= s.node_is_ground(s.root(i)) }
+                if let Some(s) = success {
+                    succ_ground &= s.node_is_ground(s.root(i))
+                }
             }
             if call_ground {
                 ArgMode::In

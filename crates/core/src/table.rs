@@ -71,7 +71,11 @@ impl ExtensionTable {
 
     /// Index of the first entry under `pred` whose calling pattern
     /// satisfies `test` (used with the allocation-free matcher).
-    pub fn find_by(&mut self, pred: usize, mut test: impl FnMut(&Pattern) -> bool) -> Option<usize> {
+    pub fn find_by(
+        &mut self,
+        pred: usize,
+        mut test: impl FnMut(&Pattern) -> bool,
+    ) -> Option<usize> {
         self.stats.lookups += 1;
         let table = &self.preds[pred];
         for (i, e) in table.entries.iter().enumerate() {
@@ -285,10 +289,7 @@ mod tests {
         // Larger success: lub grows.
         t.update_success(0, idx, pat(&["int"]));
         assert!(t.changed());
-        assert_eq!(
-            t.entry(0, idx).success.as_ref().unwrap(),
-            &pat(&["const"])
-        );
+        assert_eq!(t.entry(0, idx).success.as_ref().unwrap(), &pat(&["const"]));
     }
 
     #[test]

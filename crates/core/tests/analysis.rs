@@ -97,7 +97,11 @@ fn factorial_fixpoint_terminates() {
     let (analysis, _) = analyze(src, "fact", &["int", "var"]);
     let leaves = success_leaves(&analysis, "fact", 2);
     assert_eq!(leaves[1], AbsLeaf::Integer);
-    assert!(analysis.iterations <= 5, "iterations: {}", analysis.iterations);
+    assert!(
+        analysis.iterations <= 5,
+        "iterations: {}",
+        analysis.iterations
+    );
 }
 
 #[test]
@@ -162,7 +166,10 @@ fn aliasing_propagates_groundness() {
     ";
     let (analysis, _) = analyze(src, "test", &["var", "var"]);
     let leaves = success_leaves(&analysis, "test", 2);
-    assert!(leaves[1].is_ground(), "aliased variable must be grounded: {leaves:?}");
+    assert!(
+        leaves[1].is_ground(),
+        "aliased variable must be grounded: {leaves:?}"
+    );
 }
 
 #[test]
@@ -251,7 +258,11 @@ fn depth_restriction_controls_precision() {
     let a_deep = deep.analyze_query("wrap", &["int", "var"]).unwrap();
     let mut shallow = Analyzer::compile(&program).unwrap().with_depth(2);
     let a_shallow = shallow.analyze_query("wrap", &["int", "var"]).unwrap();
-    let s_deep = a_deep.predicate("wrap", 2).unwrap().success_summary().unwrap();
+    let s_deep = a_deep
+        .predicate("wrap", 2)
+        .unwrap()
+        .success_summary()
+        .unwrap();
     let s_shallow = a_shallow
         .predicate("wrap", 2)
         .unwrap()
@@ -275,8 +286,12 @@ fn hashed_and_linear_tables_agree() {
         app([H|T], L, [H|R]) :- app(T, L, R).
     ";
     let program = parse_program(src).unwrap();
-    let mut lin = Analyzer::compile(&program).unwrap().with_et_impl(EtImpl::Linear);
-    let mut hsh = Analyzer::compile(&program).unwrap().with_et_impl(EtImpl::Hashed);
+    let mut lin = Analyzer::compile(&program)
+        .unwrap()
+        .with_et_impl(EtImpl::Linear);
+    let mut hsh = Analyzer::compile(&program)
+        .unwrap()
+        .with_et_impl(EtImpl::Hashed);
     let a = lin.analyze_query("nrev", &["glist", "var"]).unwrap();
     let b = hsh.analyze_query("nrev", &["glist", "var"]).unwrap();
     for (pa, pb) in a.predicates.iter().zip(&b.predicates) {
@@ -310,7 +325,9 @@ fn zero_arity_predicates_analyze() {
 fn unknown_entry_pattern_is_error() {
     let program = parse_program(APPEND).unwrap();
     let mut analyzer = Analyzer::compile(&program).unwrap();
-    assert!(analyzer.analyze_query("app", &["frobnicate", "g", "g"]).is_err());
+    assert!(analyzer
+        .analyze_query("app", &["frobnicate", "g", "g"])
+        .is_err());
     assert!(analyzer.analyze_query("nosuch", &["g"]).is_err());
 }
 
@@ -331,9 +348,17 @@ fn success_pattern_application_narrows_caller() {
 fn nonvar_test_on_var_fails() {
     let src = "p(X) :- nonvar(X).";
     let (analysis, _) = analyze(src, "p", &["var"]);
-    assert!(analysis.predicate("p", 1).unwrap().success_summary().is_none());
+    assert!(analysis
+        .predicate("p", 1)
+        .unwrap()
+        .success_summary()
+        .is_none());
     let (analysis, _) = analyze(src, "p", &["g"]);
-    assert!(analysis.predicate("p", 1).unwrap().success_summary().is_some());
+    assert!(analysis
+        .predicate("p", 1)
+        .unwrap()
+        .success_summary()
+        .is_some());
 }
 
 #[test]
@@ -353,5 +378,8 @@ fn list_instantiation_from_glist() {
     let pred = analysis.predicate("tail", 2).unwrap();
     let s = pred.success_summary().unwrap();
     let rendered = s.display(analyzer.interner());
-    assert!(rendered.contains("glist"), "cdr keeps list type: {rendered}");
+    assert!(
+        rendered.contains("glist"),
+        "cdr keeps list type: {rendered}"
+    );
 }

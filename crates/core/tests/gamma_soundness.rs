@@ -101,7 +101,9 @@ fn instance(
         return t.clone();
     }
     let mut next = || {
-        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (*seed >> 33) as u32
     };
     let term = match p.node(id) {
@@ -211,9 +213,7 @@ fn apply(t: &Term, subst: &HashMap<VarId, Term>) -> Term {
             None => t.clone(),
         },
         Term::Int(_) | Term::Atom(_) => t.clone(),
-        Term::Struct(f, args) => {
-            Term::Struct(*f, args.iter().map(|a| apply(a, subst)).collect())
-        }
+        Term::Struct(f, args) => Term::Struct(*f, args.iter().map(|a| apply(a, subst)).collect()),
     }
 }
 
@@ -241,8 +241,22 @@ fn abstract_unify_is_gamma_sound() {
         // Concrete instances with disjoint variable ranges.
         let mut s1 = seed;
         let mut s2 = seed ^ 0xdead_beef;
-        let t = instance(&pa, pa.root(0), &mut interner, &mut s1, 0, &mut HashMap::new());
-        let u = instance(&pb, pb.root(0), &mut interner, &mut s2, 100, &mut HashMap::new());
+        let t = instance(
+            &pa,
+            pa.root(0),
+            &mut interner,
+            &mut s1,
+            0,
+            &mut HashMap::new(),
+        );
+        let u = instance(
+            &pb,
+            pb.root(0),
+            &mut interner,
+            &mut s2,
+            100,
+            &mut HashMap::new(),
+        );
         // The generator must honor γ; skip the (non-existent) cases where
         // it does not, like prop_assume did.
         if !pa.covers(std::slice::from_ref(&t)) || !pb.covers(std::slice::from_ref(&u)) {
@@ -286,7 +300,14 @@ fn constrain_ground_is_gamma_sound() {
         let mut interner = compiled.interner.clone();
         let pa = build_pattern(&a, &mut interner);
         let mut s = seed;
-        let t = instance(&pa, pa.root(0), &mut interner, &mut s, 0, &mut HashMap::new());
+        let t = instance(
+            &pa,
+            pa.root(0),
+            &mut interner,
+            &mut s,
+            0,
+            &mut HashMap::new(),
+        );
         if !pa.covers(std::slice::from_ref(&t)) {
             continue;
         }
@@ -299,7 +320,10 @@ fn constrain_ground_is_gamma_sound() {
         // If the instance is already ground, the abstract op must succeed
         // and the result must still cover it.
         if t.is_ground() {
-            assert!(ok, "case {case}: grounding a ground instance of {pa:?} failed");
+            assert!(
+                ok,
+                "case {case}: grounding a ground instance of {pa:?} failed"
+            );
             let result = extract(machine.heap(), &[cell], 16);
             assert!(result.covers(std::slice::from_ref(&t)));
         }

@@ -41,7 +41,11 @@ fn strategies_agree_on_calling_patterns_and_verdicts() {
             let mut cd: Vec<String> = pd.entries.iter().map(|(c, _)| format!("{c:?}")).collect();
             ca.sort();
             cd.sort();
-            assert_eq!(ca, cd, "{}: calling patterns differ for {}", b.name, pa.name);
+            assert_eq!(
+                ca, cd,
+                "{}: calling patterns differ for {}",
+                b.name, pa.name
+            );
             // …with matching success/failure verdicts per pattern.
             for (call, success) in &pa.entries {
                 let other = pd

@@ -85,9 +85,8 @@ fn weakened_tables_are_coarser_or_equal() {
         })
         .analyze_query(b.entry, b.entry_specs)
         .unwrap();
-    let count = |a: &awam_core::Analysis| -> usize {
-        a.predicates.iter().map(|p| p.entries.len()).sum()
-    };
+    let count =
+        |a: &awam_core::Analysis| -> usize { a.predicates.iter().map(|p| p.entries.len()).sum() };
     assert!(
         count(&coarse) <= count(&full),
         "coarse: {} vs full: {}",

@@ -1,0 +1,132 @@
+//! The mutable state every interpretation shares: heap, registers,
+//! environments, trail, and the fetch/mode/structure cursors.
+
+use crate::cell::CellRepr;
+use awam_obs::OpcodeCounts;
+use wam::Slot;
+
+/// Read/write mode of the `unify_*` instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Walking an existing term at [`Frame::s`].
+    Read,
+    /// Building a new term at the heap top.
+    Write,
+}
+
+/// An environment frame (`allocate`/`deallocate`).
+///
+/// The abstract machine never reads `cont` or `cut` (calls return
+/// deterministically and cut is `true`), but keeping the concrete layout
+/// costs nothing and keeps `allocate` domain-independent.
+#[derive(Debug, Clone)]
+pub struct Env<C> {
+    /// Previous environment (dynamic chain).
+    pub prev: Option<usize>,
+    /// Saved continuation pointer.
+    pub cont: Option<usize>,
+    /// Permanent registers `Y1..Yn`.
+    pub y: Vec<C>,
+    /// Choice-stack height saved by `get_level` (the cut barrier).
+    pub cut: usize,
+}
+
+/// The WAM register file and memory areas, generic over the cell type `C`
+/// and the trail-entry type `E`.
+///
+/// The concrete machine trails bare addresses (`E = usize`, undo resets to
+/// an unbound ref); the abstract machine value-trails `(address, old
+/// cell)` pairs because instantiation overwrites variable-*like* cells
+/// whose previous value must be restorable. The choice stack is *not*
+/// here: only the concrete interpretation backtracks.
+#[derive(Debug)]
+pub struct Frame<C, E> {
+    /// The global term store.
+    pub heap: Vec<C>,
+    /// Argument/temporary registers `X1..Xn` (grown on demand).
+    pub x: Vec<C>,
+    /// Environment stack.
+    pub envs: Vec<Env<C>>,
+    /// Current environment.
+    pub e: Option<usize>,
+    /// The trail (entries interpreted by the owning interpretation).
+    pub trail: Vec<E>,
+    /// Program counter into the shared code area.
+    pub pc: usize,
+    /// Continuation code pointer; `None` returns to the driver.
+    pub cont: Option<usize>,
+    /// Cut barrier: choice-stack height at the last call.
+    pub b0: usize,
+    /// Arity of the predicate currently being entered.
+    pub num_args: usize,
+    /// Mode of the `unify_*` instructions.
+    pub mode: Mode,
+    /// Structure cursor (read mode).
+    pub s: usize,
+    /// Instructions dispatched over this frame's life.
+    pub executed: u64,
+    /// Per-opcode dispatch counts over this frame's life.
+    pub opcodes: OpcodeCounts,
+}
+
+impl<C: CellRepr, E> Frame<C, E> {
+    /// A fresh frame with the standard initial register file.
+    pub fn new() -> Self {
+        Frame {
+            heap: Vec::with_capacity(1024),
+            x: vec![C::null(); 256],
+            envs: Vec::new(),
+            e: None,
+            trail: Vec::new(),
+            pc: 0,
+            cont: None,
+            b0: 0,
+            num_args: 0,
+            mode: Mode::Read,
+            s: 0,
+            executed: 0,
+            opcodes: OpcodeCounts::new(wam::NUM_OPCODES),
+        }
+    }
+
+    /// Read an X or Y register.
+    pub fn read_slot(&self, slot: Slot) -> C {
+        match slot {
+            Slot::X(n) => self.x[n as usize],
+            Slot::Y(n) => {
+                let e = self.e.expect("Y access with no environment");
+                self.envs[e].y[n as usize]
+            }
+        }
+    }
+
+    /// Write an X or Y register (X grows on demand).
+    pub fn write_slot(&mut self, slot: Slot, cell: C) {
+        match slot {
+            Slot::X(n) => {
+                let n = n as usize;
+                if n >= self.x.len() {
+                    self.x.resize(n + 1, C::null());
+                }
+                self.x[n] = cell;
+            }
+            Slot::Y(n) => {
+                let e = self.e.expect("Y access with no environment");
+                self.envs[e].y[n as usize] = cell;
+            }
+        }
+    }
+
+    /// Push a fresh unbound variable onto the heap; returns its address.
+    pub fn push_unbound(&mut self) -> usize {
+        let addr = self.heap.len();
+        self.heap.push(C::mk_ref(addr));
+        addr
+    }
+}
+
+impl<C: CellRepr, E> Default for Frame<C, E> {
+    fn default() -> Self {
+        Frame::new()
+    }
+}

@@ -1,0 +1,39 @@
+//! The shared WAM execution substrate.
+//!
+//! The paper's central claim (§4–§5) is that dataflow analysis *is* the
+//! standard WAM code reinterpreted over an abstract domain. This crate
+//! makes the architecture literally mirror that claim: the tagged-cell
+//! heap, the register file, the trail discipline, `deref`, and the single
+//! instruction-dispatch `match` live here, **once**, generic over an
+//! [`Interpretation`]. The two machines of the workspace are thin
+//! instances:
+//!
+//! * `wam-machine` — the concrete interpretation: syntactic unification,
+//!   `call`/backtracking control, indexing instructions followed;
+//! * `awam-core` — the abstract interpretation of §4–§5: `s_unify` over
+//!   abstract cells, extension-table consult/insert on `call`, forced
+//!   failure between clauses, indexing bypassed.
+//!
+//! The split of one instruction into "data movement" (shared) and
+//! "semantics" (per-interpretation) follows the paper's Figure 4: an
+//! instruction like `get_list A1` derefs its argument and switches on the
+//! tag identically in both machines; only what happens on a variable-like
+//! cell differs. Correspondingly [`step`] handles every `get_*`/`put_*`/
+//! `unify_*`/`allocate`/`deallocate` inline and delegates the divergence
+//! points — unification, call/return, cut, indexing — to trait methods.
+//!
+//! No instruction dispatch exists anywhere else in the workspace: this is
+//! the "reused without any modification" part of the paper, as code
+//! structure rather than as a comment.
+
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod frame;
+pub mod interp;
+pub mod trail;
+
+pub use cell::{deref, Cell, CellRepr};
+pub use frame::{Env, Frame, Mode};
+pub use interp::{bind, step, unwind_trail, Flow, Interpretation};
+pub use trail::{TrailMark, ValueTrail};

@@ -1,0 +1,85 @@
+//! A standalone value trail for arena-style stores.
+//!
+//! The generic machines trail through [`Frame::trail`] (with the entry
+//! type chosen by the interpretation); the `baseline` meta-interpreter
+//! keeps a node arena instead of a WAM heap but needs the identical
+//! save/undo discipline. [`ValueTrail`] is that discipline factored out:
+//! record the old value on every overwrite, undo by replaying the records
+//! in reverse and truncating the arena to its saved length.
+//!
+//! [`Frame::trail`]: crate::frame::Frame::trail
+
+/// A trail of `(address, previous value)` records plus the paired arena
+/// high-water mark, for stores whose slots hold non-`Copy` values.
+#[derive(Debug, Clone)]
+pub struct ValueTrail<T> {
+    entries: Vec<(usize, T)>,
+}
+
+// Manual impl: the derive would needlessly require `T: Default`.
+impl<T> Default for ValueTrail<T> {
+    fn default() -> Self {
+        ValueTrail::new()
+    }
+}
+
+/// A point to undo back to: `(trail length, arena length)`.
+pub type TrailMark = (usize, usize);
+
+impl<T> ValueTrail<T> {
+    /// An empty trail.
+    pub fn new() -> Self {
+        ValueTrail {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of records on the trail.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trail has no records.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The mark to later [`ValueTrail::undo_to`], given the current arena
+    /// length.
+    pub fn mark(&self, arena_len: usize) -> TrailMark {
+        (self.entries.len(), arena_len)
+    }
+
+    /// Record that `slot` held `old` before an overwrite.
+    pub fn record(&mut self, slot: usize, old: T) {
+        self.entries.push((slot, old));
+    }
+
+    /// Undo every overwrite past `mark` (restoring old values into
+    /// `arena`) and truncate the arena to the marked length.
+    pub fn undo_to(&mut self, mark: TrailMark, arena: &mut Vec<T>) {
+        while self.entries.len() > mark.0 {
+            let (slot, old) = self.entries.pop().expect("non-empty trail");
+            arena[slot] = old;
+        }
+        arena.truncate(mark.1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undo_restores_values_and_length() {
+        let mut arena = vec!["a".to_string(), "b".to_string()];
+        let mut trail = ValueTrail::new();
+        let mark = trail.mark(arena.len());
+        trail.record(0, std::mem::replace(&mut arena[0], "x".into()));
+        arena.push("c".into());
+        assert_eq!(arena, ["x", "b", "c"]);
+        trail.undo_to(mark, &mut arena);
+        assert_eq!(arena, ["a", "b"]);
+        assert!(trail.is_empty());
+    }
+}

@@ -119,16 +119,19 @@ impl HostedAnalyzer {
         let norm = normalize_program(program).map_err(|e| HostedError::Norm(e.to_string()))?;
         let facts = generate_facts(&norm, entry, entry_specs)?;
         let source = format!("{facts}\n{INTERP}\n{RUNTIME}");
-        let parsed =
-            parse_program(&source).map_err(|e| HostedError::Parse(e.to_string()))?;
-        let compiled = wam::compile_program(&parsed)
-            .map_err(|e| HostedError::Compile(e.to_string()))?;
+        let parsed = parse_program(&source).map_err(|e| HostedError::Parse(e.to_string()))?;
+        let compiled =
+            wam::compile_program(&parsed).map_err(|e| HostedError::Compile(e.to_string()))?;
         Ok(HostedAnalyzer { compiled })
     }
 
     /// The generated analysis program's source (facts + framework), for
     /// inspection.
-    pub fn generated_source(program: &Program, entry: &str, specs: &[&str]) -> Result<String, HostedError> {
+    pub fn generated_source(
+        program: &Program,
+        entry: &str,
+        specs: &[&str],
+    ) -> Result<String, HostedError> {
         let norm = normalize_program(program).map_err(|e| HostedError::Norm(e.to_string()))?;
         let facts = generate_facts(&norm, entry, specs)?;
         Ok(format!("{facts}\n{INTERP}\n{RUNTIME}"))
@@ -180,18 +183,17 @@ fn generate_facts(
         let name = pred_atom(interner.resolve(key.name), key.arity);
         let mut cls = Vec::new();
         for clause in clauses {
-            let head: Vec<String> =
-                clause.head_args.iter().map(|t| term_text(t, interner)).collect();
+            let head: Vec<String> = clause
+                .head_args
+                .iter()
+                .map(|t| term_text(t, interner))
+                .collect();
             let goals: Vec<String> = clause
                 .goals
                 .iter()
                 .map(|g| goal_text(g, interner))
                 .collect();
-            cls.push(format!(
-                "cl([{}], [{}])",
-                head.join(", "),
-                goals.join(", ")
-            ));
+            cls.push(format!("cl([{}], [{}])", head.join(", "), goals.join(", ")));
         }
         out.push_str(&format!("clauses({name}, [{}]).\n", cls.join(",\n    ")));
     }
@@ -333,10 +335,8 @@ mod tests {
 
     #[test]
     fn append_hosted_analysis_runs() {
-        let program = parse_program(
-            "app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).",
-        )
-        .unwrap();
+        let program =
+            parse_program("app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).").unwrap();
         let hosted = HostedAnalyzer::build(&program, "app", &["glist", "glist", "var"]).unwrap();
         let run = hosted.run().unwrap();
         assert!(run.succeeded, "analysis driver completes");
@@ -349,7 +349,10 @@ mod tests {
         let src = HostedAnalyzer::generated_source(&program, "p", &["any", "any"]).unwrap();
         assert!(src.contains("main :- run('p/2', [any, any])"), "{src}");
         assert!(src.contains("clauses('p/2'"), "{src}");
-        assert!(src.contains("s(f, [v(0)])") || src.contains("s('f', [v(0)])"), "{src}");
+        assert!(
+            src.contains("s(f, [v(0)])") || src.contains("s('f', [v(0)])"),
+            "{src}"
+        );
         assert!(src.contains("bi(lt"), "{src}");
         assert!(src.contains("s('.', [c(a), c('[]')])"), "{src}");
     }

@@ -57,10 +57,10 @@ impl TransformedAnalyzer {
         entry_specs: &[&str],
     ) -> Result<TransformedAnalyzer, HostedError> {
         let source = Self::generated_source(program, entry, entry_specs)?;
-        let parsed = prolog_syntax::parse_program(&source)
-            .map_err(|e| HostedError::Parse(e.to_string()))?;
-        let compiled = wam::compile_program(&parsed)
-            .map_err(|e| HostedError::Compile(e.to_string()))?;
+        let parsed =
+            prolog_syntax::parse_program(&source).map_err(|e| HostedError::Parse(e.to_string()))?;
+        let compiled =
+            wam::compile_program(&parsed).map_err(|e| HostedError::Compile(e.to_string()))?;
         Ok(TransformedAnalyzer { compiled })
     }
 
@@ -74,8 +74,7 @@ impl TransformedAnalyzer {
         entry: &str,
         entry_specs: &[&str],
     ) -> Result<String, HostedError> {
-        let norm =
-            normalize_program(program).map_err(|e| HostedError::Norm(e.to_string()))?;
+        let norm = normalize_program(program).map_err(|e| HostedError::Norm(e.to_string()))?;
         let transformed = transform(&norm, entry, entry_specs)?;
         Ok(format!("{transformed}\n{RUNTIME}"))
     }
@@ -103,11 +102,7 @@ impl TransformedAnalyzer {
     }
 }
 
-fn transform(
-    norm: &NormProgram,
-    entry: &str,
-    entry_specs: &[&str],
-) -> Result<String, HostedError> {
+fn transform(norm: &NormProgram, entry: &str, entry_specs: &[&str]) -> Result<String, HostedError> {
     let interner = &norm.interner;
     let mut out = String::new();
     let entry_types: Vec<String> = entry_specs
@@ -152,7 +147,12 @@ fn transform(
         let mut chain = String::new();
         for ci in 0..clauses.len() {
             let tname = mangled_clause("t", &pkey, ci);
-            let _ = writeln!(chain, "    {tname}(Args, E{ci}, E{}, Ch{ci}, Ch{}),", ci + 1, ci + 1);
+            let _ = writeln!(
+                chain,
+                "    {tname}(Args, E{ci}, E{}, Ch{ci}, Ch{}),",
+                ci + 1,
+                ci + 1
+            );
         }
         let n = clauses.len();
         let _ = writeln!(
@@ -212,11 +212,7 @@ fn transform(
                         );
                     }
                     Goal::Call(callee, args) => {
-                        let ckey = format!(
-                            "{}/{}",
-                            interner.resolve(callee.name),
-                            callee.arity
-                        );
+                        let ckey = format!("{}/{}", interner.resolve(callee.name), callee.arity);
                         let csolve = solve_name(&ckey);
                         let args_list: Vec<String> =
                             args.iter().map(|t| term_text(t, interner)).collect();
@@ -266,14 +262,15 @@ mod tests {
 
     #[test]
     fn append_transformed_analysis_runs() {
-        let program = parse_program(
-            "app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).",
-        )
-        .unwrap();
+        let program =
+            parse_program("app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).").unwrap();
         let t = TransformedAnalyzer::build(&program, "app", &["glist", "glist", "var"])
             .unwrap_or_else(|e| {
-                let src =
-                    TransformedAnalyzer::generated_source(&program, "app", &["glist", "glist", "var"]);
+                let src = TransformedAnalyzer::generated_source(
+                    &program,
+                    "app",
+                    &["glist", "glist", "var"],
+                );
                 panic!("{e}\n---\n{}", src.unwrap_or_default())
             });
         let run = t.run().unwrap();
@@ -317,6 +314,9 @@ mod tests {
         assert!(src.contains("'$s p/1'"), "{src}");
         assert!(src.contains("'$t p/1.0'"), "{src}");
         assert!(src.contains("'$t p/1.1'"), "{src}");
-        assert!(!src.contains("clauses("), "no interpretive clause data: {src}");
+        assert!(
+            !src.contains("clauses("),
+            "no interpretive clause data: {src}"
+        );
     }
 }

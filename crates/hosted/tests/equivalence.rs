@@ -113,9 +113,8 @@ fn meta_and_transformed_compute_the_same_table() {
     ];
     for (src, entry, specs) in programs {
         let program = parse_program(src).unwrap();
-        let meta_src = print_table(
-            HostedAnalyzer::generated_source(&program, entry, &specs).unwrap(),
-        );
+        let meta_src =
+            print_table(HostedAnalyzer::generated_source(&program, entry, &specs).unwrap());
         let trans_src = print_table_transformed(
             TransformedAnalyzer::generated_source(&program, entry, &specs).unwrap(),
         );

@@ -381,8 +381,8 @@ impl Parser<'_> {
                             // Surrogate pairs are not needed for our own
                             // output (we never escape above U+001F), but
                             // accept lone BMP scalars.
-                            let c = char::from_u32(hex)
-                                .ok_or_else(|| self.err("bad \\u scalar"))?;
+                            let c =
+                                char::from_u32(hex).ok_or_else(|| self.err("bad \\u scalar"))?;
                             out.push(c);
                         }
                         _ => return Err(self.err("bad escape character")),
@@ -431,8 +431,8 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("ASCII digits are UTF-8");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits are UTF-8");
         if float {
             text.parse::<f64>()
                 .map(Json::Float)

@@ -34,6 +34,6 @@ pub use counters::{MachineStats, OpcodeCounts, TableStats};
 pub use json::{Json, JsonError};
 pub use timer::{Phase, PhaseTimers, Stopwatch};
 pub use trace::{
-    parse_jsonl, term_from_json, term_to_json, JsonlTracer, NopTracer, RecordingTracer,
-    TraceEvent, Tracer,
+    parse_jsonl, term_from_json, term_to_json, JsonlTracer, NopTracer, RecordingTracer, TraceEvent,
+    Tracer,
 };

@@ -26,8 +26,13 @@ pub enum Phase {
 
 impl Phase {
     /// All phases, in pipeline order.
-    pub const ALL: [Phase; 5] =
-        [Phase::Parse, Phase::Compile, Phase::Analyze, Phase::Execute, Phase::Report];
+    pub const ALL: [Phase; 5] = [
+        Phase::Parse,
+        Phase::Compile,
+        Phase::Analyze,
+        Phase::Execute,
+        Phase::Report,
+    ];
 
     /// Lower-case phase name as used in JSON keys.
     pub fn name(self) -> &'static str {
@@ -120,12 +125,7 @@ impl PhaseTimers {
         Json::Obj(
             Phase::ALL
                 .iter()
-                .map(|&p| {
-                    (
-                        format!("{}_ns", p.name()),
-                        Json::Int(self.nanos(p) as i64),
-                    )
-                })
+                .map(|&p| (format!("{}_ns", p.name()), Json::Int(self.nanos(p) as i64)))
                 .collect(),
         )
     }

@@ -133,23 +133,41 @@ impl TraceEvent {
                 pairs.push(("round", Json::Int(*round as i64)));
                 pairs.push(("changed", Json::Bool(*changed)));
             }
-            TraceEvent::CallPattern { pred, name, pattern } => {
+            TraceEvent::CallPattern {
+                pred,
+                name,
+                pattern,
+            } => {
                 pairs.push(("pred", Json::Int(*pred as i64)));
                 pairs.push(("name", Json::Str(name.clone())));
                 pairs.push(("pattern", Json::Str(pattern.clone())));
             }
-            TraceEvent::EtConsult { pred, name, pattern, hit } => {
+            TraceEvent::EtConsult {
+                pred,
+                name,
+                pattern,
+                hit,
+            } => {
                 pairs.push(("pred", Json::Int(*pred as i64)));
                 pairs.push(("name", Json::Str(name.clone())));
                 pairs.push(("pattern", Json::Str(pattern.clone())));
                 pairs.push(("hit", Json::Bool(*hit)));
             }
-            TraceEvent::EtInsert { pred, name, pattern } => {
+            TraceEvent::EtInsert {
+                pred,
+                name,
+                pattern,
+            } => {
                 pairs.push(("pred", Json::Int(*pred as i64)));
                 pairs.push(("name", Json::Str(name.clone())));
                 pairs.push(("pattern", Json::Str(pattern.clone())));
             }
-            TraceEvent::EtUpdate { pred, name, grew, summary } => {
+            TraceEvent::EtUpdate {
+                pred,
+                name,
+                grew,
+                summary,
+            } => {
                 pairs.push(("pred", Json::Int(*pred as i64)));
                 pairs.push(("name", Json::Str(name.clone())));
                 pairs.push(("grew", Json::Bool(*grew)));
@@ -278,15 +296,9 @@ impl TraceEvent {
 /// same interner (which is fine for replay/diff of a single run).
 pub fn term_to_json(term: &Term) -> Json {
     match term {
-        Term::Var(v) => Json::Arr(vec![
-            Json::Str("var".into()),
-            Json::Int(v.index() as i64),
-        ]),
+        Term::Var(v) => Json::Arr(vec![Json::Str("var".into()), Json::Int(v.index() as i64)]),
         Term::Int(n) => Json::Arr(vec![Json::Str("int".into()), Json::Int(*n)]),
-        Term::Atom(s) => Json::Arr(vec![
-            Json::Str("atom".into()),
-            Json::Int(s.index() as i64),
-        ]),
+        Term::Atom(s) => Json::Arr(vec![Json::Str("atom".into()), Json::Int(s.index() as i64)]),
         Term::Struct(f, args) => Json::Arr(vec![
             Json::Str("struct".into()),
             Json::Int(f.index() as i64),

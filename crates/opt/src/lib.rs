@@ -78,9 +78,7 @@ impl OptReport {
                 ..PredOpt::default()
             };
             // Entry states per argument: the lub over calling patterns.
-            let states: Vec<ArgState> = (0..pa.arity)
-                .map(|i| arg_state(&pa.entries, i))
-                .collect();
+            let states: Vec<ArgState> = (0..pa.arity).map(|i| arg_state(&pa.entries, i)).collect();
             // Walk each clause's head section.
             for &entry in &pred.clause_entries {
                 classify_head(compiled, entry, &states, &pa.entries, &mut row);
@@ -210,11 +208,13 @@ fn classify_head(
 /// All calling patterns pin argument `a` to exactly the constant `c`.
 fn constant_pinned(entries: &[(Pattern, Option<Pattern>)], a: usize, c: WamConst) -> bool {
     !entries.is_empty()
-        && entries.iter().all(|(cp, _)| match (cp.node(cp.root(a)), c) {
-            (PNode::Atom(x), WamConst::Atom(y)) => *x == y,
-            (PNode::Int(x), WamConst::Int(y)) => *x == y,
-            _ => false,
-        })
+        && entries
+            .iter()
+            .all(|(cp, _)| match (cp.node(cp.root(a)), c) {
+                (PNode::Atom(x), WamConst::Atom(y)) => *x == y,
+                (PNode::Int(x), WamConst::Int(y)) => *x == y,
+                _ => false,
+            })
 }
 
 /// Dead `switch_on_term` branches: count dispatch targets no recorded
@@ -281,8 +281,7 @@ fn determinate(
     if pred.clause_entries.len() <= 1 {
         return true;
     }
-    let Some(Instr::SwitchOnTerm { con, lis, str_, .. }) = compiled.code.get(pred.entry)
-    else {
+    let Some(Instr::SwitchOnTerm { con, lis, str_, .. }) = compiled.code.get(pred.entry) else {
         return false;
     };
     if entries.is_empty() {
@@ -401,12 +400,8 @@ fn head_may_match(clause: &prolog_syntax::Clause, cp: &Pattern) -> bool {
             (Term::Int(i), PNode::Int(j)) => i == j,
             (Term::Int(_), PNode::Atom(_) | PNode::List(_) | PNode::Struct(..)) => false,
             (Term::Int(_), PNode::Leaf(l)) => l.admits_integer(),
-            (Term::Struct(f, sub), PNode::Struct(g, nodes)) => {
-                f == g && sub.len() == nodes.len()
-            }
-            (Term::Struct(f, sub), PNode::List(_)) => {
-                absdom::is_dot_symbol(*f) && sub.len() == 2
-            }
+            (Term::Struct(f, sub), PNode::Struct(g, nodes)) => f == g && sub.len() == nodes.len(),
+            (Term::Struct(f, sub), PNode::List(_)) => absdom::is_dot_symbol(*f) && sub.len() == 2,
             (Term::Struct(..), PNode::Atom(_) | PNode::Int(_)) => false,
             (Term::Struct(f, sub), PNode::Leaf(l)) => {
                 if absdom::is_dot_symbol(*f) && sub.len() == 2 {

@@ -91,8 +91,22 @@ impl std::error::Error for LexError {}
 fn is_symbol_char(c: char) -> bool {
     matches!(
         c,
-        '+' | '-' | '*' | '/' | '\\' | '^' | '<' | '>' | '=' | '~' | ':' | '.' | '?' | '@' | '#'
-            | '&' | '$'
+        '+' | '-'
+            | '*'
+            | '/'
+            | '\\'
+            | '^'
+            | '<'
+            | '>'
+            | '='
+            | '~'
+            | ':'
+            | '.'
+            | '?'
+            | '@'
+            | '#'
+            | '&'
+            | '$'
     )
 }
 
@@ -475,19 +489,15 @@ mod tests {
 
     #[test]
     fn end_dot_at_eof_without_trailing_newline() {
-        assert_eq!(
-            lex("a."),
-            vec![TokenKind::Atom("a".into()), TokenKind::End]
-        );
+        assert_eq!(lex("a."), vec![TokenKind::Atom("a".into()), TokenKind::End]);
     }
 
     #[test]
     fn numbers() {
-        assert_eq!(lex("42 0 007"), vec![
-            TokenKind::Int(42),
-            TokenKind::Int(0),
-            TokenKind::Int(7),
-        ]);
+        assert_eq!(
+            lex("42 0 007"),
+            vec![TokenKind::Int(42), TokenKind::Int(0), TokenKind::Int(7),]
+        );
     }
 
     #[test]
@@ -497,7 +507,9 @@ mod tests {
 
     #[test]
     fn comments_are_layout() {
-        let tokens = Lexer::new("a % comment\nb /* block */ c").tokenize().unwrap();
+        let tokens = Lexer::new("a % comment\nb /* block */ c")
+            .tokenize()
+            .unwrap();
         assert_eq!(tokens.len(), 3);
         assert!(tokens[1].layout_before);
         assert!(tokens[2].layout_before);

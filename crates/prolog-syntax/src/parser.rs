@@ -56,10 +56,7 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
 
 /// Like [`parse_program`] but reusing an existing interner, so symbols are
 /// shared with previously parsed programs.
-pub fn parse_program_with_interner(
-    src: &str,
-    interner: Interner,
-) -> Result<Program, ParseError> {
+pub fn parse_program_with_interner(src: &str, interner: Interner) -> Result<Program, ParseError> {
     let tokens = Lexer::new(src).tokenize()?;
     let mut program = Program {
         interner,
@@ -84,7 +81,9 @@ pub fn parse_program_with_interner(
                 });
             }
             Term::Struct(f, args) if f == neck && args.len() == 1 => {
-                program.directives.push(args.into_iter().next().expect("arity 1"));
+                program
+                    .directives
+                    .push(args.into_iter().next().expect("arity 1"));
             }
             head => {
                 validate_head(&head, parser.line())?;
@@ -250,7 +249,9 @@ impl<'a> Parser<'a> {
                     left_prec = 1000;
                 }
                 Some(TokenKind::Atom(name)) => {
-                    let Some(op) = self.ops.infix(name) else { break };
+                    let Some(op) = self.ops.infix(name) else {
+                        break;
+                    };
                     if op.priority > max_prec || left_prec > op.left_max() {
                         break;
                     }
@@ -304,11 +305,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_atom_or_op(
-        &mut self,
-        name: &str,
-        max_prec: u32,
-    ) -> Result<(Term, u32), ParseError> {
+    fn parse_atom_or_op(&mut self, name: &str, max_prec: u32) -> Result<(Term, u32), ParseError> {
         // Compound term: atom immediately followed by `(`.
         if let Some(next) = self.peek() {
             if next.kind == TokenKind::OpenParen && !next.layout_before {
@@ -374,7 +371,9 @@ impl<'a> Parser<'a> {
                 Some(TokenKind::Comma) => continue,
                 Some(TokenKind::CloseParen) => return Ok(args),
                 Some(other) => {
-                    return Err(self.error(format!("expected `,` or `)` in arguments, found {other}")))
+                    return Err(
+                        self.error(format!("expected `,` or `)` in arguments, found {other}"))
+                    )
                 }
                 None => return Err(self.error("unterminated argument list")),
             }

@@ -52,32 +52,24 @@ struct Printer<'a> {
 impl Printer<'_> {
     fn print(&self, term: &Term, max_prec: u32, out: &mut String) {
         match term {
-            Term::Var(v) => {
-                match self.var_names.get(v.index()) {
-                    Some(name) if name != "_" => out.push_str(name),
-                    Some(_) => {
-                        out.push_str("_G");
-                        out.push_str(&v.0.to_string());
-                    }
-                    None => {
-                        out.push_str("_G");
-                        out.push_str(&v.0.to_string());
-                    }
+            Term::Var(v) => match self.var_names.get(v.index()) {
+                Some(name) if name != "_" => out.push_str(name),
+                Some(_) => {
+                    out.push_str("_G");
+                    out.push_str(&v.0.to_string());
                 }
-            }
+                None => {
+                    out.push_str("_G");
+                    out.push_str(&v.0.to_string());
+                }
+            },
             Term::Int(i) => out.push_str(&i.to_string()),
             Term::Atom(a) => self.print_atom(self.interner.resolve(*a), out),
             Term::Struct(f, args) => self.print_struct(*f, args, max_prec, out),
         }
     }
 
-    fn print_struct(
-        &self,
-        f: crate::Symbol,
-        args: &[Term],
-        max_prec: u32,
-        out: &mut String,
-    ) {
+    fn print_struct(&self, f: crate::Symbol, args: &[Term], max_prec: u32, out: &mut String) {
         // Lists.
         if f == self.interner.dot() && args.len() == 2 {
             self.print_list(&args[0], &args[1], out);
@@ -196,16 +188,28 @@ pub fn atom_needs_quotes(name: &str) -> bool {
     let mut chars = name.chars();
     let first = chars.next().expect("non-empty");
     if first.is_ascii_lowercase() {
-        return !name
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_');
+        return !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
     }
     // All-symbolic atoms read back unquoted.
     let symbolic = |c: char| {
         matches!(
             c,
-            '+' | '-' | '*' | '/' | '\\' | '^' | '<' | '>' | '=' | '~' | ':' | '.' | '?' | '@'
-                | '#' | '&' | '$'
+            '+' | '-'
+                | '*'
+                | '/'
+                | '\\'
+                | '^'
+                | '<'
+                | '>'
+                | '='
+                | '~'
+                | ':'
+                | '.'
+                | '?'
+                | '@'
+                | '#'
+                | '&'
+                | '$'
         )
     };
     if name.chars().all(symbolic) {

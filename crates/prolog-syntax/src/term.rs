@@ -254,7 +254,11 @@ impl Program {
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for clause in &self.clauses {
-            writeln!(f, "{}", crate::pretty::clause_to_string(clause, &self.interner))?;
+            writeln!(
+                f,
+                "{}",
+                crate::pretty::clause_to_string(clause, &self.interner)
+            )?;
         }
         Ok(())
     }

@@ -166,9 +166,8 @@ fn parser_never_panics_on_arbitrary_input() {
     let mut rng = Rng::new(0x0f2e_7a32);
     // Printable-ish ASCII plus a few multi-byte chars, like \PC did.
     const CHARS: &[char] = &[
-        'a', 'z', 'A', 'Z', '0', '9', '_', ' ', '\t', '(', ')', '[', ']', '|', ',', '.', ':',
-        '-', '+', '*', '/', '\\', '=', '<', '>', '!', ';', '\'', '"', '%', '{', '}', 'é', 'λ',
-        '→',
+        'a', 'z', 'A', 'Z', '0', '9', '_', ' ', '\t', '(', ')', '[', ']', '|', ',', '.', ':', '-',
+        '+', '*', '/', '\\', '=', '<', '>', '!', ';', '\'', '"', '%', '{', '}', 'é', 'λ', '→',
     ];
     for _ in 0..256 {
         let n = rng.below(60) as usize;

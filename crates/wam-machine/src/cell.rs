@@ -1,41 +1,7 @@
-//! Tagged heap cells.
+//! Tagged heap cells — the shared representation from [`awam_exec`].
+//!
+//! The cell type lives in the execution substrate so that both machines
+//! (and the dispatch loop) agree on it; this module keeps the historical
+//! `wam_machine::cell::Cell` path working.
 
-use prolog_syntax::Symbol;
-
-/// One tagged word, exactly as in the standard WAM.
-///
-/// An unbound variable is a `Ref` pointing at its own heap address.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum Cell {
-    /// Reference (possibly unbound: a self-reference).
-    Ref(usize),
-    /// Pointer to a `Fun` cell followed by the argument cells.
-    Str(usize),
-    /// Pointer to two consecutive cells (car, cdr).
-    Lis(usize),
-    /// An atom.
-    Con(Symbol),
-    /// An integer.
-    Int(i64),
-    /// A functor cell (only ever pointed to by `Str`).
-    Fun(Symbol, u16),
-}
-
-impl Cell {
-    /// Whether this cell is an unbound variable at address `addr`.
-    pub fn is_unbound_at(self, addr: usize) -> bool {
-        matches!(self, Cell::Ref(a) if a == addr)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn unbound_detection() {
-        assert!(Cell::Ref(3).is_unbound_at(3));
-        assert!(!Cell::Ref(3).is_unbound_at(4));
-        assert!(!Cell::Int(3).is_unbound_at(3));
-    }
-}
+pub use awam_exec::cell::Cell;

@@ -5,16 +5,10 @@ use prolog_syntax::Interner;
 use std::cmp::Ordering;
 use std::fmt;
 
-/// Follow reference chains to the representative cell.
-pub fn deref(heap: &[Cell], mut cell: Cell) -> Cell {
-    while let Cell::Ref(addr) = cell {
-        let next = heap[addr];
-        if next == Cell::Ref(addr) {
-            return next;
-        }
-        cell = next;
-    }
-    cell
+/// Follow reference chains to the representative cell (the shared
+/// [`awam_exec::deref`], discarding the address).
+pub fn deref(heap: &[Cell], cell: Cell) -> Cell {
+    awam_exec::deref(heap, cell).0
 }
 
 /// An arithmetic evaluation error.
@@ -58,9 +52,7 @@ pub fn eval_arith(heap: &[Cell], interner: &Interner, cell: Cell) -> Result<i64,
     match deref(heap, cell) {
         Cell::Int(i) => Ok(i),
         Cell::Ref(_) => Err(ArithError::Unbound),
-        Cell::Con(sym) => Err(ArithError::NotEvaluable(
-            interner.resolve(sym).to_owned(),
-        )),
+        Cell::Con(sym) => Err(ArithError::NotEvaluable(interner.resolve(sym).to_owned())),
         Cell::Lis(_) => Err(ArithError::NotEvaluable("a list".into())),
         Cell::Str(p) => {
             let Cell::Fun(f, n) = heap[p] else {
@@ -138,27 +130,21 @@ pub fn compare_terms(heap: &[Cell], interner: &Interner, a: Cell, b: Cell) -> Or
         (Cell::Lis(_) | Cell::Str(_), Cell::Lis(_) | Cell::Str(_)) => {
             let (fa, na, argsa) = decompose(heap, interner, a);
             let (fb, nb, argsb) = decompose(heap, interner, b);
-            na.cmp(&nb)
-                .then_with(|| fa.cmp(fb))
-                .then_with(|| {
-                    for (x, y) in argsa.iter().zip(argsb.iter()) {
-                        match compare_terms(heap, interner, *x, *y) {
-                            Ordering::Equal => continue,
-                            other => return other,
-                        }
+            na.cmp(&nb).then_with(|| fa.cmp(fb)).then_with(|| {
+                for (x, y) in argsa.iter().zip(argsb.iter()) {
+                    match compare_terms(heap, interner, *x, *y) {
+                        Ordering::Equal => continue,
+                        other => return other,
                     }
-                    Ordering::Equal
-                })
+                }
+                Ordering::Equal
+            })
         }
         _ => unreachable!("same rank implies same shape"),
     }
 }
 
-fn decompose<'a>(
-    heap: &[Cell],
-    interner: &'a Interner,
-    c: Cell,
-) -> (&'a str, usize, Vec<Cell>) {
+fn decompose<'a>(heap: &[Cell], interner: &'a Interner, c: Cell) -> (&'a str, usize, Vec<Cell>) {
     match c {
         Cell::Lis(p) => (".", 2, vec![Cell::Ref(p), Cell::Ref(p + 1)]),
         Cell::Str(p) => {
@@ -230,7 +216,10 @@ mod tests {
     fn unbound_is_an_error() {
         let i = Interner::new();
         let heap = vec![Cell::Ref(0)];
-        assert_eq!(eval_arith(&heap, &i, Cell::Ref(0)), Err(ArithError::Unbound));
+        assert_eq!(
+            eval_arith(&heap, &i, Cell::Ref(0)),
+            Err(ArithError::Unbound)
+        );
     }
 
     #[test]

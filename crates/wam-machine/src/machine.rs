@@ -1,12 +1,18 @@
-//! The WAM interpreter loop.
+//! The concrete WAM, as an instance of the shared execution substrate.
+//!
+//! Instruction dispatch, the heap/register/trail plumbing, and `deref`
+//! live in [`awam_exec`]; this module supplies the *concrete*
+//! interpretation — syntactic unification, `call`/`proceed` through a
+//! continuation pointer, backtracking through a choice-point stack, and
+//! the indexing instructions followed as compiled.
 
-use crate::cell::Cell;
 use crate::eval::{self, deref, eval_arith, ArithError};
 use crate::reify;
+use awam_exec::{Cell, CellRepr, Flow, Frame, Interpretation, Mode};
 use awam_obs::{MachineStats, OpcodeCounts, TraceEvent, Tracer};
 use prolog_syntax::Term;
 use std::fmt;
-use wam::{Builtin, CompiledProgram, Instr, Slot, WamConst};
+use wam::{Builtin, CodeAddr, CompiledProgram, Functor, PredIdx, WamConst};
 
 /// Result of driving the machine.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -80,15 +86,6 @@ impl Solution {
 }
 
 #[derive(Debug, Clone)]
-struct Env {
-    prev: Option<usize>,
-    cont: Option<usize>,
-    y: Vec<Cell>,
-    /// Choice-stack height saved by `get_level`.
-    cut: usize,
-}
-
-#[derive(Debug, Clone)]
 struct ChoicePoint {
     args: Vec<Cell>,
     e: Option<usize>,
@@ -105,29 +102,15 @@ struct ChoicePoint {
 /// See the [crate documentation](crate) for an overview and example.
 pub struct Machine<'p> {
     program: &'p CompiledProgram,
-    heap: Vec<Cell>,
-    x: Vec<Cell>,
-    envs: Vec<Env>,
+    /// Shared substrate state: heap, registers, environments, trail, pc.
+    frame: Frame<Cell, usize>,
     choices: Vec<ChoicePoint>,
-    trail: Vec<usize>,
-    pc: usize,
-    /// Continuation code pointer; `None` returns to the query driver.
-    cont: Option<usize>,
-    e: Option<usize>,
-    /// Cut barrier: choice-stack height at the last call.
-    b0: usize,
-    num_args: usize,
-    mode: Mode,
-    s: usize,
-    steps: u64,
     max_steps: u64,
     /// Names of the current query's variables, indexed by [`VarId`].
     query_vars: Vec<(String, usize)>,
     /// Event sink; predicate entries are reified into
     /// [`awam_obs::TraceEvent::Call`] events when attached.
     tracer: Option<&'p mut dyn Tracer>,
-    /// Per-opcode dispatch counts over this machine's life.
-    pub opcodes: OpcodeCounts,
     /// Backtracks, choice points, and high-water marks; instruction and
     /// call totals are folded in by [`Self::machine_stats`].
     stats: MachineStats,
@@ -142,25 +125,289 @@ pub struct Machine<'p> {
 impl fmt::Debug for Machine<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Machine")
-            .field("pc", &self.pc)
-            .field("steps", &self.steps)
-            .field("heap_len", &self.heap.len())
+            .field("pc", &self.frame.pc)
+            .field("steps", &self.frame.executed)
+            .field("heap_len", &self.frame.heap.len())
             .field("choices", &self.choices.len())
-            .field("envs", &self.envs.len())
+            .field("envs", &self.frame.envs.len())
             .field("traced", &self.tracer.is_some())
             .finish_non_exhaustive()
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Mode {
-    Read,
-    Write,
-}
+/// The concrete interpretation: every divergence point of the shared
+/// dispatch loop gets its standard-WAM semantics.
+impl Interpretation for Machine<'_> {
+    type Cell = Cell;
+    /// Address-only trail: undo resets the slot to an unbound ref.
+    type TrailEntry = usize;
+    type Error = RunError;
 
-enum Step {
-    Continue,
-    Done(Outcome),
+    fn frame(&self) -> &Frame<Cell, usize> {
+        &self.frame
+    }
+
+    fn frame_mut(&mut self) -> &mut Frame<Cell, usize> {
+        &mut self.frame
+    }
+
+    fn trail_entry(addr: usize, _old: Cell) -> usize {
+        addr
+    }
+
+    fn undo_entry(heap: &mut [Cell], addr: usize) {
+        heap[addr] = Cell::Ref(addr);
+    }
+
+    /// Full syntactic unification with trailing.
+    fn unify(&mut self, a: Cell, b: Cell) -> bool {
+        let mut stack = vec![(a, b)];
+        while let Some((a, b)) = stack.pop() {
+            let a = deref(&self.frame.heap, a);
+            let b = deref(&self.frame.heap, b);
+            if a == b {
+                continue;
+            }
+            match (a, b) {
+                (Cell::Ref(x), Cell::Ref(y)) => {
+                    // Bind the younger to the older for safe truncation.
+                    if x > y {
+                        self.bind(x, Cell::Ref(y));
+                    } else {
+                        self.bind(y, Cell::Ref(x));
+                    }
+                }
+                (Cell::Ref(x), other) => self.bind(x, other),
+                (other, Cell::Ref(y)) => self.bind(y, other),
+                (Cell::Int(x), Cell::Int(y)) => {
+                    if x != y {
+                        return false;
+                    }
+                }
+                (Cell::Con(x), Cell::Con(y)) => {
+                    if x != y {
+                        return false;
+                    }
+                }
+                (Cell::Lis(x), Cell::Lis(y)) => {
+                    stack.push((Cell::Ref(x), Cell::Ref(y)));
+                    stack.push((Cell::Ref(x + 1), Cell::Ref(y + 1)));
+                }
+                (Cell::Str(x), Cell::Str(y)) => {
+                    let (Cell::Fun(fx, nx), Cell::Fun(fy, ny)) =
+                        (self.frame.heap[x], self.frame.heap[y])
+                    else {
+                        unreachable!("Str points at Fun");
+                    };
+                    if fx != fy || nx != ny {
+                        return false;
+                    }
+                    for i in 0..nx as usize {
+                        stack.push((Cell::Ref(x + 1 + i), Cell::Ref(y + 1 + i)));
+                    }
+                }
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    fn get_constant(&mut self, c: WamConst, arg: Cell) -> bool {
+        let d = deref(&self.frame.heap, arg);
+        match (d, c) {
+            (Cell::Ref(addr), _) => {
+                self.bind(addr, Cell::mk_const(c));
+                true
+            }
+            (Cell::Con(s), WamConst::Atom(a)) => s == a,
+            (Cell::Int(i), WamConst::Int(j)) => i == j,
+            _ => false,
+        }
+    }
+
+    fn get_list(&mut self, arg: Cell) -> bool {
+        let arg = deref(&self.frame.heap, arg);
+        match arg {
+            Cell::Ref(addr) => {
+                // The two cells the following unify_* instructions
+                // write (in write mode) become the car and cdr.
+                let h = self.frame.heap.len();
+                self.bind(addr, Cell::Lis(h));
+                self.frame.mode = Mode::Write;
+                true
+            }
+            Cell::Lis(p) => {
+                self.frame.mode = Mode::Read;
+                self.frame.s = p;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn get_structure(&mut self, f: Functor, arg: Cell) -> bool {
+        let arg = deref(&self.frame.heap, arg);
+        match arg {
+            Cell::Ref(addr) => {
+                let h = self.frame.heap.len();
+                self.frame.heap.push(Cell::Fun(f.name, f.arity));
+                self.bind(addr, Cell::Str(h));
+                self.frame.mode = Mode::Write;
+                true
+            }
+            Cell::Str(p) if self.frame.heap[p] == Cell::Fun(f.name, f.arity) => {
+                self.frame.mode = Mode::Read;
+                self.frame.s = p + 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn call(&mut self, pred: PredIdx) -> Result<Flow, RunError> {
+        self.frame.cont = Some(self.frame.pc);
+        self.enter(pred);
+        Ok(Flow::Continue)
+    }
+
+    fn execute(&mut self, pred: PredIdx) -> Result<Flow, RunError> {
+        self.enter(pred);
+        Ok(Flow::Continue)
+    }
+
+    fn proceed(&mut self) -> Result<Flow, RunError> {
+        match self.frame.cont {
+            Some(addr) => {
+                self.frame.pc = addr;
+                Ok(Flow::Continue)
+            }
+            None => Ok(Flow::Done),
+        }
+    }
+
+    fn builtin(&mut self, b: Builtin) -> Result<Flow, RunError> {
+        Ok(match self.call_builtin(b)? {
+            BuiltinResult::Ok => Flow::Continue,
+            BuiltinResult::Fail => Flow::Fail,
+            BuiltinResult::Halt => Flow::Done,
+        })
+    }
+
+    fn neck_cut(&mut self) -> bool {
+        self.choices.truncate(self.frame.b0);
+        true
+    }
+
+    fn get_level(&mut self, _y: u16) -> bool {
+        // The barrier lives in the environment, not the Y register.
+        let e = self.frame.e.expect("get_level with no environment");
+        self.frame.envs[e].cut = self.frame.b0;
+        true
+    }
+
+    fn cut_level(&mut self, _y: u16) -> bool {
+        let e = self.frame.e.expect("cut with no environment");
+        let barrier = self.frame.envs[e].cut;
+        self.choices.truncate(barrier);
+        true
+    }
+
+    fn try_me_else(&mut self, alt: CodeAddr) -> Flow {
+        self.push_choice(alt);
+        Flow::Continue
+    }
+
+    fn retry_me_else(&mut self, alt: CodeAddr) -> Flow {
+        self.choices
+            .last_mut()
+            .expect("retry_me_else with no choice point")
+            .next_alt = alt;
+        Flow::Continue
+    }
+
+    fn trust_me(&mut self) -> Flow {
+        self.choices.pop().expect("trust_me with no choice point");
+        Flow::Continue
+    }
+
+    fn try_(&mut self, clause: CodeAddr) -> Flow {
+        let next = self.frame.pc;
+        self.push_choice(next);
+        self.frame.pc = clause;
+        Flow::Continue
+    }
+
+    fn retry(&mut self, clause: CodeAddr) -> Flow {
+        let next = self.frame.pc;
+        self.choices
+            .last_mut()
+            .expect("retry with no choice point")
+            .next_alt = next;
+        self.frame.pc = clause;
+        Flow::Continue
+    }
+
+    fn trust(&mut self, clause: CodeAddr) -> Flow {
+        self.choices.pop().expect("trust with no choice point");
+        self.frame.pc = clause;
+        Flow::Continue
+    }
+
+    fn switch_on_term(
+        &mut self,
+        var: CodeAddr,
+        con: CodeAddr,
+        lis: CodeAddr,
+        str_: CodeAddr,
+    ) -> Flow {
+        let d = deref(&self.frame.heap, self.frame.x[0]);
+        self.frame.pc = match d {
+            Cell::Ref(_) => var,
+            Cell::Con(_) | Cell::Int(_) => con,
+            Cell::Lis(_) => lis,
+            Cell::Str(_) => str_,
+            Cell::Fun(..) => unreachable!("bare functor in A1"),
+        };
+        Flow::Continue
+    }
+
+    fn switch_on_constant(&mut self, table: &[(WamConst, CodeAddr)]) -> Flow {
+        let d = deref(&self.frame.heap, self.frame.x[0]);
+        let key = match d {
+            Cell::Con(s) => Some(WamConst::Atom(s)),
+            Cell::Int(i) => Some(WamConst::Int(i)),
+            _ => None,
+        };
+        match key.and_then(|k| table.iter().find(|(c, _)| *c == k)) {
+            Some((_, addr)) => {
+                self.frame.pc = *addr;
+                Flow::Continue
+            }
+            None => Flow::Fail,
+        }
+    }
+
+    fn switch_on_structure(&mut self, table: &[(Functor, CodeAddr)]) -> Flow {
+        let d = deref(&self.frame.heap, self.frame.x[0]);
+        let key = match d {
+            Cell::Str(p) => match self.frame.heap[p] {
+                Cell::Fun(f, n) => Some((f, n)),
+                _ => None,
+            },
+            _ => None,
+        };
+        match key.and_then(|(f, n)| {
+            table
+                .iter()
+                .find(|(func, _)| func.name == f && func.arity == n)
+        }) {
+            Some((_, addr)) => {
+                self.frame.pc = *addr;
+                Flow::Continue
+            }
+            None => Flow::Fail,
+        }
+    }
 }
 
 impl<'p> Machine<'p> {
@@ -168,23 +415,11 @@ impl<'p> Machine<'p> {
     pub fn new(program: &'p CompiledProgram) -> Self {
         Machine {
             program,
-            heap: Vec::with_capacity(1024),
-            x: vec![Cell::Int(0); 256],
-            envs: Vec::new(),
+            frame: Frame::new(),
             choices: Vec::new(),
-            trail: Vec::new(),
-            pc: 0,
-            cont: None,
-            e: None,
-            b0: 0,
-            num_args: 0,
-            mode: Mode::Read,
-            s: 0,
-            steps: 0,
             max_steps: 500_000_000,
             query_vars: Vec::new(),
             tracer: None,
-            opcodes: OpcodeCounts::new(wam::NUM_OPCODES),
             stats: MachineStats::default(),
             calls: 0,
             interner: program.interner.clone(),
@@ -203,11 +438,16 @@ impl<'p> Machine<'p> {
     /// Work counters and high-water marks for the run so far.
     pub fn machine_stats(&self) -> MachineStats {
         let mut stats = self.stats;
-        stats.instructions = self.steps;
+        stats.instructions = self.frame.executed;
         stats.calls = self.calls;
-        stats.note_heap(self.heap.len());
-        stats.note_trail(self.trail.len());
+        stats.note_heap(self.frame.heap.len());
+        stats.note_trail(self.frame.trail.len());
         stats
+    }
+
+    /// Per-opcode dispatch counts over this machine's life.
+    pub fn opcodes(&self) -> &OpcodeCounts {
+        &self.frame.opcodes
     }
 
     /// Set the runaway-recursion step budget (default 5·10⁸).
@@ -217,7 +457,7 @@ impl<'p> Machine<'p> {
 
     /// Number of instructions executed so far.
     pub fn steps(&self) -> u64 {
-        self.steps
+        self.frame.executed
     }
 
     /// Parse `query` (e.g. `"app([1], [2], X)"`) and run it, returning the
@@ -235,7 +475,9 @@ impl<'p> Machine<'p> {
         // symbols (names must resolve to the same ids).
         let mut interner = self.program.interner.clone();
         let mut parser = prolog_syntax::Parser::new(&tokens, &mut interner);
-        let (term, _) = parser.parse(1200).map_err(|e| RunError::Parse(e.to_string()))?;
+        let (term, _) = parser
+            .parse(1200)
+            .map_err(|e| RunError::Parse(e.to_string()))?;
         let var_names = parser.take_var_names();
         // Any *new* symbols cannot exist in the program, so a lookup miss
         // during execution is simply failure; but the goal's own functor
@@ -267,19 +509,25 @@ impl<'p> Machine<'p> {
         var_names: &[String],
         interner: &prolog_syntax::Interner,
     ) -> Result<Option<Solution>, RunError> {
-        let pred = self
-            .program
-            .predicate(name, args.len())
-            .ok_or_else(|| RunError::UnknownPredicate {
-                pred: format!("{name}/{}", args.len()),
-            })?;
+        let pred =
+            self.program
+                .predicate(name, args.len())
+                .ok_or_else(|| RunError::UnknownPredicate {
+                    pred: format!("{name}/{}", args.len()),
+                })?;
         self.reset();
         self.interner = interner.clone();
         // Build argument terms on the heap.
         let mut var_addrs: Vec<Option<usize>> = vec![None; var_names.len()];
         for (i, arg) in args.iter().enumerate() {
-            let cell = reify::build(&mut self.heap, arg, &mut var_addrs, interner, self.program);
-            self.x[i] = cell;
+            let cell = reify::build(
+                &mut self.frame.heap,
+                arg,
+                &mut var_addrs,
+                interner,
+                self.program,
+            );
+            self.frame.x[i] = cell;
         }
         self.query_vars = var_names
             .iter()
@@ -293,10 +541,10 @@ impl<'p> Machine<'p> {
                 }
             })
             .collect();
-        self.num_args = args.len();
-        self.b0 = 0;
-        self.cont = None;
-        self.pc = self.program.predicates[pred].entry;
+        self.frame.num_args = args.len();
+        self.frame.b0 = 0;
+        self.frame.cont = None;
+        self.frame.pc = self.program.predicates[pred].entry;
         match self.run()? {
             Outcome::Success => Ok(Some(self.extract_solution())),
             Outcome::Failure => Ok(None),
@@ -342,15 +590,16 @@ impl<'p> Machine<'p> {
     }
 
     fn reset(&mut self) {
-        self.heap.clear();
-        self.envs.clear();
+        let f = &mut self.frame;
+        f.heap.clear();
+        f.envs.clear();
+        f.trail.clear();
+        f.e = None;
+        f.cont = None;
+        f.b0 = 0;
+        f.mode = Mode::Read;
+        f.s = 0;
         self.choices.clear();
-        self.trail.clear();
-        self.e = None;
-        self.cont = None;
-        self.b0 = 0;
-        self.mode = Mode::Read;
-        self.s = 0;
         self.output.clear();
         self.query_vars.clear();
     }
@@ -359,315 +608,43 @@ impl<'p> Machine<'p> {
         let mut bindings = Vec::new();
         let mut namer = reify::Namer::new();
         for (name, addr) in &self.query_vars {
-            let term = reify::reify(&self.heap, Cell::Ref(*addr), &mut namer);
-            let rendered =
-                prolog_syntax::term_to_string(&term, &self.interner, namer.names());
+            let term = reify::reify(&self.frame.heap, Cell::Ref(*addr), &mut namer);
+            let rendered = prolog_syntax::term_to_string(&term, &self.interner, namer.names());
             bindings.push((name.clone(), term, rendered));
         }
         Solution { bindings }
     }
 
-    // ----- the interpreter loop -----
+    // ----- the driver loop -----
 
     fn run(&mut self) -> Result<Outcome, RunError> {
+        let program = self.program;
         loop {
-            if self.steps >= self.max_steps {
+            if self.frame.executed >= self.max_steps {
                 return Err(RunError::StepLimit);
             }
-            self.steps += 1;
-            match self.step()? {
-                Step::Continue => {}
-                Step::Done(outcome) => return Ok(outcome),
-            }
-        }
-    }
-
-    fn step(&mut self) -> Result<Step, RunError> {
-        let instr = &self.program.code[self.pc];
-        self.opcodes.hit(instr.opcode_index());
-        self.pc += 1;
-        use Instr::*;
-        let ok = match instr {
-            &GetVariable(slot, a) => {
-                let v = self.x[a as usize];
-                self.write_slot(slot, v);
-                true
-            }
-            &GetValue(slot, a) => {
-                let v = self.read_slot(slot);
-                let arg = self.x[a as usize];
-                self.unify(v, arg)
-            }
-            &GetConstant(c, a) => {
-                let arg = self.x[a as usize];
-                self.get_constant(c, arg)
-            }
-            &GetList(a) => {
-                let arg = deref(&self.heap, self.x[a as usize]);
-                match arg {
-                    Cell::Ref(addr) => {
-                        // The two cells the following unify_* instructions
-                        // write (in write mode) become the car and cdr.
-                        let h = self.heap.len();
-                        self.bind(addr, Cell::Lis(h));
-                        self.mode = Mode::Write;
-                        true
-                    }
-                    Cell::Lis(p) => {
-                        self.mode = Mode::Read;
-                        self.s = p;
-                        true
-                    }
-                    _ => false,
-                }
-            }
-            &GetStructure(f, a) => {
-                let arg = deref(&self.heap, self.x[a as usize]);
-                match arg {
-                    Cell::Ref(addr) => {
-                        let h = self.heap.len();
-                        self.heap.push(Cell::Fun(f.name, f.arity));
-                        self.bind(addr, Cell::Str(h));
-                        self.mode = Mode::Write;
-                        true
-                    }
-                    Cell::Str(p)
-                        if self.heap[p] == Cell::Fun(f.name, f.arity) => {
-                            self.mode = Mode::Read;
-                            self.s = p + 1;
-                            true
-                        }
-                    _ => false,
-                }
-            }
-            &PutVariable(slot, a) => {
-                let addr = self.push_unbound();
-                self.write_slot(slot, Cell::Ref(addr));
-                self.x[a as usize] = Cell::Ref(addr);
-                true
-            }
-            &PutValue(slot, a) => {
-                self.x[a as usize] = self.read_slot(slot);
-                true
-            }
-            &PutConstant(c, a) => {
-                self.x[a as usize] = const_cell(c);
-                true
-            }
-            &PutList(a) => {
-                self.x[a as usize] = Cell::Lis(self.heap.len());
-                self.mode = Mode::Write;
-                true
-            }
-            &PutStructure(f, a) => {
-                let h = self.heap.len();
-                self.heap.push(Cell::Fun(f.name, f.arity));
-                self.x[a as usize] = Cell::Str(h);
-                self.mode = Mode::Write;
-                true
-            }
-            &UnifyVariable(slot) => {
-                match self.mode {
-                    Mode::Read => {
-                        let cell = self.heap[self.s];
-                        self.write_slot(slot, cell);
-                        self.s += 1;
-                    }
-                    Mode::Write => {
-                        let addr = self.push_unbound();
-                        self.write_slot(slot, Cell::Ref(addr));
+            match awam_exec::step(self, program)? {
+                Flow::Continue => {}
+                Flow::Fail => {
+                    if !self.backtrack() {
+                        return Ok(Outcome::Failure);
                     }
                 }
-                true
+                Flow::Done => return Ok(Outcome::Success),
             }
-            &UnifyValue(slot) => match self.mode {
-                Mode::Read => {
-                    let v = self.read_slot(slot);
-                    let s = self.s;
-                    self.s += 1;
-                    self.unify(v, Cell::Ref(s))
-                }
-                Mode::Write => {
-                    let v = self.read_slot(slot);
-                    self.heap.push(v);
-                    true
-                }
-            },
-            &UnifyConstant(c) => match self.mode {
-                Mode::Read => {
-                    let s = self.s;
-                    self.s += 1;
-                    self.get_constant(c, Cell::Ref(s))
-                }
-                Mode::Write => {
-                    self.heap.push(const_cell(c));
-                    true
-                }
-            },
-            &UnifyVoid(n) => {
-                match self.mode {
-                    Mode::Read => self.s += n as usize,
-                    Mode::Write => {
-                        for _ in 0..n {
-                            self.push_unbound();
-                        }
-                    }
-                }
-                true
-            }
-            &Allocate(n) => {
-                self.envs.push(Env {
-                    prev: self.e,
-                    cont: self.cont,
-                    y: vec![Cell::Int(0); n as usize],
-                    cut: self.b0,
-                });
-                self.e = Some(self.envs.len() - 1);
-                true
-            }
-            &Deallocate => {
-                let e = self.e.expect("deallocate with no environment");
-                self.cont = self.envs[e].cont;
-                self.e = self.envs[e].prev;
-                true
-            }
-            &Call(p) => {
-                self.cont = Some(self.pc);
-                self.enter(p);
-                true
-            }
-            &Execute(p) => {
-                self.enter(p);
-                true
-            }
-            &Proceed => match self.cont {
-                Some(addr) => {
-                    self.pc = addr;
-                    true
-                }
-                None => return Ok(Step::Done(Outcome::Success)),
-            },
-            &CallBuiltin(b) => match self.builtin(b)? {
-                BuiltinResult::Ok => true,
-                BuiltinResult::Fail => false,
-                BuiltinResult::Halt => return Ok(Step::Done(Outcome::Success)),
-            },
-            &NeckCut => {
-                self.choices.truncate(self.b0);
-                true
-            }
-            &GetLevel(_) => {
-                let e = self.e.expect("get_level with no environment");
-                self.envs[e].cut = self.b0;
-                true
-            }
-            &CutLevel(_) => {
-                let e = self.e.expect("cut with no environment");
-                let barrier = self.envs[e].cut;
-                self.choices.truncate(barrier);
-                true
-            }
-            &TryMeElse(l) => {
-                self.push_choice(l);
-                true
-            }
-            &RetryMeElse(l) => {
-                self.choices
-                    .last_mut()
-                    .expect("retry_me_else with no choice point")
-                    .next_alt = l;
-                true
-            }
-            &TrustMe => {
-                self.choices.pop().expect("trust_me with no choice point");
-                true
-            }
-            &Try(l) => {
-                let next = self.pc;
-                self.push_choice(next);
-                self.pc = l;
-                true
-            }
-            &Retry(l) => {
-                let next = self.pc;
-                self.choices
-                    .last_mut()
-                    .expect("retry with no choice point")
-                    .next_alt = next;
-                self.pc = l;
-                true
-            }
-            &Trust(l) => {
-                self.choices.pop().expect("trust with no choice point");
-                self.pc = l;
-                true
-            }
-            &SwitchOnTerm { var, con, lis, str_ } => {
-                let d = deref(&self.heap, self.x[0]);
-                self.pc = match d {
-                    Cell::Ref(_) => var,
-                    Cell::Con(_) | Cell::Int(_) => con,
-                    Cell::Lis(_) => lis,
-                    Cell::Str(_) => str_,
-                    Cell::Fun(..) => unreachable!("bare functor in A1"),
-                };
-                true
-            }
-            SwitchOnConstant(table) => {
-                let d = deref(&self.heap, self.x[0]);
-                let key = match d {
-                    Cell::Con(s) => Some(WamConst::Atom(s)),
-                    Cell::Int(i) => Some(WamConst::Int(i)),
-                    _ => None,
-                };
-                match key.and_then(|k| table.iter().find(|(c, _)| *c == k)) {
-                    Some((_, addr)) => {
-                        self.pc = *addr;
-                        true
-                    }
-                    None => false,
-                }
-            }
-            SwitchOnStructure(table) => {
-                let d = deref(&self.heap, self.x[0]);
-                let key = match d {
-                    Cell::Str(p) => match self.heap[p] {
-                        Cell::Fun(f, n) => Some((f, n)),
-                        _ => None,
-                    },
-                    _ => None,
-                };
-                match key.and_then(|(f, n)| {
-                    table
-                        .iter()
-                        .find(|(func, _)| func.name == f && func.arity == n)
-                }) {
-                    Some((_, addr)) => {
-                        self.pc = *addr;
-                        true
-                    }
-                    None => false,
-                }
-            }
-            &Fail => false,
-        };
-        if ok || self.backtrack() {
-            Ok(Step::Continue)
-        } else {
-            Ok(Step::Done(Outcome::Failure))
         }
     }
 
     fn enter(&mut self, pred: usize) {
         let entry = self.program.predicates[pred].entry;
-        self.num_args = self.program.predicates[pred].key.arity;
-        self.b0 = self.choices.len();
-        self.pc = entry;
+        self.frame.num_args = self.program.predicates[pred].key.arity;
+        self.frame.b0 = self.choices.len();
+        self.frame.pc = entry;
         self.calls += 1;
         if self.tracer.is_some() {
             let mut namer = reify::Namer::new();
-            let args: Vec<Term> = (0..self.num_args)
-                .map(|i| reify::reify(&self.heap, self.x[i], &mut namer))
+            let args: Vec<Term> = (0..self.frame.num_args)
+                .map(|i| reify::reify(&self.frame.heap, self.frame.x[i], &mut namer))
                 .collect();
             let name = self.program.predicates[pred].key.display(&self.interner);
             if let Some(tracer) = self.tracer.as_deref_mut() {
@@ -679,14 +656,14 @@ impl<'p> Machine<'p> {
     fn push_choice(&mut self, next_alt: usize) {
         self.stats.choice_points += 1;
         self.choices.push(ChoicePoint {
-            args: self.x[..self.num_args].to_vec(),
-            e: self.e,
-            cont: self.cont,
-            b0: self.b0,
+            args: self.frame.x[..self.frame.num_args].to_vec(),
+            e: self.frame.e,
+            cont: self.frame.cont,
+            b0: self.frame.b0,
             next_alt,
-            trail_len: self.trail.len(),
-            heap_len: self.heap.len(),
-            env_len: self.envs.len(),
+            trail_len: self.frame.trail.len(),
+            heap_len: self.frame.heap.len(),
+            env_len: self.frame.envs.len(),
         });
     }
 
@@ -697,131 +674,28 @@ impl<'p> Machine<'p> {
         // Backtracking unwinds heap and trail, so this is exactly a local
         // maximum of both — the right moment to sample high-water marks.
         self.stats.backtracks += 1;
-        self.stats.note_heap(self.heap.len());
-        self.stats.note_trail(self.trail.len());
+        self.stats.note_heap(self.frame.heap.len());
+        self.stats.note_trail(self.frame.trail.len());
         let cp = cp.clone();
-        self.x[..cp.args.len()].copy_from_slice(&cp.args);
-        self.num_args = cp.args.len();
-        self.e = cp.e;
-        self.cont = cp.cont;
-        self.b0 = cp.b0;
-        while self.trail.len() > cp.trail_len {
-            let addr = self.trail.pop().expect("non-empty");
-            self.heap[addr] = Cell::Ref(addr);
-        }
-        self.heap.truncate(cp.heap_len);
-        self.envs.truncate(cp.env_len);
-        self.pc = cp.next_alt;
+        self.frame.x[..cp.args.len()].copy_from_slice(&cp.args);
+        self.frame.num_args = cp.args.len();
+        self.frame.e = cp.e;
+        self.frame.cont = cp.cont;
+        self.frame.b0 = cp.b0;
+        awam_exec::unwind_trail(self, cp.trail_len);
+        self.frame.heap.truncate(cp.heap_len);
+        self.frame.envs.truncate(cp.env_len);
+        self.frame.pc = cp.next_alt;
         true
-    }
-
-    // ----- register and heap access -----
-
-    fn read_slot(&self, slot: Slot) -> Cell {
-        match slot {
-            Slot::X(n) => self.x[n as usize],
-            Slot::Y(n) => {
-                let e = self.e.expect("Y access with no environment");
-                self.envs[e].y[n as usize]
-            }
-        }
-    }
-
-    fn write_slot(&mut self, slot: Slot, cell: Cell) {
-        match slot {
-            Slot::X(n) => {
-                let n = n as usize;
-                if n >= self.x.len() {
-                    self.x.resize(n + 1, Cell::Int(0));
-                }
-                self.x[n] = cell;
-            }
-            Slot::Y(n) => {
-                let e = self.e.expect("Y access with no environment");
-                self.envs[e].y[n as usize] = cell;
-            }
-        }
-    }
-
-    fn push_unbound(&mut self) -> usize {
-        let addr = self.heap.len();
-        self.heap.push(Cell::Ref(addr));
-        addr
     }
 
     fn bind(&mut self, addr: usize, cell: Cell) {
-        self.heap[addr] = cell;
-        self.trail.push(addr);
-    }
-
-    fn get_constant(&mut self, c: WamConst, arg: Cell) -> bool {
-        let d = deref(&self.heap, arg);
-        match (d, c) {
-            (Cell::Ref(addr), _) => {
-                self.bind(addr, const_cell(c));
-                true
-            }
-            (Cell::Con(s), WamConst::Atom(a)) => s == a,
-            (Cell::Int(i), WamConst::Int(j)) => i == j,
-            _ => false,
-        }
-    }
-
-    /// Full unification with trailing.
-    pub(crate) fn unify(&mut self, a: Cell, b: Cell) -> bool {
-        let mut stack = vec![(a, b)];
-        while let Some((a, b)) = stack.pop() {
-            let a = deref(&self.heap, a);
-            let b = deref(&self.heap, b);
-            if a == b {
-                continue;
-            }
-            match (a, b) {
-                (Cell::Ref(x), Cell::Ref(y)) => {
-                    // Bind the younger to the older for safe truncation.
-                    if x > y {
-                        self.bind(x, Cell::Ref(y));
-                    } else {
-                        self.bind(y, Cell::Ref(x));
-                    }
-                }
-                (Cell::Ref(x), other) => self.bind(x, other),
-                (other, Cell::Ref(y)) => self.bind(y, other),
-                (Cell::Int(x), Cell::Int(y)) => {
-                    if x != y {
-                        return false;
-                    }
-                }
-                (Cell::Con(x), Cell::Con(y)) => {
-                    if x != y {
-                        return false;
-                    }
-                }
-                (Cell::Lis(x), Cell::Lis(y)) => {
-                    stack.push((Cell::Ref(x), Cell::Ref(y)));
-                    stack.push((Cell::Ref(x + 1), Cell::Ref(y + 1)));
-                }
-                (Cell::Str(x), Cell::Str(y)) => {
-                    let (Cell::Fun(fx, nx), Cell::Fun(fy, ny)) = (self.heap[x], self.heap[y])
-                    else {
-                        unreachable!("Str points at Fun");
-                    };
-                    if fx != fy || nx != ny {
-                        return false;
-                    }
-                    for i in 0..nx as usize {
-                        stack.push((Cell::Ref(x + 1 + i), Cell::Ref(y + 1 + i)));
-                    }
-                }
-                _ => return false,
-            }
-        }
-        true
+        awam_exec::bind(self, addr, cell);
     }
 
     // ----- builtins -----
 
-    fn builtin(&mut self, b: Builtin) -> Result<BuiltinResult, RunError> {
+    fn call_builtin(&mut self, b: Builtin) -> Result<BuiltinResult, RunError> {
         use Builtin::*;
         let interner = &self.interner;
         let ok = match b {
@@ -829,12 +703,12 @@ impl<'p> Machine<'p> {
             Fail => false,
             Halt => return Ok(BuiltinResult::Halt),
             Is => {
-                let value = eval_arith(&self.heap, interner, self.x[1])?;
-                self.unify(self.x[0], Cell::Int(value))
+                let value = eval_arith(&self.frame.heap, interner, self.frame.x[1])?;
+                self.unify(self.frame.x[0], Cell::Int(value))
             }
             Lt | Gt | Le | Ge | ArithEq | ArithNe => {
-                let l = eval_arith(&self.heap, interner, self.x[0])?;
-                let r = eval_arith(&self.heap, interner, self.x[1])?;
+                let l = eval_arith(&self.frame.heap, interner, self.frame.x[0])?;
+                let r = eval_arith(&self.frame.heap, interner, self.frame.x[1])?;
                 match b {
                     Lt => l < r,
                     Gt => l > r,
@@ -845,59 +719,52 @@ impl<'p> Machine<'p> {
                     _ => unreachable!(),
                 }
             }
-            Unify => self.unify(self.x[0], self.x[1]),
+            Unify => self.unify(self.frame.x[0], self.frame.x[1]),
             NotUnify => {
                 // Unify in a sandbox: trail and undo.
-                let mark = self.trail.len();
-                let heap_mark = self.heap.len();
-                let unified = self.unify(self.x[0], self.x[1]);
-                while self.trail.len() > mark {
-                    let addr = self.trail.pop().expect("non-empty");
-                    self.heap[addr] = Cell::Ref(addr);
-                }
-                self.heap.truncate(heap_mark);
+                let mark = self.frame.trail.len();
+                let heap_mark = self.frame.heap.len();
+                let unified = self.unify(self.frame.x[0], self.frame.x[1]);
+                awam_exec::unwind_trail(self, mark);
+                self.frame.heap.truncate(heap_mark);
                 !unified
             }
-            StructEq => eval::struct_eq(&self.heap, self.x[0], self.x[1]),
-            StructNe => !eval::struct_eq(&self.heap, self.x[0], self.x[1]),
+            StructEq => eval::struct_eq(&self.frame.heap, self.frame.x[0], self.frame.x[1]),
+            StructNe => !eval::struct_eq(&self.frame.heap, self.frame.x[0], self.frame.x[1]),
             TermLt => {
-                eval::compare_terms(&self.heap, interner, self.x[0], self.x[1])
+                eval::compare_terms(&self.frame.heap, interner, self.frame.x[0], self.frame.x[1])
                     == std::cmp::Ordering::Less
             }
             TermGt => {
-                eval::compare_terms(&self.heap, interner, self.x[0], self.x[1])
+                eval::compare_terms(&self.frame.heap, interner, self.frame.x[0], self.frame.x[1])
                     == std::cmp::Ordering::Greater
             }
             TermLe => {
-                eval::compare_terms(&self.heap, interner, self.x[0], self.x[1])
+                eval::compare_terms(&self.frame.heap, interner, self.frame.x[0], self.frame.x[1])
                     != std::cmp::Ordering::Greater
             }
             TermGe => {
-                eval::compare_terms(&self.heap, interner, self.x[0], self.x[1])
+                eval::compare_terms(&self.frame.heap, interner, self.frame.x[0], self.frame.x[1])
                     != std::cmp::Ordering::Less
             }
-            Var => matches!(deref(&self.heap, self.x[0]), Cell::Ref(_)),
-            Nonvar => !matches!(deref(&self.heap, self.x[0]), Cell::Ref(_)),
-            Atom => matches!(deref(&self.heap, self.x[0]), Cell::Con(_)),
-            Integer | Number => matches!(deref(&self.heap, self.x[0]), Cell::Int(_)),
+            Var => matches!(deref(&self.frame.heap, self.frame.x[0]), Cell::Ref(_)),
+            Nonvar => !matches!(deref(&self.frame.heap, self.frame.x[0]), Cell::Ref(_)),
+            Atom => matches!(deref(&self.frame.heap, self.frame.x[0]), Cell::Con(_)),
+            Integer | Number => matches!(deref(&self.frame.heap, self.frame.x[0]), Cell::Int(_)),
             Atomic => matches!(
-                deref(&self.heap, self.x[0]),
+                deref(&self.frame.heap, self.frame.x[0]),
                 Cell::Con(_) | Cell::Int(_)
             ),
             Compound => matches!(
-                deref(&self.heap, self.x[0]),
+                deref(&self.frame.heap, self.frame.x[0]),
                 Cell::Lis(_) | Cell::Str(_)
             ),
             FunctorOf => self.builtin_functor()?,
             Arg => self.builtin_arg()?,
             Write => {
                 let mut namer = reify::Namer::new();
-                let term = reify::reify(&self.heap, self.x[0], &mut namer);
-                let text = prolog_syntax::term_to_string(
-                    &term,
-                    &self.interner,
-                    namer.names(),
-                );
+                let term = reify::reify(&self.frame.heap, self.frame.x[0], &mut namer);
+                let text = prolog_syntax::term_to_string(&term, &self.interner, namer.names());
                 self.output.push_str(&text);
                 true
             }
@@ -906,7 +773,7 @@ impl<'p> Machine<'p> {
                 true
             }
             Tab => {
-                let n = eval_arith(&self.heap, interner, self.x[0])?;
+                let n = eval_arith(&self.frame.heap, interner, self.frame.x[0])?;
                 for _ in 0..n.max(0) {
                     self.output.push(' ');
                 }
@@ -921,44 +788,43 @@ impl<'p> Machine<'p> {
     }
 
     fn builtin_functor(&mut self) -> Result<bool, RunError> {
-        let t = deref(&self.heap, self.x[0]);
+        let t = deref(&self.frame.heap, self.frame.x[0]);
         match t {
-            Cell::Con(s) => {
-                Ok(self.unify(self.x[1], Cell::Con(s)) && self.unify(self.x[2], Cell::Int(0)))
-            }
-            Cell::Int(i) => {
-                Ok(self.unify(self.x[1], Cell::Int(i)) && self.unify(self.x[2], Cell::Int(0)))
-            }
+            Cell::Con(s) => Ok(self.unify(self.frame.x[1], Cell::Con(s))
+                && self.unify(self.frame.x[2], Cell::Int(0))),
+            Cell::Int(i) => Ok(self.unify(self.frame.x[1], Cell::Int(i))
+                && self.unify(self.frame.x[2], Cell::Int(0))),
             Cell::Lis(_) => {
                 let dot = self.interner.lookup(".").expect("well-known");
-                Ok(self.unify(self.x[1], Cell::Con(dot)) && self.unify(self.x[2], Cell::Int(2)))
+                Ok(self.unify(self.frame.x[1], Cell::Con(dot))
+                    && self.unify(self.frame.x[2], Cell::Int(2)))
             }
             Cell::Str(p) => {
-                let Cell::Fun(f, n) = self.heap[p] else {
+                let Cell::Fun(f, n) = self.frame.heap[p] else {
                     unreachable!()
                 };
-                Ok(self.unify(self.x[1], Cell::Con(f))
-                    && self.unify(self.x[2], Cell::Int(n as i64)))
+                Ok(self.unify(self.frame.x[1], Cell::Con(f))
+                    && self.unify(self.frame.x[2], Cell::Int(n as i64)))
             }
             Cell::Ref(_) => {
                 // Construction mode: name and arity must be bound.
-                let name = deref(&self.heap, self.x[1]);
-                let arity = deref(&self.heap, self.x[2]);
+                let name = deref(&self.frame.heap, self.frame.x[1]);
+                let arity = deref(&self.frame.heap, self.frame.x[2]);
                 match (name, arity) {
                     (Cell::Con(_) | Cell::Int(_), Cell::Int(0)) => {
-                        Ok(self.unify(self.x[0], name))
+                        Ok(self.unify(self.frame.x[0], name))
                     }
                     (Cell::Con(f), Cell::Int(n)) if n > 0 => {
-                        let h = self.heap.len();
-                        self.heap.push(Cell::Fun(f, n as u16));
+                        let h = self.frame.heap.len();
+                        self.frame.heap.push(Cell::Fun(f, n as u16));
                         for _ in 0..n {
-                            self.push_unbound();
+                            self.frame.push_unbound();
                         }
-                        Ok(self.unify(self.x[0], Cell::Str(h)))
+                        Ok(self.unify(self.frame.x[0], Cell::Str(h)))
                     }
-                    (Cell::Ref(_), _) | (_, Cell::Ref(_)) => {
-                        Err(RunError::Instantiation { builtin: "functor/3" })
-                    }
+                    (Cell::Ref(_), _) | (_, Cell::Ref(_)) => Err(RunError::Instantiation {
+                        builtin: "functor/3",
+                    }),
                     _ => Ok(false),
                 }
             }
@@ -967,25 +833,25 @@ impl<'p> Machine<'p> {
     }
 
     fn builtin_arg(&mut self) -> Result<bool, RunError> {
-        let n = deref(&self.heap, self.x[0]);
-        let t = deref(&self.heap, self.x[1]);
+        let n = deref(&self.frame.heap, self.frame.x[0]);
+        let t = deref(&self.frame.heap, self.frame.x[1]);
         let Cell::Int(n) = n else {
             return Err(RunError::Instantiation { builtin: "arg/3" });
         };
         match t {
             Cell::Str(p) => {
-                let Cell::Fun(_, arity) = self.heap[p] else {
+                let Cell::Fun(_, arity) = self.frame.heap[p] else {
                     unreachable!()
                 };
                 if n >= 1 && n <= arity as i64 {
-                    Ok(self.unify(self.x[2], Cell::Ref(p + n as usize)))
+                    Ok(self.unify(self.frame.x[2], Cell::Ref(p + n as usize)))
                 } else {
                     Ok(false)
                 }
             }
             Cell::Lis(p) => match n {
-                1 => Ok(self.unify(self.x[2], Cell::Ref(p))),
-                2 => Ok(self.unify(self.x[2], Cell::Ref(p + 1))),
+                1 => Ok(self.unify(self.frame.x[2], Cell::Ref(p))),
+                2 => Ok(self.unify(self.frame.x[2], Cell::Ref(p + 1))),
                 _ => Ok(false),
             },
             Cell::Ref(_) => Err(RunError::Instantiation { builtin: "arg/3" }),
@@ -998,11 +864,4 @@ enum BuiltinResult {
     Ok,
     Fail,
     Halt,
-}
-
-fn const_cell(c: WamConst) -> Cell {
-    match c {
-        WamConst::Atom(a) => Cell::Con(a),
-        WamConst::Int(i) => Cell::Int(i),
-    }
 }

@@ -165,8 +165,7 @@ mod tests {
     #[test]
     fn build_reify_roundtrip() {
         let program = setup();
-        let (term, interner, names) =
-            prolog_syntax::parse_term("f(X, [a, 2], g(X))").unwrap();
+        let (term, interner, names) = prolog_syntax::parse_term("f(X, [a, 2], g(X))").unwrap();
         let mut heap = Vec::new();
         let mut vars = vec![None; names.len()];
         let cell = build(&mut heap, &term, &mut vars, &interner, &program);

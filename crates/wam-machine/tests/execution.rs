@@ -91,8 +91,14 @@ fn arithmetic_is() {
 #[test]
 fn arithmetic_comparisons() {
     let src = "max(X, Y, X) :- X >= Y. max(X, Y, Y) :- X < Y.";
-    assert_eq!(first_binding(src, "max(3, 7, M)", "M").as_deref(), Some("7"));
-    assert_eq!(first_binding(src, "max(9, 2, M)", "M").as_deref(), Some("9"));
+    assert_eq!(
+        first_binding(src, "max(3, 7, M)", "M").as_deref(),
+        Some("7")
+    );
+    assert_eq!(
+        first_binding(src, "max(9, 2, M)", "M").as_deref(),
+        Some("9")
+    );
 }
 
 #[test]
@@ -135,7 +141,12 @@ fn qsort_with_partition() {
         partition([X|L], Y, L1, [X|L2]) :- partition(L, Y, L1, L2).
     ";
     assert_eq!(
-        first_binding(src, "qsort([27, 74, 17, 33, 94, 18, 46, 83, 65, 2], S, [])", "S").as_deref(),
+        first_binding(
+            src,
+            "qsort([27, 74, 17, 33, 94, 18, 46, 83, 65, 2], S, [])",
+            "S"
+        )
+        .as_deref(),
         Some("[2, 17, 18, 27, 33, 46, 65, 74, 83, 94]")
     );
 }
@@ -197,10 +208,7 @@ fn if_then_else() {
 #[test]
 fn disjunction_both_branches() {
     let src = "color(X) :- (X = red ; X = blue).";
-    assert_eq!(
-        all_bindings(src, "color(X)", "X", 10),
-        vec!["red", "blue"]
-    );
+    assert_eq!(all_bindings(src, "color(X)", "X", 10), vec!["red", "blue"]);
 }
 
 #[test]

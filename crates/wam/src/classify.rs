@@ -135,9 +135,7 @@ pub fn classify(clause: &NormClause) -> Classified {
     // needs_env: permanents, a saved cut barrier, a non-final call, or
     // multiple calls.
     let last_goal_is_call = clause.goals.last().is_some_and(Goal::is_call);
-    let needs_env = env_size > 0
-        || calls_seen >= 2
-        || (calls_seen == 1 && !last_goal_is_call);
+    let needs_env = env_size > 0 || calls_seen >= 2 || (calls_seen == 1 && !last_goal_is_call);
 
     // base: above the widest argument list.
     let mut base = clause.head_args.len();

@@ -90,14 +90,12 @@ impl ClauseGen<'_> {
         let mut tail_emitted = false;
         for (i, goal) in goals.iter().enumerate() {
             match goal {
-                Goal::Cut => {
-                    match self.layout().cut_slot {
-                        Some(y) if goals[..i].iter().any(Goal::is_call) => {
-                            self.code.push(Instr::CutLevel(y));
-                        }
-                        _ => self.code.push(Instr::NeckCut),
+                Goal::Cut => match self.layout().cut_slot {
+                    Some(y) if goals[..i].iter().any(Goal::is_call) => {
+                        self.code.push(Instr::CutLevel(y));
                     }
-                }
+                    _ => self.code.push(Instr::NeckCut),
+                },
                 Goal::Builtin(b, args) => {
                     self.compile_args(args);
                     self.code.push(Instr::CallBuiltin(*b));
@@ -144,15 +142,14 @@ impl ClauseGen<'_> {
                     if self.classified.voids.contains(v) {
                         // Ignored argument: no instruction needed.
                     } else if self.seen.insert(*v) {
-                        self.code.push(Instr::GetVariable(self.layout().slot(*v), a));
+                        self.code
+                            .push(Instr::GetVariable(self.layout().slot(*v), a));
                     } else {
                         self.code.push(Instr::GetValue(self.layout().slot(*v), a));
                     }
                 }
                 Term::Int(i) => self.code.push(Instr::GetConstant(WamConst::Int(*i), a)),
-                Term::Atom(s) => self
-                    .code
-                    .push(Instr::GetConstant(WamConst::Atom(*s), a)),
+                Term::Atom(s) => self.code.push(Instr::GetConstant(WamConst::Atom(*s), a)),
                 Term::Struct(f, args) if self.is_cons(*f, args.len()) => {
                     self.code.push(Instr::GetList(a));
                     self.emit_unify_args(args, &mut queue);
@@ -238,8 +235,7 @@ impl ClauseGen<'_> {
             Term::Int(i) => PreparedArg::Const(WamConst::Int(*i)),
             Term::Atom(s) => PreparedArg::Const(WamConst::Atom(*s)),
             Term::Struct(f, children) => {
-                let parts: Vec<WritePart> =
-                    children.iter().map(|c| self.prepare_part(c)).collect();
+                let parts: Vec<WritePart> = children.iter().map(|c| self.prepare_part(c)).collect();
                 PreparedArg::Compound {
                     functor: Functor {
                         name: *f,
@@ -259,8 +255,7 @@ impl ClauseGen<'_> {
             Term::Atom(s) => WritePart::Const(WamConst::Atom(*s)),
             Term::Struct(f, children) => {
                 // Build this child into a scratch register, bottom-up.
-                let parts: Vec<WritePart> =
-                    children.iter().map(|c| self.prepare_part(c)).collect();
+                let parts: Vec<WritePart> = children.iter().map(|c| self.prepare_part(c)).collect();
                 let reg = self.fresh_scratch();
                 if self.is_cons(*f, children.len()) {
                     self.code.push(Instr::PutList(reg));
@@ -457,10 +452,15 @@ mod tests {
         // q([1,2]) — inner [2] must be built into a scratch register first.
         let code = listing("p :- q([1, 2]). q([1,2]).");
         let text = code.join("\n");
-        let inner = text.find("put_list A2").expect("inner list built first (scratch X2)");
+        let inner = text
+            .find("put_list A2")
+            .expect("inner list built first (scratch X2)");
         let outer = text.find("put_list A1").expect("outer list");
         assert!(inner < outer, "{text}");
-        assert!(text.contains("unify_constant 2\nunify_constant []"), "{text}");
+        assert!(
+            text.contains("unify_constant 2\nunify_constant []"),
+            "{text}"
+        );
     }
 
     #[test]

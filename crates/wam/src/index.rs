@@ -148,8 +148,8 @@ pub fn emit_predicate(
 
         // Plain bucket: fail / direct / chain / try-block.
         let bucket = |code: &mut Vec<Instr>,
-                          subset: &[usize],
-                          fail: &mut dyn FnMut(&mut Vec<Instr>) -> CodeAddr|
+                      subset: &[usize],
+                      fail: &mut dyn FnMut(&mut Vec<Instr>) -> CodeAddr|
          -> CodeAddr {
             if subset.is_empty() {
                 fail(code)
@@ -302,7 +302,13 @@ mod tests {
     #[test]
     fn switch_emitted_when_first_args_bound() {
         let (code, pc, _) = emit("app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).", 0);
-        let Instr::SwitchOnTerm { var, con, lis, str_ } = &code[pc.entry] else {
+        let Instr::SwitchOnTerm {
+            var,
+            con,
+            lis,
+            str_,
+        } = &code[pc.entry]
+        else {
             panic!("expected switch, got {:?}", code[pc.entry]);
         };
         // var → chain; con ([] constant) → clause 1 body; lis → clause 2 body.
@@ -348,9 +354,7 @@ mod tests {
     fn var_clause_disables_switch() {
         let (code, pc, _) = emit("p(a). p(X). p(b).", 0);
         assert!(matches!(code[pc.entry], Instr::TryMeElse(_)));
-        assert!(!code
-            .iter()
-            .any(|i| matches!(i, Instr::SwitchOnTerm { .. })));
+        assert!(!code.iter().any(|i| matches!(i, Instr::SwitchOnTerm { .. })));
     }
 
     #[test]

@@ -285,7 +285,12 @@ impl Instr {
             Try(l) => format!("try {l}"),
             Retry(l) => format!("retry {l}"),
             Trust(l) => format!("trust {l}"),
-            SwitchOnTerm { var, con, lis, str_ } => {
+            SwitchOnTerm {
+                var,
+                con,
+                lis,
+                str_,
+            } => {
                 format!("switch_on_term {var}, {con}, {lis}, {str_}")
             }
             SwitchOnConstant(table) => {

@@ -47,4 +47,4 @@ pub mod text;
 
 pub use builtins::Builtin;
 pub use compile::{compile_program, CompileError, CompiledProgram, PredEntry, PredId};
-pub use instr::{Functor, Instr, Slot, WamConst, NUM_OPCODES, OPCODE_NAMES};
+pub use instr::{CodeAddr, Functor, Instr, PredIdx, Slot, WamConst, NUM_OPCODES, OPCODE_NAMES};

@@ -88,7 +88,10 @@ impl fmt::Display for NormError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NormError::NonCallableGoal { pred } => {
-                write!(f, "non-callable goal in a clause of {pred} (metacall is unsupported)")
+                write!(
+                    f,
+                    "non-callable goal in a clause of {pred} (metacall is unsupported)"
+                )
             }
         }
     }
@@ -244,13 +247,17 @@ impl Normalizer {
             }
             Term::Struct(f, args) if *f == interner.not() && args.len() == 1 => {
                 let fail = Term::Atom(self.interner.intern("fail"));
-                let neg_body = self.seq(vec![
-                    args[0].clone(),
-                    Term::Atom(self.interner.cut()),
-                    fail,
-                ]);
+                let neg_body =
+                    self.seq(vec![args[0].clone(), Term::Atom(self.interner.cut()), fail]);
                 let true_body = Term::Atom(self.interner.true_());
-                self.lift_aux(&goal, vec![neg_body, true_body], goals, auxes, var_names, "$not")
+                self.lift_aux(
+                    &goal,
+                    vec![neg_body, true_body],
+                    goals,
+                    auxes,
+                    var_names,
+                    "$not",
+                )
             }
             Term::Atom(name) => {
                 let text = self.interner.resolve(*name).to_owned();
@@ -331,7 +338,9 @@ impl Normalizer {
             let body = renumber(&body, &mut map, &mut aux_names);
             auxes.push(Pending {
                 key,
-                head_args: (0..vars.len() as u32).map(|i| Term::Var(VarId(i))).collect(),
+                head_args: (0..vars.len() as u32)
+                    .map(|i| Term::Var(VarId(i)))
+                    .collect(),
                 body,
                 var_names: aux_names,
             });
@@ -365,10 +374,9 @@ fn renumber(term: &Term, map: &mut HashMap<VarId, VarId>, names: &mut Vec<String
             }
         }
         Term::Int(_) | Term::Atom(_) => term.clone(),
-        Term::Struct(f, args) => Term::Struct(
-            *f,
-            args.iter().map(|a| renumber(a, map, names)).collect(),
-        ),
+        Term::Struct(f, args) => {
+            Term::Struct(*f, args.iter().map(|a| renumber(a, map, names)).collect())
+        }
     }
 }
 
@@ -455,7 +463,10 @@ mod tests {
             .expect("aux");
         assert_eq!(aux.1.len(), 2);
         let neg = &aux.1[0];
-        assert!(matches!(neg.goals.last(), Some(Goal::Builtin(Builtin::Fail, _))));
+        assert!(matches!(
+            neg.goals.last(),
+            Some(Goal::Builtin(Builtin::Fail, _))
+        ));
         assert!(neg.goals.contains(&Goal::Cut));
         assert!(aux.1[1].goals.is_empty());
     }

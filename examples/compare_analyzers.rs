@@ -55,6 +55,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         hosted_time.as_secs_f64() / compiled.as_secs_f64(),
         native_time.as_secs_f64() / compiled.as_secs_f64()
     );
-    println!("\nwhat the compiled analyzer found:\n{}", analysis.report(&analyzer));
+    println!(
+        "\nwhat the compiled analyzer found:\n{}",
+        analysis.report(&analyzer)
+    );
     Ok(())
 }

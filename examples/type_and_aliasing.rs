@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let analysis = analyzer.analyze_query("d", &["g", "atom", "var"])?;
     let d = analysis.predicate("d", 3).expect("analyzed");
     println!("d/3 types on success:");
-    for (i, ty) in report::success_types(d, analyzer.interner()).iter().enumerate() {
+    for (i, ty) in report::success_types(d, analyzer.interner())
+        .iter()
+        .enumerate()
+    {
         println!("  argument {}: {}", i + 1, ty);
     }
 

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! awam compile FILE.pl [--emit F.wam]  print the WAM listing (or save it)
+//! awam disasm FILE.pl|FILE.wam         print the shared code area both machines run
 //! awam run FILE.pl 'GOAL' [-n N]       run a query, print up to N solutions
 //! awam analyze FILE.pl PRED [SPECS]    dataflow analysis from an entry
 //! awam analyze-wam FILE.wam PRED [SPECS]  analyze saved WAM code
@@ -29,13 +30,15 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("compile") => cmd_compile(&args[1..]),
+        Some("disasm") => cmd_disasm(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("analyze-wam") => cmd_analyze_wam(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         _ => {
             eprintln!(
-                "usage:\n  awam compile FILE.pl [--emit F.wam]\n  awam run FILE.pl 'GOAL' [-n N]\n  \
+                "usage:\n  awam compile FILE.pl [--emit F.wam]\n  awam disasm FILE.pl|FILE.wam\n  \
+                 awam run FILE.pl 'GOAL' [-n N]\n  \
                  awam analyze FILE.pl PRED [SPEC,SPEC,…]\n  awam analyze-wam FILE.wam PRED [SPEC,…]\n  \
                  awam bench NAME\n\
                  observability flags: --stats | --stats-json | --trace FILE"
@@ -119,6 +122,25 @@ fn cmd_compile(args: &[String]) -> CmdResult {
         );
         return Ok(());
     }
+    println!(
+        "% {} predicates, {} instructions",
+        compiled.predicates.len(),
+        compiled.code_size()
+    );
+    println!("{}", compiled.listing());
+    Ok(())
+}
+
+/// Disassemble a program to the human-readable WAM assembly listing: the
+/// one code area that both the concrete machine and the abstract analyzer
+/// execute (via `awam-exec`). Accepts Prolog source or saved `.wam` text.
+fn cmd_disasm(args: &[String]) -> CmdResult {
+    let path = args.first().ok_or("disasm: missing FILE.pl or FILE.wam")?;
+    let compiled = if path.ends_with(".wam") {
+        awam::wam::text::from_text(&std::fs::read_to_string(path)?)?
+    } else {
+        compile_program(&load(path)?)?
+    };
     println!(
         "% {} predicates, {} instructions",
         compiled.predicates.len(),
@@ -213,7 +235,11 @@ fn render_stats(analysis: &Analysis, timers: &PhaseTimers) -> String {
     if !analysis.pred_times.is_empty() {
         out.push_str("self-time by predicate:\n");
         for (name, ns) in analysis.pred_times.iter().take(10) {
-            out.push_str(&format!("  {:<20} {:>10.1} us\n", name, *ns as f64 / 1000.0));
+            out.push_str(&format!(
+                "  {:<20} {:>10.1} us\n",
+                name,
+                *ns as f64 / 1000.0
+            ));
         }
     }
     out.push_str("opcode dispatches:\n");
@@ -275,7 +301,7 @@ fn cmd_run(args: &[String]) -> CmdResult {
             ("machine", machine.machine_stats().to_json()),
             (
                 "opcodes",
-                machine.opcodes.to_json(&awam::wam::OPCODE_NAMES),
+                machine.opcodes().to_json(&awam::wam::OPCODE_NAMES),
             ),
             ("phases", timers.to_json()),
         ]);
@@ -322,7 +348,7 @@ fn cmd_run(args: &[String]) -> CmdResult {
             }
         }
         println!("opcode dispatches:");
-        for (name, count) in machine.opcodes.nonzero(&awam::wam::OPCODE_NAMES) {
+        for (name, count) in machine.opcodes().nonzero(&awam::wam::OPCODE_NAMES) {
             println!("  {name:<20} {count:>10}");
         }
     }
@@ -354,8 +380,7 @@ fn cmd_analyze(args: &[String]) -> CmdResult {
 fn cmd_bench(args: &[String]) -> CmdResult {
     let (pos, flags) = split_flags(args)?;
     let name = pos.first().ok_or("bench: missing NAME (e.g. nreverse)")?;
-    let bench = awam::suite::by_name(name)
-        .ok_or_else(|| format!("unknown benchmark {name}"))?;
+    let bench = awam::suite::by_name(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
     let mut timers = PhaseTimers::new();
     let watch = Stopwatch::start();
     let program = bench.parse()?;
@@ -367,8 +392,7 @@ fn cmd_bench(args: &[String]) -> CmdResult {
         return run_analysis(analyzer, bench.entry, bench.entry_specs, &flags, timers);
     }
     let mut analyzer = analyzer;
-    let entry = awam::absdom::Pattern::from_spec(bench.entry_specs)
-        .ok_or("bad entry specs")?;
+    let entry = awam::absdom::Pattern::from_spec(bench.entry_specs).ok_or("bad entry specs")?;
     let start = std::time::Instant::now();
     let analysis = analyzer.analyze(bench.entry, &entry)?;
     let elapsed = start.elapsed();

@@ -10,6 +10,7 @@
 //!
 //! * [`syntax`] — Prolog terms, parser and printer;
 //! * [`wam`] — the WAM instruction set, compiler and textual code format;
+//! * [`exec`] — the shared execution substrate both machines instantiate;
 //! * [`machine`] — the concrete WAM runtime (standard Prolog execution);
 //! * [`absdom`] — the abstract domain of §3 of the paper;
 //! * [`analysis`] — the abstract WAM analyzer (the paper's contribution);
@@ -39,11 +40,12 @@
 
 pub use absdom;
 pub use awam_core as analysis;
+pub use awam_exec as exec;
 pub use awam_obs as obs;
 pub use baseline;
 pub use bench_suite as suite;
 pub use hosted as hosted_analyzer;
-pub use wam_opt as opt;
 pub use prolog_syntax as syntax;
 pub use wam;
 pub use wam_machine as machine;
+pub use wam_opt as opt;

@@ -64,12 +64,8 @@ fn every_concrete_call_is_covered_by_the_analysis() {
 fn hosted_analysis_completes_on_every_benchmark() {
     for b in suite::all() {
         let program = b.parse().expect("parse");
-        let hosted = awam::hosted_analyzer::HostedAnalyzer::build(
-            &program,
-            b.entry,
-            b.entry_specs,
-        )
-        .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let hosted = awam::hosted_analyzer::HostedAnalyzer::build(&program, b.entry, b.entry_specs)
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
         let run = hosted.run().unwrap_or_else(|e| panic!("{}: {e}", b.name));
         assert!(run.succeeded, "{}: hosted driver failed", b.name);
     }

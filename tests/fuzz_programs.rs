@@ -124,7 +124,9 @@ fn gen_program(rng: &mut Rng) -> GenProgram {
             let clauses = (0..num_clauses)
                 .map(|_| {
                     let head_args = (0..rng.below(3)).map(|_| gen_term(rng, 2)).collect();
-                    let goals = (0..rng.below(3)).map(|_| gen_goal(rng, NUM_PREDS)).collect();
+                    let goals = (0..rng.below(3))
+                        .map(|_| gen_goal(rng, NUM_PREDS))
+                        .collect();
                     GenClause { head_args, goals }
                 })
                 .collect();

@@ -27,7 +27,11 @@ fn exact_counters_on_nreverse() {
     // is a tripwire, not an approximation.
     assert_eq!(analysis.iterations, 3);
     let t = &analysis.table_stats;
-    assert_eq!(t.lookups, t.hits + t.misses, "hit/miss split covers lookups");
+    assert_eq!(
+        t.lookups,
+        t.hits + t.misses,
+        "hit/miss split covers lookups"
+    );
     assert_eq!(t.hits, 8);
     assert_eq!(t.misses, 3);
     assert_eq!(t.inserts, 3, "nrev/2 once, app/3 twice");
@@ -37,7 +41,10 @@ fn exact_counters_on_nreverse() {
 
     // The per-opcode histogram totals the instruction counter.
     assert_eq!(analysis.opcodes.total(), analysis.instructions_executed);
-    assert_eq!(analysis.machine_stats.instructions, analysis.instructions_executed);
+    assert_eq!(
+        analysis.machine_stats.instructions,
+        analysis.instructions_executed
+    );
     assert!(analysis.machine_stats.heap_high_water > 0);
 }
 
@@ -47,7 +54,9 @@ fn fixpoint_round_events_match_iteration_count() {
     let mut analyzer = Analyzer::compile(&program).unwrap();
     let entry = awam::absdom::Pattern::from_spec(&["glist", "var"]).unwrap();
     let mut tracer = RecordingTracer::default();
-    let analysis = analyzer.analyze_traced("nrev", &entry, &mut tracer).unwrap();
+    let analysis = analyzer
+        .analyze_traced("nrev", &entry, &mut tracer)
+        .unwrap();
 
     assert_eq!(tracer.rounds(), analysis.iterations);
     // Round events bracket properly: starts and ends pair up, and the
@@ -156,6 +165,6 @@ fn concrete_opcode_counts_total_steps() {
     let mut machine = Machine::new(&compiled);
     machine.query_str("nrev([1,2], R)").unwrap().unwrap();
     let stats = machine.machine_stats();
-    assert_eq!(machine.opcodes.total(), stats.instructions);
+    assert_eq!(machine.opcodes().total(), stats.instructions);
     assert!(stats.calls > 0);
 }

@@ -56,10 +56,7 @@ fn check(query: &str, entry: &str, specs: &[&str], out_var: &str) {
         .iter()
         .position(|s| *s == "var")
         .expect("one output position");
-    let single = absdom::Pattern::new(
-        summary.nodes().to_vec(),
-        vec![summary.root(out_idx)],
-    );
+    let single = absdom::Pattern::new(summary.nodes().to_vec(), vec![summary.root(out_idx)]);
     assert!(
         single.covers(std::slice::from_ref(&out_term)),
         "summary {single:?} does not cover concrete output of {query}"
