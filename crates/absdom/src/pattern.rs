@@ -29,7 +29,7 @@ use std::fmt;
 pub type NodeId = usize;
 
 /// One node of a pattern graph.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum PNode {
     /// An instantiable simple abstract type.
     Leaf(AbsLeaf),
@@ -53,7 +53,7 @@ pub enum PNode {
 /// let q = Pattern::from_spec(&["atom", "list(g)"]).unwrap();
 /// assert_eq!(p, q);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Pattern {
     nodes: Vec<PNode>,
     roots: Vec<NodeId>,
@@ -223,6 +223,22 @@ impl Pattern {
             }
         }
         ctx.out.canonicalize()
+    }
+
+    /// Whether `self` is subsumed by `other` (`self ⊑ other`): every
+    /// concrete argument tuple described by `self` is also described by
+    /// `other`. Computed through the canonical lub — patterns are kept
+    /// canonical, so `self ⊑ other` holds exactly when joining `self`
+    /// into `other` adds nothing.
+    ///
+    /// This is the reuse test of the session layer: a query whose entry
+    /// pattern is subsumed by an already-analyzed calling pattern can be
+    /// answered from the extension table without running the fixpoint.
+    pub fn leq(&self, other: &Pattern) -> bool {
+        if self.arity() != other.arity() {
+            return false;
+        }
+        self == other || self.lub(other) == *other
     }
 
     // ----- coverage (the soundness oracle) -----

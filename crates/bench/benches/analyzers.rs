@@ -26,7 +26,7 @@ fn report(group: &str, name: &str, us: f64) {
 fn analysis_compiled() {
     for b in bench_suite::all() {
         let program = b.parse().unwrap();
-        let mut analyzer = Analyzer::compile(&program).unwrap();
+        let analyzer = Analyzer::compile(&program).unwrap();
         let entry = Pattern::from_spec(b.entry_specs).unwrap();
         let us = time_us(
             || {

@@ -1,0 +1,80 @@
+//! Batch-analysis throughput: aggregate wall-clock for analyzing all
+//! eleven Table 1 programs, sequentially vs. fanned across worker
+//! threads with the same `par_map` driver `Analyzer::analyze_batch`
+//! uses. The workspace builds offline (no criterion), so timings are a
+//! minimum over repeated whole-batch passes.
+//!
+//! Run with `cargo bench --bench batch_throughput`.
+
+use absdom::Pattern;
+use awam_core::{par_map, Analyzer, Session};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One batch job: a compiled analyzer and its entry goal, prepared up
+/// front so the timed region is pure analysis.
+struct Job {
+    analyzer: Analyzer,
+    entry_name: &'static str,
+    entry: Pattern,
+    name: &'static str,
+}
+
+fn prepare() -> Vec<Job> {
+    bench_suite::all()
+        .into_iter()
+        .map(|b| {
+            let program = b.parse().expect("benchmark parses");
+            Job {
+                analyzer: Analyzer::compile(&program).expect("benchmark compiles"),
+                entry_name: b.entry,
+                entry: Pattern::from_spec(b.entry_specs).expect("entry spec"),
+                name: b.name,
+            }
+        })
+        .collect()
+}
+
+/// Run the whole suite once on `workers` threads; returns wall-clock ns.
+fn run_batch(jobs: &[Job], workers: usize) -> u128 {
+    let start = Instant::now();
+    let results = par_map(jobs, workers, |_, job| {
+        let mut session = Session::new(&job.analyzer);
+        session.analyze(job.entry_name, &job.entry)
+    });
+    let elapsed = start.elapsed().as_nanos();
+    for (job, result) in jobs.iter().zip(results) {
+        black_box(result).unwrap_or_else(|e| panic!("{}: {e}", job.name));
+    }
+    elapsed
+}
+
+fn min_ns(jobs: &[Job], workers: usize, passes: u32) -> u128 {
+    (0..passes).map(|_| run_batch(jobs, workers)).min().unwrap()
+}
+
+fn main() {
+    let jobs = prepare();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let passes = 20;
+    println!(
+        "batch_throughput: {} programs per batch, min of {passes} passes",
+        jobs.len()
+    );
+    let baseline = min_ns(&jobs, 1, passes);
+    println!(
+        "batch/workers=1  {:>10.2} us  (1.00x)",
+        baseline as f64 / 1e3
+    );
+    let mut tiers: Vec<usize> = [2, 4, cores].into_iter().filter(|&w| w > 1).collect();
+    tiers.sort_unstable();
+    tiers.dedup();
+    for workers in tiers {
+        let ns = min_ns(&jobs, workers, passes);
+        println!(
+            "batch/workers={workers}  {:>10.2} us  ({:.2}x)",
+            ns as f64 / 1e3,
+            baseline as f64 / ns as f64
+        );
+    }
+}

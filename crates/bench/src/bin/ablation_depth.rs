@@ -14,10 +14,11 @@ fn main() {
     for b in bench_suite::all() {
         let program = b.parse().expect("parse");
         for k in [1, 2, 3, 4, 6, 8] {
-            let mut analyzer = Analyzer::compile(&program)
-                .expect("compile")
-                .with_depth(k)
-                .with_et_impl(EtImpl::Linear);
+            let analyzer = Analyzer::builder()
+                .depth(k)
+                .et_impl(EtImpl::Linear)
+                .compile(&program)
+                .expect("compile");
             let entry = Pattern::from_spec(b.entry_specs).expect("entry");
             let analysis = match analyzer.analyze(b.entry, &entry) {
                 Ok(a) => a,

@@ -54,9 +54,10 @@ fn main() {
         let program = b.parse().expect("parse");
         let entry = Pattern::from_spec(b.entry_specs).expect("entry");
         for (name, config) in CONFIGS {
-            let mut analyzer = Analyzer::compile(&program)
-                .expect("compile")
-                .with_domain_config(*config);
+            let analyzer = Analyzer::builder()
+                .domain_config(*config)
+                .compile(&program)
+                .expect("compile");
             let analysis = match analyzer.analyze(b.entry, &entry) {
                 Ok(a) => a,
                 Err(e) => {

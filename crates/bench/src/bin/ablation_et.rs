@@ -17,9 +17,10 @@ fn main() {
         let mut times = Vec::new();
         let mut stats = awam_obs::TableStats::default();
         for et in [EtImpl::Linear, EtImpl::Hashed] {
-            let mut analyzer = Analyzer::compile(&program)
-                .expect("compile")
-                .with_et_impl(et);
+            let analyzer = Analyzer::builder()
+                .et_impl(et)
+                .compile(&program)
+                .expect("compile");
             let analysis = analyzer.analyze(b.entry, &entry).expect("analysis");
             if et == EtImpl::Linear {
                 stats = analysis.table_stats;

@@ -23,9 +23,10 @@ fn main() {
             IterationStrategy::GlobalRestart,
             IterationStrategy::Dependency,
         ] {
-            let mut analyzer = Analyzer::compile(&program)
-                .expect("compile")
-                .with_strategy(strategy);
+            let analyzer = Analyzer::builder()
+                .strategy(strategy)
+                .compile(&program)
+                .expect("compile");
             let analysis = analyzer.analyze(b.entry, &entry).expect("analysis");
             execs.push(analysis.instructions_executed);
             times.push(awam_bench::time_us(

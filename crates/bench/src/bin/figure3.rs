@@ -18,7 +18,7 @@ fn main() {
 
     println!("\nFigure 3 — reinterpreted over the abstract domain,");
     println!("for the calling pattern p(atom, glist):\n");
-    let mut analyzer = Analyzer::compile(&program).expect("compile");
+    let analyzer = Analyzer::compile(&program).expect("compile");
     let analysis = analyzer
         .analyze_query("p", &["atom", "glist"])
         .expect("analyze");

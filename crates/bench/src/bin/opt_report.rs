@@ -16,7 +16,7 @@ fn main() {
     for b in bench_suite::all() {
         let program = b.parse().expect("parse");
         let compiled = wam::compile_program(&program).expect("compile");
-        let mut analyzer = Analyzer::from_compiled(compiled.clone());
+        let analyzer = Analyzer::from_compiled(compiled.clone());
         let entry = Pattern::from_spec(b.entry_specs).expect("entry");
         let analysis = analyzer.analyze(b.entry, &entry).expect("analysis");
         let report = OptReport::build(&compiled, &analysis);

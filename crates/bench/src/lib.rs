@@ -104,9 +104,10 @@ pub fn run_benchmark(b: &Benchmark, depth_k: usize, et: EtImpl) -> Row {
     let size = compiled.code_size();
 
     // One instrumented run for Exec / iterations.
-    let mut analyzer = Analyzer::from_compiled(compiled.clone())
-        .with_depth(depth_k)
-        .with_et_impl(et);
+    let analyzer = Analyzer::builder()
+        .depth(depth_k)
+        .et_impl(et)
+        .build(compiled.clone());
     let entry = Pattern::from_spec(b.entry_specs).expect("entry spec");
     let analysis = analyzer.analyze(b.entry, &entry).expect("analysis runs");
 

@@ -1,18 +1,143 @@
-//! The public analysis API.
+//! The public analysis API: builder → immutable analyzer → session.
+//!
+//! The API has three layers:
+//!
+//! * [`AnalyzerBuilder`] holds the knobs (term depth, extension-table
+//!   implementation, domain restriction, iteration strategy, profiling)
+//!   and produces a compiled [`Analyzer`];
+//! * [`Analyzer`] is **immutable**: [`Analyzer::analyze`] takes `&self`,
+//!   so one compiled analyzer can serve many queries — and many threads
+//!   ([`Analyzer::analyze_batch`]) — concurrently;
+//! * [`crate::Session`] owns a persistent extension table that survives
+//!   across queries, answering repeat queries from the memo table with
+//!   zero fixpoint iterations.
 
 use crate::machine::{AbstractMachine, AnalysisError};
-use crate::table::{Entry, EtImpl};
-use crate::IterationStrategy;
+use crate::table::{Entry, EtImpl, ExtensionTable};
+use crate::{IterationStrategy, Session};
 use absdom::{AbsLeaf, DomainConfig, Pattern, DEFAULT_TERM_DEPTH};
 use awam_obs::{Json, MachineStats, OpcodeCounts, Stopwatch, TableStats, Tracer};
 use prolog_syntax::Program;
 use wam::{compile_program, CompileError, CompiledProgram};
 
+/// Configuration for building an [`Analyzer`]: the ablation knobs of the
+/// reproduction, collected before compilation so the produced analyzer
+/// can stay immutable (and therefore shareable across threads).
+///
+/// # Examples
+///
+/// ```
+/// use awam_core::{Analyzer, EtImpl, IterationStrategy};
+/// use prolog_syntax::parse_program;
+///
+/// let program = parse_program(
+///     "app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).",
+/// )?;
+/// let analyzer = Analyzer::builder()
+///     .depth(4)
+///     .et_impl(EtImpl::Hashed)
+///     .strategy(IterationStrategy::Dependency)
+///     .compile(&program)?;
+/// let analysis = analyzer.analyze_query("app", &["glist", "glist", "var"])?;
+/// assert_eq!(analysis.predicates[0].name, "app/3");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct AnalyzerBuilder {
+    depth_k: usize,
+    et_impl: EtImpl,
+    config: DomainConfig,
+    strategy: IterationStrategy,
+    profile_timing: bool,
+}
+
+impl Default for AnalyzerBuilder {
+    /// The paper's settings: term depth 4, linear-list extension table,
+    /// full domain, global-restart fixpoint, no profiling.
+    fn default() -> Self {
+        AnalyzerBuilder {
+            depth_k: DEFAULT_TERM_DEPTH,
+            et_impl: EtImpl::Linear,
+            config: DomainConfig::FULL,
+            strategy: IterationStrategy::GlobalRestart,
+            profile_timing: false,
+        }
+    }
+}
+
+impl AnalyzerBuilder {
+    /// A builder with the paper's default settings.
+    pub fn new() -> AnalyzerBuilder {
+        AnalyzerBuilder::default()
+    }
+
+    /// Set the term-depth restriction `k` (ablation A).
+    #[must_use]
+    pub fn depth(mut self, depth_k: usize) -> AnalyzerBuilder {
+        self.depth_k = depth_k;
+        self
+    }
+
+    /// Choose the extension-table implementation (ablation B).
+    #[must_use]
+    pub fn et_impl(mut self, et_impl: EtImpl) -> AnalyzerBuilder {
+        self.et_impl = et_impl;
+        self
+    }
+
+    /// Restrict the abstract domain (ablation C: precision vs. time).
+    #[must_use]
+    pub fn domain_config(mut self, config: DomainConfig) -> AnalyzerBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Choose the fixpoint iteration strategy (ablation D).
+    #[must_use]
+    pub fn strategy(mut self, strategy: IterationStrategy) -> AnalyzerBuilder {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Enable fine-grained profiling: extraction/materialization/table
+    /// nanosecond counters and the per-predicate time breakdown. Off by
+    /// default because it reads the clock inside the analysis hot path.
+    #[must_use]
+    pub fn profiling(mut self, on: bool) -> AnalyzerBuilder {
+        self.profile_timing = on;
+        self
+    }
+
+    /// Compile `program` into an analyzer with this configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from the WAM compiler.
+    pub fn compile(&self, program: &Program) -> Result<Analyzer, CompileError> {
+        Ok(self.build(compile_program(program)?))
+    }
+
+    /// Wrap an already-compiled program with this configuration.
+    pub fn build(&self, program: CompiledProgram) -> Analyzer {
+        Analyzer {
+            program,
+            depth_k: self.depth_k,
+            et_impl: self.et_impl,
+            config: self.config,
+            strategy: self.strategy,
+            profile_timing: self.profile_timing,
+        }
+    }
+}
+
 /// A compiled dataflow analyzer for one program.
 ///
-/// See the crate documentation for the full story; in short, the analyzer
-/// owns the WAM code (shared, unmodified, with the concrete machine) and
-/// runs the abstract WAM over it.
+/// The analyzer is immutable once built: it owns the WAM code (shared,
+/// unmodified, with the concrete machine) and runs the abstract WAM over
+/// it on every query. Because [`Analyzer::analyze`] takes `&self`, one
+/// analyzer can serve queries from many threads at once — see
+/// [`Analyzer::analyze_batch`] — and cross-query memo reuse lives in
+/// [`Session`].
 ///
 /// # Examples
 ///
@@ -23,7 +148,7 @@ use wam::{compile_program, CompileError, CompiledProgram};
 /// let program = parse_program(
 ///     "app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).",
 /// )?;
-/// let mut analyzer = Analyzer::compile(&program)?;
+/// let analyzer = Analyzer::compile(&program)?;
 /// let analysis = analyzer.analyze_query("app", &["glist", "glist", "var"])?;
 /// let entry = &analysis.predicates[0];
 /// assert_eq!(entry.name, "app/3");
@@ -39,9 +164,40 @@ pub struct Analyzer {
     profile_timing: bool,
 }
 
+/// One entry goal of a batch analysis: a predicate name plus its entry
+/// calling pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchGoal {
+    /// Entry predicate name.
+    pub name: String,
+    /// Entry calling pattern.
+    pub entry: Pattern,
+}
+
+impl BatchGoal {
+    /// A goal from a name and a pattern.
+    pub fn new(name: impl Into<String>, entry: Pattern) -> BatchGoal {
+        BatchGoal {
+            name: name.into(),
+            entry,
+        }
+    }
+
+    /// A goal from a name and spec strings (see [`Pattern::from_spec`]).
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::BadSpec`] for unknown specs.
+    pub fn from_spec(name: impl Into<String>, specs: &[&str]) -> Result<BatchGoal, AnalysisError> {
+        let entry =
+            Pattern::from_spec(specs).ok_or_else(|| AnalysisError::BadSpec(specs.join(", ")))?;
+        Ok(BatchGoal::new(name, entry))
+    }
+}
+
 /// The analysis of one predicate: its calling patterns and summarized
 /// success patterns.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PredAnalysis {
     /// `name/arity`.
     pub name: String,
@@ -60,12 +216,14 @@ pub struct Analysis {
     /// Per-predicate results, in predicate-table order, restricted to
     /// predicates that were actually called.
     pub predicates: Vec<PredAnalysis>,
-    /// Global fixpoint iterations performed.
+    /// Global fixpoint iterations performed by this query (zero when a
+    /// session answered it from the memo table).
     pub iterations: u64,
     /// Abstract WAM instructions executed (Table 1's `Exec` column).
     pub instructions_executed: u64,
     /// Extension-table counters (lookups, hit/miss split, scan cost,
-    /// inserts, lub behavior).
+    /// inserts, lub behavior). For session queries these accumulate over
+    /// the session's whole life, because the table itself does.
     pub table_stats: TableStats,
     /// Abstract-machine work counters and high-water marks.
     pub machine_stats: MachineStats,
@@ -75,34 +233,34 @@ pub struct Analysis {
     /// feature of `awam-obs` is off).
     pub analyze_ns: u64,
     /// Per-predicate self-time `(name, ns)`, descending; empty unless
-    /// [`Analyzer::with_profiling`] was enabled.
+    /// profiling was enabled via [`AnalyzerBuilder::profiling`].
     pub pred_times: Vec<(String, u64)>,
 }
 
 impl Analyzer {
+    /// A builder with the paper's default settings (term depth 4,
+    /// linear-list extension table, full domain, global restart).
+    pub fn builder() -> AnalyzerBuilder {
+        AnalyzerBuilder::default()
+    }
+
     /// Compile `program` and wrap it in an analyzer with the paper's
-    /// default term depth (4) and the paper's linear-list extension table.
+    /// default settings (shorthand for `Analyzer::builder().compile(..)`).
     ///
     /// # Errors
     ///
     /// Propagates [`CompileError`] from the WAM compiler.
     pub fn compile(program: &Program) -> Result<Analyzer, CompileError> {
-        Ok(Analyzer::from_compiled(compile_program(program)?))
+        AnalyzerBuilder::default().compile(program)
     }
 
-    /// Wrap an already-compiled program.
+    /// Wrap an already-compiled program with the default settings.
     pub fn from_compiled(program: CompiledProgram) -> Analyzer {
-        Analyzer {
-            program,
-            depth_k: DEFAULT_TERM_DEPTH,
-            et_impl: EtImpl::Linear,
-            config: DomainConfig::FULL,
-            strategy: IterationStrategy::GlobalRestart,
-            profile_timing: false,
-        }
+        AnalyzerBuilder::default().build(program)
     }
 
     /// Set the term-depth restriction `k` (ablation A).
+    #[deprecated(since = "0.1.0", note = "configure via Analyzer::builder().depth(..)")]
     #[must_use]
     pub fn with_depth(mut self, depth_k: usize) -> Analyzer {
         self.depth_k = depth_k;
@@ -110,6 +268,10 @@ impl Analyzer {
     }
 
     /// Choose the extension-table implementation (ablation B).
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure via Analyzer::builder().et_impl(..)"
+    )]
     #[must_use]
     pub fn with_et_impl(mut self, et_impl: EtImpl) -> Analyzer {
         self.et_impl = et_impl;
@@ -117,6 +279,10 @@ impl Analyzer {
     }
 
     /// Restrict the abstract domain (ablation C: precision vs. time).
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure via Analyzer::builder().domain_config(..)"
+    )]
     #[must_use]
     pub fn with_domain_config(mut self, config: DomainConfig) -> Analyzer {
         self.config = config;
@@ -124,15 +290,21 @@ impl Analyzer {
     }
 
     /// Choose the fixpoint iteration strategy (ablation D).
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure via Analyzer::builder().strategy(..)"
+    )]
     #[must_use]
     pub fn with_strategy(mut self, strategy: IterationStrategy) -> Analyzer {
         self.strategy = strategy;
         self
     }
 
-    /// Enable fine-grained profiling: extraction/materialization/table
-    /// nanosecond counters and the per-predicate time breakdown. Off by
-    /// default because it reads the clock inside the analysis hot path.
+    /// Enable fine-grained profiling.
+    #[deprecated(
+        since = "0.1.0",
+        note = "configure via Analyzer::builder().profiling(..)"
+    )]
     #[must_use]
     pub fn with_profiling(mut self, on: bool) -> Analyzer {
         self.profile_timing = on;
@@ -149,13 +321,24 @@ impl Analyzer {
         &self.program.interner
     }
 
+    /// The extension-table implementation this analyzer uses.
+    pub fn et_impl(&self) -> EtImpl {
+        self.et_impl
+    }
+
+    /// Open a [`Session`] on this analyzer: a persistent extension table
+    /// that survives across queries (shorthand for [`Session::new`]).
+    pub fn session(&self) -> Session<'_> {
+        Session::new(self)
+    }
+
     /// Analyze from `pred` with the given entry calling pattern.
     ///
     /// # Errors
     ///
     /// [`AnalysisError::UnknownPredicate`], [`AnalysisError::ArityMismatch`],
     /// or resource-bound errors.
-    pub fn analyze(&mut self, name: &str, entry: &Pattern) -> Result<Analysis, AnalysisError> {
+    pub fn analyze(&self, name: &str, entry: &Pattern) -> Result<Analysis, AnalysisError> {
         self.analyze_with(name, entry, None)
     }
 
@@ -167,7 +350,7 @@ impl Analyzer {
     ///
     /// Same as [`Analyzer::analyze`].
     pub fn analyze_traced(
-        &mut self,
+        &self,
         name: &str,
         entry: &Pattern,
         tracer: &mut dyn Tracer,
@@ -176,11 +359,56 @@ impl Analyzer {
     }
 
     fn analyze_with(
-        &mut self,
+        &self,
         name: &str,
         entry: &Pattern,
         tracer: Option<&mut dyn Tracer>,
     ) -> Result<Analysis, AnalysisError> {
+        let (pred, entry) = self.resolve_entry(name, entry)?;
+        let (analysis, _table) = self.run_fixpoint(pred, &entry, None, tracer)?;
+        Ok(analysis)
+    }
+
+    /// Analyze with an entry pattern given as spec strings (see
+    /// [`Pattern::from_spec`]).
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::BadSpec`] for unknown specs, plus everything
+    /// [`Analyzer::analyze`] returns.
+    pub fn analyze_query(&self, name: &str, specs: &[&str]) -> Result<Analysis, AnalysisError> {
+        let entry =
+            Pattern::from_spec(specs).ok_or_else(|| AnalysisError::BadSpec(specs.join(", ")))?;
+        self.analyze(name, &entry)
+    }
+
+    /// Analyze several independent entry goals, fanned out across
+    /// `workers` OS threads (std scoped threads; `workers` is clamped to
+    /// `1..=goals.len()`).
+    ///
+    /// Each goal runs in its own [`Session`], so every result is
+    /// byte-identical to a standalone [`Analyzer::analyze`] call for that
+    /// goal — regardless of worker count or scheduling. Results come back
+    /// in goal order.
+    pub fn analyze_batch(
+        &self,
+        goals: &[BatchGoal],
+        workers: usize,
+    ) -> Vec<Result<Analysis, AnalysisError>> {
+        crate::batch::par_map(goals, workers, |_, goal| {
+            Session::new(self).analyze(&goal.name, &goal.entry)
+        })
+    }
+
+    // ----- internals shared with Session -----
+
+    /// Resolve an entry goal: look up the predicate, check the arity, and
+    /// weaken the pattern to this analyzer's domain configuration.
+    pub(crate) fn resolve_entry(
+        &self,
+        name: &str,
+        entry: &Pattern,
+    ) -> Result<(usize, Pattern), AnalysisError> {
         let pred = self.program.predicate(name, entry.arity()).ok_or_else(|| {
             AnalysisError::UnknownPredicate {
                 pred: format!("{name}/{}", entry.arity()),
@@ -193,34 +421,34 @@ impl Analyzer {
                 got: entry.arity(),
             });
         }
-        let mut machine = AbstractMachine::new(&self.program, self.depth_k, self.et_impl);
+        Ok((pred, entry.weaken(self.config)))
+    }
+
+    /// Run the fixpoint for `(pred, entry)`, optionally seeded with a
+    /// session's table, and return the analysis plus the final table.
+    pub(crate) fn run_fixpoint(
+        &self,
+        pred: usize,
+        entry: &Pattern,
+        seed: Option<ExtensionTable>,
+        tracer: Option<&mut dyn Tracer>,
+    ) -> Result<(Analysis, ExtensionTable), AnalysisError> {
+        let mut machine = match seed {
+            Some(table) => {
+                AbstractMachine::with_table(&self.program, self.depth_k, self.et_impl, table)
+            }
+            None => AbstractMachine::new(&self.program, self.depth_k, self.et_impl),
+        };
         machine.set_domain_config(self.config);
         machine.set_strategy(self.strategy);
         machine.profile_timing = self.profile_timing;
         if let Some(tracer) = tracer {
             machine.set_tracer(tracer);
         }
-        let entry = entry.weaken(self.config);
         let watch = Stopwatch::start();
-        let iterations = machine.run_to_fixpoint(pred, &entry)?;
+        let iterations = machine.run_to_fixpoint(pred, entry)?;
         let analyze_ns = watch.elapsed_ns();
-        let mut predicates = Vec::new();
-        for (id, p) in self.program.predicates.iter().enumerate() {
-            let entries: Vec<(Pattern, Option<Pattern>)> = machine
-                .table()
-                .entries(id)
-                .iter()
-                .map(|Entry { call, success, .. }| (call.clone(), success.clone()))
-                .collect();
-            if !entries.is_empty() {
-                predicates.push(PredAnalysis {
-                    name: p.key.display(&self.program.interner),
-                    pred: id,
-                    arity: p.key.arity,
-                    entries,
-                });
-            }
-        }
+        let predicates = self.collect_predicates(machine.table());
         let mut pred_times: Vec<(String, u64)> = machine
             .pred_self_ns()
             .iter()
@@ -236,7 +464,7 @@ impl Analyzer {
             })
             .collect();
         pred_times.sort_by_key(|&(_, ns)| std::cmp::Reverse(ns));
-        Ok(Analysis {
+        let analysis = Analysis {
             predicates,
             iterations,
             instructions_executed: machine.exec_count(),
@@ -245,20 +473,44 @@ impl Analyzer {
             opcodes: machine.opcodes().clone(),
             analyze_ns,
             pred_times,
-        })
+        };
+        Ok((analysis, machine.into_table()))
     }
 
-    /// Analyze with an entry pattern given as spec strings (see
-    /// [`Pattern::from_spec`]).
-    ///
-    /// # Errors
-    ///
-    /// [`AnalysisError::BadSpec`] for unknown specs, plus everything
-    /// [`Analyzer::analyze`] returns.
-    pub fn analyze_query(&mut self, name: &str, specs: &[&str]) -> Result<Analysis, AnalysisError> {
-        let entry =
-            Pattern::from_spec(specs).ok_or_else(|| AnalysisError::BadSpec(specs.join(", ")))?;
-        self.analyze(name, &entry)
+    /// Project the per-predicate results out of an extension table.
+    pub(crate) fn collect_predicates(&self, table: &ExtensionTable) -> Vec<PredAnalysis> {
+        let mut predicates = Vec::new();
+        for (id, p) in self.program.predicates.iter().enumerate() {
+            let entries: Vec<(Pattern, Option<Pattern>)> = table
+                .entries(id)
+                .iter()
+                .map(|Entry { call, success, .. }| (call.clone(), success.clone()))
+                .collect();
+            if !entries.is_empty() {
+                predicates.push(PredAnalysis {
+                    name: p.key.display(&self.program.interner),
+                    pred: id,
+                    arity: p.key.arity,
+                    entries,
+                });
+            }
+        }
+        predicates
+    }
+
+    /// An [`Analysis`] answered entirely from a memo table: no fixpoint
+    /// iterations, no instructions executed.
+    pub(crate) fn analysis_from_table(&self, table: &ExtensionTable) -> Analysis {
+        Analysis {
+            predicates: self.collect_predicates(table),
+            iterations: 0,
+            instructions_executed: 0,
+            table_stats: *table.stats(),
+            machine_stats: MachineStats::default(),
+            opcodes: OpcodeCounts::new(wam::OPCODE_NAMES.len()),
+            analyze_ns: 0,
+            pred_times: Vec::new(),
+        }
     }
 }
 

@@ -1,0 +1,77 @@
+//! Parallel fan-out over independent jobs with std scoped threads.
+//!
+//! The workspace builds offline (no rayon, no crossbeam), so this is the
+//! one shared work-stealing-free driver: a fetch-add work queue over a
+//! slice, `workers` OS threads, results returned in item order. The
+//! analyzer's [`crate::Analyzer::analyze_batch`] and the batch benchmark
+//! both run through it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Map `f` over `items` using up to `workers` OS threads; results come
+/// back in item order. `workers` is clamped to `1..=items.len()`;
+/// `workers <= 1` runs inline with no threads at all, so a 1-worker
+/// batch is byte-for-byte the sequential loop.
+///
+/// `f` receives `(index, &item)`. Jobs are claimed dynamically (an atomic
+/// cursor, not pre-chunking), so a slow item does not starve the other
+/// workers.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker (via `std::thread::scope` join).
+pub fn par_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers.clamp(1, items.len().max(1));
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(i, item);
+                *slots[i].lock().expect("no worker panicked holding a slot") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("scope joined all workers")
+                .expect("every claimed job stored a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for workers in [1, 2, 8, 200] {
+            let out = par_map(&items, workers, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = par_map(&[] as &[u32], 8, |_, &x| x);
+        assert!(out.is_empty());
+    }
+}

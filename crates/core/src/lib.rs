@@ -30,7 +30,7 @@
 //!     app([], L, L).
 //!     app([H|T], L, [H|R]) :- app(T, L, R).
 //! ")?;
-//! let mut analyzer = Analyzer::compile(&program)?;
+//! let analyzer = Analyzer::compile(&program)?;
 //! let analysis = analyzer.analyze_query("nrev", &["glist", "var"])?;
 //! println!("{}", analysis.report(&analyzer));
 //! // The analyzer infers that nrev/2 maps a ground list to a ground list:
@@ -39,21 +39,54 @@
 //! assert!(success.node_is_ground(success.root(1)));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Sessions and batch analysis
+//!
+//! [`Analyzer::analyze`] takes `&self`: a compiled analyzer is immutable
+//! and can serve many queries, from many threads, concurrently. Two
+//! layers build on that:
+//!
+//! * [`Session`] keeps the extension table alive across queries, so a
+//!   repeated (or subsumed) entry goal is answered from the memo table
+//!   with **zero** fixpoint iterations;
+//! * [`Analyzer::analyze_batch`] fans independent entry goals out across
+//!   std scoped threads, one private [`Session`] per goal.
+//!
+//! ```
+//! use awam_core::{Analyzer, BatchGoal};
+//! use prolog_syntax::parse_program;
+//!
+//! let program = parse_program(
+//!     "app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).",
+//! )?;
+//! let analyzer = Analyzer::compile(&program)?;
+//! let goals = vec![
+//!     BatchGoal::from_spec("app", &["glist", "glist", "var"])?,
+//!     BatchGoal::from_spec("app", &["var", "var", "glist"])?,
+//! ];
+//! let results = analyzer.analyze_batch(&goals, 2);
+//! assert!(results.iter().all(Result::is_ok));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![warn(missing_docs)]
 
 pub mod acell;
 pub mod analyzer;
+pub mod batch;
 pub mod extract;
 pub mod machine;
 pub mod matcher;
 pub mod report;
+pub mod session;
 pub mod table;
 
 pub use acell::ACell;
-pub use analyzer::{Analysis, Analyzer, PredAnalysis};
+pub use analyzer::{Analysis, Analyzer, AnalyzerBuilder, BatchGoal, PredAnalysis};
+pub use batch::par_map;
 pub use machine::{AbstractMachine, AnalysisError};
 pub use report::ArgMode;
+pub use session::Session;
 pub use table::{EtImpl, ExtensionTable};
 
 /// How the global fixpoint iteration re-explores the program.

@@ -378,9 +378,30 @@ impl Interpretation for AbstractMachine<'_> {
 impl<'p> AbstractMachine<'p> {
     /// Create a machine over `program` with term-depth `depth_k`.
     pub fn new(program: &'p CompiledProgram, depth_k: usize, et: EtImpl) -> Self {
+        Self::with_table(
+            program,
+            depth_k,
+            et,
+            ExtensionTable::new(program.predicates.len(), et),
+        )
+    }
+
+    /// Create a machine seeded with an existing extension table (the
+    /// session warm-start path). The global iteration counter resumes
+    /// above the table's high-water mark so that no seeded entry is
+    /// mistaken for "already explored this round"; fixpoint runs report
+    /// rounds *performed by that run*, so seeded and fresh runs stay
+    /// comparable.
+    pub fn with_table(
+        program: &'p CompiledProgram,
+        depth_k: usize,
+        et: EtImpl,
+        table: ExtensionTable,
+    ) -> Self {
+        let iter = table.max_explored_iter();
         AbstractMachine {
             program,
-            table: ExtensionTable::new(program.predicates.len(), et),
+            table,
             frame: Frame::new(),
             depth: 0,
             depth_k,
@@ -393,7 +414,7 @@ impl<'p> AbstractMachine<'p> {
             worklist: Default::default(),
             queued: Default::default(),
             explorations: 0,
-            iter: 0,
+            iter,
             call_count: 0,
             extract_ns: 0,
             materialize_ns: 0,
@@ -466,9 +487,10 @@ impl<'p> AbstractMachine<'p> {
             return self.run_worklist(pred, entry);
         }
         const MAX_ITERS: u64 = 10_000;
+        let start_iter = self.iter;
         loop {
             self.iter += 1;
-            if self.iter > MAX_ITERS {
+            if self.iter - start_iter > MAX_ITERS {
                 return Err(AnalysisError::IterationLimit);
             }
             let round = self.iter;
@@ -490,7 +512,7 @@ impl<'p> AbstractMachine<'p> {
             let round = self.iter;
             self.trace(|_| TraceEvent::RoundEnd { round, changed });
             if !changed {
-                return Ok(self.iter);
+                return Ok(self.iter - start_iter);
             }
         }
     }
@@ -499,7 +521,7 @@ impl<'p> AbstractMachine<'p> {
     /// whose (transitive, via worklist propagation) inputs changed.
     fn run_worklist(&mut self, pred: usize, entry: &Pattern) -> Result<u64, AnalysisError> {
         const MAX_EXPLORATIONS: u64 = 5_000_000;
-        self.iter = 1;
+        self.iter += 1;
         self.frame.heap.clear();
         self.frame.trail.clear();
         self.frame.envs.clear();
@@ -530,6 +552,12 @@ impl<'p> AbstractMachine<'p> {
     /// The extension table accumulated so far.
     pub fn table(&self) -> &ExtensionTable {
         &self.table
+    }
+
+    /// Consume the machine, keeping its extension table (so a session can
+    /// carry the memo entries into the next query).
+    pub fn into_table(self) -> ExtensionTable {
+        self.table
     }
 
     fn table_impl_uses_hash(&self) -> bool {

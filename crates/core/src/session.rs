@@ -1,0 +1,186 @@
+//! Analysis sessions: a persistent extension table shared across queries.
+//!
+//! The paper's speed story (§6, Table 1) rests on the extension table
+//! memoizing `(calling pattern, success pattern)` pairs. A one-shot
+//! [`Analyzer::analyze`] call discards that table when it returns; a
+//! [`Session`] keeps it, so that
+//!
+//! * a query whose entry pattern is **subsumed** by an already-memoized
+//!   calling pattern is answered straight from the table — zero fixpoint
+//!   iterations, zero abstract instructions (a *warm hit*);
+//! * any other query runs the fixpoint **seeded** with the accumulated
+//!   entries, re-deriving nothing that is already converged (a *cold
+//!   run* that still reuses every memoized callee).
+//!
+//! # Why reuse is sound
+//!
+//! Every entry in a session's table at rest is part of a converged
+//! fixpoint: its success summary over-approximates every concrete
+//! execution of its calling pattern. A new entry goal can only *add*
+//! entries or grow summaries (the table evolves monotonically upward), so
+//! seeded entries never need revisiting — goal-dependent analyses are
+//! precisely reusable across entry goals. For a warm hit with entry
+//! pattern `e ⊑ c` for a memoized calling pattern `c`, the table is a
+//! sound (if possibly less precise) analysis for `e`, because the
+//! concretization of `e` is contained in that of `c`. See DESIGN.md for
+//! the full argument.
+//!
+//! # Examples
+//!
+//! ```
+//! use awam_core::Analyzer;
+//! use prolog_syntax::parse_program;
+//!
+//! let program = parse_program(
+//!     "app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).",
+//! )?;
+//! let analyzer = Analyzer::compile(&program)?;
+//! let mut session = analyzer.session();
+//! let cold = session.analyze_query("app", &["glist", "glist", "var"])?;
+//! let warm = session.analyze_query("app", &["glist", "glist", "var"])?;
+//! assert!(cold.iterations > 0);
+//! assert_eq!(warm.iterations, 0, "answered from the memo table");
+//! assert_eq!(warm.predicates, cold.predicates);
+//! assert_eq!(session.stats().session_warm_hits, 1);
+//! assert_eq!(session.stats().session_cold_runs, 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::analyzer::{Analysis, Analyzer};
+use crate::machine::AnalysisError;
+use crate::table::ExtensionTable;
+use absdom::Pattern;
+use awam_obs::{Json, SessionStats, Tracer};
+
+/// A query session over one compiled [`Analyzer`]: owns the extension
+/// table that persists across queries.
+///
+/// Sessions are cheap to create ([`Analyzer::session`]) and single-
+/// threaded by design; for parallelism, give each worker its own session
+/// over the same shared analyzer (that is exactly what
+/// [`Analyzer::analyze_batch`] does).
+#[derive(Debug)]
+pub struct Session<'a> {
+    analyzer: &'a Analyzer,
+    table: ExtensionTable,
+    stats: SessionStats,
+}
+
+impl<'a> Session<'a> {
+    /// Open a session with an empty memo table.
+    pub fn new(analyzer: &'a Analyzer) -> Session<'a> {
+        Session {
+            table: fresh_table(analyzer),
+            analyzer,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The analyzer this session queries.
+    pub fn analyzer(&self) -> &'a Analyzer {
+        self.analyzer
+    }
+
+    /// Warm/cold counters accumulated by this session.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Number of memo entries currently held (across all predicates).
+    pub fn memo_len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// The session counters as one JSON document (the `SessionStats`
+    /// fields plus the current memo-table size).
+    pub fn stats_json(&self) -> Json {
+        let Json::Obj(mut pairs) = self.stats.to_json() else {
+            unreachable!("SessionStats::to_json returns an object");
+        };
+        pairs.push(("memo_entries".to_owned(), Json::Int(self.memo_len() as i64)));
+        Json::Obj(pairs)
+    }
+
+    /// Drop all memoized entries and counters, as if freshly created.
+    pub fn reset(&mut self) {
+        self.table = fresh_table(self.analyzer);
+        self.stats = SessionStats::default();
+    }
+
+    /// Analyze from `name` with the given entry calling pattern,
+    /// consulting and extending the persistent table.
+    ///
+    /// A warm hit returns an [`Analysis`] with `iterations == 0` whose
+    /// `predicates` reflect the session's whole accumulated table (a
+    /// sound over-approximation for the queried goal). A cold run seeds
+    /// the fixpoint with the accumulated table and persists the grown
+    /// table for the next query.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Analyzer::analyze`]. After a resource-bound error the
+    /// memo table is discarded (a partially-explored table must not serve
+    /// later queries).
+    pub fn analyze(&mut self, name: &str, entry: &Pattern) -> Result<Analysis, AnalysisError> {
+        self.analyze_with(name, entry, None)
+    }
+
+    /// Like [`Session::analyze`], but streaming machine events into
+    /// `tracer` (warm hits emit no events: no machine runs).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::analyze`].
+    pub fn analyze_traced(
+        &mut self,
+        name: &str,
+        entry: &Pattern,
+        tracer: &mut dyn Tracer,
+    ) -> Result<Analysis, AnalysisError> {
+        self.analyze_with(name, entry, Some(tracer))
+    }
+
+    /// Analyze with an entry pattern given as spec strings (see
+    /// [`Pattern::from_spec`]).
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::BadSpec`] for unknown specs, plus everything
+    /// [`Session::analyze`] returns.
+    pub fn analyze_query(&mut self, name: &str, specs: &[&str]) -> Result<Analysis, AnalysisError> {
+        let entry =
+            Pattern::from_spec(specs).ok_or_else(|| AnalysisError::BadSpec(specs.join(", ")))?;
+        self.analyze(name, &entry)
+    }
+
+    fn analyze_with(
+        &mut self,
+        name: &str,
+        entry: &Pattern,
+        tracer: Option<&mut dyn Tracer>,
+    ) -> Result<Analysis, AnalysisError> {
+        let (pred, entry) = self.analyzer.resolve_entry(name, entry)?;
+        if self.table.find_subsuming(pred, &entry).is_some() {
+            self.stats.session_warm_hits += 1;
+            return Ok(self.analyzer.analysis_from_table(&self.table));
+        }
+        self.stats.session_cold_runs += 1;
+        let before = self.table.len() as u64;
+        self.stats.entries_reused += before;
+        let seed = std::mem::replace(&mut self.table, fresh_table(self.analyzer));
+        match self.analyzer.run_fixpoint(pred, &entry, Some(seed), tracer) {
+            Ok((analysis, table)) => {
+                self.stats.entries_created += (table.len() as u64).saturating_sub(before);
+                self.table = table;
+                Ok(analysis)
+            }
+            // The replacement table installed above is already fresh, so
+            // the partially-explored seed is dropped with the error.
+            Err(e) => Err(e),
+        }
+    }
+}
+
+fn fresh_table(analyzer: &Analyzer) -> ExtensionTable {
+    ExtensionTable::new(analyzer.program().predicates.len(), analyzer.et_impl())
+}

@@ -12,7 +12,7 @@
 
 use absdom::Pattern;
 use awam_obs::TableStats;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Which lookup structure the table uses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -45,7 +45,12 @@ pub struct Entry {
 #[derive(Clone, Debug, Default)]
 struct PredTable {
     entries: Vec<Entry>,
-    index: HashMap<Pattern, usize>,
+    /// Calling-pattern → entry index. An ordered map, not a hash map:
+    /// `HashMap`'s per-instance random seed would make any future
+    /// iteration over the index nondeterministic between runs (the same
+    /// bug class the `rev_deps` index had), and the `Ord`-based lookup
+    /// is still O(log n) pattern comparisons per consult.
+    index: BTreeMap<Pattern, usize>,
 }
 
 /// The extension table.
@@ -134,6 +139,30 @@ impl ExtensionTable {
     /// The entry at `(pred, idx)`.
     pub fn entry(&self, pred: usize, idx: usize) -> &Entry {
         &self.preds[pred].entries[idx]
+    }
+
+    /// Index of the first entry under `pred` whose calling pattern
+    /// subsumes `call` (`call ⊑ entry.call`). Quiet with respect to the
+    /// machine-level stats counters: this is the *session*-level reuse
+    /// probe, counted by [`awam_obs::SessionStats`] instead.
+    pub fn find_subsuming(&self, pred: usize, call: &Pattern) -> Option<usize> {
+        self.preds[pred]
+            .entries
+            .iter()
+            .position(|e| call.leq(&e.call))
+    }
+
+    /// The highest `explored_iter` over all entries — the resume point
+    /// for a fixpoint run seeded with this table: starting the global
+    /// iteration counter above it guarantees no stale entry is mistaken
+    /// for "already explored this round".
+    pub fn max_explored_iter(&self) -> u64 {
+        self.preds
+            .iter()
+            .flat_map(|p| p.entries.iter())
+            .map(|e| e.explored_iter)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Insert a fresh entry (marked explored in `iter`) and return its

@@ -7,7 +7,7 @@ use prolog_syntax::parse_program;
 
 fn analyze(src: &str, pred: &str, specs: &[&str]) -> (awam_core::Analysis, Analyzer) {
     let program = parse_program(src).expect("parse");
-    let mut analyzer = Analyzer::compile(&program).expect("compile");
+    let analyzer = Analyzer::compile(&program).expect("compile");
     let analysis = analyzer.analyze_query(pred, specs).expect("analyze");
     (analysis, analyzer)
 }
@@ -254,9 +254,9 @@ fn depth_restriction_controls_precision() {
     ";
     let program = parse_program(src).unwrap();
     // Deep k keeps the whole structure; shallow k summarizes.
-    let mut deep = Analyzer::compile(&program).unwrap().with_depth(8);
+    let deep = Analyzer::builder().depth(8).compile(&program).unwrap();
     let a_deep = deep.analyze_query("wrap", &["int", "var"]).unwrap();
-    let mut shallow = Analyzer::compile(&program).unwrap().with_depth(2);
+    let shallow = Analyzer::builder().depth(2).compile(&program).unwrap();
     let a_shallow = shallow.analyze_query("wrap", &["int", "var"]).unwrap();
     let s_deep = a_deep
         .predicate("wrap", 2)
@@ -286,12 +286,14 @@ fn hashed_and_linear_tables_agree() {
         app([H|T], L, [H|R]) :- app(T, L, R).
     ";
     let program = parse_program(src).unwrap();
-    let mut lin = Analyzer::compile(&program)
-        .unwrap()
-        .with_et_impl(EtImpl::Linear);
-    let mut hsh = Analyzer::compile(&program)
-        .unwrap()
-        .with_et_impl(EtImpl::Hashed);
+    let lin = Analyzer::builder()
+        .et_impl(EtImpl::Linear)
+        .compile(&program)
+        .unwrap();
+    let hsh = Analyzer::builder()
+        .et_impl(EtImpl::Hashed)
+        .compile(&program)
+        .unwrap();
     let a = lin.analyze_query("nrev", &["glist", "var"]).unwrap();
     let b = hsh.analyze_query("nrev", &["glist", "var"]).unwrap();
     for (pa, pb) in a.predicates.iter().zip(&b.predicates) {
@@ -324,7 +326,7 @@ fn zero_arity_predicates_analyze() {
 #[test]
 fn unknown_entry_pattern_is_error() {
     let program = parse_program(APPEND).unwrap();
-    let mut analyzer = Analyzer::compile(&program).unwrap();
+    let analyzer = Analyzer::compile(&program).unwrap();
     assert!(analyzer
         .analyze_query("app", &["frobnicate", "g", "g"])
         .is_err());

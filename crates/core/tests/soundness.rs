@@ -23,7 +23,7 @@ fn check_soundness(src: &str, pred: &str, specs: &[&str], query: &str) {
     drop(machine);
 
     // Abstract analysis.
-    let mut analyzer = Analyzer::compile(&program).expect("compile");
+    let analyzer = Analyzer::compile(&program).expect("compile");
     let analysis = analyzer.analyze_query(pred, specs).expect("analyze");
 
     // Obligation 1: every traced concrete call is covered by some calling
@@ -190,7 +190,7 @@ fn solution_terms_covered_by_success_summary() {
     let sol = machine.query_str("nrev([1, 2, 3], X)").unwrap().unwrap();
     let (_, out_term, _) = sol.bindings[0].clone();
 
-    let mut analyzer = Analyzer::compile(&program).unwrap();
+    let analyzer = Analyzer::compile(&program).unwrap();
     let analysis = analyzer.analyze_query("nrev", &["glist", "var"]).unwrap();
     let summary = analysis
         .predicate("nrev", 2)

@@ -18,12 +18,14 @@ use wam_machine::Machine;
 fn strategies_agree_on_calling_patterns_and_verdicts() {
     for b in bench_suite::all() {
         let program = b.parse().expect("parse");
-        let mut restart = Analyzer::compile(&program)
-            .expect("compile")
-            .with_strategy(IterationStrategy::GlobalRestart);
-        let mut dependency = Analyzer::compile(&program)
-            .expect("compile")
-            .with_strategy(IterationStrategy::Dependency);
+        let restart = Analyzer::builder()
+            .strategy(IterationStrategy::GlobalRestart)
+            .compile(&program)
+            .expect("compile");
+        let dependency = Analyzer::builder()
+            .strategy(IterationStrategy::Dependency)
+            .compile(&program)
+            .expect("compile");
         let a = restart
             .analyze_query(b.entry, b.entry_specs)
             .expect("restart analysis");
@@ -86,9 +88,10 @@ fn dependency_strategy_stays_sound_against_concrete_runs() {
         let _ = machine.query_str(b.entry);
         drop(machine);
 
-        let mut analyzer = Analyzer::compile(&program)
-            .unwrap()
-            .with_strategy(IterationStrategy::Dependency);
+        let analyzer = Analyzer::builder()
+            .strategy(IterationStrategy::Dependency)
+            .compile(&program)
+            .unwrap();
         let analysis = analyzer.analyze_query(b.entry, b.entry_specs).unwrap();
         for (pid, args) in tracer.calls().iter().take(10_000) {
             let pa = analysis
@@ -112,14 +115,16 @@ fn dependency_strategy_skips_redundant_exploration() {
     // its instruction count must be lower.
     let b = bench_suite::by_name("nreverse").unwrap();
     let program = b.parse().unwrap();
-    let a = Analyzer::compile(&program)
+    let a = Analyzer::builder()
+        .strategy(IterationStrategy::GlobalRestart)
+        .compile(&program)
         .unwrap()
-        .with_strategy(IterationStrategy::GlobalRestart)
         .analyze_query(b.entry, b.entry_specs)
         .unwrap();
-    let d = Analyzer::compile(&program)
+    let d = Analyzer::builder()
+        .strategy(IterationStrategy::Dependency)
+        .compile(&program)
         .unwrap()
-        .with_strategy(IterationStrategy::Dependency)
         .analyze_query(b.entry, b.entry_specs)
         .unwrap();
     assert!(

@@ -44,9 +44,10 @@ fn weakened_analyses_still_cover_concrete_calls() {
         let calls = tracer.calls();
 
         for &config in CONFIGS {
-            let mut analyzer = Analyzer::compile(&program)
-                .unwrap()
-                .with_domain_config(config);
+            let analyzer = Analyzer::builder()
+                .domain_config(config)
+                .compile(&program)
+                .unwrap();
             let analysis = analyzer
                 .analyze_query(b.entry, b.entry_specs)
                 .unwrap_or_else(|e| panic!("{name} under {config:?}: {e}"));
@@ -76,13 +77,14 @@ fn weakened_tables_are_coarser_or_equal() {
         .unwrap()
         .analyze_query(b.entry, b.entry_specs)
         .unwrap();
-    let coarse = Analyzer::compile(&program)
-        .unwrap()
-        .with_domain_config(DomainConfig {
+    let coarse = Analyzer::builder()
+        .domain_config(DomainConfig {
             aliasing: false,
             list_types: false,
             struct_types: false,
         })
+        .compile(&program)
+        .unwrap()
         .analyze_query(b.entry, b.entry_specs)
         .unwrap();
     let count =

@@ -125,6 +125,53 @@ impl OpcodeCounts {
     }
 }
 
+/// Counters for one analysis session: how often queries were answered
+/// from the persistent extension table (warm hits) versus by running the
+/// fixpoint (cold runs), and how much of the table each cold run reused.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Queries answered from the persistent table without any fixpoint
+    /// iteration (the entry pattern was subsumed by a memoized calling
+    /// pattern).
+    pub session_warm_hits: u64,
+    /// Queries that had to run the fixpoint (possibly seeded with
+    /// previously memoized entries).
+    pub session_cold_runs: u64,
+    /// Table entries already present when cold runs started (work the
+    /// session saved those runs from re-deriving).
+    pub entries_reused: u64,
+    /// Table entries created by this session's cold runs.
+    pub entries_created: u64,
+}
+
+impl SessionStats {
+    /// Encode as a JSON object with one field per counter.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "session_warm_hits",
+                Json::Int(self.session_warm_hits as i64),
+            ),
+            (
+                "session_cold_runs",
+                Json::Int(self.session_cold_runs as i64),
+            ),
+            ("entries_reused", Json::Int(self.entries_reused as i64)),
+            ("entries_created", Json::Int(self.entries_created as i64)),
+        ])
+    }
+
+    /// Warm-hit rate in [0, 1]; zero when no queries were made.
+    pub fn warm_rate(&self) -> f64 {
+        let total = self.session_warm_hits + self.session_cold_runs;
+        if total == 0 {
+            0.0
+        } else {
+            self.session_warm_hits as f64 / total as f64
+        }
+    }
+}
+
 /// Work and high-water counters for one machine run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MachineStats {

@@ -423,7 +423,7 @@ mod tests {
     fn analyze(src: &str, pred: &str, specs: &[&str]) -> (CompiledProgram, Analysis, Program) {
         let program = parse_program(src).unwrap();
         let compiled = wam::compile_program(&program).unwrap();
-        let mut analyzer = Analyzer::from_compiled(compiled.clone());
+        let analyzer = Analyzer::from_compiled(compiled.clone());
         let analysis = analyzer.analyze_query(pred, specs).unwrap();
         (compiled, analysis, program)
     }

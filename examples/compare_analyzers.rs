@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("benchmark: {name} (entry {}/0)\n", bench.entry);
 
     // 1. Compiled: the abstract WAM.
-    let mut analyzer = Analyzer::compile(&program)?;
+    let analyzer = Analyzer::compile(&program)?;
     let entry = awam::absdom::Pattern::from_spec(bench.entry_specs).expect("entry spec");
     let t = Instant::now();
     let analysis = analyzer.analyze(bench.entry, &entry)?;

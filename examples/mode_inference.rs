@@ -26,19 +26,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = parse_program(source)?;
 
     // Forward mode: append two ground lists.
-    let mut analyzer = Analyzer::compile(&program)?;
+    let analyzer = Analyzer::compile(&program)?;
     let fwd = analyzer.analyze_query("app", &["glist", "glist", "var"])?;
     let app = fwd.predicate("app", 3).expect("analyzed");
     println!("app(glist, glist, var): modes {:?}", mode_strings(app));
 
     // Backward mode: split a ground list.
-    let mut analyzer = Analyzer::compile(&program)?;
+    let analyzer = Analyzer::compile(&program)?;
     let bwd = analyzer.analyze_query("app", &["var", "var", "glist"])?;
     let app = bwd.predicate("app", 3).expect("analyzed");
     println!("app(var, var, glist):   modes {:?}", mode_strings(app));
 
     // qsort in its difference-list mode.
-    let mut analyzer = Analyzer::compile(&program)?;
+    let analyzer = Analyzer::compile(&program)?;
     let q = analyzer.analyze_query("qsort", &["glist", "var", "nil"])?;
     for pred in &q.predicates {
         println!("{}: modes {:?}", pred.name, mode_strings(pred));

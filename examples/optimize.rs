@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ";
     let program = parse_program(source)?;
     let compiled = compile_program(&program)?;
-    let mut analyzer = Analyzer::from_compiled(compiled.clone());
+    let analyzer = Analyzer::from_compiled(compiled.clone());
     let analysis = analyzer.analyze_query("main", &["var"])?;
 
     // 1. Instruction-level opportunities.

@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = parse_program(source)?;
 
     // Compile to WAM code (the same code a concrete machine would run)…
-    let mut analyzer = Analyzer::compile(&program)?;
+    let analyzer = Analyzer::compile(&program)?;
     println!(
         "compiled {} predicates into {} WAM instructions\n",
         analyzer.program().predicates.len(),

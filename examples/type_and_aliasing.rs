@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         d(_, _, 0).
         ",
     )?;
-    let mut analyzer = Analyzer::compile(&deriv)?;
+    let analyzer = Analyzer::compile(&deriv)?;
     let analysis = analyzer.analyze_query("d", &["g", "atom", "var"])?;
     let d = analysis.predicate("d", 3).expect("analyzed");
     println!("d/3 types on success:");
@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         chain(A, B, C) :- same(A, B), same(B, C).
         ",
     )?;
-    let mut analyzer = Analyzer::compile(&same)?;
+    let analyzer = Analyzer::compile(&same)?;
     let analysis = analyzer.analyze_query("chain", &["var", "var", "var"])?;
     let chain = analysis.predicate("chain", 3).expect("analyzed");
     let aliases = report::aliased_arg_pairs(chain);
@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         test(A, B) :- same(A, B), A = f(1, 2).
         ",
     )?;
-    let mut analyzer = Analyzer::compile(&grounding)?;
+    let analyzer = Analyzer::compile(&grounding)?;
     let analysis = analyzer.analyze_query("test", &["var", "var"])?;
     let test = analysis.predicate("test", 2).expect("analyzed");
     let success = test.success_summary().expect("succeeds");

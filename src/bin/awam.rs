@@ -7,8 +7,12 @@
 //! awam run FILE.pl 'GOAL' [-n N]       run a query, print up to N solutions
 //! awam analyze FILE.pl PRED [SPECS]    dataflow analysis from an entry
 //! awam analyze-wam FILE.wam PRED [SPECS]  analyze saved WAM code
+//! awam batch FILE.pl GOAL... [--workers N]   parallel multi-entry analysis
+//! awam batch --suite NAME... [--workers N]   parallel analysis of suite programs
 //! awam bench NAME                      run one Table 1 benchmark
 //! ```
+//!
+//! A batch `GOAL` is `PRED` or `PRED:SPEC,SPEC,…` (e.g. `app:glist,glist,var`).
 //!
 //! Observability flags (on `run`, `analyze`, `analyze-wam` and `bench`):
 //!
@@ -17,12 +21,16 @@
 //! --stats-json     emit the counters as one JSON document instead of a report
 //! --trace FILE     stream machine events to FILE as JSON Lines
 //! ```
+//!
+//! All commands exit non-zero on failure and report errors through the
+//! unified [`awam::Error`] type — no panics on user input.
 
-use awam::analysis::{Analysis, Analyzer};
+use awam::analysis::{Analysis, AnalyzerBuilder, BatchGoal};
 use awam::machine::Machine;
 use awam::obs::{Json, JsonlTracer, Phase, PhaseTimers, Stopwatch, Tracer};
 use awam::syntax::parse_program;
 use awam::wam::compile_program;
+use awam::{Analyzer, Error};
 use std::io::BufWriter;
 use std::process::ExitCode;
 
@@ -34,12 +42,14 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("analyze-wam") => cmd_analyze_wam(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         _ => {
             eprintln!(
                 "usage:\n  awam compile FILE.pl [--emit F.wam]\n  awam disasm FILE.pl|FILE.wam\n  \
                  awam run FILE.pl 'GOAL' [-n N]\n  \
                  awam analyze FILE.pl PRED [SPEC,SPEC,…]\n  awam analyze-wam FILE.wam PRED [SPEC,…]\n  \
+                 awam batch FILE.pl GOAL… [--workers N] | awam batch --suite NAME… [--workers N]\n  \
                  awam bench NAME\n\
                  observability flags: --stats | --stats-json | --trace FILE"
             );
@@ -55,7 +65,7 @@ fn main() -> ExitCode {
     }
 }
 
-type CmdResult = Result<(), Box<dyn std::error::Error>>;
+type CmdResult = Result<(), Error>;
 
 /// The `--stats`/`--stats-json`/`--trace FILE` flag set shared by the
 /// subcommands, split away from the positional arguments.
@@ -65,7 +75,7 @@ struct ObsFlags {
     trace: Option<String>,
 }
 
-fn split_flags(args: &[String]) -> Result<(Vec<String>, ObsFlags), String> {
+fn split_flags(args: &[String]) -> Result<(Vec<String>, ObsFlags), Error> {
     let mut flags = ObsFlags {
         stats: false,
         stats_json: false,
@@ -82,7 +92,7 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, ObsFlags), String> {
                 flags.trace = Some(path.clone());
             }
             other if other.starts_with("--") => {
-                return Err(format!("unknown flag {other}"));
+                return Err(Error::Usage(format!("unknown flag {other}")));
             }
             _ => positional.push(a.clone()),
         }
@@ -103,7 +113,7 @@ fn open_tracer(
     }
 }
 
-fn load(path: &str) -> Result<awam::syntax::Program, Box<dyn std::error::Error>> {
+fn load(path: &str) -> Result<awam::syntax::Program, Error> {
     let source = std::fs::read_to_string(path)?;
     Ok(parse_program(&source)?)
 }
@@ -150,23 +160,25 @@ fn cmd_disasm(args: &[String]) -> CmdResult {
     Ok(())
 }
 
+/// The analyzer configuration for the analysis subcommands: paper
+/// defaults, with per-predicate profiling switched on when the caller
+/// asked to see the numbers.
+fn analyzer_builder(flags: &ObsFlags) -> AnalyzerBuilder {
+    AnalyzerBuilder::new().profiling(flags.stats || flags.stats_json)
+}
+
 /// Shared tail of `analyze`/`analyze-wam`/`bench`: run the analysis with
 /// the requested instrumentation and render either the report or the
 /// stats document.
 fn run_analysis(
-    mut analyzer: Analyzer,
+    analyzer: &Analyzer,
     pred: &str,
     specs: &[&str],
     flags: &ObsFlags,
     mut timers: PhaseTimers,
 ) -> CmdResult {
-    if flags.stats || flags.stats_json {
-        // Opt into per-predicate self-times: the caller asked for the
-        // numbers, so the extra clock reads are fine.
-        analyzer = analyzer.with_profiling(true);
-    }
     let entry = awam::absdom::Pattern::from_spec(specs)
-        .ok_or_else(|| format!("bad entry specs: {}", specs.join(",")))?;
+        .ok_or_else(|| Error::Usage(format!("bad entry specs: {}", specs.join(","))))?;
     let watch = Stopwatch::start();
     let analysis = match open_tracer(flags)? {
         Some(mut tracer) => {
@@ -179,7 +191,7 @@ fn run_analysis(
     timers.record(Phase::Analyze, watch.elapsed_ns());
 
     let watch = Stopwatch::start();
-    let report = analysis.report(&analyzer);
+    let report = analysis.report(analyzer);
     timers.record(Phase::Report, watch.elapsed_ns());
 
     if flags.stats_json {
@@ -262,8 +274,8 @@ fn cmd_analyze_wam(args: &[String]) -> CmdResult {
     let text = std::fs::read_to_string(path)?;
     let compiled = awam::wam::text::from_text(&text)?;
     timers.record(Phase::Parse, watch.elapsed_ns());
-    let analyzer = Analyzer::from_compiled(compiled);
-    run_analysis(analyzer, pred, &specs, &flags, timers)
+    let analyzer = analyzer_builder(&flags).build(compiled);
+    run_analysis(&analyzer, pred, &specs, &flags, timers)
 }
 
 fn cmd_run(args: &[String]) -> CmdResult {
@@ -372,27 +384,226 @@ fn cmd_analyze(args: &[String]) -> CmdResult {
     let program = load(path)?;
     timers.record(Phase::Parse, watch.elapsed_ns());
     let watch = Stopwatch::start();
-    let analyzer = Analyzer::compile(&program)?;
+    let analyzer = analyzer_builder(&flags).compile(&program)?;
     timers.record(Phase::Compile, watch.elapsed_ns());
-    run_analysis(analyzer, pred, &specs, &flags, timers)
+    run_analysis(&analyzer, pred, &specs, &flags, timers)
+}
+
+/// Parse a batch goal: `PRED` or `PRED:SPEC,SPEC,…`.
+fn parse_goal(text: &str) -> Result<BatchGoal, Error> {
+    let (name, specs) = match text.split_once(':') {
+        Some((name, specs)) if !specs.is_empty() => {
+            (name, specs.split(',').map(str::trim).collect::<Vec<_>>())
+        }
+        Some((name, _)) => (name, Vec::new()),
+        None => (text, Vec::new()),
+    };
+    if name.is_empty() {
+        return Err(Error::Usage(format!("batch: empty predicate in `{text}`")));
+    }
+    Ok(BatchGoal::from_spec(name, &specs)?)
+}
+
+/// `awam batch`: fan independent analysis goals out across worker
+/// threads — either several entry goals of one program, or the entry
+/// goals of several Table 1 suite programs.
+fn cmd_batch(args: &[String]) -> CmdResult {
+    let mut workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut suite = false;
+    let mut stats_json = false;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workers" => {
+                workers = it
+                    .next()
+                    .ok_or("batch: --workers needs a number")?
+                    .parse()
+                    .map_err(|_| "batch: --workers needs a number")?;
+                if workers == 0 {
+                    return Err("batch: --workers must be at least 1".into());
+                }
+            }
+            "--suite" => suite = true,
+            "--stats-json" => stats_json = true,
+            other if other.starts_with("--") => {
+                return Err(Error::Usage(format!("batch: unknown flag {other}")));
+            }
+            _ => positional.push(a.clone()),
+        }
+    }
+
+    if suite {
+        return batch_suite(&positional, workers, stats_json);
+    }
+    let path = positional
+        .first()
+        .ok_or("batch: missing FILE.pl (or --suite NAME…)")?;
+    let goal_args = &positional[1..];
+    if goal_args.is_empty() {
+        return Err("batch: missing GOAL (PRED or PRED:SPEC,SPEC,…)".into());
+    }
+    let goals: Vec<BatchGoal> = goal_args
+        .iter()
+        .map(|g| parse_goal(g))
+        .collect::<Result<_, _>>()?;
+    let program = load(path)?;
+    let analyzer = Analyzer::compile(&program)?;
+
+    let watch = Stopwatch::start();
+    let results = analyzer.analyze_batch(&goals, workers);
+    let batch_ns = watch.elapsed_ns();
+
+    let mut docs = Vec::new();
+    let mut failed = 0usize;
+    for (goal, result) in goals.iter().zip(&results) {
+        let label = goal.entry.display(analyzer.interner());
+        match result {
+            Ok(analysis) => {
+                if stats_json {
+                    let Json::Obj(mut pairs) = analysis.stats_json() else {
+                        unreachable!("stats_json always returns an object");
+                    };
+                    pairs.insert(0, ("goal".to_owned(), Json::Str(goal.name.clone())));
+                    pairs.insert(1, ("entry".to_owned(), Json::Str(label)));
+                    docs.push(Json::Obj(pairs));
+                } else {
+                    println!(
+                        "{}{}: {} predicates, {} iterations, {} instructions",
+                        goal.name,
+                        label,
+                        analysis.predicates.len(),
+                        analysis.iterations,
+                        analysis.instructions_executed
+                    );
+                }
+            }
+            Err(e) => {
+                failed += 1;
+                if !stats_json {
+                    println!("{}{}: error: {e}", goal.name, label);
+                }
+            }
+        }
+    }
+    if stats_json {
+        let doc = Json::obj(vec![
+            ("goals", Json::Arr(docs)),
+            ("workers", Json::Int(workers as i64)),
+            ("failed", Json::Int(failed as i64)),
+            ("batch_ns", Json::Int(batch_ns as i64)),
+        ]);
+        println!("{}", doc.emit_pretty());
+    } else {
+        println!(
+            "batch: {} goals on {} workers in {:.1} ms ({} failed)",
+            goals.len(),
+            workers,
+            batch_ns as f64 / 1e6,
+            failed
+        );
+    }
+    if failed > 0 {
+        return Err(Error::Usage(format!("batch: {failed} goal(s) failed")));
+    }
+    Ok(())
+}
+
+/// `awam batch --suite`: analyze the entry goals of the named Table 1
+/// programs (all eleven when no name is given), one compiled analyzer
+/// per program, fanned across workers.
+fn batch_suite(names: &[String], workers: usize, stats_json: bool) -> CmdResult {
+    let benches: Vec<awam::suite::Benchmark> = if names.is_empty() {
+        awam::suite::all()
+    } else {
+        names
+            .iter()
+            .map(|name| {
+                awam::suite::by_name(name)
+                    .ok_or_else(|| Error::Usage(format!("batch: unknown benchmark {name}")))
+            })
+            .collect::<Result<_, _>>()?
+    };
+
+    let watch = Stopwatch::start();
+    let results = awam::analysis::par_map(&benches, workers, |_, b| -> Result<Analysis, Error> {
+        let program = b.parse()?;
+        let analyzer = Analyzer::compile(&program)?;
+        let mut session = analyzer.session();
+        Ok(session.analyze_query(b.entry, b.entry_specs)?)
+    });
+    let batch_ns = watch.elapsed_ns();
+
+    let mut docs = Vec::new();
+    let mut failed = 0usize;
+    for (b, result) in benches.iter().zip(&results) {
+        match result {
+            Ok(analysis) => {
+                if stats_json {
+                    let Json::Obj(mut pairs) = analysis.stats_json() else {
+                        unreachable!("stats_json always returns an object");
+                    };
+                    pairs.insert(0, ("benchmark".to_owned(), Json::Str(b.name.to_owned())));
+                    docs.push(Json::Obj(pairs));
+                } else {
+                    println!(
+                        "{}: {} predicates, {} iterations, {} instructions",
+                        b.name,
+                        analysis.predicates.len(),
+                        analysis.iterations,
+                        analysis.instructions_executed
+                    );
+                }
+            }
+            Err(e) => {
+                failed += 1;
+                if !stats_json {
+                    println!("{}: error: {e}", b.name);
+                }
+            }
+        }
+    }
+    if stats_json {
+        let doc = Json::obj(vec![
+            ("benchmarks", Json::Arr(docs)),
+            ("workers", Json::Int(workers as i64)),
+            ("failed", Json::Int(failed as i64)),
+            ("batch_ns", Json::Int(batch_ns as i64)),
+        ]);
+        println!("{}", doc.emit_pretty());
+    } else {
+        println!(
+            "batch: {} programs on {} workers in {:.1} ms ({} failed)",
+            benches.len(),
+            workers,
+            batch_ns as f64 / 1e6,
+            failed
+        );
+    }
+    if failed > 0 {
+        return Err(Error::Usage(format!("batch: {failed} program(s) failed")));
+    }
+    Ok(())
 }
 
 fn cmd_bench(args: &[String]) -> CmdResult {
     let (pos, flags) = split_flags(args)?;
     let name = pos.first().ok_or("bench: missing NAME (e.g. nreverse)")?;
-    let bench = awam::suite::by_name(name).ok_or_else(|| format!("unknown benchmark {name}"))?;
+    let bench = awam::suite::by_name(name)
+        .ok_or_else(|| Error::Usage(format!("unknown benchmark {name}")))?;
     let mut timers = PhaseTimers::new();
     let watch = Stopwatch::start();
     let program = bench.parse()?;
     timers.record(Phase::Parse, watch.elapsed_ns());
     let watch = Stopwatch::start();
-    let analyzer = Analyzer::compile(&program)?;
+    let analyzer = analyzer_builder(&flags).compile(&program)?;
     timers.record(Phase::Compile, watch.elapsed_ns());
     if flags.stats || flags.stats_json || flags.trace.is_some() {
-        return run_analysis(analyzer, bench.entry, bench.entry_specs, &flags, timers);
+        return run_analysis(&analyzer, bench.entry, bench.entry_specs, &flags, timers);
     }
-    let mut analyzer = analyzer;
-    let entry = awam::absdom::Pattern::from_spec(bench.entry_specs).ok_or("bad entry specs")?;
+    let entry = awam::absdom::Pattern::from_spec(bench.entry_specs)
+        .ok_or_else(|| Error::Usage("bad entry specs".to_owned()))?;
     let start = std::time::Instant::now();
     let analysis = analyzer.analyze(bench.entry, &entry)?;
     let elapsed = start.elapsed();

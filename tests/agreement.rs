@@ -11,7 +11,7 @@ use awam::suite;
 fn compiled_and_native_reach_the_same_fixpoint() {
     for b in suite::all() {
         let program = b.parse().expect("parse");
-        let mut compiled = Analyzer::compile(&program).expect("compile");
+        let compiled = Analyzer::compile(&program).expect("compile");
         let mut native = BaselineAnalyzer::new(&program).expect("baseline");
         let a = compiled
             .analyze_query(b.entry, b.entry_specs)

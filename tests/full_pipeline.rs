@@ -26,7 +26,7 @@ fn every_concrete_call_is_covered_by_the_analysis() {
         let _ = machine.query_str(b.entry);
         drop(machine);
 
-        let mut analyzer = Analyzer::compile(&program).expect("compile");
+        let analyzer = Analyzer::compile(&program).expect("compile");
         let analysis = analyzer
             .analyze_query(b.entry, b.entry_specs)
             .expect("analysis");
@@ -75,7 +75,7 @@ fn hosted_analysis_completes_on_every_benchmark() {
 fn analysis_is_deterministic() {
     for b in suite::all().into_iter().take(4) {
         let program = b.parse().expect("parse");
-        let mut analyzer = Analyzer::compile(&program).expect("compile");
+        let analyzer = Analyzer::compile(&program).expect("compile");
         let a1 = analyzer
             .analyze_query(b.entry, b.entry_specs)
             .expect("analysis");

@@ -223,7 +223,7 @@ fn random_programs_analyze_soundly() {
 
         // Analysis must terminate (finite domain) with `any` entries.
         let entry_specs: Vec<&str> = std::iter::repeat_n("any", g.preds[0].arity).collect();
-        let mut analyzer = Analyzer::compile(&program).expect("compile");
+        let analyzer = Analyzer::compile(&program).expect("compile");
         let analysis = match analyzer.analyze_query("p0", &entry_specs) {
             Ok(a) => a,
             Err(e) => panic!("case {case}: analysis failed to terminate: {e}\n{src}"),

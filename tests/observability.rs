@@ -18,7 +18,7 @@ const NREV: &str = "
 #[test]
 fn exact_counters_on_nreverse() {
     let program = parse_program(NREV).unwrap();
-    let mut analyzer = Analyzer::compile(&program).unwrap();
+    let analyzer = Analyzer::compile(&program).unwrap();
     let analysis = analyzer.analyze_query("nrev", &["glist", "var"]).unwrap();
 
     // These are exact values for this program under the default settings
@@ -51,7 +51,7 @@ fn exact_counters_on_nreverse() {
 #[test]
 fn fixpoint_round_events_match_iteration_count() {
     let program = parse_program(NREV).unwrap();
-    let mut analyzer = Analyzer::compile(&program).unwrap();
+    let analyzer = Analyzer::compile(&program).unwrap();
     let entry = awam::absdom::Pattern::from_spec(&["glist", "var"]).unwrap();
     let mut tracer = RecordingTracer::default();
     let analysis = analyzer

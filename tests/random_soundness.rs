@@ -44,7 +44,7 @@ fn check(query: &str, entry: &str, specs: &[&str], out_var: &str) {
         .expect("output variable bound")
         .clone();
 
-    let mut analyzer = Analyzer::compile(&program).expect("compile");
+    let analyzer = Analyzer::compile(&program).expect("compile");
     let analysis = analyzer.analyze_query(entry, specs).expect("analysis");
     let pred = analysis
         .predicate(entry, specs.len())

@@ -1,0 +1,191 @@
+//! Session warm-start and parallel batch: the cross-query reuse layer
+//! must never change what an analysis *says*, only how fast it says it.
+//!
+//! * A repeated query through one [`Session`] is answered from the memo
+//!   table: zero fixpoint iterations, zero abstract instructions, and
+//!   per-predicate results identical to the cold run — on all eleven
+//!   Table 1 benchmarks.
+//! * [`Analyzer::analyze_batch`] returns exactly what sequential
+//!   per-goal runs return, for any worker count.
+
+use awam::absdom::Pattern;
+use awam::{Analyzer, BatchGoal, Session};
+
+/// Warm-start on every Table 1 benchmark: the second identical query
+/// does no fixpoint work and reports the same analysis.
+#[test]
+fn warm_start_matches_cold_run_on_all_benchmarks() {
+    for b in awam::suite::all() {
+        let program = b.parse().expect("parse");
+        let analyzer = Analyzer::compile(&program).expect("compile");
+        let entry = Pattern::from_spec(b.entry_specs).expect("specs");
+
+        let mut session = analyzer.session();
+        let cold = session.analyze(b.entry, &entry).expect("cold run");
+        let warm = session.analyze(b.entry, &entry).expect("warm hit");
+
+        assert!(cold.iterations > 0, "{}: cold run did no work", b.name);
+        assert_eq!(warm.iterations, 0, "{}: warm hit ran a fixpoint", b.name);
+        assert_eq!(
+            warm.instructions_executed, 0,
+            "{}: warm hit executed abstract code",
+            b.name
+        );
+        assert_eq!(
+            warm.predicates, cold.predicates,
+            "{}: warm answer differs from cold run",
+            b.name
+        );
+        // Reports agree except the header line, which states the work
+        // done (0 iterations for the warm hit — that is the point).
+        let body = |report: String| -> String {
+            report
+                .split_once('\n')
+                .map(|(_, rest)| rest.to_owned())
+                .unwrap_or(report)
+        };
+        assert_eq!(
+            body(warm.report(&analyzer)),
+            body(cold.report(&analyzer)),
+            "{}: warm report differs from cold report",
+            b.name
+        );
+        assert_eq!(session.stats().session_cold_runs, 1, "{}", b.name);
+        assert_eq!(session.stats().session_warm_hits, 1, "{}", b.name);
+    }
+}
+
+/// The warm-hit check is subsumption, not equality: a query whose entry
+/// pattern is below a memoized calling pattern answers from the table.
+#[test]
+fn subsumed_query_is_a_warm_hit() {
+    let program =
+        awam::syntax::parse_program("app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).")
+            .expect("parse");
+    let analyzer = Analyzer::compile(&program).expect("compile");
+    let mut session = analyzer.session();
+
+    session
+        .analyze_query("app", &["glist", "glist", "var"])
+        .expect("cold run");
+    // An integer list is a ground list, so this entry is subsumed.
+    let warm = session
+        .analyze_query("app", &["ilist", "ilist", "var"])
+        .expect("warm hit");
+
+    assert_eq!(warm.iterations, 0, "subsumed query re-ran the fixpoint");
+    assert_eq!(session.stats().session_warm_hits, 1);
+    assert_eq!(session.stats().session_cold_runs, 1);
+}
+
+/// A second *unrelated* query through the same session runs cold but
+/// seeds from — and never shrinks — the accumulated table.
+#[test]
+fn session_table_grows_monotonically() {
+    let program = awam::syntax::parse_program(
+        "app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).
+         nrev([], []).
+         nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).",
+    )
+    .expect("parse");
+    let analyzer = Analyzer::compile(&program).expect("compile");
+    let mut session = analyzer.session();
+
+    session
+        .analyze_query("app", &["glist", "glist", "var"])
+        .expect("first goal");
+    let after_first = session.memo_len();
+    session
+        .analyze_query("nrev", &["glist", "var"])
+        .expect("second goal");
+    assert!(session.memo_len() >= after_first, "memo table shrank");
+    assert_eq!(session.stats().session_cold_runs, 2);
+    assert_eq!(session.stats().entries_reused, after_first as u64);
+    assert!(session.stats().entries_created > 0);
+
+    session.reset();
+    assert_eq!(session.memo_len(), 0);
+    assert_eq!(session.stats().session_cold_runs, 0);
+}
+
+/// `analyze_batch` must be a pure speedup: identical results to
+/// sequential per-goal runs for 1, 2, and 8 workers.
+#[test]
+fn batch_matches_sequential_at_any_worker_count() {
+    for b in awam::suite::all() {
+        let program = b.parse().expect("parse");
+        let analyzer = Analyzer::compile(&program).expect("compile");
+        let entry = Pattern::from_spec(b.entry_specs).expect("specs");
+        // Several copies of the same goal plus the benchmark entry keeps
+        // the job list big enough to exercise real thread interleavings.
+        let goals: Vec<BatchGoal> = (0..4)
+            .map(|_| BatchGoal::new(b.entry, entry.clone()))
+            .collect();
+
+        let sequential: Vec<_> = goals
+            .iter()
+            .map(|g| analyzer.analyze(&g.name, &g.entry).expect("sequential run"))
+            .collect();
+        for workers in [1, 2, 8] {
+            let batch = analyzer.analyze_batch(&goals, workers);
+            assert_eq!(batch.len(), sequential.len());
+            for (i, (got, want)) in batch.iter().zip(&sequential).enumerate() {
+                let got = got.as_ref().expect("batch run");
+                assert_eq!(
+                    got.predicates, want.predicates,
+                    "{}: goal {i} differs with {workers} workers",
+                    b.name
+                );
+                assert_eq!(
+                    got.iterations, want.iterations,
+                    "{}: goal {i} iteration count differs with {workers} workers",
+                    b.name
+                );
+            }
+        }
+    }
+}
+
+/// Batch error reporting is per-goal: one bad goal fails alone.
+#[test]
+fn batch_reports_per_goal_errors() {
+    let program =
+        awam::syntax::parse_program("app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).")
+            .expect("parse");
+    let analyzer = Analyzer::compile(&program).expect("compile");
+    let goals = vec![
+        BatchGoal::from_spec("app", &["glist", "glist", "var"]).expect("goal"),
+        BatchGoal::from_spec("no_such_pred", &["var"]).expect("goal"),
+    ];
+    let results = analyzer.analyze_batch(&goals, 2);
+    assert!(results[0].is_ok());
+    assert!(results[1].is_err());
+}
+
+/// Sessions borrow the analyzer immutably, so independent sessions can
+/// run concurrently over one compiled analyzer.
+#[test]
+fn concurrent_sessions_share_one_analyzer() {
+    let program =
+        awam::syntax::parse_program("app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).")
+            .expect("parse");
+    let analyzer = Analyzer::compile(&program).expect("compile");
+    let reports: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut session = Session::new(&analyzer);
+                    let analysis = session
+                        .analyze_query("app", &["glist", "glist", "var"])
+                        .expect("analysis");
+                    analysis.report(&analyzer)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+    assert!(reports.windows(2).all(|w| w[0] == w[1]));
+}

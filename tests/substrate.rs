@@ -103,7 +103,7 @@ fn abstract_tripwires_survive_the_substrate_extraction() {
     // the dispatch loop moved into awam-exec. Any drift means the shared
     // substrate changed observable behavior.
     let program = parse_program(NREV).unwrap();
-    let mut analyzer = Analyzer::compile(&program).unwrap();
+    let analyzer = Analyzer::compile(&program).unwrap();
     let analysis = analyzer.analyze_query("nrev", &["glist", "var"]).unwrap();
 
     assert_eq!(analysis.iterations, 3);

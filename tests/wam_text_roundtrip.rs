@@ -18,8 +18,8 @@ fn benchmarks_round_trip_through_the_text_format() {
         assert_eq!(compiled.code, reloaded.code, "{}", b.name);
 
         // Same analysis results from the reloaded code…
-        let mut fresh = Analyzer::from_compiled(compiled);
-        let mut loaded = Analyzer::from_compiled(reloaded.clone());
+        let fresh = Analyzer::from_compiled(compiled);
+        let loaded = Analyzer::from_compiled(reloaded.clone());
         let a = fresh
             .analyze_query(b.entry, b.entry_specs)
             .expect("fresh analysis");
