@@ -23,10 +23,12 @@
 
 #![warn(missing_docs)]
 
+pub mod intern;
 pub mod leaf;
 pub mod pattern;
 pub mod weaken;
 
+pub use intern::{FxHashMap, PatternId, PatternInterner, SessionInterner};
 pub use leaf::AbsLeaf;
 pub use pattern::{dot_symbol, is_dot_symbol, nil_symbol, NodeId, PNode, Pattern};
 pub use weaken::DomainConfig;

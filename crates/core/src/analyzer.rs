@@ -15,9 +15,12 @@
 use crate::machine::{AbstractMachine, AnalysisError};
 use crate::table::{Entry, EtImpl, ExtensionTable};
 use crate::{IterationStrategy, Session};
-use absdom::{AbsLeaf, DomainConfig, Pattern, DEFAULT_TERM_DEPTH};
-use awam_obs::{Json, MachineStats, OpcodeCounts, Stopwatch, TableStats, Tracer};
+use absdom::{
+    AbsLeaf, DomainConfig, Pattern, PatternInterner, SessionInterner, DEFAULT_TERM_DEPTH,
+};
+use awam_obs::{InternStats, Json, MachineStats, OpcodeCounts, Stopwatch, TableStats, Tracer};
 use prolog_syntax::Program;
+use std::sync::Arc;
 use wam::{compile_program, CompileError, CompiledProgram};
 
 /// Configuration for building an [`Analyzer`]: the ablation knobs of the
@@ -119,6 +122,7 @@ impl AnalyzerBuilder {
 
     /// Wrap an already-compiled program with this configuration.
     pub fn build(&self, program: CompiledProgram) -> Analyzer {
+        let base_interner = Arc::new(seed_interner(&program));
         Analyzer {
             program,
             depth_k: self.depth_k,
@@ -126,6 +130,7 @@ impl AnalyzerBuilder {
             config: self.config,
             strategy: self.strategy,
             profile_timing: self.profile_timing,
+            base_interner,
         }
     }
 }
@@ -162,6 +167,31 @@ pub struct Analyzer {
     config: DomainConfig,
     strategy: IterationStrategy,
     profile_timing: bool,
+    /// Shared read-only pattern arena, pre-seeded with the common
+    /// all-`any`/all-`var` patterns per predicate arity. Every query gets
+    /// a [`SessionInterner`] overlay over this `Arc`, so batch workers
+    /// share the seed without any locking.
+    base_interner: Arc<PatternInterner>,
+}
+
+/// Pre-intern the patterns every analysis is likely to touch: the empty
+/// pattern and, for each distinct predicate arity in the program, the
+/// all-`any` and all-`var` argument tuples.
+fn seed_interner(program: &CompiledProgram) -> PatternInterner {
+    let mut interner = PatternInterner::new();
+    interner.intern(Pattern::empty());
+    let mut arities: Vec<usize> = program.predicates.iter().map(|p| p.key.arity).collect();
+    arities.sort_unstable();
+    arities.dedup();
+    for arity in arities {
+        for spec in ["any", "var"] {
+            let specs = vec![spec; arity];
+            if let Some(p) = Pattern::from_spec(&specs) {
+                interner.intern(p);
+            }
+        }
+    }
+    interner
 }
 
 /// One entry goal of a batch analysis: a predicate name plus its entry
@@ -225,6 +255,10 @@ pub struct Analysis {
     /// inserts, lub behavior). For session queries these accumulate over
     /// the session's whole life, because the table itself does.
     pub table_stats: TableStats,
+    /// Pattern-interner counters (dedup hits/misses, lub/leq memo-cache
+    /// behavior, estimated bytes saved). For session queries these
+    /// accumulate over the session's whole life, like the table stats.
+    pub intern_stats: InternStats,
     /// Abstract-machine work counters and high-water marks.
     pub machine_stats: MachineStats,
     /// Per-opcode dispatch counts (index with [`wam::OPCODE_NAMES`]).
@@ -365,7 +399,7 @@ impl Analyzer {
         tracer: Option<&mut dyn Tracer>,
     ) -> Result<Analysis, AnalysisError> {
         let (pred, entry) = self.resolve_entry(name, entry)?;
-        let (analysis, _table) = self.run_fixpoint(pred, &entry, None, tracer)?;
+        let (analysis, _table, _interner) = self.run_fixpoint(pred, &entry, None, tracer)?;
         Ok(analysis)
     }
 
@@ -424,21 +458,30 @@ impl Analyzer {
         Ok((pred, entry.weaken(self.config)))
     }
 
+    /// A fresh per-query interner overlay over this analyzer's shared
+    /// base arena (lock-free: the base is behind an `Arc`).
+    pub(crate) fn new_session_interner(&self) -> SessionInterner {
+        SessionInterner::new(Arc::clone(&self.base_interner))
+    }
+
     /// Run the fixpoint for `(pred, entry)`, optionally seeded with a
-    /// session's table, and return the analysis plus the final table.
+    /// session's table and the interner its ids resolve through, and
+    /// return the analysis plus the final table/interner pair.
     pub(crate) fn run_fixpoint(
         &self,
         pred: usize,
         entry: &Pattern,
-        seed: Option<ExtensionTable>,
+        seed: Option<(ExtensionTable, SessionInterner)>,
         tracer: Option<&mut dyn Tracer>,
-    ) -> Result<(Analysis, ExtensionTable), AnalysisError> {
-        let mut machine = match seed {
-            Some(table) => {
-                AbstractMachine::with_table(&self.program, self.depth_k, self.et_impl, table)
-            }
-            None => AbstractMachine::new(&self.program, self.depth_k, self.et_impl),
-        };
+    ) -> Result<(Analysis, ExtensionTable, SessionInterner), AnalysisError> {
+        let (table, interner) = seed.unwrap_or_else(|| {
+            (
+                ExtensionTable::new(self.program.predicates.len(), self.et_impl),
+                self.new_session_interner(),
+            )
+        });
+        let mut machine =
+            AbstractMachine::with_table(&self.program, self.depth_k, self.et_impl, table, interner);
         machine.set_domain_config(self.config);
         machine.set_strategy(self.strategy);
         machine.profile_timing = self.profile_timing;
@@ -448,7 +491,7 @@ impl Analyzer {
         let watch = Stopwatch::start();
         let iterations = machine.run_to_fixpoint(pred, entry)?;
         let analyze_ns = watch.elapsed_ns();
-        let predicates = self.collect_predicates(machine.table());
+        let predicates = self.collect_predicates(machine.table(), machine.interner());
         let mut pred_times: Vec<(String, u64)> = machine
             .pred_self_ns()
             .iter()
@@ -469,22 +512,35 @@ impl Analyzer {
             iterations,
             instructions_executed: machine.exec_count(),
             table_stats: *machine.table().stats(),
+            intern_stats: *machine.interner().stats(),
             machine_stats: machine.machine_stats(),
             opcodes: machine.opcodes().clone(),
             analyze_ns,
             pred_times,
         };
-        Ok((analysis, machine.into_table()))
+        let (table, interner) = machine.into_parts();
+        Ok((analysis, table, interner))
     }
 
-    /// Project the per-predicate results out of an extension table.
-    pub(crate) fn collect_predicates(&self, table: &ExtensionTable) -> Vec<PredAnalysis> {
+    /// Project the per-predicate results out of an extension table,
+    /// resolving the interned ids back into patterns (the public API
+    /// stays id-free).
+    pub(crate) fn collect_predicates(
+        &self,
+        table: &ExtensionTable,
+        interner: &SessionInterner,
+    ) -> Vec<PredAnalysis> {
         let mut predicates = Vec::new();
         for (id, p) in self.program.predicates.iter().enumerate() {
             let entries: Vec<(Pattern, Option<Pattern>)> = table
                 .entries(id)
                 .iter()
-                .map(|Entry { call, success, .. }| (call.clone(), success.clone()))
+                .map(|&Entry { call, success, .. }| {
+                    (
+                        interner.resolve(call).clone(),
+                        success.map(|s| interner.resolve(s).clone()),
+                    )
+                })
                 .collect();
             if !entries.is_empty() {
                 predicates.push(PredAnalysis {
@@ -500,12 +556,17 @@ impl Analyzer {
 
     /// An [`Analysis`] answered entirely from a memo table: no fixpoint
     /// iterations, no instructions executed.
-    pub(crate) fn analysis_from_table(&self, table: &ExtensionTable) -> Analysis {
+    pub(crate) fn analysis_from_table(
+        &self,
+        table: &ExtensionTable,
+        interner: &SessionInterner,
+    ) -> Analysis {
         Analysis {
-            predicates: self.collect_predicates(table),
+            predicates: self.collect_predicates(table, interner),
             iterations: 0,
             instructions_executed: 0,
             table_stats: *table.stats(),
+            intern_stats: *interner.stats(),
             machine_stats: MachineStats::default(),
             opcodes: OpcodeCounts::new(wam::OPCODE_NAMES.len()),
             analyze_ns: 0,
@@ -538,6 +599,7 @@ impl Analysis {
                 Json::Int(self.instructions_executed as i64),
             ),
             ("table", self.table_stats.to_json()),
+            ("interner", self.intern_stats.to_json()),
             ("machine", self.machine_stats.to_json()),
             ("opcodes", self.opcodes.to_json(&wam::OPCODE_NAMES)),
             ("analyze_ns", Json::Int(self.analyze_ns as i64)),

@@ -13,7 +13,7 @@
 //! a call site.
 
 use crate::acell::ACell;
-use absdom::{AbsLeaf, NodeId, PNode, Pattern};
+use absdom::{AbsLeaf, NodeId, PNode, Pattern, PatternId, SessionInterner};
 
 /// Follow reference chains; returns the representative cell and its heap
 /// address when it has one (open cells and compounds always do). This is
@@ -36,6 +36,19 @@ pub fn extract(heap: &[ACell], args: &[ACell], depth_k: usize) -> Pattern {
     // The extractor emits canonical form directly (pre-order numbering,
     // ground subgraphs unshared), so the canonicalization pass is skipped.
     Pattern::from_canonical(ex.nodes, roots)
+}
+
+/// Extract the pattern of `args` and intern it in one step — the
+/// hash-consed construction path the abstract machine uses: the pattern
+/// graph is built once and deduplicated against the arena immediately,
+/// so every later comparison is an integer compare on the returned id.
+pub fn extract_interned(
+    heap: &[ACell],
+    args: &[ACell],
+    depth_k: usize,
+    interner: &mut SessionInterner,
+) -> PatternId {
+    interner.intern(extract(heap, args, depth_k))
 }
 
 struct Extractor<'h> {

@@ -24,7 +24,7 @@ use crate::acell::ACell;
 use crate::extract::{deref, extract, materialize};
 use crate::table::{EtImpl, ExtensionTable};
 use crate::IterationStrategy;
-use absdom::{AbsLeaf, DomainConfig, Pattern};
+use absdom::{AbsLeaf, DomainConfig, Pattern, PatternId, SessionInterner};
 use awam_exec::{Flow, Frame, Interpretation, Mode};
 use awam_obs::{MachineStats, OpcodeCounts, Stopwatch, TraceEvent, Tracer};
 use std::collections::{BTreeMap, BTreeSet};
@@ -79,6 +79,10 @@ impl std::error::Error for AnalysisError {}
 pub struct AbstractMachine<'p> {
     program: &'p CompiledProgram,
     pub(crate) table: ExtensionTable,
+    /// Hash-consing interner for every pattern this run touches: table
+    /// entries hold [`PatternId`]s that resolve through it, and the
+    /// summary-lub / subsumption paths go through its memo caches.
+    interner: SessionInterner,
     /// Shared substrate state: heap, registers, environments, value
     /// trail, pc, mode/S, and the instruction/opcode counters.
     frame: Frame<ACell, (usize, ACell)>,
@@ -376,32 +380,36 @@ impl Interpretation for AbstractMachine<'_> {
 }
 
 impl<'p> AbstractMachine<'p> {
-    /// Create a machine over `program` with term-depth `depth_k`.
+    /// Create a machine over `program` with term-depth `depth_k` and a
+    /// standalone pattern interner (no shared base arena).
     pub fn new(program: &'p CompiledProgram, depth_k: usize, et: EtImpl) -> Self {
         Self::with_table(
             program,
             depth_k,
             et,
             ExtensionTable::new(program.predicates.len(), et),
+            SessionInterner::default(),
         )
     }
 
-    /// Create a machine seeded with an existing extension table (the
-    /// session warm-start path). The global iteration counter resumes
-    /// above the table's high-water mark so that no seeded entry is
-    /// mistaken for "already explored this round"; fixpoint runs report
-    /// rounds *performed by that run*, so seeded and fresh runs stay
-    /// comparable.
+    /// Create a machine seeded with an existing extension table and the
+    /// interner its entry ids resolve through (the session warm-start
+    /// path). The global iteration counter resumes above the table's
+    /// high-water mark so that no seeded entry is mistaken for "already
+    /// explored this round"; fixpoint runs report rounds *performed by
+    /// that run*, so seeded and fresh runs stay comparable.
     pub fn with_table(
         program: &'p CompiledProgram,
         depth_k: usize,
         et: EtImpl,
         table: ExtensionTable,
+        interner: SessionInterner,
     ) -> Self {
         let iter = table.max_explored_iter();
         AbstractMachine {
             program,
             table,
+            interner,
             frame: Frame::new(),
             depth: 0,
             depth_k,
@@ -554,10 +562,23 @@ impl<'p> AbstractMachine<'p> {
         &self.table
     }
 
+    /// The pattern interner the table's entry ids resolve through.
+    pub fn interner(&self) -> &SessionInterner {
+        &self.interner
+    }
+
     /// Consume the machine, keeping its extension table (so a session can
     /// carry the memo entries into the next query).
     pub fn into_table(self) -> ExtensionTable {
         self.table
+    }
+
+    /// Consume the machine, keeping its extension table *and* interner —
+    /// the pair a session persists across queries (the ids in the table
+    /// are only meaningful together with this interner, and its memo
+    /// caches stay warm for the next query).
+    pub fn into_parts(self) -> (ExtensionTable, SessionInterner) {
+        (self.table, self.interner)
     }
 
     fn table_impl_uses_hash(&self) -> bool {
@@ -627,6 +648,13 @@ impl<'p> AbstractMachine<'p> {
         }
     }
 
+    /// Extract and intern in one step: the id-returning form every table
+    /// consult and update goes through.
+    fn extract_pattern_id(&mut self, args: &[ACell]) -> PatternId {
+        let p = self.extract_pattern(args);
+        self.interner.intern(p)
+    }
+
     // ----- the reinterpreted `call` (Figure 5) -----
 
     /// Abstractly invoke predicate `pred` with arguments in `A1..An`.
@@ -644,19 +672,24 @@ impl<'p> AbstractMachine<'p> {
         // the argument cells (allocation-free); the pattern is only *built*
         // when a new entry must be inserted.
         let t0 = self.profile_timing.then(Stopwatch::start);
-        let heap = &self.frame.heap;
-        let depth_k = self.depth_k;
         let use_matcher = !self.table_impl_uses_hash() && self.config.is_full();
-        let found = if use_matcher {
-            self.table
-                .find_by(pred, |p| {
-                    crate::matcher::matches(heap, &caller_args, depth_k, p)
-                })
-                .map(|i| (i, None))
+        let (found, consult_cp) = if use_matcher {
+            // Structural path: walk the stored patterns (resolved through
+            // the interner) directly against the argument cells; nothing
+            // is built unless a new entry must be inserted.
+            let heap = &self.frame.heap;
+            let depth_k = self.depth_k;
+            let interner = &self.interner;
+            let found = self.table.find_by(pred, |id| {
+                crate::matcher::matches(heap, &caller_args, depth_k, interner.resolve(id))
+            });
+            (found, None)
         } else {
-            let cp = self.extract_pattern(&caller_args);
-            let f = self.table.find(pred, &cp);
-            f.map(|i| (i, Some(cp)))
+            // Interned consult: build + intern the calling pattern once,
+            // then the lookup is an integer compare (linear scan) or an
+            // id-keyed map probe (hashed).
+            let cp = self.extract_pattern_id(&caller_args);
+            (self.table.find(pred, cp), Some(cp))
         };
         if let Some(t0) = t0 {
             self.table_ns += t0.elapsed_ns();
@@ -682,17 +715,18 @@ impl<'p> AbstractMachine<'p> {
         #[cfg(debug_assertions)]
         if use_matcher {
             let cp = extract(&self.frame.heap, &caller_args, self.depth_k);
-            // `find_quiet` keeps the stats counters identical between
-            // debug and release builds.
-            let by_eq = self.table.find_quiet(pred, &cp);
-            assert_eq!(
-                found.as_ref().map(|(i, _)| *i),
-                by_eq,
-                "matcher/extractor parity"
-            );
+            // `lookup`/`find_quiet` keep the stats counters identical
+            // between debug and release builds. A pattern the interner
+            // has never seen cannot be in the table: every stored call id
+            // was interned at insert time.
+            let by_eq = self
+                .interner
+                .lookup(&cp)
+                .and_then(|id| self.table.find_quiet(pred, id));
+            assert_eq!(found, by_eq, "matcher/extractor parity");
         }
         let entry_idx = match found {
-            Some((idx, _)) => {
+            Some(idx) => {
                 let explored = match self.strategy {
                     // The paper's scheme: explored once per iteration.
                     IterationStrategy::GlobalRestart => {
@@ -704,10 +738,10 @@ impl<'p> AbstractMachine<'p> {
                     IterationStrategy::Dependency => true,
                 };
                 if explored {
-                    let success = self.table.entry(pred, idx).success.clone();
+                    let success = self.table.entry(pred, idx).success;
                     self.note_dep(pred, idx);
                     return Ok(match success {
-                        Some(sp) => self.apply_success(&caller_args, &sp),
+                        Some(sp) => self.apply_success(&caller_args, sp),
                         None => false,
                     });
                 }
@@ -716,12 +750,17 @@ impl<'p> AbstractMachine<'p> {
             }
             None => {
                 let t0 = self.profile_timing.then(Stopwatch::start);
-                let cp = self.extract_pattern(&caller_args);
+                // The interned consult already built the id; the matcher
+                // path only builds it now, on the insert path.
+                let cp = match consult_cp {
+                    Some(cp) => cp,
+                    None => self.extract_pattern_id(&caller_args),
+                };
                 if let Some(t0) = t0 {
                     self.extract_ns += t0.elapsed_ns();
                 }
                 if self.tracer.is_some() {
-                    let pattern = cp.display(&self.program.interner);
+                    let pattern = self.interner.resolve(cp).display(&self.program.interner);
                     self.trace(|prog| TraceEvent::EtInsert {
                         pred,
                         name: Self::pred_name(prog, pred),
@@ -733,9 +772,9 @@ impl<'p> AbstractMachine<'p> {
         };
         self.explore_entry(pred, entry_idx)?;
         self.note_dep(pred, entry_idx);
-        let success = self.table.entry(pred, entry_idx).success.clone();
+        let success = self.table.entry(pred, entry_idx).success;
         match success {
-            Some(sp) => Ok(self.apply_success(&caller_args, &sp)),
+            Some(sp) => Ok(self.apply_success(&caller_args, sp)),
             None => Ok(false),
         }
     }
@@ -756,7 +795,7 @@ impl<'p> AbstractMachine<'p> {
         if frame_watch.is_some() {
             self.pred_timer_stack.push(0);
         }
-        let call_pattern = self.table.entry(pred, entry_idx).call.clone();
+        let call_pattern = self.table.entry(pred, entry_idx).call;
 
         // Explore every clause on a fresh materialization of the calling
         // pattern (the `abstract(X, Xα) … p(Xα)` of §5), summarizing
@@ -778,7 +817,8 @@ impl<'p> AbstractMachine<'p> {
                 clause: clause_idx,
             });
             let t0 = self.profile_timing.then(Stopwatch::start);
-            let callee_args = materialize(&mut self.frame.heap, &call_pattern);
+            let callee_args =
+                materialize(&mut self.frame.heap, self.interner.resolve(call_pattern));
             if let Some(t0) = t0 {
                 self.materialize_ns += t0.elapsed_ns();
             }
@@ -791,12 +831,12 @@ impl<'p> AbstractMachine<'p> {
                 // clause's success pattern, nothing can change.
                 let t0 = self.profile_timing.then(Stopwatch::start);
                 let unchanged = self.config.is_full()
-                    && match &self.table.entry(pred, entry_idx).success {
+                    && match self.table.entry(pred, entry_idx).success {
                         Some(sp) => crate::matcher::matches(
                             &self.frame.heap,
                             &callee_args,
                             self.depth_k,
-                            sp,
+                            self.interner.resolve(sp),
                         ),
                         None => false,
                     };
@@ -805,12 +845,14 @@ impl<'p> AbstractMachine<'p> {
                 }
                 if !unchanged {
                     let t0 = self.profile_timing.then(Stopwatch::start);
-                    let sp = self.extract_pattern(&callee_args);
+                    let sp = self.extract_pattern_id(&callee_args);
                     if let Some(t0) = t0 {
                         self.extract_ns += t0.elapsed_ns();
                     }
                     let t0 = self.profile_timing.then(Stopwatch::start);
-                    let grew = self.table.update_success(pred, entry_idx, sp);
+                    let grew = self
+                        .table
+                        .update_success(pred, entry_idx, sp, &mut self.interner);
                     if let Some(t0) = t0 {
                         self.table_ns += t0.elapsed_ns();
                     }
@@ -819,8 +861,7 @@ impl<'p> AbstractMachine<'p> {
                             .table
                             .entry(pred, entry_idx)
                             .success
-                            .as_ref()
-                            .map(|sp| sp.display(&self.program.interner))
+                            .map(|sp| self.interner.resolve(sp).display(&self.program.interner))
                             .unwrap_or_default();
                         self.trace(|prog| TraceEvent::EtUpdate {
                             pred,
@@ -876,8 +917,8 @@ impl<'p> AbstractMachine<'p> {
 
     /// Unify the caller's argument cells with a fresh materialization of
     /// the summarized success pattern (deterministic return).
-    fn apply_success(&mut self, caller_args: &[ACell], sp: &Pattern) -> bool {
-        let cells = materialize(&mut self.frame.heap, sp);
+    fn apply_success(&mut self, caller_args: &[ACell], sp: PatternId) -> bool {
+        let cells = materialize(&mut self.frame.heap, self.interner.resolve(sp));
         for (arg, cell) in caller_args.iter().zip(cells) {
             if !self.unify(*arg, cell) {
                 return false;

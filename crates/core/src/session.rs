@@ -49,7 +49,7 @@
 use crate::analyzer::{Analysis, Analyzer};
 use crate::machine::AnalysisError;
 use crate::table::ExtensionTable;
-use absdom::Pattern;
+use absdom::{Pattern, SessionInterner};
 use awam_obs::{Json, SessionStats, Tracer};
 
 /// A query session over one compiled [`Analyzer`]: owns the extension
@@ -63,6 +63,10 @@ use awam_obs::{Json, SessionStats, Tracer};
 pub struct Session<'a> {
     analyzer: &'a Analyzer,
     table: ExtensionTable,
+    /// Interner the table's pattern ids resolve through. Persists with
+    /// the table (ids are only meaningful alongside it) — its lub/leq
+    /// memo caches stay warm across queries, like the table's entries.
+    interner: SessionInterner,
     stats: SessionStats,
 }
 
@@ -71,6 +75,7 @@ impl<'a> Session<'a> {
     pub fn new(analyzer: &'a Analyzer) -> Session<'a> {
         Session {
             table: fresh_table(analyzer),
+            interner: analyzer.new_session_interner(),
             analyzer,
             stats: SessionStats::default(),
         }
@@ -91,19 +96,28 @@ impl<'a> Session<'a> {
         self.table.len()
     }
 
+    /// Pattern-interner counters accumulated by this session (dedup
+    /// hits/misses, lub/leq memo-cache behavior, bytes saved).
+    pub fn intern_stats(&self) -> &awam_obs::InternStats {
+        self.interner.stats()
+    }
+
     /// The session counters as one JSON document (the `SessionStats`
-    /// fields plus the current memo-table size).
+    /// fields plus the current memo-table size and interner counters).
     pub fn stats_json(&self) -> Json {
         let Json::Obj(mut pairs) = self.stats.to_json() else {
             unreachable!("SessionStats::to_json returns an object");
         };
         pairs.push(("memo_entries".to_owned(), Json::Int(self.memo_len() as i64)));
+        pairs.push(("interner".to_owned(), self.interner.stats().to_json()));
         Json::Obj(pairs)
     }
 
-    /// Drop all memoized entries and counters, as if freshly created.
+    /// Drop all memoized entries, interned patterns, and counters, as if
+    /// freshly created.
     pub fn reset(&mut self) {
         self.table = fresh_table(self.analyzer);
+        self.interner = self.analyzer.new_session_interner();
         self.stats = SessionStats::default();
     }
 
@@ -160,22 +174,36 @@ impl<'a> Session<'a> {
         tracer: Option<&mut dyn Tracer>,
     ) -> Result<Analysis, AnalysisError> {
         let (pred, entry) = self.analyzer.resolve_entry(name, entry)?;
-        if self.table.find_subsuming(pred, &entry).is_some() {
+        let entry_id = self.interner.intern(entry.clone());
+        if self
+            .table
+            .find_subsuming(pred, entry_id, &mut self.interner)
+            .is_some()
+        {
             self.stats.session_warm_hits += 1;
-            return Ok(self.analyzer.analysis_from_table(&self.table));
+            return Ok(self
+                .analyzer
+                .analysis_from_table(&self.table, &self.interner));
         }
         self.stats.session_cold_runs += 1;
         let before = self.table.len() as u64;
         self.stats.entries_reused += before;
-        let seed = std::mem::replace(&mut self.table, fresh_table(self.analyzer));
-        match self.analyzer.run_fixpoint(pred, &entry, Some(seed), tracer) {
-            Ok((analysis, table)) => {
+        let seed_table = std::mem::replace(&mut self.table, fresh_table(self.analyzer));
+        let seed_interner =
+            std::mem::replace(&mut self.interner, self.analyzer.new_session_interner());
+        match self
+            .analyzer
+            .run_fixpoint(pred, &entry, Some((seed_table, seed_interner)), tracer)
+        {
+            Ok((analysis, table, interner)) => {
                 self.stats.entries_created += (table.len() as u64).saturating_sub(before);
                 self.table = table;
+                self.interner = interner;
                 Ok(analysis)
             }
-            // The replacement table installed above is already fresh, so
-            // the partially-explored seed is dropped with the error.
+            // The replacement table/interner installed above are already
+            // fresh, so the partially-explored seed is dropped with the
+            // error.
             Err(e) => Err(e),
         }
     }

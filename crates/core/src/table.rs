@@ -7,12 +7,17 @@
 //!
 //! The paper implements the table as "a linear list of (calling-pattern,
 //! success-pattern) pairs"; [`EtImpl::Linear`] reproduces that, and
-//! [`EtImpl::Hashed`] adds a hash index for the ablation study (our
+//! [`EtImpl::Hashed`] adds an index for the ablation study (our
 //! Ablation B).
+//!
+//! Patterns are stored as interned [`PatternId`]s (see
+//! [`absdom::intern`]): the linear scan compares integers instead of
+//! walking pattern graphs, the hashed index keys on ids with no pattern
+//! clones, and the summary lub / subsumption probes go through the
+//! session interner's memo caches.
 
-use absdom::Pattern;
+use absdom::{FxHashMap, PatternId, SessionInterner};
 use awam_obs::TableStats;
-use std::collections::BTreeMap;
 
 /// Which lookup structure the table uses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -25,32 +30,32 @@ pub enum EtImpl {
 }
 
 /// One memo entry.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct Entry {
-    /// The calling pattern (canonical).
-    pub call: Pattern,
+    /// The calling pattern (canonical, interned).
+    pub call: PatternId,
     /// The lub of all success patterns found so far, if any.
-    pub success: Option<Pattern>,
+    pub success: Option<PatternId>,
     /// The iteration in which this calling pattern was last explored.
     pub explored_iter: u64,
     /// Version counter, bumped whenever the success summary grows (used
     /// by the dependency-tracking iteration strategy).
     pub version: u64,
-    /// The table entries (and their versions) this entry's last
-    /// exploration read; when all are unchanged, re-exploration is
-    /// provably a no-op and can be skipped.
-    pub deps: Vec<(usize, usize, u64)>,
 }
 
 #[derive(Clone, Debug, Default)]
 struct PredTable {
     entries: Vec<Entry>,
-    /// Calling-pattern → entry index. An ordered map, not a hash map:
-    /// `HashMap`'s per-instance random seed would make any future
-    /// iteration over the index nondeterministic between runs (the same
-    /// bug class the `rev_deps` index had), and the `Ord`-based lookup
-    /// is still O(log n) pattern comparisons per consult.
-    index: BTreeMap<Pattern, usize>,
+    /// The table entries (and their versions) each entry's last
+    /// exploration read; parallel to `entries` (kept out of [`Entry`] so
+    /// the entry itself stays `Copy`).
+    deps: Vec<Vec<(usize, usize, u64)>>,
+    /// Calling-pattern id → entry index. A fixed-seed hash map
+    /// ([`FxHashMap`]), not `std`'s `RandomState`-seeded one: the
+    /// per-instance random seed would make any future iteration over the
+    /// index nondeterministic between runs (the same bug class the
+    /// `rev_deps` index had). Probes are O(1) integer hashes.
+    index: FxHashMap<PatternId, usize>,
 }
 
 /// The extension table.
@@ -60,6 +65,10 @@ pub struct ExtensionTable {
     impl_kind: EtImpl,
     /// Whether any success entry changed since the flag was last cleared.
     changed: bool,
+    /// Cached running maximum of every entry's `explored_iter` (kept by
+    /// `insert`/`mark_explored`, so seeded runs resume in O(1) instead of
+    /// rescanning the whole table).
+    max_explored: u64,
     stats: TableStats,
 }
 
@@ -70,22 +79,24 @@ impl ExtensionTable {
             preds: vec![PredTable::default(); num_preds],
             impl_kind,
             changed: false,
+            max_explored: 0,
             stats: TableStats::default(),
         }
     }
 
     /// Index of the first entry under `pred` whose calling pattern
-    /// satisfies `test` (used with the allocation-free matcher).
+    /// satisfies `test` (used with the allocation-free matcher; the
+    /// closure receives the interned calling-pattern id).
     pub fn find_by(
         &mut self,
         pred: usize,
-        mut test: impl FnMut(&Pattern) -> bool,
+        mut test: impl FnMut(PatternId) -> bool,
     ) -> Option<usize> {
         self.stats.lookups += 1;
         let table = &self.preds[pred];
         for (i, e) in table.entries.iter().enumerate() {
             self.stats.scan_steps += 1;
-            if test(&e.call) {
+            if test(e.call) {
                 self.stats.hits += 1;
                 return Some(i);
             }
@@ -94,8 +105,9 @@ impl ExtensionTable {
         None
     }
 
-    /// Index of the entry for `call` under `pred`, if present.
-    pub fn find(&mut self, pred: usize, call: &Pattern) -> Option<usize> {
+    /// Index of the entry for `call` under `pred`, if present. Equality
+    /// is an integer compare on interned ids.
+    pub fn find(&mut self, pred: usize, call: PatternId) -> Option<usize> {
         self.stats.lookups += 1;
         let found = match self.impl_kind {
             EtImpl::Linear => {
@@ -103,7 +115,7 @@ impl ExtensionTable {
                 let mut found = None;
                 for (i, e) in table.entries.iter().enumerate() {
                     self.stats.scan_steps += 1;
-                    if &e.call == call {
+                    if e.call == call {
                         found = Some(i);
                         break;
                     }
@@ -112,7 +124,7 @@ impl ExtensionTable {
             }
             EtImpl::Hashed => {
                 self.stats.scan_steps += 1;
-                self.preds[pred].index.get(call).copied()
+                self.preds[pred].index.get(&call).copied()
             }
         };
         if found.is_some() {
@@ -126,13 +138,10 @@ impl ExtensionTable {
     /// Like [`Self::find`], but without touching the stats counters.
     /// Used by debug-only consistency checks so that the counters stay
     /// identical between debug and release builds.
-    pub fn find_quiet(&self, pred: usize, call: &Pattern) -> Option<usize> {
+    pub fn find_quiet(&self, pred: usize, call: PatternId) -> Option<usize> {
         match self.impl_kind {
-            EtImpl::Linear => self.preds[pred]
-                .entries
-                .iter()
-                .position(|e| &e.call == call),
-            EtImpl::Hashed => self.preds[pred].index.get(call).copied(),
+            EtImpl::Linear => self.preds[pred].entries.iter().position(|e| e.call == call),
+            EtImpl::Hashed => self.preds[pred].index.get(&call).copied(),
         }
     }
 
@@ -142,50 +151,65 @@ impl ExtensionTable {
     }
 
     /// Index of the first entry under `pred` whose calling pattern
-    /// subsumes `call` (`call ⊑ entry.call`). Quiet with respect to the
+    /// subsumes `call` (`call ⊑ entry.call`), deciding the order through
+    /// `interner`'s leq memo cache. Quiet with respect to the
     /// machine-level stats counters: this is the *session*-level reuse
     /// probe, counted by [`awam_obs::SessionStats`] instead.
-    pub fn find_subsuming(&self, pred: usize, call: &Pattern) -> Option<usize> {
+    pub fn find_subsuming(
+        &self,
+        pred: usize,
+        call: PatternId,
+        interner: &mut SessionInterner,
+    ) -> Option<usize> {
         self.preds[pred]
             .entries
             .iter()
-            .position(|e| call.leq(&e.call))
+            .position(|e| interner.leq(call, e.call))
     }
 
     /// The highest `explored_iter` over all entries — the resume point
     /// for a fixpoint run seeded with this table: starting the global
     /// iteration counter above it guarantees no stale entry is mistaken
-    /// for "already explored this round".
+    /// for "already explored this round". O(1): the maximum is maintained
+    /// by [`Self::insert`] and [`Self::mark_explored`].
     pub fn max_explored_iter(&self) -> u64 {
-        self.preds
-            .iter()
-            .flat_map(|p| p.entries.iter())
-            .map(|e| e.explored_iter)
-            .max()
-            .unwrap_or(0)
+        debug_assert_eq!(
+            self.max_explored,
+            self.preds
+                .iter()
+                .flat_map(|p| p.entries.iter())
+                .map(|e| e.explored_iter)
+                .max()
+                .unwrap_or(0),
+            "cached max_explored_iter out of sync with the entries"
+        );
+        self.max_explored
     }
 
     /// Insert a fresh entry (marked explored in `iter`) and return its
-    /// index.
-    pub fn insert(&mut self, pred: usize, call: Pattern, iter: u64) -> usize {
+    /// index. The calling pattern is an interned id, so nothing is
+    /// cloned — the hashed index stores the same id.
+    pub fn insert(&mut self, pred: usize, call: PatternId, iter: u64) -> usize {
         self.stats.inserts += 1;
+        self.max_explored = self.max_explored.max(iter);
         let table = &mut self.preds[pred];
         let idx = table.entries.len();
         if self.impl_kind == EtImpl::Hashed {
-            table.index.insert(call.clone(), idx);
+            table.index.insert(call, idx);
         }
         table.entries.push(Entry {
             call,
             success: None,
             explored_iter: iter,
             version: 0,
-            deps: Vec::new(),
         });
+        table.deps.push(Vec::new());
         idx
     }
 
     /// Mark an existing entry explored in `iter`.
     pub fn mark_explored(&mut self, pred: usize, idx: usize, iter: u64) {
+        self.max_explored = self.max_explored.max(iter);
         self.preds[pred].entries[idx].explored_iter = iter;
     }
 
@@ -193,12 +217,12 @@ impl ExtensionTable {
     pub fn set_deps(&mut self, pred: usize, idx: usize, mut deps: Vec<(usize, usize, u64)>) {
         deps.sort_unstable();
         deps.dedup();
-        self.preds[pred].entries[idx].deps = deps;
+        self.preds[pred].deps[idx] = deps;
     }
 
     /// The recorded dependencies of an entry.
     pub fn deps(&self, pred: usize, idx: usize) -> &[(usize, usize, u64)] {
-        &self.preds[pred].entries[idx].deps
+        &self.preds[pred].deps[idx]
     }
 
     /// Whether every dependency of `(pred, idx)` still has the version it
@@ -209,8 +233,7 @@ impl ExtensionTable {
         if entry.explored_iter == 0 {
             return false;
         }
-        entry
-            .deps
+        self.preds[pred].deps[idx]
             .iter()
             .all(|&(p, i, v)| self.preds[p].entries[i].version == v)
     }
@@ -220,18 +243,26 @@ impl ExtensionTable {
         self.preds[pred].entries[idx].version
     }
 
-    /// Lub `success` into the entry; returns whether the summary grew
-    /// (also recorded in the global change flag).
-    pub fn update_success(&mut self, pred: usize, idx: usize, success: Pattern) -> bool {
+    /// Lub `success` into the entry (through `interner`'s memo cache);
+    /// returns whether the summary grew (also recorded in the global
+    /// change flag).
+    pub fn update_success(
+        &mut self,
+        pred: usize,
+        idx: usize,
+        success: PatternId,
+        interner: &mut SessionInterner,
+    ) -> bool {
         self.stats.summary_updates += 1;
         let entry = &mut self.preds[pred].entries[idx];
-        match &entry.success {
+        match entry.success {
             // Fast path: the summary already equals the new pattern (the
-            // common case once the fixpoint is nearly reached).
-            Some(old) if *old == success => false,
+            // common case once the fixpoint is nearly reached). With
+            // interned ids this is a single integer compare.
+            Some(old) if old == success => false,
             Some(old) => {
-                let new = old.lub(&success);
-                if *old != new {
+                let new = interner.lub(old, success);
+                if old != new {
                     entry.success = Some(new);
                     entry.version += 1;
                     self.changed = true;
@@ -287,56 +318,108 @@ impl ExtensionTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use absdom::Pattern;
 
-    fn pat(specs: &[&str]) -> Pattern {
-        Pattern::from_spec(specs).unwrap()
+    fn pat(interner: &mut SessionInterner, specs: &[&str]) -> PatternId {
+        interner.intern(Pattern::from_spec(specs).unwrap())
     }
 
     #[test]
     fn insert_and_find() {
         for kind in [EtImpl::Linear, EtImpl::Hashed] {
+            let mut interner = SessionInterner::default();
+            let any = pat(&mut interner, &["any"]);
+            let g = pat(&mut interner, &["g"]);
             let mut t = ExtensionTable::new(2, kind);
-            assert!(t.find(0, &pat(&["any"])).is_none());
-            let idx = t.insert(0, pat(&["any"]), 1);
-            assert_eq!(t.find(0, &pat(&["any"])), Some(idx));
-            assert!(t.find(1, &pat(&["any"])).is_none(), "per-predicate");
-            assert!(t.find(0, &pat(&["g"])).is_none());
+            assert!(t.find(0, any).is_none());
+            let idx = t.insert(0, any, 1);
+            assert_eq!(t.find(0, any), Some(idx));
+            assert!(t.find(1, any).is_none(), "per-predicate");
+            assert!(t.find(0, g).is_none());
         }
     }
 
     #[test]
+    fn insert_stores_the_id_without_new_interning() {
+        // Regression: the hashed index used to clone the calling pattern
+        // as its map key. With interned ids the insert path allocates no
+        // pattern at all — re-interning the same pattern after the insert
+        // is a dedup hit and the arena has not grown.
+        let mut interner = SessionInterner::default();
+        let call = pat(&mut interner, &["glist", "var"]);
+        let misses_before = interner.stats().intern_misses;
+        let arena_before = interner.len();
+        let mut t = ExtensionTable::new(1, EtImpl::Hashed);
+        let idx = t.insert(0, call, 1);
+        assert_eq!(interner.len(), arena_before, "insert interned nothing");
+        let again = pat(&mut interner, &["glist", "var"]);
+        assert_eq!(again, call, "same id on re-intern");
+        assert_eq!(interner.stats().intern_misses, misses_before);
+        assert!(interner.stats().bytes_saved > 0, "dedup hit recorded");
+        assert_eq!(t.find(0, call), Some(idx));
+    }
+
+    #[test]
     fn success_lubbing_sets_changed() {
+        let mut interner = SessionInterner::default();
+        let any = pat(&mut interner, &["any"]);
+        let atom = pat(&mut interner, &["atom"]);
+        let int = pat(&mut interner, &["int"]);
+        let konst = pat(&mut interner, &["const"]);
         let mut t = ExtensionTable::new(1, EtImpl::Linear);
-        let idx = t.insert(0, pat(&["any"]), 1);
+        let idx = t.insert(0, any, 1);
         assert!(!t.changed());
-        t.update_success(0, idx, pat(&["atom"]));
+        t.update_success(0, idx, atom, &mut interner);
         assert!(t.changed());
         t.clear_changed();
         // Same success again: no change.
-        t.update_success(0, idx, pat(&["atom"]));
+        t.update_success(0, idx, atom, &mut interner);
         assert!(!t.changed());
         // Larger success: lub grows.
-        t.update_success(0, idx, pat(&["int"]));
+        t.update_success(0, idx, int, &mut interner);
         assert!(t.changed());
-        assert_eq!(t.entry(0, idx).success.as_ref().unwrap(), &pat(&["const"]));
+        assert_eq!(t.entry(0, idx).success, Some(konst));
     }
 
     #[test]
     fn explored_iteration_tracking() {
+        let mut interner = SessionInterner::default();
+        let empty = pat(&mut interner, &[]);
         let mut t = ExtensionTable::new(1, EtImpl::Linear);
-        let idx = t.insert(0, pat(&[]), 1);
+        let idx = t.insert(0, empty, 1);
         assert_eq!(t.entry(0, idx).explored_iter, 1);
         t.mark_explored(0, idx, 2);
         assert_eq!(t.entry(0, idx).explored_iter, 2);
     }
 
     #[test]
+    fn max_explored_iter_is_cached() {
+        let mut interner = SessionInterner::default();
+        let any = pat(&mut interner, &["any"]);
+        let g = pat(&mut interner, &["g"]);
+        let mut t = ExtensionTable::new(2, EtImpl::Linear);
+        assert_eq!(t.max_explored_iter(), 0);
+        let idx = t.insert(0, any, 3);
+        assert_eq!(t.max_explored_iter(), 3);
+        t.insert(1, g, 2);
+        assert_eq!(t.max_explored_iter(), 3, "max keeps the high-water mark");
+        t.mark_explored(0, idx, 7);
+        assert_eq!(t.max_explored_iter(), 7);
+        // (In debug builds max_explored_iter re-derives the max by scan
+        // and asserts agreement, so these checks cover the cache too.)
+    }
+
+    #[test]
     fn stats_count_scans() {
+        let mut interner = SessionInterner::default();
+        let any = pat(&mut interner, &["any"]);
+        let g = pat(&mut interner, &["g"]);
+        let var = pat(&mut interner, &["var"]);
         let mut t = ExtensionTable::new(1, EtImpl::Linear);
-        t.insert(0, pat(&["any"]), 1);
-        t.insert(0, pat(&["g"]), 1);
-        t.find(0, &pat(&["g"]));
-        t.find(0, &pat(&["var"]));
+        t.insert(0, any, 1);
+        t.insert(0, g, 1);
+        t.find(0, g);
+        t.find(0, var);
         let stats = t.stats();
         assert_eq!(stats.lookups, 2);
         assert_eq!(stats.hits, 1);
@@ -347,14 +430,36 @@ mod tests {
 
     #[test]
     fn stats_track_summary_updates() {
+        let mut interner = SessionInterner::default();
+        let any = pat(&mut interner, &["any"]);
+        let atom = pat(&mut interner, &["atom"]);
+        let int = pat(&mut interner, &["int"]);
         let mut t = ExtensionTable::new(1, EtImpl::Linear);
-        let idx = t.insert(0, pat(&["any"]), 1);
-        t.update_success(0, idx, pat(&["atom"])); // first summary
-        t.update_success(0, idx, pat(&["atom"])); // identical: fast path
-        t.update_success(0, idx, pat(&["int"])); // lub grows to const
+        let idx = t.insert(0, any, 1);
+        t.update_success(0, idx, atom, &mut interner); // first summary
+        t.update_success(0, idx, atom, &mut interner); // identical: fast path
+        t.update_success(0, idx, int, &mut interner); // lub grows to const
         let stats = t.stats();
         assert_eq!(stats.summary_updates, 3);
         assert_eq!(stats.lub_widenings, 1, "only the growing lub counts");
         assert_eq!(stats.version_bumps, 2, "first set + one widening");
+    }
+
+    #[test]
+    fn find_subsuming_uses_the_order() {
+        let mut interner = SessionInterner::default();
+        let any = pat(&mut interner, &["any"]);
+        let g = pat(&mut interner, &["g"]);
+        let atom = pat(&mut interner, &["atom"]);
+        let mut t = ExtensionTable::new(1, EtImpl::Linear);
+        let idx = t.insert(0, any, 1);
+        // atom ⊑ any: subsumed by the memoized entry.
+        assert_eq!(t.find_subsuming(0, atom, &mut interner), Some(idx));
+        assert_eq!(t.find_subsuming(0, g, &mut interner), Some(idx));
+        // The probe warmed the leq cache.
+        assert!(interner.stats().leq_calls > 0);
+        let mut narrow = ExtensionTable::new(1, EtImpl::Linear);
+        narrow.insert(0, atom, 1);
+        assert_eq!(narrow.find_subsuming(0, any, &mut interner), None);
     }
 }

@@ -56,6 +56,60 @@ impl TableStats {
     }
 }
 
+/// Statistics for a pattern interner (the hash-consed arena mapping
+/// canonical patterns to dense integer ids) and its id-keyed memo
+/// caches for the lattice operations.
+///
+/// One instance per session interner; a probe against the shared base
+/// arena and a probe against the session-local overlay both count as a
+/// single intern. `bytes_saved` estimates the heap bytes a deduplicated
+/// intern avoided allocating (the node and root vectors of the pattern
+/// that was dropped in favor of the arena copy).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InternStats {
+    /// Intern probes that found the pattern already in the arena.
+    pub intern_hits: u64,
+    /// Intern probes that had to add a fresh arena slot.
+    pub intern_misses: u64,
+    /// Memoized `lub` requests.
+    pub lub_calls: u64,
+    /// `lub` requests answered from the memo cache (including the
+    /// `a ⊔ a = a` identical-operand fast path).
+    pub lub_cache_hits: u64,
+    /// Memoized `leq` requests.
+    pub leq_calls: u64,
+    /// `leq` requests answered from the memo cache (including the
+    /// reflexive fast path).
+    pub leq_cache_hits: u64,
+    /// Estimated heap bytes deduplication avoided allocating.
+    pub bytes_saved: u64,
+}
+
+impl InternStats {
+    /// Encode as a JSON object with one field per counter.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("intern_hits", Json::Int(self.intern_hits as i64)),
+            ("intern_misses", Json::Int(self.intern_misses as i64)),
+            ("lub_calls", Json::Int(self.lub_calls as i64)),
+            ("lub_cache_hits", Json::Int(self.lub_cache_hits as i64)),
+            ("leq_calls", Json::Int(self.leq_calls as i64)),
+            ("leq_cache_hits", Json::Int(self.leq_cache_hits as i64)),
+            ("bytes_saved", Json::Int(self.bytes_saved as i64)),
+        ])
+    }
+
+    /// Intern hit rate in [0, 1]; zero when there were no probes.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.intern_hits + self.intern_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.intern_hits as f64 / total as f64
+        }
+    }
+}
+
 /// Per-opcode dispatch counts.
 ///
 /// The layer is machine-agnostic: the machine supplies the opcode count
@@ -235,6 +289,27 @@ mod tests {
         assert_eq!(json.get("lookups").and_then(Json::as_u64), Some(10));
         assert_eq!(json.get("lub_widenings").and_then(Json::as_u64), Some(2));
         assert!((stats.hit_rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intern_stats_json_has_every_field() {
+        let stats = InternStats {
+            intern_hits: 9,
+            intern_misses: 3,
+            lub_calls: 5,
+            lub_cache_hits: 4,
+            leq_calls: 6,
+            leq_cache_hits: 2,
+            bytes_saved: 480,
+        };
+        let json = stats.to_json();
+        assert_eq!(json.get("intern_hits").and_then(Json::as_u64), Some(9));
+        assert_eq!(json.get("intern_misses").and_then(Json::as_u64), Some(3));
+        assert_eq!(json.get("lub_cache_hits").and_then(Json::as_u64), Some(4));
+        assert_eq!(json.get("leq_calls").and_then(Json::as_u64), Some(6));
+        assert_eq!(json.get("bytes_saved").and_then(Json::as_u64), Some(480));
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(InternStats::default().hit_rate(), 0.0);
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! * [`counters`] — [`TableStats`] (extension-table work),
 //!   [`OpcodeCounts`] (per-opcode dispatch), [`MachineStats`]
 //!   (calls/backtracks/high-water marks), [`SessionStats`] (warm/cold
-//!   query split of the session layer). Counters are plain `u64`
+//!   query split of the session layer), [`InternStats`] (pattern-interner
+//!   dedup and lub/leq memo-cache behavior). Counters are plain `u64`
 //!   increments and stay on in release builds.
 //! * [`trace`] — a [`Tracer`] trait with no-op, recording, and
 //!   JSONL-streaming implementations. Machines hold an
@@ -31,7 +32,7 @@ pub mod json;
 pub mod timer;
 pub mod trace;
 
-pub use counters::{MachineStats, OpcodeCounts, SessionStats, TableStats};
+pub use counters::{InternStats, MachineStats, OpcodeCounts, SessionStats, TableStats};
 pub use json::{Json, JsonError};
 pub use timer::{Phase, PhaseTimers, Stopwatch};
 pub use trace::{

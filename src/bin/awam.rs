@@ -234,6 +234,17 @@ fn render_stats(analysis: &Analysis, timers: &PhaseTimers) -> String {
         t.hit_rate() * 100.0,
         t.lookups
     ));
+    let i = &analysis.intern_stats;
+    out.push_str(&format!(
+        "interner: {} patterns, dedup rate {:.1}%, lub cache {}/{}, leq cache {}/{}, ~{} bytes saved\n",
+        i.intern_misses,
+        i.hit_rate() * 100.0,
+        i.lub_cache_hits,
+        i.lub_calls,
+        i.leq_cache_hits,
+        i.leq_calls,
+        i.bytes_saved
+    ));
     for phase in Phase::ALL {
         let ns = timers.nanos(phase);
         if ns > 0 {
