@@ -31,6 +31,8 @@ pub fn extract(heap: &[ACell], args: &[ACell], depth_k: usize) -> Pattern {
         nodes: Vec::new(),
         map: Vec::new(),
         pair_map: Vec::new(),
+        open: Vec::new(),
+        open_lists: Vec::new(),
     };
     let roots = args.iter().map(|&a| ex.node(a, 0)).collect();
     // The extractor emits canonical form directly (pre-order numbering,
@@ -60,12 +62,36 @@ struct Extractor<'h> {
     map: Vec<(usize, NodeId)>,
     /// Compound payload address → node (cons pairs and structs).
     pair_map: Vec<(usize, NodeId)>,
+    /// Payload addresses of `Lis`/`Str` compounds currently being
+    /// extracted (the path from the roots to here). A sharing hit on one
+    /// of these is a back-edge — a cyclic heap term (occurs-check-free
+    /// unification can build them) — and must be summarized, not shared:
+    /// patterns are acyclic by construction. Kept separate from
+    /// [`Self::open_lists`] because payload addresses and cell addresses
+    /// are different namespaces (a var can live in-place in a car slot).
+    open: Vec<usize>,
+    /// Cell addresses of `AbsList`s currently being extracted.
+    open_lists: Vec<usize>,
 }
 
 impl Extractor<'_> {
     fn push(&mut self, node: PNode) -> NodeId {
         self.nodes.push(node);
         self.nodes.len() - 1
+    }
+
+    /// Emit `cell`'s summary leaf — the depth cut, also used to break
+    /// back-edges of cyclic heap terms.
+    fn summary_node(&mut self, cell: ACell) -> NodeId {
+        let leaf = self.summarize(cell, &mut Vec::new());
+        // A summarized subterm loses its aliasing links, so it may not
+        // claim definite freeness (see DESIGN.md §3.4).
+        let leaf = if leaf == AbsLeaf::Var {
+            AbsLeaf::Any
+        } else {
+            leaf
+        };
+        self.push(PNode::Leaf(leaf))
     }
 
     fn node(&mut self, cell: ACell, depth: usize) -> NodeId {
@@ -78,6 +104,12 @@ impl Extractor<'_> {
             ACell::Ref(_) | ACell::Abs(_) | ACell::AbsList(_) => {
                 if let Some(a) = addr {
                     if let Some(&(_, n)) = self.map.iter().find(|&&(k, _)| k == a) {
+                        // A `Ref`/`Abs` hit is always a cross-edge (leaves
+                        // have no descendants); only an `AbsList` can be
+                        // an in-progress ancestor.
+                        if matches!(cell, ACell::AbsList(_)) && self.open_lists.contains(&a) {
+                            return self.summary_node(cell);
+                        }
                         // Ground cells are never shared (checked lazily:
                         // hits are rare, groundness walks are not free).
                         if !self.summarize(cell, &mut Vec::new()).is_ground() {
@@ -88,6 +120,9 @@ impl Extractor<'_> {
             }
             ACell::Lis(p) | ACell::Str(p) => {
                 if let Some(&(_, n)) = self.pair_map.iter().find(|&&(k, _)| k == p) {
+                    if self.open.contains(&p) {
+                        return self.summary_node(cell);
+                    }
                     if !self.summarize(cell, &mut Vec::new()).is_ground() {
                         return n;
                     }
@@ -96,15 +131,7 @@ impl Extractor<'_> {
             _ => {}
         }
         if depth >= self.depth_k {
-            let leaf = self.summarize(cell, &mut Vec::new());
-            // A summarized subterm loses its aliasing links, so it may not
-            // claim definite freeness (see DESIGN.md §3.4).
-            let leaf = if leaf == AbsLeaf::Var {
-                AbsLeaf::Any
-            } else {
-                leaf
-            };
-            return self.push(PNode::Leaf(leaf));
+            return self.summary_node(cell);
         }
         match cell {
             ACell::Ref(a) => {
@@ -128,7 +155,13 @@ impl Extractor<'_> {
                 }
                 // Element subgraphs are unaliased type descriptions;
                 // extract them fresh below the list node.
+                if let Some(a) = addr {
+                    self.open_lists.push(a);
+                }
                 let elem = self.node(ACell::Ref(e), depth + 1);
+                if addr.is_some() {
+                    self.open_lists.pop();
+                }
                 self.nodes[id] = PNode::List(elem);
                 id
             }
@@ -137,20 +170,24 @@ impl Extractor<'_> {
             ACell::Lis(p) => {
                 let id = self.push(PNode::Leaf(AbsLeaf::Any)); // placeholder
                 self.pair_map.push((p, id));
+                self.open.push(p);
                 let car = self.node(ACell::Ref(p), depth + 1);
                 let cdr = self.node(ACell::Ref(p + 1), depth + 1);
+                self.open.pop();
                 self.nodes[id] = PNode::Struct(absdom::dot_symbol(), vec![car, cdr]);
                 id
             }
             ACell::Str(p) => {
                 let id = self.push(PNode::Leaf(AbsLeaf::Any)); // placeholder
                 self.pair_map.push((p, id));
+                self.open.push(p);
                 let ACell::Fun(f, n) = self.heap[p] else {
                     unreachable!("Str points at Fun");
                 };
                 let args = (0..n as usize)
                     .map(|i| self.node(ACell::Ref(p + 1 + i), depth + 1))
                     .collect();
+                self.open.pop();
                 self.nodes[id] = PNode::Struct(f, args);
                 id
             }
@@ -165,7 +202,13 @@ impl Extractor<'_> {
             ACell::Ref(_) => AbsLeaf::Var,
             ACell::Abs(l) => l,
             ACell::AbsList(e) => {
-                if self.summarize(ACell::Ref(e), visiting).is_ground() {
+                if visiting.contains(&e) {
+                    return AbsLeaf::NonVar;
+                }
+                visiting.push(e);
+                let ground = self.summarize(ACell::Ref(e), visiting).is_ground();
+                visiting.pop();
+                if ground {
                     AbsLeaf::Ground
                 } else {
                     AbsLeaf::NonVar
@@ -376,6 +419,67 @@ mod tests {
             vec![0],
         );
         assert_eq!(pat, expected);
+    }
+
+    #[test]
+    fn cyclic_term_extracts_to_summary() {
+        // f(X) = X without an occurs check leaves heap[x] = Str(p) with
+        // the struct's argument pointing back at x. The back-edge must be
+        // summarized (patterns are acyclic), not turned into a cyclic
+        // pattern graph — that used to overflow every recursive pattern
+        // walk downstream.
+        let f = prolog_syntax::Interner::new().intern("f");
+        let mut heap = Vec::new();
+        let p = heap.len();
+        heap.push(ACell::Fun(f, 1));
+        heap.push(ACell::Ref(2));
+        let x = heap.len();
+        heap.push(ACell::Str(p));
+        heap[p + 1] = ACell::Ref(x);
+        let pat = extract(&heap, &[ACell::Ref(x)], 4);
+        let expected = Pattern::new(
+            vec![PNode::Struct(f, vec![1]), PNode::Leaf(AbsLeaf::NonVar)],
+            vec![0],
+        );
+        assert_eq!(pat, expected);
+        // The allocation-free matcher stays in lockstep on the same heap.
+        assert!(crate::matcher::matches(&heap, &[ACell::Ref(x)], 4, &pat));
+    }
+
+    #[test]
+    fn in_place_var_shares_across_compounds() {
+        // A cons whose car slot *is* the unbound variable (heap[p] =
+        // Ref(p)) makes the var's cell address collide with the pair's
+        // payload address. A second occurrence of the var under another
+        // compound must still share — the back-edge cut only applies to
+        // compound ancestry, not to leaf cells that happen to reuse the
+        // address.
+        let mut heap = Vec::new();
+        let p = heap.len();
+        heap.push(ACell::Ref(p)); // car: unbound var, in place
+        heap.push(ACell::Con(absdom::nil_symbol())); // cdr: []
+        let q = heap.len();
+        heap.push(ACell::Lis(p)); // car: the inner cons
+        heap.push(ACell::Con(absdom::nil_symbol())); // cdr: []
+        let pat = extract(&heap, &[ACell::Lis(p), ACell::Lis(q)], 4);
+        let dot = absdom::dot_symbol();
+        let expected = Pattern::new(
+            vec![
+                PNode::Struct(dot, vec![1, 2]),
+                PNode::Leaf(AbsLeaf::Var),
+                PNode::Atom(absdom::nil_symbol()),
+                PNode::Struct(dot, vec![0, 4]),
+                PNode::Atom(absdom::nil_symbol()),
+            ],
+            vec![0, 3],
+        );
+        assert_eq!(pat, expected);
+        assert!(crate::matcher::matches(
+            &heap,
+            &[ACell::Lis(p), ACell::Lis(q)],
+            4,
+            &pat
+        ));
     }
 
     #[test]

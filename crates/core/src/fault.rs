@@ -1,0 +1,48 @@
+//! Fault injection for the correctness harness.
+//!
+//! The fuzz harness (`awam-testkit`, `awam fuzz`) needs to demonstrate
+//! that its oracle matrix actually catches analyzer bugs, not just that
+//! healthy code passes. This module provides process-global switches
+//! that plant a known bug in a hot invariant; the harness turns one on,
+//! runs a campaign, and asserts the oracles fail and shrink the
+//! counterexample.
+//!
+//! Faults are **off** by default and exist only for the harness — never
+//! enable one outside a dedicated fuzz/test process. They are globals
+//! (not per-analyzer knobs) on purpose: the point is to corrupt the
+//! analyzer *as deployed*, behind its public API, exactly the way a real
+//! regression would.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// When set, [`crate::ExtensionTable::update_success`] never widens an
+/// existing success summary: the first success pattern recorded for a
+/// calling pattern is frozen and later lubs are skipped. This breaks the
+/// monotone-accumulation invariant of §6's extension table and yields
+/// unsound (too narrow) summaries.
+static SKIP_LUB: AtomicBool = AtomicBool::new(false);
+
+/// Enable or disable the skip-lub fault (see [`skip_lub`]).
+pub fn set_skip_lub(on: bool) {
+    SKIP_LUB.store(on, Ordering::Relaxed);
+}
+
+/// Whether the skip-lub fault is active.
+pub fn skip_lub() -> bool {
+    SKIP_LUB.load(Ordering::Relaxed)
+}
+
+/// Parse a fault name from the CLI surface and enable it.
+///
+/// # Errors
+///
+/// Returns the unknown name back for error reporting.
+pub fn enable(name: &str) -> Result<(), String> {
+    match name {
+        "skip-lub" => {
+            set_skip_lub(true);
+            Ok(())
+        }
+        other => Err(format!("unknown fault `{other}` (available: skip-lub)")),
+    }
+}

@@ -75,6 +75,7 @@ pub mod acell;
 pub mod analyzer;
 pub mod batch;
 pub mod extract;
+pub mod fault;
 pub mod machine;
 pub mod matcher;
 pub mod report;

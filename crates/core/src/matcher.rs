@@ -29,6 +29,8 @@ pub fn matches(heap: &[ACell], args: &[ACell], depth_k: usize, pattern: &Pattern
         next: 0,
         open_map: Vec::new(),
         pair_map: Vec::new(),
+        open: Vec::new(),
+        open_lists: Vec::new(),
     };
     for (i, &arg) in args.iter().enumerate() {
         match m.walk(arg, 0) {
@@ -50,6 +52,11 @@ struct Matcher<'a> {
     open_map: Vec<(usize, usize)>,
     /// Shared compound payloads (addr → node id).
     pair_map: Vec<(usize, usize)>,
+    /// `Lis`/`Str` payload addresses on the current walk path (the
+    /// extractor's back-edge cut for cyclic terms).
+    open: Vec<usize>,
+    /// `AbsList` cell addresses on the current walk path.
+    open_lists: Vec<usize>,
 }
 
 impl Matcher<'_> {
@@ -63,6 +70,9 @@ impl Matcher<'_> {
             ACell::Ref(_) | ACell::Abs(_) | ACell::AbsList(_) => {
                 if let Some(a) = addr {
                     if let Some(&(_, n)) = self.open_map.iter().find(|&&(k, _)| k == a) {
+                        if matches!(cell, ACell::AbsList(_)) && self.open_lists.contains(&a) {
+                            return self.summary_leaf(cell);
+                        }
                         if !self.summarize(cell).is_ground() {
                             return Some(n);
                         }
@@ -71,6 +81,9 @@ impl Matcher<'_> {
             }
             ACell::Lis(p) | ACell::Str(p) => {
                 if let Some(&(_, n)) = self.pair_map.iter().find(|&&(k, _)| k == p) {
+                    if self.open.contains(&p) {
+                        return self.summary_leaf(cell);
+                    }
                     if !self.summarize(cell).is_ground() {
                         return Some(n);
                     }
@@ -79,13 +92,7 @@ impl Matcher<'_> {
             _ => {}
         }
         if depth >= self.depth_k {
-            let leaf = self.summarize(cell);
-            let leaf = if leaf == AbsLeaf::Var {
-                AbsLeaf::Any
-            } else {
-                leaf
-            };
-            return self.emit_leaf(leaf);
+            return self.summary_leaf(cell);
         }
         match cell {
             ACell::Ref(a) => {
@@ -115,9 +122,13 @@ impl Matcher<'_> {
                 };
                 if let Some(a) = addr {
                     self.open_map.push((a, id));
+                    self.open_lists.push(a);
                 }
-                let got = self.walk(ACell::Ref(e), depth + 1)?;
-                (got == elem_id).then_some(id)
+                let got = self.walk(ACell::Ref(e), depth + 1);
+                if addr.is_some() {
+                    self.open_lists.pop();
+                }
+                (got? == elem_id).then_some(id)
             }
             ACell::Con(s) => {
                 let id = self.fresh()?;
@@ -138,11 +149,13 @@ impl Matcher<'_> {
                 }
                 let (car_id, cdr_id) = (kids[0], kids[1]);
                 self.pair_map.push((p, id));
+                self.open.push(p);
                 let car = self.walk(ACell::Ref(p), depth + 1)?;
                 if car != car_id {
                     return None;
                 }
                 let cdr = self.walk(ACell::Ref(p + 1), depth + 1)?;
+                self.open.pop();
                 (cdr == cdr_id).then_some(id)
             }
             ACell::Str(p) => {
@@ -158,12 +171,14 @@ impl Matcher<'_> {
                     return None;
                 }
                 self.pair_map.push((p, id));
+                self.open.push(p);
                 for (i, &kid) in kids.iter().enumerate() {
                     let got = self.walk(ACell::Ref(p + 1 + i), depth + 1)?;
                     if got != kid {
                         return None;
                     }
                 }
+                self.open.pop();
                 Some(id)
             }
             ACell::Fun(..) => unreachable!("bare functor cell"),
@@ -184,6 +199,18 @@ impl Matcher<'_> {
         (*self.pattern.node(id) == PNode::Leaf(leaf)).then_some(id)
     }
 
+    /// Check `cell`'s summary leaf — the depth cut, also the extractor's
+    /// back-edge cut for cyclic terms.
+    fn summary_leaf(&mut self, cell: ACell) -> Option<usize> {
+        let leaf = self.summarize(cell);
+        let leaf = if leaf == AbsLeaf::Var {
+            AbsLeaf::Any
+        } else {
+            leaf
+        };
+        self.emit_leaf(leaf)
+    }
+
     /// Primary approximation of a heap term (mirrors the extractor's).
     fn summarize(&self, cell: ACell) -> AbsLeaf {
         summarize_cell(self.heap, cell, &mut Vec::new())
@@ -197,7 +224,13 @@ pub(crate) fn summarize_cell(heap: &[ACell], cell: ACell, visiting: &mut Vec<usi
         ACell::Ref(_) => AbsLeaf::Var,
         ACell::Abs(l) => l,
         ACell::AbsList(e) => {
-            if summarize_cell(heap, ACell::Ref(e), visiting).is_ground() {
+            if visiting.contains(&e) {
+                return AbsLeaf::NonVar;
+            }
+            visiting.push(e);
+            let ground = summarize_cell(heap, ACell::Ref(e), visiting).is_ground();
+            visiting.pop();
+            if ground {
                 AbsLeaf::Ground
             } else {
                 AbsLeaf::NonVar

@@ -6,169 +6,17 @@
 //! then the abstract unification of (materializations of) `P` and `Q`
 //! must succeed, and the resulting abstract term must cover `σ(t)`.
 //!
-//! We generate random patterns, random covered instances, run a reference
-//! concrete unifier on the instances, run the machine's abstract unifier
-//! on the materializations, and compare.
+//! Pattern and instance generation live in `awam-testkit` (the
+//! [`random_pattern`] / [`gamma_instance`] γ-sampler shared with the
+//! fuzz campaign); this file keeps only the reference concrete unifier
+//! and the properties themselves. The case budget honors
+//! `AWAM_FUZZ_ITERS`.
 
-use absdom::{AbsLeaf, PNode, Pattern};
+use absdom::AbsLeaf;
 use awam_core::{extract::extract, ACell, AbstractMachine, EtImpl};
-use prolog_syntax::{Interner, Term, VarId};
+use awam_testkit::{fuzz_iters, gamma_instance, random_pattern, Rng};
+use prolog_syntax::{Term, VarId};
 use std::collections::HashMap;
-
-// ----- random patterns (arity 1) -----
-
-#[derive(Clone, Debug)]
-enum PShape {
-    Leaf(u8),
-    Int(i64),
-    Nil,
-    List(Box<PShape>),
-    Struct(u8, Vec<PShape>),
-}
-
-/// The same LCG as `instance()` below, driving shape generation instead
-/// of proptest (the workspace builds offline).
-fn lcg(seed: &mut u64) -> u32 {
-    *seed = seed
-        .wrapping_mul(6364136223846793005)
-        .wrapping_add(1442695040888963407);
-    (*seed >> 33) as u32
-}
-
-fn pshape(seed: &mut u64, depth: usize) -> PShape {
-    // Compound shapes with probability 1/3 below the depth cap; the same
-    // leaf mix as before (Leaf, Int, Nil).
-    if depth > 0 && lcg(seed).is_multiple_of(3) {
-        if lcg(seed).is_multiple_of(2) {
-            PShape::List(Box::new(pshape(seed, depth - 1)))
-        } else {
-            let f = (lcg(seed) % 2) as u8;
-            let n = 1 + lcg(seed) % 2;
-            let args = (0..n).map(|_| pshape(seed, depth - 1)).collect();
-            PShape::Struct(f, args)
-        }
-    } else {
-        match lcg(seed) % 3 {
-            0 => PShape::Leaf((lcg(seed) % 7) as u8),
-            1 => PShape::Int(i64::from(lcg(seed) % 7) - 3),
-            _ => PShape::Nil,
-        }
-    }
-}
-
-fn build_pattern(shape: &PShape, interner: &mut Interner) -> Pattern {
-    let mut nodes = Vec::new();
-    let root = build_node(shape, &mut nodes, interner);
-    Pattern::new(nodes, vec![root])
-}
-
-fn build_node(shape: &PShape, nodes: &mut Vec<PNode>, interner: &mut Interner) -> usize {
-    let node = match shape {
-        PShape::Leaf(i) => PNode::Leaf(AbsLeaf::ALL[*i as usize % AbsLeaf::ALL.len()]),
-        PShape::Int(i) => PNode::Int(*i),
-        PShape::Nil => PNode::Atom(absdom::nil_symbol()),
-        PShape::List(e) => {
-            let e = build_node(e, nodes, interner);
-            PNode::List(e)
-        }
-        PShape::Struct(f, args) => {
-            let name = interner.intern(if *f == 0 { "f" } else { "g" });
-            let args = args
-                .iter()
-                .map(|a| build_node(a, nodes, interner))
-                .collect();
-            PNode::Struct(name, args)
-        }
-    };
-    nodes.push(node);
-    nodes.len() - 1
-}
-
-// ----- random covered instances -----
-
-/// Produce a concrete term in γ(pattern-node), using `seed` for
-/// deterministic "randomness" and `var_base` to keep variable ranges of
-/// the two sides disjoint.
-fn instance(
-    p: &Pattern,
-    id: usize,
-    interner: &mut Interner,
-    seed: &mut u64,
-    var_base: u32,
-    shared: &mut HashMap<usize, Term>,
-) -> Term {
-    if let Some(t) = shared.get(&id) {
-        return t.clone();
-    }
-    let mut next = || {
-        *seed = seed
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        (*seed >> 33) as u32
-    };
-    let term = match p.node(id) {
-        PNode::Leaf(l) => instance_of_leaf(*l, interner, &mut next, var_base),
-        PNode::Int(i) => Term::Int(*i),
-        PNode::Atom(a) => Term::Atom(*a),
-        PNode::Struct(f, args) => {
-            let args = args
-                .iter()
-                .map(|&a| instance(p, a, interner, seed, var_base, shared))
-                .collect();
-            Term::Struct(*f, args)
-        }
-        PNode::List(e) => {
-            let n = next() % 3;
-            let items: Vec<Term> = (0..n)
-                .map(|_| instance(p, *e, interner, seed, var_base, shared))
-                .collect();
-            Term::list(interner, items)
-        }
-    };
-    shared.insert(id, term.clone());
-    term
-}
-
-fn instance_of_leaf(
-    l: AbsLeaf,
-    interner: &mut Interner,
-    next: &mut impl FnMut() -> u32,
-    var_base: u32,
-) -> Term {
-    use AbsLeaf::*;
-    match l {
-        Var => Term::Var(VarId(var_base + next() % 4)),
-        Integer => Term::Int(i64::from(next() % 7) - 3),
-        Atom => Term::Atom(interner.intern(["a", "b", "c"][(next() % 3) as usize])),
-        Const => {
-            if next().is_multiple_of(2) {
-                Term::Int(i64::from(next() % 5))
-            } else {
-                Term::Atom(interner.intern("k"))
-            }
-        }
-        Ground => match next() % 3 {
-            0 => Term::Int(i64::from(next() % 5)),
-            1 => Term::Atom(interner.intern("gr")),
-            _ => {
-                let f = interner.intern("h");
-                Term::Struct(f, vec![Term::Int(i64::from(next() % 3))])
-            }
-        },
-        NonVar => match next() % 2 {
-            0 => Term::Atom(interner.intern("nv")),
-            _ => {
-                let f = interner.intern("h");
-                Term::Struct(f, vec![Term::Var(VarId(var_base + next() % 4))])
-            }
-        },
-        Any => match next() % 3 {
-            0 => Term::Var(VarId(var_base + next() % 4)),
-            1 => Term::Int(i64::from(next() % 5)),
-            _ => Term::Atom(interner.intern("x")),
-        },
-    }
-}
 
 // ----- a reference concrete unifier over syntax terms -----
 
@@ -223,37 +71,34 @@ fn trivial_program() -> wam::CompiledProgram {
     wam::compile_program(&prolog_syntax::parse_program("p.").unwrap()).unwrap()
 }
 
-const CASES: u64 = 192;
+fn cases() -> u64 {
+    fuzz_iters(192)
+}
 
 #[test]
 fn abstract_unify_is_gamma_sound() {
-    for case in 0..CASES {
-        let mut shape_seed = 0x5eed_0001_u64.wrapping_add(case.wrapping_mul(0x9e37_79b9));
-        let a = pshape(&mut shape_seed, 2);
-        let b = pshape(&mut shape_seed, 2);
-        let seed = lcg(&mut shape_seed) as u64 ^ (u64::from(lcg(&mut shape_seed)) << 32);
+    for case in 0..cases() {
+        let mut rng = Rng::new(0x5eed_0001_u64.wrapping_add(case));
 
         let compiled = trivial_program();
         let mut interner = compiled.interner.clone();
-        let pa = build_pattern(&a, &mut interner);
-        let pb = build_pattern(&b, &mut interner);
+        let pa = random_pattern(&mut rng, 2, &mut interner);
+        let pb = random_pattern(&mut rng, 2, &mut interner);
 
         // Concrete instances with disjoint variable ranges.
-        let mut s1 = seed;
-        let mut s2 = seed ^ 0xdead_beef;
-        let t = instance(
+        let t = gamma_instance(
             &pa,
             pa.root(0),
             &mut interner,
-            &mut s1,
+            &mut rng,
             0,
             &mut HashMap::new(),
         );
-        let u = instance(
+        let u = gamma_instance(
             &pb,
             pb.root(0),
             &mut interner,
-            &mut s2,
+            &mut rng,
             100,
             &mut HashMap::new(),
         );
@@ -291,20 +136,17 @@ fn abstract_unify_is_gamma_sound() {
 
 #[test]
 fn constrain_ground_is_gamma_sound() {
-    for case in 0..CASES {
-        let mut shape_seed = 0x5eed_0002_u64.wrapping_add(case.wrapping_mul(0x85eb_ca6b));
-        let a = pshape(&mut shape_seed, 2);
-        let seed = lcg(&mut shape_seed) as u64 ^ (u64::from(lcg(&mut shape_seed)) << 32);
+    for case in 0..cases() {
+        let mut rng = Rng::new(0x5eed_0002_u64.wrapping_add(case));
 
         let compiled = trivial_program();
         let mut interner = compiled.interner.clone();
-        let pa = build_pattern(&a, &mut interner);
-        let mut s = seed;
-        let t = instance(
+        let pa = random_pattern(&mut rng, 2, &mut interner);
+        let t = gamma_instance(
             &pa,
             pa.root(0),
             &mut interner,
-            &mut s,
+            &mut rng,
             0,
             &mut HashMap::new(),
         );

@@ -79,6 +79,7 @@ well_known! {
     not => "\\+", "The negation-as-failure functor `'\\\\+'`.";
     curly => "{}", "The curly-braces atom `{}`.";
     question => "?-", "The query functor `'?-'`.";
+    ellipsis => "...", "The atom `'...'` marking a cyclic-term cut during reification.";
 }
 
 /// Interns strings into [`Symbol`]s.

@@ -1,0 +1,242 @@
+//! The fuzz campaign driver: generate → check the oracle matrix →
+//! shrink → report, fully replayable from a seed.
+//!
+//! Case `i` of a campaign with base seed `S` draws from a PRNG seeded
+//! with [`case_seed`]`(S, i) = S + i`, so a failure in a long campaign
+//! replays as a one-case campaign: `awam fuzz --seed S+i --cases 1`.
+
+use crate::oracle::{check, Oracle, OracleOutcome};
+use crate::proggen::{gen_program, GenConfig, GenProgram};
+use crate::rng::{case_seed, Rng};
+use crate::shrink::{shrink, ShrinkReport};
+use awam_obs::Json;
+
+/// Configuration of one fuzz campaign.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Base seed; case `i` generates from seed `base + i`.
+    pub seed: u64,
+    /// Number of generated programs.
+    pub cases: u64,
+    /// Oracles to run over each program, in order.
+    pub oracles: Vec<Oracle>,
+    /// Whether to delta-debug the first failure down to a minimal
+    /// program.
+    pub minimize: bool,
+    /// Print every generated program to stderr before checking it
+    /// (debugging aid for crashes that kill the process mid-campaign).
+    pub dump: bool,
+    /// Name of a planted fault (see `awam_core::fault`) active for this
+    /// campaign — recorded so replay commands reproduce the failure.
+    pub fault: Option<String>,
+    /// Program-generator knobs.
+    pub gen: GenConfig,
+}
+
+impl Default for FuzzConfig {
+    /// Seed 1, 100 cases, the full oracle matrix, minimization on.
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            seed: 1,
+            cases: 100,
+            oracles: Oracle::ALL.to_vec(),
+            minimize: true,
+            dump: false,
+            fault: None,
+            gen: GenConfig::default(),
+        }
+    }
+}
+
+/// A minimized counterexample.
+#[derive(Clone, Debug)]
+pub struct Minimized {
+    /// Source of the locally-minimal failing program.
+    pub source: String,
+    /// Clause count of the minimal program.
+    pub clauses: usize,
+    /// The oracle's message on the minimal program.
+    pub message: String,
+    /// Shrinker work: oracle invocations / edits kept.
+    pub attempts: u64,
+    /// Edits the shrinker kept.
+    pub kept: u64,
+}
+
+/// One oracle failure found by a campaign.
+#[derive(Clone, Debug)]
+pub struct FuzzFailure {
+    /// Index of the failing case within the campaign.
+    pub case: u64,
+    /// The case's own generation seed (`base_seed + case`).
+    pub case_seed: u64,
+    /// The oracle that failed.
+    pub oracle: Oracle,
+    /// The oracle's failure message.
+    pub message: String,
+    /// Source of the generated program that failed.
+    pub source: String,
+    /// The planted fault active when the failure was found, if any.
+    pub fault: Option<String>,
+    /// The delta-debugged counterexample, when minimization ran.
+    pub minimized: Option<Minimized>,
+}
+
+impl FuzzFailure {
+    /// The one-line command that replays exactly this failure.
+    pub fn replay_command(&self) -> String {
+        let fault = match &self.fault {
+            Some(name) => format!(" --fault {name}"),
+            None => String::new(),
+        };
+        format!(
+            "awam fuzz --seed {} --cases 1 --oracle {}{fault}",
+            self.case_seed,
+            self.oracle.name()
+        )
+    }
+
+    /// The failure as a JSON document (the `--json` dump of `awam fuzz`).
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("case", Json::Int(self.case as i64)),
+            ("case_seed", Json::Int(self.case_seed as i64)),
+            ("oracle", Json::Str(self.oracle.name().to_owned())),
+            ("message", Json::Str(self.message.clone())),
+            ("program", Json::Str(self.source.clone())),
+            ("replay", Json::Str(self.replay_command())),
+        ];
+        if let Some(fault) = &self.fault {
+            pairs.push(("fault", Json::Str(fault.clone())));
+        }
+        if let Some(min) = &self.minimized {
+            pairs.push((
+                "minimized",
+                Json::obj(vec![
+                    ("program", Json::Str(min.source.clone())),
+                    ("clauses", Json::Int(min.clauses as i64)),
+                    ("message", Json::Str(min.message.clone())),
+                    ("shrink_attempts", Json::Int(min.attempts as i64)),
+                    ("shrink_kept", Json::Int(min.kept as i64)),
+                ]),
+            ));
+        }
+        Json::obj(pairs)
+    }
+
+    /// A human-readable rendering: message, program, minimized program,
+    /// replay command.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "oracle `{}` failed on case {} (seed {}):\n  {}\n\nprogram:\n{}",
+            self.oracle, self.case, self.case_seed, self.message, self.source
+        );
+        if let Some(min) = &self.minimized {
+            out.push_str(&format!(
+                "\nminimized to {} clause(s) ({} shrink attempts, {} kept):\n{}\nminimal failure: {}\n",
+                min.clauses, min.attempts, min.kept, min.source, min.message
+            ));
+        }
+        out.push_str(&format!("\nreplay: {}\n", self.replay_command()));
+        out
+    }
+}
+
+/// The outcome of a campaign.
+#[derive(Clone, Debug)]
+pub struct FuzzReport {
+    /// Cases actually run (the campaign stops at the first failure).
+    pub cases_run: u64,
+    /// Oracle checks performed.
+    pub checks_run: u64,
+    /// The first failure, if any.
+    pub failure: Option<FuzzFailure>,
+}
+
+/// Run a campaign: for each case, generate one program and run every
+/// configured oracle over it; stop at (and optionally minimize) the
+/// first failure.
+///
+/// # Panics
+///
+/// Panics when an oracle reports an infrastructure error on freshly
+/// generated output — that is a generator bug, not a finding.
+pub fn run_campaign(config: &FuzzConfig) -> FuzzReport {
+    if let Some(name) = &config.fault {
+        awam_core::fault::enable(name).expect("fault name was validated by the caller");
+    }
+    let mut checks_run = 0u64;
+    for case in 0..config.cases {
+        let seed = case_seed(config.seed, case);
+        let mut rng = Rng::new(seed);
+        let program = gen_program(&mut rng, &config.gen);
+        let source = program.source();
+        if config.dump {
+            eprintln!("--- case {case} (seed {seed}) ---\n{source}");
+        }
+        for &oracle in &config.oracles {
+            checks_run += 1;
+            match check(oracle, &source) {
+                Ok(()) => {}
+                Err(OracleOutcome::Infra(msg)) => {
+                    panic!(
+                        "case {case} (seed {seed}): generator produced a program the \
+                            harness cannot process ({msg}):\n{source}"
+                    )
+                }
+                Err(OracleOutcome::Violation(message)) => {
+                    let minimized = config
+                        .minimize
+                        .then(|| minimize(&program, oracle))
+                        .flatten();
+                    return FuzzReport {
+                        cases_run: case + 1,
+                        checks_run,
+                        failure: Some(FuzzFailure {
+                            case,
+                            case_seed: seed,
+                            oracle,
+                            message,
+                            source,
+                            fault: config.fault.clone(),
+                            minimized,
+                        }),
+                    };
+                }
+            }
+        }
+    }
+    FuzzReport {
+        cases_run: config.cases,
+        checks_run,
+        failure: None,
+    }
+}
+
+/// Delta-debug a failing program against one oracle. Returns `None` only
+/// if the failure stopped reproducing even on the unedited program (a
+/// flaky oracle — with deterministic oracles this does not happen).
+fn minimize(program: &GenProgram, oracle: Oracle) -> Option<Minimized> {
+    let fails = |g: &GenProgram| -> Option<String> {
+        match check(oracle, &g.source()) {
+            Err(OracleOutcome::Violation(msg)) => Some(msg),
+            // A candidate that can no longer be analyzed is not a
+            // counterexample — the edit cut too much.
+            Ok(()) | Err(OracleOutcome::Infra(_)) => None,
+        }
+    };
+    fails(program)?;
+    let ShrinkReport {
+        program: min,
+        attempts,
+        kept,
+    } = shrink(program, &mut |g| fails(g).is_some());
+    let message = fails(&min)?;
+    Some(Minimized {
+        source: min.source(),
+        clauses: min.clause_count(),
+        message,
+        attempts,
+        kept,
+    })
+}

@@ -1,0 +1,400 @@
+//! The differential oracle matrix.
+//!
+//! Every oracle takes one generated program (as source text) and checks
+//! one equivalence the analyzer's correctness argument rests on. The
+//! matrix is the fuzzing analogue of the repo's named test files: each
+//! oracle generalizes one of them from fixed benchmarks to arbitrary
+//! generated programs.
+//!
+//! | oracle      | equivalence checked                                        |
+//! |-------------|------------------------------------------------------------|
+//! | `soundness` | every traced concrete call is covered by the analysis (§4.1)|
+//! | `interning` | structural (Linear) and interned (Hashed) consult paths agree on results |
+//! | `traces`    | the two consult paths emit byte-identical JSONL traces      |
+//! | `batch`     | `analyze_batch` at 1/2/8 workers equals sequential runs     |
+//! | `sessions`  | a warm session hit answers exactly what the cold run said   |
+//! | `budget`    | analysis terminates within the iteration/instruction budget |
+
+use absdom::Pattern;
+use awam_core::{Analysis, AnalysisError, Analyzer, BatchGoal, EtImpl};
+use awam_obs::{JsonlTracer, RecordingTracer};
+use prolog_syntax::parse_program;
+use wam::compile_program;
+use wam_machine::Machine;
+
+/// Step cap for concrete replay runs (the generated programs may loop).
+const CONCRETE_STEP_CAP: u64 = 50_000;
+/// Abstract-instruction budget the `budget` oracle enforces. Generated
+/// programs are tiny; a healthy analyzer stays orders of magnitude below.
+const ABSTRACT_INSTR_BUDGET: u64 = 2_000_000;
+/// How many traced calls the soundness oracle re-checks per program.
+const MAX_CHECKED_CALLS: usize = 2_000;
+/// How many concrete entry solutions the soundness oracle enumerates.
+/// Backtracking into later clauses is what exposes unsound success
+/// summaries, so one solution is not enough.
+const MAX_SOLUTIONS: usize = 64;
+
+/// One oracle of the matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Oracle {
+    /// Concrete-call-coverage soundness.
+    Soundness,
+    /// Structural-vs-interned ET result equality (Linear vs Hashed).
+    Interning,
+    /// Byte-identical JSONL traces between the two consult paths.
+    Traces,
+    /// Sequential-vs-batch equality at 1, 2 and 8 workers.
+    Batch,
+    /// Cold-vs-warm session equality.
+    Sessions,
+    /// Analyzer termination within the step budget.
+    Budget,
+}
+
+impl Oracle {
+    /// Every oracle, in matrix order.
+    pub const ALL: [Oracle; 6] = [
+        Oracle::Soundness,
+        Oracle::Interning,
+        Oracle::Traces,
+        Oracle::Batch,
+        Oracle::Sessions,
+        Oracle::Budget,
+    ];
+
+    /// The CLI name of this oracle.
+    pub fn name(self) -> &'static str {
+        match self {
+            Oracle::Soundness => "soundness",
+            Oracle::Interning => "interning",
+            Oracle::Traces => "traces",
+            Oracle::Batch => "batch",
+            Oracle::Sessions => "sessions",
+            Oracle::Budget => "budget",
+        }
+    }
+
+    /// Parse a CLI name back into an oracle.
+    pub fn from_name(name: &str) -> Option<Oracle> {
+        Oracle::ALL.into_iter().find(|o| o.name() == name)
+    }
+}
+
+impl std::fmt::Display for Oracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why an oracle did not pass.
+#[derive(Debug)]
+pub enum OracleOutcome {
+    /// The program violates the equivalence the oracle checks — a real
+    /// finding (and what the shrinker preserves).
+    Violation(String),
+    /// The program could not be put through the oracle at all (parse or
+    /// compile failure, unknown entry). On generator output this is a
+    /// generator bug; during shrinking it marks an edit that cut too much.
+    Infra(String),
+}
+
+/// Run `oracle` over `source`, analyzing from entry `p0` with all-`any`
+/// entry specs.
+///
+/// # Errors
+///
+/// [`OracleOutcome::Violation`] when the checked equivalence fails,
+/// [`OracleOutcome::Infra`] when the program cannot be analyzed at all.
+pub fn check(oracle: Oracle, source: &str) -> Result<(), OracleOutcome> {
+    let setup = Setup::new(source)?;
+    match oracle {
+        Oracle::Soundness => setup.soundness(),
+        Oracle::Interning => setup.interning(),
+        Oracle::Traces => setup.traces(),
+        Oracle::Batch => setup.batch(),
+        Oracle::Sessions => setup.sessions(),
+        Oracle::Budget => setup.budget(),
+    }
+}
+
+/// Shared per-program setup: parsed program, compiled code, entry specs.
+struct Setup {
+    program: prolog_syntax::Program,
+    compiled: wam::CompiledProgram,
+    entry_arity: usize,
+}
+
+fn infra(what: &str, e: impl std::fmt::Display) -> OracleOutcome {
+    OracleOutcome::Infra(format!("{what}: {e}"))
+}
+
+impl Setup {
+    fn new(source: &str) -> Result<Setup, OracleOutcome> {
+        let program = parse_program(source).map_err(|e| infra("parse", e))?;
+        let compiled = compile_program(&program).map_err(|e| infra("compile", e))?;
+        let entry_arity = compiled
+            .predicates
+            .iter()
+            .find(|p| compiled.interner.resolve(p.key.name) == "p0")
+            .map(|p| p.key.arity)
+            .ok_or_else(|| OracleOutcome::Infra("entry predicate p0 not compiled".into()))?;
+        Ok(Setup {
+            program,
+            compiled,
+            entry_arity,
+        })
+    }
+
+    fn entry_pattern(&self) -> Pattern {
+        let specs = vec!["any"; self.entry_arity];
+        Pattern::from_spec(&specs).expect("all-any specs are always valid")
+    }
+
+    fn analyzer(&self, et: EtImpl) -> Analyzer {
+        Analyzer::builder().et_impl(et).build(self.compiled.clone())
+    }
+
+    fn analyze(&self, et: EtImpl) -> Result<Analysis, OracleOutcome> {
+        self.analyzer(et)
+            .analyze("p0", &self.entry_pattern())
+            .map_err(analysis_outcome)
+    }
+
+    /// §4.1 soundness: run the program concretely (step-capped, call-
+    /// traced, enumerating up to [`MAX_SOLUTIONS`] entry solutions) and
+    /// require (a) every concrete call to be covered by some calling
+    /// pattern the analysis derived for that predicate, and (b) every
+    /// concrete entry solution to be covered by the entry's success
+    /// summary. (b) is what catches a success summary that stopped
+    /// widening: the first solution follows the first clause, so only
+    /// backtracked solutions can contradict a frozen summary.
+    fn soundness(&self) -> Result<(), OracleOutcome> {
+        let analysis = self.analyze(EtImpl::Linear)?;
+        let mut tracer = RecordingTracer::default();
+        let mut machine = Machine::new(&self.compiled);
+        machine.set_tracer(&mut tracer);
+        machine.set_max_steps(CONCRETE_STEP_CAP);
+        let arg_names: Vec<String> = (0..self.entry_arity).map(|i| format!("Q{i}")).collect();
+        let query = if self.entry_arity == 0 {
+            "p0".to_owned()
+        } else {
+            format!("p0({})", arg_names.join(", "))
+        };
+        // Failures (including step-cap and arithmetic errors) are fine:
+        // whatever calls happened before the stop must still be covered.
+        let mut solutions = Vec::new();
+        if let Ok(Some(first)) = machine.query_str(&query) {
+            solutions.push(first);
+            while solutions.len() < MAX_SOLUTIONS {
+                match machine.next_solution() {
+                    Ok(Some(s)) => solutions.push(s),
+                    Ok(None) | Err(_) => break,
+                }
+            }
+        }
+        drop(machine);
+
+        let entry_analysis = analysis
+            .predicates
+            .iter()
+            .find(|p| p.arity == self.entry_arity && p.name == format!("p0/{}", self.entry_arity));
+        for solution in &solutions {
+            let args: Vec<_> = arg_names
+                .iter()
+                .map(|n| {
+                    solution
+                        .bindings
+                        .iter()
+                        .find(|(name, _, _)| name == n)
+                        .map(|(_, term, _)| term.clone())
+                        .ok_or_else(|| infra("solution binding missing", n))
+                })
+                .collect::<Result<_, _>>()?;
+            let covered = entry_analysis.is_some_and(|pa| {
+                pa.entries
+                    .iter()
+                    .any(|(_, sp)| sp.as_ref().is_some_and(|sp| sp.covers(&args)))
+            });
+            if !covered {
+                return Err(OracleOutcome::Violation(format!(
+                    "concrete entry solution not covered by the success summary: p0({})",
+                    solution
+                        .bindings
+                        .iter()
+                        .map(|(_, _, r)| r.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+        }
+
+        for (pid, args) in tracer.calls().iter().take(MAX_CHECKED_CALLS) {
+            let name = self.compiled.predicates[*pid]
+                .key
+                .display(&self.compiled.interner);
+            let Some(pa) = analysis.predicates.iter().find(|p| p.pred == *pid) else {
+                return Err(OracleOutcome::Violation(format!(
+                    "predicate {name} called concretely but never analyzed"
+                )));
+            };
+            if !pa.entries.iter().any(|(cp, _)| cp.covers(args)) {
+                return Err(OracleOutcome::Violation(format!(
+                    "uncovered concrete call to {name} with args {args:?}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The structural (Linear scan, allocation-free matcher) and interned
+    /// (Hashed, id-keyed probe) consult paths must agree on everything the
+    /// analysis says.
+    fn interning(&self) -> Result<(), OracleOutcome> {
+        let lin = self.analyze(EtImpl::Linear)?;
+        let hash = self.analyze(EtImpl::Hashed)?;
+        if lin.predicates != hash.predicates {
+            return Err(OracleOutcome::Violation(
+                "per-predicate results diverge between Linear and Hashed consult paths".into(),
+            ));
+        }
+        if lin.iterations != hash.iterations {
+            return Err(OracleOutcome::Violation(format!(
+                "iteration counts diverge: Linear {} vs Hashed {}",
+                lin.iterations, hash.iterations
+            )));
+        }
+        if lin.instructions_executed != hash.instructions_executed {
+            return Err(OracleOutcome::Violation(format!(
+                "abstract work diverges: Linear {} vs Hashed {} instructions",
+                lin.instructions_executed, hash.instructions_executed
+            )));
+        }
+        Ok(())
+    }
+
+    /// The serialized event stream must not change by a byte when the
+    /// lookup structure switches from structural scans to id probes.
+    fn traces(&self) -> Result<(), OracleOutcome> {
+        let entry = self.entry_pattern();
+        let mut streams = Vec::new();
+        for et in [EtImpl::Linear, EtImpl::Hashed] {
+            let analyzer = self.analyzer(et);
+            let mut tracer = JsonlTracer::new(Vec::new());
+            analyzer
+                .analyze_traced("p0", &entry, &mut tracer)
+                .map_err(analysis_outcome)?;
+            streams.push(tracer.into_inner().map_err(|e| infra("trace flush", e))?);
+        }
+        if streams[0] != streams[1] {
+            return Err(OracleOutcome::Violation(
+                "JSONL trace bytes differ between structural and interned consult paths".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// `analyze_batch` is a pure speedup: goal-for-goal identical to
+    /// sequential runs at every worker count.
+    fn batch(&self) -> Result<(), OracleOutcome> {
+        let analyzer = self.analyzer(EtImpl::Linear);
+        // One goal per live predicate (all-`any` entries), so the batch
+        // exercises more than the entry point.
+        let goals: Vec<BatchGoal> = self
+            .compiled
+            .predicates
+            .iter()
+            .map(|p| {
+                let specs = vec!["any"; p.key.arity];
+                BatchGoal::new(
+                    self.compiled.interner.resolve(p.key.name),
+                    Pattern::from_spec(&specs).expect("all-any specs are always valid"),
+                )
+            })
+            .collect();
+        let sequential: Vec<_> = goals
+            .iter()
+            .map(|g| analyzer.analyze(&g.name, &g.entry))
+            .collect();
+        for workers in [1usize, 2, 8] {
+            let batch = analyzer.analyze_batch(&goals, workers);
+            for (i, (got, want)) in batch.iter().zip(&sequential).enumerate() {
+                match (got, want) {
+                    (Ok(got), Ok(want)) => {
+                        if got.predicates != want.predicates || got.iterations != want.iterations {
+                            return Err(OracleOutcome::Violation(format!(
+                                "goal {i} ({}) diverges from sequential at {workers} workers",
+                                goals[i].name
+                            )));
+                        }
+                    }
+                    (Err(_), Err(_)) => {}
+                    _ => {
+                        return Err(OracleOutcome::Violation(format!(
+                            "goal {i} ({}) error status diverges at {workers} workers",
+                            goals[i].name
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A repeated query through one session is a warm hit that answers
+    /// exactly what the cold run answered.
+    fn sessions(&self) -> Result<(), OracleOutcome> {
+        let analyzer = self.analyzer(EtImpl::Linear);
+        let entry = self.entry_pattern();
+        let mut session = analyzer.session();
+        let cold = session.analyze("p0", &entry).map_err(analysis_outcome)?;
+        let warm = session.analyze("p0", &entry).map_err(analysis_outcome)?;
+        if warm.iterations != 0 || warm.instructions_executed != 0 {
+            return Err(OracleOutcome::Violation(format!(
+                "warm hit did fixpoint work: {} iterations, {} instructions",
+                warm.iterations, warm.instructions_executed
+            )));
+        }
+        if warm.predicates != cold.predicates {
+            return Err(OracleOutcome::Violation(
+                "warm session answer differs from the cold run".into(),
+            ));
+        }
+        if session.stats().session_warm_hits != 1 || session.stats().session_cold_runs != 1 {
+            return Err(OracleOutcome::Violation(format!(
+                "session counters off: {} warm hits, {} cold runs (want 1/1)",
+                session.stats().session_warm_hits,
+                session.stats().session_cold_runs
+            )));
+        }
+        Ok(())
+    }
+
+    /// Termination: the fixpoint must converge well inside the safety
+    /// rails (no `IterationLimit`/`DepthLimit`) and inside the abstract
+    /// instruction budget.
+    fn budget(&self) -> Result<(), OracleOutcome> {
+        let analysis = self.analyze(EtImpl::Linear)?;
+        if analysis.instructions_executed > ABSTRACT_INSTR_BUDGET {
+            return Err(OracleOutcome::Violation(format!(
+                "analysis executed {} abstract instructions (budget {})",
+                analysis.instructions_executed, ABSTRACT_INSTR_BUDGET
+            )));
+        }
+        // `program` is kept so oracles can extend to source-level checks;
+        // use it for a cheap sanity bound meanwhile.
+        debug_assert!(!self.program.clauses.is_empty());
+        Ok(())
+    }
+}
+
+/// Map an [`AnalysisError`] to an oracle outcome: resource-bound blowups
+/// are violations (the termination obligation failed); entry/spec
+/// problems are infrastructure (the program under test lost its entry).
+fn analysis_outcome(e: AnalysisError) -> OracleOutcome {
+    match e {
+        AnalysisError::IterationLimit | AnalysisError::DepthLimit => {
+            OracleOutcome::Violation(format!("analysis hit a resource bound: {e}"))
+        }
+        other => OracleOutcome::Infra(format!("analysis setup: {other}")),
+    }
+}

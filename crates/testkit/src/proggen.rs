@@ -1,0 +1,334 @@
+//! Random well-formed Prolog programs.
+//!
+//! The generator produces a compact intermediate form ([`GenProgram`]) —
+//! predicates `p0…pN` with random clause shapes over a small vocabulary —
+//! that renders to parseable, compilable Prolog source. Keeping the
+//! intermediate form (instead of generating text directly) is what makes
+//! the shrinker possible: delta-debugging edits structure, not strings.
+//!
+//! Shapes covered: variables, atoms, integers, nil, partial lists,
+//! structures (`f/g` of arity 1–2), and the goal mix of the concrete
+//! machine's builtin surface — user calls, unification, arithmetic
+//! (`is` with `+` and `*`), comparison (`<`), and cut.
+
+use crate::rng::Rng;
+
+/// Knobs of the program generator. [`GenConfig::default`] reproduces the
+/// historical `tests/fuzz_programs.rs` shape mix (3 predicates, ≤2
+/// clauses, ≤2 goals of 5 kinds) plus the `is … * 2` arithmetic goal.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Number of predicates `p0…p(n-1)`. The entry point is always `p0`.
+    pub num_preds: u64,
+    /// Clauses per predicate are drawn from `1..=max_clauses`.
+    pub max_clauses: u64,
+    /// Goals per clause body are drawn from `0..max_goals`.
+    pub max_goals: u64,
+    /// Head/goal argument counts are drawn from `0..max_args`.
+    pub max_args: u64,
+    /// Depth cap for generated terms (compound terms only below it).
+    pub term_depth: usize,
+    /// Relative weights of the goal kinds, in [`GoalKind::ALL`] order:
+    /// call, unify, `is +`, `is *`, `<`, cut. A zero weight disables the
+    /// kind entirely (e.g. set cut's weight to 0 for cut-free programs).
+    pub goal_weights: [u32; 6],
+}
+
+/// The goal kinds [`GenConfig::goal_weights`] indexes, in order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GoalKind {
+    /// A user predicate call `pN(…)`.
+    Call,
+    /// A unification goal `T1 = T2`.
+    Unify,
+    /// Arithmetic `V is T + 1`.
+    IsPlus,
+    /// Arithmetic `V is T * 2`.
+    IsTimes,
+    /// Comparison `T1 < T2`.
+    Less,
+    /// Cut.
+    Cut,
+}
+
+impl GoalKind {
+    /// Every goal kind, in the order [`GenConfig::goal_weights`] uses.
+    pub const ALL: [GoalKind; 6] = [
+        GoalKind::Call,
+        GoalKind::Unify,
+        GoalKind::IsPlus,
+        GoalKind::IsTimes,
+        GoalKind::Less,
+        GoalKind::Cut,
+    ];
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig {
+            num_preds: 3,
+            max_clauses: 2,
+            max_goals: 3,
+            max_args: 3,
+            term_depth: 2,
+            goal_weights: [2, 1, 1, 1, 1, 1],
+        }
+    }
+}
+
+/// A generated program: predicates `p0…pN`.
+///
+/// A predicate whose clause list is empty has been removed by the
+/// shrinker; it renders to nothing and no live clause calls it.
+#[derive(Clone, Debug)]
+pub struct GenProgram {
+    /// The predicates, indexed by the `N` of `pN`.
+    pub preds: Vec<GenPred>,
+}
+
+/// One generated predicate.
+#[derive(Clone, Debug)]
+pub struct GenPred {
+    /// Arity (head arg count; every clause is padded/truncated to it).
+    pub arity: usize,
+    /// The clauses.
+    pub clauses: Vec<GenClause>,
+}
+
+/// One generated clause.
+#[derive(Clone, Debug)]
+pub struct GenClause {
+    /// Head arguments (`arity` of them).
+    pub head_args: Vec<GenTerm>,
+    /// Body goals, in order.
+    pub goals: Vec<GenGoal>,
+}
+
+/// A generated term over the small fuzzing vocabulary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GenTerm {
+    /// A clause variable `V0…V3`.
+    Var(u8),
+    /// An atom `a0…a2`.
+    Atom(u8),
+    /// A small integer.
+    Int(i8),
+    /// A list cell `[H|T]`.
+    Cons(Box<GenTerm>, Box<GenTerm>),
+    /// The empty list.
+    Nil,
+    /// A structure `f0(…)`/`f1(…)`.
+    Struct(u8, Vec<GenTerm>),
+}
+
+/// A generated body goal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GenGoal {
+    /// A call to predicate `p<target>` with the given argument terms
+    /// (padded/truncated to the callee's arity at render time).
+    Call(u8, Vec<GenTerm>),
+    /// `T1 = T2`.
+    UnifyGoal(GenTerm, GenTerm),
+    /// `V is T + 1`.
+    IsPlus(u8, GenTerm),
+    /// `V is T * 2`.
+    IsTimes(u8, GenTerm),
+    /// `T1 < T2`.
+    Less(GenTerm, GenTerm),
+    /// `!`.
+    Cut,
+}
+
+/// A random term of at most `depth` nesting levels.
+pub fn gen_term(rng: &mut Rng, depth: usize) -> GenTerm {
+    let compound = depth > 0 && rng.below(3) == 0;
+    if compound {
+        if rng.below(2) == 0 {
+            GenTerm::Cons(
+                Box::new(gen_term(rng, depth - 1)),
+                Box::new(gen_term(rng, depth - 1)),
+            )
+        } else {
+            let f = rng.below(2) as u8;
+            let n = 1 + rng.below(2) as usize;
+            let args = (0..n).map(|_| gen_term(rng, depth - 1)).collect();
+            GenTerm::Struct(f, args)
+        }
+    } else {
+        match rng.below(4) {
+            0 => GenTerm::Var(rng.below(4) as u8),
+            1 => GenTerm::Atom(rng.below(3) as u8),
+            2 => GenTerm::Int(rng.range_i64(-3, 4) as i8),
+            _ => GenTerm::Nil,
+        }
+    }
+}
+
+/// A random goal over `config.num_preds` predicates, drawn from the
+/// weighted goal-kind mix.
+pub fn gen_goal(rng: &mut Rng, config: &GenConfig) -> GenGoal {
+    match GoalKind::ALL[rng.weighted(&config.goal_weights)] {
+        GoalKind::Call => {
+            let p = rng.below(config.num_preds) as u8;
+            let n = rng.below(config.max_args) as usize;
+            let args = (0..n).map(|_| gen_term(rng, config.term_depth)).collect();
+            GenGoal::Call(p, args)
+        }
+        GoalKind::Unify => GenGoal::UnifyGoal(
+            gen_term(rng, config.term_depth),
+            gen_term(rng, config.term_depth),
+        ),
+        GoalKind::IsPlus => GenGoal::IsPlus(rng.below(4) as u8, gen_term(rng, config.term_depth)),
+        GoalKind::IsTimes => GenGoal::IsTimes(rng.below(4) as u8, gen_term(rng, config.term_depth)),
+        GoalKind::Less => GenGoal::Less(
+            gen_term(rng, config.term_depth),
+            gen_term(rng, config.term_depth),
+        ),
+        GoalKind::Cut => GenGoal::Cut,
+    }
+}
+
+/// A random well-formed program.
+pub fn gen_program(rng: &mut Rng, config: &GenConfig) -> GenProgram {
+    let mut preds: Vec<GenPred> = (0..config.num_preds)
+        .map(|_| {
+            let num_clauses = 1 + rng.below(config.max_clauses) as usize;
+            let clauses = (0..num_clauses)
+                .map(|_| {
+                    let head_args = (0..rng.below(config.max_args))
+                        .map(|_| gen_term(rng, config.term_depth))
+                        .collect();
+                    let goals = (0..rng.below(config.max_goals))
+                        .map(|_| gen_goal(rng, config))
+                        .collect();
+                    GenClause { head_args, goals }
+                })
+                .collect();
+            GenPred { arity: 0, clauses }
+        })
+        .collect();
+    // Arity of each predicate = the head arg count of its first clause;
+    // pad/truncate the others to match.
+    for p in &mut preds {
+        let arity = p.clauses[0].head_args.len();
+        p.arity = arity;
+        for c in &mut p.clauses {
+            c.head_args.truncate(arity);
+            while c.head_args.len() < arity {
+                c.head_args.push(GenTerm::Var(3));
+            }
+        }
+    }
+    GenProgram { preds }
+}
+
+fn term_src(t: &GenTerm) -> String {
+    match t {
+        GenTerm::Var(v) => format!("V{v}"),
+        GenTerm::Atom(a) => format!("a{a}"),
+        GenTerm::Int(i) => format!("({i})"),
+        GenTerm::Nil => "[]".into(),
+        GenTerm::Cons(h, t) => format!("[{}|{}]", term_src(h), term_src(t)),
+        GenTerm::Struct(f, args) => {
+            let args: Vec<String> = args.iter().map(term_src).collect();
+            format!("f{f}({})", args.join(", "))
+        }
+    }
+}
+
+impl GenProgram {
+    /// The arity of the entry predicate `p0` (0 if `p0` was shrunk away).
+    pub fn entry_arity(&self) -> usize {
+        self.preds.first().map_or(0, |p| p.arity)
+    }
+
+    /// Total clause count across live predicates.
+    pub fn clause_count(&self) -> usize {
+        self.preds.iter().map(|p| p.clauses.len()).sum()
+    }
+
+    /// Render to Prolog source text. Predicates with no clauses are
+    /// omitted (the generator never makes them; the shrinker does).
+    pub fn source(&self) -> String {
+        let mut out = String::new();
+        for (i, p) in self.preds.iter().enumerate() {
+            for c in &p.clauses {
+                let head = if p.arity == 0 {
+                    format!("p{i}")
+                } else {
+                    let args: Vec<String> = c.head_args.iter().map(term_src).collect();
+                    format!("p{i}({})", args.join(", "))
+                };
+                let goals: Vec<String> = c
+                    .goals
+                    .iter()
+                    .map(|goal| match goal {
+                        GenGoal::Call(t, args) => {
+                            let target = &self.preds[*t as usize];
+                            // Match the callee's arity (pad with fresh vars).
+                            let mut args: Vec<String> =
+                                args.iter().take(target.arity).map(term_src).collect();
+                            while args.len() < target.arity {
+                                args.push(format!("W{}", args.len()));
+                            }
+                            if target.arity == 0 {
+                                format!("p{t}")
+                            } else {
+                                format!("p{t}({})", args.join(", "))
+                            }
+                        }
+                        GenGoal::UnifyGoal(a, b) => format!("{} = {}", term_src(a), term_src(b)),
+                        GenGoal::IsPlus(v, t) => format!("V{v} is {} + 1", term_src(t)),
+                        GenGoal::IsTimes(v, t) => format!("V{v} is {} * 2", term_src(t)),
+                        GenGoal::Less(a, b) => format!("{} < {}", term_src(a), term_src(b)),
+                        GenGoal::Cut => "!".into(),
+                    })
+                    .collect();
+                if goals.is_empty() {
+                    out.push_str(&format!("{head}.\n"));
+                } else {
+                    out.push_str(&format!("{head} :- {}.\n", goals.join(", ")));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_programs_parse_and_compile() {
+        let config = GenConfig::default();
+        for case in 0..64 {
+            let mut rng = Rng::new(case);
+            let g = gen_program(&mut rng, &config);
+            let src = g.source();
+            let program = prolog_syntax::parse_program(&src)
+                .unwrap_or_else(|e| panic!("case {case}: unparseable source: {e}\n{src}"));
+            wam::compile_program(&program)
+                .unwrap_or_else(|e| panic!("case {case}: uncompilable source: {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn zero_weight_disables_a_goal_kind() {
+        let config = GenConfig {
+            goal_weights: [0, 1, 1, 1, 1, 0], // no calls, no cuts
+            ..GenConfig::default()
+        };
+        for case in 0..32 {
+            let mut rng = Rng::new(case);
+            let g = gen_program(&mut rng, &config);
+            for p in &g.preds {
+                for c in &p.clauses {
+                    for goal in &c.goals {
+                        assert!(!matches!(goal, GenGoal::Call(..) | GenGoal::Cut));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! The workspace's one deterministic PRNG.
+//!
+//! Before this crate existed, three test files each carried their own
+//! inline generator (an xorshift64*, an LCG, and a splitmix64). This is
+//! the single replacement: xorshift64* state update with a splitmix64
+//! seed scrambler, so nearby seeds (`seed`, `seed + 1`, …) still produce
+//! unrelated streams, and an **unbiased** [`Rng::below`] (Lemire's
+//! widening-multiply method with rejection, instead of the modulo-biased
+//! `next() % n` the inline copies used).
+
+/// A deterministic, seed-replayable pseudo-random generator.
+///
+/// Cheap to create, `Copy`-free by design (drawing mutates the state), and
+/// stable across platforms: every draw is pure 64-bit integer arithmetic.
+#[derive(Clone, Debug)]
+pub struct Rng(u64);
+
+/// splitmix64's finalizer: a bijective 64-bit scrambler.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The generation seed of case `index` in a campaign with base seed
+/// `base`.
+///
+/// Defined as `base + index` (the [`Rng`] constructor scrambles it), so
+/// the replay command for a failing case `i` under base seed `S` is
+/// simply `--seed S+i --cases 1`: case 0 of base seed `S + i` draws the
+/// identical stream.
+pub fn case_seed(base: u64, index: u64) -> u64 {
+    base.wrapping_add(index)
+}
+
+impl Rng {
+    /// A generator seeded with `seed`. Any seed is valid, including 0
+    /// (the state is scrambled through splitmix64 and forced nonzero).
+    pub fn new(seed: u64) -> Rng {
+        Rng(splitmix(seed) | 1)
+    }
+
+    /// The next raw 64-bit draw (xorshift64*).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform in `0..n` without modulo bias (Lemire's method: widening
+    /// multiply, rejecting the short low-word interval).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "Rng::below(0)");
+        let mut m = u128::from(self.next_u64()) * u128::from(n);
+        if (m as u64) < n {
+            // Only reachable for draws in the biased low fringe; reject
+            // until the low word clears the threshold.
+            let threshold = n.wrapping_neg() % n;
+            while (m as u64) < threshold {
+                m = u128::from(self.next_u64()) * u128::from(n);
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform in `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "Rng::range_i64: empty range {lo}..{hi}");
+        lo + self.below((hi - lo) as u64) as i64
+    }
+
+    /// `true` with probability `num / den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    /// A random list of `0..max_len` integers in `lo..hi` (the shape the
+    /// benchmark-style soundness tests feed to `nrev`/`qsort`/`len`).
+    pub fn int_vec(&mut self, max_len: u64, lo: i64, hi: i64) -> Vec<i64> {
+        let n = self.below(max_len);
+        (0..n).map(|_| self.range_i64(lo, hi)).collect()
+    }
+
+    /// Pick an index according to integer `weights` (an index `i` wins
+    /// with probability `weights[i] / weights.sum()`). Zero-weight entries
+    /// are never picked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weights sum to zero.
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+        let mut draw = self.below(total);
+        for (i, &w) in weights.iter().enumerate() {
+            let w = u64::from(w);
+            if draw < w {
+                return i;
+            }
+            draw -= w;
+        }
+        unreachable!("draw below the weight total always lands in a bucket")
+    }
+}
+
+/// The iteration count for in-tree randomized tests: the value of the
+/// `AWAM_FUZZ_ITERS` environment variable when set and parseable, else
+/// `default`. Long campaigns belong in `awam fuzz`; the in-tree wrappers
+/// stay bounded (and CI can tighten them further).
+pub fn fuzz_iters(default: u64) -> u64 {
+    match std::env::var("AWAM_FUZZ_ITERS") {
+        Ok(v) => v.parse().unwrap_or(default),
+        Err(_) => default,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_is_within_bounds_and_roughly_uniform() {
+        // 50k draws over 5 buckets: expected 10k per bucket, σ ≈ 89.
+        // A ±500 window is > 5σ — fails only on a real bias, not noise.
+        let mut rng = Rng::new(0xF00D);
+        let mut buckets = [0u64; 5];
+        for _ in 0..50_000 {
+            let v = rng.below(5);
+            buckets[v as usize] += 1;
+        }
+        for (i, &count) in buckets.iter().enumerate() {
+            assert!(
+                (9_500..=10_500).contains(&count),
+                "bucket {i} has {count} of 50000 draws — distribution is off"
+            );
+        }
+    }
+
+    #[test]
+    fn below_handles_degenerate_and_huge_ranges() {
+        let mut rng = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(rng.below(1), 0);
+        }
+        // A modulus just above 2^63: the old `% n` would map nearly the
+        // whole upper half of the draw space onto the low residues.
+        let n = (1u64 << 63) + 3;
+        for _ in 0..100 {
+            assert!(rng.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn nearby_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0, "streams of adjacent seeds overlap");
+    }
+
+    #[test]
+    fn streams_are_reproducible() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..256 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn weighted_never_picks_zero_weight() {
+        let mut rng = Rng::new(9);
+        for _ in 0..1_000 {
+            let i = rng.weighted(&[3, 0, 2]);
+            assert_ne!(i, 1);
+            assert!(i < 3);
+        }
+    }
+}

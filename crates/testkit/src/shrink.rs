@@ -1,0 +1,260 @@
+//! Greedy delta-debugging over generated programs.
+//!
+//! The shrinker edits the generator's intermediate form, never raw
+//! source, so every candidate stays well-formed by construction. Edits
+//! are tried coarsest-first — drop whole predicates, then clauses, then
+//! goals, then simplify terms — and an edit is kept only when the
+//! caller's oracle still fails on the edited program. Passes repeat until
+//! no single edit preserves the failure, which makes the result *locally
+//! minimal*: in particular, removing any one remaining clause makes the
+//! program pass.
+
+use crate::proggen::{GenClause, GenGoal, GenProgram, GenTerm};
+
+/// How far a [`shrink`] run got.
+#[derive(Clone, Debug)]
+pub struct ShrinkReport {
+    /// The locally-minimal failing program.
+    pub program: GenProgram,
+    /// Candidate edits tried (oracle invocations).
+    pub attempts: u64,
+    /// Edits kept (each one removed or simplified something).
+    pub kept: u64,
+}
+
+/// Greedily minimize `program` while `still_fails` keeps returning `true`.
+///
+/// `still_fails` receives candidate programs and must return whether the
+/// original failure still reproduces (treat infrastructure errors — a
+/// candidate that no longer parses or lost its entry point — as `false`).
+/// The entry predicate `p0` is never dropped wholesale, though its
+/// clauses can shrink like any other.
+pub fn shrink(
+    program: &GenProgram,
+    still_fails: &mut dyn FnMut(&GenProgram) -> bool,
+) -> ShrinkReport {
+    let mut current = program.clone();
+    let mut attempts = 0u64;
+    let mut kept = 0u64;
+    loop {
+        let mut progressed = false;
+        for pass in [drop_predicates, drop_clauses, drop_goals, simplify_terms] {
+            while let Some(smaller) = pass(&current, still_fails, &mut attempts) {
+                current = smaller;
+                kept += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    ShrinkReport {
+        program: current,
+        attempts,
+        kept,
+    }
+}
+
+/// Remove every goal that calls predicate `target` (used when `target`
+/// loses its last clause, so the source never calls an undefined
+/// predicate).
+fn strip_calls_to(program: &mut GenProgram, target: u8) {
+    for p in &mut program.preds {
+        for c in &mut p.clauses {
+            c.goals
+                .retain(|g| !matches!(g, GenGoal::Call(t, _) if *t == target));
+        }
+    }
+}
+
+/// Try dropping one whole predicate (its clauses plus every call to it).
+fn drop_predicates(
+    program: &GenProgram,
+    still_fails: &mut dyn FnMut(&GenProgram) -> bool,
+    attempts: &mut u64,
+) -> Option<GenProgram> {
+    for i in (1..program.preds.len()).rev() {
+        if program.preds[i].clauses.is_empty() {
+            continue;
+        }
+        let mut candidate = program.clone();
+        candidate.preds[i].clauses.clear();
+        strip_calls_to(&mut candidate, i as u8);
+        *attempts += 1;
+        if still_fails(&candidate) {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+/// Try dropping one clause (dropping a predicate's last clause also
+/// strips the calls to it).
+fn drop_clauses(
+    program: &GenProgram,
+    still_fails: &mut dyn FnMut(&GenProgram) -> bool,
+    attempts: &mut u64,
+) -> Option<GenProgram> {
+    for (pi, p) in program.preds.iter().enumerate() {
+        for ci in (0..p.clauses.len()).rev() {
+            let mut candidate = program.clone();
+            candidate.preds[pi].clauses.remove(ci);
+            if candidate.preds[pi].clauses.is_empty() {
+                if pi == 0 {
+                    continue; // never drop the entry predicate entirely
+                }
+                strip_calls_to(&mut candidate, pi as u8);
+            }
+            *attempts += 1;
+            if still_fails(&candidate) {
+                return Some(candidate);
+            }
+        }
+    }
+    None
+}
+
+/// Try dropping one body goal.
+fn drop_goals(
+    program: &GenProgram,
+    still_fails: &mut dyn FnMut(&GenProgram) -> bool,
+    attempts: &mut u64,
+) -> Option<GenProgram> {
+    for (pi, p) in program.preds.iter().enumerate() {
+        for (ci, c) in p.clauses.iter().enumerate() {
+            for gi in (0..c.goals.len()).rev() {
+                let mut candidate = program.clone();
+                candidate.preds[pi].clauses[ci].goals.remove(gi);
+                *attempts += 1;
+                if still_fails(&candidate) {
+                    return Some(candidate);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Simpler replacements for a term, in preference order.
+fn simpler(t: &GenTerm) -> Vec<GenTerm> {
+    match t {
+        // Already minimal leaves.
+        GenTerm::Var(_) | GenTerm::Nil => Vec::new(),
+        GenTerm::Atom(_) | GenTerm::Int(_) => vec![GenTerm::Var(3)],
+        GenTerm::Cons(..) | GenTerm::Struct(..) => vec![GenTerm::Var(3), GenTerm::Nil],
+    }
+}
+
+/// Every term position in a clause: head args plus goal args.
+fn clause_terms(c: &mut GenClause) -> Vec<&mut GenTerm> {
+    let mut slots: Vec<&mut GenTerm> = c.head_args.iter_mut().collect();
+    for g in &mut c.goals {
+        match g {
+            GenGoal::Call(_, args) => slots.extend(args.iter_mut()),
+            GenGoal::UnifyGoal(a, b) | GenGoal::Less(a, b) => {
+                slots.push(a);
+                slots.push(b);
+            }
+            GenGoal::IsPlus(_, t) | GenGoal::IsTimes(_, t) => slots.push(t),
+            GenGoal::Cut => {}
+        }
+    }
+    slots
+}
+
+/// Try replacing one term with a simpler one (compounds by a variable or
+/// nil, constants by a variable).
+fn simplify_terms(
+    program: &GenProgram,
+    still_fails: &mut dyn FnMut(&GenProgram) -> bool,
+    attempts: &mut u64,
+) -> Option<GenProgram> {
+    for (pi, p) in program.preds.iter().enumerate() {
+        for (ci, c) in p.clauses.iter().enumerate() {
+            let slots = {
+                let mut probe = c.clone();
+                clause_terms(&mut probe).len()
+            };
+            for slot in 0..slots {
+                let replacements = {
+                    let mut probe = c.clone();
+                    simpler(clause_terms(&mut probe)[slot])
+                };
+                for replacement in replacements {
+                    let mut candidate = program.clone();
+                    *clause_terms(&mut candidate.preds[pi].clauses[ci])[slot] = replacement;
+                    *attempts += 1;
+                    if still_fails(&candidate) {
+                        return Some(candidate);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proggen::{gen_program, GenConfig};
+    use crate::rng::Rng;
+
+    /// A planted "oracle": fails iff some clause of the entry predicate
+    /// `p0` still calls `p1` (stand-in for a real analyzer bug that needs
+    /// a caller/callee pair to trigger).
+    fn planted(g: &GenProgram) -> bool {
+        g.preds.first().is_some_and(|p0| {
+            p0.clauses.iter().any(|c| {
+                c.goals
+                    .iter()
+                    .any(|goal| matches!(goal, GenGoal::Call(1, _)))
+            })
+        })
+    }
+
+    #[test]
+    fn shrinks_to_a_locally_minimal_program() {
+        // Find a seed whose generated program triggers the planted oracle.
+        let config = GenConfig::default();
+        let (g, seed) = (0..200u64)
+            .find_map(|seed| {
+                let mut rng = Rng::new(seed);
+                let g = gen_program(&mut rng, &config);
+                planted(&g).then_some((g, seed))
+            })
+            .expect("some generated program calls p1");
+
+        let report = shrink(&g, &mut |candidate| planted(candidate));
+        let min = &report.program;
+        assert!(planted(min), "seed {seed}: shrunk program no longer fails");
+        assert!(
+            min.clause_count() <= g.clause_count(),
+            "seed {seed}: shrinking grew the program"
+        );
+        // Local minimality: removing any one clause makes the oracle pass
+        // (the planted failure needs both a caller clause and p1 itself —
+        // dropping p1's last clause strips the call).
+        for (pi, p) in min.preds.iter().enumerate() {
+            for ci in 0..p.clauses.len() {
+                let mut without = min.clone();
+                without.preds[pi].clauses.remove(ci);
+                if without.preds[pi].clauses.is_empty() && pi != 0 {
+                    strip_calls_to(&mut without, pi as u8);
+                }
+                assert!(
+                    !planted(&without),
+                    "seed {seed}: dropping clause {ci} of p{pi} still fails — not minimal"
+                );
+            }
+        }
+        // And the obvious floor: one caller clause + one p1 clause.
+        assert!(
+            min.clause_count() <= 2,
+            "seed {seed}: planted failure should shrink to ≤2 clauses, got {}:\n{}",
+            min.clause_count(),
+            min.source()
+        );
+    }
+}

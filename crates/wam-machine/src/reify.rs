@@ -121,25 +121,41 @@ impl Namer {
 ///
 /// Unbound variables become fresh [`Term::Var`]s named by `namer`, with
 /// aliasing preserved (two occurrences of the same unbound cell map to the
-/// same variable).
+/// same variable). Occurs-check-free unification can leave cyclic terms on
+/// the heap; a back-edge to a compound already on the current path is cut
+/// to the atom `'...'` (the way toplevels conventionally print cycles).
 pub fn reify(heap: &[Cell], cell: Cell, namer: &mut Namer) -> Term {
+    reify_acyclic(heap, cell, namer, &mut Vec::new())
+}
+
+fn reify_acyclic(heap: &[Cell], cell: Cell, namer: &mut Namer, path: &mut Vec<usize>) -> Term {
     match deref(heap, cell) {
         Cell::Ref(addr) => Term::Var(namer.var_for(addr)),
         Cell::Int(i) => Term::Int(i),
         Cell::Con(s) => Term::Atom(s),
         Cell::Lis(p) => {
-            let head = reify(heap, Cell::Ref(p), namer);
-            let tail = reify(heap, Cell::Ref(p + 1), namer);
+            if path.contains(&p) {
+                return Term::Atom(ellipsis_symbol());
+            }
+            path.push(p);
+            let head = reify_acyclic(heap, Cell::Ref(p), namer, path);
+            let tail = reify_acyclic(heap, Cell::Ref(p + 1), namer, path);
+            path.pop();
             // `.`/2 — rebuild structurally; the dot symbol is well-known.
             Term::Struct(dot_symbol(), vec![head, tail])
         }
         Cell::Str(p) => {
+            if path.contains(&p) {
+                return Term::Atom(ellipsis_symbol());
+            }
+            path.push(p);
             let Cell::Fun(f, n) = heap[p] else {
                 unreachable!("Str points at Fun")
             };
             let args = (0..n as usize)
-                .map(|i| reify(heap, Cell::Ref(p + 1 + i), namer))
+                .map(|i| reify_acyclic(heap, Cell::Ref(p + 1 + i), namer, path))
                 .collect();
+            path.pop();
             Term::Struct(f, args)
         }
         Cell::Fun(..) => unreachable!("bare functor cell"),
@@ -150,6 +166,11 @@ pub fn reify(heap: &[Cell], cell: Cell, namer: &mut Namer) -> Term {
 /// [`Interner::new`]).
 fn dot_symbol() -> prolog_syntax::Symbol {
     Interner::new().dot()
+}
+
+/// The well-known `'...'` cyclic-cut atom.
+fn ellipsis_symbol() -> prolog_syntax::Symbol {
+    Interner::new().ellipsis()
 }
 
 #[cfg(test)]

@@ -10,6 +10,8 @@
 //! awam batch FILE.pl GOAL... [--workers N]   parallel multi-entry analysis
 //! awam batch --suite NAME... [--workers N]   parallel analysis of suite programs
 //! awam bench NAME                      run one Table 1 benchmark
+//! awam fuzz [--seed N] [--cases N] [--oracle NAME,...] [--no-minimize]
+//!           [--fault NAME] [--json]  differential fuzzing campaign
 //! ```
 //!
 //! A batch `GOAL` is `PRED` or `PRED:SPEC,SPEC,…` (e.g. `app:glist,glist,var`).
@@ -44,13 +46,15 @@ fn main() -> ExitCode {
         Some("analyze-wam") => cmd_analyze_wam(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
         _ => {
             eprintln!(
                 "usage:\n  awam compile FILE.pl [--emit F.wam]\n  awam disasm FILE.pl|FILE.wam\n  \
                  awam run FILE.pl 'GOAL' [-n N]\n  \
                  awam analyze FILE.pl PRED [SPEC,SPEC,…]\n  awam analyze-wam FILE.wam PRED [SPEC,…]\n  \
                  awam batch FILE.pl GOAL… [--workers N] | awam batch --suite NAME… [--workers N]\n  \
-                 awam bench NAME\n\
+                 awam bench NAME\n  \
+                 awam fuzz [--seed N] [--cases N] [--oracle NAME,…] [--no-minimize] [--fault NAME] [--json]\n\
                  observability flags: --stats | --stats-json | --trace FILE"
             );
             return ExitCode::from(2);
@@ -596,6 +600,102 @@ fn batch_suite(names: &[String], workers: usize, stats_json: bool) -> CmdResult 
         return Err(Error::Usage(format!("batch: {failed} program(s) failed")));
     }
     Ok(())
+}
+
+/// `awam fuzz`: run a differential fuzzing campaign — generate random
+/// well-formed programs and hold every one to the oracle matrix (see
+/// `awam::testkit`). Long campaigns belong here, outside `cargo test`;
+/// a failing case prints a minimal counterexample and a replay command.
+fn cmd_fuzz(args: &[String]) -> CmdResult {
+    use awam::testkit::{run_campaign, FuzzConfig, Oracle};
+
+    let mut config = FuzzConfig::default();
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                config.seed = it
+                    .next()
+                    .ok_or("fuzz: --seed needs a number")?
+                    .parse()
+                    .map_err(|_| "fuzz: --seed needs a number")?;
+            }
+            "--cases" => {
+                config.cases = it
+                    .next()
+                    .ok_or("fuzz: --cases needs a number")?
+                    .parse()
+                    .map_err(|_| "fuzz: --cases needs a number")?;
+            }
+            "--oracle" => {
+                let names = it.next().ok_or("fuzz: --oracle needs a name")?;
+                config.oracles = names
+                    .split(',')
+                    .map(|n| {
+                        Oracle::from_name(n.trim()).ok_or_else(|| {
+                            let all: Vec<&str> = Oracle::ALL.iter().map(|o| o.name()).collect();
+                            Error::Usage(format!(
+                                "fuzz: unknown oracle `{n}` (available: {})",
+                                all.join(", ")
+                            ))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--minimize" => config.minimize = true,
+            "--no-minimize" => config.minimize = false,
+            "--dump" => config.dump = true,
+            "--fault" => {
+                let name = it.next().ok_or("fuzz: --fault needs a name")?;
+                // Validate eagerly so a typo is a usage error, not a
+                // panic inside the campaign.
+                awam::analysis::fault::enable(name).map_err(Error::Usage)?;
+                config.fault = Some(name.clone());
+            }
+            "--json" => json = true,
+            other => {
+                return Err(Error::Usage(format!("fuzz: unknown flag {other}")));
+            }
+        }
+    }
+
+    let report = run_campaign(&config);
+    match report.failure {
+        None => {
+            if json {
+                let doc = awam::obs::Json::obj(vec![
+                    ("seed", awam::obs::Json::Int(config.seed as i64)),
+                    ("cases", awam::obs::Json::Int(report.cases_run as i64)),
+                    ("checks", awam::obs::Json::Int(report.checks_run as i64)),
+                    ("failed", awam::obs::Json::Bool(false)),
+                ]);
+                println!("{}", doc.emit_pretty());
+            } else {
+                let oracles: Vec<&str> = config.oracles.iter().map(|o| o.name()).collect();
+                println!(
+                    "fuzz: {} cases x {} oracles ({}) from seed {}: all passed ({} checks)",
+                    report.cases_run,
+                    config.oracles.len(),
+                    oracles.join(","),
+                    config.seed,
+                    report.checks_run
+                );
+            }
+            Ok(())
+        }
+        Some(failure) => {
+            if json {
+                println!("{}", failure.to_json().emit_pretty());
+            } else {
+                print!("{}", failure.render());
+            }
+            Err(Error::Usage(format!(
+                "fuzz: oracle `{}` failed on case {} after {} checks",
+                failure.oracle, failure.case, report.checks_run
+            )))
+        }
+    }
 }
 
 fn cmd_bench(args: &[String]) -> CmdResult {

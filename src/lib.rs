@@ -18,7 +18,10 @@
 //! * [`hosted_analyzer`] — the Prolog-hosted comparators (meta-interpreted
 //!   and transformed), run on [`machine`];
 //! * [`opt`] — analysis-driven WAM optimizations;
-//! * [`suite`] — the Table 1 benchmark programs.
+//! * [`suite`] — the Table 1 benchmark programs;
+//! * [`testkit`] — the generative-testing subsystem (shared PRNG,
+//!   program/pattern generators, shrinker, differential oracle matrix)
+//!   behind the randomized tests and `awam fuzz`.
 //!
 //! # Quickstart
 //!
@@ -77,6 +80,7 @@ pub use absdom;
 pub use awam_core as analysis;
 pub use awam_exec as exec;
 pub use awam_obs as obs;
+pub use awam_testkit as testkit;
 pub use baseline;
 pub use bench_suite as suite;
 pub use hosted as hosted_analyzer;

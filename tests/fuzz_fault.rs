@@ -1,0 +1,45 @@
+//! Fault-injection self-test: the oracle matrix must *catch* a planted
+//! analyzer bug, and the shrinker must reduce the counterexample to a
+//! handful of clauses.
+//!
+//! This lives in its own integration-test binary because the planted
+//! fault is a process-global flag (`awam::analysis::fault`): enabling it
+//! here must not leak into the healthy-path campaign tests.
+
+use awam::testkit::{run_campaign, FuzzConfig, Oracle};
+
+#[test]
+fn planted_skip_lub_fault_is_caught_and_shrunk() {
+    let config = FuzzConfig {
+        cases: 200,
+        // The soundness oracle is the one that detects frozen success
+        // summaries; restricting to it keeps the campaign fast.
+        oracles: vec![Oracle::Soundness],
+        fault: Some("skip-lub".to_owned()),
+        ..FuzzConfig::default()
+    };
+    let report = run_campaign(&config);
+    let failure = report
+        .failure
+        .expect("a campaign with the skip-lub fault planted must fail");
+    assert_eq!(failure.oracle, Oracle::Soundness);
+    let min = failure
+        .minimized
+        .as_ref()
+        .expect("minimization is on by default");
+    assert!(
+        min.clauses <= 5,
+        "counterexample should shrink to a handful of clauses, got {}:\n{}",
+        min.clauses,
+        min.source
+    );
+    let replay = failure.replay_command();
+    assert!(
+        replay.contains("--fault skip-lub"),
+        "replay command must reproduce the planted fault: {replay}"
+    );
+    assert!(
+        replay.contains("--oracle soundness"),
+        "replay command must name the failing oracle: {replay}"
+    );
+}

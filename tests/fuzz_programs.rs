@@ -1,266 +1,22 @@
-//! Program-level fuzzing: generate random (but well-formed) Prolog
-//! programs, analyze them with `any`-typed entries, run them concretely
-//! with call tracing, and check the fundamental soundness obligation —
-//! every concrete call is covered by the analysis — plus analyzer
-//! termination.
+//! Program-level fuzzing: a bounded in-tree slice of the `awam fuzz`
+//! campaign.
 //!
-//! The generator is driven by a deterministic xorshift PRNG (the
-//! workspace builds offline, so no proptest); every run covers the same
-//! case set, and a failing case can be replayed from its seed.
+//! The generator, oracle matrix and shrinker live in `awam::testkit`;
+//! this test only pins a default case budget so `cargo test` stays fast.
+//! Set `AWAM_FUZZ_ITERS` to rescale (CI uses a smaller budget, a soak
+//! run a larger one), and replay any failure with the printed
+//! `awam fuzz --seed … --cases 1` command.
 
-use awam::analysis::Analyzer;
-use awam::machine::Machine;
-use awam::obs::RecordingTracer;
-use awam::syntax::parse_program;
-use awam::wam::compile_program;
-
-/// xorshift64* — deterministic, seedable, good enough for fuzzing.
-struct Rng(u64);
-
-impl Rng {
-    fn new(seed: u64) -> Self {
-        Rng(seed | 1)
-    }
-
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
-    }
-
-    /// Uniform in `0..n`.
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n
-    }
-}
-
-/// A compact generator language for random programs: predicates `p0…pN`
-/// with random clause shapes over a small vocabulary.
-#[derive(Clone, Debug)]
-struct GenProgram {
-    preds: Vec<GenPred>,
-}
-
-#[derive(Clone, Debug)]
-struct GenPred {
-    arity: usize,
-    clauses: Vec<GenClause>,
-}
-
-#[derive(Clone, Debug)]
-struct GenClause {
-    head_args: Vec<GenTerm>,
-    goals: Vec<GenGoal>,
-}
-
-#[derive(Clone, Debug)]
-enum GenTerm {
-    Var(u8),
-    Atom(u8),
-    Int(i8),
-    Cons(Box<GenTerm>, Box<GenTerm>),
-    Nil,
-    Struct(u8, Vec<GenTerm>),
-}
-
-#[derive(Clone, Debug)]
-enum GenGoal {
-    Call(u8, Vec<GenTerm>),
-    UnifyGoal(GenTerm, GenTerm),
-    IsPlus(u8, GenTerm),
-    Less(GenTerm, GenTerm),
-    Cut,
-}
-
-fn gen_term(rng: &mut Rng, depth: usize) -> GenTerm {
-    // Compound terms only below the depth cap, with the same leaf mix as
-    // before: Var, Atom, Int, Nil.
-    let compound = depth > 0 && rng.below(3) == 0;
-    if compound {
-        if rng.below(2) == 0 {
-            GenTerm::Cons(
-                Box::new(gen_term(rng, depth - 1)),
-                Box::new(gen_term(rng, depth - 1)),
-            )
-        } else {
-            let f = rng.below(2) as u8;
-            let n = 1 + rng.below(2) as usize;
-            let args = (0..n).map(|_| gen_term(rng, depth - 1)).collect();
-            GenTerm::Struct(f, args)
-        }
-    } else {
-        match rng.below(4) {
-            0 => GenTerm::Var(rng.below(4) as u8),
-            1 => GenTerm::Atom(rng.below(3) as u8),
-            2 => GenTerm::Int(rng.below(7) as i8 - 3),
-            _ => GenTerm::Nil,
-        }
-    }
-}
-
-fn gen_goal(rng: &mut Rng, num_preds: u64) -> GenGoal {
-    match rng.below(5) {
-        0 => {
-            let p = rng.below(num_preds) as u8;
-            let n = rng.below(3) as usize;
-            let args = (0..n).map(|_| gen_term(rng, 2)).collect();
-            GenGoal::Call(p, args)
-        }
-        1 => GenGoal::UnifyGoal(gen_term(rng, 2), gen_term(rng, 2)),
-        2 => GenGoal::IsPlus(rng.below(4) as u8, gen_term(rng, 2)),
-        3 => GenGoal::Less(gen_term(rng, 2), gen_term(rng, 2)),
-        _ => GenGoal::Cut,
-    }
-}
-
-fn gen_program(rng: &mut Rng) -> GenProgram {
-    const NUM_PREDS: u64 = 3;
-    let mut preds: Vec<GenPred> = (0..NUM_PREDS)
-        .map(|_| {
-            let num_clauses = 1 + rng.below(2) as usize;
-            let clauses = (0..num_clauses)
-                .map(|_| {
-                    let head_args = (0..rng.below(3)).map(|_| gen_term(rng, 2)).collect();
-                    let goals = (0..rng.below(3))
-                        .map(|_| gen_goal(rng, NUM_PREDS))
-                        .collect();
-                    GenClause { head_args, goals }
-                })
-                .collect();
-            GenPred { arity: 0, clauses }
-        })
-        .collect();
-    // Arity of each predicate = the head arg count of its first clause;
-    // pad/truncate the others to match.
-    for p in &mut preds {
-        let arity = p.clauses[0].head_args.len();
-        p.arity = arity;
-        for c in &mut p.clauses {
-            c.head_args.truncate(arity);
-            while c.head_args.len() < arity {
-                c.head_args.push(GenTerm::Var(3));
-            }
-        }
-    }
-    GenProgram { preds }
-}
-
-fn term_src(t: &GenTerm) -> String {
-    match t {
-        GenTerm::Var(v) => format!("V{v}"),
-        GenTerm::Atom(a) => format!("a{a}"),
-        GenTerm::Int(i) => format!("({i})"),
-        GenTerm::Nil => "[]".into(),
-        GenTerm::Cons(h, t) => format!("[{}|{}]", term_src(h), term_src(t)),
-        GenTerm::Struct(f, args) => {
-            let args: Vec<String> = args.iter().map(term_src).collect();
-            format!("f{f}({})", args.join(", "))
-        }
-    }
-}
-
-fn program_src(g: &GenProgram) -> String {
-    let mut out = String::new();
-    for (i, p) in g.preds.iter().enumerate() {
-        for c in &p.clauses {
-            let head = if p.arity == 0 {
-                format!("p{i}")
-            } else {
-                let args: Vec<String> = c.head_args.iter().map(term_src).collect();
-                format!("p{i}({})", args.join(", "))
-            };
-            let goals: Vec<String> = c
-                .goals
-                .iter()
-                .map(|goal| match goal {
-                    GenGoal::Call(t, args) => {
-                        let target = &g.preds[*t as usize];
-                        // Match the callee's arity (pad with fresh vars).
-                        let mut args: Vec<String> =
-                            args.iter().take(target.arity).map(term_src).collect();
-                        while args.len() < target.arity {
-                            args.push(format!("W{}", args.len()));
-                        }
-                        if target.arity == 0 {
-                            format!("p{t}")
-                        } else {
-                            format!("p{t}({})", args.join(", "))
-                        }
-                    }
-                    GenGoal::UnifyGoal(a, b) => format!("{} = {}", term_src(a), term_src(b)),
-                    GenGoal::IsPlus(v, t) => format!("V{v} is {} + 1", term_src(t)),
-                    GenGoal::Less(a, b) => format!("{} < {}", term_src(a), term_src(b)),
-                    GenGoal::Cut => "!".into(),
-                })
-                .collect();
-            if goals.is_empty() {
-                out.push_str(&format!("{head}.\n"));
-            } else {
-                out.push_str(&format!("{head} :- {}.\n", goals.join(", ")));
-            }
-        }
-    }
-    out
-}
+use awam::testkit::{fuzz_iters, run_campaign, FuzzConfig};
 
 #[test]
-fn random_programs_analyze_soundly() {
-    for case in 0..64u64 {
-        let mut rng = Rng::new(0x9e37_79b9_7f4a_7c15 ^ (case.wrapping_mul(0xabcd_1234_5678_9abd)));
-        let g = gen_program(&mut rng);
-        let src = program_src(&g);
-        let program = match parse_program(&src) {
-            Ok(p) => p,
-            Err(e) => panic!("case {case}: generator produced unparseable source: {e}\n{src}"),
-        };
-        let compiled = match compile_program(&program) {
-            Ok(c) => c,
-            Err(e) => panic!("case {case}: generator produced uncompilable source: {e}\n{src}"),
-        };
-
-        // Analysis must terminate (finite domain) with `any` entries.
-        let entry_specs: Vec<&str> = std::iter::repeat_n("any", g.preds[0].arity).collect();
-        let analyzer = Analyzer::compile(&program).expect("compile");
-        let analysis = match analyzer.analyze_query("p0", &entry_specs) {
-            Ok(a) => a,
-            Err(e) => panic!("case {case}: analysis failed to terminate: {e}\n{src}"),
-        };
-
-        // Concrete run (step-capped; arithmetic errors are fine), traced
-        // through the shared Tracer interface.
-        let mut tracer = RecordingTracer::default();
-        let mut machine = Machine::new(&compiled);
-        machine.set_tracer(&mut tracer);
-        machine.set_max_steps(50_000);
-        let arity = g.preds[0].arity;
-        let query = if arity == 0 {
-            "p0".to_owned()
-        } else {
-            let args: Vec<String> = (0..arity).map(|i| format!("Q{i}")).collect();
-            format!("p0({})", args.join(", "))
-        };
-        let _ = machine.query_str(&query);
-        drop(machine);
-
-        // Soundness: every traced call covered.
-        for (pid, args) in tracer.calls().iter().take(2_000) {
-            let pa = analysis.predicates.iter().find(|p| p.pred == *pid);
-            let Some(pa) = pa else {
-                panic!(
-                    "case {case}: predicate {} called concretely but never analyzed\n{src}",
-                    compiled.predicates[*pid].key.display(&compiled.interner)
-                );
-            };
-            assert!(
-                pa.entries.iter().any(|(cp, _)| cp.covers(args)),
-                "case {case}: uncovered concrete call to {} with {:?}\nprogram:\n{}",
-                pa.name,
-                args,
-                src
-            );
-        }
+fn bounded_campaign_passes_the_oracle_matrix() {
+    let config = FuzzConfig {
+        cases: fuzz_iters(64),
+        ..FuzzConfig::default()
+    };
+    let report = run_campaign(&config);
+    if let Some(failure) = report.failure {
+        panic!("fuzz campaign failed:\n{}", failure.render());
     }
 }

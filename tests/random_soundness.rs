@@ -1,13 +1,19 @@
 //! Property-based end-to-end soundness: for randomly generated ground
 //! inputs, the concrete solution of a benchmark-style predicate must be
 //! covered by the abstract success summary inferred for the matching
-//! entry pattern. Inputs come from a deterministic inline PRNG (the
-//! workspace builds offline, so no proptest).
+//! entry pattern. Inputs come from the shared deterministic
+//! [`awam::testkit::Rng`] (the workspace builds offline, so no
+//! proptest); the per-property case budget honors `AWAM_FUZZ_ITERS`.
 
 use awam::analysis::Analyzer;
 use awam::machine::Machine;
 use awam::syntax::parse_program;
+use awam::testkit::{fuzz_iters, Rng};
 use awam::wam::compile_program;
+
+fn cases() -> u64 {
+    fuzz_iters(48)
+}
 
 const LIB: &str = "
     app([], L, L).
@@ -63,36 +69,10 @@ fn check(query: &str, entry: &str, specs: &[&str], out_var: &str) {
     );
 }
 
-/// Splitmix64 — a tiny deterministic generator for the random lists.
-struct Rng(u64);
-
-impl Rng {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform in `lo..hi`.
-    fn range(&mut self, lo: i64, hi: i64) -> i64 {
-        lo + (self.next() % (hi - lo) as u64) as i64
-    }
-
-    /// A random list with `0..max_len` elements in `lo..hi`.
-    fn int_vec(&mut self, max_len: u64, lo: i64, hi: i64) -> Vec<i64> {
-        let n = self.next() % max_len;
-        (0..n).map(|_| self.range(lo, hi)).collect()
-    }
-}
-
-const CASES: u64 = 48;
-
 #[test]
 fn nrev_outputs_covered() {
-    let mut rng = Rng(1);
-    for _ in 0..CASES {
+    let mut rng = Rng::new(1);
+    for _ in 0..cases() {
         let items = rng.int_vec(12, -20, 20);
         let query = format!("nrev({}, Out)", int_list(&items));
         check(&query, "nrev", &["glist", "var"], "Out");
@@ -101,8 +81,8 @@ fn nrev_outputs_covered() {
 
 #[test]
 fn append_outputs_covered() {
-    let mut rng = Rng(2);
-    for _ in 0..CASES {
+    let mut rng = Rng::new(2);
+    for _ in 0..cases() {
         let a = rng.int_vec(8, -9, 9);
         let b = rng.int_vec(8, -9, 9);
         let query = format!("app({}, {}, Out)", int_list(&a), int_list(&b));
@@ -112,8 +92,8 @@ fn append_outputs_covered() {
 
 #[test]
 fn qsort_outputs_covered() {
-    let mut rng = Rng(3);
-    for _ in 0..CASES {
+    let mut rng = Rng::new(3);
+    for _ in 0..cases() {
         let items = rng.int_vec(10, 0, 50);
         let query = format!("qsort({}, Out, [])", int_list(&items));
         check(&query, "qsort", &["glist", "var", "nil"], "Out");
@@ -122,8 +102,8 @@ fn qsort_outputs_covered() {
 
 #[test]
 fn len_outputs_covered() {
-    let mut rng = Rng(4);
-    for _ in 0..CASES {
+    let mut rng = Rng::new(4);
+    for _ in 0..cases() {
         let items = rng.int_vec(10, 0, 5);
         let query = format!("len({}, Out)", int_list(&items));
         check(&query, "len", &["glist", "var"], "Out");
