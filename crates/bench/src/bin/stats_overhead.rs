@@ -1,0 +1,84 @@
+//! Guard that the `--stats` instrumentation (per-predicate timers, span
+//! tree, metrics histograms) stays cheap: analyze the whole Table 1
+//! suite with profiling off and with profiling on, back to back, over
+//! several repetitions, and fail when even the *best* paired ratio
+//! exceeds the threshold. Pairing plain and profiled passes within a
+//! few milliseconds of each other and taking the minimum ratio makes
+//! the guard robust against frequency scaling and scheduler noise
+//! (which corrupt individual passes but rarely every pair): a real
+//! overhead regression shows up in every pair, noise does not.
+//!
+//! ```sh
+//! cargo run -p awam-bench --release --bin stats_overhead [--pct N] [--reps N]
+//! AWAM_OVERHEAD_PCT=10 cargo run -p awam-bench --release --bin stats_overhead
+//! ```
+//!
+//! Exits 1 on breach, so CI can use it directly.
+
+use awam_core::AnalyzerBuilder;
+
+/// One timed pass over the whole suite; returns total nanoseconds.
+fn suite_pass(profiling: bool) -> u64 {
+    let start = std::time::Instant::now();
+    for b in bench_suite::all() {
+        let program = b.parse().expect("suite program parses");
+        let analyzer = AnalyzerBuilder::new()
+            .profiling(profiling)
+            .compile(&program)
+            .expect("suite program compiles");
+        let analysis = analyzer
+            .analyze_query(b.entry, b.entry_specs)
+            .expect("suite program analyzes");
+        // Keep the result alive so the work is not optimized away.
+        assert!(!analysis.predicates.is_empty());
+        if profiling {
+            assert!(analysis.profile.is_some());
+        }
+    }
+    start.elapsed().as_nanos() as u64
+}
+
+fn arg_after(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let pct: f64 = arg_after("--pct")
+        .or_else(|| std::env::var("AWAM_OVERHEAD_PCT").ok())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5.0);
+    let reps: u32 = arg_after("--reps")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+
+    // Warm up caches, the allocator, and the TSC calibration before
+    // timing anything.
+    suite_pass(false);
+    suite_pass(true);
+
+    let mut best_ratio = f64::INFINITY;
+    let mut best_pair = (0u64, 0u64);
+    for _ in 0..reps {
+        let plain = suite_pass(false);
+        let profiled = suite_pass(true);
+        let ratio = profiled as f64 / plain as f64;
+        if ratio < best_ratio {
+            best_ratio = ratio;
+            best_pair = (plain, profiled);
+        }
+    }
+
+    let overhead = (best_ratio - 1.0) * 100.0;
+    println!(
+        "stats overhead: plain {:.2} ms, profiled {:.2} ms, overhead {overhead:+.2}% (threshold {pct}%, best of {reps} pairs)",
+        best_pair.0 as f64 / 1e6,
+        best_pair.1 as f64 / 1e6,
+    );
+    if overhead > pct {
+        eprintln!("stats_overhead: instrumentation overhead {overhead:.2}% exceeds {pct}%");
+        std::process::exit(1);
+    }
+}

@@ -13,12 +13,16 @@
 //!   zero fixpoint iterations.
 
 use crate::machine::{AbstractMachine, AnalysisError};
+use crate::provenance::DerivationReport;
 use crate::table::{Entry, EtImpl, ExtensionTable};
 use crate::{IterationStrategy, Session};
 use absdom::{
     AbsLeaf, DomainConfig, Pattern, PatternInterner, SessionInterner, DEFAULT_TERM_DEPTH,
 };
-use awam_obs::{InternStats, Json, MachineStats, OpcodeCounts, Stopwatch, TableStats, Tracer};
+use awam_obs::{
+    InternStats, Json, MachineStats, MetricsRegistry, OpcodeCounts, SpanProfiler, Stopwatch,
+    TableStats, Tracer,
+};
 use prolog_syntax::Program;
 use std::sync::Arc;
 use wam::{compile_program, CompileError, CompiledProgram};
@@ -52,11 +56,13 @@ pub struct AnalyzerBuilder {
     config: DomainConfig,
     strategy: IterationStrategy,
     profile_timing: bool,
+    provenance: bool,
 }
 
 impl Default for AnalyzerBuilder {
     /// The paper's settings: term depth 4, linear-list extension table,
-    /// full domain, global-restart fixpoint, no profiling.
+    /// full domain, global-restart fixpoint, no profiling, no
+    /// provenance.
     fn default() -> Self {
         AnalyzerBuilder {
             depth_k: DEFAULT_TERM_DEPTH,
@@ -64,6 +70,7 @@ impl Default for AnalyzerBuilder {
             config: DomainConfig::FULL,
             strategy: IterationStrategy::GlobalRestart,
             profile_timing: false,
+            provenance: false,
         }
     }
 }
@@ -111,13 +118,31 @@ impl AnalyzerBuilder {
         self
     }
 
+    /// Enable derivation tracking: every extension-table entry records
+    /// the clause, iteration, and parent call that created it, plus the
+    /// chain of lub inputs that widened its success summary (surfaced as
+    /// [`Analysis::provenance`]). Zero cost when off: the table's
+    /// derivation store is never allocated and the machine's recording
+    /// hooks reduce to one predictable branch, so reports and traces are
+    /// byte-identical with and without the flag (testkit oracle #7).
+    #[must_use]
+    pub fn provenance(mut self, on: bool) -> AnalyzerBuilder {
+        self.provenance = on;
+        self
+    }
+
     /// Compile `program` into an analyzer with this configuration.
     ///
     /// # Errors
     ///
     /// Propagates [`CompileError`] from the WAM compiler.
     pub fn compile(&self, program: &Program) -> Result<Analyzer, CompileError> {
-        Ok(self.build(compile_program(program)?))
+        let watch = Stopwatch::start();
+        let compiled = compile_program(program)?;
+        let compile_ns = watch.elapsed_ns();
+        let mut analyzer = self.build(compiled);
+        analyzer.compile_ns = compile_ns;
+        Ok(analyzer)
     }
 
     /// Wrap an already-compiled program with this configuration.
@@ -130,6 +155,8 @@ impl AnalyzerBuilder {
             config: self.config,
             strategy: self.strategy,
             profile_timing: self.profile_timing,
+            provenance: self.provenance,
+            compile_ns: 0,
             base_interner,
         }
     }
@@ -167,6 +194,11 @@ pub struct Analyzer {
     config: DomainConfig,
     strategy: IterationStrategy,
     profile_timing: bool,
+    provenance: bool,
+    /// Wall time of WAM compilation in nanoseconds (0 when the analyzer
+    /// was built from an already-compiled program); spliced into the
+    /// span tree as the `compile` phase when profiling is on.
+    compile_ns: u64,
     /// Shared read-only pattern arena, pre-seeded with the common
     /// all-`any`/all-`var` patterns per predicate arity. Every query gets
     /// a [`SessionInterner`] overlay over this `Arc`, so batch workers
@@ -269,6 +301,29 @@ pub struct Analysis {
     /// Per-predicate self-time `(name, ns)`, descending; empty unless
     /// profiling was enabled via [`AnalyzerBuilder::profiling`].
     pub pred_times: Vec<(String, u64)>,
+    /// Per-predicate self-instructions `(name, count)`, descending;
+    /// empty unless profiling was enabled.
+    pub pred_instrs: Vec<(String, u64)>,
+    /// Derivation report for every table entry; `None` unless
+    /// [`AnalyzerBuilder::provenance`] was enabled.
+    pub provenance: Option<DerivationReport>,
+    /// Span tree and metrics registry of the run; `None` unless
+    /// profiling was enabled via [`AnalyzerBuilder::profiling`] (warm
+    /// session hits also return `None`: no machine ran).
+    pub profile: Option<ProfileData>,
+}
+
+/// The self-profiling output of one analysis run: where fixpoint time
+/// went (hierarchical spans) and the metrics registry a monitoring
+/// surface would scrape.
+#[derive(Clone, Debug)]
+pub struct ProfileData {
+    /// Hierarchical span tree: compile / iteration N / predicate /
+    /// et-consult, with call counts, total and self time.
+    pub spans: SpanProfiler,
+    /// Named counters and histograms (consult latency, per-iteration
+    /// widening/growth deltas, per-predicate instruction heat).
+    pub metrics: MetricsRegistry,
 }
 
 impl Analyzer {
@@ -358,6 +413,12 @@ impl Analyzer {
     /// The extension-table implementation this analyzer uses.
     pub fn et_impl(&self) -> EtImpl {
         self.et_impl
+    }
+
+    /// Whether derivation provenance tracking is on (see
+    /// [`AnalyzerBuilder::provenance`]).
+    pub fn provenance_enabled(&self) -> bool {
+        self.provenance
     }
 
     /// Open a [`Session`] on this analyzer: a persistent extension table
@@ -474,12 +535,18 @@ impl Analyzer {
         seed: Option<(ExtensionTable, SessionInterner)>,
         tracer: Option<&mut dyn Tracer>,
     ) -> Result<(Analysis, ExtensionTable, SessionInterner), AnalysisError> {
-        let (table, interner) = seed.unwrap_or_else(|| {
+        let (mut table, interner) = seed.unwrap_or_else(|| {
             (
                 ExtensionTable::new(self.program.predicates.len(), self.et_impl),
                 self.new_session_interner(),
             )
         });
+        if self.provenance {
+            // Seeded tables from a session created before the flag (or
+            // from Session::new, which already enables it) get padded
+            // with blank derivations; fresh tables track from entry 0.
+            table.enable_provenance();
+        }
         let mut machine =
             AbstractMachine::with_table(&self.program, self.depth_k, self.et_impl, table, interner);
         machine.set_domain_config(self.config);
@@ -507,16 +574,47 @@ impl Analyzer {
             })
             .collect();
         pred_times.sort_by_key(|&(_, ns)| std::cmp::Reverse(ns));
+        let mut pred_instrs: Vec<(String, u64)> = machine
+            .pred_instr_self()
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(id, &n)| {
+                (
+                    self.program.predicates[id]
+                        .key
+                        .display(&self.program.interner),
+                    n,
+                )
+            })
+            .collect();
+        pred_instrs.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+        let provenance = self.provenance.then(|| {
+            crate::provenance::collect(&self.program, machine.table(), machine.interner())
+        });
+        let profile = machine.take_profile().map(|(mut spans, mut metrics)| {
+            spans.record_phase("compile", self.compile_ns);
+            metrics.counter_add("compile_ns", self.compile_ns);
+            metrics.counter_add("fixpoint.iterations", iterations);
+            ProfileData { spans, metrics }
+        });
         let analysis = Analysis {
             predicates,
             iterations,
             instructions_executed: machine.exec_count(),
             table_stats: *machine.table().stats(),
+            // Interner counters are sampled here, *after* the fixpoint
+            // returned — never at machine construction — so the lub/leq
+            // memo-cache numbers reflect the whole run (the exact-counter
+            // tripwires in tests/observability.rs pin this down).
             intern_stats: *machine.interner().stats(),
             machine_stats: machine.machine_stats(),
             opcodes: machine.opcodes().clone(),
             analyze_ns,
             pred_times,
+            pred_instrs,
+            provenance,
+            profile,
         };
         let (table, interner) = machine.into_parts();
         Ok((analysis, table, interner))
@@ -566,11 +664,17 @@ impl Analyzer {
             iterations: 0,
             instructions_executed: 0,
             table_stats: *table.stats(),
+            // Sampled at answer time: a warm hit's consult went through
+            // the leq memo cache just now, and that shows up here.
             intern_stats: *interner.stats(),
             machine_stats: MachineStats::default(),
             opcodes: OpcodeCounts::new(wam::OPCODE_NAMES.len()),
             analyze_ns: 0,
             pred_times: Vec::new(),
+            pred_instrs: Vec::new(),
+            provenance: (self.provenance && table.provenance_enabled())
+                .then(|| crate::provenance::collect(&self.program, table, interner)),
+            profile: None,
         }
     }
 }

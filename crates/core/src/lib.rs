@@ -78,17 +78,19 @@ pub mod extract;
 pub mod fault;
 pub mod machine;
 pub mod matcher;
+pub mod provenance;
 pub mod report;
 pub mod session;
 pub mod table;
 
 pub use acell::ACell;
-pub use analyzer::{Analysis, Analyzer, AnalyzerBuilder, BatchGoal, PredAnalysis};
+pub use analyzer::{Analysis, Analyzer, AnalyzerBuilder, BatchGoal, PredAnalysis, ProfileData};
 pub use batch::par_map;
 pub use machine::{AbstractMachine, AnalysisError};
+pub use provenance::{ChainStep, DerivationReport, EntryDerivation, PredDerivations};
 pub use report::ArgMode;
 pub use session::Session;
-pub use table::{EtImpl, ExtensionTable};
+pub use table::{Derivation, DerivationOrigin, EtImpl, ExtensionTable, LubStep};
 
 /// How the global fixpoint iteration re-explores the program.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]

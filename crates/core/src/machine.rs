@@ -22,11 +22,14 @@
 
 use crate::acell::ACell;
 use crate::extract::{deref, extract, materialize};
-use crate::table::{EtImpl, ExtensionTable};
+use crate::table::{DerivationOrigin, EtImpl, ExtensionTable};
 use crate::IterationStrategy;
 use absdom::{AbsLeaf, DomainConfig, Pattern, PatternId, SessionInterner};
 use awam_exec::{Flow, Frame, Interpretation, Mode};
-use awam_obs::{MachineStats, OpcodeCounts, Stopwatch, TraceEvent, Tracer};
+use awam_obs::{
+    Histogram, MachineStats, MetricsRegistry, OpcodeCounts, SpanProfiler, Stopwatch, TraceEvent,
+    Tracer,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use wam::{Builtin, CodeAddr, CompiledProgram, Functor, PredIdx, WamConst};
@@ -134,6 +137,34 @@ pub struct AbstractMachine<'p> {
     /// Child-exploration time accumulators, one per active
     /// `explore_entry` frame.
     pred_timer_stack: Vec<u64>,
+    /// Self-instructions per predicate (needs [`Self::profile_timing`]):
+    /// dispatch counts attributed to the predicate being explored,
+    /// excluding nested explorations.
+    pred_instr_self: Vec<u64>,
+    /// `(executed snapshot, child instructions)` per active
+    /// `explore_entry` frame, mirroring the timer stack.
+    pred_instr_stack: Vec<(u64, u64)>,
+    /// Hierarchical span tree (iteration / predicate / et-consult),
+    /// allocated lazily when [`Self::profile_timing`] is set.
+    span: Option<SpanProfiler>,
+    /// `name/arity` display strings, cached so span hooks never hit the
+    /// symbol interner on the hot path; built with the span profiler.
+    pred_names: Vec<String>,
+    /// ET-consult latency distribution (needs [`Self::profile_timing`]).
+    consult_hist: Histogram,
+    /// Per-round lub widenings (needs [`Self::profile_timing`]).
+    round_widen_hist: Histogram,
+    /// Per-round table growth in entries (needs
+    /// [`Self::profile_timing`]).
+    round_growth_hist: Histogram,
+    /// Whether the table records derivations. Sampled once from
+    /// [`ExtensionTable::provenance_enabled`] at construction, so the
+    /// per-call cost when off is a single predictable branch.
+    record_provenance: bool,
+    /// Clause context of each active `explore_entry` frame:
+    /// `(pred, clause index, calling-pattern id)` — what a nested insert
+    /// records as its derivation origin.
+    prov_stack: Vec<(usize, usize, PatternId)>,
     tracer: Option<&'p mut dyn Tracer>,
     max_depth: usize,
 }
@@ -406,6 +437,7 @@ impl<'p> AbstractMachine<'p> {
         interner: SessionInterner,
     ) -> Self {
         let iter = table.max_explored_iter();
+        let record_provenance = table.provenance_enabled();
         AbstractMachine {
             program,
             table,
@@ -431,8 +463,29 @@ impl<'p> AbstractMachine<'p> {
             stats: MachineStats::default(),
             pred_self_ns: vec![0; program.predicates.len()],
             pred_timer_stack: Vec::new(),
+            pred_instr_self: vec![0; program.predicates.len()],
+            pred_instr_stack: Vec::new(),
+            span: None,
+            pred_names: Vec::new(),
+            consult_hist: Histogram::new(),
+            round_widen_hist: Histogram::new(),
+            round_growth_hist: Histogram::new(),
+            record_provenance,
+            prov_stack: Vec::new(),
             tracer: None,
             max_depth: 2_000,
+        }
+    }
+
+    /// Lazily set up the span profiler and the predicate-name cache.
+    /// Called at the top of a fixpoint run when [`Self::profile_timing`]
+    /// is on; a no-op (one branch) otherwise.
+    fn init_profiling(&mut self) {
+        if self.profile_timing && self.span.is_none() {
+            self.pred_names = (0..self.program.predicates.len())
+                .map(|p| Self::pred_name(self.program, p))
+                .collect();
+            self.span = Some(SpanProfiler::new());
         }
     }
 
@@ -482,6 +535,51 @@ impl<'p> AbstractMachine<'p> {
         &self.pred_self_ns
     }
 
+    /// Self-instructions per predicate (all zero unless
+    /// [`Self::profile_timing`] was set before the run).
+    pub fn pred_instr_self(&self) -> &[u64] {
+        &self.pred_instr_self
+    }
+
+    /// Close the span tree and assemble the metrics registry for this
+    /// run: consult latency, per-iteration widening/growth deltas, and
+    /// per-predicate instruction heat. `None` unless
+    /// [`Self::profile_timing`] was on (the registry would be empty).
+    pub fn take_profile(&mut self) -> Option<(SpanProfiler, MetricsRegistry)> {
+        if !self.profile_timing {
+            return None;
+        }
+        let mut span = self.span.take().unwrap_or_default();
+        span.finish();
+        let mut metrics = MetricsRegistry::new();
+        metrics.counter_add("analysis.calls", self.call_count);
+        metrics.counter_add("analysis.explorations", self.explorations);
+        metrics.counter_add("analysis.instructions", self.frame.executed);
+        metrics.counter_add("et.consults", self.table.stats().lookups);
+        metrics.counter_add("et.inserts", self.table.stats().inserts);
+        metrics.counter_add("et.lub_widenings", self.table.stats().lub_widenings);
+        for (pred, &instr) in self.pred_instr_self.iter().enumerate() {
+            if instr > 0 {
+                let name = self
+                    .pred_names
+                    .get(pred)
+                    .cloned()
+                    .unwrap_or_else(|| Self::pred_name(self.program, pred));
+                metrics.counter_add(&format!("pred.instructions.{name}"), instr);
+            }
+        }
+        metrics.insert_histogram("et.consult_ns", self.consult_hist.clone());
+        metrics.insert_histogram(
+            "fixpoint.iteration_widenings",
+            self.round_widen_hist.clone(),
+        );
+        metrics.insert_histogram(
+            "fixpoint.iteration_table_growth",
+            self.round_growth_hist.clone(),
+        );
+        Some((span, metrics))
+    }
+
     /// Run the global fixpoint: repeat top-level exploration until the
     /// extension table stabilizes. Returns the number of iterations.
     ///
@@ -495,6 +593,7 @@ impl<'p> AbstractMachine<'p> {
             return self.run_worklist(pred, entry);
         }
         const MAX_ITERS: u64 = 10_000;
+        self.init_profiling();
         let start_iter = self.iter;
         loop {
             self.iter += 1;
@@ -515,7 +614,18 @@ impl<'p> AbstractMachine<'p> {
                 self.frame.x[i] = *cell;
             }
             self.depth = 0;
+            let round_marks = self.span.as_mut().map(|span| {
+                span.enter(&format!("iteration {round}"));
+                (self.table.stats().lub_widenings, self.table.len())
+            });
             self.solve_call(pred)?;
+            if let Some((widen_mark, len_mark)) = round_marks {
+                self.round_widen_hist
+                    .record(self.table.stats().lub_widenings - widen_mark);
+                self.round_growth_hist
+                    .record((self.table.len() - len_mark) as u64);
+                self.span.as_mut().expect("profiling on").exit();
+            }
             let changed = self.table.changed();
             let round = self.iter;
             self.trace(|_| TraceEvent::RoundEnd { round, changed });
@@ -529,6 +639,12 @@ impl<'p> AbstractMachine<'p> {
     /// whose (transitive, via worklist propagation) inputs changed.
     fn run_worklist(&mut self, pred: usize, entry: &Pattern) -> Result<u64, AnalysisError> {
         const MAX_EXPLORATIONS: u64 = 5_000_000;
+        self.init_profiling();
+        if let Some(span) = self.span.as_mut() {
+            // One span for the whole semi-naive run: there are no global
+            // rounds to bracket, only worklist-driven re-explorations.
+            span.enter("worklist");
+        }
         self.iter += 1;
         self.frame.heap.clear();
         self.frame.trail.clear();
@@ -553,6 +669,9 @@ impl<'p> AbstractMachine<'p> {
             self.frame.e = None;
             self.depth = 0;
             self.explore_entry(p, i)?;
+        }
+        if let Some(span) = self.span.as_mut() {
+            span.exit();
         }
         Ok(self.explorations)
     }
@@ -692,7 +811,12 @@ impl<'p> AbstractMachine<'p> {
             (self.table.find(pred, cp), Some(cp))
         };
         if let Some(t0) = t0 {
-            self.table_ns += t0.elapsed_ns();
+            let consult_ns = t0.elapsed_ns();
+            self.table_ns += consult_ns;
+            self.consult_hist.record(consult_ns);
+            if let Some(span) = self.span.as_mut() {
+                span.record("et-consult", 1, consult_ns);
+            }
         }
         if self.tracer.is_some() {
             let pattern = self
@@ -767,7 +891,26 @@ impl<'p> AbstractMachine<'p> {
                         pattern,
                     });
                 }
-                self.table.insert(pred, cp, self.iter)
+                let idx = self.table.insert(pred, cp, self.iter);
+                if self.record_provenance {
+                    // Derivation context: the clause being explored when
+                    // this call happened (none for the entry goal). Only
+                    // already-interned ids are stored, so recording can
+                    // never perturb the interner or its counters.
+                    let (origin, parent_call) = match self.prov_stack.last() {
+                        Some(&(caller, clause, parent_call)) => (
+                            Some(DerivationOrigin {
+                                pred: caller,
+                                clause,
+                            }),
+                            Some(parent_call),
+                        ),
+                        None => (None, None),
+                    };
+                    self.table
+                        .record_insert_provenance(pred, idx, origin, parent_call, self.iter);
+                }
+                idx
             }
         };
         self.explore_entry(pred, entry_idx)?;
@@ -794,6 +937,10 @@ impl<'p> AbstractMachine<'p> {
         let frame_watch = self.profile_timing.then(Stopwatch::start);
         if frame_watch.is_some() {
             self.pred_timer_stack.push(0);
+            self.pred_instr_stack.push((self.frame.executed, 0));
+            if let Some(span) = self.span.as_mut() {
+                span.enter(&self.pred_names[pred]);
+            }
         }
         let call_pattern = self.table.entry(pred, entry_idx).call;
 
@@ -825,7 +972,13 @@ impl<'p> AbstractMachine<'p> {
             for (i, cell) in callee_args.iter().enumerate() {
                 self.frame.x[i] = *cell;
             }
+            if self.record_provenance {
+                self.prov_stack.push((pred, clause_idx, call_pattern));
+            }
             let ok = self.run_clause(entry)?;
+            if self.record_provenance {
+                self.prov_stack.pop();
+            }
             if ok {
                 // Fast path: if the stored summary already equals this
                 // clause's success pattern, nothing can change.
@@ -850,9 +1003,13 @@ impl<'p> AbstractMachine<'p> {
                         self.extract_ns += t0.elapsed_ns();
                     }
                     let t0 = self.profile_timing.then(Stopwatch::start);
-                    let grew = self
-                        .table
-                        .update_success(pred, entry_idx, sp, &mut self.interner);
+                    let grew = self.table.update_success(
+                        pred,
+                        entry_idx,
+                        sp,
+                        &mut self.interner,
+                        Some((clause_idx, self.iter)),
+                    );
                     if let Some(t0) = t0 {
                         self.table_ns += t0.elapsed_ns();
                     }
@@ -897,6 +1054,16 @@ impl<'p> AbstractMachine<'p> {
             self.pred_self_ns[pred] += total.saturating_sub(child);
             if let Some(parent) = self.pred_timer_stack.last_mut() {
                 *parent += total;
+            }
+            // Instruction heat, same self/child split as the timer.
+            let (mark, child_instr) = self.pred_instr_stack.pop().unwrap_or((0, 0));
+            let total_instr = self.frame.executed_since(mark);
+            self.pred_instr_self[pred] += total_instr.saturating_sub(child_instr);
+            if let Some((_, parent_child)) = self.pred_instr_stack.last_mut() {
+                *parent_child += total_instr;
+            }
+            if let Some(span) = self.span.as_mut() {
+                span.exit();
             }
         }
 

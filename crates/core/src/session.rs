@@ -210,5 +210,9 @@ impl<'a> Session<'a> {
 }
 
 fn fresh_table(analyzer: &Analyzer) -> ExtensionTable {
-    ExtensionTable::new(analyzer.program().predicates.len(), analyzer.et_impl())
+    let mut table = ExtensionTable::new(analyzer.program().predicates.len(), analyzer.et_impl());
+    if analyzer.provenance_enabled() {
+        table.enable_provenance();
+    }
+    table
 }

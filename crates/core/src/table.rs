@@ -19,6 +19,55 @@
 use absdom::{FxHashMap, PatternId, SessionInterner};
 use awam_obs::TableStats;
 
+/// Where a table entry came from: the clause body whose call created it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DerivationOrigin {
+    /// The predicate whose clause was being explored when the entry was
+    /// inserted (the *caller*, not the entry's own predicate).
+    pub pred: usize,
+    /// The clause index (within `pred`) that issued the call.
+    pub clause: usize,
+}
+
+/// One recorded widening of an entry's success summary: the clause and
+/// iteration that produced the input pattern, and the summary the lub
+/// grew to. Non-growing inputs (`input ⊑ summary`) are not recorded —
+/// folding the recorded inputs with the lattice lub re-derives the
+/// stored summary exactly (testkit oracle #7 enforces this).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LubStep {
+    /// Clause index (within the entry's own predicate) whose solution
+    /// produced this success pattern.
+    pub clause: usize,
+    /// Global fixpoint iteration in which the widening happened.
+    pub iter: u64,
+    /// The success pattern that was lubbed in.
+    pub input: PatternId,
+    /// The summary after the lub (equals `input` for the first step).
+    pub result: PatternId,
+}
+
+/// The full derivation record of one extension-table entry.
+///
+/// Stored in a vec parallel to the entry list (keyed by entry index)
+/// and only allocated when provenance tracking is enabled, so the
+/// default configuration pays nothing — not even an `Option` check on
+/// the entry hot path, since the machine consults
+/// [`ExtensionTable::provenance_enabled`] once at construction.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Derivation {
+    /// The calling clause, or `None` for the entry goal (which no
+    /// clause issued).
+    pub origin: Option<DerivationOrigin>,
+    /// Global fixpoint iteration in which the entry was inserted.
+    pub created_iter: u64,
+    /// The calling pattern of the table entry being explored when this
+    /// entry was created (`None` for the entry goal).
+    pub parent_call: Option<PatternId>,
+    /// Every widening of the success summary, in order.
+    pub lub_steps: Vec<LubStep>,
+}
+
 /// Which lookup structure the table uses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum EtImpl {
@@ -69,6 +118,9 @@ pub struct ExtensionTable {
     /// `insert`/`mark_explored`, so seeded runs resume in O(1) instead of
     /// rescanning the whole table).
     max_explored: u64,
+    /// Per-predicate derivation records, parallel to each predicate's
+    /// entry list. `None` unless [`Self::enable_provenance`] was called.
+    prov: Option<Vec<Vec<Derivation>>>,
     stats: TableStats,
 }
 
@@ -80,7 +132,53 @@ impl ExtensionTable {
             impl_kind,
             changed: false,
             max_explored: 0,
+            prov: None,
             stats: TableStats::default(),
+        }
+    }
+
+    /// Turn on derivation tracking. Existing entries (from a seed table
+    /// created without provenance) get empty records so the parallel
+    /// vecs stay index-aligned.
+    pub fn enable_provenance(&mut self) {
+        if self.prov.is_none() {
+            self.prov = Some(
+                self.preds
+                    .iter()
+                    .map(|p| vec![Derivation::default(); p.entries.len()])
+                    .collect(),
+            );
+        }
+    }
+
+    /// Whether derivation tracking is on. The machine samples this once
+    /// at construction so the off path stays free of per-call checks.
+    pub fn provenance_enabled(&self) -> bool {
+        self.prov.is_some()
+    }
+
+    /// The derivation record of `(pred, idx)`, if tracking is on.
+    pub fn derivation(&self, pred: usize, idx: usize) -> Option<&Derivation> {
+        self.prov.as_ref().map(|p| &p[pred][idx])
+    }
+
+    /// Fill in the creation context of a just-inserted entry: the
+    /// calling clause (`None` for the entry goal), the calling pattern
+    /// of the parent table entry, and the iteration. No-op when
+    /// tracking is off.
+    pub fn record_insert_provenance(
+        &mut self,
+        pred: usize,
+        idx: usize,
+        origin: Option<DerivationOrigin>,
+        parent_call: Option<PatternId>,
+        iter: u64,
+    ) {
+        if let Some(prov) = self.prov.as_mut() {
+            let d = &mut prov[pred][idx];
+            d.origin = origin;
+            d.parent_call = parent_call;
+            d.created_iter = iter;
         }
     }
 
@@ -204,6 +302,12 @@ impl ExtensionTable {
             version: 0,
         });
         table.deps.push(Vec::new());
+        if let Some(prov) = self.prov.as_mut() {
+            prov[pred].push(Derivation {
+                created_iter: iter,
+                ..Derivation::default()
+            });
+        }
         idx
     }
 
@@ -243,47 +347,67 @@ impl ExtensionTable {
         self.preds[pred].entries[idx].version
     }
 
-    /// Lub `success` into the entry (through `interner`'s memo cache);
+    /// Lub `success` into the entry (through `interner`'s memo caches);
     /// returns whether the summary grew (also recorded in the global
     /// change flag).
+    ///
+    /// `prov` carries the `(clause, iteration)` context of the solution
+    /// being folded in; pass `None` when tracking is off (or from call
+    /// sites that have no clause context). A growing update appends a
+    /// [`LubStep`] to the entry's derivation when tracking is on.
     pub fn update_success(
         &mut self,
         pred: usize,
         idx: usize,
         success: PatternId,
         interner: &mut SessionInterner,
+        prov: Option<(usize, u64)>,
     ) -> bool {
         self.stats.summary_updates += 1;
         let entry = &mut self.preds[pred].entries[idx];
-        match entry.success {
+        let new = match entry.success {
             // Fast path: the summary already equals the new pattern (the
             // common case once the fixpoint is nearly reached). With
             // interned ids this is a single integer compare.
-            Some(old) if old == success => false,
+            Some(old) if old == success => return false,
             // Planted bug for the fuzz harness (see `crate::fault`):
             // freeze the first summary instead of widening it.
-            Some(_) if crate::fault::skip_lub() => false,
+            Some(_) if crate::fault::skip_lub() => return false,
             Some(old) => {
-                let new = interner.lub(old, success);
-                if old != new {
-                    entry.success = Some(new);
-                    entry.version += 1;
-                    self.changed = true;
-                    self.stats.lub_widenings += 1;
-                    self.stats.version_bumps += 1;
-                    true
-                } else {
-                    false
+                // Subsumption probe through the id-pair leq memo cache:
+                // `success ⊑ old` means the summary is already wide
+                // enough. A leq miss computes `lub(success, old)`
+                // internally, which warms the (unordered) lub cache, so
+                // the growing branch's lub below is a cache hit.
+                if interner.leq(success, old) {
+                    return false;
                 }
+                let new = interner.lub(old, success);
+                debug_assert_ne!(old, new, "leq said success ⋢ old, so the lub must grow");
+                entry.success = Some(new);
+                entry.version += 1;
+                self.stats.lub_widenings += 1;
+                new
             }
             None => {
                 entry.success = Some(success);
                 entry.version += 1;
-                self.changed = true;
-                self.stats.version_bumps += 1;
-                true
+                success
+            }
+        };
+        self.changed = true;
+        self.stats.version_bumps += 1;
+        if let Some(prov_store) = self.prov.as_mut() {
+            if let Some((clause, iter)) = prov {
+                prov_store[pred][idx].lub_steps.push(LubStep {
+                    clause,
+                    iter,
+                    input: success,
+                    result: new,
+                });
             }
         }
+        true
     }
 
     /// Whether any success summary changed since the last [`Self::clear_changed`].
@@ -372,14 +496,14 @@ mod tests {
         let mut t = ExtensionTable::new(1, EtImpl::Linear);
         let idx = t.insert(0, any, 1);
         assert!(!t.changed());
-        t.update_success(0, idx, atom, &mut interner);
+        t.update_success(0, idx, atom, &mut interner, None);
         assert!(t.changed());
         t.clear_changed();
         // Same success again: no change.
-        t.update_success(0, idx, atom, &mut interner);
+        t.update_success(0, idx, atom, &mut interner, None);
         assert!(!t.changed());
         // Larger success: lub grows.
-        t.update_success(0, idx, int, &mut interner);
+        t.update_success(0, idx, int, &mut interner, None);
         assert!(t.changed());
         assert_eq!(t.entry(0, idx).success, Some(konst));
     }
@@ -439,13 +563,106 @@ mod tests {
         let int = pat(&mut interner, &["int"]);
         let mut t = ExtensionTable::new(1, EtImpl::Linear);
         let idx = t.insert(0, any, 1);
-        t.update_success(0, idx, atom, &mut interner); // first summary
-        t.update_success(0, idx, atom, &mut interner); // identical: fast path
-        t.update_success(0, idx, int, &mut interner); // lub grows to const
+        t.update_success(0, idx, atom, &mut interner, None); // first summary
+        t.update_success(0, idx, atom, &mut interner, None); // identical: fast path
+        t.update_success(0, idx, int, &mut interner, None); // lub grows to const
         let stats = t.stats();
         assert_eq!(stats.summary_updates, 3);
         assert_eq!(stats.lub_widenings, 1, "only the growing lub counts");
         assert_eq!(stats.version_bumps, 2, "first set + one widening");
+        // The non-trivial update went through the leq memo cache, and the
+        // leq-internal lub warmed the unordered lub cache so the growing
+        // branch's lub was a hit.
+        let istats = interner.stats();
+        assert_eq!(istats.leq_calls, 1, "one non-equal, non-first update");
+        assert!(istats.lub_cache_hits > 0, "leq warmed the lub cache");
+    }
+
+    #[test]
+    fn update_success_answers_subsumed_inputs_from_the_leq_cache() {
+        let mut interner = SessionInterner::default();
+        let any_arg = pat(&mut interner, &["any"]);
+        let konst = pat(&mut interner, &["const"]);
+        let atom = pat(&mut interner, &["atom"]);
+        let int = pat(&mut interner, &["int"]);
+        let mut t = ExtensionTable::new(1, EtImpl::Linear);
+        let idx = t.insert(0, any_arg, 1);
+        t.update_success(0, idx, konst, &mut interner, None);
+        t.clear_changed();
+        // atom ⊑ const and int ⊑ const: neither grows the summary.
+        assert!(!t.update_success(0, idx, atom, &mut interner, None));
+        assert!(!t.update_success(0, idx, atom, &mut interner, None));
+        assert!(!t.update_success(0, idx, int, &mut interner, None));
+        assert!(!t.changed());
+        assert_eq!(t.entry(0, idx).success, Some(konst));
+        let istats = interner.stats();
+        assert_eq!(istats.leq_calls, 3);
+        assert_eq!(istats.leq_cache_hits, 1, "repeated (atom, const) probe");
+        assert_eq!(t.stats().lub_widenings, 0);
+    }
+
+    #[test]
+    fn provenance_records_insert_context_and_lub_chain() {
+        let mut interner = SessionInterner::default();
+        let any_arg = pat(&mut interner, &["any"]);
+        let parent = pat(&mut interner, &["glist"]);
+        let atom = pat(&mut interner, &["atom"]);
+        let int = pat(&mut interner, &["int"]);
+        let konst = pat(&mut interner, &["const"]);
+        let mut t = ExtensionTable::new(2, EtImpl::Linear);
+        assert!(!t.provenance_enabled());
+        t.enable_provenance();
+        assert!(t.provenance_enabled());
+        let idx = t.insert(1, any_arg, 2);
+        t.record_insert_provenance(
+            1,
+            idx,
+            Some(DerivationOrigin { pred: 0, clause: 3 }),
+            Some(parent),
+            2,
+        );
+        t.update_success(1, idx, atom, &mut interner, Some((0, 2)));
+        t.update_success(1, idx, atom, &mut interner, Some((0, 2))); // no-op
+        t.update_success(1, idx, int, &mut interner, Some((1, 3)));
+        let d = t.derivation(1, idx).unwrap();
+        assert_eq!(d.origin, Some(DerivationOrigin { pred: 0, clause: 3 }));
+        assert_eq!(d.created_iter, 2);
+        assert_eq!(d.parent_call, Some(parent));
+        assert_eq!(
+            d.lub_steps,
+            vec![
+                LubStep {
+                    clause: 0,
+                    iter: 2,
+                    input: atom,
+                    result: atom
+                },
+                LubStep {
+                    clause: 1,
+                    iter: 3,
+                    input: int,
+                    result: konst
+                },
+            ],
+            "only growing updates are recorded"
+        );
+        // Entries without tracking report no derivation.
+        let plain = ExtensionTable::new(1, EtImpl::Linear);
+        assert!(plain.derivation(0, 0).is_none());
+    }
+
+    #[test]
+    fn enable_provenance_pads_existing_entries() {
+        let mut interner = SessionInterner::default();
+        let any_arg = pat(&mut interner, &["any"]);
+        let g = pat(&mut interner, &["g"]);
+        let mut t = ExtensionTable::new(1, EtImpl::Linear);
+        t.insert(0, any_arg, 1);
+        t.enable_provenance();
+        let seeded = t.derivation(0, 0).unwrap();
+        assert_eq!(*seeded, Derivation::default(), "seed entry gets a blank");
+        let idx = t.insert(0, g, 4);
+        assert_eq!(t.derivation(0, idx).unwrap().created_iter, 4);
     }
 
     #[test]

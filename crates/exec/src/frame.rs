@@ -123,6 +123,13 @@ impl<C: CellRepr, E> Frame<C, E> {
         self.heap.push(C::mk_ref(addr));
         addr
     }
+
+    /// Instructions dispatched since an earlier [`Frame::executed`]
+    /// snapshot — the delta profilers attribute to a region of work
+    /// (e.g. per-predicate instruction heat).
+    pub fn executed_since(&self, mark: u64) -> u64 {
+        self.executed - mark
+    }
 }
 
 impl<C: CellRepr, E> Default for Frame<C, E> {

@@ -19,6 +19,12 @@
 //!   Clock reads are gated behind the `timing` cargo feature (default
 //!   on); building with `--no-default-features` removes every `Instant`
 //!   read.
+//! * [`span`] — a hierarchical [`SpanProfiler`] (compile / iteration /
+//!   predicate / ET-consult) with per-span call counts, total and self
+//!   time; clock reads ride the same `timing` feature.
+//! * [`metrics`] — a [`MetricsRegistry`] of named counters and
+//!   log₂-bucket [`Histogram`]s with a stable JSON export (the surface
+//!   `awam serve` will scrape).
 //!
 //! Everything serializes through the built-in [`json`] module (the
 //! workspace builds offline, so no serde): stats become one JSON
@@ -29,11 +35,15 @@
 
 pub mod counters;
 pub mod json;
+pub mod metrics;
+pub mod span;
 pub mod timer;
 pub mod trace;
 
 pub use counters::{InternStats, MachineStats, OpcodeCounts, SessionStats, TableStats};
 pub use json::{Json, JsonError};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use span::{SpanNode, SpanProfiler};
 pub use timer::{Phase, PhaseTimers, Stopwatch};
 pub use trace::{
     parse_jsonl, term_from_json, term_to_json, JsonlTracer, NopTracer, RecordingTracer, TraceEvent,

@@ -1,0 +1,251 @@
+//! A metrics registry: named counters and log₂-bucket histograms with a
+//! stable JSON export.
+//!
+//! This is the surface a future `awam serve` scrapes: the analyzer fills
+//! a [`MetricsRegistry`] per run (consult latency, iteration deltas,
+//! per-predicate instruction heat) and the registry serializes to one
+//! JSON document with deterministic key order (`BTreeMap` under the
+//! hood) so diffs and schema checks are byte-stable modulo the measured
+//! values themselves.
+//!
+//! [`Histogram`] uses 64 power-of-two buckets: value `v` lands in bucket
+//! `⌊log₂ v⌋ + 1` (zero in bucket 0), so a single fixed-size array
+//! covers the full `u64` range with ~2× relative resolution — the usual
+//! trade for latency distributions. Quantiles are reported as the upper
+//! bound of the bucket containing the target rank: an overestimate of at
+//! most 2×, never an underestimate beyond the true bucket.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i ≥ 1`
+/// holds values in `[2^(i-1), 2^i)`; the last bucket is open-ended.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A fixed-size log₂ histogram over `u64` samples.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    pub sum: u64,
+    /// Smallest sample seen (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest sample seen (0 when empty).
+    pub max: u64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Upper bound of bucket `i` (inclusive for reporting purposes).
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_of(value)] += 1;
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket holding the sample of rank `⌈q·count⌉` (clamped to the
+    /// observed max). Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Encode as `{"count", "sum", "min", "max", "p50", "p90", "p99"}`.
+    /// `min` is reported as 0 when empty.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::Int(self.count as i64)),
+            ("sum", Json::Int(self.sum as i64)),
+            (
+                "min",
+                Json::Int(if self.count == 0 { 0 } else { self.min as i64 }),
+            ),
+            ("max", Json::Int(self.max as i64)),
+            ("p50", Json::Int(self.quantile(0.50) as i64)),
+            ("p90", Json::Int(self.quantile(0.90) as i64)),
+            ("p99", Json::Int(self.quantile(0.99) as i64)),
+        ])
+    }
+}
+
+/// Named counters and histograms with stable (sorted) JSON export.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add `delta` to the counter `name` (creating it at zero).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Current value of counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Record one sample into the histogram `name` (creating it empty).
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
+    }
+
+    /// Install a pre-filled histogram under `name` (merging is not
+    /// needed: producers own their histograms and hand them over whole).
+    pub fn insert_histogram(&mut self, name: &str, hist: Histogram) {
+        self.histograms.insert(name.to_owned(), hist);
+    }
+
+    /// The histogram `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Encode as `{"counters": {…}, "histograms": {…}}` with keys in
+    /// sorted order.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Int(*v as i64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_summary_stats() {
+        let mut h = Histogram::new();
+        for v in [3u64, 5, 9, 0, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 117);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 100);
+        // p99 lands in the bucket of the max sample; it is clamped to
+        // the observed max.
+        assert_eq!(h.quantile(0.99), 100);
+        // The median of {0,3,5,9,100} is 5 → bucket [4,8) upper bound 7.
+        assert_eq!(h.quantile(0.5), 7);
+    }
+
+    #[test]
+    fn empty_histogram_serializes_zeros() {
+        let json = Histogram::new().to_json();
+        assert_eq!(json.get("count").and_then(Json::as_u64), Some(0));
+        assert_eq!(json.get("min").and_then(Json::as_u64), Some(0));
+        assert_eq!(json.get("p99").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn registry_json_is_sorted_and_stable() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("z.last", 1);
+        reg.counter_add("a.first", 2);
+        reg.counter_add("a.first", 3);
+        reg.observe("lat", 10);
+        assert_eq!(reg.counter("a.first"), Some(5));
+        let json = reg.to_json();
+        let Some(Json::Obj(counters)) = json.get("counters") else {
+            panic!("counters object");
+        };
+        let keys: Vec<&str> = counters.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["a.first", "z.last"], "sorted key order");
+        assert!(json.get("histograms").and_then(|h| h.get("lat")).is_some());
+        // Emission is deterministic.
+        assert_eq!(json.emit(), reg.to_json().emit());
+    }
+}

@@ -1,0 +1,305 @@
+//! Hierarchical span profiler: a tree of named spans with call counts,
+//! total time, and self time (total minus time spent in child spans).
+//!
+//! The profiler is push/pop based: [`SpanProfiler::enter`] finds or
+//! creates a child of the current span by name and starts its clock,
+//! [`SpanProfiler::exit`] stops it and charges the elapsed time to the
+//! span (and to the parent's child-time accumulator, which is what makes
+//! self time cheap to derive). Aggregation is by name *per parent*: two
+//! `enter("p/2")` calls under the same parent accumulate into one node,
+//! so the tree stays small even over millions of calls.
+//!
+//! Clock reads go through [`Stopwatch`], so the whole profiler reads
+//! zeros when `awam-obs` is built without the `timing` feature. The
+//! owner decides *whether* to hold a profiler at all — machines keep an
+//! `Option<SpanProfiler>` that is `None` unless profiling was requested,
+//! which keeps the off path to a single branch.
+//!
+//! Serialization ([`SpanProfiler::to_json`]) is stable: children appear
+//! in creation order, which is deterministic for a deterministic
+//! execution (only the nanosecond values vary between runs).
+
+use crate::json::Json;
+use crate::timer::Stopwatch;
+
+/// One node of the span tree.
+#[derive(Clone, Debug)]
+pub struct SpanNode {
+    /// Span name (e.g. `"iteration 2"`, `"nrev/2"`, `"et-consult"`).
+    pub name: String,
+    /// Times this span was entered (or, for recorded leaves, the call
+    /// count supplied by the recorder).
+    pub calls: u64,
+    /// Total nanoseconds spent inside this span, children included.
+    pub total_ns: u64,
+    /// Nanoseconds spent in child spans (so self = total − child).
+    pub child_ns: u64,
+    children: Vec<usize>,
+}
+
+impl SpanNode {
+    /// Nanoseconds spent in this span excluding its children.
+    pub fn self_ns(&self) -> u64 {
+        self.total_ns.saturating_sub(self.child_ns)
+    }
+}
+
+/// A tree of timed spans (see the module docs).
+#[derive(Clone, Debug)]
+pub struct SpanProfiler {
+    nodes: Vec<SpanNode>,
+    /// Open spans: `(node index, start watch)`. The root (node 0) is
+    /// always open.
+    stack: Vec<(usize, Stopwatch)>,
+}
+
+impl Default for SpanProfiler {
+    fn default() -> Self {
+        SpanProfiler::new()
+    }
+}
+
+impl SpanProfiler {
+    /// A fresh profiler with an open root span named `"total"`.
+    pub fn new() -> SpanProfiler {
+        SpanProfiler {
+            nodes: vec![SpanNode {
+                name: "total".to_owned(),
+                calls: 1,
+                total_ns: 0,
+                child_ns: 0,
+                children: Vec::new(),
+            }],
+            stack: vec![(0, Stopwatch::start())],
+        }
+    }
+
+    /// Index of the currently open span.
+    fn top(&self) -> usize {
+        self.stack.last().expect("root span is always open").0
+    }
+
+    /// Find or create the child of `parent` named `name`. Children are
+    /// scanned linearly — span trees are small by construction (names
+    /// aggregate per parent).
+    fn child(&mut self, parent: usize, name: &str) -> usize {
+        if let Some(&idx) = self.nodes[parent]
+            .children
+            .iter()
+            .find(|&&c| self.nodes[c].name == name)
+        {
+            return idx;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(SpanNode {
+            name: name.to_owned(),
+            calls: 0,
+            total_ns: 0,
+            child_ns: 0,
+            children: Vec::new(),
+        });
+        self.nodes[parent].children.push(idx);
+        idx
+    }
+
+    /// Open a span named `name` under the current span.
+    pub fn enter(&mut self, name: &str) {
+        let parent = self.top();
+        let idx = self.child(parent, name);
+        self.nodes[idx].calls += 1;
+        self.stack.push((idx, Stopwatch::start()));
+    }
+
+    /// Close the innermost open span, charging its elapsed time. The
+    /// root cannot be popped.
+    pub fn exit(&mut self) {
+        if self.stack.len() <= 1 {
+            return;
+        }
+        let (idx, watch) = self.stack.pop().expect("checked non-root");
+        let ns = watch.elapsed_ns();
+        self.nodes[idx].total_ns += ns;
+        let parent = self.top();
+        self.nodes[parent].child_ns += ns;
+    }
+
+    /// Record an aggregated leaf under the current span: `calls`
+    /// invocations totalling `ns`, measured externally. Used for spans
+    /// too hot to push/pop individually (e.g. per-call ET consults,
+    /// whose latency the machine already accumulates); the time counts
+    /// as child time of the current span.
+    pub fn record(&mut self, name: &str, calls: u64, ns: u64) {
+        let parent = self.top();
+        let idx = self.child(parent, name);
+        self.nodes[idx].calls += calls;
+        self.nodes[idx].total_ns += ns;
+        self.nodes[parent].child_ns += ns;
+    }
+
+    /// Splice an externally-measured phase in as a child of the *root*,
+    /// extending the root's total accordingly. Used for work that
+    /// happened outside the profiled run (e.g. compilation, timed before
+    /// the machine existed); safe to call after [`Self::finish`].
+    pub fn record_phase(&mut self, name: &str, ns: u64) {
+        let idx = self.child(0, name);
+        self.nodes[idx].calls += 1;
+        self.nodes[idx].total_ns += ns;
+        self.nodes[0].child_ns += ns;
+        self.nodes[0].total_ns += ns;
+    }
+
+    /// Close every open span (root included: its total becomes the time
+    /// since construction). Call once, when profiling ends.
+    pub fn finish(&mut self) {
+        while self.stack.len() > 1 {
+            self.exit();
+        }
+        let (root, watch) = self.stack[0];
+        self.nodes[root].total_ns += watch.elapsed_ns();
+        self.stack[0].1 = Stopwatch::start();
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &SpanNode {
+        &self.nodes[0]
+    }
+
+    /// Every `(depth, node)` in depth-first creation order — the shape
+    /// renderers and tests consume.
+    pub fn walk(&self) -> Vec<(usize, &SpanNode)> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        self.walk_into(0, 0, &mut out);
+        out
+    }
+
+    fn walk_into<'a>(&'a self, idx: usize, depth: usize, out: &mut Vec<(usize, &'a SpanNode)>) {
+        out.push((depth, &self.nodes[idx]));
+        for &c in &self.nodes[idx].children {
+            self.walk_into(c, depth + 1, out);
+        }
+    }
+
+    /// The flattened spans sorted by self time descending (ties broken
+    /// by creation order), for "top N spans" listings.
+    pub fn hottest(&self) -> Vec<&SpanNode> {
+        let mut all: Vec<&SpanNode> = self.nodes.iter().collect();
+        all.sort_by_key(|n| std::cmp::Reverse(n.self_ns()));
+        all
+    }
+
+    /// Encode the tree as nested JSON objects:
+    /// `{"name", "calls", "total_ns", "self_ns", "children": […]}`.
+    pub fn to_json(&self) -> Json {
+        self.node_json(0)
+    }
+
+    fn node_json(&self, idx: usize) -> Json {
+        let n = &self.nodes[idx];
+        Json::obj(vec![
+            ("name", Json::Str(n.name.clone())),
+            ("calls", Json::Int(n.calls as i64)),
+            ("total_ns", Json::Int(n.total_ns as i64)),
+            ("self_ns", Json::Int(n.self_ns() as i64)),
+            (
+                "children",
+                Json::Arr(n.children.iter().map(|&c| self.node_json(c)).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_aggregate_by_name() {
+        let mut p = SpanProfiler::new();
+        p.enter("iteration 1");
+        p.enter("nrev/2");
+        p.exit();
+        p.enter("nrev/2");
+        p.enter("app/3");
+        p.exit();
+        p.exit();
+        p.exit();
+        p.finish();
+        let walk = p.walk();
+        let names: Vec<(usize, &str)> = walk.iter().map(|(d, n)| (*d, n.name.as_str())).collect();
+        assert_eq!(
+            names,
+            vec![
+                (0, "total"),
+                (1, "iteration 1"),
+                (2, "nrev/2"),
+                (3, "app/3")
+            ]
+        );
+        // Two enters of nrev/2 under the same parent share one node.
+        assert_eq!(walk[2].1.calls, 2);
+    }
+
+    #[test]
+    fn recorded_leaves_count_as_child_time() {
+        let mut p = SpanProfiler::new();
+        p.enter("pred");
+        p.record("et-consult", 7, 400);
+        p.record("et-consult", 3, 100);
+        p.exit();
+        p.finish();
+        let walk = p.walk();
+        let consult = walk
+            .iter()
+            .find(|(_, n)| n.name == "et-consult")
+            .map(|(_, n)| *n)
+            .unwrap();
+        assert_eq!(consult.calls, 10);
+        assert_eq!(consult.total_ns, 500);
+        let pred = walk
+            .iter()
+            .find(|(_, n)| n.name == "pred")
+            .map(|(_, n)| *n)
+            .unwrap();
+        assert!(pred.child_ns >= 500, "recorded time charged to the parent");
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut p = SpanProfiler::new();
+        p.enter("a");
+        p.exit();
+        p.enter("b");
+        p.exit();
+        p.finish();
+        let json = p.to_json();
+        assert_eq!(
+            json.get("name").and_then(Json::as_str),
+            Some("total"),
+            "root name"
+        );
+        let Some(Json::Arr(children)) = json.get("children") else {
+            panic!("children array");
+        };
+        let names: Vec<&str> = children
+            .iter()
+            .filter_map(|c| c.get("name").and_then(Json::as_str))
+            .collect();
+        assert_eq!(names, vec!["a", "b"], "creation order preserved");
+        for c in children {
+            assert!(c.get("calls").is_some());
+            assert!(c.get("total_ns").is_some());
+            assert!(c.get("self_ns").is_some());
+        }
+    }
+
+    #[test]
+    fn exit_never_pops_the_root() {
+        let mut p = SpanProfiler::new();
+        p.exit();
+        p.exit();
+        p.enter("x");
+        p.finish();
+        assert_eq!(p.root().name, "total");
+        assert_eq!(p.walk().len(), 2);
+    }
+}

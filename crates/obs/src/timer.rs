@@ -2,12 +2,67 @@
 //!
 //! All clock reads live behind the crate's `timing` feature (on by
 //! default). With `--no-default-features` every stopwatch reads zero and
-//! no `Instant` is ever taken, making the timing layer truly zero-cost
-//! where even a `clock_gettime` call is too much.
+//! no clock is ever read, making the timing layer truly zero-cost where
+//! even a `clock_gettime` call is too much.
+//!
+//! On x86_64 the stopwatch reads the timestamp counter directly
+//! (`rdtsc`, a few nanoseconds) instead of `Instant::now` (a
+//! `clock_gettime` call, ~25 ns), and converts ticks to nanoseconds with
+//! a scale calibrated once per process against the monotonic clock. The
+//! profiling hot paths take clock readings per abstract call, so the
+//! cheaper read is what keeps `--stats` overhead low. Other
+//! architectures fall back to `Instant`.
 
 use crate::json::Json;
-#[cfg(feature = "timing")]
+#[cfg(all(feature = "timing", not(target_arch = "x86_64")))]
 use std::time::Instant;
+
+/// TSC-backed clock: raw tick reads plus a once-per-process calibration
+/// of the tick→nanosecond scale.
+#[cfg(all(feature = "timing", target_arch = "x86_64"))]
+mod tsc {
+    use std::sync::OnceLock;
+
+    /// Nanoseconds per 2²⁰ ticks (fixed-point, calibrated once).
+    static NS_PER_MIB_TICKS: OnceLock<u64> = OnceLock::new();
+
+    /// Read the timestamp counter.
+    #[inline(always)]
+    pub fn ticks() -> u64 {
+        // SAFETY: `rdtsc` is unprivileged and universally available on
+        // x86_64. It is not serializing, which is fine for profiling.
+        unsafe { core::arch::x86_64::_rdtsc() }
+    }
+
+    /// Make sure the scale is calibrated (idempotent). Called from
+    /// [`super::Stopwatch::start`] so the one-time ~200 µs spin lands
+    /// *before* a measured region, not inside one.
+    #[inline]
+    pub fn ensure_calibrated() {
+        NS_PER_MIB_TICKS.get_or_init(calibrate);
+    }
+
+    /// Convert a tick delta to nanoseconds.
+    #[inline]
+    pub fn ticks_to_ns(dt: u64) -> u64 {
+        let scale = *NS_PER_MIB_TICKS.get_or_init(calibrate);
+        ((u128::from(dt) * u128::from(scale)) >> 20) as u64
+    }
+
+    /// Measure the TSC frequency against the monotonic clock over a
+    /// short spin. A 200 µs window bounds the relative error around the
+    /// monotonic clock's resolution — far below what profiling needs.
+    fn calibrate() -> u64 {
+        let t0 = std::time::Instant::now();
+        let c0 = ticks();
+        while t0.elapsed().as_micros() < 200 {
+            std::hint::spin_loop();
+        }
+        let dt = ticks().wrapping_sub(c0).max(1);
+        let ns = t0.elapsed().as_nanos() as u64;
+        ((u128::from(ns) << 20) / u128::from(dt)).max(1) as u64
+    }
+}
 
 /// The pipeline phases we time.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,26 +104,47 @@ impl Phase {
 /// A one-shot stopwatch.
 ///
 /// With the `timing` feature disabled this is a zero-sized type and
-/// [`Stopwatch::elapsed_ns`] always returns 0.
+/// [`Stopwatch::elapsed_ns`] always returns 0. On x86_64 it reads the
+/// timestamp counter (see the module docs); elsewhere it wraps
+/// [`Instant`].
 #[derive(Clone, Copy, Debug)]
 pub struct Stopwatch {
-    #[cfg(feature = "timing")]
+    #[cfg(all(feature = "timing", target_arch = "x86_64"))]
+    start: u64,
+    #[cfg(all(feature = "timing", not(target_arch = "x86_64")))]
     start: Instant,
 }
 
 impl Stopwatch {
     /// Start timing now.
     pub fn start() -> Self {
-        Stopwatch {
-            #[cfg(feature = "timing")]
-            start: Instant::now(),
+        #[cfg(all(feature = "timing", target_arch = "x86_64"))]
+        {
+            tsc::ensure_calibrated();
+            Stopwatch {
+                start: tsc::ticks(),
+            }
+        }
+        #[cfg(all(feature = "timing", not(target_arch = "x86_64")))]
+        {
+            Stopwatch {
+                start: Instant::now(),
+            }
+        }
+        #[cfg(not(feature = "timing"))]
+        {
+            Stopwatch {}
         }
     }
 
     /// Nanoseconds since [`Stopwatch::start`] (0 without the `timing`
     /// feature).
     pub fn elapsed_ns(&self) -> u64 {
-        #[cfg(feature = "timing")]
+        #[cfg(all(feature = "timing", target_arch = "x86_64"))]
+        {
+            tsc::ticks_to_ns(tsc::ticks().wrapping_sub(self.start))
+        }
+        #[cfg(all(feature = "timing", not(target_arch = "x86_64")))]
         {
             self.start.elapsed().as_nanos() as u64
         }

@@ -14,6 +14,7 @@
 //! | `batch`     | `analyze_batch` at 1/2/8 workers equals sequential runs     |
 //! | `sessions`  | a warm session hit answers exactly what the cold run said   |
 //! | `budget`    | analysis terminates within the iteration/instruction budget |
+//! | `provenance`| derivation tracking is invisible (byte-identical reports and traces) and every recorded lub chain re-folds to the stored summary |
 
 use absdom::Pattern;
 use awam_core::{Analysis, AnalysisError, Analyzer, BatchGoal, EtImpl};
@@ -49,17 +50,21 @@ pub enum Oracle {
     Sessions,
     /// Analyzer termination within the step budget.
     Budget,
+    /// Provenance-on vs provenance-off invisibility plus lub-chain
+    /// refolding.
+    Provenance,
 }
 
 impl Oracle {
     /// Every oracle, in matrix order.
-    pub const ALL: [Oracle; 6] = [
+    pub const ALL: [Oracle; 7] = [
         Oracle::Soundness,
         Oracle::Interning,
         Oracle::Traces,
         Oracle::Batch,
         Oracle::Sessions,
         Oracle::Budget,
+        Oracle::Provenance,
     ];
 
     /// The CLI name of this oracle.
@@ -71,6 +76,7 @@ impl Oracle {
             Oracle::Batch => "batch",
             Oracle::Sessions => "sessions",
             Oracle::Budget => "budget",
+            Oracle::Provenance => "provenance",
         }
     }
 
@@ -114,6 +120,7 @@ pub fn check(oracle: Oracle, source: &str) -> Result<(), OracleOutcome> {
         Oracle::Batch => setup.batch(),
         Oracle::Sessions => setup.sessions(),
         Oracle::Budget => setup.budget(),
+        Oracle::Provenance => setup.provenance(),
     }
 }
 
@@ -383,6 +390,57 @@ impl Setup {
         // `program` is kept so oracles can extend to source-level checks;
         // use it for a cheap sanity bound meanwhile.
         debug_assert!(!self.program.clauses.is_empty());
+        Ok(())
+    }
+
+    /// Provenance tracking must be invisible — the rendered report and
+    /// the JSONL trace stay byte-identical whether tracking is on or
+    /// off — and every recorded derivation must be *true*: its lub chain
+    /// re-folds (via the structural lub) to the stored success summary.
+    fn provenance(&self) -> Result<(), OracleOutcome> {
+        let entry = self.entry_pattern();
+        let mut reports = Vec::new();
+        let mut streams = Vec::new();
+        let mut derivations = None;
+        for on in [false, true] {
+            let analyzer = Analyzer::builder()
+                .et_impl(EtImpl::Linear)
+                .provenance(on)
+                .build(self.compiled.clone());
+            let mut tracer = JsonlTracer::new(Vec::new());
+            let analysis = analyzer
+                .analyze_traced("p0", &entry, &mut tracer)
+                .map_err(analysis_outcome)?;
+            streams.push(tracer.into_inner().map_err(|e| infra("trace flush", e))?);
+            reports.push(analysis.report(&analyzer));
+            if on {
+                derivations = analysis.provenance;
+            } else if analysis.provenance.is_some() {
+                return Err(OracleOutcome::Violation(
+                    "provenance-off run returned a derivation report".into(),
+                ));
+            }
+        }
+        if reports[0] != reports[1] {
+            return Err(OracleOutcome::Violation(
+                "analysis report changes when provenance tracking is enabled".into(),
+            ));
+        }
+        if streams[0] != streams[1] {
+            return Err(OracleOutcome::Violation(
+                "JSONL trace bytes change when provenance tracking is enabled".into(),
+            ));
+        }
+        let Some(report) = derivations else {
+            return Err(OracleOutcome::Violation(
+                "provenance-on run returned no derivation report".into(),
+            ));
+        };
+        if let Some(v) = report.refold_violation() {
+            return Err(OracleOutcome::Violation(format!(
+                "recorded derivation does not re-fold: {v}"
+            )));
+        }
         Ok(())
     }
 }

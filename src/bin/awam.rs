@@ -10,6 +10,10 @@
 //! awam batch FILE.pl GOAL... [--workers N]   parallel multi-entry analysis
 //! awam batch --suite NAME... [--workers N]   parallel analysis of suite programs
 //! awam bench NAME                      run one Table 1 benchmark
+//! awam explain FILE.pl PRED[/ARITY] [--entry PRED[:SPEC,…]] [--json]
+//!                                      print how the analysis derived PRED's summaries
+//! awam profile FILE.pl PRED [SPECS] [--top N] [--metrics-json]
+//!                                      self-profile one analysis run
 //! awam fuzz [--seed N] [--cases N] [--oracle NAME,...] [--no-minimize]
 //!           [--fault NAME] [--json]  differential fuzzing campaign
 //! ```
@@ -46,6 +50,8 @@ fn main() -> ExitCode {
         Some("analyze-wam") => cmd_analyze_wam(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
         _ => {
             eprintln!(
@@ -54,6 +60,8 @@ fn main() -> ExitCode {
                  awam analyze FILE.pl PRED [SPEC,SPEC,…]\n  awam analyze-wam FILE.wam PRED [SPEC,…]\n  \
                  awam batch FILE.pl GOAL… [--workers N] | awam batch --suite NAME… [--workers N]\n  \
                  awam bench NAME\n  \
+                 awam explain FILE.pl PRED[/ARITY] [--entry PRED[:SPEC,…]] [--json]\n  \
+                 awam profile FILE.pl PRED [SPEC,SPEC,…] [--top N] [--metrics-json]\n  \
                  awam fuzz [--seed N] [--cases N] [--oracle NAME,…] [--no-minimize] [--fault NAME] [--json]\n\
                  observability flags: --stats | --stats-json | --trace FILE"
             );
@@ -598,6 +606,209 @@ fn batch_suite(names: &[String], workers: usize, stats_json: bool) -> CmdResult 
     }
     if failed > 0 {
         return Err(Error::Usage(format!("batch: {failed} program(s) failed")));
+    }
+    Ok(())
+}
+
+/// Resolve `PRED` or `PRED/ARITY` against the compiled program. A bare
+/// name resolves only when the program defines exactly one arity for it.
+fn resolve_pred(analyzer: &Analyzer, target: &str) -> Result<(String, usize), Error> {
+    if let Some((name, arity)) = target.rsplit_once('/') {
+        if let Ok(arity) = arity.parse::<usize>() {
+            return Ok((name.to_owned(), arity));
+        }
+    }
+    let arities: Vec<usize> = analyzer
+        .program()
+        .predicates
+        .iter()
+        .filter_map(|p| {
+            let key = p.key.display(analyzer.interner());
+            let (name, arity) = key.rsplit_once('/')?;
+            if name == target {
+                arity.parse().ok()
+            } else {
+                None
+            }
+        })
+        .collect();
+    match arities.as_slice() {
+        [arity] => Ok((target.to_owned(), *arity)),
+        [] => Err(Error::Usage(format!("unknown predicate {target}"))),
+        _ => Err(Error::Usage(format!(
+            "ambiguous predicate {target}: say {target}/ARITY"
+        ))),
+    }
+}
+
+/// The default entry calling pattern: every argument unknown (`any`).
+fn all_any_entry(arity: usize) -> Result<awam::absdom::Pattern, Error> {
+    let specs = vec!["any"; arity];
+    awam::absdom::Pattern::from_spec(&specs)
+        .ok_or_else(|| Error::Usage(format!("no default entry pattern for arity {arity}")))
+}
+
+/// `awam explain`: analyze with provenance tracking on and print how the
+/// fixpoint derived the named predicate's success summaries — which
+/// clause and iteration created each extension-table entry, from which
+/// parent call, and the ordered lub chain its summary folds from.
+fn cmd_explain(args: &[String]) -> CmdResult {
+    let mut json = false;
+    let mut entry_goal: Option<String> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--entry" => {
+                let goal = it.next().ok_or("explain: --entry needs PRED[:SPEC,…]")?;
+                entry_goal = Some(goal.clone());
+            }
+            other if other.starts_with("--") => {
+                return Err(Error::Usage(format!("explain: unknown flag {other}")));
+            }
+            _ => positional.push(a.clone()),
+        }
+    }
+    let path = positional.first().ok_or("explain: missing FILE.pl")?;
+    let target = positional.get(1).ok_or("explain: missing PRED[/ARITY]")?;
+    let program = load(path)?;
+    let analyzer = AnalyzerBuilder::new().provenance(true).compile(&program)?;
+    let (name, arity) = resolve_pred(&analyzer, target)?;
+
+    let (entry_name, entry_pattern) = match &entry_goal {
+        Some(text) => {
+            let goal = parse_goal(text)?;
+            if goal.entry.arity() == 0 {
+                let (entry_name, entry_arity) = resolve_pred(&analyzer, &goal.name)?;
+                (entry_name, all_any_entry(entry_arity)?)
+            } else {
+                (goal.name, goal.entry)
+            }
+        }
+        None => (name.clone(), all_any_entry(arity)?),
+    };
+
+    let analysis = analyzer.analyze(&entry_name, &entry_pattern)?;
+    let report = analysis
+        .provenance
+        .as_ref()
+        .expect("provenance was enabled on the builder");
+    let Some(pred) = report.predicate(&name, arity) else {
+        return Err(Error::Usage(format!(
+            "explain: {name}/{arity} was not reached from entry {entry_name}{}",
+            entry_pattern.display(analyzer.interner())
+        )));
+    };
+    if json {
+        let single = awam::analysis::DerivationReport {
+            predicates: vec![pred.clone()],
+        };
+        println!("{}", single.to_json().emit_pretty());
+    } else {
+        println!(
+            "entry {entry_name}{}",
+            entry_pattern.display(analyzer.interner())
+        );
+        print!("{}", pred.render());
+    }
+    Ok(())
+}
+
+/// `awam profile`: analyze with self-profiling on and print where the
+/// run spent its time — hot predicates (self time and instruction heat),
+/// hot opcodes, and the hierarchical span tree. `--metrics-json` emits
+/// the full metrics registry and span tree as one JSON document.
+fn cmd_profile(args: &[String]) -> CmdResult {
+    let mut top = 10usize;
+    let mut metrics_json = false;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--top" => {
+                top = it
+                    .next()
+                    .ok_or("profile: --top needs a number")?
+                    .parse()
+                    .map_err(|_| "profile: --top needs a number")?;
+            }
+            "--metrics-json" => metrics_json = true,
+            other if other.starts_with("--") => {
+                return Err(Error::Usage(format!("profile: unknown flag {other}")));
+            }
+            _ => positional.push(a.clone()),
+        }
+    }
+    let path = positional.first().ok_or("profile: missing FILE.pl")?;
+    let target = positional.get(1).ok_or("profile: missing PRED")?;
+    let program = load(path)?;
+    let analyzer = AnalyzerBuilder::new().profiling(true).compile(&program)?;
+    let (name, arity) = resolve_pred(&analyzer, target)?;
+    let entry = match positional.get(2) {
+        Some(s) if !s.is_empty() => {
+            let specs: Vec<&str> = s.split(',').map(str::trim).collect();
+            awam::absdom::Pattern::from_spec(&specs)
+                .ok_or_else(|| Error::Usage(format!("bad entry specs: {s}")))?
+        }
+        _ => all_any_entry(arity)?,
+    };
+
+    let analysis = analyzer.analyze(&name, &entry)?;
+    let profile = analysis
+        .profile
+        .as_ref()
+        .expect("profiling was enabled on the builder");
+
+    if metrics_json {
+        let doc = Json::obj(vec![
+            ("metrics", profile.metrics.to_json()),
+            ("spans", profile.spans.to_json()),
+        ]);
+        println!("{}", doc.emit_pretty());
+        return Ok(());
+    }
+
+    println!(
+        "profile: {name}/{arity} entry {} — {} iterations, {} instructions, {:.2} ms",
+        entry.display(analyzer.interner()),
+        analysis.iterations,
+        analysis.instructions_executed,
+        analysis.analyze_ns as f64 / 1e6
+    );
+    if !analysis.pred_times.is_empty() {
+        let instrs: std::collections::HashMap<&str, u64> = analysis
+            .pred_instrs
+            .iter()
+            .map(|(n, c)| (n.as_str(), *c))
+            .collect();
+        println!("hot predicates (self time):");
+        for (pred, ns) in analysis.pred_times.iter().take(top) {
+            println!(
+                "  {:<20} {:>10.1} us {:>10} instructions",
+                pred,
+                *ns as f64 / 1000.0,
+                instrs.get(pred.as_str()).copied().unwrap_or(0)
+            );
+        }
+    }
+    let mut opcodes = analysis.opcodes.nonzero(&awam::wam::OPCODE_NAMES);
+    opcodes.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+    println!("hot opcodes:");
+    for (op, count) in opcodes.iter().take(top) {
+        println!("  {op:<20} {count:>10}");
+    }
+    println!("spans:");
+    for (depth, node) in profile.spans.walk() {
+        println!(
+            "  {:indent$}{:<24} {:>8} calls {:>12.1} us total {:>12.1} us self",
+            "",
+            node.name,
+            node.calls,
+            node.total_ns as f64 / 1000.0,
+            node.self_ns() as f64 / 1000.0,
+            indent = depth * 2
+        );
     }
     Ok(())
 }

@@ -89,7 +89,9 @@ pub use wam;
 pub use wam_machine as machine;
 pub use wam_opt as opt;
 
-pub use awam_core::{Analysis, Analyzer, AnalyzerBuilder, BatchGoal, Session};
+pub use awam_core::{
+    Analysis, Analyzer, AnalyzerBuilder, BatchGoal, DerivationReport, ProfileData, Session,
+};
 
 /// The unified error type of the `awam` facade: everything a parse →
 /// compile → analyze (or run) pipeline can fail with, one enum.

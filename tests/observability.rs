@@ -39,6 +39,19 @@ fn exact_counters_on_nreverse() {
     assert_eq!(t.lub_widenings, 2);
     assert_eq!(t.version_bumps, 5);
 
+    // The leq memo cache answers summary-update subsumption checks: one
+    // leq per update that found an existing summary (11 updates − 3
+    // first-sets = 8), of which 2 repeat an already-decided id pair.
+    // Exact values again — if these read 0 the cache came unwired, and
+    // if they drift the update path changed shape.
+    let i = &analysis.intern_stats;
+    assert_eq!(i.leq_calls, 8);
+    assert_eq!(i.leq_cache_hits, 2);
+    // A leq miss computes its answer through the lub cache, warming it
+    // for the widening that follows.
+    assert_eq!(i.lub_calls, 8);
+    assert_eq!(i.lub_cache_hits, 2);
+
     // The per-opcode histogram totals the instruction counter.
     assert_eq!(analysis.opcodes.total(), analysis.instructions_executed);
     assert_eq!(
@@ -46,6 +59,24 @@ fn exact_counters_on_nreverse() {
         analysis.instructions_executed
     );
     assert!(analysis.machine_stats.heap_high_water > 0);
+}
+
+#[test]
+fn intern_stats_are_sampled_live_not_at_construction() {
+    let program = parse_program(NREV).unwrap();
+    let analyzer = Analyzer::compile(&program).unwrap();
+    let mut session = analyzer.session();
+    let cold = session.analyze_query("nrev", &["glist", "var"]).unwrap();
+    let warm = session.analyze_query("nrev", &["glist", "var"]).unwrap();
+
+    // The cold run's counters reflect the finished fixpoint, not the
+    // freshly-built interner.
+    assert_eq!(cold.intern_stats.leq_calls, 8);
+    // The warm hit's subsumption probe goes through the same leq cache,
+    // and its answer samples the counters *after* that probe: exactly
+    // one more leq decision than the cold run reported.
+    assert_eq!(warm.intern_stats.leq_calls, cold.intern_stats.leq_calls + 1);
+    assert!(warm.intern_stats.leq_cache_hits >= cold.intern_stats.leq_cache_hits);
 }
 
 #[test]

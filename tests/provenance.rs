@@ -1,0 +1,162 @@
+//! Derivation provenance under test: exact clause/iteration records on a
+//! hand-built program, run-to-run determinism of the derivation report
+//! over the whole Table 1 suite, lub chains that re-fold to the stored
+//! summaries, and the zero-cost-when-off guarantee (byte-identical
+//! reports with tracking on or off).
+
+use awam::analysis::AnalyzerBuilder;
+use awam::syntax::parse_program;
+
+/// Run one suite benchmark with provenance tracking on and return the
+/// rendered report, the derivation JSON, and the refold verdict.
+fn run_with_provenance(b: &awam::suite::Benchmark) -> (String, String, Option<String>) {
+    let program = b.parse().unwrap();
+    let analyzer = AnalyzerBuilder::new()
+        .provenance(true)
+        .compile(&program)
+        .unwrap();
+    let analysis = analyzer.analyze_query(b.entry, b.entry_specs).unwrap();
+    let report = analysis.report(&analyzer);
+    let derivations = analysis.provenance.expect("provenance was enabled");
+    let json = derivations.to_json().emit();
+    (report, json, derivations.refold_violation())
+}
+
+#[test]
+fn derivation_reports_are_deterministic_across_the_suite() {
+    for b in awam::suite::all() {
+        let (report_a, json_a, refold_a) = run_with_provenance(&b);
+        let (report_b, json_b, refold_b) = run_with_provenance(&b);
+        assert_eq!(
+            json_a, json_b,
+            "{}: derivation JSON drifts between runs",
+            b.name
+        );
+        assert_eq!(report_a, report_b, "{}: analysis report drifts", b.name);
+        assert_eq!(refold_a, None, "{}: lub chain does not re-fold", b.name);
+        assert_eq!(refold_b, None);
+        assert!(!json_a.is_empty());
+    }
+}
+
+#[test]
+fn provenance_is_none_when_off_and_reports_match_byte_for_byte() {
+    for b in awam::suite::all() {
+        let program = b.parse().unwrap();
+
+        let plain = AnalyzerBuilder::new().compile(&program).unwrap();
+        let off = plain.analyze_query(b.entry, b.entry_specs).unwrap();
+        assert!(
+            off.provenance.is_none(),
+            "{}: derivations materialized without opting in",
+            b.name
+        );
+
+        let tracked = AnalyzerBuilder::new()
+            .provenance(true)
+            .compile(&program)
+            .unwrap();
+        let on = tracked.analyze_query(b.entry, b.entry_specs).unwrap();
+        assert!(on.provenance.is_some());
+
+        // Tracking must be invisible to everything the analysis already
+        // reported: same results, same counters, same rendered report.
+        assert_eq!(off.report(&plain), on.report(&tracked), "{}", b.name);
+        assert_eq!(off.predicates, on.predicates, "{}", b.name);
+        assert_eq!(off.iterations, on.iterations, "{}", b.name);
+        assert_eq!(
+            off.instructions_executed, on.instructions_executed,
+            "{}",
+            b.name
+        );
+        assert_eq!(off.intern_stats, on.intern_stats, "{}", b.name);
+    }
+}
+
+#[test]
+fn two_clause_program_yields_exact_provenance() {
+    let program = parse_program(
+        "
+        s(X) :- t(X).
+        t(a).
+        t([_]).
+    ",
+    )
+    .unwrap();
+    let analyzer = AnalyzerBuilder::new()
+        .provenance(true)
+        .compile(&program)
+        .unwrap();
+    let analysis = analyzer.analyze_query("s", &["var"]).unwrap();
+    let report = analysis.provenance.expect("provenance was enabled");
+    assert_eq!(report.refold_violation(), None);
+
+    // The entry goal's own entry carries no origin — nothing called it.
+    let s = report.predicate("s", 1).expect("s/1 analyzed");
+    assert_eq!(s.entries.len(), 1);
+    assert_eq!(s.entries[0].origin, None);
+    assert_eq!(s.entries[0].parent_call, None);
+    assert_eq!(s.entries[0].created_iter, 1);
+
+    // t/1 was called by clause 0 of s/1, in iteration 1, while s was
+    // being explored for its (var) entry.
+    let t = report.predicate("t", 1).expect("t/1 analyzed");
+    assert_eq!(t.entries.len(), 1);
+    let entry = &t.entries[0];
+    assert_eq!(entry.origin, Some(("s/1".to_owned(), 0)));
+    assert_eq!(entry.created_iter, 1);
+    assert_eq!(entry.parent_call.as_deref(), Some("(var)"));
+
+    // Both clauses of t succeeded and both lub steps were recorded, in
+    // clause order, in the first iteration; the second widened the
+    // ground atom with the one-element list.
+    assert_eq!(entry.chain.len(), 2);
+    assert_eq!(entry.chain[0].clause, 0);
+    assert_eq!(entry.chain[0].iter, 1);
+    assert_eq!(entry.chain[1].clause, 1);
+    assert_eq!(entry.chain[1].iter, 1);
+    assert_eq!(
+        entry.chain[0].input, entry.chain[0].result,
+        "first set is not a widening: input and result coincide"
+    );
+    assert_eq!(
+        entry.success.as_deref(),
+        Some(entry.chain[1].result_display.as_str()),
+        "the chain's last result is the stored summary"
+    );
+
+    // The rendered tree names the originating clause.
+    let text = t.render();
+    assert!(text.contains("clause 0 of s/1"), "render: {text}");
+    assert!(text.contains("lub chain:"), "render: {text}");
+}
+
+#[test]
+fn session_warm_hits_keep_provenance_from_the_cold_run() {
+    let program = parse_program(
+        "
+        app([], L, L).
+        app([H|T], L, [H|R]) :- app(T, L, R).
+    ",
+    )
+    .unwrap();
+    let analyzer = AnalyzerBuilder::new()
+        .provenance(true)
+        .compile(&program)
+        .unwrap();
+    let mut session = analyzer.session();
+    let cold = session
+        .analyze_query("app", &["glist", "glist", "var"])
+        .unwrap();
+    let warm = session
+        .analyze_query("app", &["glist", "glist", "var"])
+        .unwrap();
+    let cold_report = cold.provenance.expect("cold run tracked provenance");
+    let warm_report = warm.provenance.expect("warm hit reuses the tracked table");
+    assert_eq!(
+        cold_report.to_json().emit(),
+        warm_report.to_json().emit(),
+        "warm answers replay the cold run's derivations"
+    );
+    assert_eq!(warm_report.refold_violation(), None);
+}
