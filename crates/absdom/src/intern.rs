@@ -24,7 +24,7 @@
 //! whose ids start where the base ids end. Batch workers therefore stay
 //! lock-free — nothing in this module takes a lock.
 
-use crate::pattern::Pattern;
+use crate::pattern::{LubScratch, Pattern};
 use awam_obs::InternStats;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
@@ -205,6 +205,22 @@ impl PatternInterner {
         (PatternId(slot), false)
     }
 
+    /// [`PatternInterner::intern_hashed`], clone-on-miss: the probe is by
+    /// reference and the pattern is only cloned if it must be inserted.
+    fn intern_ref_hashed(&mut self, hash: u64, pattern: &Pattern) -> (PatternId, bool) {
+        let bucket = self.index.entry(hash).or_default();
+        for &slot in bucket.iter() {
+            if self.arena[slot as usize] == *pattern {
+                return (PatternId(slot), true);
+            }
+        }
+        let slot = u32::try_from(self.arena.len()).expect("interner overflow");
+        bucket.push(slot);
+        self.ground.push(pattern.is_ground());
+        self.arena.push(pattern.clone());
+        (PatternId(slot), false)
+    }
+
     /// [`PatternInterner::lookup`] with the bucket hash already computed.
     fn lookup_hashed(&self, hash: u64, pattern: &Pattern) -> Option<PatternId> {
         self.index.get(&hash).and_then(|bucket| {
@@ -242,6 +258,7 @@ pub struct SessionInterner {
     local: PatternInterner,
     lub_cache: DetHashMap<(PatternId, PatternId), PatternId>,
     leq_cache: DetHashMap<(PatternId, PatternId), bool>,
+    lub_scratch: LubScratch,
     stats: InternStats,
 }
 
@@ -252,13 +269,16 @@ impl Default for SessionInterner {
 }
 
 impl SessionInterner {
-    /// An overlay over `base` with an empty local arena and caches.
+    /// An overlay over `base` with an empty local arena and caches. The
+    /// memo caches are pre-sized past the benchmark suite's high-water
+    /// marks, so an analysis run never pays a mid-fixpoint rehash.
     pub fn new(base: Arc<PatternInterner>) -> SessionInterner {
         SessionInterner {
             base,
             local: PatternInterner::new(),
-            lub_cache: DetHashMap::default(),
-            leq_cache: DetHashMap::default(),
+            lub_cache: DetHashMap::with_capacity_and_hasher(512, Default::default()),
+            leq_cache: DetHashMap::with_capacity_and_hasher(1024, Default::default()),
+            lub_scratch: LubScratch::default(),
             stats: InternStats::default(),
         }
     }
@@ -295,6 +315,29 @@ impl SessionInterner {
         let offset = self.base.len() as u32;
         let bytes = pattern_heap_bytes(&pattern);
         let (PatternId(local), hit) = self.local.intern_hashed(hash, pattern);
+        if hit {
+            self.stats.intern_hits += 1;
+            self.stats.bytes_saved += bytes;
+        } else {
+            self.stats.intern_misses += 1;
+        }
+        PatternId(offset + local)
+    }
+
+    /// [`SessionInterner::intern`], clone-on-miss: callers that build
+    /// their probe in a reusable scratch buffer pass it by reference, and
+    /// the bytes are copied only when the pattern is genuinely new. The
+    /// counters are identical to the owning variant.
+    pub fn intern_ref(&mut self, pattern: &Pattern) -> PatternId {
+        let hash = pattern_hash(pattern);
+        if let Some(id) = self.base.lookup_hashed(hash, pattern) {
+            self.stats.intern_hits += 1;
+            self.stats.bytes_saved += pattern_heap_bytes(pattern);
+            return id;
+        }
+        let offset = self.base.len() as u32;
+        let bytes = pattern_heap_bytes(pattern);
+        let (PatternId(local), hit) = self.local.intern_ref_hashed(hash, pattern);
         if hit {
             self.stats.intern_hits += 1;
             self.stats.bytes_saved += bytes;
@@ -357,8 +400,15 @@ impl SessionInterner {
             self.stats.lub_cache_hits += 1;
             return id;
         }
-        let joined = self.resolve(a).lub(self.resolve(b));
-        let id = self.intern(joined);
+        // Cache miss: structural lub through the reusable scratch (taken
+        // and returned around the call so `resolve` can borrow the
+        // arenas). `lub_in` leaves the canonical join inside the scratch
+        // and `intern_ref` clones it only if the arena has never seen it,
+        // so a warm lub touches the allocator zero times.
+        let mut scratch = std::mem::take(&mut self.lub_scratch);
+        let joined = self.resolve(a).lub_in(self.resolve(b), &mut scratch);
+        let id = self.intern_ref(joined);
+        self.lub_scratch = scratch;
         self.lub_cache.insert(key, id);
         id
     }

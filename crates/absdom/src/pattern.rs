@@ -53,7 +53,7 @@ pub enum PNode {
 /// let q = Pattern::from_spec(&["atom", "list(g)"]).unwrap();
 /// assert_eq!(p, q);
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Pattern {
     nodes: Vec<PNode>,
     roots: Vec<NodeId>,
@@ -77,6 +77,12 @@ impl Pattern {
             "from_canonical got a non-canonical graph"
         );
         p
+    }
+
+    /// Decompose into raw `(nodes, roots)` parts — the inverse of
+    /// [`Pattern::from_canonical`], so builders can recycle the buffers.
+    pub fn into_parts(self) -> (Vec<PNode>, Vec<NodeId>) {
+        (self.nodes, self.roots)
     }
 
     /// The empty (zero-argument) pattern.
@@ -146,20 +152,52 @@ impl Pattern {
     /// carries no dataflow information, and unsharing them is a sound
     /// over-approximation that improves extension-table reuse).
     fn canonicalize(&self) -> Pattern {
-        let mut out = Pattern {
-            nodes: Vec::new(),
-            roots: Vec::new(),
-        };
-        let mut map: Vec<Option<NodeId>> = vec![None; self.nodes.len()];
-        let roots = self.roots.clone();
-        for r in roots {
-            let new = self.canon_node(r, &mut map, &mut out);
-            out.roots.push(new);
-        }
+        self.canonicalize_with(&mut Vec::new())
+    }
+
+    /// [`Pattern::canonicalize`] with a caller-provided renumbering map
+    /// (cleared and resized here), so hot callers reuse one allocation.
+    fn canonicalize_with(&self, map: &mut Vec<Option<NodeId>>) -> Pattern {
+        let mut out = Pattern::empty();
+        self.canonicalize_into(map, &mut out, &mut Vec::new());
         out
     }
 
-    fn canon_node(&self, id: NodeId, map: &mut Vec<Option<NodeId>>, out: &mut Pattern) -> NodeId {
+    /// [`Pattern::canonicalize_with`] writing into an existing pattern
+    /// (cleared first, its struct argument vectors harvested into
+    /// `args_pool` and reissued), so the output buffers are reusable too.
+    fn canonicalize_into(
+        &self,
+        map: &mut Vec<Option<NodeId>>,
+        out: &mut Pattern,
+        args_pool: &mut Vec<Vec<NodeId>>,
+    ) {
+        for node in out.nodes.drain(..) {
+            if args_pool.len() == ARGS_POOL_CAP {
+                break;
+            }
+            if let PNode::Struct(_, mut args) = node {
+                args.clear();
+                args_pool.push(args);
+            }
+        }
+        out.nodes.clear();
+        out.roots.clear();
+        map.clear();
+        map.resize(self.nodes.len(), None);
+        for i in 0..self.roots.len() {
+            let new = self.canon_node(self.roots[i], map, out, args_pool);
+            out.roots.push(new);
+        }
+    }
+
+    fn canon_node(
+        &self,
+        id: NodeId,
+        map: &mut Vec<Option<NodeId>>,
+        out: &mut Pattern,
+        args_pool: &mut Vec<Vec<NodeId>>,
+    ) -> NodeId {
         let shareable = !self.node_is_ground(id);
         if shareable {
             if let Some(new) = map[id] {
@@ -178,10 +216,14 @@ impl Pattern {
             PNode::Int(i) => PNode::Int(*i),
             PNode::Atom(a) => PNode::Atom(*a),
             PNode::Struct(f, args) => {
-                let args = args.iter().map(|&a| self.canon_node(a, map, out)).collect();
-                PNode::Struct(*f, args)
+                let mut new_args = args_pool.pop().unwrap_or_default();
+                for &a in args {
+                    let child = self.canon_node(a, map, out, args_pool);
+                    new_args.push(child);
+                }
+                PNode::Struct(*f, new_args)
             }
-            PNode::List(e) => PNode::List(self.canon_node(*e, map, out)),
+            PNode::List(e) => PNode::List(self.canon_node(*e, map, out, args_pool)),
         };
         out.nodes[new] = node;
         new
@@ -196,33 +238,72 @@ impl Pattern {
     /// Panics if the arities differ (an internal invariant: the extension
     /// table lubs success patterns of a single predicate).
     pub fn lub(&self, other: &Pattern) -> Pattern {
+        self.lub_with(other, &mut LubScratch::default())
+    }
+
+    /// [`Pattern::lub`] with caller-provided scratch buffers. The lattice
+    /// memo layer computes thousands of structural lubs per analysis;
+    /// reusing the context buffers (group memo, occurrence counts,
+    /// pre-canonical output, canonicalization map) keeps the hot path off
+    /// the allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arities differ, like [`Pattern::lub`].
+    pub fn lub_with(&self, other: &Pattern, scratch: &mut LubScratch) -> Pattern {
+        self.lub_core(other, scratch);
+        scratch.out.canonicalize_with(&mut scratch.canon_map)
+    }
+
+    /// [`Pattern::lub_with`], but the canonical result is left inside the
+    /// scratch (and returned by reference) instead of freshly allocated.
+    /// Pair with [`crate::intern::SessionInterner::intern_ref`] for a
+    /// fully allocation-free lub on arena hits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arities differ, like [`Pattern::lub`].
+    pub fn lub_in<'s>(&self, other: &Pattern, scratch: &'s mut LubScratch) -> &'s Pattern {
+        self.lub_core(other, scratch);
+        scratch.out.canonicalize_into(
+            &mut scratch.canon_map,
+            &mut scratch.canon_out,
+            &mut scratch.args_pool,
+        );
+        &scratch.canon_out
+    }
+
+    /// Shared body of [`Pattern::lub_with`] / [`Pattern::lub_in`]: builds
+    /// the pre-canonical join into `scratch.out`.
+    fn lub_core(&self, other: &Pattern, scratch: &mut LubScratch) {
         assert_eq!(self.arity(), other.arity(), "lub of mismatched arities");
+        scratch.reset(self.nodes.len(), other.nodes.len());
         let mut ctx = LubCtx {
             sides: [self, other],
-            memo: Vec::new(),
-            occurrences: [vec![0; self.nodes.len()], vec![0; other.nodes.len()]],
-            out: Pattern {
-                nodes: Vec::new(),
-                roots: Vec::new(),
-            },
-            result_groups: Vec::new(),
+            s: scratch,
         };
         for i in 0..self.arity() {
-            let group = vec![(0, self.roots[i]), (1, other.roots[i])];
+            let mut group = ctx.s.take_group();
+            group.push((0, self.roots[i]));
+            group.push((1, other.roots[i]));
             let root = ctx.lub_group(group);
-            ctx.out.roots.push(root);
+            ctx.s.out.roots.push(root);
         }
         // Aliasing-drop weakening: a source node that participated in more
         // than one distinct group lost (some of) its sharing; `var` leaves
         // built from such nodes must weaken to `any`.
-        for (result, group) in ctx.result_groups.iter().enumerate() {
-            if matches!(ctx.out.nodes[result], PNode::Leaf(AbsLeaf::Var))
-                && group.iter().any(|&(s, n)| ctx.occurrences[s][n] > 1)
+        // (`memo[i]` is the group result node `i` was built from: results
+        // are numbered in memo insertion order.)
+        for result in 0..ctx.s.memo.len() {
+            if matches!(ctx.s.out.nodes[result], PNode::Leaf(AbsLeaf::Var))
+                && ctx.s.memo[result]
+                    .0
+                    .iter()
+                    .any(|&(side, n)| ctx.s.occurrences[side][n] > 1)
             {
-                ctx.out.nodes[result] = PNode::Leaf(AbsLeaf::Any);
+                ctx.s.out.nodes[result] = PNode::Leaf(AbsLeaf::Any);
             }
         }
-        ctx.out.canonicalize()
     }
 
     /// Whether `self` is subsumed by `other` (`self ⊑ other`): every
@@ -446,103 +527,235 @@ impl Pattern {
     }
 }
 
-struct LubCtx<'a> {
-    sides: [&'a Pattern; 2],
-    /// Group → result node; groups are tiny, linear search wins.
+/// Reusable buffers for [`Pattern::lub_with`]: everything a lub computes
+/// through except the returned canonical pattern itself. Freed group
+/// vectors are pooled and handed back out, so a warm scratch performs no
+/// allocation at all on patterns it has seen the shape of before.
+#[derive(Clone, Debug, Default)]
+pub struct LubScratch {
+    /// Group → result node; groups are tiny, linear search wins. Entry
+    /// `i` is the group result node `i` was built from (results are
+    /// numbered in insertion order).
     memo: Vec<(Vec<(usize, NodeId)>, NodeId)>,
     /// How many distinct groups each source node participates in
     /// (dense per side).
     occurrences: [Vec<u8>; 2],
+    /// The pre-canonical output under construction.
     out: Pattern,
-    /// For each result node, the group it was built from.
-    result_groups: Vec<Vec<(usize, NodeId)>>,
+    /// Retired group vectors, reissued by [`LubScratch::take_group`].
+    pool: Vec<Vec<(usize, NodeId)>>,
+    /// Canonicalization renumbering map.
+    canon_map: Vec<Option<NodeId>>,
+    /// The canonical result of the last [`Pattern::lub_in`].
+    canon_out: Pattern,
+    /// Retired struct-argument vectors, reissued to new struct nodes in
+    /// both the join and canonicalization passes.
+    args_pool: Vec<Vec<NodeId>>,
+    /// Group-hash → first memo index with that hash, so a group lookup
+    /// probes once instead of scanning the whole memo (which is quadratic
+    /// on large patterns). Cleared (capacity kept) per join.
+    group_index: crate::intern::FxHashMap<u64, u32>,
+    /// Memo indices whose group hash collided with an earlier entry;
+    /// scanned linearly (in practice always empty).
+    group_overflow: Vec<(u64, u32)>,
+}
+
+/// Upper bound on pooled struct-argument vectors (a backstop so one huge
+/// pattern cannot pin memory; typical patterns stay far below).
+const ARGS_POOL_CAP: usize = 4096;
+
+impl LubScratch {
+    /// Prepare for a lub of two patterns with the given node counts.
+    fn reset(&mut self, left_nodes: usize, right_nodes: usize) {
+        for (group, _) in self.memo.drain(..) {
+            self.pool.push(group);
+        }
+        for (side, len) in [left_nodes, right_nodes].into_iter().enumerate() {
+            self.occurrences[side].clear();
+            self.occurrences[side].resize(len, 0);
+        }
+        for node in self.out.nodes.drain(..) {
+            if self.args_pool.len() == ARGS_POOL_CAP {
+                break;
+            }
+            if let PNode::Struct(_, mut args) = node {
+                args.clear();
+                self.args_pool.push(args);
+            }
+        }
+        self.out.nodes.clear();
+        self.out.roots.clear();
+        self.group_index.clear();
+        self.group_overflow.clear();
+    }
+
+    /// The memo entry for `group`, probed through the hash index.
+    fn find_group(&self, hash: u64, group: &[(usize, NodeId)]) -> Option<NodeId> {
+        if let Some(&i) = self.group_index.get(&hash) {
+            if self.memo[i as usize].0 == group {
+                return Some(self.memo[i as usize].1);
+            }
+            // First-slot mismatch: same hash, different group — check the
+            // collision overflow.
+            for &(h, j) in &self.group_overflow {
+                if h == hash && self.memo[j as usize].0 == group {
+                    return Some(self.memo[j as usize].1);
+                }
+            }
+        }
+        None
+    }
+
+    /// Record that memo entry `memo_idx` holds the group hashing to `hash`.
+    fn index_group(&mut self, hash: u64, memo_idx: usize) {
+        let memo_idx = u32::try_from(memo_idx).expect("lub memo overflow");
+        match self.group_index.entry(hash) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(memo_idx);
+            }
+            std::collections::hash_map::Entry::Occupied(_) => {
+                self.group_overflow.push((hash, memo_idx));
+            }
+        }
+    }
+
+    /// An empty struct-argument vector, recycled when available.
+    fn take_args(&mut self) -> Vec<NodeId> {
+        self.args_pool.pop().unwrap_or_default()
+    }
+
+    /// Hash of a (sorted, deduped) group, for the memo bucket index.
+    fn group_hash(group: &[(usize, NodeId)]) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = crate::intern::FxHasher::default();
+        group.hash(&mut h);
+        h.finish()
+    }
+
+    /// An empty group vector, reusing a retired one when available.
+    fn take_group(&mut self) -> Vec<(usize, NodeId)> {
+        self.pool
+            .pop()
+            .map(|mut g| {
+                g.clear();
+                g
+            })
+            .unwrap_or_default()
+    }
+
+    /// Return a group vector to the pool without memoizing it.
+    fn recycle(&mut self, group: Vec<(usize, NodeId)>) {
+        self.pool.push(group);
+    }
+}
+
+struct LubCtx<'a> {
+    sides: [&'a Pattern; 2],
+    s: &'a mut LubScratch,
 }
 
 impl LubCtx<'_> {
     /// Lub of a group of source nodes (normally one per side; list
-    /// summarization can merge several from one side).
+    /// summarization can merge several from one side). Takes ownership of
+    /// `group` (pool-allocated via [`LubScratch::take_group`]) and either
+    /// memoizes or recycles it.
     fn lub_group(&mut self, mut group: Vec<(usize, NodeId)>) -> NodeId {
         group.sort_unstable();
         group.dedup();
-        if let Some((_, id)) = self.memo.iter().find(|(g, _)| g == &group) {
-            return *id;
+        let hash = LubScratch::group_hash(&group);
+        if let Some(id) = self.s.find_group(hash, &group) {
+            self.s.recycle(group);
+            return id;
         }
         // Reserve result slot (guards against cycles, preserves sharing).
-        let result = self.out.nodes.len();
-        self.out.nodes.push(PNode::Leaf(AbsLeaf::Any));
-        self.result_groups.push(group.clone());
-        self.memo.push((group.clone(), result));
-        for &(s, n) in &group {
-            self.occurrences[s][n] = self.occurrences[s][n].saturating_add(1);
+        let result = self.s.out.nodes.len();
+        self.s.out.nodes.push(PNode::Leaf(AbsLeaf::Any));
+        for &(side, n) in &group {
+            self.s.occurrences[side][n] = self.s.occurrences[side][n].saturating_add(1);
         }
+        self.s.index_group(hash, self.s.memo.len());
+        self.s.memo.push((group, result));
 
-        let node = self.compute(&group);
-        self.out.nodes[result] = node;
+        let node = self.compute(result);
+        self.s.out.nodes[result] = node;
         result
     }
 
-    fn compute(&mut self, group: &[(usize, NodeId)]) -> PNode {
-        let views: Vec<&PNode> = group.iter().map(|&(s, n)| self.sides[s].node(n)).collect();
+    /// Compute the node for memo entry `result` (its group is read from
+    /// the memo, which recursion only appends to).
+    fn compute(&mut self, result: usize) -> PNode {
+        let group_len = self.s.memo[result].0.len();
+        let view = |ctx: &Self, i: usize| {
+            let (side, n) = ctx.s.memo[result].0[i];
+            ctx.sides[side].node(n)
+        };
 
         // All identical integers / atoms.
-        if let PNode::Int(i) = views[0] {
-            if views.iter().all(|v| matches!(v, PNode::Int(j) if j == i)) {
-                return PNode::Int(*i);
+        if let PNode::Int(i) = view(self, 0) {
+            let i = *i;
+            if (0..group_len).all(|k| matches!(view(self, k), PNode::Int(j) if *j == i)) {
+                return PNode::Int(i);
             }
         }
-        if let PNode::Atom(a) = views[0] {
-            if views.iter().all(|v| matches!(v, PNode::Atom(b) if b == a)) {
-                return PNode::Atom(*a);
+        if let PNode::Atom(a) = view(self, 0) {
+            let a = *a;
+            if (0..group_len).all(|k| matches!(view(self, k), PNode::Atom(b) if *b == a)) {
+                return PNode::Atom(a);
             }
         }
         // All structs with the same functor (including cons/cons).
-        if let PNode::Struct(f, args0) = views[0] {
-            let arity = args0.len();
-            if views
-                .iter()
-                .all(|v| matches!(v, PNode::Struct(g, a) if g == f && a.len() == arity))
-            {
-                let f = *f;
-                let mut children = Vec::with_capacity(arity);
+        if let PNode::Struct(f, args0) = view(self, 0) {
+            let (f, arity) = (*f, args0.len());
+            if (0..group_len).all(
+                |k| matches!(view(self, k), PNode::Struct(g, a) if *g == f && a.len() == arity),
+            ) {
+                let mut children = self.s.take_args();
                 for i in 0..arity {
-                    let child_group: Vec<(usize, NodeId)> = group
-                        .iter()
-                        .map(|&(s, n)| {
-                            let PNode::Struct(_, args) = self.sides[s].node(n) else {
-                                unreachable!()
-                            };
-                            (s, args[i])
-                        })
-                        .collect();
+                    let mut child_group = self.s.take_group();
+                    for k in 0..group_len {
+                        let (side, n) = self.s.memo[result].0[k];
+                        let PNode::Struct(_, args) = self.sides[side].node(n) else {
+                            unreachable!()
+                        };
+                        child_group.push((side, args[i]));
+                    }
                     children.push(self.lub_group(child_group));
                 }
                 return PNode::Struct(f, children);
             }
         }
         // All list-shaped (List / nil / cons chains) → α-list.
-        if let Some(elem_groups) = self.try_list_view(group) {
+        if let Some(elem_groups) = self.try_list_view(result) {
             if elem_groups.is_empty() {
                 // All nil.
+                self.s.recycle(elem_groups);
                 return PNode::Atom(nil_symbol());
             }
             let elem = self.lub_group(elem_groups);
             return PNode::List(elem);
         }
         // Fallback: leaf lub of primary approximations.
-        let mut leaf = self.sides[group[0].0].leaf_approx(group[0].1);
-        for &(s, n) in &group[1..] {
-            leaf = leaf.lub(self.sides[s].leaf_approx(n));
+        let (s0, n0) = self.s.memo[result].0[0];
+        let mut leaf = self.sides[s0].leaf_approx(n0);
+        for k in 1..group_len {
+            let (side, n) = self.s.memo[result].0[k];
+            leaf = leaf.lub(self.sides[side].leaf_approx(n));
         }
         PNode::Leaf(leaf)
     }
 
-    /// If every member of the group is list-shaped, return the union of
-    /// their element nodes (to be lubbed into the α parameter). `None` if
-    /// any member is not a (proper-)list shape.
-    fn try_list_view(&self, group: &[(usize, NodeId)]) -> Option<Vec<(usize, NodeId)>> {
-        let mut elems = Vec::new();
-        for &(s, n) in group {
-            self.collect_list_elems(s, n, &mut elems, 0)?;
+    /// If every member of the group of memo entry `result` is
+    /// list-shaped, return the union of their element nodes (to be lubbed
+    /// into the α parameter). `None` if any member is not a
+    /// (proper-)list shape.
+    fn try_list_view(&mut self, result: usize) -> Option<Vec<(usize, NodeId)>> {
+        let mut elems = self.s.take_group();
+        for k in 0..self.s.memo[result].0.len() {
+            let (side, n) = self.s.memo[result].0[k];
+            if self.collect_list_elems(side, n, &mut elems, 0).is_none() {
+                self.s.recycle(elems);
+                return None;
+            }
         }
         Some(elems)
     }

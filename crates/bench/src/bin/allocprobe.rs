@@ -1,0 +1,83 @@
+//! Diagnostic: count allocator calls per analysis run for one benchmark.
+//!
+//! ```sh
+//! cargo run -p awam-bench --release --bin allocprobe [benchmark]
+//! ```
+//!
+//! Prints total `alloc`/`realloc`/`free` calls and bytes for a single
+//! cold run and for a steady-state run, so scratch-reuse regressions on
+//! the hot path show up as a raw call count instead of a profile guess.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static REALLOCS: AtomicU64 = AtomicU64::new(0);
+static FREES: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+struct Counting;
+
+// SAFETY: forwards every call to `System` unchanged; the counters are
+// side effects only.
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        FREES.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        REALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static A: Counting = Counting;
+
+fn snap() -> (u64, u64, u64, u64) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        REALLOCS.load(Ordering::Relaxed),
+        FREES.load(Ordering::Relaxed),
+        BYTES.load(Ordering::Relaxed),
+    )
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "zebra".into());
+    let b = bench_suite::by_name(&name).expect("benchmark name");
+    let program = b.parse().unwrap();
+    let compiled = wam::compile_program(&program).unwrap();
+    let analyzer = awam_core::Analyzer::builder().build(compiled);
+    let entry = absdom::Pattern::from_spec(b.entry_specs).unwrap();
+
+    let before = snap();
+    analyzer.analyze(b.entry, &entry).expect("analysis runs");
+    let after = snap();
+    println!(
+        "{name} cold:   allocs {} reallocs {} frees {} bytes {}",
+        after.0 - before.0,
+        after.1 - before.1,
+        after.2 - before.2,
+        after.3 - before.3,
+    );
+
+    // Steady state: everything session-local is rebuilt per run, so the
+    // numbers stabilize immediately; a second run is representative.
+    let before = snap();
+    analyzer.analyze(b.entry, &entry).expect("analysis runs");
+    let after = snap();
+    println!(
+        "{name} steady: allocs {} reallocs {} frees {} bytes {}",
+        after.0 - before.0,
+        after.1 - before.1,
+        after.2 - before.2,
+        after.3 - before.3,
+    );
+}

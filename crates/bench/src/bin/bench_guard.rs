@@ -1,0 +1,139 @@
+//! Bench-regression guard: compare a fresh Table 1 run against the
+//! committed `BENCH_table1.json` and fail when the compiled-analyzer
+//! geomean regresses beyond tolerance.
+//!
+//! ```sh
+//! cargo run -p awam-bench --release --bin bench_guard -- \
+//!     [--baseline BENCH_table1.json] [--tolerance 0.25]
+//! ```
+//!
+//! The check is one-sided: only a *slowdown* of the fresh geomean
+//! relative to the committed one fails. Per-benchmark numbers are
+//! printed for context but not gated — single-benchmark jitter on a
+//! shared CI box is too noisy to block on; the geomean is the contract.
+//! Exit status: 0 when within tolerance, 1 on regression, 2 on a
+//! malformed or missing baseline file.
+
+use awam_obs::Json;
+
+fn geomean(xs: &[f64]) -> f64 {
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+fn float_field(row: &Json, key: &str) -> Option<f64> {
+    match row.get(key)? {
+        Json::Float(f) => Some(*f),
+        Json::Int(i) => Some(*i as f64),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path = "BENCH_table1.json".to_owned();
+    let mut tolerance = 0.25f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => {
+                baseline_path = it.next().expect("--baseline needs a path").clone();
+            }
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .expect("--tolerance needs a fraction")
+                    .parse()
+                    .expect("--tolerance needs a fraction, e.g. 0.25");
+            }
+            other => {
+                eprintln!("bench_guard: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_guard: cannot read {baseline_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench_guard: {baseline_path} is not valid JSON: {e}");
+            std::process::exit(2);
+        }
+    };
+    let committed: Vec<(String, f64)> = doc
+        .as_arr()
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|row| {
+            Some((
+                row.get("name")?.as_str()?.to_owned(),
+                float_field(row, "compiled_us")?,
+            ))
+        })
+        .collect();
+    if committed.is_empty() {
+        eprintln!("bench_guard: no rows with compiled_us in {baseline_path}");
+        std::process::exit(2);
+    }
+
+    eprintln!(
+        "bench_guard: fresh Table 1 run vs {} committed rows (tolerance {:.0}%)",
+        committed.len(),
+        tolerance * 100.0
+    );
+    let fresh = awam_bench::table1_rows();
+
+    println!(
+        "{:<12} {:>14} {:>14} {:>8}",
+        "benchmark", "committed_us", "fresh_us", "ratio"
+    );
+    let mut committed_times = Vec::new();
+    let mut fresh_times = Vec::new();
+    for (name, committed_us) in &committed {
+        let Some(row) = fresh.iter().find(|r| r.name == name) else {
+            eprintln!("bench_guard: committed benchmark {name} missing from fresh run");
+            std::process::exit(2);
+        };
+        committed_times.push(*committed_us);
+        fresh_times.push(row.compiled_us);
+        println!(
+            "{:<12} {:>14.1} {:>14.1} {:>8.2}",
+            name,
+            committed_us,
+            row.compiled_us,
+            row.compiled_us / committed_us
+        );
+    }
+
+    let committed_gm = geomean(&committed_times);
+    let fresh_gm = geomean(&fresh_times);
+    let ratio = fresh_gm / committed_gm;
+    println!(
+        "{:<12} {:>14.1} {:>14.1} {:>8.2}",
+        "geomean", committed_gm, fresh_gm, ratio
+    );
+
+    if ratio > 1.0 + tolerance {
+        eprintln!(
+            "bench_guard: REGRESSION — fresh geomean {:.1} us is {:.0}% above committed {:.1} us \
+             (tolerance {:.0}%)",
+            fresh_gm,
+            (ratio - 1.0) * 100.0,
+            committed_gm,
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "bench_guard: ok — fresh geomean {:.1} us vs committed {:.1} us ({:+.0}%)",
+        fresh_gm,
+        committed_gm,
+        (ratio - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,31 @@
+//! Profiling helper: run one benchmark's analysis in a tight loop so a
+//! sampling profiler (gprofng, perf) sees the steady-state hot path
+//! without harness noise.
+//!
+//! ```sh
+//! cargo run -p awam-bench --release --bin hotloop [benchmark] [reps]
+//! ```
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "zebra".into());
+    let reps: u32 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+    let b = bench_suite::by_name(&name).expect("benchmark name");
+    let program = b.parse().unwrap();
+    let compiled = wam::compile_program(&program).unwrap();
+    let analyzer = awam_core::Analyzer::builder().build(compiled);
+    let entry = absdom::Pattern::from_spec(b.entry_specs).unwrap();
+    let start = std::time::Instant::now();
+    let mut total = 0u64;
+    for _ in 0..reps {
+        let analysis = analyzer.analyze(b.entry, &entry).expect("analysis runs");
+        total += analysis.instructions_executed;
+    }
+    eprintln!(
+        "{name}: {reps} reps, {:.1} us/run, {} instrs",
+        start.elapsed().as_secs_f64() * 1e6 / f64::from(reps),
+        total / u64::from(reps)
+    );
+}

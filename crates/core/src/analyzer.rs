@@ -57,6 +57,7 @@ pub struct AnalyzerBuilder {
     strategy: IterationStrategy,
     profile_timing: bool,
     provenance: bool,
+    fuse: bool,
 }
 
 impl Default for AnalyzerBuilder {
@@ -71,6 +72,7 @@ impl Default for AnalyzerBuilder {
             strategy: IterationStrategy::GlobalRestart,
             profile_timing: false,
             provenance: false,
+            fuse: true,
         }
     }
 }
@@ -131,6 +133,19 @@ impl AnalyzerBuilder {
         self
     }
 
+    /// Enable or disable superinstruction fusion of the code area (on by
+    /// default). `fuse(false)` restores the plain one-instruction-per-op
+    /// stream — analysis results, traces, reports, and opcode histograms
+    /// are byte-identical either way (testkit oracle #8); only dispatch
+    /// cost changes. Both states are normalized in [`AnalyzerBuilder::build`],
+    /// so the flag is deterministic regardless of the input program's
+    /// fusion state.
+    #[must_use]
+    pub fn fuse(mut self, on: bool) -> AnalyzerBuilder {
+        self.fuse = on;
+        self
+    }
+
     /// Compile `program` into an analyzer with this configuration.
     ///
     /// # Errors
@@ -146,7 +161,15 @@ impl AnalyzerBuilder {
     }
 
     /// Wrap an already-compiled program with this configuration.
-    pub fn build(&self, program: CompiledProgram) -> Analyzer {
+    pub fn build(&self, mut program: CompiledProgram) -> Analyzer {
+        // Normalize the code area to the requested fusion state. Both
+        // passes are idempotent, so this is deterministic whether the
+        // caller hands us fused (`compile_program` default) or plain code.
+        if self.fuse {
+            wam::fuse::fuse_program(&mut program);
+        } else {
+            wam::fuse::unfuse_program(&mut program);
+        }
         let base_interner = Arc::new(seed_interner(&program));
         Analyzer {
             program,

@@ -25,19 +25,121 @@ pub fn deref(heap: &[ACell], cell: ACell) -> (ACell, Option<usize>) {
 
 /// Extract the calling/success pattern of `args`, limited to `depth_k`.
 pub fn extract(heap: &[ACell], args: &[ACell], depth_k: usize) -> Pattern {
+    let mut scratch = ExtractScratch::default();
+    extract_with(heap, args, depth_k, &mut scratch);
+    scratch.out
+}
+
+/// Reusable buffers for [`extract_with`]: every vector an extraction
+/// walks through, including the output pattern itself. The abstract
+/// machine extracts a pattern per consult and per summary update; holding
+/// one scratch per machine keeps that path off the allocator entirely
+/// (pair with [`SessionInterner::intern_ref`], which clones the output
+/// only when the arena has never seen it).
+#[derive(Debug, Default)]
+pub struct ExtractScratch {
+    map: AddrMap,
+    pair_map: AddrMap,
+    open: Vec<usize>,
+    open_lists: Vec<usize>,
+    visiting: Vec<usize>,
+    /// Retired `Struct` argument vectors, harvested from the previous
+    /// output before it is cleared and reissued to new struct/cons nodes.
+    /// List-heavy programs build one such vector per cons cell per
+    /// extraction; recycling them is the difference between one
+    /// malloc/free pair per cons and none.
+    args_pool: Vec<Vec<NodeId>>,
+    out: Pattern,
+}
+
+/// Upper bound on pooled argument vectors (a backstop so one huge
+/// pattern cannot pin memory forever; typical patterns stay far below).
+const ARGS_POOL_CAP: usize = 4096;
+
+/// A generation-stamped dense heap-address → node map: O(1) probe and
+/// insert, O(1) reset (bumping the generation invalidates every stale
+/// entry at once). The linear pair-vector it replaced was quadratic in
+/// pattern size, which showed up on struct-heavy benchmarks.
+#[derive(Debug, Default)]
+pub(crate) struct AddrMap {
+    /// `slots[addr] = (generation, node)`; a stale generation means empty.
+    slots: Vec<(u32, NodeId)>,
+    gen: u32,
+}
+
+impl AddrMap {
+    /// Start a new extraction over a heap of `len` cells.
+    pub(crate) fn begin(&mut self, len: usize) {
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            // Generation counter wrapped: stamps from the previous epoch
+            // could alias, so wipe and restart.
+            self.slots.clear();
+            self.gen = 1;
+        }
+        if self.slots.len() < len {
+            self.slots.resize(len, (0, 0));
+        }
+    }
+
+    pub(crate) fn get(&self, addr: usize) -> Option<NodeId> {
+        match self.slots.get(addr) {
+            Some(&(gen, id)) if gen == self.gen => Some(id),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn insert(&mut self, addr: usize, id: NodeId) {
+        self.slots[addr] = (self.gen, id);
+    }
+}
+
+/// [`extract`] through caller-provided scratch buffers; the canonical
+/// pattern is left in the scratch and returned by reference.
+pub fn extract_with<'s>(
+    heap: &[ACell],
+    args: &[ACell],
+    depth_k: usize,
+    scratch: &'s mut ExtractScratch,
+) -> &'s Pattern {
+    let (mut nodes, mut roots) = std::mem::take(&mut scratch.out).into_parts();
+    for node in nodes.drain(..) {
+        if scratch.args_pool.len() == ARGS_POOL_CAP {
+            break;
+        }
+        if let PNode::Struct(_, mut args) = node {
+            args.clear();
+            scratch.args_pool.push(args);
+        }
+    }
+    nodes.clear();
+    roots.clear();
+    scratch.map.begin(heap.len());
+    scratch.pair_map.begin(heap.len());
+    scratch.open.clear();
+    scratch.open_lists.clear();
     let mut ex = Extractor {
         heap,
         depth_k,
-        nodes: Vec::new(),
-        map: Vec::new(),
-        pair_map: Vec::new(),
-        open: Vec::new(),
-        open_lists: Vec::new(),
+        nodes,
+        map: std::mem::take(&mut scratch.map),
+        pair_map: std::mem::take(&mut scratch.pair_map),
+        open: std::mem::take(&mut scratch.open),
+        open_lists: std::mem::take(&mut scratch.open_lists),
+        visiting: std::mem::take(&mut scratch.visiting),
+        args_pool: std::mem::take(&mut scratch.args_pool),
     };
-    let roots = args.iter().map(|&a| ex.node(a, 0)).collect();
+    roots.extend(args.iter().map(|&a| ex.node(a, 0)));
+    scratch.map = ex.map;
+    scratch.pair_map = ex.pair_map;
+    scratch.open = ex.open;
+    scratch.open_lists = ex.open_lists;
+    scratch.visiting = ex.visiting;
+    scratch.args_pool = ex.args_pool;
     // The extractor emits canonical form directly (pre-order numbering,
     // ground subgraphs unshared), so the canonicalization pass is skipped.
-    Pattern::from_canonical(ex.nodes, roots)
+    scratch.out = Pattern::from_canonical(ex.nodes, roots);
+    &scratch.out
 }
 
 /// Extract the pattern of `args` and intern it in one step — the
@@ -58,10 +160,9 @@ struct Extractor<'h> {
     depth_k: usize,
     nodes: Vec<PNode>,
     /// Open-cell heap address → node, for sharing-preserving extraction.
-    /// Patterns are tiny, so a linear map beats hashing here.
-    map: Vec<(usize, NodeId)>,
+    map: AddrMap,
     /// Compound payload address → node (cons pairs and structs).
-    pair_map: Vec<(usize, NodeId)>,
+    pair_map: AddrMap,
     /// Payload addresses of `Lis`/`Str` compounds currently being
     /// extracted (the path from the roots to here). A sharing hit on one
     /// of these is a back-edge — a cyclic heap term (occurs-check-free
@@ -72,6 +173,12 @@ struct Extractor<'h> {
     open: Vec<usize>,
     /// Cell addresses of `AbsList`s currently being extracted.
     open_lists: Vec<usize>,
+    /// Scratch cycle-guard for [`Self::summarize`] walks (summaries run
+    /// on every sharing check and depth cut; reallocating the guard per
+    /// walk showed up in profiles).
+    visiting: Vec<usize>,
+    /// Retired `Struct` argument vectors; see [`ExtractScratch::args_pool`].
+    args_pool: Vec<Vec<NodeId>>,
 }
 
 impl Extractor<'_> {
@@ -80,10 +187,24 @@ impl Extractor<'_> {
         self.nodes.len() - 1
     }
 
+    /// An empty argument vector, recycled from the pool when available.
+    fn take_args(&mut self) -> Vec<NodeId> {
+        self.args_pool.pop().unwrap_or_default()
+    }
+
+    /// [`Self::summarize`] through the reusable scratch guard.
+    fn summarize_scratch(&mut self, cell: ACell) -> AbsLeaf {
+        let mut visiting = std::mem::take(&mut self.visiting);
+        visiting.clear();
+        let leaf = self.summarize(cell, &mut visiting);
+        self.visiting = visiting;
+        leaf
+    }
+
     /// Emit `cell`'s summary leaf — the depth cut, also used to break
     /// back-edges of cyclic heap terms.
     fn summary_node(&mut self, cell: ACell) -> NodeId {
-        let leaf = self.summarize(cell, &mut Vec::new());
+        let leaf = self.summarize_scratch(cell);
         // A summarized subterm loses its aliasing links, so it may not
         // claim definite freeness (see DESIGN.md §3.4).
         let leaf = if leaf == AbsLeaf::Var {
@@ -103,7 +224,7 @@ impl Extractor<'_> {
         match cell {
             ACell::Ref(_) | ACell::Abs(_) | ACell::AbsList(_) => {
                 if let Some(a) = addr {
-                    if let Some(&(_, n)) = self.map.iter().find(|&&(k, _)| k == a) {
+                    if let Some(n) = self.map.get(a) {
                         // A `Ref`/`Abs` hit is always a cross-edge (leaves
                         // have no descendants); only an `AbsList` can be
                         // an in-progress ancestor.
@@ -112,18 +233,18 @@ impl Extractor<'_> {
                         }
                         // Ground cells are never shared (checked lazily:
                         // hits are rare, groundness walks are not free).
-                        if !self.summarize(cell, &mut Vec::new()).is_ground() {
+                        if !self.summarize_scratch(cell).is_ground() {
                             return n;
                         }
                     }
                 }
             }
             ACell::Lis(p) | ACell::Str(p) => {
-                if let Some(&(_, n)) = self.pair_map.iter().find(|&&(k, _)| k == p) {
+                if let Some(n) = self.pair_map.get(p) {
                     if self.open.contains(&p) {
                         return self.summary_node(cell);
                     }
-                    if !self.summarize(cell, &mut Vec::new()).is_ground() {
+                    if !self.summarize_scratch(cell).is_ground() {
                         return n;
                     }
                 }
@@ -136,14 +257,14 @@ impl Extractor<'_> {
         match cell {
             ACell::Ref(a) => {
                 let id = self.push(PNode::Leaf(AbsLeaf::Var));
-                self.map.push((a, id));
+                self.map.insert(a, id);
                 id
             }
             ACell::Abs(l) => {
                 let id = self.push(PNode::Leaf(l));
                 if let Some(a) = addr {
                     if !l.is_ground() {
-                        self.map.push((a, id));
+                        self.map.insert(a, id);
                     }
                 }
                 id
@@ -151,7 +272,7 @@ impl Extractor<'_> {
             ACell::AbsList(e) => {
                 let id = self.push(PNode::Leaf(AbsLeaf::Any)); // placeholder
                 if let Some(a) = addr {
-                    self.map.push((a, id));
+                    self.map.insert(a, id);
                 }
                 // Element subgraphs are unaliased type descriptions;
                 // extract them fresh below the list node.
@@ -169,24 +290,29 @@ impl Extractor<'_> {
             ACell::Int(i) => self.push(PNode::Int(i)),
             ACell::Lis(p) => {
                 let id = self.push(PNode::Leaf(AbsLeaf::Any)); // placeholder
-                self.pair_map.push((p, id));
+                self.pair_map.insert(p, id);
                 self.open.push(p);
                 let car = self.node(ACell::Ref(p), depth + 1);
                 let cdr = self.node(ACell::Ref(p + 1), depth + 1);
                 self.open.pop();
-                self.nodes[id] = PNode::Struct(absdom::dot_symbol(), vec![car, cdr]);
+                let mut args = self.take_args();
+                args.push(car);
+                args.push(cdr);
+                self.nodes[id] = PNode::Struct(absdom::dot_symbol(), args);
                 id
             }
             ACell::Str(p) => {
                 let id = self.push(PNode::Leaf(AbsLeaf::Any)); // placeholder
-                self.pair_map.push((p, id));
+                self.pair_map.insert(p, id);
                 self.open.push(p);
                 let ACell::Fun(f, n) = self.heap[p] else {
                     unreachable!("Str points at Fun");
                 };
-                let args = (0..n as usize)
-                    .map(|i| self.node(ACell::Ref(p + 1 + i), depth + 1))
-                    .collect();
+                let mut args = self.take_args();
+                for i in 0..n as usize {
+                    let child = self.node(ACell::Ref(p + 1 + i), depth + 1);
+                    args.push(child);
+                }
                 self.open.pop();
                 self.nodes[id] = PNode::Struct(f, args);
                 id
@@ -215,21 +341,24 @@ impl Extractor<'_> {
                 }
             }
             ACell::Con(_) | ACell::Int(_) => AbsLeaf::Ground,
-            ACell::Lis(p) => self.summarize_compound(&[p, p + 1], p, visiting),
+            ACell::Lis(p) => self.summarize_compound(p, 2, p, visiting),
             ACell::Str(p) => {
                 let ACell::Fun(_, n) = self.heap[p] else {
                     unreachable!()
                 };
-                let addrs: Vec<usize> = (0..n as usize).map(|i| p + 1 + i).collect();
-                self.summarize_compound(&addrs, p, visiting)
+                self.summarize_compound(p + 1, n as usize, p, visiting)
             }
             ACell::Fun(..) => unreachable!(),
         }
     }
 
+    /// Summarize a compound whose children live in the contiguous cell
+    /// range `start..start + count` (cons pairs and struct argument
+    /// blocks both do — which is what keeps this walk allocation-free).
     fn summarize_compound(
         &self,
-        child_addrs: &[usize],
+        start: usize,
+        count: usize,
         mark: usize,
         visiting: &mut Vec<usize>,
     ) -> AbsLeaf {
@@ -239,9 +368,8 @@ impl Extractor<'_> {
             return AbsLeaf::NonVar;
         }
         visiting.push(mark);
-        let all_ground = child_addrs
-            .iter()
-            .all(|&a| self.summarize(ACell::Ref(a), visiting).is_ground());
+        let all_ground =
+            (start..start + count).all(|a| self.summarize(ACell::Ref(a), visiting).is_ground());
         visiting.pop();
         if all_ground {
             AbsLeaf::Ground
@@ -254,10 +382,38 @@ impl Extractor<'_> {
 /// Materialize `pattern` as fresh heap cells; returns one cell per root.
 /// Sharing in the pattern becomes sharing on the heap.
 pub fn materialize(heap: &mut Vec<ACell>, pattern: &Pattern) -> Vec<ACell> {
-    let mut done: Vec<Option<ACell>> = vec![None; pattern.nodes().len()];
-    (0..pattern.arity())
-        .map(|i| materialize_node(heap, pattern, pattern.root(i), &mut done))
-        .collect()
+    materialize_with(heap, pattern, &mut Vec::new())
+}
+
+/// [`materialize`] with a caller-provided memo scratch, so hot callers
+/// (one materialization per clause exploration and per consult hit)
+/// reuse one allocation instead of building a fresh memo each time.
+pub fn materialize_with(
+    heap: &mut Vec<ACell>,
+    pattern: &Pattern,
+    done: &mut Vec<Option<ACell>>,
+) -> Vec<ACell> {
+    let mut out = Vec::new();
+    materialize_into(heap, pattern, done, &mut out);
+    out
+}
+
+/// [`materialize_with`] writing the root cells into `out` (cleared
+/// first) — the fully scratch-backed form the abstract machine uses, so
+/// applying a memoized success pattern allocates nothing.
+pub fn materialize_into(
+    heap: &mut Vec<ACell>,
+    pattern: &Pattern,
+    done: &mut Vec<Option<ACell>>,
+    out: &mut Vec<ACell>,
+) {
+    done.clear();
+    done.resize(pattern.nodes().len(), None);
+    out.clear();
+    for i in 0..pattern.arity() {
+        let cell = materialize_node(heap, pattern, pattern.root(i), done);
+        out.push(cell);
+    }
 }
 
 /// Materialize a single node subgraph (fresh cells, memoized sharing).

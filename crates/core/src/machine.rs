@@ -21,7 +21,7 @@
 //!   iterated directly, as §5 prescribes.
 
 use crate::acell::ACell;
-use crate::extract::{deref, extract, materialize};
+use crate::extract::{deref, extract, extract_with, materialize, materialize_into, ExtractScratch};
 use crate::table::{DerivationOrigin, EtImpl, ExtensionTable};
 use crate::IterationStrategy;
 use absdom::{AbsLeaf, DomainConfig, Pattern, PatternId, SessionInterner};
@@ -93,7 +93,6 @@ pub struct AbstractMachine<'p> {
     /// now that recursion flows through the shared dispatch loop).
     depth: usize,
     depth_k: usize,
-    et_impl: EtImpl,
     config: DomainConfig,
     strategy: IterationStrategy,
     /// Dependency log of the entry currently being explored (stack of
@@ -167,6 +166,26 @@ pub struct AbstractMachine<'p> {
     prov_stack: Vec<(usize, usize, PatternId)>,
     tracer: Option<&'p mut dyn Tracer>,
     max_depth: usize,
+    /// Scratch worklist for [`Self::unify`] (reset-not-free: taken and
+    /// returned around each unification instead of reallocated).
+    unify_stack: Vec<(ACell, ACell)>,
+    /// Scratch pair-memo for [`Self::unify`], same lifecycle.
+    unify_seen: Vec<(usize, usize)>,
+    /// Scratch memo for materializations (cleared and resized per use).
+    mat_done: Vec<Option<ACell>>,
+    /// Scratch argument cells for [`Self::apply_success`] (safe to share:
+    /// applying a summary never re-enters the solver).
+    apply_args: Vec<ACell>,
+    /// Pool of argument-cell vectors for [`Self::solve_call`] /
+    /// [`Self::explore_entry`]. Those frames are recursive, so a single
+    /// scratch would be clobbered; a pool hands each depth its own buffer
+    /// and takes it back on the way out.
+    cell_pool: Vec<Vec<ACell>>,
+    /// Scratch buffers for the per-clause summary fast-path check.
+    match_scratch: crate::matcher::MatchScratch,
+    /// Scratch buffers for pattern extraction (one per machine; the
+    /// extracted pattern is interned clone-on-miss straight out of here).
+    extract_scratch: ExtractScratch,
 }
 
 /// The abstract interpretation of §4–§5: `s_unify` and complex-term
@@ -429,6 +448,10 @@ impl<'p> AbstractMachine<'p> {
     /// high-water mark so that no seeded entry is mistaken for "already
     /// explored this round"; fixpoint runs report rounds *performed by
     /// that run*, so seeded and fresh runs stay comparable.
+    ///
+    /// The `et` parameter is the ablation label the `table` was created
+    /// with; the unified id-indexed consult means the machine itself no
+    /// longer branches on it.
     pub fn with_table(
         program: &'p CompiledProgram,
         depth_k: usize,
@@ -438,6 +461,7 @@ impl<'p> AbstractMachine<'p> {
     ) -> Self {
         let iter = table.max_explored_iter();
         let record_provenance = table.provenance_enabled();
+        debug_assert_eq!(et, table.impl_kind(), "table built for a different EtImpl");
         AbstractMachine {
             program,
             table,
@@ -445,7 +469,6 @@ impl<'p> AbstractMachine<'p> {
             frame: Frame::new(),
             depth: 0,
             depth_k,
-            et_impl: et,
             config: DomainConfig::FULL,
             strategy: IterationStrategy::GlobalRestart,
             dep_stack: Vec::new(),
@@ -473,6 +496,13 @@ impl<'p> AbstractMachine<'p> {
             record_provenance,
             prov_stack: Vec::new(),
             tracer: None,
+            unify_stack: Vec::new(),
+            unify_seen: Vec::new(),
+            extract_scratch: ExtractScratch::default(),
+            mat_done: Vec::new(),
+            apply_args: Vec::new(),
+            cell_pool: Vec::new(),
+            match_scratch: crate::matcher::MatchScratch::default(),
             max_depth: 2_000,
         }
     }
@@ -607,7 +637,7 @@ impl<'p> AbstractMachine<'p> {
             self.stats.note_trail(self.frame.trail.len());
             self.frame.heap.clear();
             self.frame.trail.clear();
-            self.frame.envs.clear();
+            self.frame.clear_envs();
             self.frame.e = None;
             let args = materialize(&mut self.frame.heap, entry);
             for (i, cell) in args.iter().enumerate() {
@@ -648,7 +678,7 @@ impl<'p> AbstractMachine<'p> {
         self.iter += 1;
         self.frame.heap.clear();
         self.frame.trail.clear();
-        self.frame.envs.clear();
+        self.frame.clear_envs();
         self.frame.e = None;
         let args = materialize(&mut self.frame.heap, entry);
         for (i, cell) in args.iter().enumerate() {
@@ -665,7 +695,7 @@ impl<'p> AbstractMachine<'p> {
             self.stats.note_trail(self.frame.trail.len());
             self.frame.heap.clear();
             self.frame.trail.clear();
-            self.frame.envs.clear();
+            self.frame.clear_envs();
             self.frame.e = None;
             self.depth = 0;
             self.explore_entry(p, i)?;
@@ -698,10 +728,6 @@ impl<'p> AbstractMachine<'p> {
     /// caches stay warm for the next query).
     pub fn into_parts(self) -> (ExtensionTable, SessionInterner) {
         (self.table, self.interner)
-    }
-
-    fn table_impl_uses_hash(&self) -> bool {
-        self.et_impl == EtImpl::Hashed
     }
 
     /// Restrict the abstract domain (precision ablation). Patterns are
@@ -768,10 +794,20 @@ impl<'p> AbstractMachine<'p> {
     }
 
     /// Extract and intern in one step: the id-returning form every table
-    /// consult and update goes through.
+    /// consult and update goes through. In the full domain (the common
+    /// case) the pattern is built in the machine's scratch buffers and
+    /// interned clone-on-miss, so a repeat extraction never allocates.
     fn extract_pattern_id(&mut self, args: &[ACell]) -> PatternId {
-        let p = self.extract_pattern(args);
-        self.interner.intern(p)
+        if self.config.is_full() {
+            let mut scratch = std::mem::take(&mut self.extract_scratch);
+            let p = extract_with(&self.frame.heap, args, self.depth_k, &mut scratch);
+            let id = self.interner.intern_ref(p);
+            self.extract_scratch = scratch;
+            id
+        } else {
+            let p = self.extract_pattern(args);
+            self.interner.intern(p)
+        }
     }
 
     // ----- the reinterpreted `call` (Figure 5) -----
@@ -786,30 +822,17 @@ impl<'p> AbstractMachine<'p> {
         }
         self.call_count += 1;
         let arity = self.program.predicates[pred].key.arity;
-        let caller_args: Vec<ACell> = self.frame.x[..arity].to_vec();
-        // Consult the table by walking the stored patterns directly against
-        // the argument cells (allocation-free); the pattern is only *built*
-        // when a new entry must be inserted.
+        let mut caller_args = self.cell_pool.pop().unwrap_or_default();
+        caller_args.clear();
+        caller_args.extend_from_slice(&self.frame.x[..arity]);
+        // Interned consult, identical in both table modes: build + intern
+        // the calling pattern once, then the lookup is a single id-indexed
+        // probe (the Linear rescan — and the structural matcher that
+        // used to avoid it — are gone; `ExtensionTable::find` asserts
+        // probe/scan parity in debug builds).
         let t0 = self.profile_timing.then(Stopwatch::start);
-        let use_matcher = !self.table_impl_uses_hash() && self.config.is_full();
-        let (found, consult_cp) = if use_matcher {
-            // Structural path: walk the stored patterns (resolved through
-            // the interner) directly against the argument cells; nothing
-            // is built unless a new entry must be inserted.
-            let heap = &self.frame.heap;
-            let depth_k = self.depth_k;
-            let interner = &self.interner;
-            let found = self.table.find_by(pred, |id| {
-                crate::matcher::matches(heap, &caller_args, depth_k, interner.resolve(id))
-            });
-            (found, None)
-        } else {
-            // Interned consult: build + intern the calling pattern once,
-            // then the lookup is an integer compare (linear scan) or an
-            // id-keyed map probe (hashed).
-            let cp = self.extract_pattern_id(&caller_args);
-            (self.table.find(pred, cp), Some(cp))
-        };
+        let cp = self.extract_pattern_id(&caller_args);
+        let found = self.table.find(pred, cp);
         if let Some(t0) = t0 {
             let consult_ns = t0.elapsed_ns();
             self.table_ns += consult_ns;
@@ -836,19 +859,6 @@ impl<'p> AbstractMachine<'p> {
                 hit,
             });
         }
-        #[cfg(debug_assertions)]
-        if use_matcher {
-            let cp = extract(&self.frame.heap, &caller_args, self.depth_k);
-            // `lookup`/`find_quiet` keep the stats counters identical
-            // between debug and release builds. A pattern the interner
-            // has never seen cannot be in the table: every stored call id
-            // was interned at insert time.
-            let by_eq = self
-                .interner
-                .lookup(&cp)
-                .and_then(|id| self.table.find_quiet(pred, id));
-            assert_eq!(found, by_eq, "matcher/extractor parity");
-        }
         let entry_idx = match found {
             Some(idx) => {
                 let explored = match self.strategy {
@@ -864,25 +874,19 @@ impl<'p> AbstractMachine<'p> {
                 if explored {
                     let success = self.table.entry(pred, idx).success;
                     self.note_dep(pred, idx);
-                    return Ok(match success {
+                    let ok = match success {
                         Some(sp) => self.apply_success(&caller_args, sp),
                         None => false,
-                    });
+                    };
+                    self.cell_pool.push(caller_args);
+                    return Ok(ok);
                 }
                 self.table.mark_explored(pred, idx, self.iter);
                 idx
             }
             None => {
-                let t0 = self.profile_timing.then(Stopwatch::start);
-                // The interned consult already built the id; the matcher
-                // path only builds it now, on the insert path.
-                let cp = match consult_cp {
-                    Some(cp) => cp,
-                    None => self.extract_pattern_id(&caller_args),
-                };
-                if let Some(t0) = t0 {
-                    self.extract_ns += t0.elapsed_ns();
-                }
+                // The consult above already built and interned the id;
+                // the insert reuses it as-is.
                 if self.tracer.is_some() {
                     let pattern = self.interner.resolve(cp).display(&self.program.interner);
                     self.trace(|prog| TraceEvent::EtInsert {
@@ -916,10 +920,12 @@ impl<'p> AbstractMachine<'p> {
         self.explore_entry(pred, entry_idx)?;
         self.note_dep(pred, entry_idx);
         let success = self.table.entry(pred, entry_idx).success;
-        match success {
-            Some(sp) => Ok(self.apply_success(&caller_args, sp)),
-            None => Ok(false),
-        }
+        let ok = match success {
+            Some(sp) => self.apply_success(&caller_args, sp),
+            None => false,
+        };
+        self.cell_pool.push(caller_args);
+        Ok(ok)
     }
 
     /// Explore every clause of `(pred, entry_idx)` on fresh
@@ -964,8 +970,13 @@ impl<'p> AbstractMachine<'p> {
                 clause: clause_idx,
             });
             let t0 = self.profile_timing.then(Stopwatch::start);
-            let callee_args =
-                materialize(&mut self.frame.heap, self.interner.resolve(call_pattern));
+            let mut callee_args = self.cell_pool.pop().unwrap_or_default();
+            materialize_into(
+                &mut self.frame.heap,
+                self.interner.resolve(call_pattern),
+                &mut self.mat_done,
+                &mut callee_args,
+            );
             if let Some(t0) = t0 {
                 self.materialize_ns += t0.elapsed_ns();
             }
@@ -985,12 +996,18 @@ impl<'p> AbstractMachine<'p> {
                 let t0 = self.profile_timing.then(Stopwatch::start);
                 let unchanged = self.config.is_full()
                     && match self.table.entry(pred, entry_idx).success {
-                        Some(sp) => crate::matcher::matches(
-                            &self.frame.heap,
-                            &callee_args,
-                            self.depth_k,
-                            self.interner.resolve(sp),
-                        ),
+                        Some(sp) => {
+                            let mut scratch = std::mem::take(&mut self.match_scratch);
+                            let hit = crate::matcher::matches_with(
+                                &self.frame.heap,
+                                &callee_args,
+                                self.depth_k,
+                                self.interner.resolve(sp),
+                                &mut scratch,
+                            );
+                            self.match_scratch = scratch;
+                            hit
+                        }
                         None => false,
                     };
                 if let Some(t0) = t0 {
@@ -1044,8 +1061,9 @@ impl<'p> AbstractMachine<'p> {
                 clause: clause_idx,
             });
             self.undo_to(trail_mark, heap_mark);
-            self.frame.envs.truncate(env_mark);
+            self.frame.truncate_envs(env_mark);
             self.frame.e = saved_e;
+            self.cell_pool.push(callee_args);
         }
 
         if let Some(watch) = frame_watch {
@@ -1085,13 +1103,22 @@ impl<'p> AbstractMachine<'p> {
     /// Unify the caller's argument cells with a fresh materialization of
     /// the summarized success pattern (deterministic return).
     fn apply_success(&mut self, caller_args: &[ACell], sp: PatternId) -> bool {
-        let cells = materialize(&mut self.frame.heap, self.interner.resolve(sp));
-        for (arg, cell) in caller_args.iter().zip(cells) {
-            if !self.unify(*arg, cell) {
-                return false;
+        let mut cells = std::mem::take(&mut self.apply_args);
+        materialize_into(
+            &mut self.frame.heap,
+            self.interner.resolve(sp),
+            &mut self.mat_done,
+            &mut cells,
+        );
+        let mut ok = true;
+        for (arg, cell) in caller_args.iter().zip(&cells) {
+            if !self.unify(*arg, *cell) {
+                ok = false;
+                break;
             }
         }
-        true
+        self.apply_args = cells;
+        ok
     }
 
     // ----- clause execution -----
@@ -1192,8 +1219,16 @@ impl<'p> AbstractMachine<'p> {
     /// heap). Sound: the result state covers every concrete state any
     /// covered pair of terms could unify into.
     pub(crate) fn unify(&mut self, a: ACell, b: ACell) -> bool {
-        let mut stack = vec![(a, b)];
-        let mut seen: Vec<(usize, usize)> = Vec::new();
+        // Scratch reuse: `unify` fires on nearly every abstract get/unify
+        // instruction, so its worklist and pair-memo live on the machine
+        // (taken/returned around the call) instead of being reallocated
+        // per unification.
+        let mut stack = std::mem::take(&mut self.unify_stack);
+        let mut seen = std::mem::take(&mut self.unify_seen);
+        stack.clear();
+        seen.clear();
+        stack.push((a, b));
+        let mut ok = true;
         while let Some((a, b)) = stack.pop() {
             let (ca, aa) = deref(&self.frame.heap, a);
             let (cb, ab) = deref(&self.frame.heap, b);
@@ -1208,10 +1243,13 @@ impl<'p> AbstractMachine<'p> {
                 seen.push(key);
             }
             if !self.unify_one(ca, aa, cb, ab, &mut stack) {
-                return false;
+                ok = false;
+                break;
             }
         }
-        true
+        self.unify_stack = stack;
+        self.unify_seen = seen;
+        ok
     }
 
     #[allow(clippy::too_many_lines)]

@@ -14,32 +14,69 @@
 //! this matcher.
 
 use crate::acell::ACell;
-use crate::extract::deref;
+use crate::extract::{deref, AddrMap};
 use absdom::{AbsLeaf, PNode, Pattern};
 
 /// Does `extract(heap, args, depth_k)` equal `pattern`? (Allocation-free.)
 pub fn matches(heap: &[ACell], args: &[ACell], depth_k: usize, pattern: &Pattern) -> bool {
+    matches_with(heap, args, depth_k, pattern, &mut MatchScratch::default())
+}
+
+/// Reusable buffers for [`matches_with`] — one per machine, so the
+/// per-clause fast-path check touches the allocator only while warming.
+#[derive(Debug, Default)]
+pub struct MatchScratch {
+    open_map: AddrMap,
+    pair_map: AddrMap,
+    open: Vec<usize>,
+    open_lists: Vec<usize>,
+    visiting: Vec<usize>,
+}
+
+/// [`matches()`] through caller-provided scratch buffers.
+pub fn matches_with(
+    heap: &[ACell],
+    args: &[ACell],
+    depth_k: usize,
+    pattern: &Pattern,
+    scratch: &mut MatchScratch,
+) -> bool {
     if args.len() != pattern.arity() {
         return false;
     }
+    scratch.open_map.begin(heap.len());
+    scratch.pair_map.begin(heap.len());
+    scratch.open.clear();
+    scratch.open_lists.clear();
     let mut m = Matcher {
         heap,
         depth_k,
         pattern,
         next: 0,
-        open_map: Vec::new(),
-        pair_map: Vec::new(),
-        open: Vec::new(),
-        open_lists: Vec::new(),
+        open_map: std::mem::take(&mut scratch.open_map),
+        pair_map: std::mem::take(&mut scratch.pair_map),
+        open: std::mem::take(&mut scratch.open),
+        open_lists: std::mem::take(&mut scratch.open_lists),
+        visiting: std::mem::take(&mut scratch.visiting),
     };
+    let mut ok = true;
     for (i, &arg) in args.iter().enumerate() {
         match m.walk(arg, 0) {
             Some(id) if id == pattern.root(i) => {}
-            _ => return false,
+            _ => {
+                ok = false;
+                break;
+            }
         }
     }
     // Every pattern node must have been produced (same node count).
-    m.next == pattern.nodes().len()
+    let ok = ok && m.next == pattern.nodes().len();
+    scratch.open_map = m.open_map;
+    scratch.pair_map = m.pair_map;
+    scratch.open = m.open;
+    scratch.open_lists = m.open_lists;
+    scratch.visiting = m.visiting;
+    ok
 }
 
 struct Matcher<'a> {
@@ -49,14 +86,16 @@ struct Matcher<'a> {
     /// The id extraction would assign to the next fresh node.
     next: usize,
     /// Shared open cells (addr → node id).
-    open_map: Vec<(usize, usize)>,
+    open_map: AddrMap,
     /// Shared compound payloads (addr → node id).
-    pair_map: Vec<(usize, usize)>,
+    pair_map: AddrMap,
     /// `Lis`/`Str` payload addresses on the current walk path (the
     /// extractor's back-edge cut for cyclic terms).
     open: Vec<usize>,
     /// `AbsList` cell addresses on the current walk path.
     open_lists: Vec<usize>,
+    /// Scratch cycle-guard for summary walks.
+    visiting: Vec<usize>,
 }
 
 impl Matcher<'_> {
@@ -69,7 +108,7 @@ impl Matcher<'_> {
         match cell {
             ACell::Ref(_) | ACell::Abs(_) | ACell::AbsList(_) => {
                 if let Some(a) = addr {
-                    if let Some(&(_, n)) = self.open_map.iter().find(|&&(k, _)| k == a) {
+                    if let Some(n) = self.open_map.get(a) {
                         if matches!(cell, ACell::AbsList(_)) && self.open_lists.contains(&a) {
                             return self.summary_leaf(cell);
                         }
@@ -80,7 +119,7 @@ impl Matcher<'_> {
                 }
             }
             ACell::Lis(p) | ACell::Str(p) => {
-                if let Some(&(_, n)) = self.pair_map.iter().find(|&&(k, _)| k == p) {
+                if let Some(n) = self.pair_map.get(p) {
                     if self.open.contains(&p) {
                         return self.summary_leaf(cell);
                     }
@@ -100,7 +139,7 @@ impl Matcher<'_> {
                 if !matches!(self.pattern.node(id), PNode::Leaf(AbsLeaf::Var)) {
                     return None;
                 }
-                self.open_map.push((a, id));
+                self.open_map.insert(a, id);
                 Some(id)
             }
             ACell::Abs(l) => {
@@ -110,7 +149,7 @@ impl Matcher<'_> {
                 }
                 if let Some(a) = addr {
                     if !l.is_ground() {
-                        self.open_map.push((a, id));
+                        self.open_map.insert(a, id);
                     }
                 }
                 Some(id)
@@ -121,7 +160,7 @@ impl Matcher<'_> {
                     return None;
                 };
                 if let Some(a) = addr {
-                    self.open_map.push((a, id));
+                    self.open_map.insert(a, id);
                     self.open_lists.push(a);
                 }
                 let got = self.walk(ACell::Ref(e), depth + 1);
@@ -148,7 +187,7 @@ impl Matcher<'_> {
                     return None;
                 }
                 let (car_id, cdr_id) = (kids[0], kids[1]);
-                self.pair_map.push((p, id));
+                self.pair_map.insert(p, id);
                 self.open.push(p);
                 let car = self.walk(ACell::Ref(p), depth + 1)?;
                 if car != car_id {
@@ -170,7 +209,7 @@ impl Matcher<'_> {
                 if g != f || kids.len() != n as usize {
                     return None;
                 }
-                self.pair_map.push((p, id));
+                self.pair_map.insert(p, id);
                 self.open.push(p);
                 for (i, &kid) in kids.iter().enumerate() {
                     let got = self.walk(ACell::Ref(p + 1 + i), depth + 1)?;
@@ -212,8 +251,12 @@ impl Matcher<'_> {
     }
 
     /// Primary approximation of a heap term (mirrors the extractor's).
-    fn summarize(&self, cell: ACell) -> AbsLeaf {
-        summarize_cell(self.heap, cell, &mut Vec::new())
+    fn summarize(&mut self, cell: ACell) -> AbsLeaf {
+        let mut visiting = std::mem::take(&mut self.visiting);
+        visiting.clear();
+        let leaf = summarize_cell(self.heap, cell, &mut visiting);
+        self.visiting = visiting;
+        leaf
     }
 }
 
@@ -237,21 +280,23 @@ pub(crate) fn summarize_cell(heap: &[ACell], cell: ACell, visiting: &mut Vec<usi
             }
         }
         ACell::Con(_) | ACell::Int(_) => AbsLeaf::Ground,
-        ACell::Lis(p) => summarize_compound(heap, &[p, p + 1], p, visiting),
+        ACell::Lis(p) => summarize_compound(heap, p, 2, p, visiting),
         ACell::Str(p) => {
             let ACell::Fun(_, n) = heap[p] else {
                 unreachable!()
             };
-            let addrs: Vec<usize> = (0..n as usize).map(|i| p + 1 + i).collect();
-            summarize_compound(heap, &addrs, p, visiting)
+            summarize_compound(heap, p + 1, n as usize, p, visiting)
         }
         ACell::Fun(..) => unreachable!(),
     }
 }
 
+/// Summarize a compound whose children live in the contiguous cell range
+/// `start..start + count` (cons pairs and struct argument blocks both do).
 fn summarize_compound(
     heap: &[ACell],
-    child_addrs: &[usize],
+    start: usize,
+    count: usize,
     mark: usize,
     visiting: &mut Vec<usize>,
 ) -> AbsLeaf {
@@ -259,9 +304,8 @@ fn summarize_compound(
         return AbsLeaf::NonVar;
     }
     visiting.push(mark);
-    let all_ground = child_addrs
-        .iter()
-        .all(|&a| summarize_cell(heap, ACell::Ref(a), visiting).is_ground());
+    let all_ground =
+        (start..start + count).all(|a| summarize_cell(heap, ACell::Ref(a), visiting).is_ground());
     visiting.pop();
     if all_ground {
         AbsLeaf::Ground

@@ -99,7 +99,12 @@ struct PredTable {
     /// exploration read; parallel to `entries` (kept out of [`Entry`] so
     /// the entry itself stays `Copy`).
     deps: Vec<Vec<(usize, usize, u64)>>,
-    /// Calling-pattern id → entry index. A fixed-seed hash map
+    /// Calling-pattern id → entry index, maintained in **both** table
+    /// modes. `Hashed` consults it directly; `Linear` uses it as an
+    /// id-indexed probe that replaces the per-entry rescan while keeping
+    /// the paper's semantics (interned ids make `call == entry.call` an
+    /// integer compare, so one probe decides what the scan decided —
+    /// debug builds assert the parity). A fixed-seed hash map
     /// ([`FxHashMap`]), not `std`'s `RandomState`-seeded one: the
     /// per-instance random seed would make any future iteration over the
     /// index nondeterministic between runs (the same bug class the
@@ -182,49 +187,30 @@ impl ExtensionTable {
         }
     }
 
-    /// Index of the first entry under `pred` whose calling pattern
-    /// satisfies `test` (used with the allocation-free matcher; the
-    /// closure receives the interned calling-pattern id).
-    pub fn find_by(
-        &mut self,
-        pred: usize,
-        mut test: impl FnMut(PatternId) -> bool,
-    ) -> Option<usize> {
-        self.stats.lookups += 1;
-        let table = &self.preds[pred];
-        for (i, e) in table.entries.iter().enumerate() {
-            self.stats.scan_steps += 1;
-            if test(e.call) {
-                self.stats.hits += 1;
-                return Some(i);
-            }
-        }
-        self.stats.misses += 1;
-        None
+    /// The lookup-structure label this table was created with. Since the
+    /// id-indexed probe unified the consult path, both modes share the
+    /// same lookup code; the label remains for ablation reporting.
+    pub fn impl_kind(&self) -> EtImpl {
+        self.impl_kind
     }
 
     /// Index of the entry for `call` under `pred`, if present. Equality
-    /// is an integer compare on interned ids.
+    /// is an integer compare on interned ids, and both table modes answer
+    /// from the per-predicate id index in one probe (`scan_steps` remains
+    /// the consult-cost counter: exactly one step per lookup now). The
+    /// Linear mode's probe is semantics-preserving — interned ids are
+    /// canonical, so the probe finds precisely the entry the paper's
+    /// linear rescan would have found, which debug builds re-check
+    /// against the scan on every call.
     pub fn find(&mut self, pred: usize, call: PatternId) -> Option<usize> {
         self.stats.lookups += 1;
-        let found = match self.impl_kind {
-            EtImpl::Linear => {
-                let table = &self.preds[pred];
-                let mut found = None;
-                for (i, e) in table.entries.iter().enumerate() {
-                    self.stats.scan_steps += 1;
-                    if e.call == call {
-                        found = Some(i);
-                        break;
-                    }
-                }
-                found
-            }
-            EtImpl::Hashed => {
-                self.stats.scan_steps += 1;
-                self.preds[pred].index.get(&call).copied()
-            }
-        };
+        self.stats.scan_steps += 1;
+        let found = self.preds[pred].index.get(&call).copied();
+        debug_assert_eq!(
+            found,
+            self.preds[pred].entries.iter().position(|e| e.call == call),
+            "id-indexed probe diverged from the linear rescan"
+        );
         if found.is_some() {
             self.stats.hits += 1;
         } else {
@@ -237,10 +223,7 @@ impl ExtensionTable {
     /// Used by debug-only consistency checks so that the counters stay
     /// identical between debug and release builds.
     pub fn find_quiet(&self, pred: usize, call: PatternId) -> Option<usize> {
-        match self.impl_kind {
-            EtImpl::Linear => self.preds[pred].entries.iter().position(|e| e.call == call),
-            EtImpl::Hashed => self.preds[pred].index.get(&call).copied(),
-        }
+        self.preds[pred].index.get(&call).copied()
     }
 
     /// The entry at `(pred, idx)`.
@@ -292,9 +275,10 @@ impl ExtensionTable {
         self.max_explored = self.max_explored.max(iter);
         let table = &mut self.preds[pred];
         let idx = table.entries.len();
-        if self.impl_kind == EtImpl::Hashed {
-            table.index.insert(call, idx);
-        }
+        // Both modes maintain the id index (see `PredTable::index`); the
+        // `impl_kind` distinction is now purely the ablation label plus
+        // the historical counter semantics.
+        table.index.insert(call, idx);
         table.entries.push(Entry {
             call,
             success: None,
@@ -551,7 +535,10 @@ mod tests {
         assert_eq!(stats.lookups, 2);
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 1);
-        assert_eq!(stats.scan_steps, 4, "each linear scan walked both entries");
+        assert_eq!(
+            stats.scan_steps, 2,
+            "id-indexed consult: one probe per lookup"
+        );
         assert_eq!(stats.inserts, 2);
     }
 

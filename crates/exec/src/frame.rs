@@ -19,14 +19,24 @@ pub enum Mode {
 /// The abstract machine never reads `cont` or `cut` (calls return
 /// deterministically and cut is `true`), but keeping the concrete layout
 /// costs nothing and keeps `allocate` domain-independent.
-#[derive(Debug, Clone)]
-pub struct Env<C> {
+///
+/// Permanent registers live in the frame-wide [`Frame::ybank`] arena, not
+/// in a per-environment `Vec`: `allocate` bump-extends the bank and
+/// records only `[y_base, y_base + y_len)` here, so pushing an environment
+/// never calls the allocator once the bank is warm. `y_base` is monotonic
+/// in environment index, which is what lets [`Frame::truncate_envs`]
+/// reclaim both stacks in lockstep.
+#[derive(Debug, Clone, Copy)]
+pub struct Env {
     /// Previous environment (dynamic chain).
     pub prev: Option<usize>,
     /// Saved continuation pointer.
     pub cont: Option<usize>,
-    /// Permanent registers `Y1..Yn`.
-    pub y: Vec<C>,
+    /// First slot of this environment's permanent registers in
+    /// [`Frame::ybank`].
+    pub y_base: usize,
+    /// Number of permanent registers `Y1..Yn`.
+    pub y_len: u16,
     /// Choice-stack height saved by `get_level` (the cut barrier).
     pub cut: usize,
 }
@@ -46,7 +56,10 @@ pub struct Frame<C, E> {
     /// Argument/temporary registers `X1..Xn` (grown on demand).
     pub x: Vec<C>,
     /// Environment stack.
-    pub envs: Vec<Env<C>>,
+    pub envs: Vec<Env>,
+    /// Bump arena backing every environment's permanent registers; see
+    /// [`Env::y_base`]. Reset (not freed) with the environment stack.
+    pub ybank: Vec<C>,
     /// Current environment.
     pub e: Option<usize>,
     /// The trail (entries interpreted by the owning interpretation).
@@ -70,14 +83,18 @@ pub struct Frame<C, E> {
 }
 
 impl<C: CellRepr, E> Frame<C, E> {
-    /// A fresh frame with the standard initial register file.
+    /// A fresh frame with the standard initial register file. Every
+    /// memory area is pre-sized to its typical high-water mark (the
+    /// benchmark suite peaks under these bounds), so a run only touches
+    /// the allocator when a program genuinely outgrows them.
     pub fn new() -> Self {
         Frame {
             heap: Vec::with_capacity(1024),
             x: vec![C::null(); 256],
-            envs: Vec::new(),
+            envs: Vec::with_capacity(64),
+            ybank: Vec::with_capacity(256),
             e: None,
-            trail: Vec::new(),
+            trail: Vec::with_capacity(1024),
             pc: 0,
             cont: None,
             b0: 0,
@@ -95,7 +112,9 @@ impl<C: CellRepr, E> Frame<C, E> {
             Slot::X(n) => self.x[n as usize],
             Slot::Y(n) => {
                 let e = self.e.expect("Y access with no environment");
-                self.envs[e].y[n as usize]
+                let env = &self.envs[e];
+                debug_assert!(n < env.y_len, "Y{} out of environment", n + 1);
+                self.ybank[env.y_base + n as usize]
             }
         }
     }
@@ -112,9 +131,46 @@ impl<C: CellRepr, E> Frame<C, E> {
             }
             Slot::Y(n) => {
                 let e = self.e.expect("Y access with no environment");
-                self.envs[e].y[n as usize] = cell;
+                let env = &self.envs[e];
+                debug_assert!(n < env.y_len, "Y{} out of environment", n + 1);
+                self.ybank[env.y_base + n as usize] = cell;
             }
         }
+    }
+
+    /// Push a fresh environment with `n` permanent registers, bump-carving
+    /// its Y slots out of [`Frame::ybank`], and make it current.
+    pub fn push_env(&mut self, n: u16, cut: usize) {
+        let y_base = self.ybank.len();
+        self.ybank.resize(y_base + n as usize, C::null());
+        self.envs.push(Env {
+            prev: self.e,
+            cont: self.cont,
+            y_base,
+            y_len: n,
+            cut,
+        });
+        self.e = Some(self.envs.len() - 1);
+    }
+
+    /// Truncate the environment stack to `env_len`, reclaiming the Y-bank
+    /// suffix in lockstep (valid because `y_base` is monotonic in
+    /// environment index). Used by concrete backtracking and by abstract
+    /// per-clause rollback.
+    pub fn truncate_envs(&mut self, env_len: usize) {
+        let bank_len = self
+            .envs
+            .get(env_len)
+            .map_or(self.ybank.len(), |env| env.y_base);
+        self.envs.truncate(env_len);
+        self.ybank.truncate(bank_len);
+    }
+
+    /// Drop every environment, keeping both stacks' capacity
+    /// (reset-not-free, for reuse across fixpoint rounds).
+    pub fn clear_envs(&mut self) {
+        self.envs.clear();
+        self.ybank.clear();
     }
 
     /// Push a fresh unbound variable onto the heap; returns its address.

@@ -106,7 +106,7 @@ impl Phase {
 /// With the `timing` feature disabled this is a zero-sized type and
 /// [`Stopwatch::elapsed_ns`] always returns 0. On x86_64 it reads the
 /// timestamp counter (see the module docs); elsewhere it wraps
-/// [`Instant`].
+/// [`std::time::Instant`].
 #[derive(Clone, Copy, Debug)]
 pub struct Stopwatch {
     #[cfg(all(feature = "timing", target_arch = "x86_64"))]

@@ -15,6 +15,7 @@
 //! | `sessions`  | a warm session hit answers exactly what the cold run said   |
 //! | `budget`    | analysis terminates within the iteration/instruction budget |
 //! | `provenance`| derivation tracking is invisible (byte-identical reports and traces) and every recorded lub chain re-folds to the stored summary |
+//! | `fusion`    | superinstruction fusion is invisible: fused and unfused code give byte-identical traces, reports and opcode histograms |
 
 use absdom::Pattern;
 use awam_core::{Analysis, AnalysisError, Analyzer, BatchGoal, EtImpl};
@@ -53,11 +54,14 @@ pub enum Oracle {
     /// Provenance-on vs provenance-off invisibility plus lub-chain
     /// refolding.
     Provenance,
+    /// Fused-vs-unfused invisibility: byte-identical traces, reports
+    /// and per-opcode histograms.
+    Fusion,
 }
 
 impl Oracle {
     /// Every oracle, in matrix order.
-    pub const ALL: [Oracle; 7] = [
+    pub const ALL: [Oracle; 8] = [
         Oracle::Soundness,
         Oracle::Interning,
         Oracle::Traces,
@@ -65,6 +69,7 @@ impl Oracle {
         Oracle::Sessions,
         Oracle::Budget,
         Oracle::Provenance,
+        Oracle::Fusion,
     ];
 
     /// The CLI name of this oracle.
@@ -77,6 +82,7 @@ impl Oracle {
             Oracle::Sessions => "sessions",
             Oracle::Budget => "budget",
             Oracle::Provenance => "provenance",
+            Oracle::Fusion => "fusion",
         }
     }
 
@@ -121,6 +127,7 @@ pub fn check(oracle: Oracle, source: &str) -> Result<(), OracleOutcome> {
         Oracle::Sessions => setup.sessions(),
         Oracle::Budget => setup.budget(),
         Oracle::Provenance => setup.provenance(),
+        Oracle::Fusion => setup.fusion(),
     }
 }
 
@@ -440,6 +447,58 @@ impl Setup {
             return Err(OracleOutcome::Violation(format!(
                 "recorded derivation does not re-fold: {v}"
             )));
+        }
+        Ok(())
+    }
+
+    /// Superinstruction fusion must be invisible: a fused run and an
+    /// unfused run (`fuse(false)`) of the same program must emit
+    /// byte-identical JSONL traces and reports, execute the same number
+    /// of (constituent-attributed) instructions, and agree on every
+    /// per-opcode dispatch count.
+    fn fusion(&self) -> Result<(), OracleOutcome> {
+        let entry = self.entry_pattern();
+        let mut reports = Vec::new();
+        let mut streams = Vec::new();
+        let mut analyses = Vec::new();
+        for fuse in [true, false] {
+            let analyzer = Analyzer::builder()
+                .et_impl(EtImpl::Linear)
+                .fuse(fuse)
+                .build(self.compiled.clone());
+            let mut tracer = JsonlTracer::new(Vec::new());
+            let analysis = analyzer
+                .analyze_traced("p0", &entry, &mut tracer)
+                .map_err(analysis_outcome)?;
+            streams.push(tracer.into_inner().map_err(|e| infra("trace flush", e))?);
+            reports.push(analysis.report(&analyzer));
+            analyses.push(analysis);
+        }
+        if streams[0] != streams[1] {
+            return Err(OracleOutcome::Violation(
+                "JSONL trace bytes differ between fused and unfused code".into(),
+            ));
+        }
+        if reports[0] != reports[1] {
+            return Err(OracleOutcome::Violation(
+                "analysis report differs between fused and unfused code".into(),
+            ));
+        }
+        if analyses[0].instructions_executed != analyses[1].instructions_executed {
+            return Err(OracleOutcome::Violation(format!(
+                "attributed instruction counts diverge: fused {} vs unfused {}",
+                analyses[0].instructions_executed, analyses[1].instructions_executed
+            )));
+        }
+        for i in 0..wam::NUM_OPCODES {
+            if analyses[0].opcodes.get(i) != analyses[1].opcodes.get(i) {
+                return Err(OracleOutcome::Violation(format!(
+                    "opcode histogram diverges at {}: fused {} vs unfused {}",
+                    wam::OPCODE_NAMES[i],
+                    analyses[0].opcodes.get(i),
+                    analyses[1].opcodes.get(i)
+                )));
+            }
         }
         Ok(())
     }

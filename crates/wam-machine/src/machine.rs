@@ -592,7 +592,7 @@ impl<'p> Machine<'p> {
     fn reset(&mut self) {
         let f = &mut self.frame;
         f.heap.clear();
-        f.envs.clear();
+        f.clear_envs();
         f.trail.clear();
         f.e = None;
         f.cont = None;
@@ -684,7 +684,7 @@ impl<'p> Machine<'p> {
         self.frame.b0 = cp.b0;
         awam_exec::unwind_trail(self, cp.trail_len);
         self.frame.heap.truncate(cp.heap_len);
-        self.frame.envs.truncate(cp.env_len);
+        self.frame.truncate_envs(cp.env_len);
         self.frame.pc = cp.next_alt;
         true
     }

@@ -1,0 +1,310 @@
+//! Peephole superinstruction fusion over compiled code.
+//!
+//! [`fuse_program`] rewrites a [`CompiledProgram`] in place, collapsing the
+//! hot instruction sequences the committed opcode histograms identify —
+//! `get_structure`/`get_list` heads followed by their `unify_*` argument
+//! runs, and runs of two or more consecutive `put_value` moves — into single
+//! fused superinstructions ([`Instr::GetStructureSeq`],
+//! [`Instr::GetListSeq`], [`Instr::PutValueSeq`]). The shared executor in
+//! `awam-exec` then pays one fetch/decode for the whole run instead of one
+//! per constituent.
+//!
+//! Fusion is purely local and semantics-preserving: a fused run never spans
+//! a *barrier* — any address referenced by the predicate table or by a jump
+//! operand — so every control-transfer target remains an instruction
+//! boundary (a barrier may *head* a run, it just can't land inside one).
+//! [`unfuse_program`] is the exact inverse and restores the plain
+//! instruction stream; both passes are idempotent, so applying either to a
+//! program in any fusion state is deterministic.
+
+use crate::compile::CompiledProgram;
+use crate::instr::{CodeAddr, Instr, UnifyOp};
+use std::collections::HashSet;
+
+/// Every code address that some other part of the program can transfer
+/// control to: predicate entries, clause entries, and jump operands. These
+/// must remain instruction starts after fusion.
+fn collect_barriers(p: &CompiledProgram) -> HashSet<CodeAddr> {
+    let mut barriers: HashSet<CodeAddr> = HashSet::new();
+    for pred in &p.predicates {
+        barriers.insert(pred.entry);
+        barriers.extend(pred.clause_entries.iter().copied());
+    }
+    for instr in &p.code {
+        match instr {
+            Instr::TryMeElse(l)
+            | Instr::RetryMeElse(l)
+            | Instr::Try(l)
+            | Instr::Retry(l)
+            | Instr::Trust(l) => {
+                barriers.insert(*l);
+            }
+            Instr::SwitchOnTerm {
+                var,
+                con,
+                lis,
+                str_,
+            } => {
+                barriers.extend([*var, *con, *lis, *str_]);
+            }
+            Instr::SwitchOnConstant(table) => {
+                barriers.extend(table.iter().map(|(_, l)| *l));
+            }
+            Instr::SwitchOnStructure(table) => {
+                barriers.extend(table.iter().map(|(_, l)| *l));
+            }
+            _ => {}
+        }
+    }
+    barriers
+}
+
+/// Rewrite every code-address operand in `code` and every entry in the
+/// predicate table through `map`.
+fn rewrite_addrs(p: &mut CompiledProgram, map: impl Fn(CodeAddr) -> CodeAddr) {
+    for instr in &mut p.code {
+        match instr {
+            Instr::TryMeElse(l)
+            | Instr::RetryMeElse(l)
+            | Instr::Try(l)
+            | Instr::Retry(l)
+            | Instr::Trust(l) => *l = map(*l),
+            Instr::SwitchOnTerm {
+                var,
+                con,
+                lis,
+                str_,
+            } => {
+                *var = map(*var);
+                *con = map(*con);
+                *lis = map(*lis);
+                *str_ = map(*str_);
+            }
+            Instr::SwitchOnConstant(table) => {
+                for (_, l) in table {
+                    *l = map(*l);
+                }
+            }
+            Instr::SwitchOnStructure(table) => {
+                for (_, l) in table {
+                    *l = map(*l);
+                }
+            }
+            _ => {}
+        }
+    }
+    for pred in &mut p.predicates {
+        pred.entry = map(pred.entry);
+        for l in &mut pred.clause_entries {
+            *l = map(*l);
+        }
+    }
+}
+
+/// Collect the maximal fusable `unify_*` run starting at `start`, stopping
+/// at the first barrier or non-unify instruction. Returns the operands and
+/// the index one past the run.
+fn take_unify_run(
+    code: &[Instr],
+    start: usize,
+    barriers: &HashSet<CodeAddr>,
+) -> (Vec<UnifyOp>, usize) {
+    let mut ops = Vec::new();
+    let mut i = start;
+    while i < code.len() && !barriers.contains(&i) {
+        match UnifyOp::from_instr(&code[i]) {
+            Some(op) => {
+                ops.push(op);
+                i += 1;
+            }
+            None => break,
+        }
+    }
+    (ops, i)
+}
+
+/// Fuse hot instruction runs in `p` into superinstructions, in place.
+///
+/// Idempotent: already-fused instructions are never re-fused, and plain
+/// instructions that survive a first pass have no fusable continuation.
+pub fn fuse_program(p: &mut CompiledProgram) {
+    let barriers = collect_barriers(p);
+    let old = std::mem::take(&mut p.code);
+    let mut new_code: Vec<Instr> = Vec::with_capacity(old.len());
+    // `new_addr[i]` is the new index of old instruction `i`, or `None` when
+    // `i` was consumed into the interior of a fused run (guaranteed
+    // unreferenced by the barrier check).
+    let mut new_addr: Vec<Option<usize>> = vec![None; old.len() + 1];
+    let mut i = 0;
+    while i < old.len() {
+        new_addr[i] = Some(new_code.len());
+        match &old[i] {
+            Instr::GetStructure(f, a) => {
+                let (ops, end) = take_unify_run(&old, i + 1, &barriers);
+                if ops.is_empty() {
+                    new_code.push(old[i].clone());
+                    i += 1;
+                } else {
+                    new_code.push(Instr::GetStructureSeq(*f, *a, ops));
+                    i = end;
+                }
+            }
+            Instr::GetList(a) => {
+                let (ops, end) = take_unify_run(&old, i + 1, &barriers);
+                if ops.is_empty() {
+                    new_code.push(old[i].clone());
+                    i += 1;
+                } else {
+                    new_code.push(Instr::GetListSeq(*a, ops));
+                    i = end;
+                }
+            }
+            Instr::PutValue(v, a) => {
+                let mut moves = vec![(*v, *a)];
+                let mut j = i + 1;
+                while j < old.len() && !barriers.contains(&j) {
+                    match &old[j] {
+                        Instr::PutValue(v2, a2) => {
+                            moves.push((*v2, *a2));
+                            j += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                if moves.len() >= 2 {
+                    new_code.push(Instr::PutValueSeq(moves));
+                    i = j;
+                } else {
+                    new_code.push(old[i].clone());
+                    i += 1;
+                }
+            }
+            other => {
+                new_code.push(other.clone());
+                i += 1;
+            }
+        }
+    }
+    new_addr[old.len()] = Some(new_code.len());
+    p.code = new_code;
+    rewrite_addrs(p, |addr| {
+        new_addr[addr].expect("fusion never consumes a referenced address")
+    });
+}
+
+/// Expand every fused superinstruction in `p` back into its constituent
+/// plain instructions, in place. The exact inverse of [`fuse_program`];
+/// idempotent on already-plain code.
+pub fn unfuse_program(p: &mut CompiledProgram) {
+    let old = std::mem::take(&mut p.code);
+    let mut new_code: Vec<Instr> = Vec::with_capacity(old.len());
+    let mut new_addr: Vec<usize> = vec![0; old.len() + 1];
+    for (i, instr) in old.iter().enumerate() {
+        new_addr[i] = new_code.len();
+        new_code.extend(instr.expand());
+    }
+    new_addr[old.len()] = new_code.len();
+    p.code = new_code;
+    rewrite_addrs(p, |addr| new_addr[addr]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_program;
+    use prolog_syntax::parse_program;
+
+    const NREV: &str = "
+        nrev([], []).
+        nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+        app([], L, L).
+        app([H|T], L, [H|R]) :- app(T, L, R).
+    ";
+
+    fn compile(src: &str) -> CompiledProgram {
+        compile_program(&parse_program(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn nrev_fuses_list_traversal() {
+        let c = compile(NREV);
+        assert!(
+            c.code.iter().any(|i| matches!(i, Instr::GetListSeq(..))),
+            "{}",
+            c.listing()
+        );
+        // Fusion shrinks the code area.
+        let mut plain = c.clone();
+        unfuse_program(&mut plain);
+        assert!(c.code.len() < plain.code.len());
+    }
+
+    #[test]
+    fn fuse_unfuse_roundtrip() {
+        for src in [
+            NREV,
+            "p(a).",
+            "p(f(X, g(Y), Z)) :- q(X, Y, Z). q(A, B, C) :- p(f(A, g(B), C)).",
+            "len([], 0). len([_|T], s(N)) :- len(T, N).",
+        ] {
+            let fused = compile(src);
+            let mut unfused = fused.clone();
+            unfuse_program(&mut unfused);
+            let mut refused = unfused.clone();
+            fuse_program(&mut refused);
+            assert_eq!(refused.code, fused.code, "{src}");
+            assert_eq!(
+                refused
+                    .predicates
+                    .iter()
+                    .map(|p| p.entry)
+                    .collect::<Vec<_>>(),
+                fused.predicates.iter().map(|p| p.entry).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn both_passes_are_idempotent() {
+        let c = compile(NREV);
+        let mut again = c.clone();
+        fuse_program(&mut again);
+        assert_eq!(again.code, c.code);
+
+        let mut plain = c.clone();
+        unfuse_program(&mut plain);
+        let mut plain2 = plain.clone();
+        unfuse_program(&mut plain2);
+        assert_eq!(plain2.code, plain.code);
+    }
+
+    #[test]
+    fn barriers_stay_instruction_starts() {
+        let c = compile(NREV);
+        let barriers = collect_barriers(&c);
+        for addr in barriers {
+            assert!(addr <= c.code.len(), "barrier {addr} out of range");
+        }
+        // Every jump operand still lands on a real instruction: unfusing
+        // and re-running validation-by-construction — expand() of every
+        // target must start where the remapped address says.
+        for pred in &c.predicates {
+            assert!(pred.entry < c.code.len());
+            for &l in &pred.clause_entries {
+                assert!(l < c.code.len());
+            }
+        }
+    }
+
+    #[test]
+    fn interior_run_positions_are_unreferenced() {
+        // A clause whose head has a deep structure produces a long unify
+        // run; nothing may point into its interior after fusion.
+        let c = compile("p(f(a, b, c, d, e)).");
+        let has_seq = c
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::GetStructureSeq(_, _, ops) if ops.len() >= 5));
+        assert!(has_seq, "{}", c.listing());
+    }
+}

@@ -40,6 +40,7 @@ pub mod builtins;
 pub mod classify;
 pub mod codegen;
 pub mod compile;
+pub mod fuse;
 pub mod index;
 pub mod instr;
 pub mod norm;
@@ -47,4 +48,8 @@ pub mod text;
 
 pub use builtins::Builtin;
 pub use compile::{compile_program, CompileError, CompiledProgram, PredEntry, PredId};
-pub use instr::{CodeAddr, Functor, Instr, PredIdx, Slot, WamConst, NUM_OPCODES, OPCODE_NAMES};
+pub use fuse::{fuse_program, unfuse_program};
+pub use instr::{
+    CodeAddr, Functor, Instr, PredIdx, Slot, UnifyOp, WamConst, FIRST_FUSED_OPCODE, NUM_OPCODES,
+    OPCODE_NAMES,
+};

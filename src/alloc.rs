@@ -1,0 +1,42 @@
+//! Process-wide allocator override behind the `mimalloc` feature.
+//!
+//! The fixpoint engine churns through short-lived abstract terms; a
+//! thread-caching allocator (mimalloc, jemalloc) shaves the malloc/free
+//! cost the arena layers don't already absorb. This workspace builds
+//! without any external crates, so the feature installs a transparent
+//! forwarding allocator over [`std::alloc::System`]: zero behavioral
+//! change, but the `#[global_allocator]` hook is in place — swap
+//! [`FacadeAlloc`]'s inner calls for `mimalloc::MiMalloc` when the real
+//! crate is available, and nothing else in the tree has to move.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+
+/// Forwarding global allocator: the in-tree stand-in for mimalloc.
+///
+/// Every method delegates to [`System`]. Replacing the delegation target
+/// is the single point of change for plugging in a real allocator crate.
+pub struct FacadeAlloc;
+
+// SAFETY: pure delegation to `System`, which upholds the GlobalAlloc
+// contract.
+unsafe impl GlobalAlloc for FacadeAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// The process-wide allocator instance installed by the feature.
+#[global_allocator]
+pub static GLOBAL: FacadeAlloc = FacadeAlloc;

@@ -1,0 +1,61 @@
+//! Superinstruction fusion is a pure dispatch optimization: on every
+//! Table 1 benchmark, a fused run and an unfused run (`fuse(false)`)
+//! must emit byte-identical JSONL traces, produce byte-identical
+//! reports, and agree on every constituent-attributed opcode counter.
+//! (Testkit oracle #8, `fusion`, checks the same property on randomly
+//! generated programs; this pins it on the paper's suite.)
+
+use awam::absdom::Pattern;
+use awam::obs::JsonlTracer;
+use awam::wam::{NUM_OPCODES, OPCODE_NAMES};
+use awam::Analyzer;
+
+#[test]
+fn fused_and_unfused_runs_are_byte_identical_on_all_benchmarks() {
+    for b in awam::suite::all() {
+        let program = b.parse().expect("parse");
+        let entry = Pattern::from_spec(b.entry_specs).expect("specs");
+
+        let mut streams = Vec::new();
+        let mut reports = Vec::new();
+        let mut analyses = Vec::new();
+        for fuse in [true, false] {
+            let analyzer = Analyzer::builder()
+                .fuse(fuse)
+                .compile(&program)
+                .expect("compile");
+            let mut tracer = JsonlTracer::new(Vec::new());
+            let analysis = analyzer
+                .analyze_traced(b.entry, &entry, &mut tracer)
+                .expect("analysis");
+            streams.push(tracer.into_inner().expect("trace flush"));
+            reports.push(analysis.report(&analyzer));
+            analyses.push(analysis);
+        }
+
+        assert_eq!(
+            streams[0], streams[1],
+            "{}: JSONL trace bytes differ between fused and unfused code",
+            b.name
+        );
+        assert_eq!(
+            reports[0], reports[1],
+            "{}: report differs between fused and unfused code",
+            b.name
+        );
+        assert_eq!(
+            analyses[0].instructions_executed, analyses[1].instructions_executed,
+            "{}: attributed instruction counts diverge",
+            b.name
+        );
+        for i in 0..NUM_OPCODES {
+            assert_eq!(
+                analyses[0].opcodes.get(i),
+                analyses[1].opcodes.get(i),
+                "{}: opcode histogram diverges at {}",
+                b.name,
+                OPCODE_NAMES[i]
+            );
+        }
+    }
+}
