@@ -4,15 +4,22 @@
 //!
 //! ```sh
 //! cargo run -p awam-bench --release --bin bench_guard -- \
-//!     [--baseline BENCH_table1.json] [--tolerance 0.25]
+//!     [--baseline BENCH_table1.json] [--tolerance 0.25] [--advisory]
 //! ```
 //!
 //! The check is one-sided: only a *slowdown* of the fresh geomean
 //! relative to the committed one fails. Per-benchmark numbers are
 //! printed for context but not gated — single-benchmark jitter on a
 //! shared CI box is too noisy to block on; the geomean is the contract.
+//!
 //! Exit status: 0 when within tolerance, 1 on regression, 2 on a
-//! malformed or missing baseline file.
+//! missing or malformed baseline file. With `--advisory` a missing
+//! baseline is *not* an error (exit 0 with an explanatory note):
+//! that is the right mode for checkouts that have not committed a
+//! baseline yet, where "no baseline" means "nothing to guard", not
+//! "the guard is broken". A malformed (present but unparseable)
+//! baseline still exits 2 even in advisory mode — a corrupt committed
+//! file is always worth failing loudly over.
 
 use awam_obs::Json;
 
@@ -28,32 +35,55 @@ fn float_field(row: &Json, key: &str) -> Option<f64> {
     }
 }
 
+/// Exit 2 with a usage message — malformed invocations and corrupt
+/// baselines are hard failures in every mode.
+fn usage_error(message: &str) -> ! {
+    eprintln!("bench_guard: {message}");
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut baseline_path = "BENCH_table1.json".to_owned();
     let mut tolerance = 0.25f64;
+    let mut advisory = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--baseline" => {
-                baseline_path = it.next().expect("--baseline needs a path").clone();
+                let Some(path) = it.next() else {
+                    usage_error("--baseline needs a path");
+                };
+                baseline_path = path.clone();
             }
             "--tolerance" => {
-                tolerance = it
-                    .next()
-                    .expect("--tolerance needs a fraction")
-                    .parse()
-                    .expect("--tolerance needs a fraction, e.g. 0.25");
+                let Some(raw) = it.next() else {
+                    usage_error("--tolerance needs a fraction, e.g. 0.25");
+                };
+                let Ok(parsed) = raw.parse() else {
+                    usage_error(&format!("--tolerance needs a fraction, got `{raw}`"));
+                };
+                tolerance = parsed;
             }
-            other => {
-                eprintln!("bench_guard: unknown flag {other}");
-                std::process::exit(2);
-            }
+            "--advisory" => advisory = true,
+            other => usage_error(&format!("unknown flag {other}")),
         }
     }
 
     let text = match std::fs::read_to_string(&baseline_path) {
         Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            eprintln!(
+                "bench_guard: no committed baseline at {baseline_path} — nothing to compare \
+                 against.\nbench_guard: create one with `cargo run -p awam-bench --release \
+                 --bin table1 -- --json {baseline_path}` and commit it."
+            );
+            if advisory {
+                eprintln!("bench_guard: advisory mode, treating the missing baseline as a skip");
+                return;
+            }
+            std::process::exit(2);
+        }
         Err(e) => {
             eprintln!("bench_guard: cannot read {baseline_path}: {e}");
             std::process::exit(2);

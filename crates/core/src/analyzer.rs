@@ -58,6 +58,7 @@ pub struct AnalyzerBuilder {
     profile_timing: bool,
     provenance: bool,
     fuse: bool,
+    step_budget: Option<u64>,
 }
 
 impl Default for AnalyzerBuilder {
@@ -73,6 +74,7 @@ impl Default for AnalyzerBuilder {
             profile_timing: false,
             provenance: false,
             fuse: true,
+            step_budget: None,
         }
     }
 }
@@ -146,6 +148,20 @@ impl AnalyzerBuilder {
         self
     }
 
+    /// Cap every analysis run at `budget` abstract instructions; a run
+    /// that crosses the cap aborts with
+    /// [`AnalysisError::BudgetExceeded`].
+    /// `None` (the default) leaves only the fixed safety rails. The
+    /// serving layer uses this as a per-request deadline: shed work that
+    /// will not finish instead of letting it starve the queue. The
+    /// budget is checked at call and fixpoint-round boundaries, so the
+    /// dispatch loop pays nothing for it.
+    #[must_use]
+    pub fn step_budget(mut self, budget: Option<u64>) -> AnalyzerBuilder {
+        self.step_budget = budget;
+        self
+    }
+
     /// Compile `program` into an analyzer with this configuration.
     ///
     /// # Errors
@@ -179,6 +195,7 @@ impl AnalyzerBuilder {
             strategy: self.strategy,
             profile_timing: self.profile_timing,
             provenance: self.provenance,
+            step_budget: self.step_budget,
             compile_ns: 0,
             base_interner,
         }
@@ -218,6 +235,7 @@ pub struct Analyzer {
     strategy: IterationStrategy,
     profile_timing: bool,
     provenance: bool,
+    step_budget: Option<u64>,
     /// Wall time of WAM compilation in nanoseconds (0 when the analyzer
     /// was built from an already-compiled program); spliced into the
     /// span tree as the `compile` phase when profiling is on.
@@ -371,58 +389,6 @@ impl Analyzer {
         AnalyzerBuilder::default().build(program)
     }
 
-    /// Set the term-depth restriction `k` (ablation A).
-    #[deprecated(since = "0.1.0", note = "configure via Analyzer::builder().depth(..)")]
-    #[must_use]
-    pub fn with_depth(mut self, depth_k: usize) -> Analyzer {
-        self.depth_k = depth_k;
-        self
-    }
-
-    /// Choose the extension-table implementation (ablation B).
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure via Analyzer::builder().et_impl(..)"
-    )]
-    #[must_use]
-    pub fn with_et_impl(mut self, et_impl: EtImpl) -> Analyzer {
-        self.et_impl = et_impl;
-        self
-    }
-
-    /// Restrict the abstract domain (ablation C: precision vs. time).
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure via Analyzer::builder().domain_config(..)"
-    )]
-    #[must_use]
-    pub fn with_domain_config(mut self, config: DomainConfig) -> Analyzer {
-        self.config = config;
-        self
-    }
-
-    /// Choose the fixpoint iteration strategy (ablation D).
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure via Analyzer::builder().strategy(..)"
-    )]
-    #[must_use]
-    pub fn with_strategy(mut self, strategy: IterationStrategy) -> Analyzer {
-        self.strategy = strategy;
-        self
-    }
-
-    /// Enable fine-grained profiling.
-    #[deprecated(
-        since = "0.1.0",
-        note = "configure via Analyzer::builder().profiling(..)"
-    )]
-    #[must_use]
-    pub fn with_profiling(mut self, on: bool) -> Analyzer {
-        self.profile_timing = on;
-        self
-    }
-
     /// The compiled program being analyzed.
     pub fn program(&self) -> &CompiledProgram {
         &self.program
@@ -483,7 +449,8 @@ impl Analyzer {
         tracer: Option<&mut dyn Tracer>,
     ) -> Result<Analysis, AnalysisError> {
         let (pred, entry) = self.resolve_entry(name, entry)?;
-        let (analysis, _table, _interner) = self.run_fixpoint(pred, &entry, None, tracer)?;
+        let (analysis, _table, _interner) =
+            self.run_fixpoint(pred, &entry, None, tracer, self.step_budget)?;
         Ok(analysis)
     }
 
@@ -548,15 +515,24 @@ impl Analyzer {
         SessionInterner::new(Arc::clone(&self.base_interner))
     }
 
+    /// The abstract-instruction budget configured at build time (`None`
+    /// when unbounded); sessions inherit it and may override per query.
+    pub fn configured_step_budget(&self) -> Option<u64> {
+        self.step_budget
+    }
+
     /// Run the fixpoint for `(pred, entry)`, optionally seeded with a
     /// session's table and the interner its ids resolve through, and
     /// return the analysis plus the final table/interner pair.
+    /// `step_budget` is the effective cap for *this* run (sessions can
+    /// override the analyzer-wide setting per query).
     pub(crate) fn run_fixpoint(
         &self,
         pred: usize,
         entry: &Pattern,
         seed: Option<(ExtensionTable, SessionInterner)>,
         tracer: Option<&mut dyn Tracer>,
+        step_budget: Option<u64>,
     ) -> Result<(Analysis, ExtensionTable, SessionInterner), AnalysisError> {
         let (mut table, interner) = seed.unwrap_or_else(|| {
             (
@@ -574,6 +550,7 @@ impl Analyzer {
             AbstractMachine::with_table(&self.program, self.depth_k, self.et_impl, table, interner);
         machine.set_domain_config(self.config);
         machine.set_strategy(self.strategy);
+        machine.set_step_budget(step_budget);
         machine.profile_timing = self.profile_timing;
         if let Some(tracer) = tracer {
             machine.set_tracer(tracer);

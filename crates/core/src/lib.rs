@@ -89,8 +89,28 @@ pub use batch::par_map;
 pub use machine::{AbstractMachine, AnalysisError};
 pub use provenance::{ChainStep, DerivationReport, EntryDerivation, PredDerivations};
 pub use report::ArgMode;
-pub use session::Session;
+pub use session::{Session, SessionParts};
 pub use table::{Derivation, DerivationOrigin, EtImpl, ExtensionTable, LubStep};
+
+/// A stable 64-bit fingerprint of a program's source text (FNV-1a).
+///
+/// This is the cache key of the serving layer's compiled-program cache:
+/// two registrations with byte-identical source share one compiled
+/// [`Analyzer`]. The hash is deterministic across processes and
+/// platforms (no per-process seed), so it can appear on the wire and in
+/// logs. It is **not** collision-resistant against adversarial input;
+/// a serving deployment that cannot trust its tenants should key on
+/// `(tenant, fingerprint)` or verify source equality on hit.
+pub fn program_fingerprint(source: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &byte in source.as_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
 
 /// How the global fixpoint iteration re-explores the program.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]

@@ -55,6 +55,16 @@ pub enum AnalysisError {
     IterationLimit,
     /// An entry-pattern spec string was not understood.
     BadSpec(String),
+    /// The run exceeded its configured abstract-instruction budget (see
+    /// [`crate::AnalyzerBuilder::step_budget`]). Unlike the safety
+    /// bounds above, this is a *caller-chosen* deadline: `awam serve`
+    /// maps it to a load-shedding response.
+    BudgetExceeded {
+        /// The configured budget.
+        budget: u64,
+        /// Abstract instructions executed when the budget tripped.
+        executed: u64,
+    },
 }
 
 impl fmt::Display for AnalysisError {
@@ -72,6 +82,12 @@ impl fmt::Display for AnalysisError {
             AnalysisError::DepthLimit => write!(f, "exploration depth limit exceeded"),
             AnalysisError::IterationLimit => write!(f, "fixpoint iteration limit exceeded"),
             AnalysisError::BadSpec(s) => write!(f, "unrecognized pattern spec `{s}`"),
+            AnalysisError::BudgetExceeded { budget, executed } => {
+                write!(
+                    f,
+                    "abstract-instruction budget exceeded ({executed} executed, budget {budget})"
+                )
+            }
         }
     }
 }
@@ -166,6 +182,13 @@ pub struct AbstractMachine<'p> {
     prov_stack: Vec<(usize, usize, PatternId)>,
     tracer: Option<&'p mut dyn Tracer>,
     max_depth: usize,
+    /// Optional abstract-instruction budget: when `frame.executed`
+    /// crosses it, the run aborts with
+    /// [`AnalysisError::BudgetExceeded`]. Checked at call boundaries and
+    /// fixpoint round/worklist boundaries — not per instruction — so the
+    /// hot dispatch loop stays branch-free and the overshoot is bounded
+    /// by one clause exploration.
+    step_budget: Option<u64>,
     /// Scratch worklist for [`Self::unify`] (reset-not-free: taken and
     /// returned around each unification instead of reallocated).
     unify_stack: Vec<(ACell, ACell)>,
@@ -504,7 +527,29 @@ impl<'p> AbstractMachine<'p> {
             cell_pool: Vec::new(),
             match_scratch: crate::matcher::MatchScratch::default(),
             max_depth: 2_000,
+            step_budget: None,
         }
+    }
+
+    /// Cap the run at `budget` abstract instructions (see
+    /// [`AnalysisError::BudgetExceeded`]); `None` removes the cap.
+    pub fn set_step_budget(&mut self, budget: Option<u64>) {
+        self.step_budget = budget;
+    }
+
+    /// Abort with [`AnalysisError::BudgetExceeded`] once the executed
+    /// instruction count crosses the configured budget.
+    #[inline]
+    fn check_budget(&self) -> Result<(), AnalysisError> {
+        if let Some(budget) = self.step_budget {
+            if self.frame.executed > budget {
+                return Err(AnalysisError::BudgetExceeded {
+                    budget,
+                    executed: self.frame.executed,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Lazily set up the span profiler and the predicate-name cache.
@@ -630,6 +675,7 @@ impl<'p> AbstractMachine<'p> {
             if self.iter - start_iter > MAX_ITERS {
                 return Err(AnalysisError::IterationLimit);
             }
+            self.check_budget()?;
             let round = self.iter;
             self.trace(|_| TraceEvent::RoundStart { round });
             self.table.clear_changed();
@@ -691,6 +737,7 @@ impl<'p> AbstractMachine<'p> {
             if self.explorations > MAX_EXPLORATIONS {
                 return Err(AnalysisError::IterationLimit);
             }
+            self.check_budget()?;
             self.stats.note_heap(self.frame.heap.len());
             self.stats.note_trail(self.frame.trail.len());
             self.frame.heap.clear();
@@ -820,6 +867,7 @@ impl<'p> AbstractMachine<'p> {
         if self.depth > self.max_depth {
             return Err(AnalysisError::DepthLimit);
         }
+        self.check_budget()?;
         self.call_count += 1;
         let arity = self.program.predicates[pred].key.arity;
         let mut caller_args = self.cell_pool.pop().unwrap_or_default();

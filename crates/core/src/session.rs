@@ -68,6 +68,49 @@ pub struct Session<'a> {
     /// memo caches stay warm across queries, like the table's entries.
     interner: SessionInterner,
     stats: SessionStats,
+    /// Effective abstract-instruction budget for this session's cold
+    /// runs; inherited from the analyzer, overridable per query
+    /// ([`Session::set_step_budget`]).
+    step_budget: Option<u64>,
+}
+
+/// The owned state of a suspended [`Session`]: the persistent extension
+/// table, the interner its ids resolve through, and the accumulated
+/// counters — everything except the `&Analyzer` borrow.
+///
+/// This is what makes warm-session *pooling* possible: a serving layer
+/// keeps `SessionParts` (which are `'static` and `Send`) in a pool keyed
+/// by tenant and program, and rehydrates a [`Session`] around them with
+/// [`Session::resume`] for the duration of one request. The struct is
+/// opaque on purpose — its table and interner are only meaningful
+/// together, and only against the analyzer they were grown on
+/// ([`Session::resume`] asserts nothing, so pairing parts with a
+/// different program's analyzer is a logic error the caller must
+/// prevent, e.g. by keying the pool on the program hash).
+#[derive(Debug)]
+pub struct SessionParts {
+    table: ExtensionTable,
+    interner: SessionInterner,
+    stats: SessionStats,
+}
+
+impl SessionParts {
+    /// The accumulated warm/cold counters.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Number of memo entries currently held (across all predicates).
+    pub fn memo_len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Rough heap footprint estimate in bytes (memo entries plus
+    /// session-local interned patterns), used by pool byte budgets.
+    pub fn approx_bytes(&self) -> usize {
+        let overlay = self.interner.len() - self.interner.base().len();
+        self.table.len() * 64 + overlay * 128
+    }
 }
 
 impl<'a> Session<'a> {
@@ -76,9 +119,42 @@ impl<'a> Session<'a> {
         Session {
             table: fresh_table(analyzer),
             interner: analyzer.new_session_interner(),
-            analyzer,
             stats: SessionStats::default(),
+            step_budget: analyzer.configured_step_budget(),
+            analyzer,
         }
+    }
+
+    /// Rehydrate a session from [`SessionParts`] previously suspended
+    /// with [`Session::into_parts`]. The parts must have been grown on
+    /// an analyzer for the *same compiled program* (same configuration),
+    /// or the resolved results will be meaningless.
+    pub fn resume(analyzer: &'a Analyzer, parts: SessionParts) -> Session<'a> {
+        Session {
+            table: parts.table,
+            interner: parts.interner,
+            stats: parts.stats,
+            step_budget: analyzer.configured_step_budget(),
+            analyzer,
+        }
+    }
+
+    /// Suspend this session into its owned parts (dropping the analyzer
+    /// borrow) so it can be parked in a pool and later rehydrated with
+    /// [`Session::resume`].
+    pub fn into_parts(self) -> SessionParts {
+        SessionParts {
+            table: self.table,
+            interner: self.interner,
+            stats: self.stats,
+        }
+    }
+
+    /// Override the abstract-instruction budget for this session's
+    /// subsequent cold runs (`None` = unbounded). Warm hits never spend
+    /// instructions, so the budget only gates fixpoint work.
+    pub fn set_step_budget(&mut self, budget: Option<u64>) {
+        self.step_budget = budget;
     }
 
     /// The analyzer this session queries.
@@ -191,10 +267,13 @@ impl<'a> Session<'a> {
         let seed_table = std::mem::replace(&mut self.table, fresh_table(self.analyzer));
         let seed_interner =
             std::mem::replace(&mut self.interner, self.analyzer.new_session_interner());
-        match self
-            .analyzer
-            .run_fixpoint(pred, &entry, Some((seed_table, seed_interner)), tracer)
-        {
+        match self.analyzer.run_fixpoint(
+            pred,
+            &entry,
+            Some((seed_table, seed_interner)),
+            tracer,
+            self.step_budget,
+        ) {
             Ok((analysis, table, interner)) => {
                 self.stats.entries_created += (table.len() as u64).saturating_sub(before);
                 self.table = table;

@@ -233,6 +233,96 @@ impl SessionStats {
     }
 }
 
+/// Counters for the serving daemon: request/response totals, the two
+/// shedding paths, compiled-program cache behavior, and warm-session
+/// pool behavior.
+///
+/// The serve layer keeps these behind atomics and snapshots them into
+/// this struct for `stats` responses; the struct itself is plain `u64`s
+/// so it serializes and diffs like every other counter block.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests received (all ops, before any shedding).
+    pub requests: u64,
+    /// Requests answered with an `ok` response.
+    pub responses_ok: u64,
+    /// Requests answered with an error envelope (all codes).
+    pub responses_error: u64,
+    /// Analyze/batch requests rejected because the in-flight limit was
+    /// reached (the 429-style `overloaded` error).
+    pub shed_overload: u64,
+    /// Analysis runs aborted because they crossed their
+    /// abstract-instruction budget (the `over_budget` error).
+    pub shed_budget: u64,
+    /// Analyze requests that found their compiled program in the cache.
+    pub program_cache_hits: u64,
+    /// Register requests that compiled a program not in the cache.
+    pub program_cache_misses: u64,
+    /// Compiled programs evicted to stay under the cache byte budget.
+    pub program_cache_evictions: u64,
+    /// Requests that reused a parked warm session from a tenant pool.
+    pub session_pool_hits: u64,
+    /// Requests that had to start a fresh session.
+    pub session_pool_misses: u64,
+    /// Queries the reused sessions answered without any fixpoint run
+    /// (the session layer's warm hits, aggregated across the pool).
+    pub warm_hits: u64,
+}
+
+impl ServeStats {
+    /// Encode as a JSON object with one field per counter.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("requests", Json::Int(self.requests as i64)),
+            ("responses_ok", Json::Int(self.responses_ok as i64)),
+            ("responses_error", Json::Int(self.responses_error as i64)),
+            ("shed_overload", Json::Int(self.shed_overload as i64)),
+            ("shed_budget", Json::Int(self.shed_budget as i64)),
+            (
+                "program_cache_hits",
+                Json::Int(self.program_cache_hits as i64),
+            ),
+            (
+                "program_cache_misses",
+                Json::Int(self.program_cache_misses as i64),
+            ),
+            (
+                "program_cache_evictions",
+                Json::Int(self.program_cache_evictions as i64),
+            ),
+            (
+                "session_pool_hits",
+                Json::Int(self.session_pool_hits as i64),
+            ),
+            (
+                "session_pool_misses",
+                Json::Int(self.session_pool_misses as i64),
+            ),
+            ("warm_hits", Json::Int(self.warm_hits as i64)),
+        ])
+    }
+
+    /// Program-cache hit rate in [0, 1]; zero when no lookups happened.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.program_cache_hits + self.program_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.program_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Warm-session pool hit rate in [0, 1]; zero when no checkouts.
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.session_pool_hits + self.session_pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.session_pool_hits as f64 / total as f64
+        }
+    }
+}
+
 /// Work and high-water counters for one machine run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MachineStats {

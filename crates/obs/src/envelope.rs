@@ -1,0 +1,122 @@
+//! The versioned JSON envelope every machine-readable awam surface
+//! shares.
+//!
+//! Before this module existed the workspace grew three divergent ad-hoc
+//! JSON documents (`--stats-json`, `profile --metrics-json`,
+//! `fuzz --json`) — each with its own implicit schema, none carrying a
+//! version. The serving daemon made that untenable: network clients
+//! must be able to dispatch on *one* self-describing shape. So every
+//! machine-readable document — CLI output and daemon response alike —
+//! is now wrapped here:
+//!
+//! ```json
+//! {"schema": "awam/v1", "kind": "stats", ...payload fields...}
+//! ```
+//!
+//! * `schema` is the wire-format version. Additive changes (new fields)
+//!   do not bump it; removing or renaming a field does.
+//! * `kind` names the payload so a stream consumer can dispatch without
+//!   out-of-band context (`stats`, `profile`, `fuzz`, `batch`,
+//!   `register`, `analyze`, `error`, …).
+//! * Payload fields stay at the top level (not nested under a `body`
+//!   key) so pre-envelope consumers keep working unchanged.
+//!
+//! Errors use the same envelope with `kind: "error"`, an `ok: false`
+//! marker, and a structured `error` object — see [`error_envelope`].
+
+use crate::json::Json;
+
+/// The current wire-format version tag carried in every envelope.
+pub const SCHEMA: &str = "awam/v1";
+
+/// Wrap payload `pairs` in the versioned envelope: prepends the
+/// `schema` and `kind` fields, keeping the payload at the top level.
+pub fn envelope(kind: &str, pairs: Vec<(&str, Json)>) -> Json {
+    let mut all: Vec<(String, Json)> = Vec::with_capacity(pairs.len() + 2);
+    all.push(("schema".to_owned(), Json::Str(SCHEMA.to_owned())));
+    all.push(("kind".to_owned(), Json::Str(kind.to_owned())));
+    all.extend(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)));
+    Json::Obj(all)
+}
+
+/// Wrap an existing JSON object in the versioned envelope (prepending
+/// `schema` and `kind`). Non-object payloads are nested under a `value`
+/// key, since the envelope itself must be an object.
+pub fn envelope_obj(kind: &str, payload: Json) -> Json {
+    match payload {
+        Json::Obj(pairs) => {
+            let mut all: Vec<(String, Json)> = Vec::with_capacity(pairs.len() + 2);
+            all.push(("schema".to_owned(), Json::Str(SCHEMA.to_owned())));
+            all.push(("kind".to_owned(), Json::Str(kind.to_owned())));
+            all.extend(pairs);
+            Json::Obj(all)
+        }
+        other => envelope(kind, vec![("value", other)]),
+    }
+}
+
+/// The error envelope: `{"schema": …, "kind": "error", "ok": false,
+/// "error": {"code": CODE, "message": MESSAGE}}`.
+///
+/// `code` is a stable machine-readable slug (`overloaded`,
+/// `over_budget`, `bad_request`, `unknown_program`, `parse_error`,
+/// `compile_error`, `analysis_error`, `internal`); `message` is
+/// human-readable and not part of the schema contract.
+pub fn error_envelope(code: &str, message: &str) -> Json {
+    envelope(
+        "error",
+        vec![
+            ("ok", Json::Bool(false)),
+            (
+                "error",
+                Json::obj(vec![
+                    ("code", Json::Str(code.to_owned())),
+                    ("message", Json::Str(message.to_owned())),
+                ]),
+            ),
+        ],
+    )
+}
+
+/// True when `doc` is an envelope of the current schema version (any
+/// kind); clients use this as their first gate.
+pub fn is_current(doc: &Json) -> bool {
+    doc.get("schema").and_then(Json::as_str) == Some(SCHEMA)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_prepends_schema_and_kind() {
+        let doc = envelope("stats", vec![("iterations", Json::Int(3))]);
+        assert!(is_current(&doc));
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("stats"));
+        assert_eq!(doc.get("iterations").and_then(Json::as_i64), Some(3));
+        // Payload stays at the top level and field order is stable.
+        let Json::Obj(pairs) = &doc else {
+            unreachable!()
+        };
+        assert_eq!(pairs[0].0, "schema");
+        assert_eq!(pairs[1].0, "kind");
+    }
+
+    #[test]
+    fn envelope_obj_wraps_objects_flat_and_scalars_nested() {
+        let obj = envelope_obj("stats", Json::obj(vec![("x", Json::Int(1))]));
+        assert_eq!(obj.get("x").and_then(Json::as_i64), Some(1));
+        let scalar = envelope_obj("stats", Json::Int(7));
+        assert_eq!(scalar.get("value").and_then(Json::as_i64), Some(7));
+    }
+
+    #[test]
+    fn error_envelope_shape() {
+        let doc = error_envelope("over_budget", "deadline exceeded");
+        assert!(is_current(&doc));
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("error"));
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+        let err = doc.get("error").expect("error object");
+        assert_eq!(err.get("code").and_then(Json::as_str), Some("over_budget"));
+    }
+}

@@ -26,6 +26,11 @@
 //!   log₂-bucket [`Histogram`]s with a stable JSON export (the surface
 //!   `awam serve` will scrape).
 //!
+//! * [`mod@envelope`] — the versioned `{"schema": "awam/v1", …}` wrapper
+//!   every machine-readable surface (CLI `--stats-json` documents, the
+//!   serve daemon's responses) shares, plus the structured error
+//!   envelope.
+//!
 //! Everything serializes through the built-in [`json`] module (the
 //! workspace builds offline, so no serde): stats become one JSON
 //! document, traces become JSONL with one event per line, and both
@@ -34,13 +39,15 @@
 #![warn(missing_docs)]
 
 pub mod counters;
+pub mod envelope;
 pub mod json;
 pub mod metrics;
 pub mod span;
 pub mod timer;
 pub mod trace;
 
-pub use counters::{InternStats, MachineStats, OpcodeCounts, SessionStats, TableStats};
+pub use counters::{InternStats, MachineStats, OpcodeCounts, ServeStats, SessionStats, TableStats};
+pub use envelope::{envelope, envelope_obj, error_envelope, SCHEMA};
 pub use json::{Json, JsonError};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use span::{SpanNode, SpanProfiler};

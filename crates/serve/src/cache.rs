@@ -1,0 +1,339 @@
+//! The compiled-program cache and the per-tenant warm-session pools.
+//!
+//! The paper's whole premise is *compile once, analyze many*; at
+//! service scale that becomes these two layers:
+//!
+//! * [`ProgramCache`] — fingerprint → `Arc<Analyzer>`. Compilation
+//!   happens at most once per distinct source text; every worker thread
+//!   shares the same immutable compiled artifact through the `Arc`
+//!   (the regorus `Engine`/`CompiledPolicy` pattern). The cache is
+//!   LRU-evicted under a byte budget so a long-running daemon's memory
+//!   is bounded no matter how many programs tenants register.
+//! * [`SessionPool`] — `(tenant, fingerprint)` → parked
+//!   [`SessionParts`]. A request checks a warm session out, runs its
+//!   query (repeat/subsumed goals are answered from the memo table with
+//!   zero fixpoint iterations), and checks it back in. Pools are
+//!   per-tenant so one tenant's accumulated extension table never
+//!   leaks into another tenant's answers.
+
+use awam_core::{Analyzer, SessionParts};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// One cached compiled program.
+struct CacheSlot {
+    analyzer: Arc<Analyzer>,
+    /// Rough resident size estimate (code area + interner seed) used
+    /// against the byte budget.
+    approx_bytes: usize,
+    /// LRU clock stamp of the last `get`/insert.
+    last_used: u64,
+}
+
+/// Counters the cache maintains under its own lock (snapshotted into
+/// the serve stats).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheCounters {
+    /// Lookups that found the program compiled.
+    pub hits: u64,
+    /// Compilations performed (lookup misses that inserted).
+    pub misses: u64,
+    /// Slots evicted to stay under the byte budget.
+    pub evictions: u64,
+}
+
+struct CacheInner {
+    slots: HashMap<u64, CacheSlot>,
+    clock: u64,
+    bytes: usize,
+    counters: CacheCounters,
+}
+
+/// A thread-safe LRU cache of compiled [`Analyzer`]s keyed by program
+/// fingerprint, bounded by an approximate byte budget.
+pub struct ProgramCache {
+    inner: Mutex<CacheInner>,
+    byte_budget: usize,
+}
+
+impl ProgramCache {
+    /// A cache that holds at most ~`byte_budget` bytes of compiled
+    /// programs (estimates; a budget of 0 still holds the most recently
+    /// inserted program, because evicting the artifact a request is
+    /// about to use would defeat the cache's purpose).
+    pub fn new(byte_budget: usize) -> ProgramCache {
+        ProgramCache {
+            inner: Mutex::new(CacheInner {
+                slots: HashMap::new(),
+                clock: 0,
+                bytes: 0,
+                counters: CacheCounters::default(),
+            }),
+            byte_budget,
+        }
+    }
+
+    /// Look up a compiled program by fingerprint, bumping its LRU stamp.
+    pub fn get(&self, hash: u64) -> Option<Arc<Analyzer>> {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.clock += 1;
+        let clock = inner.clock;
+        let found = inner.slots.get_mut(&hash).map(|slot| {
+            slot.last_used = clock;
+            Arc::clone(&slot.analyzer)
+        });
+        if found.is_some() {
+            inner.counters.hits += 1;
+        }
+        found
+    }
+
+    /// Look up without touching the hit/miss counters (used by the
+    /// analyze path after an implicit register already counted it).
+    pub fn peek(&self, hash: u64) -> Option<Arc<Analyzer>> {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.slots.get_mut(&hash).map(|slot| {
+            slot.last_used = clock;
+            Arc::clone(&slot.analyzer)
+        })
+    }
+
+    /// Insert a freshly compiled program and evict least-recently-used
+    /// slots until the estimate fits the budget again. Returns the
+    /// fingerprints that were evicted (the server purges their session
+    /// pools). Counts one miss.
+    pub fn insert(&self, hash: u64, analyzer: Arc<Analyzer>, source_len: usize) -> Vec<u64> {
+        let approx_bytes = approx_program_bytes(&analyzer, source_len);
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.counters.misses += 1;
+        if let Some(old) = inner.slots.insert(
+            hash,
+            CacheSlot {
+                analyzer,
+                approx_bytes,
+                last_used: clock,
+            },
+        ) {
+            // Racing registration of the same source: keep the newer
+            // artifact, reclaim the older estimate.
+            inner.bytes -= old.approx_bytes;
+        }
+        inner.bytes += approx_bytes;
+        let mut evicted = Vec::new();
+        while inner.bytes > self.byte_budget && inner.slots.len() > 1 {
+            let Some((&victim, _)) = inner
+                .slots
+                .iter()
+                .filter(|(&h, _)| h != hash)
+                .min_by_key(|(_, slot)| slot.last_used)
+            else {
+                break;
+            };
+            let slot = inner.slots.remove(&victim).expect("victim present");
+            inner.bytes -= slot.approx_bytes;
+            inner.counters.evictions += 1;
+            evicted.push(victim);
+        }
+        evicted
+    }
+
+    /// Snapshot `(programs, bytes, byte_budget, counters)`.
+    pub fn snapshot(&self) -> (usize, usize, usize, CacheCounters) {
+        let inner = self.inner.lock().expect("cache lock poisoned");
+        (
+            inner.slots.len(),
+            inner.bytes,
+            self.byte_budget,
+            inner.counters,
+        )
+    }
+}
+
+/// Estimate a compiled program's resident bytes: instruction stream,
+/// predicate table, seed interner, and the source's symbol table. Only
+/// has to be *monotone and stable* — eviction decisions need a
+/// consistent yardstick, not an allocator audit.
+fn approx_program_bytes(analyzer: &Analyzer, source_len: usize) -> usize {
+    let program = analyzer.program();
+    program.code_size() * 48 + program.predicates.len() * 96 + source_len + 1024
+}
+
+/// Counters the pool maintains under its own lock.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PoolCounters {
+    /// Checkouts that found a parked warm session.
+    pub hits: u64,
+    /// Checkouts that had to start a fresh session.
+    pub misses: u64,
+}
+
+/// Per-`(tenant, program)` pools of parked warm sessions.
+pub struct SessionPool {
+    inner: Mutex<PoolInner>,
+    /// Upper bound of parked sessions per `(tenant, program)` key;
+    /// check-ins beyond it are dropped (bounding memory under bursts).
+    max_per_key: usize,
+}
+
+struct PoolInner {
+    pools: HashMap<(String, u64), Vec<SessionParts>>,
+    counters: PoolCounters,
+}
+
+impl SessionPool {
+    /// A pool keeping at most `max_per_key` parked sessions per
+    /// `(tenant, program)` key.
+    pub fn new(max_per_key: usize) -> SessionPool {
+        SessionPool {
+            inner: Mutex::new(PoolInner {
+                pools: HashMap::new(),
+                counters: PoolCounters::default(),
+            }),
+            max_per_key,
+        }
+    }
+
+    /// Check a warm session out for `tenant` × `hash`; `None` means the
+    /// caller starts a fresh one.
+    pub fn checkout(&self, tenant: &str, hash: u64) -> Option<SessionParts> {
+        let mut inner = self.inner.lock().expect("pool lock poisoned");
+        let parts = inner
+            .pools
+            .get_mut(&(tenant.to_owned(), hash))
+            .and_then(Vec::pop);
+        match parts {
+            Some(p) => {
+                inner.counters.hits += 1;
+                Some(p)
+            }
+            None => {
+                inner.counters.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Park a session's parts for later reuse (dropped when the key's
+    /// pool is full).
+    pub fn checkin(&self, tenant: &str, hash: u64, parts: SessionParts) {
+        let mut inner = self.inner.lock().expect("pool lock poisoned");
+        let pool = inner.pools.entry((tenant.to_owned(), hash)).or_default();
+        if pool.len() < self.max_per_key {
+            pool.push(parts);
+        }
+    }
+
+    /// Drop every parked session of an evicted program (all tenants):
+    /// their tables hold pattern ids that resolve through the evicted
+    /// analyzer's interner.
+    pub fn purge_program(&self, hash: u64) {
+        let mut inner = self.inner.lock().expect("pool lock poisoned");
+        inner.pools.retain(|(_, h), _| *h != hash);
+    }
+
+    /// Snapshot `(parked sessions across all keys, counters)`.
+    pub fn snapshot(&self) -> (usize, PoolCounters) {
+        let inner = self.inner.lock().expect("pool lock poisoned");
+        (inner.pools.values().map(Vec::len).sum(), inner.counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awam_core::Session;
+    use prolog_syntax::parse_program;
+
+    fn compiled(source: &str) -> Arc<Analyzer> {
+        let program = parse_program(source).expect("test source parses");
+        Arc::new(Analyzer::compile(&program).expect("test source compiles"))
+    }
+
+    const APP: &str = "app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).";
+
+    #[test]
+    fn cache_compiles_once_and_counts() {
+        let cache = ProgramCache::new(usize::MAX);
+        let hash = awam_core::program_fingerprint(APP);
+        assert!(cache.get(hash).is_none());
+        cache.insert(hash, compiled(APP), APP.len());
+        let a = cache.get(hash).expect("cached");
+        let b = cache.get(hash).expect("cached");
+        assert!(Arc::ptr_eq(&a, &b), "one compiled artifact, shared");
+        let (programs, bytes, _, counters) = cache.snapshot();
+        assert_eq!(programs, 1);
+        assert!(bytes > 0);
+        assert_eq!(
+            (counters.hits, counters.misses, counters.evictions),
+            (2, 1, 0)
+        );
+    }
+
+    #[test]
+    fn cache_evicts_lru_under_byte_budget() {
+        // Budget below two programs: the second insert evicts the first.
+        let one = compiled(APP);
+        let budget = approx_program_bytes(&one, APP.len()) + 512;
+        let cache = ProgramCache::new(budget);
+        cache.insert(1, one, APP.len());
+        let evicted = cache.insert(2, compiled("p(x)."), 6);
+        assert_eq!(evicted, vec![1], "LRU slot evicted");
+        assert!(cache.peek(1).is_none());
+        assert!(cache.peek(2).is_some(), "newest insert is never evicted");
+        let (_, _, _, counters) = cache.snapshot();
+        assert_eq!(counters.evictions, 1);
+    }
+
+    #[test]
+    fn zero_budget_still_serves_the_latest_program() {
+        let cache = ProgramCache::new(0);
+        cache.insert(1, compiled(APP), APP.len());
+        assert!(cache.peek(1).is_some());
+    }
+
+    #[test]
+    fn pool_parks_and_reuses_per_tenant() {
+        let analyzer = compiled(APP);
+        let pool = SessionPool::new(2);
+        assert!(pool.checkout("t1", 1).is_none());
+
+        // Grow a session, park it, and get the warm table back.
+        let mut session = Session::new(&analyzer);
+        session
+            .analyze_query("app", &["glist", "glist", "var"])
+            .expect("analysis runs");
+        let memo = session.memo_len();
+        assert!(memo > 0);
+        pool.checkin("t1", 1, session.into_parts());
+
+        assert!(pool.checkout("t2", 1).is_none(), "tenant isolation");
+        let parts = pool.checkout("t1", 1).expect("parked session");
+        assert_eq!(parts.memo_len(), memo);
+        let mut warm = Session::resume(&analyzer, parts);
+        let analysis = warm
+            .analyze_query("app", &["glist", "glist", "var"])
+            .expect("analysis runs");
+        assert_eq!(analysis.iterations, 0, "warm hit from the parked table");
+
+        let (_, counters) = pool.snapshot();
+        assert_eq!(counters.hits, 1);
+        assert_eq!(counters.misses, 2);
+    }
+
+    #[test]
+    fn pool_bounds_and_purges() {
+        let analyzer = compiled(APP);
+        let pool = SessionPool::new(1);
+        pool.checkin("t", 9, Session::new(&analyzer).into_parts());
+        pool.checkin("t", 9, Session::new(&analyzer).into_parts());
+        let (parked, _) = pool.snapshot();
+        assert_eq!(parked, 1, "per-key bound drops the overflow");
+        pool.purge_program(9);
+        let (parked, _) = pool.snapshot();
+        assert_eq!(parked, 0);
+    }
+}

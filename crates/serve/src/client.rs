@@ -1,0 +1,122 @@
+//! A minimal blocking client for the daemon's line protocol, used by
+//! the integration tests and the `awam loadgen` driver. One request
+//! line out, one response line back, parsed into [`Json`].
+
+use awam_obs::Json;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// One connection to a running daemon.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. `"127.0.0.1:4321"`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        // Requests are one small line each; without TCP_NODELAY the
+        // Nagle/delayed-ACK interaction stalls every round-trip ~40ms.
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { writer, reader })
+    }
+
+    /// Send one raw request line and read one response line.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a server that hung up, or a response line that is
+    /// not valid JSON.
+    pub fn call_line(&mut self, line: &str) -> io::Result<Json> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        if self.reader.read_line(&mut response)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Json::parse(response.trim_end()).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed response: {e}"),
+            )
+        })
+    }
+
+    /// Send a request document (the `op` etc. already filled in).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::call_line`].
+    pub fn call(&mut self, request: &Json) -> io::Result<Json> {
+        self.call_line(&request.emit())
+    }
+
+    /// Register `source` under `tenant`; the response carries the
+    /// program's 16-hex fingerprint under `"program"`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::call_line`].
+    pub fn register(&mut self, tenant: &str, source: &str) -> io::Result<Json> {
+        self.call(&Json::obj(vec![
+            ("op", Json::Str("register".to_owned())),
+            ("tenant", Json::Str(tenant.to_owned())),
+            ("program", Json::Str(source.to_owned())),
+        ]))
+    }
+
+    /// Analyze `goal` with `entry` specs against a registered program
+    /// hash.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::call_line`].
+    pub fn analyze(
+        &mut self,
+        tenant: &str,
+        program_hash: &str,
+        goal: &str,
+        entry: &[&str],
+        reuse: bool,
+    ) -> io::Result<Json> {
+        self.call(&Json::obj(vec![
+            ("op", Json::Str("analyze".to_owned())),
+            ("tenant", Json::Str(tenant.to_owned())),
+            ("program", Json::Str(program_hash.to_owned())),
+            ("goal", Json::Str(goal.to_owned())),
+            (
+                "entry",
+                Json::Arr(entry.iter().map(|s| Json::Str((*s).to_owned())).collect()),
+            ),
+            ("reuse", Json::Bool(reuse)),
+        ]))
+    }
+
+    /// Fetch the server's counter snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::call_line`].
+    pub fn stats(&mut self) -> io::Result<Json> {
+        self.call(&Json::obj(vec![("op", Json::Str("stats".to_owned()))]))
+    }
+
+    /// Ask the daemon to stop accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::call_line`].
+    pub fn shutdown(&mut self) -> io::Result<Json> {
+        self.call(&Json::obj(vec![("op", Json::Str("shutdown".to_owned()))]))
+    }
+}

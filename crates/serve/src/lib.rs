@@ -1,0 +1,33 @@
+//! `awam-serve`: the multi-tenant analysis daemon.
+//!
+//! The paper's compile-once/analyze-many architecture, turned into a
+//! long-running service: a program is compiled to abstract-WAM code at
+//! most once per distinct source text, cached behind an `Arc` and
+//! shared by every connection, while each tenant keeps pools of warm
+//! [`awam_core::Session`]s whose extension tables answer repeat goals
+//! without re-running the fixpoint.
+//!
+//! * [`protocol`] — the line-delimited JSON wire format (requests,
+//!   `awam/v1` response envelopes, error codes).
+//! * [`cache`] — the LRU [`ProgramCache`] (byte-budgeted) and the
+//!   per-`(tenant, program)` [`SessionPool`].
+//! * [`server`] — [`Server`]/[`ServerHandle`], the accept loop, the
+//!   load-shed gate, and per-request deadlines.
+//! * [`client`] — a small blocking [`Client`] for tests and the
+//!   `awam loadgen` driver.
+//!
+//! The daemon is std-only (the workspace builds offline): a
+//! thread-per-connection `TcpListener` loop, `Mutex`-guarded caches,
+//! and atomics for the load-shed gate.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{ProgramCache, SessionPool};
+pub use client::Client;
+pub use protocol::{parse_request, GoalSpec, ProgramRef, Request};
+pub use server::{ServeConfig, Server, ServerHandle};

@@ -1,0 +1,772 @@
+//! The daemon itself: a TCP accept loop, one thread per connection,
+//! and the request dispatcher that ties the protocol to the caches.
+//!
+//! Life of an `analyze` request:
+//!
+//! 1. **Load-shed gate** — if `max_inflight` analyses are already
+//!    running, the request is rejected immediately with an
+//!    `overloaded` error envelope (the 429 of this protocol). Cheap
+//!    ops (`register`, `stats`) are never shed.
+//! 2. **Program resolution** — a 16-hex fingerprint hits the
+//!    [`ProgramCache`]; inline source is fingerprinted and compiled at
+//!    most once, then shared via `Arc` with every thread.
+//! 3. **Session checkout** — with `reuse: true` (the default) a warm
+//!    [`awam_core::Session`] is rehydrated from the tenant's pool, so
+//!    repeat goals are answered straight from the memo table. With
+//!    `reuse: false` (and for every `batch` goal) the run uses a fresh
+//!    session and is byte-identical to a standalone
+//!    [`Analyzer::analyze`].
+//! 4. **Deadline** — the effective abstract-instruction budget
+//!    (request override, else server default, capped by the server
+//!    maximum) is armed on the session; a run that crosses it comes
+//!    back as an `over_budget` error envelope and counts toward
+//!    `shed_budget`.
+
+use crate::cache::{ProgramCache, SessionPool};
+use crate::protocol::{self, parse_request, Envelope, GoalSpec, ProgramRef, Request};
+use awam_core::{par_map, Analysis, AnalysisError, Analyzer, Session};
+use awam_obs::{envelope, Histogram, Json, ServeStats};
+use prolog_syntax::parse_program;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Tuning knobs of the daemon; `ServeConfig::default()` is sized for a
+/// laptop-local daemon and every field can be overridden from the CLI.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Approximate byte budget of the compiled-program cache.
+    pub cache_bytes: usize,
+    /// Analyze/batch requests allowed to run concurrently before the
+    /// daemon sheds load with `overloaded` responses.
+    pub max_inflight: usize,
+    /// Abstract-instruction budget applied when a request names none
+    /// (`None` = unbounded).
+    pub default_budget: Option<u64>,
+    /// Hard cap on any request's budget; also applies when neither the
+    /// request nor `default_budget` set one (`None` = no cap).
+    pub max_budget: Option<u64>,
+    /// Warm sessions parked per `(tenant, program)` key.
+    pub pool_per_key: usize,
+    /// Worker threads a single `batch` request fans its goals across.
+    pub batch_workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            cache_bytes: 64 << 20,
+            max_inflight: 64,
+            default_budget: None,
+            max_budget: None,
+            pool_per_key: 4,
+            batch_workers: 4,
+        }
+    }
+}
+
+/// Shared daemon state: the caches, the counters, and the flags the
+/// accept loop watches.
+struct ServerState {
+    config: ServeConfig,
+    cache: ProgramCache,
+    pools: SessionPool,
+    stats: Mutex<ServeStats>,
+    /// Client-visible latency of analyze/batch requests, microseconds.
+    latency_us: Mutex<Histogram>,
+    inflight: AtomicUsize,
+    shutting_down: AtomicBool,
+    addr: SocketAddr,
+    started: Instant,
+}
+
+/// A bound (but not yet running) daemon. Binding and running are split
+/// so callers can learn the ephemeral port before the first request.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+/// A running daemon spawned onto a background thread; dropping the
+/// handle does *not* stop the daemon — call [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept_thread: JoinHandle<io::Result<()>>,
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str, config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            cache: ProgramCache::new(config.cache_bytes),
+            pools: SessionPool::new(config.pool_per_key),
+            stats: Mutex::new(ServeStats::default()),
+            latency_us: Mutex::new(Histogram::new()),
+            inflight: AtomicUsize::new(0),
+            shutting_down: AtomicBool::new(false),
+            addr,
+            started: Instant::now(),
+            config,
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Run the accept loop on the calling thread until a `shutdown`
+    /// request arrives. Each connection gets its own handler thread;
+    /// handlers outlive the accept loop only until their client hangs
+    /// up.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O failures (per-connection errors only
+    /// end that connection).
+    pub fn run(self) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.state.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = stream?;
+            let state = Arc::clone(&self.state);
+            std::thread::spawn(move || handle_connection(&state, stream));
+        }
+        Ok(())
+    }
+
+    /// Run the accept loop on a background thread, returning a handle
+    /// that can stop it.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let state = Arc::clone(&self.state);
+        let accept_thread = std::thread::spawn(move || self.run());
+        ServerHandle {
+            addr,
+            state,
+            accept_thread,
+        }
+    }
+}
+
+impl ServerHandle {
+    /// The daemon's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and wait for it to exit. Idempotent; safe
+    /// to call after a client already sent `shutdown`.
+    pub fn shutdown(self) {
+        self.state.shutting_down.store(true, Ordering::SeqCst);
+        // The accept loop only observes the flag when `accept` returns,
+        // so poke it with a throwaway connection.
+        drop(TcpStream::connect(self.addr));
+        drop(self.accept_thread.join());
+    }
+}
+
+/// Decrements the in-flight gauge when an analysis scope ends, however
+/// it ends.
+struct InflightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn handle_connection(state: &ServerState, stream: TcpStream) {
+    // One-line responses must not sit in Nagle's buffer waiting for an
+    // ACK of the request they answer.
+    drop(stream.set_nodelay(true));
+    let peer_writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(peer_writer);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        state.stats.lock().expect("stats lock").requests += 1;
+        let (response, stop) = match parse_request(&line) {
+            Ok(env) => dispatch(state, env),
+            Err(bad) => (protocol::error_response("bad_request", &bad.0, None), false),
+        };
+        note_response(state, &response);
+        let mut text = response.emit();
+        text.push('\n');
+        if writer.write_all(text.as_bytes()).is_err() || writer.flush().is_err() {
+            return;
+        }
+        if stop {
+            // Unblock the accept loop so it observes the flag.
+            drop(TcpStream::connect(state.addr));
+            return;
+        }
+    }
+}
+
+fn note_response(state: &ServerState, response: &Json) {
+    let mut stats = state.stats.lock().expect("stats lock");
+    if response.get("kind").and_then(Json::as_str) == Some("error") {
+        stats.responses_error += 1;
+        if let Some(code) = response
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+        {
+            match code {
+                "overloaded" => stats.shed_overload += 1,
+                "over_budget" => stats.shed_budget += 1,
+                _ => {}
+            }
+        }
+    } else {
+        stats.responses_ok += 1;
+    }
+}
+
+/// Handle one parsed request; the bool asks the connection loop to stop
+/// after writing the response (shutdown).
+fn dispatch(state: &ServerState, env: Envelope) -> (Json, bool) {
+    let id = env.id;
+    match env.request {
+        Request::Register { source, .. } => (do_register(state, &source, id), false),
+        Request::Analyze {
+            tenant,
+            program,
+            goal,
+            budget,
+            reuse,
+        } => (
+            timed_analysis(state, id, |s| {
+                do_analyze(s, &tenant, &program, &goal, budget, reuse, id)
+            }),
+            false,
+        ),
+        Request::Batch {
+            tenant,
+            program,
+            goals,
+            budget,
+        } => (
+            timed_analysis(state, id, |s| {
+                do_batch(s, &tenant, &program, &goals, budget, id)
+            }),
+            false,
+        ),
+        Request::Stats => (do_stats(state, id), false),
+        Request::Shutdown => {
+            state.shutting_down.store(true, Ordering::SeqCst);
+            (
+                protocol::attach_id(envelope("shutdown", vec![("ok", Json::Bool(true))]), id),
+                true,
+            )
+        }
+    }
+}
+
+/// Wrap an analyze/batch handler in the load-shed gate and the latency
+/// histogram.
+fn timed_analysis(
+    state: &ServerState,
+    id: Option<i64>,
+    f: impl FnOnce(&ServerState) -> Json,
+) -> Json {
+    if state.inflight.fetch_add(1, Ordering::SeqCst) >= state.config.max_inflight {
+        state.inflight.fetch_sub(1, Ordering::SeqCst);
+        return protocol::error_response(
+            "overloaded",
+            &format!(
+                "in-flight analysis limit ({}) reached; retry later",
+                state.config.max_inflight
+            ),
+            id,
+        );
+    }
+    let _guard = InflightGuard(&state.inflight);
+    let start = Instant::now();
+    let response = f(state);
+    let elapsed_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    state
+        .latency_us
+        .lock()
+        .expect("latency lock")
+        .record(elapsed_us);
+    response
+}
+
+fn do_register(state: &ServerState, source: &str, id: Option<i64>) -> Json {
+    let hash = awam_core::program_fingerprint(source);
+    let cached = state.cache.get(hash).is_some();
+    if !cached {
+        match compile_and_insert(state, hash, source) {
+            Ok(()) => {}
+            Err(response) => return protocol::attach_id(response, id),
+        }
+    }
+    protocol::attach_id(
+        envelope(
+            "register",
+            vec![
+                ("ok", Json::Bool(true)),
+                ("program", Json::Str(protocol::hash_hex(hash))),
+                ("cached", Json::Bool(cached)),
+            ],
+        ),
+        id,
+    )
+}
+
+/// Compile `source` and insert it into the program cache, purging the
+/// session pools of anything evicted to make room.
+fn compile_and_insert(state: &ServerState, hash: u64, source: &str) -> Result<(), Json> {
+    let program = parse_program(source)
+        .map_err(|e| awam_obs::error_envelope("parse_error", &e.to_string()))?;
+    let analyzer = Analyzer::compile(&program)
+        .map_err(|e| awam_obs::error_envelope("compile_error", &e.to_string()))?;
+    for evicted in state.cache.insert(hash, Arc::new(analyzer), source.len()) {
+        state.pools.purge_program(evicted);
+    }
+    Ok(())
+}
+
+/// Resolve a program reference to its compiled analyzer, compiling
+/// inline source on first sight.
+fn resolve_program(
+    state: &ServerState,
+    program: &ProgramRef,
+) -> Result<(u64, Arc<Analyzer>), Json> {
+    match program {
+        ProgramRef::Hash(hash) => state.cache.get(*hash).map(|a| (*hash, a)).ok_or_else(|| {
+            awam_obs::error_envelope(
+                "unknown_program",
+                &format!(
+                    "program {} is not registered (or was evicted); re-register it",
+                    protocol::hash_hex(*hash)
+                ),
+            )
+        }),
+        ProgramRef::Source(source) => {
+            let hash = awam_core::program_fingerprint(source);
+            if let Some(analyzer) = state.cache.get(hash) {
+                return Ok((hash, analyzer));
+            }
+            compile_and_insert(state, hash, source)?;
+            let analyzer = state
+                .cache
+                .peek(hash)
+                .ok_or_else(|| awam_obs::error_envelope("internal", "program vanished"))?;
+            Ok((hash, analyzer))
+        }
+    }
+}
+
+fn effective_budget(requested: Option<u64>, config: &ServeConfig) -> Option<u64> {
+    let base = requested.or(config.default_budget);
+    match (base, config.max_budget) {
+        (Some(b), Some(cap)) => Some(b.min(cap)),
+        (None, cap) => cap,
+        (b, None) => b,
+    }
+}
+
+fn analysis_error_response(err: &AnalysisError, id: Option<i64>) -> Json {
+    let code = match err {
+        AnalysisError::BudgetExceeded { .. } => "over_budget",
+        _ => "analysis_error",
+    };
+    protocol::error_response(code, &err.to_string(), id)
+}
+
+/// One goal's slice of an analyze/batch response payload.
+fn goal_payload(
+    goal: &GoalSpec,
+    analysis: &Analysis,
+    analyzer: &Analyzer,
+) -> Vec<(&'static str, Json)> {
+    vec![
+        ("goal", Json::Str(goal.goal.clone())),
+        (
+            "entry",
+            Json::Arr(goal.entry.iter().map(|s| Json::Str(s.clone())).collect()),
+        ),
+        ("iterations", Json::Int(analysis.iterations as i64)),
+        (
+            "instructions_executed",
+            Json::Int(analysis.instructions_executed as i64),
+        ),
+        ("report", Json::Str(analysis.report(analyzer))),
+    ]
+}
+
+fn do_analyze(
+    state: &ServerState,
+    tenant: &str,
+    program: &ProgramRef,
+    goal: &GoalSpec,
+    budget: Option<u64>,
+    reuse: bool,
+    id: Option<i64>,
+) -> Json {
+    let (hash, analyzer) = match resolve_program(state, program) {
+        Ok(found) => found,
+        Err(response) => return protocol::attach_id(response, id),
+    };
+    let parked = if reuse {
+        state.pools.checkout(tenant, hash)
+    } else {
+        None
+    };
+    let warmed = parked.is_some();
+    let mut session = match parked {
+        Some(parts) => Session::resume(&analyzer, parts),
+        None => Session::new(&analyzer),
+    };
+    session.set_step_budget(effective_budget(budget, &state.config));
+    let specs: Vec<&str> = goal.entry.iter().map(String::as_str).collect();
+    match session.analyze_query(&goal.goal, &specs) {
+        Ok(analysis) => {
+            let warm_hit = warmed && analysis.iterations == 0;
+            if warm_hit {
+                state.stats.lock().expect("stats lock").warm_hits += 1;
+            }
+            if reuse {
+                state.pools.checkin(tenant, hash, session.into_parts());
+            }
+            let mut pairs = vec![
+                ("ok", Json::Bool(true)),
+                ("program", Json::Str(protocol::hash_hex(hash))),
+                ("reused", Json::Bool(warmed)),
+                ("warm", Json::Bool(warm_hit)),
+            ];
+            pairs.extend(goal_payload(goal, &analysis, &analyzer));
+            protocol::attach_id(envelope("analyze", pairs), id)
+        }
+        // The session is dropped, not checked back in: after a
+        // resource-bound error its table is no longer trustworthy.
+        Err(err) => analysis_error_response(&err, id),
+    }
+}
+
+fn do_batch(
+    state: &ServerState,
+    _tenant: &str,
+    program: &ProgramRef,
+    goals: &[GoalSpec],
+    budget: Option<u64>,
+    id: Option<i64>,
+) -> Json {
+    let (hash, analyzer) = match resolve_program(state, program) {
+        Ok(found) => found,
+        Err(response) => return protocol::attach_id(response, id),
+    };
+    let effective = effective_budget(budget, &state.config);
+    // Every batch goal runs in its own fresh session (single-shot
+    // identical results), fanned across the configured workers.
+    let results = par_map(goals, state.config.batch_workers, |_, goal| {
+        let mut session = Session::new(&analyzer);
+        session.set_step_budget(effective);
+        let specs: Vec<&str> = goal.entry.iter().map(String::as_str).collect();
+        session.analyze_query(&goal.goal, &specs)
+    });
+    let mut over_budget = false;
+    let rendered: Vec<Json> = goals
+        .iter()
+        .zip(&results)
+        .map(|(goal, result)| match result {
+            Ok(analysis) => {
+                let mut pairs = vec![("ok", Json::Bool(true))];
+                pairs.extend(goal_payload(goal, analysis, &analyzer));
+                Json::obj(pairs)
+            }
+            Err(err) => {
+                if matches!(err, AnalysisError::BudgetExceeded { .. }) {
+                    over_budget = true;
+                }
+                let code = match err {
+                    AnalysisError::BudgetExceeded { .. } => "over_budget",
+                    _ => "analysis_error",
+                };
+                Json::obj(vec![
+                    ("ok", Json::Bool(false)),
+                    ("goal", Json::Str(goal.goal.clone())),
+                    (
+                        "error",
+                        Json::obj(vec![
+                            ("code", Json::Str(code.to_owned())),
+                            ("message", Json::Str(err.to_string())),
+                        ]),
+                    ),
+                ])
+            }
+        })
+        .collect();
+    if over_budget {
+        state.stats.lock().expect("stats lock").shed_budget += 1;
+    }
+    let ok = rendered
+        .iter()
+        .all(|r| r.get("ok").and_then(Json::as_bool) == Some(true));
+    protocol::attach_id(
+        envelope(
+            "batch",
+            vec![
+                ("ok", Json::Bool(ok)),
+                ("program", Json::Str(protocol::hash_hex(hash))),
+                ("results", Json::Arr(rendered)),
+            ],
+        ),
+        id,
+    )
+}
+
+fn do_stats(state: &ServerState, id: Option<i64>) -> Json {
+    let (programs, cache_bytes, cache_budget, cache) = state.cache.snapshot();
+    let (parked, pool) = state.pools.snapshot();
+    let mut stats = *state.stats.lock().expect("stats lock");
+    stats.program_cache_hits = cache.hits;
+    stats.program_cache_misses = cache.misses;
+    stats.program_cache_evictions = cache.evictions;
+    stats.session_pool_hits = pool.hits;
+    stats.session_pool_misses = pool.misses;
+    let latency = state.latency_us.lock().expect("latency lock");
+    let latency_json = Json::obj(vec![
+        ("count", Json::Int(latency.count as i64)),
+        ("p50_us", Json::Int(latency.quantile(0.50) as i64)),
+        ("p90_us", Json::Int(latency.quantile(0.90) as i64)),
+        ("p99_us", Json::Int(latency.quantile(0.99) as i64)),
+        (
+            "max_us",
+            Json::Int(if latency.count == 0 {
+                0
+            } else {
+                latency.max as i64
+            }),
+        ),
+    ]);
+    drop(latency);
+    let Json::Obj(mut counters) = stats.to_json() else {
+        unreachable!("ServeStats::to_json returns an object");
+    };
+    counters.push((
+        "cache_hit_rate".to_owned(),
+        Json::Float(stats.cache_hit_rate()),
+    ));
+    counters.push((
+        "pool_hit_rate".to_owned(),
+        Json::Float(stats.pool_hit_rate()),
+    ));
+    protocol::attach_id(
+        envelope(
+            "stats",
+            vec![
+                ("ok", Json::Bool(true)),
+                (
+                    "uptime_ms",
+                    Json::Int(
+                        i64::try_from(state.started.elapsed().as_millis()).unwrap_or(i64::MAX),
+                    ),
+                ),
+                ("counters", Json::Obj(counters)),
+                (
+                    "program_cache",
+                    Json::obj(vec![
+                        ("programs", Json::Int(programs as i64)),
+                        ("bytes", Json::Int(cache_bytes as i64)),
+                        ("byte_budget", Json::Int(cache_budget as i64)),
+                    ]),
+                ),
+                (
+                    "session_pools",
+                    Json::obj(vec![("parked", Json::Int(parked as i64))]),
+                ),
+                ("latency", latency_json),
+                (
+                    "inflight",
+                    Json::Int(state.inflight.load(Ordering::SeqCst) as i64),
+                ),
+            ],
+        ),
+        id,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    const APP: &str = "app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).";
+
+    fn spawn_default() -> ServerHandle {
+        Server::bind("127.0.0.1:0", ServeConfig::default())
+            .expect("bind ephemeral port")
+            .spawn()
+    }
+
+    #[test]
+    fn register_analyze_stats_roundtrip() {
+        let handle = spawn_default();
+        let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+
+        let reg = client.register("t1", APP).expect("register");
+        assert_eq!(reg.get("kind").and_then(Json::as_str), Some("register"));
+        assert_eq!(reg.get("schema").and_then(Json::as_str), Some("awam/v1"));
+        let hash = reg
+            .get("program")
+            .and_then(Json::as_str)
+            .expect("hash")
+            .to_owned();
+
+        let line = format!(
+            r#"{{"op":"analyze","tenant":"t1","program":"{hash}","goal":"app","entry":["glist","glist","var"],"id":3}}"#
+        );
+        let first = client.call_line(&line).expect("analyze");
+        assert_eq!(first.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(first.get("id").and_then(Json::as_i64), Some(3));
+        assert_eq!(first.get("warm").and_then(Json::as_bool), Some(false));
+        let second = client.call_line(&line).expect("analyze again");
+        assert_eq!(second.get("warm").and_then(Json::as_bool), Some(true));
+        // The report header carries per-run work counters (0 iterations
+        // on the warm hit); the analysis results after it must match.
+        let results_of = |doc: &Json| {
+            let report = doc.get("report").and_then(Json::as_str).expect("report");
+            let split = report.find("\n\n").expect("report has a result section");
+            report[split..].to_owned()
+        };
+        assert_eq!(
+            results_of(&second),
+            results_of(&first),
+            "repeat goal answers match"
+        );
+
+        let stats = client.stats().expect("stats");
+        let counters = stats.get("counters").expect("counters");
+        assert_eq!(
+            counters.get("program_cache_misses").and_then(Json::as_i64),
+            Some(1),
+            "compiled exactly once"
+        );
+        assert_eq!(
+            counters.get("session_pool_hits").and_then(Json::as_i64),
+            Some(1)
+        );
+        assert_eq!(counters.get("warm_hits").and_then(Json::as_i64), Some(1));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn zero_inflight_limit_sheds_every_analysis() {
+        let config = ServeConfig {
+            max_inflight: 0,
+            ..ServeConfig::default()
+        };
+        let handle = Server::bind("127.0.0.1:0", config).expect("bind").spawn();
+        let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+        let response = client
+            .call_line(&format!(
+                r#"{{"op":"analyze","source":{},"goal":"app","entry":["glist","glist","var"]}}"#,
+                Json::Str(APP.to_owned()).emit()
+            ))
+            .expect("shed response");
+        assert_eq!(response.get("kind").and_then(Json::as_str), Some("error"));
+        assert_eq!(
+            response
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("overloaded")
+        );
+        let stats = client.stats().expect("stats");
+        assert_eq!(
+            stats
+                .get("counters")
+                .and_then(|c| c.get("shed_overload"))
+                .and_then(Json::as_i64),
+            Some(1)
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn tiny_budget_returns_over_budget_envelope() {
+        let handle = spawn_default();
+        let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+        let response = client
+            .call_line(&format!(
+                r#"{{"op":"analyze","source":{},"goal":"app","entry":["glist","glist","var"],"budget":0}}"#,
+                Json::Str(APP.to_owned()).emit()
+            ))
+            .expect("over-budget response");
+        assert_eq!(
+            response
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("over_budget")
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn unknown_hash_is_a_clean_error() {
+        let handle = spawn_default();
+        let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+        let response = client
+            .call_line(r#"{"op":"analyze","program":"00000000deadbeef","goal":"p","entry":[]}"#)
+            .expect("error response");
+        assert_eq!(
+            response
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("unknown_program")
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn batch_runs_all_goals_fresh() {
+        let handle = spawn_default();
+        let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+        let response = client
+            .call_line(&format!(
+                r#"{{"op":"batch","source":{},"goals":[{{"goal":"app","entry":["glist","glist","var"]}},{{"goal":"app","entry":["var","var","glist"]}}]}}"#,
+                Json::Str(APP.to_owned()).emit()
+            ))
+            .expect("batch response");
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+        let results = response
+            .get("results")
+            .and_then(Json::as_arr)
+            .expect("results array");
+        assert_eq!(results.len(), 2);
+        for r in results {
+            assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+            assert!(r.get("iterations").and_then(Json::as_i64).unwrap_or(0) > 0);
+        }
+        handle.shutdown();
+    }
+}

@@ -16,9 +16,20 @@
 //!                                      self-profile one analysis run
 //! awam fuzz [--seed N] [--cases N] [--oracle NAME,...] [--no-minimize]
 //!           [--fault NAME] [--json]  differential fuzzing campaign
+//! awam serve [--addr HOST:PORT] [--cache-mb N] [--max-inflight N]
+//!            [--default-budget N] [--max-budget N] [--pool N]
+//!                                      run the multi-tenant analysis daemon
+//! awam loadgen [--addr HOST:PORT] [--programs N] [--clients N] [--queries N]
+//!              [--tenants N] [--seed N] [--out FILE]
+//!                                      drive load at a daemon, write BENCH_serve.json
 //! ```
 //!
 //! A batch `GOAL` is `PRED` or `PRED:SPEC,SPEC,…` (e.g. `app:glist,glist,var`).
+//!
+//! Every machine-readable document any subcommand prints (`--stats-json`,
+//! `--metrics-json`, `--json`, serve responses, the loadgen summary) is
+//! wrapped in the workspace's versioned envelope:
+//! `{"schema": "awam/v1", "kind": …, …payload…}`.
 //!
 //! Observability flags (on `run`, `analyze`, `analyze-wam` and `bench`):
 //!
@@ -33,7 +44,7 @@
 
 use awam::analysis::{Analysis, AnalyzerBuilder, BatchGoal};
 use awam::machine::Machine;
-use awam::obs::{Json, JsonlTracer, Phase, PhaseTimers, Stopwatch, Tracer};
+use awam::obs::{envelope, envelope_obj, Json, JsonlTracer, Phase, PhaseTimers, Stopwatch, Tracer};
 use awam::syntax::parse_program;
 use awam::wam::compile_program;
 use awam::{Analyzer, Error};
@@ -53,6 +64,8 @@ fn main() -> ExitCode {
         Some("explain") => cmd_explain(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         _ => {
             eprintln!(
                 "usage:\n  awam compile FILE.pl [--emit F.wam]\n  awam disasm FILE.pl|FILE.wam\n  \
@@ -62,7 +75,9 @@ fn main() -> ExitCode {
                  awam bench NAME\n  \
                  awam explain FILE.pl PRED[/ARITY] [--entry PRED[:SPEC,…]] [--json]\n  \
                  awam profile FILE.pl PRED [SPEC,SPEC,…] [--top N] [--metrics-json]\n  \
-                 awam fuzz [--seed N] [--cases N] [--oracle NAME,…] [--no-minimize] [--fault NAME] [--json]\n\
+                 awam fuzz [--seed N] [--cases N] [--oracle NAME,…] [--no-minimize] [--fault NAME] [--json]\n  \
+                 awam serve [--addr HOST:PORT] [--cache-mb N] [--max-inflight N] [--default-budget N] [--max-budget N] [--pool N]\n  \
+                 awam loadgen [--addr HOST:PORT] [--programs N] [--clients N] [--queries N] [--tenants N] [--seed N] [--out FILE]\n\
                  observability flags: --stats | --stats-json | --trace FILE"
             );
             return ExitCode::from(2);
@@ -207,7 +222,10 @@ fn run_analysis(
     timers.record(Phase::Report, watch.elapsed_ns());
 
     if flags.stats_json {
-        println!("{}", stats_doc(&analysis, &timers).emit_pretty());
+        println!(
+            "{}",
+            envelope_obj("stats", stats_doc(&analysis, &timers)).emit_pretty()
+        );
         return Ok(());
     }
     print!("{report}");
@@ -344,7 +362,7 @@ fn cmd_run(args: &[String]) -> CmdResult {
         if let Some(tracer) = tracer {
             tracer.into_inner()?;
         }
-        println!("{}", doc.emit_pretty());
+        println!("{}", envelope_obj("run", doc).emit_pretty());
         return Ok(());
     }
     if solutions.is_empty() {
@@ -517,7 +535,7 @@ fn cmd_batch(args: &[String]) -> CmdResult {
             ("failed", Json::Int(failed as i64)),
             ("batch_ns", Json::Int(batch_ns as i64)),
         ]);
-        println!("{}", doc.emit_pretty());
+        println!("{}", envelope_obj("batch", doc).emit_pretty());
     } else {
         println!(
             "batch: {} goals on {} workers in {:.1} ms ({} failed)",
@@ -594,7 +612,7 @@ fn batch_suite(names: &[String], workers: usize, stats_json: bool) -> CmdResult 
             ("failed", Json::Int(failed as i64)),
             ("batch_ns", Json::Int(batch_ns as i64)),
         ]);
-        println!("{}", doc.emit_pretty());
+        println!("{}", envelope_obj("batch", doc).emit_pretty());
     } else {
         println!(
             "batch: {} programs on {} workers in {:.1} ms ({} failed)",
@@ -704,7 +722,10 @@ fn cmd_explain(args: &[String]) -> CmdResult {
         let single = awam::analysis::DerivationReport {
             predicates: vec![pred.clone()],
         };
-        println!("{}", single.to_json().emit_pretty());
+        println!(
+            "{}",
+            envelope_obj("explain", single.to_json()).emit_pretty()
+        );
     } else {
         println!(
             "entry {entry_name}{}",
@@ -765,7 +786,7 @@ fn cmd_profile(args: &[String]) -> CmdResult {
             ("metrics", profile.metrics.to_json()),
             ("spans", profile.spans.to_json()),
         ]);
-        println!("{}", doc.emit_pretty());
+        println!("{}", envelope_obj("profile", doc).emit_pretty());
         return Ok(());
     }
 
@@ -881,7 +902,7 @@ fn cmd_fuzz(args: &[String]) -> CmdResult {
                     ("checks", awam::obs::Json::Int(report.checks_run as i64)),
                     ("failed", awam::obs::Json::Bool(false)),
                 ]);
-                println!("{}", doc.emit_pretty());
+                println!("{}", envelope_obj("fuzz", doc).emit_pretty());
             } else {
                 let oracles: Vec<&str> = config.oracles.iter().map(|o| o.name()).collect();
                 println!(
@@ -897,7 +918,7 @@ fn cmd_fuzz(args: &[String]) -> CmdResult {
         }
         Some(failure) => {
             if json {
-                println!("{}", failure.to_json().emit_pretty());
+                println!("{}", envelope_obj("fuzz", failure.to_json()).emit_pretty());
             } else {
                 print!("{}", failure.render());
             }
@@ -907,6 +928,236 @@ fn cmd_fuzz(args: &[String]) -> CmdResult {
             )))
         }
     }
+}
+
+/// Parse a `--flag N` numeric argument.
+fn num_flag<T: std::str::FromStr>(
+    it: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+) -> Result<T, Error> {
+    it.next()
+        .ok_or_else(|| Error::Usage(format!("{flag} needs a number")))?
+        .parse()
+        .map_err(|_| Error::Usage(format!("{flag} needs a number")))
+}
+
+/// `awam serve`: run the multi-tenant analysis daemon (see
+/// `awam::serve`) until a client sends `{"op":"shutdown"}`. The first
+/// stdout line is a `{"kind":"serving","addr":…}` envelope announcing
+/// the bound address, so scripts can bind port 0 and read it back.
+fn cmd_serve(args: &[String]) -> CmdResult {
+    use awam::serve::{ServeConfig, Server};
+
+    let mut addr = "127.0.0.1:0".to_owned();
+    let mut config = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                addr = it.next().ok_or("serve: --addr needs HOST:PORT")?.clone();
+            }
+            "--cache-mb" => {
+                let mb: usize = num_flag(&mut it, "serve: --cache-mb")?;
+                config.cache_bytes = mb << 20;
+            }
+            "--max-inflight" => config.max_inflight = num_flag(&mut it, "serve: --max-inflight")?,
+            "--default-budget" => {
+                config.default_budget = Some(num_flag(&mut it, "serve: --default-budget")?);
+            }
+            "--max-budget" => {
+                config.max_budget = Some(num_flag(&mut it, "serve: --max-budget")?);
+            }
+            "--pool" => config.pool_per_key = num_flag(&mut it, "serve: --pool")?,
+            "--batch-workers" => {
+                config.batch_workers = num_flag(&mut it, "serve: --batch-workers")?;
+            }
+            other => {
+                return Err(Error::Usage(format!("serve: unknown flag {other}")));
+            }
+        }
+    }
+    let server = Server::bind(&addr, config)?;
+    let announce = envelope(
+        "serving",
+        vec![("addr", Json::Str(server.local_addr().to_string()))],
+    );
+    println!("{}", announce.emit());
+    // The announcement must reach a piping consumer before the first
+    // request arrives.
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+    server.run()?;
+    Ok(())
+}
+
+/// `awam loadgen`: drive concurrent analysis traffic at a daemon and
+/// write a `BENCH_serve.json` summary (throughput, latency quantiles,
+/// cache/pool hit rates). Without `--addr` an in-process daemon is
+/// spawned on an ephemeral port, so the benchmark is self-contained.
+fn cmd_loadgen(args: &[String]) -> CmdResult {
+    use awam::serve::{Client, ServeConfig, Server};
+    use awam::testkit::{gen_program, GenConfig, Rng};
+
+    let mut addr: Option<String> = None;
+    let mut programs = 100usize;
+    let mut clients = 8usize;
+    let mut queries = 50usize;
+    let mut tenants = 4usize;
+    let mut seed = 1u64;
+    let mut out = "BENCH_serve.json".to_owned();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = Some(it.next().ok_or("loadgen: --addr needs HOST:PORT")?.clone()),
+            "--programs" => programs = num_flag(&mut it, "loadgen: --programs")?,
+            "--clients" => clients = num_flag(&mut it, "loadgen: --clients")?,
+            "--queries" => queries = num_flag(&mut it, "loadgen: --queries")?,
+            "--tenants" => tenants = num_flag(&mut it, "loadgen: --tenants")?,
+            "--seed" => seed = num_flag(&mut it, "loadgen: --seed")?,
+            "--out" => out = it.next().ok_or("loadgen: --out needs a path")?.clone(),
+            other => {
+                return Err(Error::Usage(format!("loadgen: unknown flag {other}")));
+            }
+        }
+    }
+    if programs == 0 || clients == 0 || queries == 0 || tenants == 0 {
+        return Err("loadgen: --programs/--clients/--queries/--tenants must be at least 1".into());
+    }
+
+    // Spin up an in-process daemon unless aimed at an external one.
+    let local = match &addr {
+        Some(_) => None,
+        None => Some(Server::bind("127.0.0.1:0", ServeConfig::default())?.spawn()),
+    };
+    let target = match (&addr, &local) {
+        (Some(a), _) => a.clone(),
+        (None, Some(handle)) => handle.addr().to_string(),
+        (None, None) => unreachable!("either --addr or a local daemon"),
+    };
+
+    // Seed-replayable traffic: `programs` distinct generated programs,
+    // each with entry predicate p0.
+    let mut rng = Rng::new(seed);
+    let gen_config = GenConfig::default();
+    let corpus: Vec<(String, usize)> = (0..programs)
+        .map(|_| {
+            let p = gen_program(&mut rng, &gen_config);
+            (p.source(), p.entry_arity())
+        })
+        .collect();
+
+    // Register the corpus up front (one compile per program).
+    let mut registrar = Client::connect(&target)?;
+    let mut hashes = Vec::with_capacity(corpus.len());
+    for (source, _) in &corpus {
+        let response = registrar.register("loadgen", source)?;
+        let hash = response
+            .get("program")
+            .and_then(Json::as_str)
+            .ok_or_else(|| Error::Usage(format!("loadgen: register failed: {}", response.emit())))?
+            .to_owned();
+        hashes.push(hash);
+    }
+
+    // Fan the query load across client threads; every thread keeps its
+    // own connection and deterministic RNG stream. Latency samples are
+    // kept raw (not histogram buckets) so the committed quantiles are
+    // exact.
+    let latency = std::sync::Mutex::new(Vec::<u64>::new());
+    let ok_count = std::sync::atomic::AtomicU64::new(0);
+    let err_count = std::sync::atomic::AtomicU64::new(0);
+    let watch = Stopwatch::start();
+    std::thread::scope(|scope| -> Result<(), Error> {
+        let mut joins = Vec::new();
+        for client_idx in 0..clients {
+            let (hashes, corpus, target) = (&hashes, &corpus, &target);
+            let (latency, ok_count, err_count) = (&latency, &ok_count, &err_count);
+            joins.push(scope.spawn(move || -> Result<(), Error> {
+                let mut rng = Rng::new(seed ^ (client_idx as u64).wrapping_mul(0x9e37));
+                let mut client = Client::connect(target)?;
+                let tenant = format!("tenant{}", client_idx % tenants);
+                for _ in 0..queries {
+                    // Skew toward a hot subset so warm sessions pay off,
+                    // the way real tenants re-query the same programs.
+                    let idx = if rng.below(2) == 0 {
+                        rng.below((hashes.len() as u64).div_ceil(10)) as usize
+                    } else {
+                        rng.below(hashes.len() as u64) as usize
+                    };
+                    let arity = corpus[idx].1;
+                    let entry = vec!["any"; arity];
+                    let start = std::time::Instant::now();
+                    let response = client.analyze(&tenant, &hashes[idx], "p0", &entry, true)?;
+                    let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    latency.lock().expect("latency lock").push(micros);
+                    if response.get("ok").and_then(Json::as_bool) == Some(true) {
+                        ok_count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    } else {
+                        err_count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+                Ok(())
+            }));
+        }
+        for join in joins {
+            join.join().expect("loadgen client thread panicked")?;
+        }
+        Ok(())
+    })?;
+    let wall_ns = watch.elapsed_ns();
+
+    let stats = registrar.stats()?;
+    if let Some(local) = local {
+        drop(registrar.shutdown());
+        local.shutdown();
+    }
+
+    let total = (clients * queries) as u64;
+    let throughput = total as f64 / (wall_ns as f64 / 1e9);
+    let mut samples = latency.into_inner().expect("latency lock");
+    samples.sort_unstable();
+    let quantile = |q: f64| -> i64 {
+        match samples.len() {
+            0 => 0,
+            n => samples[(((q * n as f64).ceil() as usize).clamp(1, n)) - 1] as i64,
+        }
+    };
+    let counters = stats.get("counters").cloned().unwrap_or(Json::Null);
+    let doc = envelope(
+        "serve-bench",
+        vec![
+            ("seed", Json::Int(seed as i64)),
+            ("programs", Json::Int(programs as i64)),
+            ("clients", Json::Int(clients as i64)),
+            ("tenants", Json::Int(tenants as i64)),
+            ("queries_per_client", Json::Int(queries as i64)),
+            ("total_queries", Json::Int(total as i64)),
+            ("ok", Json::Int(ok_count.into_inner() as i64)),
+            ("errors", Json::Int(err_count.into_inner() as i64)),
+            ("wall_ms", Json::Float(wall_ns as f64 / 1e6)),
+            ("throughput_qps", Json::Float(throughput)),
+            (
+                "latency_us",
+                Json::obj(vec![
+                    ("p50", Json::Int(quantile(0.50))),
+                    ("p90", Json::Int(quantile(0.90))),
+                    ("p99", Json::Int(quantile(0.99))),
+                    (
+                        "max",
+                        Json::Int(samples.last().copied().unwrap_or(0) as i64),
+                    ),
+                ]),
+            ),
+            ("server", counters),
+        ],
+    );
+    std::fs::write(&out, format!("{}\n", doc.emit_pretty()))?;
+    println!("{}", doc.emit_pretty());
+    eprintln!(
+        "loadgen: {total} queries over {clients} clients in {:.1} ms ({throughput:.0} q/s) -> {out}",
+        wall_ns as f64 / 1e6
+    );
+    Ok(())
 }
 
 fn cmd_bench(args: &[String]) -> CmdResult {

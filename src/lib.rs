@@ -18,6 +18,8 @@
 //! * [`hosted_analyzer`] — the Prolog-hosted comparators (meta-interpreted
 //!   and transformed), run on [`machine`];
 //! * [`opt`] — analysis-driven WAM optimizations;
+//! * [`serve`] — the multi-tenant analysis daemon behind `awam serve`
+//!   (compiled-program cache, warm session pools, line-JSON protocol);
 //! * [`suite`] — the Table 1 benchmark programs;
 //! * [`testkit`] — the generative-testing subsystem (shared PRNG,
 //!   program/pattern generators, shrinker, differential oracle matrix)
@@ -83,6 +85,7 @@ pub use absdom;
 pub use awam_core as analysis;
 pub use awam_exec as exec;
 pub use awam_obs as obs;
+pub use awam_serve as serve;
 pub use awam_testkit as testkit;
 pub use baseline;
 pub use bench_suite as suite;

@@ -48,13 +48,13 @@ fn fused_and_unfused_runs_are_byte_identical_on_all_benchmarks() {
             "{}: attributed instruction counts diverge",
             b.name
         );
-        for i in 0..NUM_OPCODES {
+        for (i, name) in OPCODE_NAMES.iter().enumerate().take(NUM_OPCODES) {
             assert_eq!(
                 analyses[0].opcodes.get(i),
                 analyses[1].opcodes.get(i),
                 "{}: opcode histogram diverges at {}",
                 b.name,
-                OPCODE_NAMES[i]
+                name
             );
         }
     }

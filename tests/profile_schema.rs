@@ -5,7 +5,7 @@
 //! shape — because external scrapers key on exactly those names.
 
 use awam::analysis::AnalyzerBuilder;
-use awam::obs::Json;
+use awam::obs::{envelope_obj, Json};
 use awam::syntax::parse_program;
 
 const NREV: &str = "
@@ -24,10 +24,13 @@ fn profile_doc() -> Json {
         .unwrap();
     let analysis = analyzer.analyze_query("nrev", &["glist", "var"]).unwrap();
     let profile = analysis.profile.expect("profiling was enabled");
-    Json::obj(vec![
-        ("metrics", profile.metrics.to_json()),
-        ("spans", profile.spans.to_json()),
-    ])
+    envelope_obj(
+        "profile",
+        Json::obj(vec![
+            ("metrics", profile.metrics.to_json()),
+            ("spans", profile.spans.to_json()),
+        ]),
+    )
 }
 
 fn schema() -> Json {

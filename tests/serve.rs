@@ -1,0 +1,290 @@
+//! End-to-end tests of the `awam serve` daemon: a real TCP server on an
+//! ephemeral port, concurrent clients across tenants, and the three
+//! contracts the serving layer makes —
+//!
+//! 1. **Fidelity**: a served analysis is byte-identical to calling
+//!    [`Analyzer::analyze`] in-process (fresh sessions exactly; warm
+//!    sessions up to the run-header counters, which legitimately read 0
+//!    iterations on a memo hit).
+//! 2. **Compile-once**: N clients × M queries against one program
+//!    compile it exactly once; the counters prove it.
+//! 3. **Shedding**: a request that exceeds its abstract-instruction
+//!    budget is rejected with the documented `over_budget` error
+//!    envelope, not a hang or a panic.
+
+use awam::serve::{Client, ServeConfig, Server};
+use awam::syntax::parse_program;
+use awam::{obs::Json, Analyzer};
+
+const NREV: &str = "
+    nrev([], []).
+    nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+    app([], L, L).
+    app([H|T], L, [H|R]) :- app(T, L, R).
+";
+
+const QPERM: &str = "
+    qperm([], []).
+    qperm(L, [H|T]) :- del(H, L, R), qperm(R, T).
+    del(X, [X|T], T).
+    del(X, [H|T], [H|R]) :- del(X, T, R).
+";
+
+/// The report a standalone in-process analysis produces — the string
+/// served responses must reproduce byte-for-byte.
+fn direct_report(source: &str, goal: &str, entry: &[&str]) -> String {
+    let program = parse_program(source).expect("test program parses");
+    let analyzer = Analyzer::compile(&program).expect("test program compiles");
+    let analysis = analyzer.analyze_query(goal, entry).expect("analysis runs");
+    analysis.report(&analyzer)
+}
+
+#[test]
+fn concurrent_tenants_get_single_shot_identical_results() {
+    let handle = Server::bind("127.0.0.1:0", ServeConfig::default())
+        .expect("bind ephemeral port")
+        .spawn();
+    let addr = handle.addr().to_string();
+
+    // Register both programs once, up front.
+    let mut setup = Client::connect(&addr).expect("connect");
+    let nrev_hash = setup
+        .register("tenant-a", NREV)
+        .expect("register nrev")
+        .get("program")
+        .and_then(Json::as_str)
+        .expect("nrev hash")
+        .to_owned();
+    let qperm_hash = setup
+        .register("tenant-b", QPERM)
+        .expect("register qperm")
+        .get("program")
+        .and_then(Json::as_str)
+        .expect("qperm hash")
+        .to_owned();
+
+    let expected_nrev = direct_report(NREV, "nrev", &["glist", "var"]);
+    let expected_qperm = direct_report(QPERM, "qperm", &["glist", "var"]);
+
+    // 8 concurrent clients, 2 tenants, 4 queries each. `reuse: false`
+    // pins every query to a fresh session, the configuration with an
+    // exact byte-equality contract against Analyzer::analyze.
+    std::thread::scope(|scope| {
+        for client_idx in 0..8 {
+            let addr = &addr;
+            let (nrev_hash, qperm_hash) = (&nrev_hash, &qperm_hash);
+            let (expected_nrev, expected_qperm) = (&expected_nrev, &expected_qperm);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                let (tenant, hash, goal, expected) = if client_idx % 2 == 0 {
+                    ("tenant-a", nrev_hash, "nrev", expected_nrev)
+                } else {
+                    ("tenant-b", qperm_hash, "qperm", expected_qperm)
+                };
+                for _ in 0..4 {
+                    let response = client
+                        .analyze(tenant, hash, goal, &["glist", "var"], false)
+                        .expect("analyze round-trips");
+                    assert_eq!(
+                        response.get("schema").and_then(Json::as_str),
+                        Some("awam/v1"),
+                        "every response carries the versioned envelope"
+                    );
+                    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+                    assert_eq!(
+                        response.get("report").and_then(Json::as_str),
+                        Some(expected.as_str()),
+                        "served fresh-session report is byte-identical to Analyzer::analyze"
+                    );
+                }
+            });
+        }
+    });
+
+    // Compile-once: 2 registers compiled 2 programs; the 32 analyze
+    // requests all hit the cache.
+    let stats = setup.stats().expect("stats");
+    let counters = stats.get("counters").expect("counters object");
+    assert_eq!(
+        counters.get("program_cache_misses").and_then(Json::as_i64),
+        Some(2),
+        "each program compiled exactly once"
+    );
+    assert_eq!(
+        counters.get("program_cache_hits").and_then(Json::as_i64),
+        Some(32),
+        "every analyze found its program compiled"
+    );
+    assert_eq!(
+        counters.get("responses_error").and_then(Json::as_i64),
+        Some(0)
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn warm_sessions_reuse_the_memo_table_across_requests() {
+    let handle = Server::bind("127.0.0.1:0", ServeConfig::default())
+        .expect("bind")
+        .spawn();
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let hash = client
+        .register("warm-tenant", NREV)
+        .expect("register")
+        .get("program")
+        .and_then(Json::as_str)
+        .expect("hash")
+        .to_owned();
+
+    let cold = client
+        .analyze("warm-tenant", &hash, "nrev", &["glist", "var"], true)
+        .expect("cold analyze");
+    assert_eq!(cold.get("warm").and_then(Json::as_bool), Some(false));
+    assert!(cold.get("iterations").and_then(Json::as_i64).unwrap_or(0) > 0);
+
+    let warm = client
+        .analyze("warm-tenant", &hash, "nrev", &["glist", "var"], true)
+        .expect("warm analyze");
+    assert_eq!(
+        warm.get("warm").and_then(Json::as_bool),
+        Some(true),
+        "second identical goal is answered from the pooled session's table"
+    );
+    assert_eq!(warm.get("iterations").and_then(Json::as_i64), Some(0));
+
+    // The answers (per-predicate results after the run header) match.
+    let results = |doc: &Json| {
+        let report = doc.get("report").and_then(Json::as_str).expect("report");
+        report[report.find("\n\n").expect("result section")..].to_owned()
+    };
+    assert_eq!(results(&warm), results(&cold));
+
+    // A different tenant gets no warm session — pools are namespaced.
+    let other = client
+        .analyze("other-tenant", &hash, "nrev", &["glist", "var"], true)
+        .expect("other tenant");
+    assert_eq!(other.get("warm").and_then(Json::as_bool), Some(false));
+    handle.shutdown();
+}
+
+#[test]
+fn over_budget_requests_shed_with_the_documented_envelope() {
+    let handle = Server::bind("127.0.0.1:0", ServeConfig::default())
+        .expect("bind")
+        .spawn();
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+    let hash = client
+        .register("default", NREV)
+        .expect("register")
+        .get("program")
+        .and_then(Json::as_str)
+        .expect("hash")
+        .to_owned();
+
+    let response = client
+        .call(&Json::obj(vec![
+            ("op", Json::Str("analyze".to_owned())),
+            ("program", Json::Str(hash.clone())),
+            ("goal", Json::Str("nrev".to_owned())),
+            (
+                "entry",
+                Json::Arr(vec![
+                    Json::Str("glist".to_owned()),
+                    Json::Str("var".to_owned()),
+                ]),
+            ),
+            ("budget", Json::Int(1)),
+            ("id", Json::Int(77)),
+        ]))
+        .expect("over-budget round-trip");
+
+    // The documented error envelope, id echoed.
+    assert_eq!(
+        response.get("schema").and_then(Json::as_str),
+        Some("awam/v1")
+    );
+    assert_eq!(response.get("kind").and_then(Json::as_str), Some("error"));
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(response.get("id").and_then(Json::as_i64), Some(77));
+    let error = response.get("error").expect("error object");
+    assert_eq!(
+        error.get("code").and_then(Json::as_str),
+        Some("over_budget")
+    );
+    assert!(error
+        .get("message")
+        .and_then(Json::as_str)
+        .expect("message")
+        .contains("budget"));
+
+    // The shed is counted, and the daemon still serves afterwards.
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats
+            .get("counters")
+            .and_then(|c| c.get("shed_budget"))
+            .and_then(Json::as_i64),
+        Some(1)
+    );
+    let retry = client
+        .analyze("default", &hash, "nrev", &["glist", "var"], true)
+        .expect("unbudgeted retry");
+    assert_eq!(retry.get("ok").and_then(Json::as_bool), Some(true));
+    handle.shutdown();
+}
+
+#[test]
+fn batch_matches_per_goal_single_shot_results() {
+    let handle = Server::bind("127.0.0.1:0", ServeConfig::default())
+        .expect("bind")
+        .spawn();
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+    let response = client
+        .call(&Json::obj(vec![
+            ("op", Json::Str("batch".to_owned())),
+            ("source", Json::Str(NREV.to_owned())),
+            (
+                "goals",
+                Json::Arr(vec![
+                    Json::obj(vec![
+                        ("goal", Json::Str("nrev".to_owned())),
+                        (
+                            "entry",
+                            Json::Arr(vec![
+                                Json::Str("glist".to_owned()),
+                                Json::Str("var".to_owned()),
+                            ]),
+                        ),
+                    ]),
+                    Json::obj(vec![
+                        ("goal", Json::Str("app".to_owned())),
+                        (
+                            "entry",
+                            Json::Arr(vec![
+                                Json::Str("glist".to_owned()),
+                                Json::Str("glist".to_owned()),
+                                Json::Str("var".to_owned()),
+                            ]),
+                        ),
+                    ]),
+                ]),
+            ),
+        ]))
+        .expect("batch round-trip");
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+    let results = response
+        .get("results")
+        .and_then(Json::as_arr)
+        .expect("results");
+    assert_eq!(results.len(), 2);
+    assert_eq!(
+        results[0].get("report").and_then(Json::as_str),
+        Some(direct_report(NREV, "nrev", &["glist", "var"]).as_str())
+    );
+    assert_eq!(
+        results[1].get("report").and_then(Json::as_str),
+        Some(direct_report(NREV, "app", &["glist", "glist", "var"]).as_str())
+    );
+    handle.shutdown();
+}
