@@ -242,8 +242,14 @@ impl SessionStats {
 /// so it serializes and diffs like every other counter block.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServeStats {
-    /// Requests received (all ops, before any shedding).
+    /// Analysis-plane requests received (`register`/`analyze`/`batch`,
+    /// plus unparseable lines), before any shedding. Control ops
+    /// (`stats`/`shutdown`) are counted in [`ServeStats::control_ops`]
+    /// instead so they never dilute hit/error rates.
     pub requests: u64,
+    /// Control-plane ops received (`stats`, `shutdown`); their
+    /// responses are not counted in `responses_ok`/`responses_error`.
+    pub control_ops: u64,
     /// Requests answered with an `ok` response.
     pub responses_ok: u64,
     /// Requests answered with an error envelope (all codes).
@@ -274,6 +280,7 @@ impl ServeStats {
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
             ("requests", Json::Int(self.requests as i64)),
+            ("control_ops", Json::Int(self.control_ops as i64)),
             ("responses_ok", Json::Int(self.responses_ok as i64)),
             ("responses_error", Json::Int(self.responses_error as i64)),
             ("shed_overload", Json::Int(self.shed_overload as i64)),
@@ -300,6 +307,25 @@ impl ServeStats {
             ),
             ("warm_hits", Json::Int(self.warm_hits as i64)),
         ])
+    }
+
+    /// Fold another counter block into this one (field-wise sums). The
+    /// serve layer keeps one `ServeStats` per connection so the request
+    /// hot path never touches a process-global lock; a `stats` snapshot
+    /// merges the shards with this.
+    pub fn merge(&mut self, other: &ServeStats) {
+        self.requests += other.requests;
+        self.control_ops += other.control_ops;
+        self.responses_ok += other.responses_ok;
+        self.responses_error += other.responses_error;
+        self.shed_overload += other.shed_overload;
+        self.shed_budget += other.shed_budget;
+        self.program_cache_hits += other.program_cache_hits;
+        self.program_cache_misses += other.program_cache_misses;
+        self.program_cache_evictions += other.program_cache_evictions;
+        self.session_pool_hits += other.session_pool_hits;
+        self.session_pool_misses += other.session_pool_misses;
+        self.warm_hits += other.warm_hits;
     }
 
     /// Program-cache hit rate in [0, 1]; zero when no lookups happened.

@@ -7,7 +7,6 @@
 //! losslessly. Integers are kept as `i64` (counters never approach
 //! 2⁶³); floats use `f64`.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// A JSON value.
@@ -59,6 +58,16 @@ impl Json {
         }
     }
 
+    /// The value as an `f64`, if it is numeric (floats and integers
+    /// both qualify — JSON doesn't distinguish, only our parser does).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Float(f) => Some(*f),
+            Json::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
     /// The value as a `&str`, if it is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -90,11 +99,14 @@ impl Json {
         out
     }
 
-    fn emit_into(&self, out: &mut String) {
+    /// Serialize compactly into a caller-owned buffer (reset-not-free:
+    /// hot loops clear and reuse one `String` instead of allocating per
+    /// document).
+    pub fn emit_into(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Int(i) => emit_i64(*i, out),
             Json::Float(x) => {
                 if x.is_finite() {
                     // Keep a decimal marker so the parser reads it back as
@@ -204,20 +216,56 @@ fn indent(out: &mut String, depth: usize) {
 
 fn emit_string(s: &str, out: &mut String) {
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
+    // Bulk-copy maximal runs of clean bytes instead of pushing char by
+    // char: serialization is on the serve hot path, and reports are
+    // hundreds of bytes of which almost none need escaping. Splitting
+    // at an ASCII byte is always a UTF-8 boundary, so the slices stay
+    // valid `str`.
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        let escape = match b {
+            b'"' => "\\\"",
+            b'\\' => "\\\\",
+            b'\n' => "\\n",
+            b'\r' => "\\r",
+            b'\t' => "\\t",
+            0x00..=0x1f => "",
+            _ => continue,
+        };
+        out.push_str(&s[start..i]);
+        if escape.is_empty() {
+            out.push_str(&format!("\\u{:04x}", b));
+        } else {
+            out.push_str(escape);
         }
+        start = i + 1;
     }
+    out.push_str(&s[start..]);
     out.push('"');
+}
+
+/// Format an integer into `out` without the intermediate heap `String`
+/// that `i64::to_string` allocates — responses carry a handful of
+/// numeric fields each.
+fn emit_i64(mut value: i64, out: &mut String) {
+    if value == 0 {
+        out.push('0');
+        return;
+    }
+    let mut buf = [0u8; 20];
+    let mut at = buf.len();
+    let negative = value < 0;
+    while value != 0 {
+        at -= 1;
+        // `unsigned_abs`-style digit extraction keeps i64::MIN correct.
+        buf[at] = b'0' + (value % 10).unsigned_abs() as u8;
+        value /= 10;
+    }
+    if negative {
+        out.push('-');
+    }
+    out.push_str(std::str::from_utf8(&buf[at..]).expect("digits are ASCII"));
 }
 
 /// A JSON parse error: message plus byte offset.
@@ -311,8 +359,7 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Json, JsonError> {
         self.pos += 1; // '{'
-        let mut pairs = Vec::new();
-        let mut seen: BTreeMap<String, ()> = BTreeMap::new();
+        let mut pairs: Vec<(String, Json)> = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
@@ -321,7 +368,10 @@ impl Parser<'_> {
         loop {
             self.skip_ws();
             let key = self.string()?;
-            if seen.insert(key.clone(), ()).is_some() {
+            // Linear dup scan: real documents have a handful of keys,
+            // and this avoids a side map (and its per-key allocations)
+            // on the serve hot path.
+            if pairs.iter().any(|(k, _)| *k == key) {
                 return Err(self.err("duplicate object key"));
             }
             self.skip_ws();
@@ -348,15 +398,23 @@ impl Parser<'_> {
             return Err(self.err("expected '\"'"));
         }
         self.pos += 1;
+        // Bulk-copy maximal runs of unescaped bytes. The input arrived
+        // as `&str`, and run boundaries (`"` and `\`) are ASCII, so
+        // every run is valid UTF-8 on its own — one `push_str` per run
+        // instead of one push per character.
         let mut out = String::new();
+        let mut run_start = self.pos;
         loop {
-            let Some(b) = self.peek() else {
-                return Err(self.err("unterminated string"));
-            };
-            self.pos += 1;
-            match b {
-                b'"' => return Ok(out),
-                b'\\' => {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    out.push_str(self.run(run_start)?);
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(self.run(run_start)?);
+                    self.pos += 1;
                     let Some(esc) = self.peek() else {
                         return Err(self.err("unterminated escape"));
                     };
@@ -387,22 +445,20 @@ impl Parser<'_> {
                         }
                         _ => return Err(self.err("bad escape character")),
                     }
+                    run_start = self.pos;
                 }
-                b => {
-                    // Collect the full UTF-8 sequence starting at b.
-                    let len = utf8_len(b);
-                    let start = self.pos - 1;
-                    let end = start + len;
-                    let chunk = self
-                        .bytes
-                        .get(start..end)
-                        .and_then(|c| std::str::from_utf8(c).ok())
-                        .ok_or_else(|| self.err("invalid UTF-8 in string"))?;
-                    out.push_str(chunk);
-                    self.pos = end;
-                }
+                Some(_) => self.pos += 1,
             }
         }
+    }
+
+    /// The unescaped run from `start` up to the current position, as
+    /// UTF-8.
+    fn run(&self, start: usize) -> Result<&str, JsonError> {
+        std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| JsonError {
+            message: "invalid UTF-8 in string".to_owned(),
+            offset: start,
+        })
     }
 
     fn number(&mut self) -> Result<Json, JsonError> {
@@ -442,15 +498,6 @@ impl Parser<'_> {
                 .map(Json::Int)
                 .map_err(|_| self.err("bad integer literal"))
         }
-    }
-}
-
-fn utf8_len(first: u8) -> usize {
-    match first {
-        0x00..=0x7f => 1,
-        0xc0..=0xdf => 2,
-        0xe0..=0xef => 3,
-        _ => 4,
     }
 }
 

@@ -87,6 +87,22 @@ impl Histogram {
         self.count == 0
     }
 
+    /// Fold another histogram into this one. Because the buckets are
+    /// fixed log₂ ranges, merging shard-local histograms is exact: the
+    /// merged buckets (and therefore every quantile estimate) are
+    /// identical to recording the union of samples into one histogram.
+    /// This is what lets the serve layer keep per-connection histograms
+    /// on the hot path and only combine them on a `stats` snapshot.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+    }
+
     /// Approximate quantile `q` in `[0, 1]`: the upper bound of the
     /// bucket holding the sample of rank `⌈q·count⌉` (clamped to the
     /// observed max). Returns 0 for an empty histogram.
@@ -105,8 +121,8 @@ impl Histogram {
         self.max
     }
 
-    /// Encode as `{"count", "sum", "min", "max", "p50", "p90", "p99"}`.
-    /// `min` is reported as 0 when empty.
+    /// Encode as `{"count", "sum", "min", "max", "p50", "p90", "p99",
+    /// "p999"}`. `min` is reported as 0 when empty.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
             ("count", Json::Int(self.count as i64)),
@@ -119,6 +135,7 @@ impl Histogram {
             ("p50", Json::Int(self.quantile(0.50) as i64)),
             ("p90", Json::Int(self.quantile(0.90) as i64)),
             ("p99", Json::Int(self.quantile(0.99) as i64)),
+            ("p999", Json::Int(self.quantile(0.999) as i64)),
         ])
     }
 }
@@ -220,6 +237,57 @@ mod tests {
         assert_eq!(h.quantile(0.99), 100);
         // The median of {0,3,5,9,100} is 5 → bucket [4,8) upper bound 7.
         assert_eq!(h.quantile(0.5), 7);
+    }
+
+    #[test]
+    fn merge_of_shards_equals_single_stream() {
+        // Deterministic xorshift samples split across 4 "shards" the way
+        // per-connection histograms split serve traffic: merging the
+        // shard histograms must reproduce the single-stream histogram
+        // bucket-for-bucket, so every quantile estimate matches too.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let samples: Vec<u64> = (0..10_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % 1_000_000
+            })
+            .collect();
+        let mut single = Histogram::new();
+        let mut shards = [
+            Histogram::new(),
+            Histogram::new(),
+            Histogram::new(),
+            Histogram::new(),
+        ];
+        for (i, &s) in samples.iter().enumerate() {
+            single.record(s);
+            shards[i % 4].record(s);
+        }
+        let mut merged = Histogram::new();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        assert_eq!(merged, single, "merge is exact, not approximate");
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(merged.quantile(q), single.quantile(q));
+        }
+        assert_eq!(merged.to_json().emit(), single.to_json().emit());
+    }
+
+    #[test]
+    fn merge_into_empty_and_with_empty() {
+        let mut filled = Histogram::new();
+        for v in [1u64, 10, 100] {
+            filled.record(v);
+        }
+        let mut from_empty = Histogram::new();
+        from_empty.merge(&filled);
+        assert_eq!(from_empty, filled);
+        let mut with_empty = filled.clone();
+        with_empty.merge(&Histogram::new());
+        assert_eq!(with_empty, filled, "empty merge is the identity");
     }
 
     #[test]

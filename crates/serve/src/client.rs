@@ -1,15 +1,21 @@
 //! A minimal blocking client for the daemon's line protocol, used by
-//! the integration tests and the `awam loadgen` driver. One request
-//! line out, one response line back, parsed into [`Json`].
+//! the integration tests and the `awam loadgen` driver. The classic
+//! surface is one request line out, one response line back
+//! ([`Client::call_line`]); the pipelined surface splits that into
+//! [`Client::send_line`] / [`Client::flush`] / [`Client::recv`] so a
+//! caller can keep several id-tagged requests in flight on one
+//! connection.
 
 use awam_obs::Json;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 
 /// One connection to a running daemon.
 pub struct Client {
-    writer: TcpStream,
+    writer: BufWriter<TcpStream>,
     reader: BufReader<TcpStream>,
+    /// Reset-not-free response line buffer, reused across `recv` calls.
+    line: String,
 }
 
 impl Client {
@@ -19,12 +25,75 @@ impl Client {
     ///
     /// Propagates the connect failure.
     pub fn connect(addr: &str) -> io::Result<Client> {
-        let writer = TcpStream::connect(addr)?;
+        let stream = TcpStream::connect(addr)?;
         // Requests are one small line each; without TCP_NODELAY the
         // Nagle/delayed-ACK interaction stalls every round-trip ~40ms.
-        writer.set_nodelay(true)?;
-        let reader = BufReader::new(writer.try_clone()?);
-        Ok(Client { writer, reader })
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            writer: BufWriter::new(stream),
+            reader,
+            line: String::new(),
+        })
+    }
+
+    /// Queue one request line without flushing — the pipelined half of
+    /// the API. Call [`Client::flush`] before waiting on responses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure.
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    /// Push every queued request line onto the wire.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flush failure.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Read one raw response line (without the trailing newline) into
+    /// the client's reusable buffer and return it.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a server that hung up.
+    pub fn recv_line(&mut self) -> io::Result<&str> {
+        self.line.clear();
+        if self.reader.read_line(&mut self.line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(self.line.trim_end())
+    }
+
+    /// Read and parse one response line.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a server that hung up, or a response line that is
+    /// not valid JSON.
+    pub fn recv(&mut self) -> io::Result<Json> {
+        self.line.clear();
+        if self.reader.read_line(&mut self.line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Json::parse(self.line.trim_end()).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed response: {e}"),
+            )
+        })
     }
 
     /// Send one raw request line and read one response line.
@@ -34,22 +103,9 @@ impl Client {
     /// I/O failures, a server that hung up, or a response line that is
     /// not valid JSON.
     pub fn call_line(&mut self, line: &str) -> io::Result<Json> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
-        let mut response = String::new();
-        if self.reader.read_line(&mut response)? == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
-        }
-        Json::parse(response.trim_end()).map_err(|e| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("malformed response: {e}"),
-            )
-        })
+        self.send_line(line)?;
+        self.flush()?;
+        self.recv()
     }
 
     /// Send a request document (the `op` etc. already filled in).

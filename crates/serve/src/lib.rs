@@ -9,25 +9,36 @@
 //!
 //! * [`protocol`] — the line-delimited JSON wire format (requests,
 //!   `awam/v1` response envelopes, error codes).
-//! * [`cache`] — the LRU [`ProgramCache`] (byte-budgeted) and the
+//! * [`cache`] — the sharded, byte-budgeted LRU [`ProgramCache`]
+//!   (compile-once under concurrency) and the sharded
 //!   per-`(tenant, program)` [`SessionPool`].
+//! * [`stats`] — connection-local counters and latency histograms,
+//!   merged only when a `stats` snapshot asks.
 //! * [`server`] — [`Server`]/[`ServerHandle`], the accept loop, the
-//!   load-shed gate, and per-request deadlines.
-//! * [`client`] — a small blocking [`Client`] for tests and the
-//!   `awam loadgen` driver.
+//!   pipelined per-connection executor, the load-shed gate, and
+//!   per-request deadlines.
+//! * [`client`] — a small blocking [`Client`] (with a pipelined
+//!   send/recv surface) for tests and drivers.
+//! * [`loadgen`] — the closed/open-loop load generator behind
+//!   `awam loadgen` and the serve benchmark.
 //!
 //! The daemon is std-only (the workspace builds offline): a
-//! thread-per-connection `TcpListener` loop, `Mutex`-guarded caches,
-//! and atomics for the load-shed gate.
+//! thread-per-connection `TcpListener` loop, sharded `Mutex` caches,
+//! and an atomic admission gate. No request touches a process-global
+//! lock.
 
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod client;
+pub mod loadgen;
 pub mod protocol;
 pub mod server;
+pub mod stats;
 
 pub use cache::{ProgramCache, SessionPool};
 pub use client::Client;
+pub use loadgen::{run_loadgen, LoadgenConfig};
 pub use protocol::{parse_request, GoalSpec, ProgramRef, Request};
 pub use server::{ServeConfig, Server, ServerHandle};
+pub use stats::{ConnStats, ConnStatsHandle, StatsRegistry};

@@ -1,0 +1,338 @@
+//! The serve load generator: seed-replayable concurrent traffic plus
+//! the `BENCH_serve.json` summary, shared by `awam loadgen` and the
+//! bench gate.
+//!
+//! # Methodology
+//!
+//! The generator is a **closed-loop, windowed** driver: every client
+//! thread owns one connection and keeps at most `pipeline_depth`
+//! id-tagged requests in flight, sending a full window with a single
+//! flush and then reading the window's responses back (matching them to
+//! send timestamps by id, so out-of-order completion is measured
+//! correctly). Depth 1 degenerates to the PR 8 one-at-a-time driver.
+//!
+//! Two deliberate choices keep the *client* cheap enough that the
+//! numbers measure the daemon, not the driver (on a single-core host
+//! the two compete for the same CPU):
+//!
+//! * Request lines are pre-rendered before the clock starts — the
+//!   traffic schedule (which program, which tenant, hot-set skew) is
+//!   identical to the unpipelined driver because the RNG draws happen
+//!   in the same order.
+//! * Responses are classified by a scanner (envelope prefix for
+//!   ok/error, tail scan for the id) instead of a full JSON parse; a
+//!   parse of every ~600-byte response costs more than the daemon
+//!   spends producing it. Correctness of response *bytes* is covered by
+//!   the byte-equality integration tests, not the benchmark driver.
+//!
+//! Latency is measured per request from the moment its line is written
+//! into the connection's buffer to the moment its response line is
+//! read, so queueing delay inside the window is included — quantiles
+//! reported here are client-visible under that concurrency, directly
+//! comparable across pipeline depths. Samples are kept raw and sorted
+//! once at the end; quantiles are exact, not histogram-bucketed.
+
+use crate::client::Client;
+use crate::server::{ServeConfig, Server};
+use awam_obs::{envelope, Json};
+use awam_testkit::{gen_program, GenConfig, Rng};
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Traffic shape of one loadgen run.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Target daemon (`None` = spawn an in-process daemon on an
+    /// ephemeral port with default [`ServeConfig`]).
+    pub addr: Option<String>,
+    /// Distinct generated programs registered up front.
+    pub programs: usize,
+    /// Concurrent client threads (one connection each).
+    pub clients: usize,
+    /// Analyze requests per client.
+    pub queries: usize,
+    /// Tenant names the clients cycle through.
+    pub tenants: usize,
+    /// RNG seed; same seed + same shape = same request schedule.
+    pub seed: u64,
+    /// Requests each client keeps in flight (1 = classic stop-and-wait).
+    pub pipeline_depth: usize,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            addr: None,
+            programs: 100,
+            clients: 8,
+            queries: 50,
+            tenants: 4,
+            seed: 1,
+            pipeline_depth: 1,
+        }
+    }
+}
+
+/// True unless the response line is an error envelope. Responses always
+/// start with the fixed `schema`/`kind` prefix (see
+/// [`awam_obs::envelope`]), so a prefix check replaces a JSON parse.
+fn response_ok(line: &str) -> bool {
+    !line.starts_with(r#"{"schema":"awam/v1","kind":"error""#)
+}
+
+/// Extract the echoed request id. The server appends `id` as the last
+/// key, so scan from the tail; quotes inside report strings are escaped
+/// (`\"`), so the raw `,"id":` byte sequence cannot occur inside them.
+fn response_id(line: &str) -> Option<usize> {
+    let at = line.rfind(r#","id":"#)? + 6;
+    let digits = line[at..].trim_end_matches('}');
+    digits.parse().ok()
+}
+
+/// Drive `config`'s traffic at the daemon and return the
+/// `serve-bench` summary document.
+///
+/// # Errors
+///
+/// Connection failures, a register that does not return a program
+/// hash, or a client thread losing its connection mid-run.
+pub fn run_loadgen(config: &LoadgenConfig) -> io::Result<Json> {
+    let LoadgenConfig {
+        addr,
+        programs,
+        clients,
+        queries,
+        tenants,
+        seed,
+        pipeline_depth,
+    } = config.clone();
+    let depth = pipeline_depth.max(1);
+
+    // Spin up an in-process daemon unless aimed at an external one.
+    let local = match &addr {
+        Some(_) => None,
+        None => Some(Server::bind("127.0.0.1:0", ServeConfig::default())?.spawn()),
+    };
+    let target = match (&addr, &local) {
+        (Some(a), _) => a.clone(),
+        (None, Some(handle)) => handle.addr().to_string(),
+        (None, None) => unreachable!("either --addr or a local daemon"),
+    };
+
+    // Seed-replayable corpus: `programs` distinct generated programs,
+    // each with entry predicate p0.
+    let mut rng = Rng::new(seed);
+    let gen_config = GenConfig::default();
+    let corpus: Vec<(String, usize)> = (0..programs)
+        .map(|_| {
+            let p = gen_program(&mut rng, &gen_config);
+            (p.source(), p.entry_arity())
+        })
+        .collect();
+
+    // Register the corpus up front (one compile per program).
+    let mut registrar = Client::connect(&target)?;
+    let mut hashes = Vec::with_capacity(corpus.len());
+    for (source, _) in &corpus {
+        let response = registrar.register("loadgen", source)?;
+        let hash = response
+            .get("program")
+            .and_then(Json::as_str)
+            .ok_or_else(|| {
+                io::Error::other(format!("loadgen: register failed: {}", response.emit()))
+            })?
+            .to_owned();
+        hashes.push(hash);
+    }
+
+    // Pre-render each client's request lines. The RNG stream and the
+    // draw order per query are identical to the unpipelined driver, so
+    // the traffic schedule (program choice, hot-set skew, tenant
+    // assignment) is byte-for-byte the same for a given seed.
+    let scripts: Vec<Vec<String>> = (0..clients)
+        .map(|client_idx| {
+            let mut rng = Rng::new(seed ^ (client_idx as u64).wrapping_mul(0x9e37));
+            let tenant = format!("tenant{}", client_idx % tenants);
+            (0..queries)
+                .map(|query_idx| {
+                    // Skew toward a hot subset so warm sessions pay
+                    // off, the way real tenants re-query the same
+                    // programs.
+                    let idx = if rng.below(2) == 0 {
+                        rng.below((hashes.len() as u64).div_ceil(10)) as usize
+                    } else {
+                        rng.below(hashes.len() as u64) as usize
+                    };
+                    let arity = corpus[idx].1;
+                    let entry: Vec<&str> = vec!["\"any\""; arity];
+                    format!(
+                        r#"{{"op":"analyze","tenant":"{tenant}","program":"{}","goal":"p0","entry":[{}],"reuse":true,"id":{query_idx}}}"#,
+                        hashes[idx],
+                        entry.join(",")
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    // Fan the load across client threads; latency samples are kept raw
+    // so the committed quantiles are exact.
+    let latency = Mutex::new(Vec::<u64>::new());
+    let ok_count = AtomicU64::new(0);
+    let err_count = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| -> io::Result<()> {
+        let mut joins = Vec::new();
+        for script in &scripts {
+            let (target, latency) = (&target, &latency);
+            let (ok_count, err_count) = (&ok_count, &err_count);
+            joins.push(scope.spawn(move || -> io::Result<()> {
+                let mut client = Client::connect(target)?;
+                let mut send_at: Vec<Instant> = Vec::with_capacity(script.len());
+                let mut samples: Vec<u64> = Vec::with_capacity(script.len());
+                let mut ok = 0u64;
+                let mut err = 0u64;
+                // Windowed closed loop: send `depth` lines, one flush,
+                // then read the window back (ids may arrive out of
+                // order within the window, never across windows). One
+                // flush and one or two reads per window is what lets a
+                // single-core box spend its cycles on analysis instead
+                // of syscalls.
+                let mut received = 0usize;
+                for window in script.chunks(depth) {
+                    for line in window {
+                        send_at.push(Instant::now());
+                        client.send_line(line)?;
+                    }
+                    client.flush()?;
+                    for _ in window {
+                        let line = client.recv_line()?;
+                        if response_ok(line) {
+                            ok += 1;
+                        } else {
+                            err += 1;
+                        }
+                        let at = response_id(line)
+                            .and_then(|id| send_at.get(id))
+                            .copied()
+                            // Un-id'd error (e.g. bad_request): charge
+                            // it to the oldest outstanding request.
+                            .unwrap_or(send_at[received]);
+                        samples.push(u64::try_from(at.elapsed().as_micros()).unwrap_or(u64::MAX));
+                        received += 1;
+                    }
+                }
+                latency.lock().expect("latency lock").extend(samples);
+                ok_count.fetch_add(ok, Ordering::Relaxed);
+                err_count.fetch_add(err, Ordering::Relaxed);
+                Ok(())
+            }));
+        }
+        for join in joins {
+            join.join().expect("loadgen client thread panicked")?;
+        }
+        Ok(())
+    })?;
+    let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+    let stats = registrar.stats()?;
+    if let Some(local) = local {
+        drop(registrar.shutdown());
+        local.shutdown();
+    }
+
+    let total = (clients * queries) as u64;
+    let throughput = total as f64 / (wall_ns as f64 / 1e9);
+    let mut samples = latency.into_inner().expect("latency lock");
+    samples.sort_unstable();
+    let quantile = |q: f64| -> i64 {
+        match samples.len() {
+            0 => 0,
+            n => samples[(((q * n as f64).ceil() as usize).clamp(1, n)) - 1] as i64,
+        }
+    };
+    let counters = stats.get("counters").cloned().unwrap_or(Json::Null);
+    Ok(envelope(
+        "serve-bench",
+        vec![
+            ("seed", Json::Int(seed as i64)),
+            ("programs", Json::Int(programs as i64)),
+            ("clients", Json::Int(clients as i64)),
+            ("tenants", Json::Int(tenants as i64)),
+            ("queries_per_client", Json::Int(queries as i64)),
+            ("pipeline_depth", Json::Int(depth as i64)),
+            ("total_queries", Json::Int(total as i64)),
+            ("ok", Json::Int(ok_count.into_inner() as i64)),
+            ("errors", Json::Int(err_count.into_inner() as i64)),
+            ("wall_ms", Json::Float(wall_ns as f64 / 1e6)),
+            ("throughput_qps", Json::Float(throughput)),
+            (
+                "latency_us",
+                Json::obj(vec![
+                    ("p50", Json::Int(quantile(0.50))),
+                    ("p90", Json::Int(quantile(0.90))),
+                    ("p99", Json::Int(quantile(0.99))),
+                    ("p999", Json::Int(quantile(0.999))),
+                    (
+                        "max",
+                        Json::Int(samples.last().copied().unwrap_or(0) as i64),
+                    ),
+                ]),
+            ),
+            ("server", counters),
+        ],
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scanner_classifies_and_extracts_ids() {
+        assert!(response_ok(
+            r#"{"schema":"awam/v1","kind":"analyze","ok":true,"id":12}"#
+        ));
+        assert!(!response_ok(
+            r#"{"schema":"awam/v1","kind":"error","ok":false,"error":{"code":"over_budget","message":"x"},"id":3}"#
+        ));
+        assert_eq!(
+            response_id(r#"{"schema":"awam/v1","kind":"analyze","ok":true,"id":12}"#),
+            Some(12)
+        );
+        // Report text containing the raw bytes is impossible (quotes
+        // are escaped inside JSON strings), but a missing id must not
+        // panic.
+        assert_eq!(response_id(r#"{"schema":"awam/v1","kind":"stats"}"#), None);
+    }
+
+    #[test]
+    fn tiny_run_reports_every_query_ok() {
+        let config = LoadgenConfig {
+            programs: 3,
+            clients: 2,
+            queries: 5,
+            tenants: 2,
+            seed: 7,
+            pipeline_depth: 3,
+            ..LoadgenConfig::default()
+        };
+        let doc = run_loadgen(&config).expect("loadgen run");
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("serve-bench"));
+        assert_eq!(doc.get("total_queries").and_then(Json::as_i64), Some(10));
+        assert_eq!(doc.get("ok").and_then(Json::as_i64), Some(10));
+        assert_eq!(doc.get("errors").and_then(Json::as_i64), Some(0));
+        let counters = doc.get("server").expect("server counters");
+        assert_eq!(
+            counters.get("requests").and_then(Json::as_i64),
+            Some(3 + 10),
+            "3 registers + 10 analyzes; the stats call is a control op"
+        );
+        assert_eq!(
+            counters.get("responses_ok").and_then(Json::as_i64),
+            Some(13)
+        );
+    }
+}

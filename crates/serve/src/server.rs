@@ -1,36 +1,60 @@
-//! The daemon itself: a TCP accept loop, one thread per connection,
-//! and the request dispatcher that ties the protocol to the caches.
+//! The daemon itself: a TCP accept loop, one reader thread per
+//! connection, a bounded worker pool for pipelined requests, and the
+//! request dispatcher that ties the protocol to the sharded caches.
 //!
 //! Life of an `analyze` request:
 //!
-//! 1. **Load-shed gate** — if `max_inflight` analyses are already
-//!    running, the request is rejected immediately with an
-//!    `overloaded` error envelope (the 429 of this protocol). Cheap
-//!    ops (`register`, `stats`) are never shed.
-//! 2. **Program resolution** — a 16-hex fingerprint hits the
+//! 1. **Admission gate** — if `max_inflight` analyses are already
+//!    admitted (queued or running), the request is rejected immediately
+//!    with an `overloaded` error envelope (the 429 of this protocol).
+//!    Cheap ops (`register`, `stats`) are never shed.
+//! 2. **Program resolution** — a 16-hex fingerprint hits a shard of the
 //!    [`ProgramCache`]; inline source is fingerprinted and compiled at
-//!    most once, then shared via `Arc` with every thread.
+//!    most once (concurrent misses of the same fingerprint wait on the
+//!    leader's compile), then shared via `Arc` with every thread.
 //! 3. **Session checkout** — with `reuse: true` (the default) a warm
-//!    [`awam_core::Session`] is rehydrated from the tenant's pool, so
-//!    repeat goals are answered straight from the memo table. With
-//!    `reuse: false` (and for every `batch` goal) the run uses a fresh
-//!    session and is byte-identical to a standalone
+//!    [`awam_core::Session`] is rehydrated from the tenant's pool
+//!    shard, so repeat goals are answered straight from the memo table.
+//!    With `reuse: false` (and for every `batch` goal) the run uses a
+//!    fresh session and is byte-identical to a standalone
 //!    [`Analyzer::analyze`].
 //! 4. **Deadline** — the effective abstract-instruction budget
 //!    (request override, else server default, capped by the server
 //!    maximum) is armed on the session; a run that crosses it comes
 //!    back as an `over_budget` error envelope and counts toward
 //!    `shed_budget`.
+//!
+//! # Pipelining
+//!
+//! A connection may send up to [`ServeConfig::pipeline_depth`] requests
+//! before reading a response. Requests that carry an `id` are eligible
+//! for out-of-order execution on the worker pool (responses come back
+//! id-tagged, in completion order); requests *without* an `id` act as
+//! ordering barriers — the connection drains its in-flight work, runs
+//! the request on the reader thread, and answers in arrival order, so
+//! a client that never sends ids observes exactly the PR 8 one-at-a-time
+//! protocol. `stats` and `shutdown` are always barriers. When the
+//! server runs with one worker (the default on a single-core host), all
+//! requests execute inline on the reader thread; pipelining then still
+//! pays through syscall coalescing — many requests are read per
+//! `read(2)` and their responses are flushed in one `write(2)` when the
+//! read buffer runs dry.
+//!
+//! No request touches a process-global lock: the caches are sharded,
+//! counters and latency histograms are per-connection (merged only by a
+//! `stats` snapshot), and the admission gate is a single atomic.
 
-use crate::cache::{ProgramCache, SessionPool};
+use crate::cache::{approx_program_bytes, CompileFailed, ProgramCache, SessionPool};
 use crate::protocol::{self, parse_request, Envelope, GoalSpec, ProgramRef, Request};
+use crate::stats::{ConnStatsHandle, StatsRegistry};
 use awam_core::{par_map, Analysis, AnalysisError, Analyzer, Session};
-use awam_obs::{envelope, Histogram, Json, ServeStats};
+use awam_obs::{envelope, Json};
 use prolog_syntax::parse_program;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -38,10 +62,11 @@ use std::time::Instant;
 /// laptop-local daemon and every field can be overridden from the CLI.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
-    /// Approximate byte budget of the compiled-program cache.
+    /// Approximate byte budget of the compiled-program cache (split
+    /// evenly across its shards).
     pub cache_bytes: usize,
-    /// Analyze/batch requests allowed to run concurrently before the
-    /// daemon sheds load with `overloaded` responses.
+    /// Analyze/batch requests allowed in flight (queued or running)
+    /// before the daemon sheds load with `overloaded` responses.
     pub max_inflight: usize,
     /// Abstract-instruction budget applied when a request names none
     /// (`None` = unbounded).
@@ -53,34 +78,97 @@ pub struct ServeConfig {
     pub pool_per_key: usize,
     /// Worker threads a single `batch` request fans its goals across.
     pub batch_workers: usize,
+    /// Shard count for the program cache and the session pools
+    /// (rounded up to a power of two; 0 = the built-in default).
+    pub shards: usize,
+    /// Worker-pool threads executing pipelined (id-tagged) requests.
+    /// 0 = auto (the host's available parallelism). With one worker the
+    /// pool is skipped entirely and requests run inline on each
+    /// connection's reader thread.
+    pub workers: usize,
+    /// Requests one connection may keep in flight before the reader
+    /// stops consuming its socket (natural TCP backpressure, never an
+    /// error).
+    pub pipeline_depth: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> ServeConfig {
         ServeConfig {
             cache_bytes: 64 << 20,
-            max_inflight: 64,
+            max_inflight: 256,
             default_budget: None,
             max_budget: None,
             pool_per_key: 4,
             batch_workers: 4,
+            shards: 0,
+            workers: 0,
+            pipeline_depth: 32,
         }
     }
 }
 
-/// Shared daemon state: the caches, the counters, and the flags the
-/// accept loop watches.
+/// A unit of pipelined work: one parsed request bound for the pool.
+struct Job {
+    state: Arc<ServerState>,
+    conn: Arc<ConnShared>,
+    env: Envelope,
+    /// When the request was parsed; latency is measured from here so
+    /// queue wait is part of the reported distribution.
+    received: Instant,
+    /// Whether this job holds an admission slot (analyze/batch).
+    gated: bool,
+}
+
+/// A bounded pool of worker threads draining one shared job queue.
+/// Workers exit when the last sender (owned by [`ServerState`]) drops.
+struct WorkerPool {
+    tx: mpsc::Sender<Job>,
+}
+
+impl WorkerPool {
+    fn new(workers: usize) -> WorkerPool {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        for _ in 0..workers {
+            let rx = Arc::clone(&rx);
+            std::thread::spawn(move || {
+                // Reset-not-free: one serialization buffer per worker,
+                // cleared between responses.
+                let mut scratch = String::new();
+                loop {
+                    let job = match rx.lock().expect("worker queue poisoned").recv() {
+                        Ok(job) => job,
+                        Err(_) => return,
+                    };
+                    execute_job(job, &mut scratch);
+                }
+            });
+        }
+        WorkerPool { tx }
+    }
+
+    fn submit(&self, job: Job) {
+        // Send fails only if every worker died; surface that as a
+        // closed connection rather than a panic.
+        drop(self.tx.send(job));
+    }
+}
+
+/// Shared daemon state: the sharded caches, the stats registry, and the
+/// flags the accept loop watches.
 struct ServerState {
     config: ServeConfig,
     cache: ProgramCache,
     pools: SessionPool,
-    stats: Mutex<ServeStats>,
-    /// Client-visible latency of analyze/batch requests, microseconds.
-    latency_us: Mutex<Histogram>,
+    stats: StatsRegistry,
+    /// Admitted (queued or running) analyze/batch requests.
     inflight: AtomicUsize,
     shutting_down: AtomicBool,
     addr: SocketAddr,
     started: Instant,
+    /// `None` = single-worker host; requests execute inline.
+    pool_exec: Option<WorkerPool>,
 }
 
 /// A bound (but not yet running) daemon. Binding and running are split
@@ -107,15 +195,26 @@ impl Server {
     pub fn bind(addr: &str, config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let shards = if config.shards == 0 {
+            crate::cache::DEFAULT_SHARDS
+        } else {
+            config.shards
+        };
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            config.workers
+        };
+        let pool_exec = (workers > 1).then(|| WorkerPool::new(workers));
         let state = Arc::new(ServerState {
-            cache: ProgramCache::new(config.cache_bytes),
-            pools: SessionPool::new(config.pool_per_key),
-            stats: Mutex::new(ServeStats::default()),
-            latency_us: Mutex::new(Histogram::new()),
+            cache: ProgramCache::with_shards(config.cache_bytes, shards),
+            pools: SessionPool::with_shards(config.pool_per_key, shards),
+            stats: StatsRegistry::new(),
             inflight: AtomicUsize::new(0),
             shutting_down: AtomicBool::new(false),
             addr,
             started: Instant::now(),
+            pool_exec,
             config,
         });
         Ok(Server { listener, state })
@@ -127,8 +226,8 @@ impl Server {
     }
 
     /// Run the accept loop on the calling thread until a `shutdown`
-    /// request arrives. Each connection gets its own handler thread;
-    /// handlers outlive the accept loop only until their client hangs
+    /// request arrives. Each connection gets its own reader thread;
+    /// readers outlive the accept loop only until their client hangs
     /// up.
     ///
     /// # Errors
@@ -178,17 +277,128 @@ impl ServerHandle {
     }
 }
 
-/// Decrements the in-flight gauge when an analysis scope ends, however
-/// it ends.
-struct InflightGuard<'a>(&'a AtomicUsize);
+/// Per-connection shared plumbing: the locked write half, the in-flight
+/// job count (with its condvar for barriers and depth backpressure),
+/// and the connection's stats block.
+struct ConnShared {
+    writer: Mutex<BufWriter<TcpStream>>,
+    /// Jobs submitted to the pool and not yet answered.
+    outstanding: Mutex<usize>,
+    changed: Condvar,
+    stats: ConnStatsHandle,
+    /// Set when a response write fails; the reader stops consuming.
+    dead: AtomicBool,
+}
 
-impl Drop for InflightGuard<'_> {
-    fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
+impl ConnShared {
+    /// Wait until every in-flight job of this connection has answered.
+    fn drain(&self) {
+        let mut outstanding = self.outstanding.lock().expect("outstanding poisoned");
+        while *outstanding > 0 {
+            outstanding = self.changed.wait(outstanding).expect("drain wait poisoned");
+        }
+    }
+
+    /// Reserve an in-flight slot, waiting while the pipeline is at
+    /// `depth` (backpressure: the reader simply stops consuming).
+    fn reserve(&self, depth: usize) {
+        let mut outstanding = self.outstanding.lock().expect("outstanding poisoned");
+        while *outstanding >= depth {
+            outstanding = self.changed.wait(outstanding).expect("slot wait poisoned");
+        }
+        *outstanding += 1;
+    }
+
+    /// Release an in-flight slot; returns true when the pipeline is now
+    /// empty (the releasing worker flushes the socket).
+    fn release(&self) -> bool {
+        let mut outstanding = self.outstanding.lock().expect("outstanding poisoned");
+        *outstanding -= 1;
+        let empty = *outstanding == 0;
+        drop(outstanding);
+        self.changed.notify_all();
+        empty
     }
 }
 
-fn handle_connection(state: &ServerState, stream: TcpStream) {
+/// Classify a response into the connection counters (skipped for
+/// control-plane responses).
+fn count_response(conn: &ConnShared, response: &Json) {
+    conn.stats.with(|stats| {
+        if response.get("kind").and_then(Json::as_str) == Some("error") {
+            stats.serve.responses_error += 1;
+            if let Some(code) = response
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str)
+            {
+                match code {
+                    "overloaded" => stats.serve.shed_overload += 1,
+                    "over_budget" => stats.serve.shed_budget += 1,
+                    _ => {}
+                }
+            }
+        } else {
+            stats.serve.responses_ok += 1;
+        }
+    });
+}
+
+/// Serialize `response` into `scratch` and write it under the
+/// connection's writer lock. `flush` forces the socket flush; otherwise
+/// the bytes ride along until the pipeline drains or the reader is
+/// about to block.
+fn write_response(conn: &ConnShared, response: &Json, scratch: &mut String, flush: bool) {
+    scratch.clear();
+    response.emit_into(scratch);
+    scratch.push('\n');
+    let mut writer = conn.writer.lock().expect("writer poisoned");
+    if writer.write_all(scratch.as_bytes()).is_err() || (flush && writer.flush().is_err()) {
+        conn.dead.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Run one pooled job to completion: execute, respond, release the
+/// in-flight slot (flushing the socket when the pipeline drained).
+fn execute_job(job: Job, scratch: &mut String) {
+    let Job {
+        state,
+        conn,
+        env,
+        received,
+        gated,
+    } = job;
+    let response = execute_request(&state, &conn, env);
+    count_response(&conn, &response);
+    record_latency(&conn, gated, received);
+    write_response(&conn, &response, scratch, false);
+    if gated {
+        state.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+    if conn.release() {
+        let mut writer = conn.writer.lock().expect("writer poisoned");
+        if writer.flush().is_err() {
+            conn.dead.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Record analyze/batch latency (queue wait included) into the
+/// connection histogram.
+fn record_latency(conn: &ConnShared, gated: bool, received: Instant) {
+    if gated {
+        let micros = u64::try_from(received.elapsed().as_micros()).unwrap_or(u64::MAX);
+        conn.stats.with(|stats| stats.latency_us.record(micros));
+    }
+}
+
+/// True when the reader's buffer already holds a complete request line,
+/// i.e. the next `read_line` cannot block on the socket.
+fn buffered_line(reader: &BufReader<TcpStream>) -> bool {
+    reader.buffer().contains(&b'\n')
+}
+
+fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
     // One-line responses must not sit in Nagle's buffer waiting for an
     // ACK of the request they answer.
     drop(stream.set_nodelay(true));
@@ -196,160 +406,197 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
         Ok(w) => w,
         Err(_) => return,
     };
+    let conn = Arc::new(ConnShared {
+        writer: Mutex::new(BufWriter::new(peer_writer)),
+        outstanding: Mutex::new(0),
+        changed: Condvar::new(),
+        stats: state.stats.register(),
+        dead: AtomicBool::new(false),
+    });
     let mut reader = BufReader::new(stream);
-    let mut writer = BufWriter::new(peer_writer);
     let mut line = String::new();
+    // Reset-not-free: the reader's serialization buffer for inline
+    // responses, reused across the connection's lifetime.
+    let mut scratch = String::new();
+    let depth = state.config.pipeline_depth.max(1);
     loop {
+        if conn.dead.load(Ordering::SeqCst) {
+            break;
+        }
+        // About to (possibly) block on the socket: make sure every
+        // completed response has left the building first.
+        if !buffered_line(&reader) {
+            let can_block_holding_bytes = {
+                let outstanding = conn.outstanding.lock().expect("outstanding poisoned");
+                *outstanding > 0
+            };
+            if !can_block_holding_bytes {
+                let mut writer = conn.writer.lock().expect("writer poisoned");
+                if writer.flush().is_err() {
+                    break;
+                }
+            }
+        }
         line.clear();
         match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return,
+            Ok(0) | Err(_) => break,
             Ok(_) => {}
         }
         if line.trim().is_empty() {
             continue;
         }
-        state.stats.lock().expect("stats lock").requests += 1;
-        let (response, stop) = match parse_request(&line) {
-            Ok(env) => dispatch(state, env),
-            Err(bad) => (protocol::error_response("bad_request", &bad.0, None), false),
+        let received = Instant::now();
+        let env = match parse_request(&line) {
+            Ok(env) => env,
+            Err(bad) => {
+                // Malformed lines are barriers like any other un-id'd
+                // request: answer after the pipeline drains, in order.
+                conn.stats.with(|s| s.serve.requests += 1);
+                conn.drain();
+                let response = protocol::error_response("bad_request", &bad.0, None);
+                count_response(&conn, &response);
+                write_response(&conn, &response, &mut scratch, !buffered_line(&reader));
+                continue;
+            }
         };
-        note_response(state, &response);
-        let mut text = response.emit();
-        text.push('\n');
-        if writer.write_all(text.as_bytes()).is_err() || writer.flush().is_err() {
-            return;
-        }
-        if stop {
-            // Unblock the accept loop so it observes the flag.
-            drop(TcpStream::connect(state.addr));
-            return;
-        }
-    }
-}
+        let control = matches!(env.request, Request::Stats | Request::Shutdown);
+        conn.stats.with(|s| {
+            if control {
+                s.serve.control_ops += 1;
+            } else {
+                s.serve.requests += 1;
+            }
+        });
 
-fn note_response(state: &ServerState, response: &Json) {
-    let mut stats = state.stats.lock().expect("stats lock");
-    if response.get("kind").and_then(Json::as_str) == Some("error") {
-        stats.responses_error += 1;
-        if let Some(code) = response
-            .get("error")
-            .and_then(|e| e.get("code"))
-            .and_then(Json::as_str)
-        {
-            match code {
-                "overloaded" => stats.shed_overload += 1,
-                "over_budget" => stats.shed_budget += 1,
-                _ => {}
+        if control {
+            // Control ops are barriers: they observe a quiesced
+            // connection and answer in order.
+            conn.drain();
+            let id = env.id;
+            let stop = matches!(env.request, Request::Shutdown);
+            let response = match env.request {
+                Request::Stats => do_stats(state, id),
+                Request::Shutdown => {
+                    state.shutting_down.store(true, Ordering::SeqCst);
+                    protocol::attach_id(envelope("shutdown", vec![("ok", Json::Bool(true))]), id)
+                }
+                _ => unreachable!("control ops are stats/shutdown"),
+            };
+            write_response(&conn, &response, &mut scratch, true);
+            if stop {
+                // Unblock the accept loop so it observes the flag.
+                drop(TcpStream::connect(state.addr));
+                break;
+            }
+            continue;
+        }
+
+        // Admission gate for analysis work (register is never shed).
+        let gated = matches!(env.request, Request::Analyze { .. } | Request::Batch { .. });
+        if gated && state.inflight.fetch_add(1, Ordering::SeqCst) >= state.config.max_inflight {
+            state.inflight.fetch_sub(1, Ordering::SeqCst);
+            let response = protocol::error_response(
+                "overloaded",
+                &format!(
+                    "in-flight analysis limit ({}) reached; retry later",
+                    state.config.max_inflight
+                ),
+                env.id,
+            );
+            count_response(&conn, &response);
+            // Out-of-order shed is fine when the request carried an id;
+            // otherwise answer after the pipeline drains, in order.
+            if env.id.is_none() {
+                conn.drain();
+            }
+            write_response(&conn, &response, &mut scratch, !buffered_line(&reader));
+            continue;
+        }
+
+        match (&state.pool_exec, env.id) {
+            (Some(pool), Some(_)) => {
+                // Id-tagged request on a multi-worker host: pipeline it.
+                conn.reserve(depth);
+                pool.submit(Job {
+                    state: Arc::clone(state),
+                    conn: Arc::clone(&conn),
+                    env,
+                    received,
+                    gated,
+                });
+            }
+            _ => {
+                // No id (ordering barrier) or single-worker host:
+                // execute on the reader thread, after the pipeline
+                // drains so responses stay in arrival order.
+                conn.drain();
+                let response = execute_request(state, &conn, env);
+                count_response(&conn, &response);
+                record_latency(&conn, gated, received);
+                if gated {
+                    state.inflight.fetch_sub(1, Ordering::SeqCst);
+                }
+                write_response(&conn, &response, &mut scratch, !buffered_line(&reader));
             }
         }
-    } else {
-        stats.responses_ok += 1;
     }
+    // Let in-flight workers finish before the reader half goes away;
+    // the last one flushes whatever is buffered.
+    conn.drain();
 }
 
-/// Handle one parsed request; the bool asks the connection loop to stop
-/// after writing the response (shutdown).
-fn dispatch(state: &ServerState, env: Envelope) -> (Json, bool) {
+/// Execute one analysis-plane request (register/analyze/batch).
+fn execute_request(state: &ServerState, conn: &ConnShared, env: Envelope) -> Json {
     let id = env.id;
     match env.request {
-        Request::Register { source, .. } => (do_register(state, &source, id), false),
+        Request::Register { source, .. } => do_register(state, &source, id),
         Request::Analyze {
             tenant,
             program,
             goal,
             budget,
             reuse,
-        } => (
-            timed_analysis(state, id, |s| {
-                do_analyze(s, &tenant, &program, &goal, budget, reuse, id)
-            }),
-            false,
-        ),
+        } => do_analyze(state, conn, &tenant, &program, &goal, budget, reuse, id),
         Request::Batch {
             tenant,
             program,
             goals,
             budget,
-        } => (
-            timed_analysis(state, id, |s| {
-                do_batch(s, &tenant, &program, &goals, budget, id)
-            }),
-            false,
-        ),
-        Request::Stats => (do_stats(state, id), false),
-        Request::Shutdown => {
-            state.shutting_down.store(true, Ordering::SeqCst);
-            (
-                protocol::attach_id(envelope("shutdown", vec![("ok", Json::Bool(true))]), id),
-                true,
-            )
-        }
+        } => do_batch(state, &tenant, &program, &goals, budget, id),
+        Request::Stats | Request::Shutdown => unreachable!("control ops handled by the reader"),
     }
 }
 
-/// Wrap an analyze/batch handler in the load-shed gate and the latency
-/// histogram.
-fn timed_analysis(
+/// Compile `source` under the cache's per-fingerprint dedupe, purging
+/// the session pools of anything evicted to make room. Returns the
+/// compiled artifact and whether *this* call ran the compile.
+fn compile_cached(
     state: &ServerState,
-    id: Option<i64>,
-    f: impl FnOnce(&ServerState) -> Json,
-) -> Json {
-    if state.inflight.fetch_add(1, Ordering::SeqCst) >= state.config.max_inflight {
-        state.inflight.fetch_sub(1, Ordering::SeqCst);
-        return protocol::error_response(
-            "overloaded",
-            &format!(
-                "in-flight analysis limit ({}) reached; retry later",
-                state.config.max_inflight
-            ),
-            id,
-        );
-    }
-    let _guard = InflightGuard(&state.inflight);
-    let start = Instant::now();
-    let response = f(state);
-    let elapsed_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
-    state
-        .latency_us
-        .lock()
-        .expect("latency lock")
-        .record(elapsed_us);
-    response
-}
-
-fn do_register(state: &ServerState, source: &str, id: Option<i64>) -> Json {
-    let hash = awam_core::program_fingerprint(source);
-    let cached = state.cache.get(hash).is_some();
-    if !cached {
-        match compile_and_insert(state, hash, source) {
-            Ok(()) => {}
-            Err(response) => return protocol::attach_id(response, id),
+    hash: u64,
+    source: &str,
+) -> Result<(Arc<Analyzer>, bool), Json> {
+    let result = state.cache.get_or_compile(hash, || {
+        let program = parse_program(source).map_err(|e| CompileFailed {
+            code: "parse_error",
+            message: e.to_string(),
+        })?;
+        let analyzer = Analyzer::compile(&program).map_err(|e| CompileFailed {
+            code: "compile_error",
+            message: e.to_string(),
+        })?;
+        let analyzer = Arc::new(analyzer);
+        let bytes = approx_program_bytes(&analyzer, source.len());
+        Ok((analyzer, bytes))
+    });
+    match result {
+        Ok((analyzer, evicted, compiled_now)) => {
+            for hash in evicted {
+                state.pools.purge_program(hash);
+            }
+            Ok((analyzer, compiled_now))
         }
+        Err(failed) => Err(awam_obs::error_envelope(failed.code, &failed.message)),
     }
-    protocol::attach_id(
-        envelope(
-            "register",
-            vec![
-                ("ok", Json::Bool(true)),
-                ("program", Json::Str(protocol::hash_hex(hash))),
-                ("cached", Json::Bool(cached)),
-            ],
-        ),
-        id,
-    )
-}
-
-/// Compile `source` and insert it into the program cache, purging the
-/// session pools of anything evicted to make room.
-fn compile_and_insert(state: &ServerState, hash: u64, source: &str) -> Result<(), Json> {
-    let program = parse_program(source)
-        .map_err(|e| awam_obs::error_envelope("parse_error", &e.to_string()))?;
-    let analyzer = Analyzer::compile(&program)
-        .map_err(|e| awam_obs::error_envelope("compile_error", &e.to_string()))?;
-    for evicted in state.cache.insert(hash, Arc::new(analyzer), source.len()) {
-        state.pools.purge_program(evicted);
-    }
-    Ok(())
 }
 
 /// Resolve a program reference to its compiled analyzer, compiling
@@ -370,17 +617,29 @@ fn resolve_program(
         }),
         ProgramRef::Source(source) => {
             let hash = awam_core::program_fingerprint(source);
-            if let Some(analyzer) = state.cache.get(hash) {
-                return Ok((hash, analyzer));
-            }
-            compile_and_insert(state, hash, source)?;
-            let analyzer = state
-                .cache
-                .peek(hash)
-                .ok_or_else(|| awam_obs::error_envelope("internal", "program vanished"))?;
+            let (analyzer, _) = compile_cached(state, hash, source)?;
             Ok((hash, analyzer))
         }
     }
+}
+
+fn do_register(state: &ServerState, source: &str, id: Option<i64>) -> Json {
+    let hash = awam_core::program_fingerprint(source);
+    let compiled_now = match compile_cached(state, hash, source) {
+        Ok((_, compiled_now)) => compiled_now,
+        Err(response) => return protocol::attach_id(response, id),
+    };
+    protocol::attach_id(
+        envelope(
+            "register",
+            vec![
+                ("ok", Json::Bool(true)),
+                ("program", Json::Str(protocol::hash_hex(hash))),
+                ("cached", Json::Bool(!compiled_now)),
+            ],
+        ),
+        id,
+    )
 }
 
 fn effective_budget(requested: Option<u64>, config: &ServeConfig) -> Option<u64> {
@@ -421,8 +680,10 @@ fn goal_payload(
     ]
 }
 
+#[allow(clippy::too_many_arguments)]
 fn do_analyze(
     state: &ServerState,
+    conn: &ConnShared,
     tenant: &str,
     program: &ProgramRef,
     goal: &GoalSpec,
@@ -450,7 +711,7 @@ fn do_analyze(
         Ok(analysis) => {
             let warm_hit = warmed && analysis.iterations == 0;
             if warm_hit {
-                state.stats.lock().expect("stats lock").warm_hits += 1;
+                conn.stats.with(|s| s.serve.warm_hits += 1);
             }
             if reuse {
                 state.pools.checkin(tenant, hash, session.into_parts());
@@ -491,7 +752,6 @@ fn do_batch(
         let specs: Vec<&str> = goal.entry.iter().map(String::as_str).collect();
         session.analyze_query(&goal.goal, &specs)
     });
-    let mut over_budget = false;
     let rendered: Vec<Json> = goals
         .iter()
         .zip(&results)
@@ -502,9 +762,6 @@ fn do_batch(
                 Json::obj(pairs)
             }
             Err(err) => {
-                if matches!(err, AnalysisError::BudgetExceeded { .. }) {
-                    over_budget = true;
-                }
                 let code = match err {
                     AnalysisError::BudgetExceeded { .. } => "over_budget",
                     _ => "analysis_error",
@@ -523,9 +780,6 @@ fn do_batch(
             }
         })
         .collect();
-    if over_budget {
-        state.stats.lock().expect("stats lock").shed_budget += 1;
-    }
     let ok = rendered
         .iter()
         .all(|r| r.get("ok").and_then(Json::as_bool) == Some(true));
@@ -545,18 +799,20 @@ fn do_batch(
 fn do_stats(state: &ServerState, id: Option<i64>) -> Json {
     let (programs, cache_bytes, cache_budget, cache) = state.cache.snapshot();
     let (parked, pool) = state.pools.snapshot();
-    let mut stats = *state.stats.lock().expect("stats lock");
+    let merged = state.stats.snapshot();
+    let mut stats = merged.serve;
     stats.program_cache_hits = cache.hits;
     stats.program_cache_misses = cache.misses;
     stats.program_cache_evictions = cache.evictions;
     stats.session_pool_hits = pool.hits;
     stats.session_pool_misses = pool.misses;
-    let latency = state.latency_us.lock().expect("latency lock");
+    let latency = &merged.latency_us;
     let latency_json = Json::obj(vec![
         ("count", Json::Int(latency.count as i64)),
         ("p50_us", Json::Int(latency.quantile(0.50) as i64)),
         ("p90_us", Json::Int(latency.quantile(0.90) as i64)),
         ("p99_us", Json::Int(latency.quantile(0.99) as i64)),
+        ("p999_us", Json::Int(latency.quantile(0.999) as i64)),
         (
             "max_us",
             Json::Int(if latency.count == 0 {
@@ -566,10 +822,13 @@ fn do_stats(state: &ServerState, id: Option<i64>) -> Json {
             }),
         ),
     ]);
-    drop(latency);
     let Json::Obj(mut counters) = stats.to_json() else {
         unreachable!("ServeStats::to_json returns an object");
     };
+    counters.push((
+        "compile_dedup_waits".to_owned(),
+        Json::Int(cache.dedup_waits as i64),
+    ));
     counters.push((
         "cache_hit_rate".to_owned(),
         Json::Float(stats.cache_hit_rate()),
@@ -596,6 +855,7 @@ fn do_stats(state: &ServerState, id: Option<i64>) -> Json {
                         ("programs", Json::Int(programs as i64)),
                         ("bytes", Json::Int(cache_bytes as i64)),
                         ("byte_budget", Json::Int(cache_budget as i64)),
+                        ("shards", Json::Int(state.cache.shard_count() as i64)),
                     ]),
                 ),
                 (
@@ -674,6 +934,19 @@ mod tests {
             Some(1)
         );
         assert_eq!(counters.get("warm_hits").and_then(Json::as_i64), Some(1));
+        // Control ops are counted apart from analysis requests, so the
+        // request/response totals reconcile exactly.
+        assert_eq!(counters.get("requests").and_then(Json::as_i64), Some(3));
+        assert_eq!(
+            counters.get("control_ops").and_then(Json::as_i64),
+            Some(1),
+            "this stats call itself"
+        );
+        assert_eq!(
+            counters.get("responses_ok").and_then(Json::as_i64),
+            Some(3),
+            "register + two analyzes; control responses not counted"
+        );
         handle.shutdown();
     }
 
@@ -767,6 +1040,106 @@ mod tests {
             assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
             assert!(r.get("iterations").and_then(Json::as_i64).unwrap_or(0) > 0);
         }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn pipelined_ids_answer_every_request_out_of_order_allowed() {
+        // Force the pooled (multi-worker) path regardless of host
+        // parallelism, with a deep pipeline.
+        let config = ServeConfig {
+            workers: 4,
+            pipeline_depth: 8,
+            ..ServeConfig::default()
+        };
+        let handle = Server::bind("127.0.0.1:0", config).expect("bind").spawn();
+        let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+        let reg = client.register("t", APP).expect("register");
+        let hash = reg
+            .get("program")
+            .and_then(Json::as_str)
+            .expect("hash")
+            .to_owned();
+
+        // Fire 8 id-tagged analyzes without reading, then collect all 8.
+        for id in 0..8 {
+            client
+                .send_line(&format!(
+                    r#"{{"op":"analyze","tenant":"t","program":"{hash}","goal":"app","entry":["glist","glist","var"],"id":{id}}}"#
+                ))
+                .expect("send");
+        }
+        client.flush().expect("flush");
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..8 {
+            let response = client.recv().expect("response");
+            assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+            let id = response
+                .get("id")
+                .and_then(Json::as_i64)
+                .expect("id echoed");
+            assert!(seen.insert(id), "no duplicate response ids");
+        }
+        assert_eq!(
+            seen,
+            (0..8).collect(),
+            "every request answered exactly once"
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn unids_are_barriers_and_stay_in_order() {
+        let config = ServeConfig {
+            workers: 4,
+            pipeline_depth: 8,
+            ..ServeConfig::default()
+        };
+        let handle = Server::bind("127.0.0.1:0", config).expect("bind").spawn();
+        let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+        let reg = client.register("t", APP).expect("register");
+        let hash = reg
+            .get("program")
+            .and_then(Json::as_str)
+            .expect("hash")
+            .to_owned();
+
+        // Mix id-tagged and bare requests; the bare ones must come back
+        // in their arrival positions relative to each other, each after
+        // all preceding work (barrier semantics).
+        for i in 0..4 {
+            client
+                .send_line(&format!(
+                    r#"{{"op":"analyze","tenant":"t","program":"{hash}","goal":"app","entry":["glist","glist","var"],"id":{i}}}"#
+                ))
+                .expect("send");
+            client
+                .send_line(&format!(
+                    r#"{{"op":"analyze","tenant":"t","program":"{hash}","goal":"app","entry":["var","var","glist"],"reuse":false}}"#
+                ))
+                .expect("send");
+        }
+        client.flush().expect("flush");
+        let mut bare_positions = Vec::new();
+        for pos in 0..8 {
+            let response = client.recv().expect("response");
+            assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+            if response.get("id").is_none() {
+                bare_positions.push(pos);
+                assert_eq!(
+                    response
+                        .get("entry")
+                        .and_then(Json::as_arr)
+                        .map(<[Json]>::len),
+                    Some(3)
+                );
+            }
+        }
+        assert_eq!(bare_positions.len(), 4, "all bare requests answered");
+        // Each bare request is a barrier: everything sent before it has
+        // already been answered, so bare response k sits at stream
+        // position 2k + 1.
+        assert_eq!(bare_positions, vec![1, 3, 5, 7]);
         handle.shutdown();
     }
 }

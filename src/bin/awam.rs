@@ -18,9 +18,10 @@
 //!           [--fault NAME] [--json]  differential fuzzing campaign
 //! awam serve [--addr HOST:PORT] [--cache-mb N] [--max-inflight N]
 //!            [--default-budget N] [--max-budget N] [--pool N]
+//!            [--shards N] [--workers N] [--pipeline-depth N]
 //!                                      run the multi-tenant analysis daemon
 //! awam loadgen [--addr HOST:PORT] [--programs N] [--clients N] [--queries N]
-//!              [--tenants N] [--seed N] [--out FILE]
+//!              [--tenants N] [--seed N] [--pipeline-depth N] [--out FILE]
 //!                                      drive load at a daemon, write BENCH_serve.json
 //! ```
 //!
@@ -76,8 +77,8 @@ fn main() -> ExitCode {
                  awam explain FILE.pl PRED[/ARITY] [--entry PRED[:SPEC,…]] [--json]\n  \
                  awam profile FILE.pl PRED [SPEC,SPEC,…] [--top N] [--metrics-json]\n  \
                  awam fuzz [--seed N] [--cases N] [--oracle NAME,…] [--no-minimize] [--fault NAME] [--json]\n  \
-                 awam serve [--addr HOST:PORT] [--cache-mb N] [--max-inflight N] [--default-budget N] [--max-budget N] [--pool N]\n  \
-                 awam loadgen [--addr HOST:PORT] [--programs N] [--clients N] [--queries N] [--tenants N] [--seed N] [--out FILE]\n\
+                 awam serve [--addr HOST:PORT] [--cache-mb N] [--max-inflight N] [--default-budget N] [--max-budget N] [--pool N] [--shards N] [--workers N] [--pipeline-depth N]\n  \
+                 awam loadgen [--addr HOST:PORT] [--programs N] [--clients N] [--queries N] [--tenants N] [--seed N] [--pipeline-depth N] [--out FILE]\n\
                  observability flags: --stats | --stats-json | --trace FILE"
             );
             return ExitCode::from(2);
@@ -971,6 +972,11 @@ fn cmd_serve(args: &[String]) -> CmdResult {
             "--batch-workers" => {
                 config.batch_workers = num_flag(&mut it, "serve: --batch-workers")?;
             }
+            "--shards" => config.shards = num_flag(&mut it, "serve: --shards")?,
+            "--workers" => config.workers = num_flag(&mut it, "serve: --workers")?,
+            "--pipeline-depth" => {
+                config.pipeline_depth = num_flag(&mut it, "serve: --pipeline-depth")?;
+            }
             other => {
                 return Err(Error::Usage(format!("serve: unknown flag {other}")));
             }
@@ -995,167 +1001,46 @@ fn cmd_serve(args: &[String]) -> CmdResult {
 /// cache/pool hit rates). Without `--addr` an in-process daemon is
 /// spawned on an ephemeral port, so the benchmark is self-contained.
 fn cmd_loadgen(args: &[String]) -> CmdResult {
-    use awam::serve::{Client, ServeConfig, Server};
-    use awam::testkit::{gen_program, GenConfig, Rng};
+    use awam::serve::loadgen::{run_loadgen, LoadgenConfig};
 
-    let mut addr: Option<String> = None;
-    let mut programs = 100usize;
-    let mut clients = 8usize;
-    let mut queries = 50usize;
-    let mut tenants = 4usize;
-    let mut seed = 1u64;
+    let mut config = LoadgenConfig::default();
     let mut out = "BENCH_serve.json".to_owned();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--addr" => addr = Some(it.next().ok_or("loadgen: --addr needs HOST:PORT")?.clone()),
-            "--programs" => programs = num_flag(&mut it, "loadgen: --programs")?,
-            "--clients" => clients = num_flag(&mut it, "loadgen: --clients")?,
-            "--queries" => queries = num_flag(&mut it, "loadgen: --queries")?,
-            "--tenants" => tenants = num_flag(&mut it, "loadgen: --tenants")?,
-            "--seed" => seed = num_flag(&mut it, "loadgen: --seed")?,
+            "--addr" => {
+                config.addr = Some(it.next().ok_or("loadgen: --addr needs HOST:PORT")?.clone());
+            }
+            "--programs" => config.programs = num_flag(&mut it, "loadgen: --programs")?,
+            "--clients" => config.clients = num_flag(&mut it, "loadgen: --clients")?,
+            "--queries" => config.queries = num_flag(&mut it, "loadgen: --queries")?,
+            "--tenants" => config.tenants = num_flag(&mut it, "loadgen: --tenants")?,
+            "--seed" => config.seed = num_flag(&mut it, "loadgen: --seed")?,
+            "--pipeline-depth" => {
+                config.pipeline_depth = num_flag(&mut it, "loadgen: --pipeline-depth")?;
+            }
             "--out" => out = it.next().ok_or("loadgen: --out needs a path")?.clone(),
             other => {
                 return Err(Error::Usage(format!("loadgen: unknown flag {other}")));
             }
         }
     }
-    if programs == 0 || clients == 0 || queries == 0 || tenants == 0 {
+    if config.programs == 0 || config.clients == 0 || config.queries == 0 || config.tenants == 0 {
         return Err("loadgen: --programs/--clients/--queries/--tenants must be at least 1".into());
     }
 
-    // Spin up an in-process daemon unless aimed at an external one.
-    let local = match &addr {
-        Some(_) => None,
-        None => Some(Server::bind("127.0.0.1:0", ServeConfig::default())?.spawn()),
-    };
-    let target = match (&addr, &local) {
-        (Some(a), _) => a.clone(),
-        (None, Some(handle)) => handle.addr().to_string(),
-        (None, None) => unreachable!("either --addr or a local daemon"),
-    };
-
-    // Seed-replayable traffic: `programs` distinct generated programs,
-    // each with entry predicate p0.
-    let mut rng = Rng::new(seed);
-    let gen_config = GenConfig::default();
-    let corpus: Vec<(String, usize)> = (0..programs)
-        .map(|_| {
-            let p = gen_program(&mut rng, &gen_config);
-            (p.source(), p.entry_arity())
-        })
-        .collect();
-
-    // Register the corpus up front (one compile per program).
-    let mut registrar = Client::connect(&target)?;
-    let mut hashes = Vec::with_capacity(corpus.len());
-    for (source, _) in &corpus {
-        let response = registrar.register("loadgen", source)?;
-        let hash = response
-            .get("program")
-            .and_then(Json::as_str)
-            .ok_or_else(|| Error::Usage(format!("loadgen: register failed: {}", response.emit())))?
-            .to_owned();
-        hashes.push(hash);
-    }
-
-    // Fan the query load across client threads; every thread keeps its
-    // own connection and deterministic RNG stream. Latency samples are
-    // kept raw (not histogram buckets) so the committed quantiles are
-    // exact.
-    let latency = std::sync::Mutex::new(Vec::<u64>::new());
-    let ok_count = std::sync::atomic::AtomicU64::new(0);
-    let err_count = std::sync::atomic::AtomicU64::new(0);
-    let watch = Stopwatch::start();
-    std::thread::scope(|scope| -> Result<(), Error> {
-        let mut joins = Vec::new();
-        for client_idx in 0..clients {
-            let (hashes, corpus, target) = (&hashes, &corpus, &target);
-            let (latency, ok_count, err_count) = (&latency, &ok_count, &err_count);
-            joins.push(scope.spawn(move || -> Result<(), Error> {
-                let mut rng = Rng::new(seed ^ (client_idx as u64).wrapping_mul(0x9e37));
-                let mut client = Client::connect(target)?;
-                let tenant = format!("tenant{}", client_idx % tenants);
-                for _ in 0..queries {
-                    // Skew toward a hot subset so warm sessions pay off,
-                    // the way real tenants re-query the same programs.
-                    let idx = if rng.below(2) == 0 {
-                        rng.below((hashes.len() as u64).div_ceil(10)) as usize
-                    } else {
-                        rng.below(hashes.len() as u64) as usize
-                    };
-                    let arity = corpus[idx].1;
-                    let entry = vec!["any"; arity];
-                    let start = std::time::Instant::now();
-                    let response = client.analyze(&tenant, &hashes[idx], "p0", &entry, true)?;
-                    let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
-                    latency.lock().expect("latency lock").push(micros);
-                    if response.get("ok").and_then(Json::as_bool) == Some(true) {
-                        ok_count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    } else {
-                        err_count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    }
-                }
-                Ok(())
-            }));
-        }
-        for join in joins {
-            join.join().expect("loadgen client thread panicked")?;
-        }
-        Ok(())
-    })?;
-    let wall_ns = watch.elapsed_ns();
-
-    let stats = registrar.stats()?;
-    if let Some(local) = local {
-        drop(registrar.shutdown());
-        local.shutdown();
-    }
-
-    let total = (clients * queries) as u64;
-    let throughput = total as f64 / (wall_ns as f64 / 1e9);
-    let mut samples = latency.into_inner().expect("latency lock");
-    samples.sort_unstable();
-    let quantile = |q: f64| -> i64 {
-        match samples.len() {
-            0 => 0,
-            n => samples[(((q * n as f64).ceil() as usize).clamp(1, n)) - 1] as i64,
-        }
-    };
-    let counters = stats.get("counters").cloned().unwrap_or(Json::Null);
-    let doc = envelope(
-        "serve-bench",
-        vec![
-            ("seed", Json::Int(seed as i64)),
-            ("programs", Json::Int(programs as i64)),
-            ("clients", Json::Int(clients as i64)),
-            ("tenants", Json::Int(tenants as i64)),
-            ("queries_per_client", Json::Int(queries as i64)),
-            ("total_queries", Json::Int(total as i64)),
-            ("ok", Json::Int(ok_count.into_inner() as i64)),
-            ("errors", Json::Int(err_count.into_inner() as i64)),
-            ("wall_ms", Json::Float(wall_ns as f64 / 1e6)),
-            ("throughput_qps", Json::Float(throughput)),
-            (
-                "latency_us",
-                Json::obj(vec![
-                    ("p50", Json::Int(quantile(0.50))),
-                    ("p90", Json::Int(quantile(0.90))),
-                    ("p99", Json::Int(quantile(0.99))),
-                    (
-                        "max",
-                        Json::Int(samples.last().copied().unwrap_or(0) as i64),
-                    ),
-                ]),
-            ),
-            ("server", counters),
-        ],
-    );
+    let doc = run_loadgen(&config)?;
     std::fs::write(&out, format!("{}\n", doc.emit_pretty()))?;
     println!("{}", doc.emit_pretty());
+    let total = doc.get("total_queries").and_then(Json::as_i64).unwrap_or(0);
+    let wall_ms = doc.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0);
+    let throughput = doc
+        .get("throughput_qps")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
     eprintln!(
-        "loadgen: {total} queries over {clients} clients in {:.1} ms ({throughput:.0} q/s) -> {out}",
-        wall_ns as f64 / 1e6
+        "loadgen: {total} queries over {} clients in {wall_ms:.1} ms ({throughput:.0} q/s) -> {out}",
+        config.clients
     );
     Ok(())
 }

@@ -1,0 +1,273 @@
+//! Concurrency stress tests for the serve data plane: a register storm
+//! against a deliberately tiny program cache while analyze traffic runs
+//! on other connections. What must hold under that pressure:
+//!
+//! 1. **No deadlock** — the storm finishes (sharded locks, the
+//!    compile-once pending tickets, and the pipeline condvars never
+//!    wait on each other in a cycle).
+//! 2. **Eviction purges the right pools** — when a program is evicted
+//!    to make room, every tenant's parked sessions for it are dropped;
+//!    a re-registered program starts cold rather than resuming a
+//!    session whose extension table belongs to the evicted artifact.
+//! 3. **Fidelity survives churn** — every successful fresh-session
+//!    response is byte-identical to an in-process
+//!    [`Analyzer::analyze`] of the same program, even while the cache
+//!    is thrashing.
+
+use awam::serve::{Client, ServeConfig, Server};
+use awam::syntax::parse_program;
+use awam::testkit::{gen_program, GenConfig, Rng};
+use awam::{obs::Json, Analyzer};
+
+/// The report a standalone in-process analysis produces.
+fn direct_report(source: &str, goal: &str, entry: &[&str]) -> String {
+    let program = parse_program(source).expect("generated program parses");
+    let analyzer = Analyzer::compile(&program).expect("generated program compiles");
+    let analysis = analyzer.analyze_query(goal, entry).expect("analysis runs");
+    analysis.report(&analyzer)
+}
+
+/// A corpus of distinct generated programs with their entry arities.
+fn corpus(seed: u64, count: usize) -> Vec<(String, usize)> {
+    let mut rng = Rng::new(seed);
+    let config = GenConfig::default();
+    (0..count)
+        .map(|_| {
+            let p = gen_program(&mut rng, &config);
+            (p.source(), p.entry_arity())
+        })
+        .collect()
+}
+
+#[test]
+fn register_storm_with_concurrent_analyzes_stays_live_and_exact() {
+    // A cache budget small enough that the storm constantly evicts,
+    // sharded and pipelined the way production runs.
+    let config = ServeConfig {
+        cache_bytes: 48 << 10,
+        shards: 4,
+        workers: 4,
+        pipeline_depth: 4,
+        ..ServeConfig::default()
+    };
+    let handle = Server::bind("127.0.0.1:0", config).expect("bind").spawn();
+    let addr = handle.addr().to_string();
+
+    let programs = corpus(0xC0FFEE, 12);
+    let expected: Vec<String> = programs
+        .iter()
+        .map(|(source, arity)| direct_report(source, "p0", &vec!["any"; *arity]))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for thread_idx in 0..6 {
+            let addr = &addr;
+            let (programs, expected) = (&programs, &expected);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                let tenant = format!("tenant{}", thread_idx % 3);
+                for round in 0..10 {
+                    let idx = (thread_idx * 7 + round * 3) % programs.len();
+                    let (source, arity) = &programs[idx];
+                    let hash = client
+                        .register(&tenant, source)
+                        .expect("register round-trips")
+                        .get("program")
+                        .and_then(Json::as_str)
+                        .expect("register returns a hash")
+                        .to_owned();
+                    // Fresh-session analyze by hash: either byte-exact,
+                    // or cleanly refused because the storm already
+                    // evicted it — never wrong, never hung.
+                    let entry: Vec<&str> = vec!["any"; *arity];
+                    let response = client
+                        .analyze(&tenant, &hash, "p0", &entry, false)
+                        .expect("analyze round-trips");
+                    if response.get("ok").and_then(Json::as_bool) == Some(true) {
+                        assert_eq!(
+                            response.get("report").and_then(Json::as_str),
+                            Some(expected[idx].as_str()),
+                            "served report is byte-identical under cache churn"
+                        );
+                    } else {
+                        assert_eq!(
+                            response
+                                .get("error")
+                                .and_then(|e| e.get("code"))
+                                .and_then(Json::as_str),
+                            Some("unknown_program"),
+                            "the only legal failure is eviction between register and analyze"
+                        );
+                    }
+                    // Warm-path analyze by inline source (immune to the
+                    // eviction race): result section must match the
+                    // direct run even when answered from a pooled
+                    // session.
+                    let specs = vec![r#""any""#; *arity].join(",");
+                    let response = client
+                        .call_line(&format!(
+                            r#"{{"op":"analyze","tenant":"{tenant}","source":{},"goal":"p0","entry":[{specs}],"reuse":true}}"#,
+                            Json::Str(source.clone()).emit()
+                        ))
+                        .expect("inline analyze round-trips");
+                    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+                    let report = response
+                        .get("report")
+                        .and_then(Json::as_str)
+                        .expect("report");
+                    let split = report.find("\n\n").expect("result section");
+                    assert_eq!(
+                        &report[split..],
+                        &expected[idx][expected[idx].find("\n\n").expect("result section")..],
+                        "warm results match the direct run under churn"
+                    );
+                }
+            });
+        }
+    });
+
+    // The storm actually thrashed the cache, and the daemon still
+    // answers coherently afterwards.
+    let mut client = Client::connect(&addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    let counters = stats.get("counters").expect("counters");
+    assert!(
+        counters
+            .get("program_cache_evictions")
+            .and_then(Json::as_i64)
+            .unwrap_or(0)
+            > 0,
+        "the tiny byte budget forced evictions"
+    );
+    assert_eq!(
+        counters.get("requests").and_then(Json::as_i64),
+        Some(6 * 10 * 3),
+        "6 threads x 10 rounds x (register + 2 analyzes)"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn eviction_purges_the_evicted_programs_session_pools() {
+    // One shard so LRU order is global and the victim is predictable.
+    let config = ServeConfig {
+        cache_bytes: 32 << 10,
+        shards: 1,
+        ..ServeConfig::default()
+    };
+    let handle = Server::bind("127.0.0.1:0", config).expect("bind").spawn();
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+
+    let programs = corpus(0xBEEF, 40);
+    let (victim_source, victim_arity) = &programs[0];
+    let entry: Vec<&str> = vec!["any"; *victim_arity];
+
+    let victim_hash = client
+        .register("t", victim_source)
+        .expect("register victim")
+        .get("program")
+        .and_then(Json::as_str)
+        .expect("hash")
+        .to_owned();
+    let cold = client
+        .analyze("t", &victim_hash, "p0", &entry, true)
+        .expect("cold analyze");
+    assert_eq!(cold.get("warm").and_then(Json::as_bool), Some(false));
+    let warm = client
+        .analyze("t", &victim_hash, "p0", &entry, true)
+        .expect("warm analyze");
+    assert_eq!(
+        warm.get("warm").and_then(Json::as_bool),
+        Some(true),
+        "a session is parked for (t, victim) before the eviction"
+    );
+
+    // Register filler programs without touching the victim again; it
+    // becomes the LRU entry and must fall off the 32 KiB budget.
+    for (source, _) in &programs[1..] {
+        client.register("t", source).expect("register filler");
+    }
+    let probe = client
+        .analyze("t", &victim_hash, "p0", &entry, true)
+        .expect("probe round-trips");
+    assert_eq!(
+        probe
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("unknown_program"),
+        "39 filler programs overflow a 32 KiB budget and evict the victim"
+    );
+
+    // Re-registering the same source yields the same fingerprint — if
+    // eviction had leaked the parked session, this analyze would
+    // resume it and report warm. It must start cold.
+    client
+        .register("t", victim_source)
+        .expect("re-register victim");
+    let after = client
+        .analyze("t", &victim_hash, "p0", &entry, true)
+        .expect("post-eviction analyze");
+    assert_eq!(after.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        after.get("warm").and_then(Json::as_bool),
+        Some(false),
+        "eviction purged the victim's pooled sessions"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_storm_answers_every_id_exactly_once() {
+    let config = ServeConfig {
+        cache_bytes: 48 << 10,
+        shards: 4,
+        workers: 4,
+        pipeline_depth: 8,
+        ..ServeConfig::default()
+    };
+    let handle = Server::bind("127.0.0.1:0", config).expect("bind").spawn();
+    let addr = handle.addr().to_string();
+
+    let programs = corpus(0xF00D, 6);
+    std::thread::scope(|scope| {
+        for thread_idx in 0..4 {
+            let addr = &addr;
+            let programs = &programs;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                // 48 id-tagged inline-source analyzes in windows of 8.
+                let lines: Vec<String> = (0..48)
+                    .map(|id| {
+                        let (source, arity) = &programs[(thread_idx + id) % programs.len()];
+                        let entry = vec![r#""any""#; *arity].join(",");
+                        format!(
+                            r#"{{"op":"analyze","tenant":"t{thread_idx}","source":{},"goal":"p0","entry":[{entry}],"id":{id}}}"#,
+                            Json::Str(source.clone()).emit()
+                        )
+                    })
+                    .collect();
+                let mut seen = std::collections::BTreeSet::new();
+                for window in lines.chunks(8) {
+                    for line in window {
+                        client.send_line(line).expect("send");
+                    }
+                    client.flush().expect("flush");
+                    for _ in window {
+                        let response = client.recv().expect("response");
+                        assert_eq!(
+                            response.get("ok").and_then(Json::as_bool),
+                            Some(true),
+                            "pipelined analyze succeeds: {}",
+                            response.emit()
+                        );
+                        let id = response.get("id").and_then(Json::as_i64).expect("id");
+                        assert!(seen.insert(id), "no duplicate ids");
+                    }
+                }
+                assert_eq!(seen.len(), 48, "every pipelined request answered");
+            });
+        }
+    });
+    handle.shutdown();
+}
