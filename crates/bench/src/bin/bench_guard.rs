@@ -1,7 +1,7 @@
 //! Bench-regression guard: compare a fresh run against a committed
 //! baseline and fail when it regresses beyond tolerance.
 //!
-//! Two gates share the binary:
+//! Three gates share the binary:
 //!
 //! * **Table 1** (default): fresh analysis times vs
 //!   `BENCH_table1.json`; only a slowdown of the compiled-analyzer
@@ -14,12 +14,19 @@
 //!   times (TCP, scheduler, whatever else the box is doing), so CI
 //!   runs this gate with `--advisory`: regressions are reported loudly
 //!   but do not fail the build.
+//! * **Incremental** (`--incremental`): a fresh incremental-suite run
+//!   vs the committed `BENCH_incremental.json` — the headline
+//!   "< 25% of cold fixpoint iterations" claim plus per-benchmark
+//!   iteration-ratio drift. Counter-based, so deterministic; wall
+//!   times are printed but never gated on.
 //!
 //! ```sh
 //! cargo run -p awam-bench --release --bin bench_guard -- \
 //!     [--baseline BENCH_table1.json] [--tolerance 0.25] [--advisory]
 //! cargo run -p awam-bench --release --bin bench_guard -- \
 //!     --serve [--baseline BENCH_serve.json] [--tolerance 0.4] [--advisory]
+//! cargo run -p awam-bench --release --bin bench_guard -- \
+//!     --incremental [--baseline BENCH_incremental.json] [--tolerance 0.25] [--advisory]
 //! ```
 //!
 //! Exit status: 0 when within tolerance, 1 on regression, 2 on a
@@ -203,12 +210,110 @@ fn serve_gate(baseline_path: &str, tolerance: f64, advisory: bool) {
     }
 }
 
+/// The incremental gate: re-run the incremental suite fresh and check
+/// two things against the committed `BENCH_incremental.json`:
+///
+/// * the **headline claim** — the seeded repair re-runs < 25% of the
+///   cold fixpoint iterations on every [`awam_bench::INCREMENTAL_HEADLINE`]
+///   benchmark (this is the PR's acceptance bar, checked on the fresh
+///   run, not the committed file);
+/// * **no ratio regression** — no suite benchmark's fresh iteration
+///   ratio grew past the committed one by more than the tolerance.
+///
+/// Both metrics are exploration *counters*, deterministic modulo
+/// analyzer changes; wall times are printed for context but never
+/// gated on (they are dominated by parse + compile on programs this
+/// small).
+fn incremental_gate(baseline_path: &str, tolerance: f64, advisory: bool) {
+    let Some(doc) = load_baseline(
+        baseline_path,
+        advisory,
+        &format!(
+            "cargo run -p awam-bench --release --bin bench_incremental -- --json {baseline_path}"
+        ),
+    ) else {
+        return;
+    };
+    let Json::Arr(committed) = &doc else {
+        eprintln!("bench_guard: {baseline_path} is not a JSON array of rows");
+        std::process::exit(2);
+    };
+    eprintln!(
+        "bench_guard: fresh incremental-suite run vs {baseline_path} (tolerance {:.0}%)",
+        tolerance * 100.0
+    );
+    let fresh = awam_bench::incremental_rows();
+    println!(
+        "{:<10} {:<14} {:>12} {:>10} {:>8} {:>8}",
+        "bench", "leaf", "committed%", "fresh%", "exec%", "time%"
+    );
+    let mut regressions = Vec::new();
+    for r in &fresh {
+        let committed_ratio = committed
+            .iter()
+            .find(|row| {
+                row.get("name").and_then(Json::as_str) == Some(r.name)
+            })
+            .and_then(|row| float_field(row, "iter_ratio"));
+        println!(
+            "{:<10} {:<14} {:>11.1}% {:>9.1}% {:>7.1}% {:>7.1}%",
+            r.name,
+            r.leaf,
+            committed_ratio.map_or(f64::NAN, |c| c * 100.0),
+            r.iter_ratio * 100.0,
+            r.exec_ratio * 100.0,
+            r.time_ratio * 100.0,
+        );
+        if awam_bench::INCREMENTAL_HEADLINE.contains(&r.name) && r.iter_ratio >= 0.25 {
+            regressions.push(format!(
+                "{}: repair ran {:.1}% of the cold fixpoint iterations — the headline \
+                 < 25% claim no longer holds",
+                r.name,
+                r.iter_ratio * 100.0
+            ));
+        }
+        match committed_ratio {
+            Some(c) if r.iter_ratio > c * (1.0 + tolerance) => {
+                regressions.push(format!(
+                    "{}: iteration ratio {:.1}% is above committed {:.1}%",
+                    r.name,
+                    r.iter_ratio * 100.0,
+                    c * 100.0
+                ));
+            }
+            Some(_) => {}
+            None => {
+                regressions.push(format!(
+                    "{}: no committed row in {baseline_path} — regenerate the baseline",
+                    r.name
+                ));
+            }
+        }
+    }
+    if regressions.is_empty() {
+        eprintln!(
+            "bench_guard: ok — incremental repair within tolerance on all {} benchmarks",
+            fresh.len()
+        );
+        return;
+    }
+    for regression in &regressions {
+        eprintln!("bench_guard: INCREMENTAL REGRESSION — {regression}");
+    }
+    if advisory {
+        eprintln!("bench_guard: advisory mode, reporting without failing the build");
+    } else {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut baseline_path: Option<String> = None;
     let mut tolerance: Option<f64> = None;
     let mut advisory = false;
     let mut serve = false;
+    let mut incremental = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -229,10 +334,19 @@ fn main() {
             }
             "--advisory" => advisory = true,
             "--serve" => serve = true,
+            "--incremental" => incremental = true,
             other => usage_error(&format!("unknown flag {other}")),
         }
     }
 
+    if incremental {
+        incremental_gate(
+            &baseline_path.unwrap_or_else(|| "BENCH_incremental.json".to_owned()),
+            tolerance.unwrap_or(0.25),
+            advisory,
+        );
+        return;
+    }
     if serve {
         // Tail latency on a shared box is noisier than analysis time;
         // the serve gate defaults looser.

@@ -1,0 +1,24 @@
+//! Measure incremental re-analysis: a single-clause leaf edit on the
+//! largest benchmarks, warm seeded repair vs. a cold rebuild of the
+//! edited source.
+//!
+//! ```sh
+//! cargo run -p awam-bench --release --bin bench_incremental [--json BENCH_incremental.json]
+//! ```
+//!
+//! With `--json PATH`, also write the rows (timings, invalidation
+//! counters, work ratios) as a JSON array to PATH.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let rows = awam_bench::incremental_rows();
+    print!("{}", awam_bench::render_incremental(&rows));
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        let path = args
+            .get(i + 1)
+            .map_or("BENCH_incremental.json", String::as_str);
+        let doc = awam_bench::incremental_rows_to_json(&rows);
+        std::fs::write(path, doc.emit_pretty()).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -195,6 +195,7 @@ impl AnalyzerBuilder {
             strategy: self.strategy,
             profile_timing: self.profile_timing,
             provenance: self.provenance,
+            fuse: self.fuse,
             step_budget: self.step_budget,
             compile_ns: 0,
             base_interner,
@@ -235,6 +236,7 @@ pub struct Analyzer {
     strategy: IterationStrategy,
     profile_timing: bool,
     provenance: bool,
+    fuse: bool,
     step_budget: Option<u64>,
     /// Wall time of WAM compilation in nanoseconds (0 when the analyzer
     /// was built from an already-compiled program); spliced into the
@@ -414,6 +416,38 @@ impl Analyzer {
     /// that survives across queries (shorthand for [`Session::new`]).
     pub fn session(&self) -> Session<'_> {
         Session::new(self)
+    }
+
+    /// The build-time configuration of this analyzer, as a builder that
+    /// would recreate it. Incremental re-analysis uses this to compile
+    /// the edited program with byte-identical settings, so a migrated
+    /// session's results stay comparable to a cold run.
+    pub fn config_builder(&self) -> AnalyzerBuilder {
+        AnalyzerBuilder {
+            depth_k: self.depth_k,
+            et_impl: self.et_impl,
+            config: self.config,
+            strategy: self.strategy,
+            profile_timing: self.profile_timing,
+            provenance: self.provenance,
+            fuse: self.fuse,
+            step_budget: self.step_budget,
+        }
+    }
+
+    /// The term-depth restriction `k` this analyzer extracts patterns at.
+    pub(crate) fn depth_k(&self) -> usize {
+        self.depth_k
+    }
+
+    /// The domain restriction this analyzer runs under.
+    pub(crate) fn domain_config(&self) -> DomainConfig {
+        self.config
+    }
+
+    /// The configured fixpoint iteration strategy.
+    pub(crate) fn iteration_strategy(&self) -> IterationStrategy {
+        self.strategy
     }
 
     /// Analyze from `pred` with the given entry calling pattern.

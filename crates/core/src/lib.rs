@@ -76,6 +76,7 @@ pub mod analyzer;
 pub mod batch;
 pub mod extract;
 pub mod fault;
+pub mod incremental;
 pub mod machine;
 pub mod matcher;
 pub mod provenance;
@@ -86,6 +87,7 @@ pub mod table;
 pub use acell::ACell;
 pub use analyzer::{Analysis, Analyzer, AnalyzerBuilder, BatchGoal, PredAnalysis, ProfileData};
 pub use batch::par_map;
+pub use incremental::{migrate_parts, EditError, ProgramDiff, ProgramEdit, UpdateError, Workspace};
 pub use machine::{AbstractMachine, AnalysisError};
 pub use provenance::{ChainStep, DerivationReport, EntryDerivation, PredDerivations};
 pub use report::ArgMode;

@@ -753,6 +753,65 @@ impl<'p> AbstractMachine<'p> {
         Ok(self.explorations)
     }
 
+    /// Seeded re-fixpoint for incremental re-analysis: drain a worklist
+    /// pre-loaded with `frontier` (the entries an edit reset to an
+    /// unexplored state) under the worklist strategy's semantics —
+    /// surviving entries answer calls from their frozen summaries, and
+    /// growth propagates along the reverse-dependency edges recorded as
+    /// each frontier entry is re-explored. No entry goal is solved; the
+    /// frontier *is* the work. The configured iteration strategy is
+    /// forced to [`IterationStrategy::Dependency`] for the duration and
+    /// restored before returning. Returns the number of entry
+    /// explorations performed.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::IterationLimit`] if the exploration bound trips,
+    /// or a budget/depth error propagated from clause execution.
+    pub fn run_repair(&mut self, frontier: &[(usize, usize)]) -> Result<u64, AnalysisError> {
+        const MAX_EXPLORATIONS: u64 = 5_000_000;
+        self.init_profiling();
+        let saved_strategy = self.strategy;
+        self.strategy = IterationStrategy::Dependency;
+        if let Some(span) = self.span.as_mut() {
+            span.enter("repair");
+        }
+        self.iter += 1;
+        for &e in frontier {
+            if self.queued.insert(e) {
+                self.worklist.push_back(e);
+            }
+        }
+        let result = self.drain_repair_worklist(MAX_EXPLORATIONS);
+        self.strategy = saved_strategy;
+        if let Some(span) = self.span.as_mut() {
+            span.exit();
+        }
+        result?;
+        Ok(self.explorations)
+    }
+
+    /// The drain loop of [`Self::run_repair`], split out so the strategy
+    /// restore straddles it on both the success and error paths.
+    fn drain_repair_worklist(&mut self, max_explorations: u64) -> Result<(), AnalysisError> {
+        while let Some((p, i)) = self.worklist.pop_front() {
+            self.queued.remove(&(p, i));
+            if self.explorations > max_explorations {
+                return Err(AnalysisError::IterationLimit);
+            }
+            self.check_budget()?;
+            self.stats.note_heap(self.frame.heap.len());
+            self.stats.note_trail(self.frame.trail.len());
+            self.frame.heap.clear();
+            self.frame.trail.clear();
+            self.frame.clear_envs();
+            self.frame.e = None;
+            self.depth = 0;
+            self.explore_entry(p, i)?;
+        }
+        Ok(())
+    }
+
     /// The extension table accumulated so far.
     pub fn table(&self) -> &ExtensionTable {
         &self.table
@@ -792,13 +851,14 @@ impl<'p> AbstractMachine<'p> {
 
     /// Record that the current exploration read `(pred, idx)`; the
     /// worklist propagates changes along the reverse edges, so plain
-    /// direct dependencies suffice.
+    /// direct dependencies suffice. Recorded under **both** iteration
+    /// strategies: the dependency strategy drives its worklist with the
+    /// edges, and incremental re-analysis needs them to compute the
+    /// invalidation cone of an edit no matter how the table was built.
     fn note_dep(&mut self, pred: usize, idx: usize) {
-        if self.strategy == IterationStrategy::Dependency {
-            let version = self.table.version(pred, idx);
-            if let Some(frame) = self.dep_stack.last_mut() {
-                frame.push((pred, idx, version));
-            }
+        let version = self.table.version(pred, idx);
+        if let Some(frame) = self.dep_stack.last_mut() {
+            frame.push((pred, idx, version));
         }
     }
 
@@ -1001,9 +1061,7 @@ impl<'p> AbstractMachine<'p> {
         // Explore every clause on a fresh materialization of the calling
         // pattern (the `abstract(X, Xα) … p(Xα)` of §5), summarizing
         // success patterns into the table and failing to the next clause.
-        if self.strategy == IterationStrategy::Dependency {
-            self.dep_stack.push(Vec::new());
-        }
+        self.dep_stack.push(Vec::new());
         let num_clauses = self.program.predicates[pred].clause_entries.len();
         for clause_idx in 0..num_clauses {
             let entry = self.program.predicates[pred].clause_entries[clause_idx];
@@ -1133,16 +1191,17 @@ impl<'p> AbstractMachine<'p> {
             }
         }
 
-        // All clauses explored: record dependencies and propagate.
+        // All clauses explored: record dependencies (both strategies —
+        // see `note_dep`) and propagate.
+        let deps = self.dep_stack.pop().unwrap_or_default();
+        for &(p, i, _) in &deps {
+            self.rev_deps
+                .entry((p, i))
+                .or_default()
+                .insert((pred, entry_idx));
+        }
+        self.table.set_deps(pred, entry_idx, deps);
         if self.strategy == IterationStrategy::Dependency {
-            let deps = self.dep_stack.pop().unwrap_or_default();
-            for &(p, i, _) in &deps {
-                self.rev_deps
-                    .entry((p, i))
-                    .or_default()
-                    .insert((pred, entry_idx));
-            }
-            self.table.set_deps(pred, entry_idx, deps);
             self.in_progress.remove(&(pred, entry_idx));
         }
         Ok(())

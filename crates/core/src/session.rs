@@ -111,6 +111,48 @@ impl SessionParts {
         let overlay = self.interner.len() - self.interner.base().len();
         self.table.len() * 64 + overlay * 128
     }
+
+    /// Split into the raw table/interner/stats triple (incremental
+    /// migration rebuilds the parts against a new analyzer).
+    pub(crate) fn into_inner(self) -> (ExtensionTable, SessionInterner, SessionStats) {
+        (self.table, self.interner, self.stats)
+    }
+
+    /// The persistent extension table (read-only view for the
+    /// incremental layer's reachable-core projection).
+    pub(crate) fn table(&self) -> &ExtensionTable {
+        &self.table
+    }
+
+    /// The session interner the table's pattern ids resolve through.
+    pub(crate) fn interner(&self) -> &SessionInterner {
+        &self.interner
+    }
+
+    /// Mutable interner access (interning a probe pattern).
+    pub(crate) fn interner_mut(&mut self) -> &mut SessionInterner {
+        &mut self.interner
+    }
+
+    /// Session-level subsumption probe against the parked table (needs
+    /// the interner's leq cache, hence `&mut self`).
+    pub(crate) fn find_subsuming(&mut self, pred: usize, call: absdom::PatternId) -> Option<usize> {
+        self.table.find_subsuming(pred, call, &mut self.interner)
+    }
+
+    /// Reassemble parts from a raw triple (inverse of
+    /// [`SessionParts::into_inner`]).
+    pub(crate) fn from_inner(
+        table: ExtensionTable,
+        interner: SessionInterner,
+        stats: SessionStats,
+    ) -> SessionParts {
+        SessionParts {
+            table,
+            interner,
+            stats,
+        }
+    }
 }
 
 impl<'a> Session<'a> {
@@ -241,6 +283,37 @@ impl<'a> Session<'a> {
         let entry =
             Pattern::from_spec(specs).ok_or_else(|| AnalysisError::BadSpec(specs.join(", ")))?;
         self.analyze(name, &entry)
+    }
+
+    /// Apply a clause-level edit to this session's program and carry the
+    /// memo table across: entries that transitively depend on a changed
+    /// predicate are invalidated and re-derived by a seeded re-fixpoint,
+    /// everything else survives untouched. Consumes the session (the new
+    /// program needs a new compiled analyzer, which the borrowed `'a`
+    /// analyzer cannot become) and returns an owning
+    /// [`crate::incremental::Workspace`] positioned on the edited
+    /// program.
+    ///
+    /// `source` must be the source text this session's analyzer was
+    /// compiled from — the same pairing contract as [`Session::resume`].
+    ///
+    /// # Errors
+    ///
+    /// [`crate::incremental::UpdateError`] when the edit does not apply,
+    /// the edited program fails to parse or compile, or the re-fixpoint
+    /// hits a resource bound.
+    pub fn update_program(
+        self,
+        source: &str,
+        edit: &crate::incremental::ProgramEdit,
+    ) -> Result<crate::incremental::Workspace, crate::incremental::UpdateError> {
+        let builder = self.analyzer.config_builder();
+        let budget = self.step_budget;
+        let parts = self.into_parts();
+        let mut workspace =
+            crate::incremental::Workspace::resume(builder, source, parts, budget)?;
+        workspace.apply_edit(edit)?;
+        Ok(workspace)
     }
 
     fn analyze_with(

@@ -409,6 +409,49 @@ impl ExtensionTable {
         &self.preds[pred].entries
     }
 
+    /// Number of predicate slots the table was created with.
+    pub fn num_preds(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Quietly seed an entry migrated from another table: no stats
+    /// counters move (the entry was not derived by this run), but the
+    /// id index and the cached `max_explored_iter` are maintained, and
+    /// the provenance store (when enabled) is padded so the parallel
+    /// vecs stay index-aligned. Returns the new entry's index.
+    pub fn seed_entry(
+        &mut self,
+        pred: usize,
+        call: PatternId,
+        success: Option<PatternId>,
+        explored_iter: u64,
+        version: u64,
+    ) -> usize {
+        self.max_explored = self.max_explored.max(explored_iter);
+        let table = &mut self.preds[pred];
+        let idx = table.entries.len();
+        table.index.insert(call, idx);
+        table.entries.push(Entry {
+            call,
+            success,
+            explored_iter,
+            version,
+        });
+        table.deps.push(Vec::new());
+        if let Some(prov) = self.prov.as_mut() {
+            prov[pred].push(Derivation::default());
+        }
+        idx
+    }
+
+    /// Overwrite the derivation record of a seeded entry with one
+    /// carried over from another table. No-op when tracking is off.
+    pub fn seed_derivation(&mut self, pred: usize, idx: usize, derivation: Derivation) {
+        if let Some(prov) = self.prov.as_mut() {
+            prov[pred][idx] = derivation;
+        }
+    }
+
     /// Total number of entries across predicates.
     pub fn len(&self) -> usize {
         self.preds.iter().map(|p| p.entries.len()).sum()

@@ -233,6 +233,72 @@ impl SessionStats {
     }
 }
 
+/// Counters for one incremental re-analysis (`update_program` /
+/// `update_source`): how the edit's invalidation wave partitioned the
+/// extension table and how much work the seeded re-fixpoint did.
+///
+/// `entries_before = entries_kept + entries_reset + entries_dropped`
+/// always holds — the three buckets are a partition of the pre-edit
+/// table.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InvalidationStats {
+    /// Table entries present before the edit was applied.
+    pub entries_before: u64,
+    /// Entries that survived untouched (their dependency cone avoided
+    /// every changed predicate).
+    pub entries_kept: u64,
+    /// Entries reset to an unexplored state (kept calling pattern,
+    /// summary cleared) because they transitively depend on a changed
+    /// predicate — the re-fixpoint frontier.
+    pub entries_reset: u64,
+    /// Entries dropped outright (their predicate was removed, or their
+    /// calling pattern mentions a symbol absent from the new program).
+    pub entries_dropped: u64,
+    /// Predicates whose clause list changed (added or edited).
+    pub preds_changed: u64,
+    /// Predicates removed by the edit.
+    pub preds_removed: u64,
+    /// Frontier size: reset entries seeded into the re-fixpoint worklist.
+    pub frontier: u64,
+    /// Entry explorations performed by the seeded re-fixpoint.
+    pub refix_explorations: u64,
+    /// Abstract instructions executed by the seeded re-fixpoint.
+    pub refix_instructions: u64,
+}
+
+impl InvalidationStats {
+    /// Encode as a JSON object with one field per counter.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("entries_before", Json::Int(self.entries_before as i64)),
+            ("entries_kept", Json::Int(self.entries_kept as i64)),
+            ("entries_reset", Json::Int(self.entries_reset as i64)),
+            ("entries_dropped", Json::Int(self.entries_dropped as i64)),
+            ("preds_changed", Json::Int(self.preds_changed as i64)),
+            ("preds_removed", Json::Int(self.preds_removed as i64)),
+            ("frontier", Json::Int(self.frontier as i64)),
+            (
+                "refix_explorations",
+                Json::Int(self.refix_explorations as i64),
+            ),
+            (
+                "refix_instructions",
+                Json::Int(self.refix_instructions as i64),
+            ),
+        ])
+    }
+
+    /// Fraction of pre-edit entries that survived, in [0, 1]; one when
+    /// the table was empty (a no-op edit keeps everything).
+    pub fn kept_rate(&self) -> f64 {
+        if self.entries_before == 0 {
+            1.0
+        } else {
+            self.entries_kept as f64 / self.entries_before as f64
+        }
+    }
+}
+
 /// Counters for the serving daemon: request/response totals, the two
 /// shedding paths, compiled-program cache behavior, and warm-session
 /// pool behavior.
@@ -273,6 +339,11 @@ pub struct ServeStats {
     /// Queries the reused sessions answered without any fixpoint run
     /// (the session layer's warm hits, aggregated across the pool).
     pub warm_hits: u64,
+    /// `update` ops that patched a registered program in place.
+    pub updates: u64,
+    /// Parked warm sessions migrated to the patched program by `update`
+    /// ops (invalidated incrementally instead of being discarded).
+    pub sessions_migrated: u64,
 }
 
 impl ServeStats {
@@ -306,6 +377,11 @@ impl ServeStats {
                 Json::Int(self.session_pool_misses as i64),
             ),
             ("warm_hits", Json::Int(self.warm_hits as i64)),
+            ("updates", Json::Int(self.updates as i64)),
+            (
+                "sessions_migrated",
+                Json::Int(self.sessions_migrated as i64),
+            ),
         ])
     }
 
@@ -326,6 +402,8 @@ impl ServeStats {
         self.session_pool_hits += other.session_pool_hits;
         self.session_pool_misses += other.session_pool_misses;
         self.warm_hits += other.warm_hits;
+        self.updates += other.updates;
+        self.sessions_migrated += other.sessions_migrated;
     }
 
     /// Program-cache hit rate in [0, 1]; zero when no lookups happened.
@@ -448,6 +526,62 @@ mod tests {
         let json = counts.to_json(&["a", "b", "c"]);
         assert_eq!(json.get("c").and_then(Json::as_u64), Some(2));
         assert!(json.get("b").is_none());
+    }
+
+    #[test]
+    fn invalidation_stats_json_has_every_field() {
+        let stats = InvalidationStats {
+            entries_before: 12,
+            entries_kept: 6,
+            entries_reset: 4,
+            entries_dropped: 2,
+            preds_changed: 1,
+            preds_removed: 1,
+            frontier: 4,
+            refix_explorations: 9,
+            refix_instructions: 310,
+        };
+        let json = stats.to_json();
+        assert_eq!(json.get("entries_before").and_then(Json::as_u64), Some(12));
+        assert_eq!(json.get("entries_kept").and_then(Json::as_u64), Some(6));
+        assert_eq!(json.get("entries_reset").and_then(Json::as_u64), Some(4));
+        assert_eq!(json.get("entries_dropped").and_then(Json::as_u64), Some(2));
+        assert_eq!(json.get("preds_changed").and_then(Json::as_u64), Some(1));
+        assert_eq!(json.get("preds_removed").and_then(Json::as_u64), Some(1));
+        assert_eq!(json.get("frontier").and_then(Json::as_u64), Some(4));
+        assert_eq!(
+            json.get("refix_explorations").and_then(Json::as_u64),
+            Some(9)
+        );
+        assert_eq!(
+            json.get("refix_instructions").and_then(Json::as_u64),
+            Some(310)
+        );
+        assert!((stats.kept_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(InvalidationStats::default().kept_rate(), 1.0);
+    }
+
+    #[test]
+    fn serve_stats_merge_covers_update_counters() {
+        let mut a = ServeStats {
+            updates: 1,
+            sessions_migrated: 2,
+            ..ServeStats::default()
+        };
+        let b = ServeStats {
+            updates: 3,
+            sessions_migrated: 5,
+            ..ServeStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.updates, 4);
+        assert_eq!(a.sessions_migrated, 7);
+        let json = a.to_json();
+        assert_eq!(json.get("updates").and_then(Json::as_u64), Some(4));
+        assert_eq!(
+            json.get("sessions_migrated").and_then(Json::as_u64),
+            Some(7)
+        );
     }
 
     #[test]

@@ -46,7 +46,10 @@ pub mod span;
 pub mod timer;
 pub mod trace;
 
-pub use counters::{InternStats, MachineStats, OpcodeCounts, ServeStats, SessionStats, TableStats};
+pub use counters::{
+    InternStats, InvalidationStats, MachineStats, OpcodeCounts, ServeStats, SessionStats,
+    TableStats,
+};
 pub use envelope::{envelope, envelope_obj, error_envelope, SCHEMA};
 pub use json::{Json, JsonError};
 pub use metrics::{Histogram, MetricsRegistry};

@@ -497,6 +497,30 @@ impl SessionPool {
         }
     }
 
+    /// Drain every parked session of a program across all tenants and
+    /// shards, returning each with the tenant it was parked under. The
+    /// `update` op uses this to migrate warm sessions onto the edited
+    /// program's fingerprint instead of discarding them.
+    pub fn take_program(&self, hash: u64) -> Vec<(String, SessionParts)> {
+        let mut taken = Vec::new();
+        for shard in self.shards.iter() {
+            let mut inner = shard.inner.lock().expect("pool shard poisoned");
+            let keys: Vec<(String, u64)> = inner
+                .pools
+                .keys()
+                .filter(|(_, h)| *h == hash)
+                .cloned()
+                .collect();
+            for key in keys {
+                if let Some(parked) = inner.pools.remove(&key) {
+                    let (tenant, _) = key;
+                    taken.extend(parked.into_iter().map(|p| (tenant.clone(), p)));
+                }
+            }
+        }
+        taken
+    }
+
     /// Snapshot `(parked sessions across all keys, summed counters)`.
     pub fn snapshot(&self) -> (usize, PoolCounters) {
         let mut parked = 0;
@@ -725,5 +749,23 @@ mod tests {
         pool.purge_program(9);
         let (parked, _) = pool.snapshot();
         assert_eq!(parked, 0, "purge sweeps every shard");
+    }
+
+    #[test]
+    fn take_program_drains_every_tenant_and_spares_others() {
+        let analyzer = compiled(APP);
+        let pool = SessionPool::new(4);
+        for t in 0..8 {
+            pool.checkin(&format!("t{t}"), 9, Session::new(&analyzer).into_parts());
+        }
+        pool.checkin("t0", 10, Session::new(&analyzer).into_parts());
+        let taken = pool.take_program(9);
+        assert_eq!(taken.len(), 8, "every shard's parked sessions drained");
+        let mut tenants: Vec<&str> = taken.iter().map(|(t, _)| t.as_str()).collect();
+        tenants.sort_unstable();
+        tenants.dedup();
+        assert_eq!(tenants.len(), 8, "tenant names preserved");
+        let (parked, _) = pool.snapshot();
+        assert_eq!(parked, 1, "other programs' sessions untouched");
     }
 }

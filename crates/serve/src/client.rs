@@ -158,6 +158,21 @@ impl Client {
         ]))
     }
 
+    /// Replace the program registered under `program_hash` (16 hex
+    /// digits) with `source`, migrating parked warm sessions; the
+    /// response carries the new fingerprint under `"program"`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::call_line`].
+    pub fn update(&mut self, program_hash: &str, source: &str) -> io::Result<Json> {
+        self.call(&Json::obj(vec![
+            ("op", Json::Str("update".to_owned())),
+            ("program", Json::Str(program_hash.to_owned())),
+            ("source", Json::Str(source.to_owned())),
+        ]))
+    }
+
     /// Fetch the server's counter snapshot.
     ///
     /// # Errors

@@ -12,6 +12,7 @@
 //! | `register` | `tenant`, `program` (source text) | `register` |
 //! | `analyze` | `tenant`, `program` (16-hex hash) or `source`, `goal`, `entry` (spec array), optional `budget`, `reuse` | `analyze` |
 //! | `batch` | like `analyze` with `goals: [{goal, entry}, …]` | `batch` |
+//! | `update` | `program` (16-hex hash of the old version), `source` (new text) | `update` |
 //! | `stats` | — | `stats` |
 //! | `shutdown` | — | `shutdown` |
 //!
@@ -80,6 +81,15 @@ pub enum Request {
         goals: Vec<GoalSpec>,
         /// Per-request abstract-instruction budget for every goal.
         budget: Option<u64>,
+    },
+    /// Replace a registered program with an edited version, migrating
+    /// every parked warm session (all tenants) onto the new fingerprint
+    /// via the incremental invalidation path instead of purging them.
+    Update {
+        /// Fingerprint of the program being replaced.
+        program: u64,
+        /// The edited source text.
+        source: String,
     },
     /// Snapshot the server counters, cache and pool state.
     Stats,
@@ -209,6 +219,15 @@ pub fn parse_request(line: &str) -> Result<Envelope, BadRequest> {
                 budget: budget(&doc)?,
             }
         }
+        "update" => {
+            let hash = required_str(&doc, "program", "update")?;
+            let program = u64::from_str_radix(&hash, 16)
+                .map_err(|_| BadRequest("update: `program` must be a 16-hex-digit hash".to_owned()))?;
+            Request::Update {
+                program,
+                source: required_str(&doc, "source", "update")?,
+            }
+        }
         "stats" => Request::Stats,
         "shutdown" => Request::Shutdown,
         other => return Err(BadRequest(format!("unknown op `{other}`"))),
@@ -284,6 +303,24 @@ mod tests {
         assert_eq!(goal.entry, vec!["glist".to_owned(), "var".to_owned()]);
         assert_eq!(budget, Some(1000));
         assert!(!reuse);
+    }
+
+    #[test]
+    fn parses_update() {
+        let env = parse_request(
+            r#"{"op":"update","program":"00000000000000ff","source":"a.\nb.","id":4}"#,
+        )
+        .expect("parses");
+        assert_eq!(env.id, Some(4));
+        assert_eq!(
+            env.request,
+            Request::Update {
+                program: 0xff,
+                source: "a.\nb.".to_owned()
+            }
+        );
+        assert!(parse_request(r#"{"op":"update","source":"a."}"#).is_err());
+        assert!(parse_request(r#"{"op":"update","program":"zz","source":"a."}"#).is_err());
     }
 
     #[test]

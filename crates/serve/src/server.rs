@@ -47,9 +47,10 @@
 use crate::cache::{approx_program_bytes, CompileFailed, ProgramCache, SessionPool};
 use crate::protocol::{self, parse_request, Envelope, GoalSpec, ProgramRef, Request};
 use crate::stats::{ConnStatsHandle, StatsRegistry};
-use awam_core::{par_map, Analysis, AnalysisError, Analyzer, Session};
-use awam_obs::{envelope, Json};
+use awam_core::{migrate_parts, par_map, Analysis, AnalysisError, Analyzer, Session};
+use awam_obs::{envelope, InvalidationStats, Json};
 use prolog_syntax::parse_program;
+use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -161,6 +162,11 @@ struct ServerState {
     config: ServeConfig,
     cache: ProgramCache,
     pools: SessionPool,
+    /// Source text by fingerprint, kept alongside the compiled cache so
+    /// `update` can diff the old program against the edited one (the
+    /// compiled artifact alone cannot reproduce its clause text).
+    /// Entries leave when their program is evicted.
+    sources: Mutex<HashMap<u64, Arc<str>>>,
     stats: StatsRegistry,
     /// Admitted (queued or running) analyze/batch requests.
     inflight: AtomicUsize,
@@ -209,6 +215,7 @@ impl Server {
         let state = Arc::new(ServerState {
             cache: ProgramCache::with_shards(config.cache_bytes, shards),
             pools: SessionPool::with_shards(config.pool_per_key, shards),
+            sources: Mutex::new(HashMap::new()),
             stats: StatsRegistry::new(),
             inflight: AtomicUsize::new(0),
             shutting_down: AtomicBool::new(false),
@@ -563,6 +570,7 @@ fn execute_request(state: &ServerState, conn: &ConnShared, env: Envelope) -> Jso
             goals,
             budget,
         } => do_batch(state, &tenant, &program, &goals, budget, id),
+        Request::Update { program, source } => do_update(state, conn, program, &source, id),
         Request::Stats | Request::Shutdown => unreachable!("control ops handled by the reader"),
     }
 }
@@ -590,6 +598,13 @@ fn compile_cached(
     });
     match result {
         Ok((analyzer, evicted, compiled_now)) => {
+            {
+                let mut sources = state.sources.lock().expect("sources poisoned");
+                sources.entry(hash).or_insert_with(|| Arc::from(source));
+                for hash in &evicted {
+                    sources.remove(hash);
+                }
+            }
             for hash in evicted {
                 state.pools.purge_program(hash);
             }
@@ -636,6 +651,97 @@ fn do_register(state: &ServerState, source: &str, id: Option<i64>) -> Json {
                 ("ok", Json::Bool(true)),
                 ("program", Json::Str(protocol::hash_hex(hash))),
                 ("cached", Json::Bool(!compiled_now)),
+            ],
+        ),
+        id,
+    )
+}
+
+/// Patch a registered program in place: compile the edited source,
+/// migrate every parked warm session (all tenants) onto the new
+/// fingerprint through the incremental invalidation path, and drop
+/// whatever cannot be migrated (a fresh session is always correct).
+fn do_update(
+    state: &ServerState,
+    conn: &ConnShared,
+    old_hash: u64,
+    source: &str,
+    id: Option<i64>,
+) -> Json {
+    let old_source = state
+        .sources
+        .lock()
+        .expect("sources poisoned")
+        .get(&old_hash)
+        .cloned();
+    let (Some(old_source), Some(old_analyzer)) = (old_source, state.cache.get(old_hash)) else {
+        return protocol::error_response(
+            "unknown_program",
+            &format!(
+                "program {} is not registered (or was evicted); register the new source instead",
+                protocol::hash_hex(old_hash)
+            ),
+            id,
+        );
+    };
+    let new_hash = awam_core::program_fingerprint(source);
+    let (new_analyzer, _) = match compile_cached(state, new_hash, source) {
+        Ok(found) => found,
+        Err(response) => return protocol::attach_id(response, id),
+    };
+    let mut migrated = 0u64;
+    let mut invalidation = InvalidationStats::default();
+    if new_hash != old_hash {
+        // Both texts compiled, so both parse; a failure here means the
+        // source side-store went stale, and without a parse there is no
+        // clause diff — fall back to purging the old pools.
+        match (parse_program(&old_source), parse_program(source)) {
+            (Ok(old_program), Ok(new_program)) => {
+                let budget = effective_budget(None, &state.config);
+                for (tenant, parts) in state.pools.take_program(old_hash) {
+                    // A failed migration (budget, impossible remap)
+                    // leaves the table untrustworthy: drop the session
+                    // and let the tenant's next request start fresh.
+                    if let Ok((parts, stats)) = migrate_parts(
+                        &old_program,
+                        &new_program,
+                        &old_analyzer,
+                        &new_analyzer,
+                        parts,
+                        budget,
+                    ) {
+                        state.pools.checkin(&tenant, new_hash, parts);
+                        migrated += 1;
+                        invalidation.entries_before += stats.entries_before;
+                        invalidation.entries_kept += stats.entries_kept;
+                        invalidation.entries_reset += stats.entries_reset;
+                        invalidation.entries_dropped += stats.entries_dropped;
+                        invalidation.frontier += stats.frontier;
+                        invalidation.refix_explorations += stats.refix_explorations;
+                        invalidation.refix_instructions += stats.refix_instructions;
+                        // The clause diff is per-program, not
+                        // per-session: identical for every migration.
+                        invalidation.preds_changed = stats.preds_changed;
+                        invalidation.preds_removed = stats.preds_removed;
+                    }
+                }
+            }
+            _ => state.pools.purge_program(old_hash),
+        }
+    }
+    conn.stats.with(|s| {
+        s.serve.updates += 1;
+        s.serve.sessions_migrated += migrated;
+    });
+    protocol::attach_id(
+        envelope(
+            "update",
+            vec![
+                ("ok", Json::Bool(true)),
+                ("program", Json::Str(protocol::hash_hex(new_hash))),
+                ("previous", Json::Str(protocol::hash_hex(old_hash))),
+                ("migrated", Json::Int(migrated as i64)),
+                ("invalidation", invalidation.to_json()),
             ],
         ),
         id,

@@ -10,6 +10,9 @@
 //!   size/recursion/builtin mix ([`GenConfig`]);
 //! * [`patgen`] — random abstract patterns and random concrete instances
 //!   of a pattern (γ-sampling);
+//! * [`editgen`] — random well-formed clause-level edits over a parsed
+//!   program, each replayable from `(seed, case, edit index)`, plus a
+//!   greedy edit-sequence minimizer;
 //! * [`mod@shrink`] — a greedy delta-debugging shrinker (drop predicates →
 //!   drop clauses → drop goals → simplify terms) that re-checks the
 //!   failing oracle at every step;
@@ -28,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod editgen;
 pub mod oracle;
 pub mod patgen;
 pub mod proggen;
@@ -35,6 +39,7 @@ pub mod rng;
 pub mod shrink;
 
 pub use campaign::{run_campaign, FuzzConfig, FuzzFailure, FuzzReport, Minimized};
+pub use editgen::{gen_edit, minimize_edits};
 pub use oracle::{check, Oracle, OracleOutcome};
 pub use patgen::{gamma_instance, instance_of_leaf, random_pattern, random_pattern_n};
 pub use proggen::{gen_program, GenConfig, GenProgram};

@@ -16,9 +16,13 @@
 //! | `budget`    | analysis terminates within the iteration/instruction budget |
 //! | `provenance`| derivation tracking is invisible (byte-identical reports and traces) and every recorded lub chain re-folds to the stored summary |
 //! | `fusion`    | superinstruction fusion is invisible: fused and unfused code give byte-identical traces, reports and opcode histograms |
+//! | `incremental` | after k random edits, the incrementally repaired table's goal-reachable core is byte-equal to a cold re-analysis of the edited source |
 
+use crate::editgen::{gen_edit, minimize_edits};
+use crate::rng::{case_seed, Rng};
 use absdom::Pattern;
-use awam_core::{Analysis, AnalysisError, Analyzer, BatchGoal, EtImpl};
+use awam_core::incremental::{ProgramEdit, UpdateError, Workspace};
+use awam_core::{program_fingerprint, Analysis, AnalysisError, Analyzer, BatchGoal, EtImpl};
 use awam_obs::{JsonlTracer, RecordingTracer};
 use prolog_syntax::parse_program;
 use wam::compile_program;
@@ -57,11 +61,15 @@ pub enum Oracle {
     /// Fused-vs-unfused invisibility: byte-identical traces, reports
     /// and per-opcode histograms.
     Fusion,
+    /// Incremental-vs-cold equality under random edit sequences: the
+    /// goal-reachable core of the repaired table must be byte-equal to
+    /// a cold re-analysis after every edit.
+    Incremental,
 }
 
 impl Oracle {
     /// Every oracle, in matrix order.
-    pub const ALL: [Oracle; 8] = [
+    pub const ALL: [Oracle; 9] = [
         Oracle::Soundness,
         Oracle::Interning,
         Oracle::Traces,
@@ -70,6 +78,7 @@ impl Oracle {
         Oracle::Budget,
         Oracle::Provenance,
         Oracle::Fusion,
+        Oracle::Incremental,
     ];
 
     /// The CLI name of this oracle.
@@ -83,6 +92,7 @@ impl Oracle {
             Oracle::Budget => "budget",
             Oracle::Provenance => "provenance",
             Oracle::Fusion => "fusion",
+            Oracle::Incremental => "incremental",
         }
     }
 
@@ -128,11 +138,13 @@ pub fn check(oracle: Oracle, source: &str) -> Result<(), OracleOutcome> {
         Oracle::Budget => setup.budget(),
         Oracle::Provenance => setup.provenance(),
         Oracle::Fusion => setup.fusion(),
+        Oracle::Incremental => setup.incremental(),
     }
 }
 
 /// Shared per-program setup: parsed program, compiled code, entry specs.
 struct Setup {
+    source: String,
     program: prolog_syntax::Program,
     compiled: wam::CompiledProgram,
     entry_arity: usize,
@@ -153,6 +165,7 @@ impl Setup {
             .map(|p| p.key.arity)
             .ok_or_else(|| OracleOutcome::Infra("entry predicate p0 not compiled".into()))?;
         Ok(Setup {
+            source: source.to_owned(),
             program,
             compiled,
             entry_arity,
@@ -502,6 +515,115 @@ impl Setup {
         }
         Ok(())
     }
+
+    /// Oracle #9: apply [`INCREMENTAL_EDITS`] random edits through the
+    /// incremental [`Workspace`], and after every applied edit require
+    /// the goal-reachable core of the repaired table (both the raw
+    /// entry dump and the rendered report) to be **byte-equal** to a
+    /// cold re-analysis of the same edited source.
+    ///
+    /// Edit `j`'s RNG is seeded from the fingerprint of the source as it
+    /// stands before the edit, so the whole sequence replays from the
+    /// campaign seed alone — and program shrinking composes for free,
+    /// because the oracle stays a pure function of the source text.
+    /// Edits the evolving program rejects (unparseable splice, broken
+    /// compile) are skipped: the workspace keeps its pre-edit state.
+    /// On a divergence the failing edit sequence is greedily minimized
+    /// ([`minimize_edits`]) before reporting.
+    fn incremental(&self) -> Result<(), OracleOutcome> {
+        let specs = vec!["any"; self.entry_arity];
+        let mut ws = incremental_workspace(&self.source, &specs)?;
+        let mut applied: Vec<ProgramEdit> = Vec::new();
+        for j in 0..INCREMENTAL_EDITS {
+            let base = program_fingerprint(ws.source());
+            let mut rng = Rng::new(case_seed(base, j));
+            let edit = gen_edit(&mut rng, ws.program());
+            match ws.apply_edit(&edit) {
+                Ok(stats) => {
+                    applied.push(edit.clone());
+                    if stats.entries_before
+                        != stats.entries_kept + stats.entries_reset + stats.entries_dropped
+                    {
+                        return Err(OracleOutcome::Violation(format!(
+                            "edit {j} ({edit:?}): invalidation counters lose entries: \
+                             {} before vs {} kept + {} reset + {} dropped",
+                            stats.entries_before,
+                            stats.entries_kept,
+                            stats.entries_reset,
+                            stats.entries_dropped
+                        )));
+                    }
+                }
+                // Repair blow-ups are real findings; inapplicable edits
+                // (parse/compile/edit errors) leave the workspace as-is.
+                Err(UpdateError::Analysis(e)) => return Err(analysis_outcome(e)),
+                Err(_) => continue,
+            }
+            if let Some(divergence) = incremental_divergence(&mut ws, &specs)? {
+                let minimal = minimize_edits(&applied, &mut |seq| {
+                    incremental_replay_diverges(&self.source, &specs, seq)
+                });
+                return Err(OracleOutcome::Violation(format!(
+                    "after edit {j}: {divergence}\nminimized edit sequence ({} of {}): {minimal:#?}",
+                    minimal.len(),
+                    applied.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How many random edits oracle #9 applies per generated program.
+const INCREMENTAL_EDITS: u64 = 4;
+
+/// Open a workspace on `source` and run the entry analysis once.
+fn incremental_workspace(source: &str, specs: &[&str]) -> Result<Workspace, OracleOutcome> {
+    let mut ws = Workspace::from_source(source).map_err(|e| infra("workspace", e))?;
+    ws.analyze("p0", specs).map_err(analysis_outcome)?;
+    Ok(ws)
+}
+
+/// Compare the workspace's repaired core against a cold re-analysis of
+/// its current source; `Some(description)` on a byte difference.
+fn incremental_divergence(
+    ws: &mut Workspace,
+    specs: &[&str],
+) -> Result<Option<String>, OracleOutcome> {
+    let inc_dump = ws.core_dump("p0", specs).map_err(analysis_outcome)?;
+    let inc_report = ws.core_report("p0", specs).map_err(analysis_outcome)?;
+    let mut cold = Workspace::from_source(ws.source()).map_err(|e| infra("cold workspace", e))?;
+    let cold_dump = cold.core_dump("p0", specs).map_err(analysis_outcome)?;
+    let cold_report = cold.core_report("p0", specs).map_err(analysis_outcome)?;
+    if inc_dump != cold_dump {
+        return Ok(Some(format!(
+            "incremental ET core diverges from cold re-analysis\nsource:\n{}\nincremental:\n{inc_dump}\ncold:\n{cold_dump}",
+            ws.source()
+        )));
+    }
+    if inc_report != cold_report {
+        return Ok(Some(format!(
+            "incremental report diverges from cold re-analysis\nsource:\n{}\nincremental:\n{inc_report}\ncold:\n{cold_report}",
+            ws.source()
+        )));
+    }
+    Ok(None)
+}
+
+/// Replay an explicit edit sequence from `source` (skipping edits the
+/// evolving program rejects) and report whether the final state still
+/// diverges from a cold re-analysis — the [`minimize_edits`] predicate.
+fn incremental_replay_diverges(source: &str, specs: &[&str], edits: &[ProgramEdit]) -> bool {
+    let Ok(mut ws) = incremental_workspace(source, specs) else {
+        return false;
+    };
+    for edit in edits {
+        match ws.apply_edit(edit) {
+            Ok(_) => {}
+            Err(_) => continue,
+        }
+    }
+    matches!(incremental_divergence(&mut ws, specs), Ok(Some(_)))
 }
 
 /// Map an [`AnalysisError`] to an oracle outcome: resource-bound blowups

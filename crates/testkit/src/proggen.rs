@@ -222,6 +222,12 @@ pub fn gen_program(rng: &mut Rng, config: &GenConfig) -> GenProgram {
     GenProgram { preds }
 }
 
+/// Render one generated term to source text (shared with [`crate::editgen`],
+/// which splices generated terms into clause-level edits).
+pub fn term_source(t: &GenTerm) -> String {
+    term_src(t)
+}
+
 fn term_src(t: &GenTerm) -> String {
     match t {
         GenTerm::Var(v) => format!("V{v}"),

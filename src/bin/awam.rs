@@ -14,6 +14,8 @@
 //!                                      print how the analysis derived PRED's summaries
 //! awam profile FILE.pl PRED [SPECS] [--top N] [--metrics-json]
 //!                                      self-profile one analysis run
+//! awam watch FILE.pl PRED [SPECS] [--interval MS] [--max-updates N]
+//!                                      re-analyze FILE incrementally on change
 //! awam fuzz [--seed N] [--cases N] [--oracle NAME,...] [--no-minimize]
 //!           [--fault NAME] [--json]  differential fuzzing campaign
 //! awam serve [--addr HOST:PORT] [--cache-mb N] [--max-inflight N]
@@ -64,6 +66,7 @@ fn main() -> ExitCode {
         Some("bench") => cmd_bench(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
+        Some("watch") => cmd_watch(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
@@ -76,6 +79,7 @@ fn main() -> ExitCode {
                  awam bench NAME\n  \
                  awam explain FILE.pl PRED[/ARITY] [--entry PRED[:SPEC,…]] [--json]\n  \
                  awam profile FILE.pl PRED [SPEC,SPEC,…] [--top N] [--metrics-json]\n  \
+                 awam watch FILE.pl PRED [SPEC,SPEC,…] [--interval MS] [--max-updates N]\n  \
                  awam fuzz [--seed N] [--cases N] [--oracle NAME,…] [--no-minimize] [--fault NAME] [--json]\n  \
                  awam serve [--addr HOST:PORT] [--cache-mb N] [--max-inflight N] [--default-budget N] [--max-budget N] [--pool N] [--shards N] [--workers N] [--pipeline-depth N]\n  \
                  awam loadgen [--addr HOST:PORT] [--programs N] [--clients N] [--queries N] [--tenants N] [--seed N] [--pipeline-depth N] [--out FILE]\n\
@@ -831,6 +835,107 @@ fn cmd_profile(args: &[String]) -> CmdResult {
             node.self_ns() as f64 / 1000.0,
             indent = depth * 2
         );
+    }
+    Ok(())
+}
+
+/// Map an incremental-update failure onto the CLI's unified error.
+fn update_error(e: awam::analysis::UpdateError) -> Error {
+    use awam::analysis::UpdateError as U;
+    match e {
+        U::Parse(p) => Error::Parse(p),
+        U::Compile(c) => Error::Compile(c),
+        U::Analysis(a) => Error::Analysis(a),
+        U::Edit(edit) => Error::Usage(edit.to_string()),
+    }
+}
+
+/// `awam watch`: analyze FILE once, then poll it and re-analyze
+/// incrementally on every change, printing what each edit invalidated.
+/// A broken intermediate save (parse or compile error) is reported and
+/// skipped — the last good analysis stays warm. `--max-updates N` exits
+/// after N successful re-analyses (0 = analyze once and exit), which is
+/// what scripted smoke tests use; without it the watch runs until ^C.
+fn cmd_watch(args: &[String]) -> CmdResult {
+    let mut interval_ms: u64 = 500;
+    let mut max_updates: Option<u64> = None;
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--interval" => {
+                interval_ms = it
+                    .next()
+                    .ok_or("watch: --interval needs milliseconds")?
+                    .parse()
+                    .map_err(|_| Error::Usage("watch: --interval needs an integer".to_owned()))?;
+            }
+            "--max-updates" => {
+                max_updates = Some(
+                    it.next()
+                        .ok_or("watch: --max-updates needs a count")?
+                        .parse()
+                        .map_err(|_| {
+                            Error::Usage("watch: --max-updates needs an integer".to_owned())
+                        })?,
+                );
+            }
+            other if other.starts_with("--") => {
+                return Err(Error::Usage(format!("unknown flag {other}")));
+            }
+            _ => positional.push(a.clone()),
+        }
+    }
+    let path = positional.first().ok_or("watch: missing FILE.pl")?;
+    let pred = positional.get(1).ok_or("watch: missing entry predicate")?;
+    let specs: Vec<&str> = match positional.get(2).map(String::as_str) {
+        Some(s) if !s.is_empty() => s.split(',').map(str::trim).collect(),
+        _ => Vec::new(),
+    };
+    let source = std::fs::read_to_string(path)?;
+    let mut ws = awam::analysis::Workspace::from_source(&source).map_err(update_error)?;
+    let analysis = ws.analyze(pred, &specs)?;
+    println!("{}", analysis.report(ws.analyzer()));
+    println!(
+        "watching {path} ({} entries memoized, polling every {interval_ms}ms)",
+        ws.memo_len()
+    );
+    let mut updates = 0u64;
+    while max_updates.is_none_or(|m| updates < m) {
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        let new_source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("watch: {path}: {e}");
+                continue;
+            }
+        };
+        if new_source == ws.source() {
+            continue;
+        }
+        match ws.update_source(&new_source) {
+            Ok(stats) => {
+                updates += 1;
+                println!(
+                    "-- update {updates}: {} predicate(s) changed, {} removed; \
+                     entries kept {}/{}, reset {}, dropped {}; frontier {}, \
+                     repair explorations {}",
+                    stats.preds_changed,
+                    stats.preds_removed,
+                    stats.entries_kept,
+                    stats.entries_before,
+                    stats.entries_reset,
+                    stats.entries_dropped,
+                    stats.frontier,
+                    stats.refix_explorations
+                );
+                match ws.analyze(pred, &specs) {
+                    Ok(analysis) => println!("{}", analysis.report(ws.analyzer())),
+                    Err(e) => eprintln!("watch: analysis failed: {e}"),
+                }
+            }
+            Err(e) => eprintln!("watch: {e} (keeping the last good analysis)"),
+        }
     }
     Ok(())
 }

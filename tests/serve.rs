@@ -235,6 +235,105 @@ fn over_budget_requests_shed_with_the_documented_envelope() {
 }
 
 #[test]
+fn update_migrates_warm_sessions_to_the_edited_program() {
+    let handle = Server::bind("127.0.0.1:0", ServeConfig::default())
+        .expect("bind")
+        .spawn();
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let old_hash = client
+        .register("edit-tenant", NREV)
+        .expect("register")
+        .get("program")
+        .and_then(Json::as_str)
+        .expect("hash")
+        .to_owned();
+
+    // Park a warm session under the old fingerprint.
+    let cold = client
+        .analyze("edit-tenant", &old_hash, "nrev", &["glist", "var"], true)
+        .expect("cold analyze");
+    assert_eq!(cold.get("warm").and_then(Json::as_bool), Some(false));
+
+    // A duplicate clause: a real clause-level diff with identical
+    // semantics, so the migrated session's answers must not move.
+    let edited = format!("{NREV}app([], L, L).\n");
+    let response = client.update(&old_hash, &edited).expect("update");
+    assert_eq!(response.get("kind").and_then(Json::as_str), Some("update"));
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        response.get("previous").and_then(Json::as_str),
+        Some(old_hash.as_str())
+    );
+    let new_hash = response
+        .get("program")
+        .and_then(Json::as_str)
+        .expect("new hash")
+        .to_owned();
+    assert_ne!(new_hash, old_hash);
+    assert_eq!(
+        response.get("migrated").and_then(Json::as_i64),
+        Some(1),
+        "the parked session was migrated, not purged"
+    );
+    let invalidation = response.get("invalidation").expect("invalidation stats");
+    let field = |k: &str| invalidation.get(k).and_then(Json::as_i64).expect(k);
+    assert_eq!(
+        field("entries_before"),
+        field("entries_kept") + field("entries_reset") + field("entries_dropped"),
+        "kept/reset/dropped partition the pre-edit table"
+    );
+    assert!(field("entries_reset") > 0, "app's cone was invalidated");
+
+    // The migrated session is parked under the NEW fingerprint and is
+    // already reconverged: the next identical goal is a warm hit whose
+    // answers are byte-identical to a fresh register+analyze.
+    let warm = client
+        .analyze("edit-tenant", &new_hash, "nrev", &["glist", "var"], true)
+        .expect("analyze after update");
+    assert_eq!(warm.get("warm").and_then(Json::as_bool), Some(true));
+    assert_eq!(warm.get("iterations").and_then(Json::as_i64), Some(0));
+    let results = |doc: &Json| {
+        let report = doc.get("report").and_then(Json::as_str).expect("report");
+        report[report.find("\n\n").expect("result section")..].to_owned()
+    };
+    let fresh = direct_report(&edited, "nrev", &["glist", "var"]);
+    assert_eq!(
+        results(&warm),
+        fresh[fresh.find("\n\n").expect("result section")..],
+        "migrated session answers match a fresh analysis of the edited source"
+    );
+
+    // The old fingerprint's pool was drained: analyzing the old program
+    // again starts cold.
+    let old_again = client
+        .analyze("edit-tenant", &old_hash, "nrev", &["glist", "var"], true)
+        .expect("old program still registered");
+    assert_eq!(old_again.get("warm").and_then(Json::as_bool), Some(false));
+
+    let stats = client.stats().expect("stats");
+    let counters = stats.get("counters").expect("counters");
+    assert_eq!(counters.get("updates").and_then(Json::as_i64), Some(1));
+    assert_eq!(
+        counters.get("sessions_migrated").and_then(Json::as_i64),
+        Some(1)
+    );
+
+    // Updating a fingerprint the daemon has never seen is a clean error.
+    let unknown = client
+        .update("00000000deadbeef", NREV)
+        .expect("error round-trip");
+    assert_eq!(
+        unknown
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("unknown_program")
+    );
+    handle.shutdown();
+}
+
+#[test]
 fn batch_matches_per_goal_single_shot_results() {
     let handle = Server::bind("127.0.0.1:0", ServeConfig::default())
         .expect("bind")
